@@ -1,0 +1,59 @@
+// Figure 10: skipping gradient synchronization — average per-iteration
+// latency when AllReduce runs every 1, 2, 4, or 8 iterations (no_sync),
+// for ResNet50 on NCCL and Gloo, 1-256 GPUs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cluster_sim.h"
+
+using namespace ddpkit;  // NOLINT
+
+namespace {
+
+const int kWorlds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+
+void RunBackend(sim::Backend backend) {
+  std::printf("ResNet50 on %s, average per-iteration latency (sec):\n",
+              sim::BackendName(backend));
+  std::vector<std::string> columns;
+  for (int world : kWorlds) columns.push_back(std::to_string(world));
+  bench::PrintHeader("sync_every", columns);
+
+  std::vector<double> baseline;
+  for (int n : {1, 2, 4, 8}) {
+    std::vector<double> row;
+    for (int world : kWorlds) {
+      cluster::ClusterConfig config;
+      config.world = world;
+      config.backend = backend;
+      config.skip_sync_every = n;
+      config.straggler.sigma = world > 32 ? 0.06 : 0.03;
+      sim::NcclCostModel::Options nccl;
+      nccl.degraded_above_world = 128;
+      config.nccl_options = nccl;
+      cluster::ClusterSim sim(cluster::ResNet50Spec(), config);
+      row.push_back(sim.Run(64).LatencySummary().mean);
+    }
+    if (n == 1) baseline = row;
+    bench::PrintSeries(n == 1 ? "every (n=1)" : "no_sync_" + std::to_string(n),
+                       row);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 10",
+                "Skip gradient synchronization: amortized latency");
+  RunBackend(sim::Backend::kNccl);
+  RunBackend(sim::Backend::kGloo);
+  std::printf("Expected shape: amortized latency drops as sync frequency "
+              "falls; paper reports ~38%% (NCCL) and ~57%% (Gloo) speedup "
+              "at 256 GPUs with sync every 8 iterations; the NCCL jump at "
+              "256 GPUs appears in every curve.\n");
+  return 0;
+}

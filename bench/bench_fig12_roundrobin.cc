@@ -1,0 +1,53 @@
+// Figure 12: round-robin process groups — median per-iteration latency
+// with 1, 3, and 5 process-group instances (rr1/rr3/rr5), for ResNet50 and
+// BERT on NCCL and Gloo, 1-32 GPUs (the exclusive cluster).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/cluster_sim.h"
+
+using namespace ddpkit;  // NOLINT
+
+namespace {
+
+const int kWorlds[] = {1, 2, 4, 8, 16, 24, 32};
+
+void RunCombo(const cluster::ModelSpec& spec, sim::Backend backend) {
+  std::printf("%s on %s, median per-iteration latency (sec):\n",
+              spec.name.c_str(), sim::BackendName(backend));
+  std::vector<std::string> columns;
+  for (int world : kWorlds) columns.push_back(std::to_string(world));
+  bench::PrintHeader("groups", columns);
+  for (int groups : {1, 3, 5}) {
+    std::vector<double> row;
+    for (int world : kWorlds) {
+      cluster::ClusterConfig config;
+      config.world = world;
+      config.backend = backend;
+      config.round_robin_groups = groups;
+      config.straggler.sigma = 0.02;
+      cluster::ClusterSim sim(spec, config);
+      row.push_back(sim.Run(40).LatencySummary().median);
+    }
+    bench::PrintSeries("rr" + std::to_string(groups), row);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 12", "Round-robin process groups (1-32 GPUs)");
+  RunCombo(cluster::ResNet50Spec(), sim::Backend::kNccl);
+  RunCombo(cluster::ResNet50Spec(), sim::Backend::kGloo);
+  RunCombo(cluster::BertBaseSpec(), sim::Backend::kNccl);
+  RunCombo(cluster::BertBaseSpec(), sim::Backend::kGloo);
+  std::printf("Expected shape: negligible differences for ResNet50/NCCL "
+              "(bandwidth is not the bottleneck); visible rr3 gains for "
+              "ResNet50/Gloo; the largest gains for BERT (one group cannot "
+              "saturate the link, paper 5.4).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6: per-iteration latency breakdown with and without overlapping
+// communication with the backward pass, for ResNet50 and BERT on NCCL and
+// Gloo, 32 GPUs across 4 machines. Latencies are normalized so each
+// combination's non-overlapping total is 1, as in the paper.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/cluster_sim.h"
+
+using namespace ddpkit;  // NOLINT
+
+namespace {
+
+void RunCombo(const cluster::ModelSpec& spec, sim::Backend backend) {
+  cluster::ClusterConfig config;
+  config.world = 32;
+  config.backend = backend;
+  config.straggler.sigma = 0.02;
+
+  auto non_overlap_config = config;
+  non_overlap_config.overlap = false;
+  auto non_overlap = cluster::ClusterSim(spec, non_overlap_config).Run(20);
+  auto overlap = cluster::ClusterSim(spec, config).Run(20);
+
+  const double norm = non_overlap.mean_breakdown.total;
+  auto row = [&](const char* label, const cluster::IterationBreakdown& b) {
+    std::printf("  %-14s fwd=%.3f bwd_comp=%.3f bwd_comm=%.3f opt=%.3f "
+                "total=%.3f\n",
+                label, b.forward / norm, b.backward_compute / norm,
+                b.backward_comm_exposed / norm, b.optimizer / norm,
+                b.total / norm);
+  };
+  std::printf("%s on %s (32 GPUs, normalized to non-overlap total):\n",
+              spec.name.c_str(), sim::BackendName(backend));
+  row("non-overlap", non_overlap.mean_breakdown);
+  row("overlap", overlap.mean_breakdown);
+  const double speedup =
+      (non_overlap.mean_breakdown.total - overlap.mean_breakdown.total) /
+      non_overlap.mean_breakdown.total;
+  std::printf("  overlap speedup: %.1f%%\n\n", speedup * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 6", "Per-iteration latency breakdown (32 GPUs)");
+  RunCombo(cluster::ResNet50Spec(), sim::Backend::kNccl);
+  RunCombo(cluster::BertBaseSpec(), sim::Backend::kNccl);
+  RunCombo(cluster::ResNet50Spec(), sim::Backend::kGloo);
+  RunCombo(cluster::BertBaseSpec(), sim::Backend::kGloo);
+  std::printf("Expected shape: backward dominates every combination; "
+              "communication is over half the backward delay and grows "
+              "with model size; NCCL >> Gloo; overlap gains are largest "
+              "when compute and communication are balanced (paper: 38.0%% "
+              "/ 35.2%% on NCCL, 26.8%% / 21.5%% on Gloo).\n");
+  return 0;
+}

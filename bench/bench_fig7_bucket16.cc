@@ -1,0 +1,11 @@
+// Figure 7: per-iteration latency vs bucket size (bucket_cap_mb) on 16
+// GPUs, for ResNet50 and BERT on NCCL and Gloo. Box-whisker rows include
+// the 100-iteration hiccup outliers the paper attributes to DDP instance
+// re-construction and input regeneration.
+
+#include "bucket_sweep.h"
+
+int main() {
+  ddpkit::bench::RunBucketFigure("Figure 7", 16);
+  return 0;
+}

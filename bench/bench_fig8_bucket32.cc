@@ -1,0 +1,11 @@
+// Figure 8: the Figure 7 bucket-size sweep repeated on 32 GPUs. The paper's
+// observations reproduced here: outliers span a wider range (more
+// participants, more straggler impact); 0 MB gets clearly worse than at 16
+// GPUs; caps >= 5 MB scale without noticeable regression.
+
+#include "bucket_sweep.h"
+
+int main() {
+  ddpkit::bench::RunBucketFigure("Figure 8", 32);
+  return 0;
+}

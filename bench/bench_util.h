@@ -1,0 +1,45 @@
+#ifndef DDPKIT_BENCH_BENCH_UTIL_H_
+#define DDPKIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ddpkit::bench {
+
+/// Prints a figure/table banner matching the paper's numbering.
+inline void Banner(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("==============================================================\n");
+}
+
+/// One box-whisker row (the Fig 7/8 presentation).
+inline void PrintBoxRow(const std::string& label, const Summary& s,
+                        double scale = 1.0) {
+  std::printf("%-14s min=%-9.4f p25=%-9.4f med=%-9.4f p75=%-9.4f max=%-9.4f\n",
+              label.c_str(), s.min * scale, s.p25 * scale, s.median * scale,
+              s.p75 * scale, s.max * scale);
+}
+
+/// Compact series printer: label then value per column.
+inline void PrintSeries(const std::string& label,
+                        const std::vector<double>& values,
+                        const char* format = "%9.4f") {
+  std::printf("%-14s", label.c_str());
+  for (double v : values) std::printf(format, v);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& label,
+                        const std::vector<std::string>& columns) {
+  std::printf("%-14s", label.c_str());
+  for (const auto& c : columns) std::printf("%9s", c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace ddpkit::bench
+
+#endif  // DDPKIT_BENCH_BENCH_UTIL_H_

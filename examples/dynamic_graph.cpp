@@ -1,0 +1,87 @@
+// Dynamic control flow and unused parameters — the paper's Fig 3(b) hazard
+// and the find_unused_parameters machinery (§3.2.3), end to end.
+//
+// A mixture-of-experts-style model routes each iteration through exactly
+// one expert branch, chosen per rank per step, so:
+//   - some parameters get no local gradient (proactively marked ready);
+//   - a branch may be used on one rank but not another (peers contribute
+//     zeros; the global bitmap marks it used);
+//   - a branch may be unused on EVERY rank (its gradients stay intact and
+//     masked SGD leaves its momentum frozen).
+//
+// Run: ./dynamic_graph [steps=8]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/sim_world.h"
+#include "core/distributed_data_parallel.h"
+#include "nn/zoo.h"
+#include "optim/sgd.h"
+
+using namespace ddpkit;  // NOLINT — example brevity
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 8;
+  constexpr int kWorld = 2;
+
+  comm::SimWorld::Run(kWorld, [&](comm::SimWorld::RankContext& ctx) {
+    Rng rng(9);
+    auto model = std::make_shared<nn::BranchyNet>(8, &rng);
+    core::DdpOptions options;
+    options.find_unused_parameters = true;
+    core::DistributedDataParallel ddp(model, ctx.process_group, options);
+    optim::Sgd opt(model->parameters(),
+                   optim::Sgd::Options{.lr = 0.05, .momentum = 0.9});
+
+    const auto named = model->named_parameters();
+    for (int step = 0; step < steps; ++step) {
+      opt.ZeroGrad();
+      // Routing schedule: steps 0-1 both ranks take A; steps 2-3 ranks
+      // disagree; steps 4+ both take B.
+      bool use_a;
+      if (step < 2) {
+        use_a = true;
+      } else if (step < 4) {
+        use_a = (ctx.rank == 0);
+      } else {
+        use_a = false;
+      }
+      model->set_use_branch_a(use_a);
+
+      Rng data_rng(step * 10 + ctx.rank);
+      Tensor x = Tensor::Randn({4, 8}, &data_rng);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+
+      // Masked step: momentum for globally-unused branches stays frozen,
+      // exactly like local training would behave.
+      opt.Step(ddp.globally_used_mask());
+
+      if (ctx.rank == 0) {
+        const auto& mask = ddp.globally_used_mask();
+        int used = 0;
+        for (uint8_t u : mask) used += u;
+        std::printf("step %d  local branch=%c  globally used params: %d/%zu  [",
+                    step, use_a ? 'A' : 'B', used, mask.size());
+        for (size_t i = 0; i < mask.size(); ++i) {
+          std::printf("%d", mask[i]);
+        }
+        std::printf("]\n");
+      }
+    }
+
+    if (ctx.rank == 0) {
+      std::printf("\nparameter names (mask positions):\n");
+      for (size_t i = 0; i < named.size(); ++i) {
+        std::printf("  [%zu] %s\n", i, named[i].first.c_str());
+      }
+      std::printf("\nbackward never hung despite skipped sub-graphs — the "
+                  "forward-pass graph traversal marked absent parameters "
+                  "ready (paper Fig 3b / Algorithm 1 line 10).\n");
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef DDPKIT_AUTOGRAD_ENGINE_H_
+#define DDPKIT_AUTOGRAD_ENGINE_H_
+
+#include "tensor/tensor.h"
+
+namespace ddpkit::autograd {
+
+/// Runs backpropagation from `root`, accumulating gradients into every
+/// reachable leaf tensor's `.grad` and firing GradAccumulator post-hooks as
+/// gradients become ready.
+///
+/// `grad_output` defaults to ones (so a scalar loss needs no argument).
+/// The graph is not freed: calling Backward twice re-walks it and
+/// accumulates again (PyTorch's retain_graph=true semantics).
+///
+/// Nodes are executed in descending sequence-number order among ready
+/// nodes, so gradients are produced approximately in the reverse of the
+/// forward-execution order — the property DDP's reverse-order bucketing
+/// relies on (paper §3.2.3).
+void Backward(const Tensor& root, Tensor grad_output = Tensor());
+
+/// Thread-local gradient mode. When disabled, differentiable ops behave as
+/// pure kernels and record no graph (used by optimizers, buffer updates and
+/// DDP's internal copies).
+bool GradModeEnabled();
+void SetGradModeEnabled(bool enabled);
+
+/// RAII guard disabling grad mode in a scope.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradModeEnabled()) { SetGradModeEnabled(false); }
+  ~NoGradGuard() { SetGradModeEnabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace ddpkit::autograd
+
+#endif  // DDPKIT_AUTOGRAD_ENGINE_H_

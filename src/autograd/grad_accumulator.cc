@@ -1,0 +1,42 @@
+#include "autograd/grad_accumulator.h"
+
+namespace ddpkit::autograd {
+
+GradAccumulator::GradAccumulator(const Tensor& param)
+    : param_impl_(GetTensorImpl(param)) {}
+
+Tensor GradAccumulator::param() const {
+  auto impl = param_impl_.lock();
+  DDPKIT_CHECK(impl != nullptr) << "parameter outlived by its accumulator";
+  return MakeTensorFromImpl(impl);
+}
+
+std::vector<Tensor> GradAccumulator::Apply(std::vector<Tensor> grad_outputs) {
+  DDPKIT_CHECK_EQ(grad_outputs.size(), 1u);
+  Tensor p = param();
+  if (grad_outputs[0].defined()) {
+    Tensor g = grad_outputs[0].is_contiguous() ? grad_outputs[0]
+                                               : grad_outputs[0].Contiguous();
+    p.AccumulateGrad(g.Reshape(p.shape()));
+  }
+  for (const auto& hook : post_hooks_) hook(p);
+  return {};
+}
+
+int GradAccumulator::AddPostHook(PostHook hook) {
+  post_hooks_.push_back(std::move(hook));
+  return static_cast<int>(post_hooks_.size()) - 1;
+}
+
+std::shared_ptr<GradAccumulator> GetGradAccumulator(const Tensor& t) {
+  DDPKIT_CHECK(t.requires_grad());
+  AutogradMeta* meta = GetOrCreateMeta(t);
+  DDPKIT_CHECK(meta->grad_fn == nullptr)
+      << "GetGradAccumulator called on a non-leaf tensor";
+  if (!meta->grad_accumulator) {
+    meta->grad_accumulator = std::make_shared<GradAccumulator>(t);
+  }
+  return std::static_pointer_cast<GradAccumulator>(meta->grad_accumulator);
+}
+
+}  // namespace ddpkit::autograd

@@ -1,0 +1,52 @@
+#ifndef DDPKIT_AUTOGRAD_GRAD_ACCUMULATOR_H_
+#define DDPKIT_AUTOGRAD_GRAD_ACCUMULATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/node.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::autograd {
+
+/// Terminal backward-graph node for a leaf tensor (a parameter). When the
+/// engine delivers a gradient here it is accumulated into `param.grad`, and
+/// then every registered post-hook fires.
+///
+/// This is the exact interception point the paper describes (§3.2.3,
+/// §4.2 "Autograd Hook"): DDP installs one post-hook per parameter at
+/// construction time; the hook is invoked by the engine when that
+/// parameter's gradient is ready, which lets DDP count down per-bucket
+/// pending gradients and launch AllReduce mid-backward.
+class GradAccumulator : public Node {
+ public:
+  /// `param` is held by impl pointer so the accumulator does not keep the
+  /// tensor's autograd meta alive in a reference cycle.
+  explicit GradAccumulator(const Tensor& param);
+
+  std::vector<Tensor> Apply(std::vector<Tensor> grad_outputs) override;
+  std::string name() const override { return "GradAccumulator"; }
+  bool is_accumulator() const override { return true; }
+
+  /// Registers a post-hook. Hooks fire after the gradient has been added to
+  /// param.grad, in registration order. Returns the hook's id.
+  using PostHook = std::function<void(const Tensor& param)>;
+  int AddPostHook(PostHook hook);
+
+  /// The parameter this accumulator belongs to.
+  Tensor param() const;
+
+ private:
+  std::weak_ptr<internal::TensorImpl> param_impl_;
+  std::vector<PostHook> post_hooks_;
+};
+
+/// Returns (creating on first use) the stable GradAccumulator for a leaf
+/// tensor. Precondition: t.requires_grad() and t is a leaf.
+std::shared_ptr<GradAccumulator> GetGradAccumulator(const Tensor& t);
+
+}  // namespace ddpkit::autograd
+
+#endif  // DDPKIT_AUTOGRAD_GRAD_ACCUMULATOR_H_

@@ -1,0 +1,24 @@
+#ifndef DDPKIT_AUTOGRAD_GRAPH_UTILS_H_
+#define DDPKIT_AUTOGRAD_GRAPH_UTILS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ddpkit::autograd {
+
+/// Traverses the autograd graph from the given forward outputs and returns
+/// the identity keys (Tensor::id()) of every *leaf parameter* whose
+/// GradAccumulator is reachable — i.e. every parameter that will receive a
+/// gradient in the next backward pass.
+///
+/// This is the mechanism behind DDP's unused-parameter handling (paper
+/// §3.2.3 / Algorithm 1 line 10): parameters NOT in this set are marked
+/// ready proactively so skipped sub-graphs cannot hang the bucket logic.
+std::unordered_set<const void*> FindReachableParams(
+    const std::vector<Tensor>& outputs);
+
+}  // namespace ddpkit::autograd
+
+#endif  // DDPKIT_AUTOGRAD_GRAPH_UTILS_H_

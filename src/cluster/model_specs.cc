@@ -1,0 +1,180 @@
+#include "cluster/model_specs.h"
+
+namespace ddpkit::cluster {
+
+namespace {
+
+void AddParam(ModelSpec* spec, int64_t numel) {
+  spec->params.push_back(
+      core::ParamMeta{numel, static_cast<size_t>(numel) * 4, 0});
+}
+
+/// conv weight (no bias, per torchvision ResNet) + batch-norm gamma/beta.
+void AddConvBn(ModelSpec* spec, int64_t in_c, int64_t out_c, int64_t k) {
+  AddParam(spec, out_c * in_c * k * k);
+  AddParam(spec, out_c);  // bn weight
+  AddParam(spec, out_c);  // bn bias
+}
+
+/// One torchvision bottleneck block: 1x1 reduce, 3x3, 1x1 expand (x4), each
+/// followed by batch norm; optional 1x1+bn downsample on the skip path.
+void AddBottleneck(ModelSpec* spec, int64_t in_c, int64_t mid_c,
+                   bool downsample) {
+  const int64_t out_c = mid_c * 4;
+  AddConvBn(spec, in_c, mid_c, 1);
+  AddConvBn(spec, mid_c, mid_c, 3);
+  AddConvBn(spec, mid_c, out_c, 1);
+  if (downsample) AddConvBn(spec, in_c, out_c, 1);
+}
+
+/// One torchvision basic block (ResNet-18/34): two 3x3 convs with batch
+/// norm; optional 1x1+bn downsample on the skip path.
+void AddBasicBlock(ModelSpec* spec, int64_t in_c, int64_t out_c,
+                   bool downsample) {
+  AddConvBn(spec, in_c, out_c, 3);
+  AddConvBn(spec, out_c, out_c, 3);
+  if (downsample) AddConvBn(spec, in_c, out_c, 1);
+}
+
+ModelSpec BasicResNetSpec(const std::string& name, const int blocks[4]) {
+  ModelSpec spec;
+  spec.name = name;
+  AddConvBn(&spec, 3, 64, 7);  // stem
+  int64_t in_c = 64;
+  const int64_t widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      // Stage 0 keeps the stem width, so its first block needs no
+      // downsample projection (torchvision layout).
+      const bool downsample = (b == 0 && stage > 0);
+      AddBasicBlock(&spec, in_c, widths[stage], downsample);
+      in_c = widths[stage];
+    }
+  }
+  AddParam(&spec, 512 * 1000);  // fc weight
+  AddParam(&spec, 1000);        // fc bias
+  return spec;
+}
+
+ModelSpec ResNetSpec(const std::string& name, const int blocks[4]) {
+  ModelSpec spec;
+  spec.name = name;
+  AddConvBn(&spec, 3, 64, 7);  // stem
+  int64_t in_c = 64;
+  const int64_t mids[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const bool downsample = (b == 0);
+      AddBottleneck(&spec, in_c, mids[stage], downsample);
+      in_c = mids[stage] * 4;
+    }
+  }
+  AddParam(&spec, 2048 * 1000);  // fc weight
+  AddParam(&spec, 1000);         // fc bias
+  return spec;
+}
+
+void AddLinear(ModelSpec* spec, int64_t in, int64_t out) {
+  AddParam(spec, out * in);
+  AddParam(spec, out);
+}
+
+void AddLayerNorm(ModelSpec* spec, int64_t dim) {
+  AddParam(spec, dim);
+  AddParam(spec, dim);
+}
+
+}  // namespace
+
+int64_t ModelSpec::TotalNumel() const {
+  int64_t total = 0;
+  for (const auto& p : params) total += p.numel;
+  return total;
+}
+
+size_t ModelSpec::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& p : params) total += p.bytes;
+  return total;
+}
+
+ModelSpec ResNet18Spec() {
+  const int blocks[4] = {2, 2, 2, 2};
+  return BasicResNetSpec("resnet18", blocks);
+}
+
+ModelSpec ResNet34Spec() {
+  const int blocks[4] = {3, 4, 6, 3};
+  return BasicResNetSpec("resnet34", blocks);
+}
+
+ModelSpec ResNet50Spec() {
+  const int blocks[4] = {3, 4, 6, 3};
+  return ResNetSpec("resnet50", blocks);
+}
+
+ModelSpec ResNet152Spec() {
+  const int blocks[4] = {3, 8, 36, 3};
+  return ResNetSpec("resnet152", blocks);
+}
+
+ModelSpec BertBaseSpec() {
+  constexpr int64_t kHidden = 768;
+  constexpr int64_t kIntermediate = 3072;
+  constexpr int64_t kVocab = 30522;
+  constexpr int64_t kMaxPos = 512;
+  constexpr int64_t kLayers = 12;
+
+  ModelSpec spec;
+  spec.name = "bert_base";
+  AddParam(&spec, kVocab * kHidden);   // word embeddings
+  AddParam(&spec, kMaxPos * kHidden);  // position embeddings
+  AddParam(&spec, 2 * kHidden);        // token-type embeddings
+  AddLayerNorm(&spec, kHidden);        // embedding layer norm
+  for (int64_t l = 0; l < kLayers; ++l) {
+    AddLinear(&spec, kHidden, kHidden);  // query
+    AddLinear(&spec, kHidden, kHidden);  // key
+    AddLinear(&spec, kHidden, kHidden);  // value
+    AddLinear(&spec, kHidden, kHidden);  // attention output
+    AddLayerNorm(&spec, kHidden);
+    AddLinear(&spec, kHidden, kIntermediate);  // intermediate
+    AddLinear(&spec, kIntermediate, kHidden);  // output
+    AddLayerNorm(&spec, kHidden);
+  }
+  AddLinear(&spec, kHidden, kHidden);  // pooler
+  return spec;
+}
+
+ModelSpec Gpt2SmallSpec() {
+  constexpr int64_t kHidden = 768;
+  constexpr int64_t kVocab = 50257;
+  constexpr int64_t kMaxPos = 1024;
+  constexpr int64_t kLayers = 12;
+
+  ModelSpec spec;
+  spec.name = "gpt2_small";
+  AddParam(&spec, kVocab * kHidden);   // token embeddings (tied with head)
+  AddParam(&spec, kMaxPos * kHidden);  // position embeddings
+  for (int64_t l = 0; l < kLayers; ++l) {
+    AddLayerNorm(&spec, kHidden);
+    AddLinear(&spec, kHidden, 3 * kHidden);  // fused qkv
+    AddLinear(&spec, kHidden, kHidden);      // attention projection
+    AddLayerNorm(&spec, kHidden);
+    AddLinear(&spec, kHidden, 4 * kHidden);  // mlp up
+    AddLinear(&spec, 4 * kHidden, kHidden);  // mlp down
+  }
+  AddLayerNorm(&spec, kHidden);  // final layer norm
+  return spec;
+}
+
+ModelSpec SpecFromModule(const std::string& name, const nn::Module& module) {
+  ModelSpec spec;
+  spec.name = name;
+  for (const Tensor& p : module.parameters()) {
+    spec.params.push_back(
+        core::ParamMeta{p.numel(), p.nbytes(), p.device_id()});
+  }
+  return spec;
+}
+
+}  // namespace ddpkit::cluster

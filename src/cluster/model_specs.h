@@ -1,0 +1,47 @@
+#ifndef DDPKIT_CLUSTER_MODEL_SPECS_H_
+#define DDPKIT_CLUSTER_MODEL_SPECS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bucketing.h"
+#include "nn/module.h"
+
+namespace ddpkit::cluster {
+
+/// Parameter-shape inventory of a model, in registration (forward) order —
+/// everything the cluster simulator needs: DDP's bucketing, communication
+/// volume and readiness timeline depend only on the parameter size
+/// sequence, which these specs reproduce exactly for the paper's models.
+struct ModelSpec {
+  std::string name;
+  std::vector<core::ParamMeta> params;
+
+  int64_t TotalNumel() const;
+  size_t TotalBytes() const;
+  size_t NumParams() const { return params.size(); }
+};
+
+/// ResNet-18: basic blocks [2,2,2,2]; ~11.69M parameters.
+ModelSpec ResNet18Spec();
+/// ResNet-34: basic blocks [3,4,6,3]; ~21.80M parameters.
+ModelSpec ResNet34Spec();
+/// ResNet-50 (He et al.): bottleneck blocks [3,4,6,3]; ~25.56M parameters.
+ModelSpec ResNet50Spec();
+/// ResNet-152: bottleneck blocks [3,8,36,3]; ~60.19M parameters (the model
+/// measured in Fig 2(c)/(d)).
+ModelSpec ResNet152Spec();
+/// BERT-Base (Devlin et al.): 12 layers, hidden 768; ~109.5M parameters —
+/// "15X more parameters than ResNet50" (§5.2).
+ModelSpec BertBaseSpec();
+/// GPT-2 small: 12 layers, hidden 768, vocab 50257; ~124.4M parameters.
+/// Not evaluated in the paper; included for sweeps beyond its model set.
+ModelSpec Gpt2SmallSpec();
+
+/// Shape inventory extracted from a live module (for cross-checking the
+/// simulator against the runnable stack).
+ModelSpec SpecFromModule(const std::string& name, const nn::Module& module);
+
+}  // namespace ddpkit::cluster
+
+#endif  // DDPKIT_CLUSTER_MODEL_SPECS_H_

@@ -1,0 +1,304 @@
+#include "comm/algorithms.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ddpkit::comm {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return "naive";
+    case Algorithm::kRing:
+      return "ring";
+    case Algorithm::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T>
+T Combine(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return a + b;
+    case ReduceOp::kMax:
+      return a > b ? a : b;
+    case ReduceOp::kBor:
+      if constexpr (std::is_integral_v<T>) {
+        return static_cast<T>(a | b);
+      } else {
+        // Logical-or semantics for float bitmaps.
+        return (a != 0 || b != 0) ? T{1} : T{0};
+      }
+  }
+  return a;
+}
+
+/// Naive: combine contributions in rank order into rank 0's buffer, then
+/// copy everywhere (gather + local reduce + broadcast).
+template <typename T>
+void NaiveAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
+  const int world = static_cast<int>(tensors.size());
+  const int64_t n = tensors[0].numel();
+  T* acc = const_cast<Tensor&>(tensors[0]).data<T>();
+  for (int r = 1; r < world; ++r) {
+    const T* src = tensors[r].data<T>();
+    for (int64_t i = 0; i < n; ++i) acc[i] = Combine(op, acc[i], src[i]);
+  }
+  for (int r = 1; r < world; ++r) {
+    std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>(), acc,
+                static_cast<size_t>(n) * sizeof(T));
+  }
+}
+
+/// Ring: split the array into `world` chunks. Chunk c is reduced by walking
+/// the ring starting at rank (c+1) % world and accumulating until it
+/// returns to its owner — exactly the combine order of a reduce-scatter —
+/// then all-gathered to every rank. The chunked pattern keeps summation
+/// order independent of which thread executes it.
+template <typename T>
+void RingAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
+  const int world = static_cast<int>(tensors.size());
+  const int64_t n = tensors[0].numel();
+  const int64_t base = n / world;
+  const int64_t rem = n % world;
+  auto chunk_begin = [&](int c) {
+    return base * c + std::min<int64_t>(c, rem);
+  };
+  auto chunk_size = [&](int c) { return base + (c < rem ? 1 : 0); };
+
+  std::vector<T> reduced(static_cast<size_t>(n));
+  for (int c = 0; c < world; ++c) {
+    const int64_t begin = chunk_begin(c);
+    const int64_t len = chunk_size(c);
+    if (len == 0) continue;
+    // Start from the ring successor of the chunk owner.
+    const int first = (c + 1) % world;
+    const T* src0 = tensors[first].data<T>() + begin;
+    std::memcpy(reduced.data() + begin, src0,
+                static_cast<size_t>(len) * sizeof(T));
+    for (int s = 2; s <= world; ++s) {
+      const int r = (c + s) % world;
+      const T* src = tensors[r].data<T>() + begin;
+      T* dst = reduced.data() + begin;
+      for (int64_t i = 0; i < len; ++i) dst[i] = Combine(op, dst[i], src[i]);
+    }
+  }
+  for (int r = 0; r < world; ++r) {
+    std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>(), reduced.data(),
+                static_cast<size_t>(n) * sizeof(T));
+  }
+}
+
+/// Tree: recursive-doubling reduction to rank 0 followed by a broadcast
+/// (NCCL 2.4's tree mode, cited by the paper [22]).
+template <typename T>
+void TreeAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
+  const int world = static_cast<int>(tensors.size());
+  const int64_t n = tensors[0].numel();
+  std::vector<std::vector<T>> acc(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    const T* src = tensors[r].data<T>();
+    acc[r].assign(src, src + n);
+  }
+  for (int span = 1; span < world; span *= 2) {
+    for (int r = 0; r + span < world; r += 2 * span) {
+      T* dst = acc[r].data();
+      const T* src = acc[r + span].data();
+      for (int64_t i = 0; i < n; ++i) dst[i] = Combine(op, dst[i], src[i]);
+    }
+  }
+  for (int r = 0; r < world; ++r) {
+    std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>(), acc[0].data(),
+                static_cast<size_t>(n) * sizeof(T));
+  }
+}
+
+/// Half-precision all-reduce: accumulate in float (as GPU tensor cores do)
+/// in deterministic rank order, store back as half. Used by the gradient
+/// compression extension (paper §6.2.3).
+void Fp16AllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
+  DDPKIT_CHECK(op == ReduceOp::kSum) << "fp16 all-reduce supports sum only";
+  const int world = static_cast<int>(tensors.size());
+  const int64_t n = tensors[0].numel();
+  std::vector<float> acc(static_cast<size_t>(n), 0.0f);
+  for (int r = 0; r < world; ++r) {
+    const uint16_t* src = tensors[r].data<uint16_t>();
+    for (int64_t i = 0; i < n; ++i) acc[i] += HalfBitsToFloat32(src[i]);
+  }
+  for (int r = 0; r < world; ++r) {
+    uint16_t* dst = const_cast<Tensor&>(tensors[r]).data<uint16_t>();
+    for (int64_t i = 0; i < n; ++i) dst[i] = Float32ToHalfBits(acc[i]);
+  }
+}
+
+template <typename T>
+void DispatchAllReduce(Algorithm algorithm, ReduceOp op,
+                       const std::vector<Tensor>& tensors) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      NaiveAllReduce<T>(op, tensors);
+      return;
+    case Algorithm::kRing:
+      RingAllReduce<T>(op, tensors);
+      return;
+    case Algorithm::kTree:
+      TreeAllReduce<T>(op, tensors);
+      return;
+  }
+  DDPKIT_CHECK(false) << "bad algorithm";
+}
+
+}  // namespace
+
+void RunAllReduce(Algorithm algorithm, ReduceOp op,
+                  const std::vector<Tensor>& tensors) {
+  DDPKIT_CHECK(!tensors.empty());
+  const int64_t n = tensors[0].numel();
+  const DType dtype = tensors[0].dtype();
+  for (const Tensor& t : tensors) {
+    DDPKIT_CHECK(t.is_contiguous());
+    DDPKIT_CHECK_EQ(t.numel(), n);
+    DDPKIT_CHECK(t.dtype() == dtype);
+  }
+  if (tensors.size() == 1 || n == 0) return;
+  switch (dtype) {
+    case DType::kFloat32:
+      DispatchAllReduce<float>(algorithm, op, tensors);
+      return;
+    case DType::kUInt8:
+      DispatchAllReduce<uint8_t>(algorithm, op, tensors);
+      return;
+    case DType::kInt64:
+      DispatchAllReduce<int64_t>(algorithm, op, tensors);
+      return;
+    case DType::kFloat16:
+      Fp16AllReduce(op, tensors);
+      return;
+    default:
+      DDPKIT_CHECK(false) << "AllReduce unsupported dtype "
+                          << DTypeName(dtype);
+  }
+}
+
+void RunBroadcast(const std::vector<Tensor>& tensors, int root) {
+  DDPKIT_CHECK(!tensors.empty());
+  DDPKIT_CHECK(root >= 0 && root < static_cast<int>(tensors.size()));
+  const Tensor& src = tensors[static_cast<size_t>(root)];
+  for (size_t r = 0; r < tensors.size(); ++r) {
+    if (static_cast<int>(r) == root) continue;
+    const_cast<Tensor&>(tensors[r]).CopyFrom(src);
+  }
+}
+
+namespace {
+
+template <typename T>
+void ReduceInto(ReduceOp op, const std::vector<Tensor>& tensors,
+                Tensor* dest) {
+  const int64_t n = dest->numel();
+  T* acc = dest->data<T>();
+  for (const Tensor& t : tensors) {
+    if (t.id() == dest->id()) continue;
+    const T* src = t.data<T>();
+    for (int64_t i = 0; i < n; ++i) acc[i] = Combine(op, acc[i], src[i]);
+  }
+}
+
+}  // namespace
+
+void RunReduce(Algorithm /*algorithm*/, ReduceOp op,
+               const std::vector<Tensor>& tensors, int root) {
+  DDPKIT_CHECK(!tensors.empty());
+  DDPKIT_CHECK(root >= 0 && root < static_cast<int>(tensors.size()));
+  Tensor dest = tensors[static_cast<size_t>(root)];
+  for (const Tensor& t : tensors) {
+    DDPKIT_CHECK(t.is_contiguous());
+    DDPKIT_CHECK_EQ(t.numel(), dest.numel());
+    DDPKIT_CHECK(t.dtype() == dest.dtype());
+  }
+  switch (dest.dtype()) {
+    case DType::kFloat32:
+      ReduceInto<float>(op, tensors, &dest);
+      return;
+    case DType::kUInt8:
+      ReduceInto<uint8_t>(op, tensors, &dest);
+      return;
+    case DType::kInt64:
+      ReduceInto<int64_t>(op, tensors, &dest);
+      return;
+    default:
+      DDPKIT_CHECK(false) << "Reduce unsupported dtype "
+                          << DTypeName(dest.dtype());
+  }
+}
+
+void RunReduceScatter(ReduceOp op, const std::vector<Tensor>& inputs,
+                      const std::vector<Tensor>& outputs) {
+  DDPKIT_CHECK(!inputs.empty());
+  DDPKIT_CHECK_EQ(inputs.size(), outputs.size());
+  const int world = static_cast<int>(inputs.size());
+  const int64_t chunk = outputs[0].numel();
+  for (int r = 0; r < world; ++r) {
+    DDPKIT_CHECK_EQ(inputs[static_cast<size_t>(r)].numel(), chunk * world);
+    DDPKIT_CHECK_EQ(outputs[static_cast<size_t>(r)].numel(), chunk);
+    DDPKIT_CHECK(inputs[static_cast<size_t>(r)].dtype() == DType::kFloat32)
+        << "ReduceScatter supports float32";
+  }
+  // Chunk c reduced in ring order starting at rank (c+1) % world, matching
+  // RingAllReduce's combine order.
+  for (int c = 0; c < world; ++c) {
+    Tensor out = outputs[static_cast<size_t>(c)];
+    float* acc = out.data<float>();
+    const int first = (c + 1) % world;
+    const float* src0 =
+        inputs[static_cast<size_t>(first)].data<float>() + c * chunk;
+    for (int64_t i = 0; i < chunk; ++i) acc[i] = src0[i];
+    for (int s = 2; s <= world; ++s) {
+      const int r = (c + s) % world;
+      const float* src =
+          inputs[static_cast<size_t>(r)].data<float>() + c * chunk;
+      for (int64_t i = 0; i < chunk; ++i) {
+        acc[i] = Combine(op, acc[i], src[i]);
+      }
+    }
+  }
+}
+
+void RunGather(const std::vector<Tensor>& inputs, Tensor output_root,
+               int root) {
+  DDPKIT_CHECK(!inputs.empty());
+  DDPKIT_CHECK(root >= 0 && root < static_cast<int>(inputs.size()));
+  const int world = static_cast<int>(inputs.size());
+  const int64_t n = inputs[0].numel();
+  DDPKIT_CHECK_EQ(output_root.numel(), n * world);
+  for (int r = 0; r < world; ++r) {
+    output_root.Narrow(0, r * n, n)
+        .CopyFrom(inputs[static_cast<size_t>(r)].Flatten());
+  }
+}
+
+void RunAllGather(const std::vector<Tensor>& inputs,
+                  const std::vector<Tensor>& outputs) {
+  DDPKIT_CHECK(!inputs.empty());
+  DDPKIT_CHECK_EQ(inputs.size(), outputs.size());
+  const int world = static_cast<int>(inputs.size());
+  const int64_t n = inputs[0].numel();
+  for (const Tensor& out : outputs) {
+    DDPKIT_CHECK_EQ(out.numel(), n * world);
+  }
+  for (int q = 0; q < world; ++q) {
+    Tensor out = outputs[static_cast<size_t>(q)];
+    for (int r = 0; r < world; ++r) {
+      out.Narrow(0, r * n, n)
+          .CopyFrom(inputs[static_cast<size_t>(r)].Flatten());
+    }
+  }
+}
+
+}  // namespace ddpkit::comm

@@ -1,0 +1,54 @@
+#ifndef DDPKIT_COMM_ALGORITHMS_H_
+#define DDPKIT_COMM_ALGORITHMS_H_
+
+#include <vector>
+
+#include "comm/process_group.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::comm {
+
+/// Data-plane reduction algorithms. The paper (§2.3) notes that collective
+/// libraries implement sophisticated algorithms — ring-based (NCCL) and
+/// tree-based — rather than naive gather+reduce; all three are implemented
+/// here and selectable per process group.
+///
+/// Each algorithm reproduces the *data movement pattern* (chunking and
+/// combine order) of its real counterpart, so floating-point results are
+/// bit-deterministic given the algorithm and world size.
+enum class Algorithm { kNaive, kRing, kTree };
+const char* AlgorithmName(Algorithm algorithm);
+
+/// In-place all-reduce across per-rank contributions: on return every
+/// tensor holds the elementwise reduction of all of them. Tensors must be
+/// contiguous, same numel, same dtype (float32 or uint8).
+void RunAllReduce(Algorithm algorithm, ReduceOp op,
+                  const std::vector<Tensor>& tensors);
+
+/// Copies tensors[root] into every other tensor.
+void RunBroadcast(const std::vector<Tensor>& tensors, int root);
+
+/// Concatenates inputs (rank order) into every output: outputs[q] must have
+/// world * inputs[r].numel() elements.
+void RunAllGather(const std::vector<Tensor>& inputs,
+                  const std::vector<Tensor>& outputs);
+
+/// Reduces all contributions into tensors[root] only (other tensors are
+/// left untouched) — the first half of a tree all-reduce.
+void RunReduce(Algorithm algorithm, ReduceOp op,
+               const std::vector<Tensor>& tensors, int root);
+
+/// Ring reduce-scatter: inputs[r] has world*n elements; outputs[r] (n
+/// elements) receives the fully-reduced chunk r. This is literally the
+/// first phase of the ring all-reduce (paper §2.3), exposed on its own.
+void RunReduceScatter(ReduceOp op, const std::vector<Tensor>& inputs,
+                      const std::vector<Tensor>& outputs);
+
+/// Gathers every rank's input into output_root (world*n elements) in rank
+/// order; only the root's output is written.
+void RunGather(const std::vector<Tensor>& inputs, Tensor output_root,
+               int root);
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_ALGORITHMS_H_

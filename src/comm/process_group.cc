@@ -1,0 +1,17 @@
+#include "comm/process_group.h"
+
+namespace ddpkit::comm {
+
+const char* ReduceOpName(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return "sum";
+    case ReduceOp::kMax:
+      return "max";
+    case ReduceOp::kBor:
+      return "bor";
+  }
+  return "?";
+}
+
+}  // namespace ddpkit::comm

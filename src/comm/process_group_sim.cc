@@ -1,0 +1,369 @@
+#include "comm/process_group_sim.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ddpkit::comm {
+
+namespace internal {
+
+enum class OpKind {
+  kAllReduce,
+  kBroadcast,
+  kAllGather,
+  kReduce,
+  kReduceScatter,
+  kGather,
+  kBarrier,
+};
+
+/// One in-flight collective, matched across ranks by per-rank sequence
+/// number (all ranks must issue collectives in the same order — §3.3).
+struct CollectiveInstance {
+  OpKind kind;
+  ReduceOp op = ReduceOp::kSum;
+  int root = 0;
+  int64_t numel = 0;
+  DType dtype = DType::kFloat32;
+
+  std::vector<Tensor> tensors;       // per-rank contributions (in-place)
+  std::vector<Tensor> gather_inputs;
+  std::vector<Tensor> gather_outputs;
+  std::vector<double> arrivals;
+  int arrived = 0;
+  WorkHandle work = std::make_shared<Work>();
+};
+
+/// State shared by all rank handles of one logical process group.
+struct GroupState {
+  explicit GroupState(int world_size)
+      : world(world_size), ctor_barrier(static_cast<size_t>(world_size)) {}
+
+  const int world;
+  ddpkit::Barrier ctor_barrier;
+
+  std::mutex mutex;
+  std::unordered_map<uint64_t, std::shared_ptr<CollectiveInstance>> inflight;
+  /// Virtual time at which the group's serialized comm queue frees up.
+  double queue_tail = 0.0;
+
+  std::unique_ptr<sim::CommCostModel> cost_model;
+  Algorithm algorithm = Algorithm::kRing;
+  int concurrent_groups = 1;
+};
+
+namespace {
+
+/// Process-wide registry standing in for network transport setup: all
+/// "processes" are threads in one address space, so rank handles find their
+/// shared GroupState here after the Store-based membership rendezvous.
+class GroupRegistry {
+ public:
+  static GroupRegistry& Instance() {
+    static GroupRegistry* instance = new GroupRegistry;
+    return *instance;
+  }
+
+  std::shared_ptr<GroupState> GetOrCreate(const std::string& name,
+                                          int world) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = groups_.find(name);
+    if (it != groups_.end()) {
+      if (auto existing = it->second.lock()) {
+        DDPKIT_CHECK_EQ(existing->world, world)
+            << "group '" << name << "' world-size mismatch";
+        return existing;
+      }
+    }
+    auto state = std::make_shared<GroupState>(world);
+    groups_[name] = state;
+    return state;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::weak_ptr<GroupState>> groups_;
+};
+
+}  // namespace
+}  // namespace internal
+
+using internal::CollectiveInstance;
+using internal::GroupState;
+using internal::OpKind;
+
+std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
+    Store* store, const std::string& name, int rank, int world,
+    const Options& options, sim::VirtualClock* clock) {
+  DDPKIT_CHECK(store != nullptr);
+  DDPKIT_CHECK(clock != nullptr);
+  DDPKIT_CHECK(rank >= 0 && rank < world);
+
+  // Membership rendezvous through the store (the TCPStore role).
+  store->Add("pg/" + name + "/joined", 1);
+
+  auto state = internal::GroupRegistry::Instance().GetOrCreate(name, world);
+
+  // First arrival configures the shared cost model; everyone then blocks
+  // until the last instance joins (paper §3.3 rendezvous semantics).
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (!state->cost_model) {
+      switch (options.flavor) {
+        case sim::Backend::kNccl:
+          state->cost_model = std::make_unique<sim::NcclCostModel>(
+              options.topology, options.nccl_options.value_or(
+                                    sim::NcclCostModel::Options()));
+          break;
+        case sim::Backend::kGloo:
+          state->cost_model = std::make_unique<sim::GlooCostModel>(
+              options.topology, options.gloo_options.value_or(
+                                    sim::GlooCostModel::Options()));
+          break;
+        case sim::Backend::kMpi:
+          state->cost_model =
+              std::make_unique<sim::MpiCostModel>(options.topology);
+          break;
+      }
+      state->algorithm = options.algorithm;
+      state->concurrent_groups = options.concurrent_groups;
+    }
+  }
+  state->ctor_barrier.ArriveAndWait();
+
+  return std::shared_ptr<ProcessGroupSim>(
+      new ProcessGroupSim(std::move(state), rank, world, options, clock));
+}
+
+ProcessGroupSim::ProcessGroupSim(std::shared_ptr<GroupState> state, int rank,
+                                 int world, const Options& options,
+                                 sim::VirtualClock* clock)
+    : ProcessGroup(rank, world),
+      state_(std::move(state)),
+      options_(options),
+      clock_(clock) {}
+
+ProcessGroupSim::~ProcessGroupSim() = default;
+
+const sim::CommCostModel& ProcessGroupSim::cost_model() const {
+  return *state_->cost_model;
+}
+
+std::string ProcessGroupSim::backend_name() const {
+  return sim::BackendName(options_.flavor);
+}
+
+namespace {
+
+/// Registers this rank's contribution under `seq`; the last arrival runs
+/// the data-plane operation, computes timing against the group's comm
+/// queue, and completes the shared Work.
+WorkHandle Contribute(
+    GroupState* state, uint64_t seq, int rank, double arrival_clock,
+    OpKind kind, ReduceOp op, int root, int64_t numel, DType dtype,
+    const Tensor* inplace, const Tensor* gather_in, const Tensor* gather_out,
+    const std::function<double(const CollectiveInstance&, double start)>&
+        duration_fn) {
+  std::shared_ptr<CollectiveInstance> inst;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    auto it = state->inflight.find(seq);
+    if (it == state->inflight.end()) {
+      inst = std::make_shared<CollectiveInstance>();
+      inst->kind = kind;
+      inst->op = op;
+      inst->root = root;
+      inst->numel = numel;
+      inst->dtype = dtype;
+      inst->tensors.resize(static_cast<size_t>(state->world));
+      inst->gather_inputs.resize(static_cast<size_t>(state->world));
+      inst->gather_outputs.resize(static_cast<size_t>(state->world));
+      inst->arrivals.assign(static_cast<size_t>(state->world), 0.0);
+      state->inflight.emplace(seq, inst);
+    } else {
+      inst = it->second;
+      // The paper's crash-on-mismatch behaviour: collectives must line up
+      // in kind, size and dtype across ranks.
+      DDPKIT_CHECK(inst->kind == kind)
+          << "collective kind mismatch at seq " << seq;
+      DDPKIT_CHECK(inst->op == op) << "reduce-op mismatch at seq " << seq;
+      DDPKIT_CHECK_EQ(inst->root, root);
+      DDPKIT_CHECK_EQ(inst->numel, numel);
+      DDPKIT_CHECK(inst->dtype == dtype)
+          << "dtype mismatch at seq " << seq;
+    }
+    if (inplace != nullptr) inst->tensors[static_cast<size_t>(rank)] = *inplace;
+    if (gather_in != nullptr) {
+      inst->gather_inputs[static_cast<size_t>(rank)] = *gather_in;
+    }
+    if (gather_out != nullptr) {
+      inst->gather_outputs[static_cast<size_t>(rank)] = *gather_out;
+    }
+    inst->arrivals[static_cast<size_t>(rank)] = arrival_clock;
+    last = (++inst->arrived == state->world);
+    if (last) state->inflight.erase(seq);
+  }
+
+  if (last) {
+    // Data plane (real reduction), executed once by the last arrival.
+    switch (inst->kind) {
+      case OpKind::kAllReduce:
+        RunAllReduce(state->algorithm, inst->op, inst->tensors);
+        break;
+      case OpKind::kBroadcast:
+        RunBroadcast(inst->tensors, inst->root);
+        break;
+      case OpKind::kAllGather:
+        RunAllGather(inst->gather_inputs, inst->gather_outputs);
+        break;
+      case OpKind::kReduce:
+        RunReduce(state->algorithm, inst->op, inst->tensors, inst->root);
+        break;
+      case OpKind::kReduceScatter:
+        RunReduceScatter(inst->op, inst->gather_inputs,
+                         inst->gather_outputs);
+        break;
+      case OpKind::kGather:
+        RunGather(inst->gather_inputs,
+                  inst->gather_outputs[static_cast<size_t>(inst->root)],
+                  inst->root);
+        break;
+      case OpKind::kBarrier:
+        break;
+    }
+    // Time plane: start when the last participant arrived AND the comm
+    // queue is free; serialize the queue.
+    double completion;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      const double max_arrival =
+          *std::max_element(inst->arrivals.begin(), inst->arrivals.end());
+      const double start = std::max(max_arrival, state->queue_tail);
+      completion = start + duration_fn(*inst, start);
+      state->queue_tail = completion;
+    }
+    inst->work->MarkCompleted(completion);
+  }
+  return inst->work;
+}
+
+}  // namespace
+
+WorkHandle ProcessGroupSim::AllReduce(Tensor tensor, ReduceOp op) {
+  DDPKIT_CHECK(tensor.defined() && tensor.is_contiguous());
+  GroupState* state = state_.get();
+  const size_t bytes = tensor.nbytes();
+  const int w = world();
+  const int groups = options_.concurrent_groups;
+  return Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kAllReduce, op,
+      /*root=*/0, tensor.numel(), tensor.dtype(), &tensor, nullptr, nullptr,
+      [state, bytes, w, groups](const CollectiveInstance&, double) {
+        return state->cost_model->AllReduceSeconds(bytes, w, groups);
+      });
+}
+
+WorkHandle ProcessGroupSim::Broadcast(Tensor tensor, int root) {
+  DDPKIT_CHECK(tensor.defined() && tensor.is_contiguous());
+  DDPKIT_CHECK(root >= 0 && root < world());
+  GroupState* state = state_.get();
+  const size_t bytes = tensor.nbytes();
+  const int w = world();
+  return Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kBroadcast,
+      ReduceOp::kSum, root, tensor.numel(), tensor.dtype(), &tensor, nullptr,
+      nullptr, [state, bytes, w](const CollectiveInstance&, double) {
+        return state->cost_model->BroadcastSeconds(bytes, w);
+      });
+}
+
+WorkHandle ProcessGroupSim::AllGather(const Tensor& input, Tensor output) {
+  DDPKIT_CHECK(input.defined() && input.is_contiguous());
+  DDPKIT_CHECK(output.defined() && output.is_contiguous());
+  DDPKIT_CHECK_EQ(output.numel(), input.numel() * world());
+  GroupState* state = state_.get();
+  const size_t bytes = input.nbytes();
+  const int w = world();
+  return Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kAllGather,
+      ReduceOp::kSum, /*root=*/0, input.numel(), input.dtype(), nullptr,
+      &input, &output, [state, bytes, w](const CollectiveInstance&, double) {
+        return state->cost_model->AllGatherSeconds(bytes, w);
+      });
+}
+
+WorkHandle ProcessGroupSim::Reduce(Tensor tensor, int root, ReduceOp op) {
+  DDPKIT_CHECK(tensor.defined() && tensor.is_contiguous());
+  DDPKIT_CHECK(root >= 0 && root < world());
+  GroupState* state = state_.get();
+  const size_t bytes = tensor.nbytes();
+  const int w = world();
+  return Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kReduce, op, root,
+      tensor.numel(), tensor.dtype(), &tensor, nullptr, nullptr,
+      [state, bytes, w](const CollectiveInstance&, double) {
+        // A tree reduce mirrors a pipelined broadcast's cost profile.
+        return state->cost_model->BroadcastSeconds(bytes, w);
+      });
+}
+
+WorkHandle ProcessGroupSim::ReduceScatter(const Tensor& input, Tensor output,
+                                          ReduceOp op) {
+  DDPKIT_CHECK(input.defined() && input.is_contiguous());
+  DDPKIT_CHECK(output.defined() && output.is_contiguous());
+  DDPKIT_CHECK_EQ(input.numel(), output.numel() * world());
+  GroupState* state = state_.get();
+  const size_t bytes = input.nbytes();
+  const int w = world();
+  const int groups = options_.concurrent_groups;
+  return Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kReduceScatter, op,
+      /*root=*/0, input.numel(), input.dtype(), nullptr, &input, &output,
+      [state, bytes, w, groups](const CollectiveInstance&, double) {
+        // Reduce-scatter is the first half of ring all-reduce: same step
+        // count structure, half the traffic.
+        return 0.5 * state->cost_model->AllReduceSeconds(bytes, w, groups);
+      });
+}
+
+WorkHandle ProcessGroupSim::Gather(const Tensor& input, Tensor output,
+                                   int root) {
+  DDPKIT_CHECK(input.defined() && input.is_contiguous());
+  DDPKIT_CHECK(root >= 0 && root < world());
+  if (rank() == root) {
+    DDPKIT_CHECK(output.defined());
+    DDPKIT_CHECK_EQ(output.numel(), input.numel() * world());
+  }
+  GroupState* state = state_.get();
+  const size_t bytes = input.nbytes();
+  const int w = world();
+  const Tensor* out_ptr = rank() == root ? &output : nullptr;
+  return Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kGather,
+      ReduceOp::kSum, root, input.numel(), input.dtype(), nullptr, &input,
+      out_ptr, [state, bytes, w](const CollectiveInstance&, double) {
+        // Root receives (w-1) payloads; same volume as all-gather's
+        // per-rank traffic.
+        return state->cost_model->AllGatherSeconds(bytes, w);
+      });
+}
+
+void ProcessGroupSim::Barrier() {
+  GroupState* state = state_.get();
+  const int w = world();
+  WorkHandle work = Contribute(
+      state, next_seq_++, rank(), clock_->Now(), OpKind::kBarrier,
+      ReduceOp::kSum, /*root=*/0, 0, DType::kFloat32, nullptr, nullptr,
+      nullptr, [state, w](const CollectiveInstance&, double) {
+        return state->cost_model->BarrierSeconds(w);
+      });
+  work->Wait(clock_);
+}
+
+}  // namespace ddpkit::comm

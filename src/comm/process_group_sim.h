@@ -1,0 +1,91 @@
+#ifndef DDPKIT_COMM_PROCESS_GROUP_SIM_H_
+#define DDPKIT_COMM_PROCESS_GROUP_SIM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/algorithms.h"
+#include "comm/process_group.h"
+#include "comm/store.h"
+#include "common/barrier.h"
+#include "sim/comm_cost_model.h"
+#include "sim/topology.h"
+
+namespace ddpkit::comm {
+
+namespace internal {
+struct GroupState;
+}  // namespace internal
+
+/// Simulated collective backend over shared-memory rank threads.
+///
+/// Data plane: real — contributions are combined with the selected
+/// algorithm (ring by default), bit-deterministically.
+/// Time plane: modeled — a collective starts at the max of participant
+/// arrival clocks (synchronized semantics, §2.3), is serialized behind
+/// earlier collectives of the same group on a single *comm queue* (the
+/// dedicated CUDA stream NCCL groups use, §3.3), and completes after the
+/// backend cost model's duration. Rank clocks advance on Work::Wait.
+///
+/// Construction is a rendezvous: every rank calls Create with the same
+/// store/name/world, and all block until the last rank joins.
+class ProcessGroupSim : public ProcessGroup {
+ public:
+  struct Options {
+    sim::Backend flavor = sim::Backend::kNccl;
+    Algorithm algorithm = Algorithm::kRing;
+    sim::Topology topology = sim::Topology();
+    /// Number of sibling groups concurrently sharing the links (set by
+    /// RoundRobinProcessGroup; affects modeled bandwidth only).
+    int concurrent_groups = 1;
+    /// Optional overrides for the flavor's cost-model parameters.
+    std::optional<sim::NcclCostModel::Options> nccl_options;
+    std::optional<sim::GlooCostModel::Options> gloo_options;
+  };
+
+  /// Rendezvous constructor: blocks until all `world` ranks have called
+  /// Create with the same `name`. `clock` must outlive the group.
+  static std::shared_ptr<ProcessGroupSim> Create(Store* store,
+                                                 const std::string& name,
+                                                 int rank, int world,
+                                                 const Options& options,
+                                                 sim::VirtualClock* clock);
+
+  ~ProcessGroupSim() override;
+
+  WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
+  WorkHandle Broadcast(Tensor tensor, int root) override;
+  WorkHandle AllGather(const Tensor& input, Tensor output) override;
+  WorkHandle Reduce(Tensor tensor, int root, ReduceOp op) override;
+  WorkHandle ReduceScatter(const Tensor& input, Tensor output,
+                           ReduceOp op) override;
+  WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
+  void Barrier() override;
+
+  sim::VirtualClock* clock() override { return clock_; }
+  std::string backend_name() const override;
+
+  const sim::CommCostModel& cost_model() const;
+  Algorithm algorithm() const { return options_.algorithm; }
+
+  /// Total number of collectives this rank has issued.
+  uint64_t ops_issued() const { return next_seq_; }
+
+ private:
+  ProcessGroupSim(std::shared_ptr<internal::GroupState> state, int rank,
+                  int world, const Options& options,
+                  sim::VirtualClock* clock);
+
+  std::shared_ptr<internal::GroupState> state_;
+  Options options_;
+  sim::VirtualClock* clock_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_PROCESS_GROUP_SIM_H_

@@ -1,0 +1,64 @@
+#include "comm/round_robin_process_group.h"
+
+#include "common/check.h"
+
+namespace ddpkit::comm {
+
+RoundRobinProcessGroup::RoundRobinProcessGroup(
+    std::vector<std::shared_ptr<ProcessGroup>> groups)
+    : ProcessGroup(groups.empty() ? 0 : groups[0]->rank(),
+                   groups.empty() ? 1 : groups[0]->world()),
+      groups_(std::move(groups)) {
+  DDPKIT_CHECK(!groups_.empty());
+  for (const auto& g : groups_) {
+    DDPKIT_CHECK_EQ(g->rank(), rank());
+    DDPKIT_CHECK_EQ(g->world(), world());
+  }
+}
+
+ProcessGroup* RoundRobinProcessGroup::Next() {
+  ProcessGroup* g = groups_[next_].get();
+  next_ = (next_ + 1) % groups_.size();
+  return g;
+}
+
+WorkHandle RoundRobinProcessGroup::AllReduce(Tensor tensor, ReduceOp op) {
+  return Next()->AllReduce(std::move(tensor), op);
+}
+
+WorkHandle RoundRobinProcessGroup::Broadcast(Tensor tensor, int root) {
+  return Next()->Broadcast(std::move(tensor), root);
+}
+
+WorkHandle RoundRobinProcessGroup::AllGather(const Tensor& input,
+                                             Tensor output) {
+  return Next()->AllGather(input, std::move(output));
+}
+
+WorkHandle RoundRobinProcessGroup::Reduce(Tensor tensor, int root,
+                                          ReduceOp op) {
+  return Next()->Reduce(std::move(tensor), root, op);
+}
+
+WorkHandle RoundRobinProcessGroup::ReduceScatter(const Tensor& input,
+                                                 Tensor output,
+                                                 ReduceOp op) {
+  return Next()->ReduceScatter(input, std::move(output), op);
+}
+
+WorkHandle RoundRobinProcessGroup::Gather(const Tensor& input, Tensor output,
+                                          int root) {
+  return Next()->Gather(input, std::move(output), root);
+}
+
+void RoundRobinProcessGroup::Barrier() {
+  // Barrier must synchronize all queues, not just the next one in rotation.
+  for (auto& g : groups_) g->Barrier();
+}
+
+std::string RoundRobinProcessGroup::backend_name() const {
+  return "round_robin[" + groups_[0]->backend_name() + " x " +
+         std::to_string(groups_.size()) + "]";
+}
+
+}  // namespace ddpkit::comm

@@ -1,0 +1,48 @@
+#ifndef DDPKIT_COMM_ROUND_ROBIN_PROCESS_GROUP_H_
+#define DDPKIT_COMM_ROUND_ROBIN_PROCESS_GROUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/process_group.h"
+
+namespace ddpkit::comm {
+
+/// Composite process group dispatching successive collectives to child
+/// groups in round-robin order (paper §3.3 / §5.4). With k children, up to
+/// k collectives proceed on independent comm queues — working around the
+/// concurrency limits of a single NCCL stream or Gloo thread, at the cost
+/// of splitting link bandwidth among the active children.
+///
+/// Every rank must construct its composite with the same child list order,
+/// so dispatch decisions line up across ranks.
+class RoundRobinProcessGroup : public ProcessGroup {
+ public:
+  explicit RoundRobinProcessGroup(
+      std::vector<std::shared_ptr<ProcessGroup>> groups);
+
+  WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
+  WorkHandle Broadcast(Tensor tensor, int root) override;
+  WorkHandle AllGather(const Tensor& input, Tensor output) override;
+  WorkHandle Reduce(Tensor tensor, int root, ReduceOp op) override;
+  WorkHandle ReduceScatter(const Tensor& input, Tensor output,
+                           ReduceOp op) override;
+  WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
+  void Barrier() override;
+
+  sim::VirtualClock* clock() override { return groups_[0]->clock(); }
+  std::string backend_name() const override;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  ProcessGroup* Next();
+
+  std::vector<std::shared_ptr<ProcessGroup>> groups_;
+  size_t next_ = 0;
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_ROUND_ROBIN_PROCESS_GROUP_H_

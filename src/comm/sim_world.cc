@@ -1,0 +1,65 @@
+#include "comm/sim_world.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ddpkit::comm {
+
+namespace {
+std::atomic<uint64_t> g_world_counter{0};
+}  // namespace
+
+void SimWorld::Run(int world, const SimWorldOptions& options, RankFn fn) {
+  DDPKIT_CHECK_GT(world, 0);
+  DDPKIT_CHECK_GE(options.round_robin_groups, 1);
+
+  const std::string base_name =
+      "world_" + std::to_string(g_world_counter.fetch_add(1));
+
+  Store store;
+  std::vector<sim::VirtualClock> clocks(static_cast<size_t>(world));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(world));
+
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      ProcessGroupSim::Options pg_options;
+      pg_options.flavor = options.backend;
+      pg_options.algorithm = options.algorithm;
+      pg_options.topology = options.topology;
+      pg_options.concurrent_groups = options.round_robin_groups;
+      pg_options.nccl_options = options.nccl_options;
+      pg_options.gloo_options = options.gloo_options;
+
+      RankContext ctx;
+      ctx.rank = r;
+      ctx.world = world;
+      ctx.clock = &clocks[static_cast<size_t>(r)];
+      ctx.store = &store;
+      ctx.rng = Rng(options.seed * 1000003ULL + static_cast<uint64_t>(r));
+
+      if (options.round_robin_groups == 1) {
+        ctx.process_group = ProcessGroupSim::Create(
+            &store, base_name, r, world, pg_options, ctx.clock);
+      } else {
+        std::vector<std::shared_ptr<ProcessGroup>> children;
+        for (int g = 0; g < options.round_robin_groups; ++g) {
+          children.push_back(ProcessGroupSim::Create(
+              &store, base_name + "_rr" + std::to_string(g), r, world,
+              pg_options, ctx.clock));
+        }
+        ctx.process_group =
+            std::make_shared<RoundRobinProcessGroup>(std::move(children));
+      }
+
+      fn(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace ddpkit::comm

@@ -1,0 +1,54 @@
+#ifndef DDPKIT_COMM_SIM_WORLD_H_
+#define DDPKIT_COMM_SIM_WORLD_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "comm/process_group_sim.h"
+#include "comm/round_robin_process_group.h"
+#include "comm/store.h"
+#include "common/rng.h"
+#include "sim/virtual_clock.h"
+
+namespace ddpkit::comm {
+
+/// Launch options for a simulated multi-process world.
+struct SimWorldOptions {
+  sim::Backend backend = sim::Backend::kNccl;
+  Algorithm algorithm = Algorithm::kRing;
+  sim::Topology topology = sim::Topology();
+  /// >1 wraps the rank's groups in a RoundRobinProcessGroup (§5.4).
+  int round_robin_groups = 1;
+  uint64_t seed = 1234;
+  std::optional<sim::NcclCostModel::Options> nccl_options;
+  std::optional<sim::GlooCostModel::Options> gloo_options;
+};
+
+/// Test/example harness standing in for `torchrun`: spawns one thread per
+/// rank, rendezvous a process group (or a round-robin composite) through a
+/// shared Store, runs the given body, and joins. Each rank gets its own
+/// virtual clock and a deterministic per-rank RNG stream.
+class SimWorld {
+ public:
+  struct RankContext {
+    int rank = 0;
+    int world = 1;
+    std::shared_ptr<ProcessGroup> process_group;
+    sim::VirtualClock* clock = nullptr;
+    Store* store = nullptr;
+    Rng rng{0};
+  };
+
+  using RankFn = std::function<void(RankContext&)>;
+
+  /// Blocks until every rank's body returns.
+  static void Run(int world, const SimWorldOptions& options, RankFn fn);
+
+  /// Convenience overload with default options.
+  static void Run(int world, RankFn fn) { Run(world, SimWorldOptions(), fn); }
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_SIM_WORLD_H_

@@ -1,0 +1,59 @@
+#include "comm/store.h"
+
+#include "common/check.h"
+
+namespace ddpkit::comm {
+
+void Store::Set(const std::string& key, std::string value) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    data_[key] = std::move(value);
+  }
+  cv_.notify_all();
+}
+
+std::string Store::Get(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return data_.count(key) > 0; });
+  return data_[key];
+}
+
+bool Store::TryGet(const std::string& key, std::string* value) const {
+  DDPKIT_CHECK(value != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  *value = it->second;
+  return true;
+}
+
+int64_t Store::Add(const std::string& key, int64_t delta) {
+  int64_t result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    int64_t current = 0;
+    auto it = data_.find(key);
+    if (it != data_.end()) current = std::stoll(it->second);
+    result = current + delta;
+    data_[key] = std::to_string(result);
+  }
+  cv_.notify_all();
+  return result;
+}
+
+void Store::Wait(const std::vector<std::string>& keys) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    for (const auto& key : keys) {
+      if (data_.count(key) == 0) return false;
+    }
+    return true;
+  });
+}
+
+size_t Store::NumKeys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.size();
+}
+
+}  // namespace ddpkit::comm

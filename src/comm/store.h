@@ -1,0 +1,49 @@
+#ifndef DDPKIT_COMM_STORE_H_
+#define DDPKIT_COMM_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ddpkit::comm {
+
+/// In-memory rendezvous key-value store with blocking waits — the
+/// equivalent of PyTorch's TCPStore for our thread-backed "processes".
+/// Process groups use it to agree on membership before any collective runs
+/// ("the first arrival will block waiting until the last instance joins",
+/// paper §3.3).
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  void Set(const std::string& key, std::string value);
+
+  /// Blocks until the key exists, then returns its value.
+  std::string Get(const std::string& key);
+
+  /// Non-blocking lookup.
+  bool TryGet(const std::string& key, std::string* value) const;
+
+  /// Atomically adds `delta` to an integer-valued key (creating it at 0)
+  /// and returns the new value.
+  int64_t Add(const std::string& key, int64_t delta);
+
+  /// Blocks until all keys exist.
+  void Wait(const std::vector<std::string>& keys);
+
+  size_t NumKeys() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_STORE_H_

@@ -1,0 +1,34 @@
+#include "comm/work.h"
+
+#include "common/check.h"
+
+namespace ddpkit::comm {
+
+void Work::Wait(sim::VirtualClock* clock) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  if (clock != nullptr) clock->AdvanceTo(completion_time_);
+}
+
+bool Work::IsCompleted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+double Work::completion_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DDPKIT_CHECK(done_);
+  return completion_time_;
+}
+
+void Work::MarkCompleted(double completion_time) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DDPKIT_CHECK(!done_);
+    done_ = true;
+    completion_time_ = completion_time;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ddpkit::comm

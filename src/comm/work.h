@@ -1,0 +1,45 @@
+#ifndef DDPKIT_COMM_WORK_H_
+#define DDPKIT_COMM_WORK_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "sim/virtual_clock.h"
+
+namespace ddpkit::comm {
+
+/// Handle to an asynchronously-launched collective, mirroring c10d's Work.
+/// The launching rank keeps computing (overlap!); Wait() blocks the real
+/// thread until every participant has contributed and then advances the
+/// rank's virtual clock to the modeled completion time.
+class Work {
+ public:
+  Work() = default;
+  Work(const Work&) = delete;
+  Work& operator=(const Work&) = delete;
+
+  /// Blocks until completed; advances `clock` to max(now, completion).
+  void Wait(sim::VirtualClock* clock);
+
+  bool IsCompleted() const;
+
+  /// Virtual completion time. Precondition: IsCompleted().
+  double completion_time() const;
+
+  /// Marks the collective done at virtual time `completion_time` (called by
+  /// the last-arriving participant after it has performed the reduction).
+  void MarkCompleted(double completion_time);
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  double completion_time_ = 0.0;
+};
+
+using WorkHandle = std::shared_ptr<Work>;
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_WORK_H_

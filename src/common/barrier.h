@@ -1,0 +1,50 @@
+#ifndef DDPKIT_COMMON_BARRIER_H_
+#define DDPKIT_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace ddpkit {
+
+/// Reusable thread barrier for a fixed participant count. Used by the
+/// simulated process-group backends to implement synchronized collective
+/// semantics across rank threads.
+class Barrier {
+ public:
+  explicit Barrier(size_t num_threads) : threshold_(num_threads) {
+    DDPKIT_CHECK_GT(num_threads, 0u);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants arrive. Returns true on exactly one
+  /// participant per cycle (the last arrival), mirroring
+  /// pthread_barrier's SERIAL_THREAD semantics.
+  bool ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const size_t generation = generation_;
+    if (++count_ == threshold_) {
+      ++generation_;
+      count_ = 0;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+    return false;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const size_t threshold_;
+  size_t count_ = 0;
+  size_t generation_ = 0;
+};
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_COMMON_BARRIER_H_

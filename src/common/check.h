@@ -1,0 +1,57 @@
+#ifndef DDPKIT_COMMON_CHECK_H_
+#define DDPKIT_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ddpkit::internal {
+
+/// Stream collector used by the DDPKIT_CHECK family. Aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "DDPKIT_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace ddpkit::internal
+
+/// Invariant checks for programmer errors. These abort: they flag bugs in
+/// ddpkit itself or misuse of its API, not recoverable runtime conditions
+/// (which use Status).
+#define DDPKIT_CHECK(cond)                                              \
+  if (cond) {                                                           \
+  } else /* NOLINT */                                                   \
+    ::ddpkit::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#define DDPKIT_CHECK_EQ(a, b) \
+  DDPKIT_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DDPKIT_CHECK_NE(a, b) \
+  DDPKIT_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DDPKIT_CHECK_LT(a, b) \
+  DDPKIT_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DDPKIT_CHECK_LE(a, b) \
+  DDPKIT_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DDPKIT_CHECK_GT(a, b) \
+  DDPKIT_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DDPKIT_CHECK_GE(a, b) \
+  DDPKIT_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression is OK.
+#define DDPKIT_CHECK_OK(expr)                                   \
+  do {                                                          \
+    ::ddpkit::Status _st = (expr);                              \
+    DDPKIT_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (false)
+
+#endif  // DDPKIT_COMMON_CHECK_H_

@@ -1,0 +1,41 @@
+#ifndef DDPKIT_COMMON_LOGGING_H_
+#define DDPKIT_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ddpkit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement. Serializes output across threads on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ddpkit
+
+#define DDPKIT_LOG(level)                                          \
+  if (::ddpkit::LogLevel::k##level < ::ddpkit::GetLogLevel()) {    \
+  } else /* NOLINT */                                              \
+    ::ddpkit::internal::LogMessage(::ddpkit::LogLevel::k##level,   \
+                                   __FILE__, __LINE__)             \
+        .stream()
+
+#endif  // DDPKIT_COMMON_LOGGING_H_

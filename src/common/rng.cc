@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddpkit {
+
+namespace {
+
+// SplitMix64, used to expand the seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  DDPKIT_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // == (2^64 - n) mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace ddpkit

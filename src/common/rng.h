@@ -1,0 +1,47 @@
+#ifndef DDPKIT_COMMON_RNG_H_
+#define DDPKIT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace ddpkit {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**). All
+/// randomness in ddpkit flows through explicit Rng instances so every test,
+/// example and benchmark is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal (Box-Muller).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Derives an independent child generator (useful for per-rank streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_COMMON_RNG_H_

@@ -1,0 +1,55 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ddpkit {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  DDPKIT_CHECK(!sorted.empty());
+  DDPKIT_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  DDPKIT_CHECK(!samples.empty());
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = Percentile(sorted, 0.25);
+  s.median = Percentile(sorted, 0.50);
+  s.p75 = Percentile(sorted, 0.75);
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::string Summary::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.6g p25=%.6g med=%.6g p75=%.6g max=%.6g mean=%.6g",
+                min, p25, median, p75, max, mean);
+  return buf;
+}
+
+}  // namespace ddpkit

@@ -1,0 +1,32 @@
+#ifndef DDPKIT_COMMON_STATS_H_
+#define DDPKIT_COMMON_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace ddpkit {
+
+/// Five-number summary plus mean/stddev, used by the benchmark harness to
+/// report box-whisker style distributions (Figs 7 and 8 in the paper).
+struct Summary {
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes a Summary over the samples. Precondition: !samples.empty().
+Summary Summarize(const std::vector<double>& samples);
+
+/// Linear-interpolation percentile over a *sorted* vector, q in [0, 1].
+double Percentile(const std::vector<double>& sorted, double q);
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_COMMON_STATS_H_

@@ -1,0 +1,113 @@
+#include "core/compression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddpkit::core {
+
+// ---- Fp16CompressionHook ------------------------------------------------------
+
+CommHook::Launched Fp16CompressionHook::Launch(comm::ProcessGroup& pg,
+                                               Tensor bucket,
+                                               size_t /*bucket_id*/) {
+  DDPKIT_CHECK(bucket.dtype() == DType::kFloat32);
+  const int64_t n = bucket.numel();
+
+  Tensor payload = Tensor::Empty({n}, DType::kFloat16, bucket.device_id());
+  {
+    const float* src = bucket.data<float>();
+    uint16_t* dst = payload.data<uint16_t>();
+    for (int64_t i = 0; i < n; ++i) dst[i] = Float32ToHalfBits(src[i]);
+  }
+
+  Launched launched;
+  launched.work = pg.AllReduce(payload, comm::ReduceOp::kSum);
+  launched.finalize = [bucket, payload]() mutable {
+    const uint16_t* src = payload.data<uint16_t>();
+    float* dst = bucket.data<float>();
+    const int64_t n = bucket.numel();
+    for (int64_t i = 0; i < n; ++i) dst[i] = HalfBitsToFloat32(src[i]);
+  };
+  return launched;
+}
+
+// ---- OneBitCompressionHook ------------------------------------------------------
+
+CommHook::Launched OneBitCompressionHook::Launch(comm::ProcessGroup& pg,
+                                                 Tensor bucket,
+                                                 size_t bucket_id) {
+  DDPKIT_CHECK(bucket.dtype() == DType::kFloat32);
+  const int64_t n = bucket.numel();
+  const int world = pg.world();
+
+  // Error feedback: compress (gradient + residual), store the new residual.
+  Tensor& residual = error_feedback_[bucket_id];
+  if (!residual.defined()) residual = Tensor::Zeros({n});
+  DDPKIT_CHECK_EQ(residual.numel(), n);
+
+  std::vector<float> corrected(static_cast<size_t>(n));
+  {
+    const float* g = bucket.data<float>();
+    const float* e = residual.data<float>();
+    for (int64_t i = 0; i < n; ++i) {
+      corrected[static_cast<size_t>(i)] = g[i] + e[i];
+    }
+  }
+
+  // Scale = mean absolute value; each element transmitted as sign * scale.
+  double abs_sum = 0.0;
+  for (float v : corrected) abs_sum += std::abs(v);
+  const float scale =
+      n > 0 ? static_cast<float>(abs_sum / static_cast<double>(n)) : 0.0f;
+
+  const int64_t packed_len = (n + 7) / 8;
+  Tensor signs = Tensor::Zeros({packed_len}, DType::kUInt8);
+  {
+    uint8_t* bits = signs.data<uint8_t>();
+    for (int64_t i = 0; i < n; ++i) {
+      if (corrected[static_cast<size_t>(i)] >= 0.0f) {
+        bits[i / 8] = static_cast<uint8_t>(bits[i / 8] | (1u << (i % 8)));
+      }
+    }
+  }
+  // New residual: corrected - quantized(corrected).
+  {
+    float* e = residual.data<float>();
+    for (int64_t i = 0; i < n; ++i) {
+      const float q = corrected[static_cast<size_t>(i)] >= 0.0f ? scale
+                                                                : -scale;
+      e[i] = corrected[static_cast<size_t>(i)] - q;
+    }
+  }
+
+  Tensor scale_tensor = Tensor::Full({1}, scale);
+  Tensor all_scales = Tensor::Zeros({static_cast<int64_t>(world)});
+  Tensor all_signs =
+      Tensor::Zeros({packed_len * world}, DType::kUInt8);
+
+  // Two collectives on the same queue: scales then sign bitmaps. Data of
+  // the first is complete before the second can complete (program order per
+  // rank), so waiting on the second suffices.
+  pg.AllGather(scale_tensor, all_scales);
+  Launched launched;
+  launched.work = pg.AllGather(signs, all_signs);
+  launched.finalize = [bucket, all_scales, all_signs, packed_len, n,
+                       world]() mutable {
+    float* dst = bucket.data<float>();
+    const float* scales = all_scales.data<float>();
+    const uint8_t* bits = all_signs.data<uint8_t>();
+    for (int64_t i = 0; i < n; ++i) dst[i] = 0.0f;
+    for (int r = 0; r < world; ++r) {
+      const float s = scales[r];
+      const uint8_t* rank_bits = bits + r * packed_len;
+      for (int64_t i = 0; i < n; ++i) {
+        const bool positive = (rank_bits[i / 8] >> (i % 8)) & 1u;
+        dst[i] += positive ? s : -s;
+      }
+    }
+  };
+  return launched;
+}
+
+}  // namespace ddpkit::core

@@ -1,0 +1,71 @@
+#ifndef DDPKIT_CORE_COMPRESSION_H_
+#define DDPKIT_CORE_COMPRESSION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::core {
+
+/// Communication hook: replaces the reducer's default bucket AllReduce with
+/// a custom compression scheme (the paper's §6.2.3 future-work direction,
+/// realized here as an extension). The hook must leave the bucket holding
+/// the *sum* across ranks when `finalize` runs; the reducer then divides by
+/// world size exactly as in the uncompressed path.
+class CommHook {
+ public:
+  struct Launched {
+    comm::WorkHandle work;
+    /// Runs on the launching rank after `work` completes; writes the
+    /// reduced result back into the bucket.
+    std::function<void()> finalize;
+  };
+
+  virtual ~CommHook() = default;
+
+  /// `bucket_id` identifies the bucket across iterations (for per-bucket
+  /// persistent state such as error feedback).
+  virtual Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
+                          size_t bucket_id) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Payload bytes actually sent per input byte (for reporting).
+  virtual double compression_ratio() const = 0;
+};
+
+/// Casts buckets to IEEE half precision for transport: 2x less traffic,
+/// small quantization error.
+class Fp16CompressionHook : public CommHook {
+ public:
+  Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
+                  size_t bucket_id) override;
+  std::string name() const override { return "fp16"; }
+  double compression_ratio() const override { return 0.5; }
+};
+
+/// 1-bit SGD-style compression (Seide et al., cited as [34] in the paper):
+/// each bucket is reduced to sign bits plus one scale, with per-bucket
+/// error feedback so the quantization error is re-injected into the next
+/// iteration. Transport is an all-gather of the packed sign bitmaps and
+/// scales; each rank decompresses and sums locally.
+class OneBitCompressionHook : public CommHook {
+ public:
+  Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
+                  size_t bucket_id) override;
+  std::string name() const override { return "onebit"; }
+  double compression_ratio() const override { return 1.0 / 32.0; }
+
+ private:
+  /// Per-bucket error-feedback residual, keyed by bucket id.
+  std::unordered_map<size_t, Tensor> error_feedback_;
+};
+
+}  // namespace ddpkit::core
+
+#endif  // DDPKIT_CORE_COMPRESSION_H_

@@ -1,0 +1,96 @@
+#include "core/distributed_data_parallel.h"
+
+#include "autograd/engine.h"
+#include "common/check.h"
+
+namespace ddpkit::core {
+
+DistributedDataParallel::DistributedDataParallel(
+    std::shared_ptr<nn::Module> module,
+    std::shared_ptr<comm::ProcessGroup> process_group,
+    const DdpOptions& options)
+    : module_(std::move(module)), pg_(std::move(process_group)),
+      options_(options) {
+  DDPKIT_CHECK(module_ != nullptr);
+  DDPKIT_CHECK(pg_ != nullptr);
+  RegisterModule("module", module_);
+
+  BroadcastInitialState();
+
+  ReducerOptions reducer_options;
+  reducer_options.bucket_cap_bytes = options_.bucket_cap_bytes;
+  reducer_options.first_bucket_cap_bytes = options_.first_bucket_cap_bytes;
+  reducer_options.find_unused_parameters = options_.find_unused_parameters;
+  reducer_options.comm_hook = options_.comm_hook;
+  reducer_options.compute_model = options_.compute_model;
+  reducer_options.gradient_as_bucket_view = options_.gradient_as_bucket_view;
+  reducer_options.trace = options_.trace;
+  reducer_ = std::make_unique<Reducer>(module_->parameters(), pg_,
+                                       reducer_options);
+}
+
+void DistributedDataParallel::BroadcastInitialState() {
+  // All replicas adopt rank 0's parameters and buffers at construction
+  // time (Algorithm 1 lines 2-3), guaranteeing a common starting point.
+  autograd::NoGradGuard guard;
+  for (Tensor& p : module_->parameters()) {
+    pg_->Broadcast(p.Flatten(), /*root=*/0)->Wait(pg_->clock());
+  }
+  for (Tensor& b : module_->buffers()) {
+    if (b.dtype() != DType::kFloat32) continue;
+    pg_->Broadcast(b.Flatten(), /*root=*/0)->Wait(pg_->clock());
+  }
+  buffers_dirty_ = false;
+}
+
+void DistributedDataParallel::PreForward() {
+  autograd::NoGradGuard guard;
+  if (options_.broadcast_buffers && sync_enabled_ && buffers_dirty_) {
+    // Rank 0 is the authority for buffer state (paper §4.1): broadcast
+    // before the forward pass of a synced iteration.
+    for (Tensor& b : module_->buffers()) {
+      if (b.dtype() != DType::kFloat32) continue;
+      pg_->Broadcast(b.Flatten(), /*root=*/0)->Wait(pg_->clock());
+    }
+    buffers_dirty_ = false;
+  }
+  if (options_.compute_model != nullptr) {
+    // Charge the forward pass to the virtual clock.
+    int64_t numel = 0;
+    int64_t num_params = 0;
+    for (const Tensor& p : module_->parameters()) {
+      numel += p.numel();
+      ++num_params;
+    }
+    const double t0 = pg_->clock()->Now();
+    pg_->clock()->Advance(
+        options_.compute_model->ForwardSeconds(numel, num_params));
+    if (options_.trace != nullptr) {
+      options_.trace->AddSpan("forward", "forward", pg_->rank(), t0,
+                              pg_->clock()->Now());
+    }
+  }
+}
+
+void DistributedDataParallel::PostForward(const std::vector<Tensor>& outputs) {
+  // Inference forwards (grad mode off) build no autograd graph, so there
+  // is no backward to prepare for — mirroring PyTorch's
+  // torch.is_grad_enabled() gate.
+  if (autograd::GradModeEnabled()) {
+    reducer_->PrepareForBackward(outputs, sync_enabled_);
+  }
+  if (module_->training() && !module_->buffers().empty()) {
+    // The local forward advanced running statistics; schedule a broadcast
+    // before the next synced forward.
+    buffers_dirty_ = true;
+  }
+}
+
+Tensor DistributedDataParallel::Forward(const Tensor& input) {
+  PreForward();
+  Tensor out = module_->Forward(input);
+  PostForward({out});
+  return out;
+}
+
+}  // namespace ddpkit::core

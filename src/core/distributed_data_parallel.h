@@ -1,0 +1,111 @@
+#ifndef DDPKIT_CORE_DISTRIBUTED_DATA_PARALLEL_H_
+#define DDPKIT_CORE_DISTRIBUTED_DATA_PARALLEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "core/reducer.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::core {
+
+/// Constructor knobs (paper §4.1 "Configurable Knobs"): process_group,
+/// bucket_cap (bucket_cap_mb), and find_unused_parameters — plus extension
+/// hooks.
+struct DdpOptions {
+  size_t bucket_cap_bytes = 25u << 20;
+  size_t first_bucket_cap_bytes = 0;  // 0 = same as bucket_cap_bytes
+  bool find_unused_parameters = false;
+  /// Broadcast BatchNorm-style buffers from rank 0 before synced forwards
+  /// (paper §4.1 "Model Buffers").
+  bool broadcast_buffers = true;
+  std::shared_ptr<CommHook> comm_hook;
+  std::shared_ptr<sim::ComputeCostModel> compute_model;
+  /// See ReducerOptions::gradient_as_bucket_view.
+  bool gradient_as_bucket_view = false;
+  /// Optional span recorder (forward/backward/comm timeline; see
+  /// core/trace.h).
+  std::shared_ptr<TraceRecorder> trace;
+};
+
+/// The paper's primary contribution: an nn::Module wrapper that makes
+/// distributed data-parallel training non-intrusive (wrap the model, keep
+/// the training loop) and interceptive (the constructor inspects
+/// parameters; Forward and autograd hooks give the implementation its
+/// timing signals).
+///
+/// Correctness contract (§3): all replicas start from rank 0's parameter
+/// and buffer state, and every synced backward leaves every replica holding
+/// the same averaged gradients — so independent local optimizers keep the
+/// replicas bit-identical.
+class DistributedDataParallel : public nn::Module {
+ public:
+  DistributedDataParallel(std::shared_ptr<nn::Module> module,
+                          std::shared_ptr<comm::ProcessGroup> process_group,
+                          const DdpOptions& options = DdpOptions());
+
+  /// Wraps the local module's forward (Algorithm 1 lines 8-11): broadcasts
+  /// buffers if due, runs the module, then prepares the reducer (graph
+  /// traversal / pending-count replenishment).
+  Tensor Forward(const Tensor& input) override;
+
+  /// Forward for modules with richer signatures: `fn` must invoke the local
+  /// module and return its output tensor.
+  template <typename Fn>
+  Tensor ForwardWith(Fn&& fn) {
+    PreForward();
+    Tensor out = fn(*module_);
+    PostForward({out});
+    return out;
+  }
+
+  /// RAII context reproducing the paper's no_sync (§3.2.4): backward passes
+  /// inside the scope skip gradient synchronization and accumulate locally;
+  /// the first backward after the scope reduces everything.
+  class NoSyncGuard {
+   public:
+    explicit NoSyncGuard(DistributedDataParallel* ddp) : ddp_(ddp) {
+      previous_ = ddp_->sync_enabled_;
+      ddp_->sync_enabled_ = false;
+    }
+    ~NoSyncGuard() { ddp_->sync_enabled_ = previous_; }
+    NoSyncGuard(const NoSyncGuard&) = delete;
+    NoSyncGuard& operator=(const NoSyncGuard&) = delete;
+
+   private:
+    DistributedDataParallel* ddp_;
+    bool previous_;
+  };
+  NoSyncGuard no_sync() { return NoSyncGuard(this); }
+
+  nn::Module& module() { return *module_; }
+  Reducer& reducer() { return *reducer_; }
+  comm::ProcessGroup& process_group() { return *pg_; }
+
+  /// Per-parameter globally-used mask from the last synced backward (all
+  /// ones unless find_unused_parameters). Feed to Optimizer::Step(mask) to
+  /// keep momentum state untouched for globally-unused parameters.
+  const std::vector<uint8_t>& globally_used_mask() const {
+    return reducer_->globally_used_mask();
+  }
+
+ private:
+  void BroadcastInitialState();
+  void PreForward();
+  void PostForward(const std::vector<Tensor>& outputs);
+
+  std::shared_ptr<nn::Module> module_;
+  std::shared_ptr<comm::ProcessGroup> pg_;
+  DdpOptions options_;
+  std::unique_ptr<Reducer> reducer_;
+  bool sync_enabled_ = true;
+  /// Buffers must be re-broadcast before the next synced forward whenever
+  /// the previous synced iteration advanced them (paper §4.1).
+  bool buffers_dirty_ = true;
+};
+
+}  // namespace ddpkit::core
+
+#endif  // DDPKIT_CORE_DISTRIBUTED_DATA_PARALLEL_H_

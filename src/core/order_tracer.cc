@@ -1,0 +1,32 @@
+#include "core/order_tracer.h"
+
+#include "common/check.h"
+
+namespace ddpkit::core {
+
+bool OrderTracer::ObserveAndMaybeRebuild(Reducer* reducer) {
+  DDPKIT_CHECK(reducer != nullptr);
+  const std::vector<size_t>& order = reducer->last_ready_order();
+  if (order.empty()) return false;
+
+  if (order == last_order_) {
+    ++stable_count_;
+  } else {
+    // Disparity between iterations: restart the stability window (the
+    // "additional complexities ... to reach a consensus" case of §6.2.1).
+    stable_count_ = 0;
+    last_order_ = order;
+  }
+
+  if (stable_count_ >= options_.stable_iterations &&
+      rebuilds_ < options_.max_rebuilds) {
+    if (reducer->RebuildBucketsFromTrace()) {
+      ++rebuilds_;
+      stable_count_ = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ddpkit::core

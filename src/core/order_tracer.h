@@ -1,0 +1,46 @@
+#ifndef DDPKIT_CORE_ORDER_TRACER_H_
+#define DDPKIT_CORE_ORDER_TRACER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/reducer.h"
+
+namespace ddpkit::core {
+
+/// Gradient-order prediction policy (paper §6.2.1 future work, implemented
+/// as an extension): observes the gradient-ready order the Reducer traced
+/// in each synced backward, and — once the order has been stable for
+/// `stable_iterations` consecutive backwards — triggers one bucket rebuild
+/// so the bucket layout matches the *actual* backward order instead of the
+/// reverse-registration heuristic. Rebuilds are infrequent by design: the
+/// paper notes re-allocation overhead must be amortized.
+class OrderTracer {
+ public:
+  struct Options {
+    /// Consecutive identical orders required before rebuilding.
+    int stable_iterations = 2;
+    /// Maximum number of rebuilds over the tracer's lifetime.
+    int max_rebuilds = 1;
+  };
+
+  OrderTracer() : OrderTracer(Options()) {}
+  explicit OrderTracer(const Options& options) : options_(options) {}
+
+  /// Call once per iteration, after backward and before the next forward.
+  /// Returns true if a rebuild happened this call.
+  bool ObserveAndMaybeRebuild(Reducer* reducer);
+
+  int rebuilds() const { return rebuilds_; }
+  int stable_count() const { return stable_count_; }
+
+ private:
+  Options options_;
+  std::vector<size_t> last_order_;
+  int stable_count_ = 0;
+  int rebuilds_ = 0;
+};
+
+}  // namespace ddpkit::core
+
+#endif  // DDPKIT_CORE_ORDER_TRACER_H_

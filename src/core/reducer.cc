@@ -1,0 +1,324 @@
+#include "core/reducer.h"
+
+#include <algorithm>
+
+#include "autograd/engine.h"
+#include "autograd/grad_accumulator.h"
+#include "autograd/graph_utils.h"
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::core {
+
+Reducer::Reducer(std::vector<Tensor> params,
+                 std::shared_ptr<comm::ProcessGroup> process_group,
+                 const ReducerOptions& options)
+    : params_(std::move(params)),
+      pg_(std::move(process_group)),
+      options_(options),
+      alive_(std::make_shared<bool>(true)) {
+  DDPKIT_CHECK(pg_ != nullptr);
+  DDPKIT_CHECK(!params_.empty()) << "Reducer needs at least one parameter";
+
+  metas_.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Tensor& p = params_[i];
+    DDPKIT_CHECK(p.defined() && p.requires_grad());
+    DDPKIT_CHECK(p.dtype() == DType::kFloat32)
+        << "only float32 parameters are supported";
+    metas_.push_back(ParamMeta{p.numel(), p.nbytes(), p.device_id()});
+    DDPKIT_CHECK(param_index_.emplace(p.id(), i).second)
+        << "duplicate parameter handed to Reducer";
+  }
+
+  DDPKIT_CHECK(!(options_.gradient_as_bucket_view &&
+                 options_.find_unused_parameters))
+      << "gradient_as_bucket_view cannot keep globally-unused gradients "
+         "intact; disable one of the two options";
+
+  locally_used_.assign(params_.size(), 0);
+  globally_used_.assign(params_.size(), 1);
+  used_bitmap_ = Tensor::Zeros({static_cast<int64_t>(params_.size())},
+                               DType::kUInt8);
+
+  InitBuckets(AssignBuckets(metas_, options_.bucket_cap_bytes,
+                            options_.first_bucket_cap_bytes));
+  InstallHooks();
+}
+
+Reducer::~Reducer() { *alive_ = false; }
+
+void Reducer::InstallHooks() {
+  // One post-hook per gradient accumulator (Algorithm 1 lines 5-7). The
+  // accumulator outlives this Reducer, so hooks are guarded by an alive
+  // token.
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto accumulator = autograd::GetGradAccumulator(params_[i]);
+    std::weak_ptr<bool> alive = alive_;
+    Reducer* self = this;
+    accumulator->AddPostHook([alive, self, i](const Tensor&) {
+      if (auto token = alive.lock(); token && *token) {
+        self->AutogradHook(i);
+      }
+    });
+  }
+}
+
+void Reducer::InitBuckets(const BucketAssignment& assignment) {
+  assignment_ = assignment;
+  buckets_.clear();
+  buckets_.resize(assignment_.buckets.size());
+  param_to_bucket_.assign(params_.size(), 0);
+
+  for (size_t b = 0; b < assignment_.buckets.size(); ++b) {
+    Bucket& bucket = buckets_[b];
+    int64_t total = 0;
+    for (size_t idx : assignment_.buckets[b]) {
+      bucket.slots.push_back(Slot{idx, total, metas_[idx].numel});
+      param_to_bucket_[idx] = b;
+      total += metas_[idx].numel;
+    }
+    const int device = metas_[assignment_.buckets[b].front()].device_id;
+    // Buckets live on the same device as their parameters (§4.2).
+    bucket.buffer = Tensor::Zeros({total}, DType::kFloat32, device);
+    bucket.bytes = BucketBytes(metas_, assignment_.buckets[b]);
+    bucket.pending = bucket.slots.size();
+  }
+  if (options_.gradient_as_bucket_view) InstallGradViews();
+}
+
+void Reducer::InstallGradViews() {
+  for (Bucket& bucket : buckets_) {
+    for (const Slot& slot : bucket.slots) {
+      Tensor p = params_[slot.param_index];
+      Tensor view = bucket.buffer.Narrow(0, slot.offset, slot.length)
+                        .Reshape(p.shape());
+      Tensor existing = p.grad();
+      if (existing.defined()) {
+        // Preserve accumulated values across (re)installation.
+        view.CopyFrom(existing);
+      } else {
+        view.Zero();
+      }
+      p.set_grad(view);
+    }
+  }
+}
+
+void Reducer::ResetIterationState() {
+  param_ready_.assign(params_.size(), 0);
+  for (Bucket& b : buckets_) {
+    // Replenish the pending gradient count for every bucket (§4.2).
+    b.pending = b.slots.size();
+    b.ready = false;
+    b.launched = false;
+    b.work.reset();
+    b.hook_launched = CommHook::Launched{};
+  }
+  next_bucket_ = 0;
+  ready_order_.clear();
+  finalized_ = false;
+}
+
+void Reducer::PrepareForBackward(const std::vector<Tensor>& outputs,
+                                 bool will_sync) {
+  DDPKIT_CHECK(!armed_ || finalized_ || !expect_hooks_)
+      << "previous synced backward never finalized";
+  ResetIterationState();
+  expect_hooks_ = will_sync;
+  armed_ = true;
+
+  if (!will_sync) return;
+
+  if (options_.find_unused_parameters) {
+    // Traverse the autograd graph from the outputs and proactively mark
+    // parameters outside this iteration's sub-graph (Algorithm 1 line 10),
+    // so their buckets cannot wait forever (Fig 3(b) hazard).
+    auto reachable = autograd::FindReachableParams(outputs);
+    for (size_t i = 0; i < params_.size(); ++i) {
+      if (reachable.count(params_[i].id()) == 0) {
+        MarkParamReady(i, /*via_hook=*/false);
+      }
+    }
+  }
+}
+
+void Reducer::AutogradHook(size_t param_index) {
+  if (!armed_) return;  // backward outside a DDP forward; nothing to do
+  locally_used_[param_index] = 1;
+  if (!expect_hooks_) return;  // no_sync: gradients accumulate locally only
+
+  if (options_.compute_model != nullptr) {
+    // Charge this parameter's backward compute to the virtual clock before
+    // the bucket logic records arrival times.
+    const double t0 = pg_->clock()->Now();
+    pg_->clock()->Advance(options_.compute_model->options().per_op_overhead +
+                          static_cast<double>(metas_[param_index].numel) *
+                              options_.compute_model->options()
+                                  .backward_ns_per_element *
+                              1e-9);
+    if (options_.trace != nullptr) {
+      options_.trace->AddSpan("grad " + std::to_string(param_index),
+                              "backward", pg_->rank(), t0,
+                              pg_->clock()->Now());
+    }
+  }
+
+  DDPKIT_CHECK(!param_ready_[param_index])
+      << "gradient for parameter " << param_index
+      << " marked ready twice in one backward (is the same parameter "
+         "shared, or was backward called twice without a DDP forward?)";
+  MarkParamReady(param_index, /*via_hook=*/true);
+}
+
+void Reducer::MarkParamReady(size_t param_index, bool via_hook) {
+  param_ready_[param_index] = 1;
+  ready_order_.push_back(param_index);
+
+  Bucket& bucket = buckets_[param_to_bucket_[param_index]];
+  // Copy the gradient into its bucket view (Algorithm 1 lines 15-16).
+  const Slot* slot = nullptr;
+  for (const Slot& s : bucket.slots) {
+    if (s.param_index == param_index) {
+      slot = &s;
+      break;
+    }
+  }
+  DDPKIT_CHECK(slot != nullptr);
+  Tensor view = bucket.buffer.Narrow(0, slot->offset, slot->length);
+  Tensor grad = params_[param_index].grad();
+  if (grad.defined() && grad.data<float>() == view.data<float>()) {
+    // gradient_as_bucket_view: the gradient already lives in the bucket.
+  } else if (grad.defined()) {
+    view.CopyFrom(grad.Flatten());
+  } else {
+    // Locally-unused parameter with no accumulated gradient: contribute
+    // zeros so peers that did use it still receive a correct average.
+    DDPKIT_CHECK(!via_hook);
+    view.Zero();
+  }
+
+  DDPKIT_CHECK_GT(bucket.pending, 0u);
+  if (--bucket.pending == 0) {
+    bucket.ready = true;
+    MaybeLaunchBuckets();
+  }
+}
+
+void Reducer::MaybeLaunchBuckets() {
+  // In-order launch rule (§3.2.3): bucket i+1 never launches before bucket
+  // i, even if it became ready first, so AllReduce contents line up across
+  // ranks.
+  while (next_bucket_ < buckets_.size() && buckets_[next_bucket_].ready) {
+    LaunchBucket(next_bucket_);
+    ++next_bucket_;
+  }
+  if (next_bucket_ == buckets_.size()) {
+    FinalizeBackward();
+  }
+}
+
+void Reducer::LaunchBucket(size_t bucket_id) {
+  Bucket& bucket = buckets_[bucket_id];
+  DDPKIT_CHECK(!bucket.launched);
+  bucket.launched = true;
+  bucket.launch_clock = pg_->clock()->Now();
+  if (options_.comm_hook != nullptr) {
+    bucket.hook_launched =
+        options_.comm_hook->Launch(*pg_, bucket.buffer, bucket_id);
+    bucket.work = bucket.hook_launched.work;
+  } else {
+    bucket.work = pg_->AllReduce(bucket.buffer, comm::ReduceOp::kSum);
+  }
+  ++stats_.allreduces_launched;
+  stats_.bytes_reduced += bucket.bytes;
+}
+
+void Reducer::FinalizeBackward() {
+  // The additional bitmap AllReduce for globally-unused parameters
+  // (§3.2.3). It cannot be coalesced into the gradient buckets because of
+  // the dtype mismatch; it launches after all buckets, in the same order on
+  // every rank.
+  comm::WorkHandle bitmap_work;
+  if (options_.find_unused_parameters) {
+    uint8_t* bits = used_bitmap_.data<uint8_t>();
+    for (size_t i = 0; i < params_.size(); ++i) bits[i] = locally_used_[i];
+    bitmap_work = pg_->AllReduce(used_bitmap_, comm::ReduceOp::kBor);
+    ++stats_.bitmap_allreduces;
+  }
+
+  // Block waiting for all AllReduce ops (Algorithm 1 line 21), advancing
+  // the virtual clock to each completion.
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    Bucket& bucket = buckets_[b];
+    DDPKIT_CHECK(bucket.work != nullptr);
+    bucket.work->Wait(pg_->clock());
+    if (bucket.hook_launched.finalize) bucket.hook_launched.finalize();
+    if (options_.trace != nullptr) {
+      options_.trace->AddSpan("allreduce bucket " + std::to_string(b),
+                              "comm", pg_->rank(), bucket.launch_clock,
+                              bucket.work->completion_time());
+    }
+  }
+  if (bitmap_work != nullptr) {
+    bitmap_work->Wait(pg_->clock());
+    const uint8_t* bits = used_bitmap_.data<uint8_t>();
+    for (size_t i = 0; i < params_.size(); ++i) {
+      globally_used_[i] = bits[i] ? 1 : 0;
+    }
+  } else {
+    std::fill(globally_used_.begin(), globally_used_.end(), 1);
+  }
+
+  // Average and write back (the finalizing step Algorithm 1 omits).
+  const double inv_world = 1.0 / static_cast<double>(pg_->world());
+  for (Bucket& bucket : buckets_) {
+    kernels::ScaleInPlace(&bucket.buffer, inv_world);
+    if (options_.gradient_as_bucket_view) {
+      // Gradients alias the bucket; the scale above already averaged them
+      // in place and there is nothing to copy back.
+      continue;
+    }
+    for (const Slot& slot : bucket.slots) {
+      const size_t i = slot.param_index;
+      if (options_.find_unused_parameters && !globally_used_[i]) {
+        // Globally-unused gradients stay intact (§3.2.3), so optimizers
+        // that inspect gradient absence behave exactly as in local
+        // training.
+        continue;
+      }
+      Tensor p = params_[i];
+      Tensor grad = p.grad();
+      if (!grad.defined()) {
+        Tensor fresh = Tensor::Zeros(p.shape(), p.dtype(), p.device_id());
+        p.set_grad(fresh);
+        grad = p.grad();
+      }
+      grad.Flatten().CopyFrom(
+          bucket.buffer.Narrow(0, slot.offset, slot.length));
+    }
+  }
+
+  std::fill(locally_used_.begin(), locally_used_.end(), 0);
+  last_ready_order_ = ready_order_;
+  armed_ = false;
+  expect_hooks_ = false;
+  finalized_ = true;
+  ++stats_.finalized_backwards;
+}
+
+bool Reducer::RebuildBucketsFromTrace() {
+  DDPKIT_CHECK(!armed_ || finalized_)
+      << "RebuildBucketsFromTrace must be called between iterations";
+  if (last_ready_order_.size() != params_.size()) return false;
+  BucketAssignment rebuilt =
+      AssignBucketsFromOrder(metas_, last_ready_order_,
+                             options_.bucket_cap_bytes,
+                             options_.first_bucket_cap_bytes);
+  if (rebuilt.buckets == assignment_.buckets) return false;
+  InitBuckets(rebuilt);
+  ++stats_.rebuilds;
+  return true;
+}
+
+}  // namespace ddpkit::core

@@ -1,0 +1,167 @@
+#ifndef DDPKIT_CORE_REDUCER_H_
+#define DDPKIT_CORE_REDUCER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/process_group.h"
+#include "core/bucketing.h"
+#include "core/compression.h"
+#include "core/trace.h"
+#include "sim/compute_cost_model.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::core {
+
+/// Configuration knobs exposed through the DDP constructor (paper §4.1):
+/// bucket_cap_bytes <-> bucket_cap_mb, find_unused_parameters, plus the
+/// extension hooks.
+struct ReducerOptions {
+  /// Bucket capacity; 0 means one AllReduce per gradient (the paper's 0 MB
+  /// baseline). Default 25 MB per the paper.
+  size_t bucket_cap_bytes = 25u << 20;
+  /// Capacity of the first-launched bucket; 0 = same as bucket_cap_bytes.
+  size_t first_bucket_cap_bytes = 0;
+  /// Traverse the autograd graph each forward to proactively mark
+  /// parameters outside the iteration's sub-graph (paper §3.2.3) and track
+  /// a globally-unused bitmap.
+  bool find_unused_parameters = false;
+  /// Optional gradient-compression hook (§6.2.3 extension).
+  std::shared_ptr<CommHook> comm_hook;
+  /// Memory/copy optimization: make each parameter's .grad a view into its
+  /// bucket slot, eliminating both the hook-time grad->bucket copy and the
+  /// finalize-time bucket->grad copy-back ("every backward pass copies
+  /// tensors from all parameter gradients to buckets, and averaged
+  /// gradients are copied back" — §4.2 names these copies as a cost).
+  /// Incompatible with find_unused_parameters: a view cannot "stay intact"
+  /// while its bucket is reduced.
+  bool gradient_as_bucket_view = false;
+  /// Optional virtual-time charging: when set, each gradient hook advances
+  /// the rank's clock by the modeled per-op backward cost, so the real
+  /// thread-backed stack produces paper-comparable iteration latencies.
+  std::shared_ptr<sim::ComputeCostModel> compute_model;
+  /// Optional span recorder: per-gradient compute spans (when a compute
+  /// model is attached) and per-bucket AllReduce request->completion spans.
+  std::shared_ptr<TraceRecorder> trace;
+};
+
+/// Core gradient-reduction engine (the paper's reducer.cpp, §4.2). Four
+/// responsibilities: parameter-to-bucket mapping, autograd post-hooks,
+/// in-order asynchronous bucket AllReduce, and globally-unused-parameter
+/// tracking. Runs entirely on its rank's thread; cross-rank coordination
+/// happens inside the process group.
+class Reducer {
+ public:
+  Reducer(std::vector<Tensor> params,
+          std::shared_ptr<comm::ProcessGroup> process_group,
+          const ReducerOptions& options);
+  ~Reducer();
+
+  Reducer(const Reducer&) = delete;
+  Reducer& operator=(const Reducer&) = delete;
+
+  /// Called by DDP::Forward after the local forward pass (Algorithm 1 lines
+  /// 8-11). Resets per-iteration state, and — in sync mode with
+  /// find_unused_parameters — traverses the graph from `outputs`, marking
+  /// out-of-graph parameters ready so their buckets cannot hang.
+  /// `will_sync` is false inside no_sync: hooks then only record usage and
+  /// let gradients accumulate.
+  void PrepareForBackward(const std::vector<Tensor>& outputs, bool will_sync);
+
+  /// True once the most recent synced backward has completed its reduction
+  /// (all AllReduce waits done, gradients averaged and written back).
+  bool backward_finalized() const { return finalized_; }
+
+  /// Per-parameter "used by any rank since last sync" mask; all ones when
+  /// find_unused_parameters is off. Valid after a finalized backward.
+  const std::vector<uint8_t>& globally_used_mask() const {
+    return globally_used_;
+  }
+
+  /// Parameter indices in the order their gradients became ready during
+  /// the last synced backward (the §6.2.1 trace).
+  const std::vector<size_t>& last_ready_order() const {
+    return last_ready_order_;
+  }
+
+  /// §6.2.1 extension: re-bucket according to last_ready_order(). Call
+  /// between iterations; returns true if the assignment changed.
+  bool RebuildBucketsFromTrace();
+
+  const BucketAssignment& assignment() const { return assignment_; }
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t bucket_bytes(size_t b) const { return buckets_[b].bytes; }
+
+  struct Stats {
+    uint64_t allreduces_launched = 0;
+    uint64_t bitmap_allreduces = 0;
+    uint64_t bytes_reduced = 0;
+    uint64_t rebuilds = 0;
+    uint64_t finalized_backwards = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    size_t param_index;
+    int64_t offset;
+    int64_t length;
+  };
+  struct Bucket {
+    Tensor buffer;  // flat float32, same device as its parameters
+    std::vector<Slot> slots;
+    size_t pending = 0;
+    bool ready = false;
+    bool launched = false;
+    size_t bytes = 0;
+    comm::WorkHandle work;
+    CommHook::Launched hook_launched;
+    double launch_clock = 0.0;  // for trace spans
+  };
+
+  void InstallHooks();
+  void InitBuckets(const BucketAssignment& assignment);
+  /// gradient_as_bucket_view: repoint every param.grad at its bucket slot,
+  /// preserving any existing gradient values.
+  void InstallGradViews();
+  void ResetIterationState();
+  /// Post-hook entry point (Algorithm 1 lines 12-21).
+  void AutogradHook(size_t param_index);
+  void MarkParamReady(size_t param_index, bool via_hook);
+  void MaybeLaunchBuckets();
+  void LaunchBucket(size_t bucket_id);
+  void FinalizeBackward();
+
+  std::vector<Tensor> params_;
+  std::vector<ParamMeta> metas_;
+  std::unordered_map<const void*, size_t> param_index_;
+  std::shared_ptr<comm::ProcessGroup> pg_;
+  ReducerOptions options_;
+
+  BucketAssignment assignment_;
+  std::vector<Bucket> buckets_;
+  std::vector<size_t> param_to_bucket_;
+
+  // Per-iteration state.
+  std::vector<uint8_t> param_ready_;
+  size_t next_bucket_ = 0;  // in-order launch cursor (§3.2.3 rule 1)
+  bool expect_hooks_ = false;
+  bool armed_ = false;
+  bool finalized_ = false;
+  std::vector<size_t> ready_order_;
+
+  // Usage tracking (accumulates across no_sync iterations, §3.2.4).
+  std::vector<uint8_t> locally_used_;
+  std::vector<uint8_t> globally_used_;
+  Tensor used_bitmap_;  // uint8, lives on "CPU" then copied (paper §4.2)
+
+  std::vector<size_t> last_ready_order_;
+  std::shared_ptr<bool> alive_;  // guards accumulator hooks against dtor
+  Stats stats_;
+};
+
+}  // namespace ddpkit::core
+
+#endif  // DDPKIT_CORE_REDUCER_H_

@@ -1,0 +1,76 @@
+#include "core/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ddpkit::core {
+
+void TraceRecorder::AddSpan(std::string name, std::string category, int rank,
+                            double start_seconds, double end_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(Span{std::move(name), std::move(category), rank,
+                        start_seconds, end_seconds});
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+namespace {
+
+void AppendEscaped(std::ostringstream* os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *os << '\\';
+    }
+    *os << c;
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<Span> spans = snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    AppendEscaped(&os, span.name);
+    os << "\",\"cat\":\"";
+    AppendEscaped(&os, span.category);
+    os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.rank
+       << ",\"ts\":" << span.start_seconds * 1e6
+       << ",\"dur\":" << (span.end_seconds - span.start_seconds) * 1e6
+       << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  const std::string json = ToChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace ddpkit::core

@@ -1,0 +1,55 @@
+#ifndef DDPKIT_CORE_TRACE_H_
+#define DDPKIT_CORE_TRACE_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ddpkit::core {
+
+/// Virtual-time span recorder for DDP iterations. The reducer and DDP
+/// wrapper emit spans (forward compute, per-gradient backward compute,
+/// per-bucket AllReduce) against the rank's virtual clock; the result
+/// exports to the Chrome trace-event JSON format (chrome://tracing /
+/// Perfetto), making the paper's overlap behaviour directly visible: comm
+/// spans riding under the backward-compute span.
+///
+/// Thread-safe: rank threads append concurrently.
+class TraceRecorder {
+ public:
+  struct Span {
+    std::string name;
+    std::string category;  // "forward" | "backward" | "comm" | ...
+    int rank = 0;
+    double start_seconds = 0.0;
+    double end_seconds = 0.0;
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void AddSpan(std::string name, std::string category, int rank,
+               double start_seconds, double end_seconds);
+  void Clear();
+
+  std::vector<Span> snapshot() const;
+  size_t size() const;
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond units,
+  /// one pseudo-thread per rank).
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace ddpkit::core
+
+#endif  // DDPKIT_CORE_TRACE_H_

@@ -1,0 +1,48 @@
+#include "data/distributed_sampler.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ddpkit::data {
+
+DistributedSampler::DistributedSampler(int64_t dataset_size, int world,
+                                       int rank, uint64_t seed, bool shuffle)
+    : dataset_size_(dataset_size),
+      world_(world),
+      rank_(rank),
+      seed_(seed),
+      shuffle_(shuffle) {
+  DDPKIT_CHECK_GT(dataset_size, 0);
+  DDPKIT_CHECK_GT(world, 0);
+  DDPKIT_CHECK(rank >= 0 && rank < world);
+}
+
+int64_t DistributedSampler::samples_per_rank() const {
+  return (dataset_size_ + world_ - 1) / world_;
+}
+
+std::vector<int64_t> DistributedSampler::EpochIndices(int64_t epoch) const {
+  std::vector<int64_t> all(static_cast<size_t>(dataset_size_));
+  std::iota(all.begin(), all.end(), 0);
+  if (shuffle_) {
+    // Same seed on all ranks => same permutation on all ranks.
+    Rng rng(seed_ * 1000003ULL + static_cast<uint64_t>(epoch));
+    for (size_t i = all.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng.UniformInt(i));
+      std::swap(all[i - 1], all[j]);
+    }
+  }
+  // Pad by wrapping so every rank sees the same count.
+  const int64_t per_rank = samples_per_rank();
+  const int64_t padded = per_rank * world_;
+  std::vector<int64_t> mine;
+  mine.reserve(static_cast<size_t>(per_rank));
+  for (int64_t i = rank_; i < padded; i += world_) {
+    mine.push_back(all[static_cast<size_t>(i % dataset_size_)]);
+  }
+  return mine;
+}
+
+}  // namespace ddpkit::data

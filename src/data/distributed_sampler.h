@@ -1,0 +1,36 @@
+#ifndef DDPKIT_DATA_DISTRIBUTED_SAMPLER_H_
+#define DDPKIT_DATA_DISTRIBUTED_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddpkit::data {
+
+/// Partitions a dataset across ranks, PyTorch DistributedSampler-style:
+/// every epoch gets a deterministic seed-driven shuffle (identical on all
+/// ranks), the index list is padded to a multiple of world size, and rank r
+/// takes every world-th element. The union of all ranks' batch slices for a
+/// step is exactly the global batch — the property that makes DDP's
+/// averaged gradient equal the local-training gradient over that batch.
+class DistributedSampler {
+ public:
+  DistributedSampler(int64_t dataset_size, int world, int rank,
+                     uint64_t seed = 0, bool shuffle = true);
+
+  /// This rank's example indices for `epoch`.
+  std::vector<int64_t> EpochIndices(int64_t epoch) const;
+
+  /// Number of examples per rank per epoch (padded).
+  int64_t samples_per_rank() const;
+
+ private:
+  int64_t dataset_size_;
+  int world_;
+  int rank_;
+  uint64_t seed_;
+  bool shuffle_;
+};
+
+}  // namespace ddpkit::data
+
+#endif  // DDPKIT_DATA_DISTRIBUTED_SAMPLER_H_

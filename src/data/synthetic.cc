@@ -1,0 +1,123 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::data {
+
+// ---- SyntheticRegression -----------------------------------------------------
+
+SyntheticRegression::SyntheticRegression(int64_t num_examples, int64_t in_dim,
+                                         int64_t out_dim, uint64_t seed)
+    : num_examples_(num_examples), in_dim_(in_dim), out_dim_(out_dim) {
+  Rng rng(seed);
+  inputs_ = Tensor::Randn({num_examples, in_dim}, &rng);
+  Tensor w_star = Tensor::Randn({in_dim, out_dim}, &rng);
+  targets_ = kernels::MatMul(inputs_, w_star);
+  Tensor noise = Tensor::Randn({num_examples, out_dim}, &rng);
+  kernels::Axpy(0.01, noise, &targets_);
+}
+
+Batch SyntheticRegression::Get(const std::vector<int64_t>& indices) const {
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch batch;
+  batch.inputs = Tensor::Empty({n, in_dim_});
+  batch.targets = Tensor::Empty({n, out_dim_});
+  for (int64_t i = 0; i < n; ++i) {
+    DDPKIT_CHECK(indices[i] >= 0 && indices[i] < num_examples_);
+    batch.inputs.Narrow(0, i, 1).CopyFrom(inputs_.Narrow(0, indices[i], 1));
+    batch.targets.Narrow(0, i, 1).CopyFrom(targets_.Narrow(0, indices[i], 1));
+  }
+  return batch;
+}
+
+// ---- SyntheticMnist -----------------------------------------------------------
+
+SyntheticMnist::SyntheticMnist(int64_t num_examples, uint64_t seed,
+                               double noise_stddev)
+    : num_examples_(num_examples), noise_stddev_(noise_stddev), seed_(seed) {
+  Rng rng(seed);
+  prototypes_ = Tensor::Randn({10, 28 * 28}, &rng);
+  labels_.resize(static_cast<size_t>(num_examples));
+  for (int64_t i = 0; i < num_examples; ++i) {
+    labels_[static_cast<size_t>(i)] =
+        static_cast<int64_t>(rng.UniformInt(10));
+  }
+}
+
+Batch SyntheticMnist::Get(const std::vector<int64_t>& indices) const {
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch batch;
+  batch.inputs = Tensor::Empty({n, 1, 28, 28});
+  std::vector<int64_t> target_values;
+  target_values.reserve(static_cast<size_t>(n));
+  float* out = batch.inputs.data<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t idx = indices[static_cast<size_t>(i)];
+    DDPKIT_CHECK(idx >= 0 && idx < num_examples_);
+    const int64_t label = labels_[static_cast<size_t>(idx)];
+    target_values.push_back(label);
+    // Noise is a pure function of (seed, example index) so every rank sees
+    // identical examples for identical indices.
+    Rng example_rng(seed_ * 7919ULL + static_cast<uint64_t>(idx) + 1);
+    const float* proto = prototypes_.data<float>() + label * 28 * 28;
+    float* dst = out + i * 28 * 28;
+    for (int64_t j = 0; j < 28 * 28; ++j) {
+      dst[j] = proto[j] + static_cast<float>(
+                              example_rng.Normal(0.0, noise_stddev_));
+    }
+  }
+  batch.targets = Tensor::FromVectorInt64(target_values, {n});
+  return batch;
+}
+
+// ---- SyntheticTokens ------------------------------------------------------------
+
+SyntheticTokens::SyntheticTokens(int64_t num_examples, int64_t seq_len,
+                                 int64_t vocab_size, int64_t num_classes,
+                                 uint64_t seed)
+    : num_examples_(num_examples),
+      seq_len_(seq_len),
+      num_classes_(num_classes) {
+  Rng rng(seed);
+  std::vector<int64_t> tokens(
+      static_cast<size_t>(num_examples * seq_len));
+  labels_.resize(static_cast<size_t>(num_examples));
+  for (int64_t i = 0; i < num_examples; ++i) {
+    for (int64_t j = 0; j < seq_len; ++j) {
+      const int64_t tok = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(vocab_size)));
+      tokens[static_cast<size_t>(i * seq_len + j)] = tok;
+    }
+    // Label = which vocabulary band the maximum token falls into: a
+    // deterministic function of the sequence that genuinely requires
+    // attending across positions, yet is learnable by a small model.
+    int64_t max_tok = 0;
+    for (int64_t j = 0; j < seq_len; ++j) {
+      max_tok = std::max(max_tok,
+                         tokens[static_cast<size_t>(i * seq_len + j)]);
+    }
+    labels_[static_cast<size_t>(i)] = max_tok * num_classes / vocab_size;
+  }
+  tokens_ = Tensor::FromVectorInt64(tokens, {num_examples, seq_len});
+}
+
+Batch SyntheticTokens::Get(const std::vector<int64_t>& indices) const {
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch batch;
+  batch.inputs = Tensor::Empty({n, seq_len_}, DType::kInt64);
+  std::vector<int64_t> target_values;
+  target_values.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t idx = indices[static_cast<size_t>(i)];
+    DDPKIT_CHECK(idx >= 0 && idx < num_examples_);
+    batch.inputs.Narrow(0, i, 1).CopyFrom(tokens_.Narrow(0, idx, 1));
+    target_values.push_back(labels_[static_cast<size_t>(idx)]);
+  }
+  batch.targets = Tensor::FromVectorInt64(target_values, {n});
+  return batch;
+}
+
+}  // namespace ddpkit::data

@@ -1,0 +1,86 @@
+#ifndef DDPKIT_DATA_SYNTHETIC_H_
+#define DDPKIT_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::data {
+
+/// A minibatch of examples.
+struct Batch {
+  Tensor inputs;
+  Tensor targets;
+};
+
+/// Deterministic synthetic linear-regression task: y = x W* + eps. Useful
+/// for exact-equivalence tests and the quickstart example (the paper's §3.1
+/// toy uses random inputs with an MSE criterion).
+class SyntheticRegression {
+ public:
+  SyntheticRegression(int64_t num_examples, int64_t in_dim, int64_t out_dim,
+                      uint64_t seed);
+
+  /// Batch assembled from example indices (inputs [n, in], targets [n, out]).
+  Batch Get(const std::vector<int64_t>& indices) const;
+
+  int64_t size() const { return num_examples_; }
+
+ private:
+  int64_t num_examples_;
+  int64_t in_dim_;
+  int64_t out_dim_;
+  Tensor inputs_;   // [N, in]
+  Tensor targets_;  // [N, out]
+};
+
+/// MNIST stand-in (the real dataset is not available offline): ten Gaussian
+/// class prototypes over 28x28 images; each example is its class prototype
+/// plus noise. Enough signal for the Fig 11 convergence-comparison
+/// experiments, whose point is relative behaviour across no_sync cadences,
+/// not absolute accuracy.
+class SyntheticMnist {
+ public:
+  SyntheticMnist(int64_t num_examples, uint64_t seed,
+                 double noise_stddev = 0.7);
+
+  /// inputs [n, 1, 28, 28] float32, targets [n] int64.
+  Batch Get(const std::vector<int64_t>& indices) const;
+
+  int64_t size() const { return num_examples_; }
+  int64_t num_classes() const { return 10; }
+
+ private:
+  int64_t num_examples_;
+  double noise_stddev_;
+  uint64_t seed_;
+  Tensor prototypes_;  // [10, 28*28]
+  std::vector<int64_t> labels_;
+};
+
+/// Synthetic token-classification task for the transformer models: random
+/// token sequences labeled by the vocabulary band of their maximum token
+/// (learnable, but requires attending across all positions).
+class SyntheticTokens {
+ public:
+  SyntheticTokens(int64_t num_examples, int64_t seq_len, int64_t vocab_size,
+                  int64_t num_classes, uint64_t seed);
+
+  /// inputs [n, seq_len] int64, targets [n] int64.
+  Batch Get(const std::vector<int64_t>& indices) const;
+
+  int64_t size() const { return num_examples_; }
+
+ private:
+  int64_t num_examples_;
+  int64_t seq_len_;
+  int64_t num_classes_;
+  Tensor tokens_;  // [N, seq_len] int64
+  std::vector<int64_t> labels_;
+};
+
+}  // namespace ddpkit::data
+
+#endif  // DDPKIT_DATA_SYNTHETIC_H_

@@ -1,0 +1,136 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::nn {
+
+namespace {
+
+/// Kaiming-style scaled normal initialization.
+Tensor InitWeight(std::vector<int64_t> shape, int64_t fan_in, Rng* rng) {
+  Tensor w = Tensor::Randn(std::move(shape), rng);
+  const double scale = std::sqrt(2.0 / static_cast<double>(fan_in));
+  kernels::ScaleInPlace(&w, scale);
+  return w;
+}
+
+}  // namespace
+
+// ---- Linear ------------------------------------------------------------------
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias) {
+  weight_ = RegisterParameter(
+      "weight", InitWeight({out_features, in_features}, in_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  return ops::Linear(input, weight_, bias_);
+}
+
+// ---- Conv2d ------------------------------------------------------------------
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+               Rng* rng, int64_t stride, int64_t padding, bool bias)
+    : stride_(stride), padding_(padding) {
+  const int64_t fan_in = in_channels * kernel_size * kernel_size;
+  weight_ = RegisterParameter(
+      "weight",
+      InitWeight({out_channels, in_channels, kernel_size, kernel_size},
+                 fan_in, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_channels}));
+  }
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  return ops::Conv2d(input, weight_, bias_, stride_, padding_);
+}
+
+// ---- BatchNorm2d ----------------------------------------------------------------
+
+BatchNorm2d::BatchNorm2d(int64_t num_features, double eps, double momentum)
+    : eps_(eps), momentum_(momentum) {
+  gamma_ = RegisterParameter("weight", Tensor::Ones({num_features}));
+  beta_ = RegisterParameter("bias", Tensor::Zeros({num_features}));
+  running_mean_ = RegisterBuffer("running_mean", Tensor::Zeros({num_features}));
+  running_var_ = RegisterBuffer("running_var", Tensor::Ones({num_features}));
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input) {
+  if (!training()) {
+    return ops::BatchNorm2dInference(input, gamma_, beta_, running_mean_,
+                                     running_var_, eps_);
+  }
+  ops::BatchNormResult result = ops::BatchNorm2d(input, gamma_, beta_, eps_);
+  {
+    // Update running statistics outside the autograd graph.
+    autograd::NoGradGuard guard;
+    kernels::ScaleInPlace(&running_mean_, 1.0 - momentum_);
+    kernels::Axpy(momentum_, result.batch_mean, &running_mean_);
+    kernels::ScaleInPlace(&running_var_, 1.0 - momentum_);
+    kernels::Axpy(momentum_, result.batch_var, &running_var_);
+  }
+  return result.output;
+}
+
+// ---- LayerNorm ------------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t dim, double eps) : eps_(eps) {
+  gamma_ = RegisterParameter("weight", Tensor::Ones({dim}));
+  beta_ = RegisterParameter("bias", Tensor::Zeros({dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& input) {
+  return ops::LayerNorm(input, gamma_, beta_, eps_);
+}
+
+// ---- Embedding -------------------------------------------------------------------
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng* rng) {
+  Tensor table = Tensor::Randn({vocab_size, dim}, rng);
+  kernels::ScaleInPlace(&table, 0.02);
+  table_ = RegisterParameter("weight", table);
+}
+
+Tensor Embedding::Forward(const Tensor& input) {
+  return ops::Embedding(input, table_);
+}
+
+// ---- Dropout ----------------------------------------------------------------------
+
+Dropout::Dropout(double p, uint64_t seed) : p_(p), rng_(seed) {
+  DDPKIT_CHECK(p >= 0.0 && p < 1.0);
+}
+
+Tensor Dropout::Forward(const Tensor& input) {
+  if (!training() || p_ == 0.0) return input;
+  return ops::Dropout(input, p_, &rng_);
+}
+
+// ---- Activations ------------------------------------------------------------------
+
+Tensor ReLU::Forward(const Tensor& input) { return ops::Relu(input); }
+Tensor GELU::Forward(const Tensor& input) { return ops::Gelu(input); }
+
+// ---- Sequential -------------------------------------------------------------------
+
+Sequential& Sequential::Append(std::shared_ptr<Module> m) {
+  const std::string name = std::to_string(stages_.size());
+  stages_.push_back(RegisterModule(name, std::move(m)));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& stage : stages_) x = stage->Forward(x);
+  return x;
+}
+
+}  // namespace ddpkit::nn

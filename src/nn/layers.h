@@ -1,0 +1,128 @@
+#ifndef DDPKIT_NN_LAYERS_H_
+#define DDPKIT_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::nn {
+
+/// Fully-connected layer: y = x W^T + b, weight [out, in].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+  Tensor Forward(const Tensor& input) override;
+
+  Tensor weight() const { return weight_; }
+  Tensor bias() const { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// 2-D convolution (NCHW), weight [out, in, k, k].
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+         Rng* rng, int64_t stride = 1, int64_t padding = 0, bool bias = true);
+  Tensor Forward(const Tensor& input) override;
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  int64_t stride_;
+  int64_t padding_;
+};
+
+/// Batch normalization with running-statistic buffers. The buffers are what
+/// exercise DDP's rank-0 buffer broadcast (paper §4.1 "Model Buffers").
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t num_features, double eps = 1e-5,
+                       double momentum = 0.1);
+  Tensor Forward(const Tensor& input) override;
+
+  Tensor running_mean() const { return running_mean_; }
+  Tensor running_var() const { return running_var_; }
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  double eps_;
+  double momentum_;
+};
+
+/// Layer normalization over the last dimension.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim, double eps = 1e-5);
+  Tensor Forward(const Tensor& input) override;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  double eps_;
+};
+
+/// Token embedding table.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng* rng);
+  /// `input` is int64 indices of any shape; output is [numel, dim].
+  Tensor Forward(const Tensor& input) override;
+
+ private:
+  Tensor table_;
+};
+
+/// Inverted dropout. Active only in training mode. All ranks must
+/// construct it with the same seed so masks stay aligned across replicas
+/// (same coordination requirement as layer dropping, paper §6.2.2).
+class Dropout : public Module {
+ public:
+  Dropout(double p, uint64_t seed);
+  Tensor Forward(const Tensor& input) override;
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Stateless activations.
+class ReLU : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+};
+
+class GELU : public Module {
+ public:
+  Tensor Forward(const Tensor& input) override;
+};
+
+/// Runs submodules in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module; returns *this for chaining at construction sites.
+  Sequential& Append(std::shared_ptr<Module> m);
+  Tensor Forward(const Tensor& input) override;
+
+  size_t size() const { return stages_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<Module>> stages_;
+};
+
+}  // namespace ddpkit::nn
+
+#endif  // DDPKIT_NN_LAYERS_H_

@@ -1,0 +1,17 @@
+#include "nn/losses.h"
+
+#include "autograd/ops.h"
+
+namespace ddpkit::nn {
+
+Tensor MSELoss::operator()(const Tensor& prediction,
+                           const Tensor& target) const {
+  return ops::MSELoss(prediction, target);
+}
+
+Tensor CrossEntropyLoss::operator()(const Tensor& logits,
+                                    const Tensor& targets) const {
+  return ops::CrossEntropyLoss(logits, targets);
+}
+
+}  // namespace ddpkit::nn

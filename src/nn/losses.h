@@ -1,0 +1,23 @@
+#ifndef DDPKIT_NN_LOSSES_H_
+#define DDPKIT_NN_LOSSES_H_
+
+#include "tensor/tensor.h"
+
+namespace ddpkit::nn {
+
+/// Mean-squared-error criterion (mean reduction). Returns a scalar tensor.
+class MSELoss {
+ public:
+  Tensor operator()(const Tensor& prediction, const Tensor& target) const;
+};
+
+/// Softmax cross-entropy over logits [m, n] with int64 class labels [m]
+/// (mean reduction). The paper's experiments use this criterion (§5).
+class CrossEntropyLoss {
+ public:
+  Tensor operator()(const Tensor& logits, const Tensor& targets) const;
+};
+
+}  // namespace ddpkit::nn
+
+#endif  // DDPKIT_NN_LOSSES_H_

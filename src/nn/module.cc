@@ -1,0 +1,86 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+
+namespace ddpkit::nn {
+
+Tensor Module::RegisterParameter(std::string name, Tensor tensor) {
+  DDPKIT_CHECK(tensor.defined());
+  tensor.set_requires_grad(true);
+  params_.emplace_back(std::move(name), tensor);
+  return tensor;
+}
+
+Tensor Module::RegisterBuffer(std::string name, Tensor tensor) {
+  DDPKIT_CHECK(tensor.defined());
+  buffers_.emplace_back(std::move(name), tensor);
+  return tensor;
+}
+
+void Module::AddModuleEntry(std::string name, std::shared_ptr<Module> m) {
+  DDPKIT_CHECK(m != nullptr);
+  children_.emplace_back(std::move(name), std::move(m));
+}
+
+void Module::CollectParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, tensor] : params_) {
+    out->emplace_back(prefix + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectParameters(prefix + name + ".", out);
+  }
+}
+
+void Module::CollectBuffers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Tensor>>* out) const {
+  for (const auto& [name, tensor] : buffers_) {
+    out->emplace_back(prefix + name, tensor);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectBuffers(prefix + name + ".", out);
+  }
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_parameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectParameters("", &out);
+  return out;
+}
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (auto& [name, tensor] : named_parameters()) out.push_back(tensor);
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::named_buffers() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  CollectBuffers("", &out);
+  return out;
+}
+
+std::vector<Tensor> Module::buffers() const {
+  std::vector<Tensor> out;
+  for (auto& [name, tensor] : named_buffers()) out.push_back(tensor);
+  return out;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const Tensor& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& p : parameters()) p.ZeroGrad();
+}
+
+}  // namespace ddpkit::nn

@@ -1,0 +1,81 @@
+#ifndef DDPKIT_NN_MODULE_H_
+#define DDPKIT_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ddpkit::nn {
+
+/// Base class for neural-network modules, mirroring torch.nn.Module.
+///
+/// Parameters and submodules are recorded in *registration order*, and
+/// `parameters()` flattens depth-first in that order. This ordering is
+/// load-bearing for the paper: DDP buckets gradients in the *reverse* of
+/// `parameters()` order, on the assumption that registration order
+/// approximates forward-invocation order (§3.2.3).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Single-input forward. Modules with multiple inputs define their own
+  /// overloads and may leave this unimplemented.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// All trainable parameters, depth-first in registration order.
+  std::vector<Tensor> parameters() const;
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+
+  /// All non-trainable state (e.g. BatchNorm running statistics).
+  std::vector<Tensor> buffers() const;
+  std::vector<std::pair<std::string, Tensor>> named_buffers() const;
+
+  /// Training vs evaluation mode (recursive).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Sum of parameter element counts.
+  int64_t NumParameters() const;
+
+  /// Sets every parameter gradient to zero (allocating none).
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  /// Registers `tensor` as a trainable parameter; returns it with
+  /// requires_grad set.
+  Tensor RegisterParameter(std::string name, Tensor tensor);
+
+  /// Registers persistent non-trainable state.
+  Tensor RegisterBuffer(std::string name, Tensor tensor);
+
+  /// Registers a submodule; returns the argument for member initialization.
+  template <typename M>
+  std::shared_ptr<M> RegisterModule(std::string name, std::shared_ptr<M> m) {
+    AddModuleEntry(std::move(name), m);
+    return m;
+  }
+
+ private:
+  void AddModuleEntry(std::string name, std::shared_ptr<Module> m);
+  void CollectParameters(const std::string& prefix,
+                         std::vector<std::pair<std::string, Tensor>>* out) const;
+  void CollectBuffers(const std::string& prefix,
+                      std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace ddpkit::nn
+
+#endif  // DDPKIT_NN_MODULE_H_

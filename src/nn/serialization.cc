@@ -1,0 +1,179 @@
+#include "nn/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ddpkit::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'D', 'P', 'K', 'I', 'T', 'S', 'D'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+template <typename T>
+bool WritePod(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+Status WriteEntry(std::FILE* f, const std::string& name, const Tensor& t) {
+  const uint32_t name_len = static_cast<uint32_t>(name.size());
+  if (!WritePod(f, name_len) || !WriteBytes(f, name.data(), name.size())) {
+    return Status::Internal("short write (name)");
+  }
+  if (!WritePod(f, static_cast<uint8_t>(t.dtype()))) {
+    return Status::Internal("short write (dtype)");
+  }
+  const uint32_t ndims = static_cast<uint32_t>(t.dim());
+  if (!WritePod(f, ndims)) return Status::Internal("short write (ndims)");
+  for (int64_t d = 0; d < t.dim(); ++d) {
+    if (!WritePod(f, t.size(d))) return Status::Internal("short write (dim)");
+  }
+  Tensor contiguous = t.Contiguous();
+  if (!WriteBytes(f, contiguous.data<uint8_t>(), contiguous.nbytes())) {
+    return Status::Internal("short write (data)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveTensorMap(
+    const std::vector<std::pair<std::string, Tensor>>& entries,
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::NotFound("cannot open for writing: " + path);
+  const uint64_t count = entries.size();
+  if (!WriteBytes(f.get(), kMagic, sizeof(kMagic)) ||
+      !WritePod(f.get(), kVersion) || !WritePod(f.get(), count)) {
+    return Status::Internal("short write (header)");
+  }
+  for (const auto& [name, tensor] : entries) {
+    DDPKIT_RETURN_IF_ERROR(WriteEntry(f.get(), name, tensor));
+  }
+  if (std::fflush(f.get()) != 0) return Status::Internal("flush failed");
+  return Status::OK();
+}
+
+Status SaveStateDict(const Module& module, const std::string& path) {
+  std::vector<std::pair<std::string, Tensor>> entries =
+      module.named_parameters();
+  for (const auto& [name, tensor] : module.named_buffers()) {
+    entries.emplace_back("buffer/" + name, tensor);
+  }
+  return SaveTensorMap(entries, path);
+}
+
+Status LoadTensorMap(
+    const std::vector<std::pair<std::string, Tensor>>& target_entries,
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open for reading: " + path);
+
+  char magic[8];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a ddpkit state dict: " + path);
+  }
+  if (!ReadPod(f.get(), &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported state-dict version");
+  }
+  if (!ReadPod(f.get(), &count)) {
+    return Status::InvalidArgument("truncated header");
+  }
+
+  std::map<std::string, Tensor> targets;
+  for (const auto& [name, tensor] : target_entries) {
+    targets.emplace(name, tensor);
+  }
+  if (count != targets.size()) {
+    return Status::InvalidArgument(
+        "entry count mismatch: file has " + std::to_string(count) +
+        ", module expects " + std::to_string(targets.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(f.get(), &name_len) || name_len > 4096) {
+      return Status::InvalidArgument("corrupt entry name length");
+    }
+    std::string name(name_len, '\0');
+    if (!ReadBytes(f.get(), name.data(), name_len)) {
+      return Status::InvalidArgument("truncated entry name");
+    }
+    uint8_t dtype_raw = 0;
+    uint32_t ndims = 0;
+    if (!ReadPod(f.get(), &dtype_raw) || !ReadPod(f.get(), &ndims) ||
+        ndims > 16) {
+      return Status::InvalidArgument("corrupt entry header: " + name);
+    }
+    std::vector<int64_t> shape(ndims);
+    for (uint32_t d = 0; d < ndims; ++d) {
+      if (!ReadPod(f.get(), &shape[d]) || shape[d] < 0) {
+        return Status::InvalidArgument("corrupt shape: " + name);
+      }
+    }
+
+    auto it = targets.find(name);
+    if (it == targets.end()) {
+      return Status::NotFound("unexpected entry in state dict: " + name);
+    }
+    Tensor target = it->second;
+    if (static_cast<DType>(dtype_raw) != target.dtype()) {
+      return Status::InvalidArgument("dtype mismatch for " + name);
+    }
+    if (shape != target.shape()) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    Tensor staging = Tensor::Empty(shape, target.dtype());
+    if (!ReadBytes(f.get(), staging.data<uint8_t>(), staging.nbytes())) {
+      return Status::InvalidArgument("truncated tensor data: " + name);
+    }
+    target.CopyFrom(staging);
+    targets.erase(it);
+  }
+  if (!targets.empty()) {
+    return Status::InvalidArgument("missing entries in state dict, e.g. " +
+                                   targets.begin()->first);
+  }
+  return Status::OK();
+}
+
+Status LoadStateDict(Module* module, const std::string& path) {
+  if (module == nullptr) {
+    return Status::InvalidArgument("module must not be null");
+  }
+  std::vector<std::pair<std::string, Tensor>> entries =
+      module->named_parameters();
+  for (const auto& [name, tensor] : module->named_buffers()) {
+    entries.emplace_back("buffer/" + name, tensor);
+  }
+  return LoadTensorMap(entries, path);
+}
+
+}  // namespace ddpkit::nn

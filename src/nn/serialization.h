@@ -1,0 +1,40 @@
+#ifndef DDPKIT_NN_SERIALIZATION_H_
+#define DDPKIT_NN_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace ddpkit::nn {
+
+/// Checkpointing for modules: parameters and buffers are written as a
+/// named, typed, shaped binary state dict (magic "DDPKITSD", version 1).
+///
+/// DDP usage convention (same as PyTorch): rank 0 saves; on restart every
+/// rank loads the same file — or only rank 0 loads and the DDP constructor
+/// broadcast distributes the state, which is exactly the paper's
+/// "all replicas start from the same model state" requirement.
+Status SaveStateDict(const Module& module, const std::string& path);
+
+/// Loads a state dict saved by SaveStateDict into `module`. Every entry
+/// must match an existing parameter/buffer in name, dtype and shape;
+/// extra or missing entries are errors (strict mode, like PyTorch's
+/// load_state_dict(strict=True)).
+Status LoadStateDict(Module* module, const std::string& path);
+
+/// Generic named-tensor checkpointing (same file format). Used for
+/// optimizer state: `SaveTensorMap(optimizer.named_state(), path)` /
+/// `LoadTensorMap(optimizer.named_state(), path)` round-trips momentum
+/// buffers, Adam moments and step counters, enabling exact training
+/// resume. Entries must match in name, dtype and shape (strict).
+Status SaveTensorMap(
+    const std::vector<std::pair<std::string, Tensor>>& entries,
+    const std::string& path);
+Status LoadTensorMap(
+    const std::vector<std::pair<std::string, Tensor>>& targets,
+    const std::string& path);
+
+}  // namespace ddpkit::nn
+
+#endif  // DDPKIT_NN_SERIALIZATION_H_

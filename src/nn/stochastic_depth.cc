@@ -1,0 +1,32 @@
+#include "nn/stochastic_depth.h"
+
+#include "common/check.h"
+
+namespace ddpkit::nn {
+
+StochasticDepth::StochasticDepth(std::shared_ptr<Module> inner,
+                                 double drop_prob, uint64_t seed)
+    : inner_(RegisterModule("inner", std::move(inner))),
+      drop_prob_(drop_prob),
+      drop_rng_(seed) {
+  DDPKIT_CHECK(drop_prob >= 0.0 && drop_prob < 1.0);
+}
+
+void StochasticDepth::ReseedDropDecisions(uint64_t seed) {
+  drop_rng_ = Rng(seed);
+}
+
+Tensor StochasticDepth::Forward(const Tensor& input) {
+  if (training() && drop_prob_ > 0.0) {
+    // One deterministic draw per forward: with identical seeds, every rank
+    // consumes the same stream and takes the same decision.
+    const bool skip = drop_rng_.Uniform() < drop_prob_;
+    last_skipped_ = skip;
+    if (skip) return input;
+  } else {
+    last_skipped_ = false;
+  }
+  return inner_->Forward(input);
+}
+
+}  // namespace ddpkit::nn

@@ -1,0 +1,47 @@
+#ifndef DDPKIT_NN_STOCHASTIC_DEPTH_H_
+#define DDPKIT_NN_STOCHASTIC_DEPTH_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace ddpkit::nn {
+
+/// Layer dropping (paper §6.2.2): during training, the wrapped block is
+/// skipped entirely with probability `drop_prob`, and the input passes
+/// through unchanged (the block must therefore be shape-preserving, e.g. a
+/// residual block or transformer layer). Skipped blocks never enter the
+/// autograd graph, so their parameters receive no gradients that iteration
+/// — exactly the dynamic sub-graph scenario DDP's find_unused_parameters
+/// machinery exists for.
+///
+/// Cross-rank coordination, as the paper prescribes ("can be implemented
+/// by using the same random seed"): the drop decision comes from an
+/// internal deterministic RNG; construct every rank's wrapper with the
+/// same seed and all replicas skip the same layers in the same iterations,
+/// keeping AllReduce contents aligned.
+class StochasticDepth : public Module {
+ public:
+  StochasticDepth(std::shared_ptr<Module> inner, double drop_prob,
+                  uint64_t seed);
+
+  Tensor Forward(const Tensor& input) override;
+
+  /// Whether the most recent Forward skipped the block.
+  bool last_forward_skipped() const { return last_skipped_; }
+  double drop_prob() const { return drop_prob_; }
+
+  /// Re-seeds the drop decision stream (same value on all ranks!).
+  void ReseedDropDecisions(uint64_t seed);
+
+ private:
+  std::shared_ptr<Module> inner_;
+  double drop_prob_;
+  Rng drop_rng_;
+  bool last_skipped_ = false;
+};
+
+}  // namespace ddpkit::nn
+
+#endif  // DDPKIT_NN_STOCHASTIC_DEPTH_H_

@@ -1,0 +1,77 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "autograd/engine.h"
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::optim {
+
+Adam::Adam(std::vector<Tensor> params, const Options& options)
+    : Optimizer(std::move(params)), options_(options) {
+  exp_avg_.resize(params_.size());
+  exp_avg_sq_.resize(params_.size());
+  step_counts_ = Tensor::Zeros({static_cast<int64_t>(params_.size())},
+                               DType::kInt64);
+}
+
+std::vector<std::pair<std::string, Tensor>> Adam::named_state() {
+  std::vector<std::pair<std::string, Tensor>> state;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!exp_avg_[i].defined()) {
+      exp_avg_[i] = Tensor::Zeros(params_[i].shape());
+      exp_avg_sq_[i] = Tensor::Zeros(params_[i].shape());
+    }
+    state.emplace_back("exp_avg/" + std::to_string(i), exp_avg_[i]);
+    state.emplace_back("exp_avg_sq/" + std::to_string(i), exp_avg_sq_[i]);
+  }
+  state.emplace_back("step_counts", step_counts_);
+  return state;
+}
+
+void Adam::Step() { StepImpl(nullptr); }
+
+void Adam::Step(const std::vector<uint8_t>& used_mask) {
+  DDPKIT_CHECK_EQ(used_mask.size(), params_.size());
+  StepImpl(&used_mask);
+}
+
+void Adam::StepImpl(const std::vector<uint8_t>* used_mask) {
+  autograd::NoGradGuard guard;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (used_mask != nullptr && (*used_mask)[i] == 0) continue;
+    Tensor p = params_[i];
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+
+    if (!exp_avg_[i].defined()) {
+      exp_avg_[i] = Tensor::Zeros(p.shape());
+      exp_avg_sq_[i] = Tensor::Zeros(p.shape());
+    }
+    int64_t* steps = step_counts_.data<int64_t>();
+    const double t = static_cast<double>(++steps[i]);
+    const double bias1 = 1.0 - std::pow(options_.beta1, t);
+    const double bias2 = 1.0 - std::pow(options_.beta2, t);
+
+    float* pp = p.data<float>();
+    const float* pg = g.data<float>();
+    float* m = exp_avg_[i].data<float>();
+    float* v = exp_avg_sq_[i].data<float>();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      double grad = pg[j];
+      if (options_.weight_decay != 0.0) grad += options_.weight_decay * pp[j];
+      m[j] = static_cast<float>(options_.beta1 * m[j] +
+                                (1.0 - options_.beta1) * grad);
+      v[j] = static_cast<float>(options_.beta2 * v[j] +
+                                (1.0 - options_.beta2) * grad * grad);
+      const double mhat = m[j] / bias1;
+      const double vhat = v[j] / bias2;
+      pp[j] -= static_cast<float>(options_.lr * mhat /
+                                  (std::sqrt(vhat) + options_.eps));
+    }
+  }
+}
+
+}  // namespace ddpkit::optim

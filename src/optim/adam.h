@@ -1,0 +1,46 @@
+#ifndef DDPKIT_OPTIM_ADAM_H_
+#define DDPKIT_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace ddpkit::optim {
+
+/// Adam optimizer (Kingma & Ba). Per-parameter first/second-moment state
+/// makes it sensitive to gradient-absence information: when a mask marks a
+/// parameter globally unused, its moments and step count are frozen.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam(std::vector<Tensor> params, const Options& options);
+
+  void Step() override;
+  void Step(const std::vector<uint8_t>& used_mask) override;
+
+  double learning_rate() const override { return options_.lr; }
+  void set_learning_rate(double lr) override { options_.lr = lr; }
+
+  /// First/second moments (materialized as zeros where unused) plus the
+  /// per-parameter step counters (int64 tensor).
+  std::vector<std::pair<std::string, Tensor>> named_state() override;
+
+ private:
+  void StepImpl(const std::vector<uint8_t>* used_mask);
+
+  Options options_;
+  std::vector<Tensor> exp_avg_;
+  std::vector<Tensor> exp_avg_sq_;
+  Tensor step_counts_;  // int64 [num_params], serialized with the moments
+};
+
+}  // namespace ddpkit::optim
+
+#endif  // DDPKIT_OPTIM_ADAM_H_

@@ -1,0 +1,48 @@
+#include "optim/clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::optim {
+
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm) {
+  DDPKIT_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    const float* data = g.data<float>();
+    const int64_t n = g.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      sq += static_cast<double>(data[i]) * data[i];
+    }
+  }
+  const double total_norm = std::sqrt(sq);
+  if (total_norm > max_norm && total_norm > 0.0) {
+    const double scale = max_norm / total_norm;
+    for (const Tensor& p : params) {
+      Tensor g = p.grad();
+      if (!g.defined()) continue;
+      kernels::ScaleInPlace(&g, scale);
+    }
+  }
+  return total_norm;
+}
+
+void ClipGradValue(const std::vector<Tensor>& params, double limit) {
+  DDPKIT_CHECK_GT(limit, 0.0);
+  const float lo = static_cast<float>(-limit);
+  const float hi = static_cast<float>(limit);
+  for (const Tensor& p : params) {
+    Tensor g = p.grad();
+    if (!g.defined()) continue;
+    float* data = g.data<float>();
+    const int64_t n = g.numel();
+    for (int64_t i = 0; i < n; ++i) data[i] = std::clamp(data[i], lo, hi);
+  }
+}
+
+}  // namespace ddpkit::optim

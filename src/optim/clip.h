@@ -1,0 +1,24 @@
+#ifndef DDPKIT_OPTIM_CLIP_H_
+#define DDPKIT_OPTIM_CLIP_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ddpkit::optim {
+
+/// Global gradient-norm clipping over a parameter list: if the L2 norm of
+/// all gradients exceeds `max_norm`, every gradient is scaled by
+/// max_norm/total_norm. Returns the pre-clip norm.
+///
+/// In DDP training this runs AFTER the backward pass (gradients are
+/// already averaged and identical on every rank), so all ranks compute the
+/// same norm and scale identically — no extra communication needed.
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+/// Clamps every gradient element into [-limit, limit].
+void ClipGradValue(const std::vector<Tensor>& params, double limit);
+
+}  // namespace ddpkit::optim
+
+#endif  // DDPKIT_OPTIM_CLIP_H_

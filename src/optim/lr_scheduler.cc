@@ -1,0 +1,60 @@
+#include "optim/lr_scheduler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddpkit::optim {
+
+LrScheduler::LrScheduler(Optimizer* optimizer)
+    : optimizer_(optimizer),
+      base_lr_(optimizer != nullptr ? optimizer->learning_rate() : 0.0) {
+  DDPKIT_CHECK(optimizer != nullptr);
+}
+
+void LrScheduler::Step() {
+  ++step_count_;
+  optimizer_->set_learning_rate(ComputeLr(step_count_));
+}
+
+// ---- StepLr ------------------------------------------------------------------
+
+StepLr::StepLr(Optimizer* optimizer, int64_t step_size, double gamma)
+    : LrScheduler(optimizer), step_size_(step_size), gamma_(gamma) {
+  DDPKIT_CHECK_GT(step_size, 0);
+}
+
+double StepLr::ComputeLr(int64_t step) const {
+  const int64_t decays = step / step_size_;
+  return base_lr() * std::pow(gamma_, static_cast<double>(decays));
+}
+
+// ---- CosineLr -----------------------------------------------------------------
+
+CosineLr::CosineLr(Optimizer* optimizer, int64_t total_steps, double min_lr)
+    : LrScheduler(optimizer), total_steps_(total_steps), min_lr_(min_lr) {
+  DDPKIT_CHECK_GT(total_steps, 0);
+}
+
+double CosineLr::ComputeLr(int64_t step) const {
+  if (step >= total_steps_) return min_lr_;
+  const double progress =
+      static_cast<double>(step) / static_cast<double>(total_steps_);
+  return min_lr_ +
+         0.5 * (base_lr() - min_lr_) * (1.0 + std::cos(M_PI * progress));
+}
+
+// ---- WarmupLr ------------------------------------------------------------------
+
+WarmupLr::WarmupLr(Optimizer* optimizer, int64_t warmup_steps)
+    : LrScheduler(optimizer), warmup_steps_(warmup_steps) {
+  DDPKIT_CHECK_GT(warmup_steps, 0);
+}
+
+double WarmupLr::ComputeLr(int64_t step) const {
+  if (step >= warmup_steps_) return base_lr();
+  return base_lr() * static_cast<double>(step) /
+         static_cast<double>(warmup_steps_);
+}
+
+}  // namespace ddpkit::optim

@@ -1,0 +1,81 @@
+#ifndef DDPKIT_OPTIM_LR_SCHEDULER_H_
+#define DDPKIT_OPTIM_LR_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "optim/optimizer.h"
+
+namespace ddpkit::optim {
+
+/// Learning-rate schedule driving an Optimizer. Schedulers are pure
+/// functions of the step counter, so identical schedules on every DDP rank
+/// keep replicas in lockstep (the same determinism contract as the
+/// optimizer itself).
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer* optimizer);
+  virtual ~LrScheduler() = default;
+
+  LrScheduler(const LrScheduler&) = delete;
+  LrScheduler& operator=(const LrScheduler&) = delete;
+
+  /// Advances one step and applies the new learning rate.
+  void Step();
+
+  int64_t step_count() const { return step_count_; }
+  double base_lr() const { return base_lr_; }
+
+ protected:
+  /// Learning rate to apply at `step` (1-based, called after increment).
+  virtual double ComputeLr(int64_t step) const = 0;
+
+ private:
+  Optimizer* optimizer_;
+  double base_lr_;
+  int64_t step_count_ = 0;
+};
+
+/// Multiplies the learning rate by `gamma` every `step_size` steps.
+class StepLr : public LrScheduler {
+ public:
+  StepLr(Optimizer* optimizer, int64_t step_size, double gamma = 0.1);
+
+ protected:
+  double ComputeLr(int64_t step) const override;
+
+ private:
+  int64_t step_size_;
+  double gamma_;
+};
+
+/// Cosine annealing from the base rate down to `min_lr` over
+/// `total_steps`.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(Optimizer* optimizer, int64_t total_steps, double min_lr = 0.0);
+
+ protected:
+  double ComputeLr(int64_t step) const override;
+
+ private:
+  int64_t total_steps_;
+  double min_lr_;
+};
+
+/// Linear warmup to the base rate over `warmup_steps`, then constant —
+/// the standard recipe for large-batch data-parallel training (the regime
+/// the paper's no_sync experiments probe).
+class WarmupLr : public LrScheduler {
+ public:
+  WarmupLr(Optimizer* optimizer, int64_t warmup_steps);
+
+ protected:
+  double ComputeLr(int64_t step) const override;
+
+ private:
+  int64_t warmup_steps_;
+};
+
+}  // namespace ddpkit::optim
+
+#endif  // DDPKIT_OPTIM_LR_SCHEDULER_H_

@@ -1,0 +1,18 @@
+#include "optim/optimizer.h"
+
+#include "common/check.h"
+
+namespace ddpkit::optim {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    DDPKIT_CHECK(p.defined());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+}  // namespace ddpkit::optim

@@ -1,0 +1,47 @@
+#ifndef DDPKIT_OPTIM_SGD_H_
+#define DDPKIT_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace ddpkit::optim {
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// Momentum is the ingredient that makes parameter averaging diverge from
+/// gradient synchronization (paper §2.2): with per-replica momentum state
+/// fed *different* gradients, replicas drift; fed the *same* averaged
+/// gradients (DDP), they stay bit-identical. examples/parameter_averaging
+/// demonstrates exactly this.
+class Sgd : public Optimizer {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd(std::vector<Tensor> params, const Options& options);
+
+  void Step() override;
+  void Step(const std::vector<uint8_t>& used_mask) override;
+
+  const Options& options() const { return options_; }
+  double learning_rate() const override { return options_.lr; }
+  void set_learning_rate(double lr) override { options_.lr = lr; }
+
+  /// Momentum buffers, materialized as zeros where not yet created (a
+  /// zero buffer is update-equivalent to a fresh one).
+  std::vector<std::pair<std::string, Tensor>> named_state() override;
+
+ private:
+  void StepImpl(const std::vector<uint8_t>* used_mask);
+
+  Options options_;
+  std::vector<Tensor> momentum_buffers_;  // undefined until first use
+};
+
+}  // namespace ddpkit::optim
+
+#endif  // DDPKIT_OPTIM_SGD_H_

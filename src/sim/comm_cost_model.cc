@@ -1,0 +1,242 @@
+#include "sim/comm_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ddpkit::sim {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kNccl:
+      return "nccl";
+    case Backend::kGloo:
+      return "gloo";
+    case Backend::kMpi:
+      return "mpi";
+  }
+  return "?";
+}
+
+// ---- NcclCostModel ----------------------------------------------------------
+
+NcclCostModel::NcclCostModel(const Topology& topology)
+    : NcclCostModel(topology, Options()) {}
+
+NcclCostModel::NcclCostModel(const Topology& topology, const Options& options)
+    : topology_(topology), options_(options) {}
+
+double NcclCostModel::EffectiveBandwidth(int world,
+                                         int concurrent_groups) const {
+  double link = topology_.RingBandwidth(world);
+  if (options_.degraded_above_world > 0 &&
+      world > options_.degraded_above_world) {
+    link *= options_.degraded_net_factor;
+  }
+  const double fraction = topology_.SingleHost(world)
+                              ? options_.per_group_bw_fraction_intra
+                              : options_.per_group_bw_fraction;
+  const double per_group_cap = fraction * link;
+  const double fair_share =
+      link / static_cast<double>(std::max(1, concurrent_groups));
+  return std::min(per_group_cap, fair_share);
+}
+
+double NcclCostModel::AllReduceSeconds(size_t bytes, int world,
+                                       int concurrent_groups) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double steps = 2.0 * (world - 1);
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double bandwidth = EffectiveBandwidth(world, concurrent_groups);
+  const double traffic =
+      2.0 * (world - 1) / static_cast<double>(world) *
+      static_cast<double>(bytes);
+  return options_.base_latency + steps * alpha + traffic / bandwidth;
+}
+
+double NcclCostModel::BroadcastSeconds(size_t bytes, int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  // Pipelined tree broadcast: the payload streams through the tree, so the
+  // transfer time is paid once plus a per-level latency.
+  const double depth = std::ceil(std::log2(static_cast<double>(world)));
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double bandwidth = EffectiveBandwidth(world, 1);
+  return options_.base_latency + depth * alpha +
+         static_cast<double>(bytes) / bandwidth;
+}
+
+double NcclCostModel::AllGatherSeconds(size_t per_rank_bytes,
+                                       int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double steps = static_cast<double>(world - 1);
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double bandwidth = EffectiveBandwidth(world, 1);
+  return options_.base_latency + steps * alpha +
+         steps * static_cast<double>(per_rank_bytes) / bandwidth;
+}
+
+double NcclCostModel::BarrierSeconds(int world) const {
+  if (world == 1) return 0.0;
+  const double depth = std::ceil(std::log2(static_cast<double>(world)));
+  return options_.base_latency +
+         2.0 * depth *
+             (topology_.RingHopLatency(world) + options_.step_overhead);
+}
+
+// ---- GlooCostModel -------------------------------------------------------------
+
+GlooCostModel::GlooCostModel(const Topology& topology)
+    : GlooCostModel(topology, Options()) {}
+
+GlooCostModel::GlooCostModel(const Topology& topology, const Options& options)
+    : topology_(topology), options_(options) {}
+
+double GlooCostModel::EffectiveBandwidth(size_t message_bytes, int world,
+                                         int concurrent_groups) const {
+  double bw = std::min(options_.max_bandwidth,
+                       topology_.RingBandwidth(world));
+  if (message_bytes > options_.large_message_bytes) {
+    const double octaves =
+        std::log2(static_cast<double>(message_bytes) /
+                  static_cast<double>(options_.large_message_bytes)) /
+        3.0;  // log base 8
+    bw *= std::pow(options_.large_message_factor, 1.0 + octaves);
+  }
+  bw /= 1.0 + options_.world_penalty * static_cast<double>(world);
+  // Gloo is CPU-bound, so concurrent groups contend for cores as well as
+  // links; a mild penalty keeps rr>1 a modest win (Fig 12(b)).
+  if (concurrent_groups > 1) {
+    bw /= 1.0 + 0.1 * static_cast<double>(concurrent_groups - 1);
+  }
+  return bw;
+}
+
+double GlooCostModel::AllReduceSeconds(size_t bytes, int world,
+                                       int concurrent_groups) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double steps = 2.0 * (world - 1);
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double bandwidth =
+      EffectiveBandwidth(std::max<size_t>(bytes, 1), world,
+                         concurrent_groups);
+  const double traffic = 2.0 * (world - 1) / static_cast<double>(world) *
+                         static_cast<double>(bytes);
+  return options_.base_latency + steps * alpha + traffic / bandwidth;
+}
+
+double GlooCostModel::BroadcastSeconds(size_t bytes, int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  // Pipelined chunked broadcast, as above.
+  const double depth = std::ceil(std::log2(static_cast<double>(world)));
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double bandwidth = EffectiveBandwidth(bytes, world, 1);
+  return options_.base_latency + depth * alpha +
+         static_cast<double>(bytes) / bandwidth;
+}
+
+double GlooCostModel::AllGatherSeconds(size_t per_rank_bytes,
+                                       int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double steps = static_cast<double>(world - 1);
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double bandwidth = EffectiveBandwidth(per_rank_bytes, world, 1);
+  return options_.base_latency + steps * alpha +
+         steps * static_cast<double>(per_rank_bytes) / bandwidth;
+}
+
+double GlooCostModel::BarrierSeconds(int world) const {
+  if (world == 1) return 0.0;
+  const double depth = std::ceil(std::log2(static_cast<double>(world)));
+  return options_.base_latency +
+         2.0 * depth *
+             (topology_.RingHopLatency(world) + options_.step_overhead);
+}
+
+// ---- MpiCostModel ----------------------------------------------------------------
+
+MpiCostModel::MpiCostModel(const Topology& topology)
+    : MpiCostModel(topology, Options()) {}
+
+MpiCostModel::MpiCostModel(const Topology& topology, const Options& options)
+    : topology_(topology), options_(options) {}
+
+double MpiCostModel::EffectiveBandwidth(int world,
+                                        int concurrent_groups) const {
+  const double link =
+      std::min(options_.max_bandwidth, topology_.RingBandwidth(world));
+  return link / static_cast<double>(std::max(1, concurrent_groups));
+}
+
+double MpiCostModel::AllReduceSeconds(size_t bytes, int world,
+                                      int concurrent_groups) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double steps = 2.0 * (world - 1);
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  const double traffic = 2.0 * (world - 1) / static_cast<double>(world) *
+                         static_cast<double>(bytes);
+  return options_.base_latency + steps * alpha +
+         traffic / EffectiveBandwidth(world, concurrent_groups);
+}
+
+double MpiCostModel::BroadcastSeconds(size_t bytes, int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double depth = std::ceil(std::log2(static_cast<double>(world)));
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  return options_.base_latency + depth * alpha +
+         static_cast<double>(bytes) / EffectiveBandwidth(world, 1);
+}
+
+double MpiCostModel::AllGatherSeconds(size_t per_rank_bytes,
+                                      int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const double steps = static_cast<double>(world - 1);
+  const double alpha =
+      topology_.RingHopLatency(world) + options_.step_overhead;
+  return options_.base_latency + steps * alpha +
+         steps * static_cast<double>(per_rank_bytes) /
+             EffectiveBandwidth(world, 1);
+}
+
+double MpiCostModel::BarrierSeconds(int world) const {
+  if (world == 1) return 0.0;
+  const double depth = std::ceil(std::log2(static_cast<double>(world)));
+  return options_.base_latency +
+         2.0 * depth *
+             (topology_.RingHopLatency(world) + options_.step_overhead);
+}
+
+// ---- Factory ----------------------------------------------------------------------
+
+std::unique_ptr<CommCostModel> MakeCostModel(Backend backend,
+                                             const Topology& topology) {
+  switch (backend) {
+    case Backend::kNccl:
+      return std::make_unique<NcclCostModel>(topology);
+    case Backend::kGloo:
+      return std::make_unique<GlooCostModel>(topology);
+    case Backend::kMpi:
+      return std::make_unique<MpiCostModel>(topology);
+  }
+  DDPKIT_CHECK(false) << "bad backend";
+  return nullptr;
+}
+
+}  // namespace ddpkit::sim

@@ -1,0 +1,170 @@
+#ifndef DDPKIT_SIM_COMM_COST_MODEL_H_
+#define DDPKIT_SIM_COMM_COST_MODEL_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/topology.h"
+
+namespace ddpkit::sim {
+
+/// Communication backend flavors. The paper evaluates NCCL and Gloo and
+/// supports MPI through the same ProcessGroup API (§3.3); all three are
+/// modeled here.
+enum class Backend { kNccl, kGloo, kMpi };
+const char* BackendName(Backend backend);
+
+/// Analytical latency model for collective operations, standing in for the
+/// real NCCL/Gloo libraries (which need GPUs/NICs we don't have). The model
+/// is alpha-beta: `steps * alpha + traffic / effective_bandwidth`, with the
+/// ring topology's bottleneck link setting the bandwidth. Fig 2(a)/(b)
+/// shapes (latency-dominated at small tensors, bandwidth-dominated at
+/// large) emerge directly.
+class CommCostModel {
+ public:
+  virtual ~CommCostModel() = default;
+
+  /// Ring all-reduce of `bytes` over `world` ranks. `concurrent_groups` is
+  /// the number of process groups concurrently sharing the links (the
+  /// round-robin configuration of §5.4): a single group may not be able to
+  /// saturate a link (per_group_bw_fraction), while k groups split it.
+  virtual double AllReduceSeconds(size_t bytes, int world,
+                                  int concurrent_groups = 1) const = 0;
+
+  /// Binary-tree broadcast of `bytes` from one root.
+  virtual double BroadcastSeconds(size_t bytes, int world) const = 0;
+
+  /// Ring all-gather where each rank contributes `per_rank_bytes`.
+  virtual double AllGatherSeconds(size_t per_rank_bytes, int world) const = 0;
+
+  virtual double BarrierSeconds(int world) const = 0;
+
+  virtual Backend backend() const = 0;
+  virtual const Topology& topology() const = 0;
+};
+
+/// NCCL-like: microsecond launch overhead, low per-hop latency, high
+/// bandwidth on NVLink; one group alone achieves only a fraction of the
+/// link (motivating round-robin groups, Fig 12).
+class NcclCostModel : public CommCostModel {
+ public:
+  struct Options {
+    /// Fixed kernel-launch / enqueue overhead per collective.
+    double base_latency = 12e-6;
+    /// Extra per-ring-step protocol overhead on top of link latency.
+    double step_overhead = 1.5e-6;
+    /// Fraction of the bottleneck link one process group can drive when the
+    /// ring stays on NVLink inside one host.
+    double per_group_bw_fraction_intra = 0.6;
+    /// Fraction of the NIC one process group can drive across hosts. Tuned
+    /// so ResNet50's gradient all-reduce at 32 GPUs takes about as long as
+    /// its backward compute — the regime where the paper reports overlap is
+    /// most effective (§5.1) — and so a single group leaves NIC headroom
+    /// for round-robin siblings (§5.4).
+    double per_group_bw_fraction = 0.2;
+    /// When positive, worlds larger than this see their network bandwidth
+    /// scaled by `degraded_net_factor` — modeling the paper's slow/congested
+    /// shared-entitlement links beyond 128 GPUs (§5.3).
+    int degraded_above_world = 0;
+    double degraded_net_factor = 0.5;
+  };
+
+  explicit NcclCostModel(const Topology& topology);
+  NcclCostModel(const Topology& topology, const Options& options);
+
+  double AllReduceSeconds(size_t bytes, int world,
+                          int concurrent_groups) const override;
+  double BroadcastSeconds(size_t bytes, int world) const override;
+  double AllGatherSeconds(size_t per_rank_bytes, int world) const override;
+  double BarrierSeconds(int world) const override;
+  Backend backend() const override { return Backend::kNccl; }
+  const Topology& topology() const override { return topology_; }
+
+ private:
+  double EffectiveBandwidth(int world, int concurrent_groups) const;
+
+  Topology topology_;
+  Options options_;
+};
+
+/// Gloo-like: CPU tensors over TCP — two orders of magnitude higher
+/// per-step latency, ~1 GB/s-class bandwidth that saturates near 512 KB
+/// messages and degrades mildly for very large messages and very large
+/// worlds (matching Fig 2(b) and Fig 9(b)/(d)).
+class GlooCostModel : public CommCostModel {
+ public:
+  struct Options {
+    double base_latency = 60e-6;
+    double step_overhead = 35e-6;
+    /// Peak achievable bandwidth (already below any link limit: Gloo is
+    /// CPU-bound).
+    double max_bandwidth = 3.0e9;
+    /// Bandwidth saturates at this message size and then *declines*
+    /// gradually (CPU copy pressure grows with buffer size): effective
+    /// bandwidth is scaled by large_message_factor^(1 + log8(bytes /
+    /// large_message_bytes)) beyond the threshold. This yields the
+    /// Fig 2(b) plateau past ~500K parameters and the Fig 7(b)/8(b)
+    /// preference for ~5 MB buckets — "larger bucket sizes beyond 512KB
+    /// with Gloo would only mean longer waiting time" (§5.2).
+    size_t large_message_bytes = 1 << 20;
+    double large_message_factor = 0.8;
+    /// Per-rank bandwidth degradation: bw /= (1 + world_penalty * world).
+    double world_penalty = 0.006;
+  };
+
+  explicit GlooCostModel(const Topology& topology);
+  GlooCostModel(const Topology& topology, const Options& options);
+
+  double AllReduceSeconds(size_t bytes, int world,
+                          int concurrent_groups) const override;
+  double BroadcastSeconds(size_t bytes, int world) const override;
+  double AllGatherSeconds(size_t per_rank_bytes, int world) const override;
+  double BarrierSeconds(int world) const override;
+  Backend backend() const override { return Backend::kGloo; }
+  const Topology& topology() const override { return topology_; }
+
+ private:
+  double EffectiveBandwidth(size_t message_bytes, int world,
+                            int concurrent_groups) const;
+
+  Topology topology_;
+  Options options_;
+};
+
+/// MPI-like: host-staged buffers over the fabric. Latency between NCCL and
+/// Gloo (optimized progress engine, but kernels cannot write the NIC
+/// directly), bandwidth limited by the host staging copy.
+class MpiCostModel : public CommCostModel {
+ public:
+  struct Options {
+    double base_latency = 25e-6;
+    double step_overhead = 8e-6;
+    /// Host-staging ceiling on achievable bandwidth.
+    double max_bandwidth = 2.0e9;
+  };
+
+  explicit MpiCostModel(const Topology& topology);
+  MpiCostModel(const Topology& topology, const Options& options);
+
+  double AllReduceSeconds(size_t bytes, int world,
+                          int concurrent_groups) const override;
+  double BroadcastSeconds(size_t bytes, int world) const override;
+  double AllGatherSeconds(size_t per_rank_bytes, int world) const override;
+  double BarrierSeconds(int world) const override;
+  Backend backend() const override { return Backend::kMpi; }
+  const Topology& topology() const override { return topology_; }
+
+ private:
+  double EffectiveBandwidth(int world, int concurrent_groups) const;
+
+  Topology topology_;
+  Options options_;
+};
+
+/// Factory keyed by backend flavor.
+std::unique_ptr<CommCostModel> MakeCostModel(Backend backend,
+                                             const Topology& topology);
+
+}  // namespace ddpkit::sim
+
+#endif  // DDPKIT_SIM_COMM_COST_MODEL_H_

@@ -1,0 +1,94 @@
+#include "sim/compute_cost_model.h"
+
+#include "common/check.h"
+
+namespace ddpkit::sim {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kGpu:
+      return "gpu";
+    case DeviceKind::kCpu:
+      return "cpu";
+  }
+  return "?";
+}
+
+ComputeCostModel::Options ComputeCostModel::GpuProfile() {
+  Options o;
+  o.kind = DeviceKind::kGpu;
+  // 60.2M-element backward ~= 250 ms (Fig 2(c), Quadro GP100):
+  // 60.2e6 * 3.8 ns + ~465 ops * 25 us ~= 229 ms + 12 ms.
+  o.backward_ns_per_element = 3.8;
+  o.per_op_overhead = 25e-6;
+  return o;
+}
+
+ComputeCostModel::Options ComputeCostModel::CpuProfile() {
+  Options o;
+  o.kind = DeviceKind::kCpu;
+  // 60.2M-element backward ~= 6 s (Fig 2(d)).
+  o.backward_ns_per_element = 97.0;
+  o.per_op_overhead = 40e-6;
+  o.optimizer_ns_per_element = 8.0;
+  return o;
+}
+
+ComputeCostModel::Options ComputeCostModel::V100Profile() {
+  Options o;
+  o.kind = DeviceKind::kGpu;
+  // V100s in the 32-GPU cluster are ~1.7x faster than the GP100 of Fig 2;
+  // ResNet50 backward ~= 64 ms, putting the 1-GPU iteration near the
+  // ~0.11 s floor of Fig 9(a).
+  o.backward_ns_per_element = 2.3;
+  o.per_op_overhead = 18e-6;
+  return o;
+}
+
+ComputeCostModel::ComputeCostModel() : ComputeCostModel(Options()) {}
+
+ComputeCostModel::ComputeCostModel(const Options& options)
+    : options_(options) {}
+
+double ComputeCostModel::OpSeconds(int64_t numel, Rng* rng) const {
+  double t = options_.per_op_overhead +
+             static_cast<double>(numel) * options_.backward_ns_per_element *
+                 1e-9;
+  if (rng != nullptr && options_.op_jitter_sigma > 0.0) {
+    t *= rng->LogNormal(0.0, options_.op_jitter_sigma);
+  }
+  return t;
+}
+
+double ComputeCostModel::ForwardSeconds(int64_t total_numel,
+                                        int64_t num_ops) const {
+  return options_.forward_fraction *
+         BackwardSeconds(total_numel, num_ops);
+}
+
+double ComputeCostModel::BackwardSeconds(int64_t total_numel,
+                                         int64_t num_ops) const {
+  return static_cast<double>(num_ops) * options_.per_op_overhead +
+         static_cast<double>(total_numel) *
+             options_.backward_ns_per_element * 1e-9;
+}
+
+double ComputeCostModel::OptimizerSeconds(int64_t total_numel) const {
+  return static_cast<double>(total_numel) *
+         options_.optimizer_ns_per_element * 1e-9;
+}
+
+std::vector<double> ComputeCostModel::GradReadyTimes(
+    const std::vector<int64_t>& numels_backward_order, Rng* rng) const {
+  std::vector<double> ready;
+  ready.reserve(numels_backward_order.size());
+  double t = 0.0;
+  for (int64_t numel : numels_backward_order) {
+    DDPKIT_CHECK_GE(numel, 0);
+    t += OpSeconds(numel, rng);
+    ready.push_back(t);
+  }
+  return ready;
+}
+
+}  // namespace ddpkit::sim

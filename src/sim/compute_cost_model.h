@@ -1,0 +1,66 @@
+#ifndef DDPKIT_SIM_COMPUTE_COST_MODEL_H_
+#define DDPKIT_SIM_COMPUTE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ddpkit::sim {
+
+/// Device classes from the paper's Fig 2(c)/(d) measurements.
+enum class DeviceKind { kGpu, kCpu };
+const char* DeviceKindName(DeviceKind kind);
+
+/// Analytical compute-time model: an operation over `numel` parameter
+/// elements costs `per_op_overhead + numel * ns_per_element`. Calibrated so
+/// a 60M-parameter ResNet152 backward takes ~250 ms on the "GPU" profile
+/// and ~6 s on the "CPU" profile, reproducing Fig 2(c)/(d).
+class ComputeCostModel {
+ public:
+  struct Options {
+    DeviceKind kind = DeviceKind::kGpu;
+    /// Backward-pass throughput.
+    double backward_ns_per_element = 3.8;
+    /// Per-layer fixed overhead (kernel launches, bookkeeping), seconds.
+    double per_op_overhead = 25e-6;
+    /// Forward cost as a fraction of backward cost.
+    double forward_fraction = 0.5;
+    /// Optimizer-step throughput.
+    double optimizer_ns_per_element = 0.8;
+    /// Multiplicative log-normal per-op noise (sigma); 0 disables.
+    double op_jitter_sigma = 0.05;
+  };
+
+  /// Profile factories matching the paper's two measurement devices.
+  static Options GpuProfile();
+  static Options CpuProfile();
+  /// Faster profile for the V100 cluster of §5 (Fig 2 used older GP100s).
+  static Options V100Profile();
+
+  ComputeCostModel();
+  explicit ComputeCostModel(const Options& options);
+
+  double ForwardSeconds(int64_t total_numel, int64_t num_ops) const;
+  double BackwardSeconds(int64_t total_numel, int64_t num_ops) const;
+  double OptimizerSeconds(int64_t total_numel) const;
+
+  /// The gradient-readiness timeline: given per-parameter element counts in
+  /// *backward execution order* (reverse of forward registration), returns
+  /// the virtual time at which each gradient becomes ready, measured from
+  /// the start of the backward pass. With a non-null rng, per-op jitter is
+  /// applied — producing the "measured range" band of Fig 2(c)/(d).
+  std::vector<double> GradReadyTimes(
+      const std::vector<int64_t>& numels_backward_order, Rng* rng) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  double OpSeconds(int64_t numel, Rng* rng) const;
+
+  Options options_;
+};
+
+}  // namespace ddpkit::sim
+
+#endif  // DDPKIT_SIM_COMPUTE_COST_MODEL_H_

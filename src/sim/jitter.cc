@@ -1,0 +1,3 @@
+#include "sim/jitter.h"
+
+// StragglerModel is header-only; this translation unit anchors the library.

@@ -1,0 +1,58 @@
+#ifndef DDPKIT_SIM_JITTER_H_
+#define DDPKIT_SIM_JITTER_H_
+
+#include "common/rng.h"
+
+namespace ddpkit::sim {
+
+/// Straggler model: per-rank, per-iteration multiplicative skew on compute
+/// time, log-normal so the tail is one-sided (a rank can be late, never
+/// early). The paper attributes the wider box-whisker spread at 32 GPUs
+/// (Fig 8) and shared-entitlement variance (§5) to exactly this effect —
+/// a synchronized collective waits for the slowest participant.
+class StragglerModel {
+ public:
+  struct Options {
+    /// Sigma of the log-normal skew factor. 0 disables jitter.
+    double sigma = 0.04;
+    /// Additional fixed probability of a "hiccup" iteration (the delay
+    /// spikes at 100-iteration boundaries in Fig 7).
+    double hiccup_probability = 0.0;
+    double hiccup_factor = 1.5;
+  };
+
+  StragglerModel() : options_(Options()) {}
+  explicit StragglerModel(const Options& options) : options_(options) {}
+
+  /// Multiplicative skew for one rank-iteration, >= ~1.
+  double Sample(Rng* rng) const {
+    double f = options_.sigma > 0.0 ? rng->LogNormal(0.0, options_.sigma)
+                                    : 1.0;
+    if (options_.hiccup_probability > 0.0 &&
+        rng->Uniform() < options_.hiccup_probability) {
+      f *= options_.hiccup_factor;
+    }
+    return f;
+  }
+
+  /// The expected maximum skew across `world` independent ranks grows with
+  /// world size; a synchronized all-reduce starts at that maximum. This
+  /// samples max over `world` draws.
+  double SampleMaxOverWorld(Rng* rng, int world) const {
+    double mx = 1.0;
+    for (int i = 0; i < world; ++i) {
+      const double f = Sample(rng);
+      if (f > mx) mx = f;
+    }
+    return mx;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace ddpkit::sim
+
+#endif  // DDPKIT_SIM_JITTER_H_

@@ -1,0 +1,149 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ddpkit::sim {
+
+namespace {
+
+// DGX-1V hybrid cube-mesh: entry [i][j] is 2 for a double NVLink lane,
+// 1 for a single lane, 0 for no direct NVLink (PCIe/host path). This is the
+// matrix the paper's Fig 5 depicts.
+constexpr int kCubeMesh[8][8] = {
+    // 0  1  2  3  4  5  6  7
+    {9, 1, 1, 2, 2, 0, 0, 0},  // 0
+    {1, 9, 2, 1, 0, 2, 0, 0},  // 1
+    {1, 2, 9, 2, 0, 0, 1, 0},  // 2
+    {2, 1, 2, 9, 0, 0, 0, 1},  // 3
+    {2, 0, 0, 0, 9, 1, 1, 2},  // 4
+    {0, 2, 0, 0, 1, 9, 2, 1},  // 5
+    {0, 0, 1, 0, 1, 2, 9, 2},  // 6
+    {0, 0, 0, 1, 2, 1, 2, 9},  // 7
+};
+
+}  // namespace
+
+const char* LinkTypeName(LinkType type) {
+  switch (type) {
+    case LinkType::kSelf:
+      return "X";
+    case LinkType::kNv2:
+      return "NV2";
+    case LinkType::kNv1:
+      return "NV1";
+    case LinkType::kNode:
+      return "NODE";
+    case LinkType::kNet:
+      return "NET";
+  }
+  return "?";
+}
+
+Topology::Topology() : Topology(Options()) {}
+
+Topology::Topology(const Options& options) : options_(options) {
+  DDPKIT_CHECK_GT(options_.gpus_per_host, 0);
+}
+
+LinkType Topology::IntraHostLink(int local_a, int local_b) const {
+  if (local_a == local_b) return LinkType::kSelf;
+  if (local_a < 8 && local_b < 8) {
+    switch (kCubeMesh[local_a][local_b]) {
+      case 2:
+        return LinkType::kNv2;
+      case 1:
+        return LinkType::kNv1;
+      default:
+        return LinkType::kNode;
+    }
+  }
+  return LinkType::kNode;
+}
+
+LinkType Topology::Link(int rank_a, int rank_b) const {
+  DDPKIT_CHECK(rank_a >= 0 && rank_b >= 0);
+  if (rank_a == rank_b) return LinkType::kSelf;
+  const int host_a = rank_a / options_.gpus_per_host;
+  const int host_b = rank_b / options_.gpus_per_host;
+  if (host_a != host_b) return LinkType::kNet;
+  return IntraHostLink(rank_a % options_.gpus_per_host,
+                       rank_b % options_.gpus_per_host);
+}
+
+double Topology::Bandwidth(LinkType type) const {
+  switch (type) {
+    case LinkType::kSelf:
+      return 1e12;  // on-device copy, effectively free at our scale
+    case LinkType::kNv2:
+      return options_.nv2_bandwidth;
+    case LinkType::kNv1:
+      return options_.nv1_bandwidth;
+    case LinkType::kNode:
+      return options_.node_bandwidth;
+    case LinkType::kNet:
+      return options_.net_bandwidth;
+  }
+  return 0.0;
+}
+
+double Topology::Latency(LinkType type) const {
+  switch (type) {
+    case LinkType::kSelf:
+      return 0.0;
+    case LinkType::kNv2:
+    case LinkType::kNv1:
+      return options_.nvlink_latency;
+    case LinkType::kNode:
+      return options_.node_latency;
+    case LinkType::kNet:
+      return options_.net_latency;
+  }
+  return 0.0;
+}
+
+double Topology::RingBandwidth(int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 1e12;
+  if (SingleHost(world)) {
+    // NCCL builds rings along NVLink connectivity; the hybrid cube-mesh
+    // admits an all-NVLink Hamiltonian ring (e.g. 0-1-2-6-4-5-7-3-0), whose
+    // bottleneck is a single-lane NV1 hop.
+    return options_.nv1_bandwidth;
+  }
+  // A multi-host ring must cross the NIC, which bottlenecks every step of
+  // the pipelined ring.
+  return options_.net_bandwidth;
+}
+
+double Topology::RingHopLatency(int world) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  return SingleHost(world) ? options_.nvlink_latency : options_.net_latency;
+}
+
+bool Topology::SingleHost(int world) const {
+  return world <= options_.gpus_per_host;
+}
+
+std::string Topology::MatrixString() const {
+  std::ostringstream os;
+  const int n = std::min(options_.gpus_per_host, 8);
+  os << "      ";
+  for (int j = 0; j < n; ++j) os << "GPU" << j << "  ";
+  os << "\n";
+  for (int i = 0; i < n; ++i) {
+    os << "GPU" << i << "  ";
+    for (int j = 0; j < n; ++j) {
+      std::string cell = LinkTypeName(IntraHostLink(i, j));
+      cell.resize(5, ' ');
+      os << cell << " ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ddpkit::sim

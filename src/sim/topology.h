@@ -1,0 +1,71 @@
+#ifndef DDPKIT_SIM_TOPOLOGY_H_
+#define DDPKIT_SIM_TOPOLOGY_H_
+
+#include <string>
+
+namespace ddpkit::sim {
+
+/// Pairwise GPU link classes, as printed by `nvidia-smi topo -m` and shown
+/// in the paper's Fig 5.
+enum class LinkType {
+  kSelf,  // same device
+  kNv2,   // double NVLink lane
+  kNv1,   // single NVLink lane
+  kNode,  // same host, traversing PCIe/host bridges
+  kNet,   // different hosts, traversing the NIC
+};
+
+const char* LinkTypeName(LinkType type);
+
+/// Models the paper's testbed: servers with 8 NVLink-connected V100s in a
+/// hybrid cube-mesh (Fig 5), joined by a Mellanox 100 Gb/s NIC per host.
+class Topology {
+ public:
+  struct Options {
+    int gpus_per_host = 8;
+    // Unidirectional effective bandwidths, bytes/second.
+    double nv2_bandwidth = 50e9;
+    double nv1_bandwidth = 25e9;
+    double node_bandwidth = 10e9;  // PCIe/QPI path
+    double net_bandwidth = 12.5e9;  // 100 Gb/s NIC
+    // Per-hop latencies, seconds.
+    double nvlink_latency = 2e-6;
+    double node_latency = 5e-6;
+    double net_latency = 15e-6;
+  };
+
+  Topology();
+  explicit Topology(const Options& options);
+
+  /// Link class between two global ranks (ranks are laid out host-major:
+  /// ranks [0, gpus_per_host) share host 0, etc.).
+  LinkType Link(int rank_a, int rank_b) const;
+
+  double Bandwidth(LinkType type) const;
+  double Latency(LinkType type) const;
+
+  /// Bottleneck bandwidth and worst-hop latency along the natural ring
+  /// 0 -> 1 -> ... -> world-1 -> 0, which is what ring all-reduce traverses.
+  double RingBandwidth(int world) const;
+  double RingHopLatency(int world) const;
+
+  /// True if all `world` ranks fit on one host (no NIC hop), the regime the
+  /// paper recommends staying in when possible (§6.1).
+  bool SingleHost(int world) const;
+
+  int gpus_per_host() const { return options_.gpus_per_host; }
+  const Options& options() const { return options_; }
+
+  /// Renders the 8x8 intra-host connection matrix (the content of Fig 5).
+  std::string MatrixString() const;
+
+ private:
+  /// Intra-host link class between local device indices (hybrid cube-mesh).
+  LinkType IntraHostLink(int local_a, int local_b) const;
+
+  Options options_;
+};
+
+}  // namespace ddpkit::sim
+
+#endif  // DDPKIT_SIM_TOPOLOGY_H_

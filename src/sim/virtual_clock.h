@@ -1,0 +1,33 @@
+#ifndef DDPKIT_SIM_VIRTUAL_CLOCK_H_
+#define DDPKIT_SIM_VIRTUAL_CLOCK_H_
+
+#include <algorithm>
+
+namespace ddpkit::sim {
+
+/// Per-rank virtual time, in seconds. Real wall-clock time on this host is
+/// irrelevant to reported latencies: compute and communication cost models
+/// advance these clocks, standing in for the paper's V100s and NICs.
+class VirtualClock {
+ public:
+  double Now() const { return now_; }
+
+  /// Advances by a non-negative duration.
+  void Advance(double seconds) {
+    if (seconds > 0) now_ += seconds;
+  }
+
+  /// Moves forward to `t` if `t` is in the future (never backwards — used
+  /// when waiting on an async Work whose completion may already have
+  /// passed).
+  void AdvanceTo(double t) { now_ = std::max(now_, t); }
+
+  void Reset(double t = 0.0) { now_ = t; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace ddpkit::sim
+
+#endif  // DDPKIT_SIM_VIRTUAL_CLOCK_H_

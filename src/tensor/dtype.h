@@ -1,0 +1,59 @@
+#ifndef DDPKIT_TENSOR_DTYPE_H_
+#define DDPKIT_TENSOR_DTYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddpkit {
+
+/// Element types supported by ddpkit tensors. kFloat32 is the workhorse;
+/// kUInt8 backs the unused-parameter bitmaps (paper §3.2.3), kFloat16 the
+/// compression extension (§6.2.3), kInt64 class labels.
+enum class DType : uint8_t {
+  kFloat32 = 0,
+  kFloat64 = 1,
+  kInt64 = 2,
+  kUInt8 = 3,
+  kFloat16 = 4,
+};
+
+constexpr size_t ItemSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 8;
+    case DType::kInt64:
+      return 8;
+    case DType::kUInt8:
+      return 1;
+    case DType::kFloat16:
+      return 2;
+  }
+  return 0;
+}
+
+constexpr const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+    case DType::kInt64:
+      return "int64";
+    case DType::kUInt8:
+      return "uint8";
+    case DType::kFloat16:
+      return "float16";
+  }
+  return "unknown";
+}
+
+/// Minimal IEEE 754 half-float conversions for the gradient-compression
+/// extension. Round-to-nearest-even on encode.
+uint16_t Float32ToHalfBits(float value);
+float HalfBitsToFloat32(uint16_t bits);
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_TENSOR_DTYPE_H_

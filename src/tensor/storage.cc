@@ -1,0 +1,14 @@
+#include "tensor/storage.h"
+
+#include <cstring>
+
+namespace ddpkit {
+
+Storage::Storage(size_t nbytes, int device_id)
+    : data_(new uint8_t[nbytes > 0 ? nbytes : 1]),
+      nbytes_(nbytes),
+      device_id_(device_id) {
+  std::memset(data_.get(), 0, nbytes_ > 0 ? nbytes_ : 1);
+}
+
+}  // namespace ddpkit

@@ -1,0 +1,36 @@
+#ifndef DDPKIT_TENSOR_STORAGE_H_
+#define DDPKIT_TENSOR_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace ddpkit {
+
+/// Reference-counted flat byte buffer backing one or more tensor views.
+/// `device_id` is the *simulated* device the buffer notionally lives on
+/// (all memory is host RAM; the id drives bucket/parameter affinity checks,
+/// mirroring the paper's "buckets are created on the same device as the
+/// parameters").
+class Storage {
+ public:
+  /// Allocates `nbytes` of zero-initialized memory.
+  Storage(size_t nbytes, int device_id);
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  uint8_t* data() { return data_.get(); }
+  const uint8_t* data() const { return data_.get(); }
+  size_t nbytes() const { return nbytes_; }
+  int device_id() const { return device_id_; }
+
+ private:
+  std::unique_ptr<uint8_t[]> data_;
+  size_t nbytes_;
+  int device_id_;
+};
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_TENSOR_STORAGE_H_

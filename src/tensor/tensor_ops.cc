@@ -1,0 +1,697 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace ddpkit::kernels {
+
+namespace {
+
+void CheckFloatContiguous(const Tensor& t, const char* what) {
+  DDPKIT_CHECK(t.defined()) << what << " undefined";
+  DDPKIT_CHECK(t.dtype() == DType::kFloat32) << what << " must be float32";
+  DDPKIT_CHECK(t.is_contiguous()) << what << " must be contiguous";
+}
+
+void CheckSameNumel(const Tensor& a, const Tensor& b) {
+  DDPKIT_CHECK_EQ(a.numel(), b.numel());
+}
+
+template <typename F>
+Tensor Unary(const Tensor& a, F f) {
+  CheckFloatContiguous(a, "input");
+  Tensor out = Tensor::Empty(a.shape(), DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  float* po = out.data<float>();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+template <typename F>
+Tensor Binary(const Tensor& a, const Tensor& b, F f) {
+  CheckFloatContiguous(a, "lhs");
+  CheckFloatContiguous(b, "rhs");
+  CheckSameNumel(a, b);
+  Tensor out = Tensor::Empty(a.shape(), DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+// ---- Elementwise ------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Scale(const Tensor& a, double s) {
+  const float fs = static_cast<float>(s);
+  return Unary(a, [fs](float x) { return x * fs; });
+}
+
+Tensor AddScalar(const Tensor& a, double s) {
+  const float fs = static_cast<float>(s);
+  return Unary(a, [fs](float x) { return x + fs; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return Unary(a, [](float x) { return -x; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return Unary(a, [](float x) { return std::log(x); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Unary(a, [](float x) { return std::sqrt(x); });
+}
+
+void Axpy(double alpha, const Tensor& x, Tensor* y) {
+  DDPKIT_CHECK(y != nullptr);
+  CheckFloatContiguous(x, "x");
+  CheckFloatContiguous(*y, "y");
+  CheckSameNumel(x, *y);
+  const float a = static_cast<float>(alpha);
+  const float* px = x.data<float>();
+  float* py = y->data<float>();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += a * px[i];
+}
+
+void ScaleInPlace(Tensor* y, double s) {
+  DDPKIT_CHECK(y != nullptr);
+  CheckFloatContiguous(*y, "y");
+  const float fs = static_cast<float>(s);
+  float* py = y->data<float>();
+  const int64_t n = y->numel();
+  for (int64_t i = 0; i < n; ++i) py[i] *= fs;
+}
+
+void AddInPlace(Tensor* dst, const Tensor& src) { Axpy(1.0, src, dst); }
+
+// ---- Activations -------------------------------------------------------------
+
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor ReluBackward(const Tensor& grad_out, const Tensor& input) {
+  return Binary(grad_out, input,
+                [](float g, float x) { return x > 0.0f ? g : 0.0f; });
+}
+
+namespace {
+// tanh-approximation GELU, matching BERT.
+inline float GeluScalar(float x) {
+  const float k = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = k * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+inline float GeluGradScalar(float x) {
+  const float k = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = k * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * k * (1.0f + 3.0f * 0.044715f * x * x);
+}
+}  // namespace
+
+Tensor Gelu(const Tensor& a) { return Unary(a, GeluScalar); }
+
+Tensor GeluBackward(const Tensor& grad_out, const Tensor& input) {
+  return Binary(grad_out, input,
+                [](float g, float x) { return g * GeluGradScalar(x); });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+
+// ---- Linear algebra -------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CheckFloatContiguous(a, "a");
+  CheckFloatContiguous(b, "b");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  DDPKIT_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  DDPKIT_CHECK_EQ(k, b.size(0));
+  Tensor out = Tensor::Zeros({m, n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  CheckFloatContiguous(a, "a");
+  CheckFloatContiguous(b, "b");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  DDPKIT_CHECK_EQ(b.dim(), 2);
+  const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  DDPKIT_CHECK_EQ(k, b.size(0));
+  Tensor out = Tensor::Zeros({m, n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  CheckFloatContiguous(a, "a");
+  CheckFloatContiguous(b, "b");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  DDPKIT_CHECK_EQ(b.dim(), 2);
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  DDPKIT_CHECK_EQ(k, b.size(1));
+  Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      po[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  CheckFloatContiguous(a, "a");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out = Tensor::Empty({n, m}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  CheckFloatContiguous(a, "a");
+  CheckFloatContiguous(bias, "bias");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  DDPKIT_CHECK_EQ(bias.numel(), a.size(1));
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  const float* pbias = bias.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pbias[j];
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& a) {
+  CheckFloatContiguous(a, "a");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out = Tensor::Zeros({n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
+  }
+  return out;
+}
+
+// ---- Convolution ----------------------------------------------------------------
+
+namespace {
+
+int64_t ConvOutSize(int64_t in, int64_t kernel, int64_t stride,
+                    int64_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight,
+              const Conv2dArgs& args) {
+  CheckFloatContiguous(input, "input");
+  CheckFloatContiguous(weight, "weight");
+  DDPKIT_CHECK_EQ(input.dim(), 4);
+  DDPKIT_CHECK_EQ(weight.dim(), 4);
+  const int64_t batch = input.size(0), cin = input.size(1), h = input.size(2),
+                w = input.size(3);
+  const int64_t cout = weight.size(0), kh = weight.size(2),
+                kw = weight.size(3);
+  DDPKIT_CHECK_EQ(cin, weight.size(1));
+  const int64_t oh = ConvOutSize(h, kh, args.stride, args.padding);
+  const int64_t ow = ConvOutSize(w, kw, args.stride, args.padding);
+  DDPKIT_CHECK(oh > 0 && ow > 0);
+  Tensor out =
+      Tensor::Zeros({batch, cout, oh, ow}, DType::kFloat32, input.device_id());
+  const float* pi = input.data<float>();
+  const float* pw = weight.data<float>();
+  float* po = out.data<float>();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < cout; ++oc) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (int64_t ic = 0; ic < cin; ++ic) {
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y * args.stride - args.padding + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x * args.stride - args.padding + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += pi[((n * cin + ic) * h + iy) * w + ix] *
+                       pw[((oc * cin + ic) * kh + ky) * kw + kx];
+              }
+            }
+          }
+          po[((n * cout + oc) * oh + y) * ow + x] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2dBackwardInput(const Tensor& grad_out, const Tensor& weight,
+                           const std::vector<int64_t>& input_shape,
+                           const Conv2dArgs& args) {
+  CheckFloatContiguous(grad_out, "grad_out");
+  CheckFloatContiguous(weight, "weight");
+  const int64_t batch = input_shape[0], cin = input_shape[1],
+                h = input_shape[2], w = input_shape[3];
+  const int64_t cout = weight.size(0), kh = weight.size(2),
+                kw = weight.size(3);
+  const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  Tensor grad_in =
+      Tensor::Zeros(input_shape, DType::kFloat32, grad_out.device_id());
+  const float* pg = grad_out.data<float>();
+  const float* pw = weight.data<float>();
+  float* pi = grad_in.data<float>();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < cout; ++oc) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const float g = pg[((n * cout + oc) * oh + y) * ow + x];
+          if (g == 0.0f) continue;
+          for (int64_t ic = 0; ic < cin; ++ic) {
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y * args.stride - args.padding + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x * args.stride - args.padding + kx;
+                if (ix < 0 || ix >= w) continue;
+                pi[((n * cin + ic) * h + iy) * w + ix] +=
+                    g * pw[((oc * cin + ic) * kh + ky) * kw + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor Conv2dBackwardWeight(const Tensor& grad_out, const Tensor& input,
+                            const std::vector<int64_t>& weight_shape,
+                            const Conv2dArgs& args) {
+  CheckFloatContiguous(grad_out, "grad_out");
+  CheckFloatContiguous(input, "input");
+  const int64_t batch = input.size(0), cin = input.size(1), h = input.size(2),
+                w = input.size(3);
+  const int64_t cout = weight_shape[0], kh = weight_shape[2],
+                kw = weight_shape[3];
+  const int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  Tensor grad_w =
+      Tensor::Zeros(weight_shape, DType::kFloat32, input.device_id());
+  const float* pg = grad_out.data<float>();
+  const float* pi = input.data<float>();
+  float* pw = grad_w.data<float>();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t oc = 0; oc < cout; ++oc) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const float g = pg[((n * cout + oc) * oh + y) * ow + x];
+          if (g == 0.0f) continue;
+          for (int64_t ic = 0; ic < cin; ++ic) {
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y * args.stride - args.padding + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x * args.stride - args.padding + kx;
+                if (ix < 0 || ix >= w) continue;
+                pw[((oc * cin + ic) * kh + ky) * kw + kx] +=
+                    g * pi[((n * cin + ic) * h + iy) * w + ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_w;
+}
+
+Tensor MaxPool2x2(const Tensor& input, Tensor* argmax) {
+  CheckFloatContiguous(input, "input");
+  DDPKIT_CHECK(argmax != nullptr);
+  DDPKIT_CHECK_EQ(input.dim(), 4);
+  const int64_t batch = input.size(0), c = input.size(1), h = input.size(2),
+                w = input.size(3);
+  DDPKIT_CHECK(h % 2 == 0 && w % 2 == 0);
+  const int64_t oh = h / 2, ow = w / 2;
+  Tensor out =
+      Tensor::Empty({batch, c, oh, ow}, DType::kFloat32, input.device_id());
+  *argmax = Tensor::Empty({batch, c, oh, ow}, DType::kInt64,
+                          input.device_id());
+  const float* pi = input.data<float>();
+  float* po = out.data<float>();
+  int64_t* pa = argmax->data<int64_t>();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const int64_t base = ((n * c + ch) * h + 2 * y) * w + 2 * x;
+          const int64_t candidates[4] = {base, base + 1, base + w,
+                                         base + w + 1};
+          int64_t best = candidates[0];
+          for (int k = 1; k < 4; ++k) {
+            if (pi[candidates[k]] > pi[best]) best = candidates[k];
+          }
+          const int64_t out_idx = ((n * c + ch) * oh + y) * ow + x;
+          po[out_idx] = pi[best];
+          pa[out_idx] = best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2x2Backward(const Tensor& grad_out, const Tensor& argmax,
+                          const std::vector<int64_t>& input_shape) {
+  CheckFloatContiguous(grad_out, "grad_out");
+  DDPKIT_CHECK(argmax.dtype() == DType::kInt64);
+  DDPKIT_CHECK_EQ(argmax.numel(), grad_out.numel());
+  Tensor grad_in =
+      Tensor::Zeros(input_shape, DType::kFloat32, grad_out.device_id());
+  const float* pg = grad_out.data<float>();
+  const int64_t* pa = argmax.data<int64_t>();
+  float* pi = grad_in.data<float>();
+  const int64_t n = grad_out.numel();
+  const int64_t in_numel = grad_in.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    DDPKIT_CHECK(pa[i] >= 0 && pa[i] < in_numel);
+    pi[pa[i]] += pg[i];
+  }
+  return grad_in;
+}
+
+Tensor AvgPool2x2(const Tensor& input) {
+  CheckFloatContiguous(input, "input");
+  DDPKIT_CHECK_EQ(input.dim(), 4);
+  const int64_t batch = input.size(0), c = input.size(1), h = input.size(2),
+                w = input.size(3);
+  DDPKIT_CHECK(h % 2 == 0 && w % 2 == 0);
+  const int64_t oh = h / 2, ow = w / 2;
+  Tensor out =
+      Tensor::Empty({batch, c, oh, ow}, DType::kFloat32, input.device_id());
+  const float* pi = input.data<float>();
+  float* po = out.data<float>();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const int64_t base = ((n * c + ch) * h + 2 * y) * w + 2 * x;
+          po[((n * c + ch) * oh + y) * ow + x] =
+              0.25f * (pi[base] + pi[base + 1] + pi[base + w] +
+                       pi[base + w + 1]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2x2Backward(const Tensor& grad_out,
+                          const std::vector<int64_t>& input_shape) {
+  CheckFloatContiguous(grad_out, "grad_out");
+  const int64_t batch = input_shape[0], c = input_shape[1],
+                h = input_shape[2], w = input_shape[3];
+  const int64_t oh = h / 2, ow = w / 2;
+  Tensor grad_in =
+      Tensor::Zeros(input_shape, DType::kFloat32, grad_out.device_id());
+  const float* pg = grad_out.data<float>();
+  float* pi = grad_in.data<float>();
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          const float g = 0.25f * pg[((n * c + ch) * oh + y) * ow + x];
+          const int64_t base = ((n * c + ch) * h + 2 * y) * w + 2 * x;
+          pi[base] += g;
+          pi[base + 1] += g;
+          pi[base + w] += g;
+          pi[base + w + 1] += g;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool(const Tensor& input) {
+  CheckFloatContiguous(input, "input");
+  DDPKIT_CHECK_EQ(input.dim(), 4);
+  const int64_t batch = input.size(0), c = input.size(1), h = input.size(2),
+                w = input.size(3);
+  Tensor out = Tensor::Zeros({batch, c}, DType::kFloat32, input.device_id());
+  const float* pi = input.data<float>();
+  float* po = out.data<float>();
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      const float* base = pi + (n * c + ch) * h * w;
+      for (int64_t i = 0; i < h * w; ++i) acc += base[i];
+      po[n * c + ch] = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPoolBackward(const Tensor& grad_out,
+                             const std::vector<int64_t>& input_shape) {
+  CheckFloatContiguous(grad_out, "grad_out");
+  const int64_t batch = input_shape[0], c = input_shape[1],
+                h = input_shape[2], w = input_shape[3];
+  Tensor grad_in =
+      Tensor::Empty(input_shape, DType::kFloat32, grad_out.device_id());
+  const float* pg = grad_out.data<float>();
+  float* pi = grad_in.data<float>();
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int64_t n = 0; n < batch; ++n) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float g = pg[n * c + ch] * inv;
+      float* base = pi + (n * c + ch) * h * w;
+      for (int64_t i = 0; i < h * w; ++i) base[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+// ---- Reductions & softmax ----------------------------------------------------------
+
+Tensor SumAll(const Tensor& a) {
+  CheckFloatContiguous(a, "a");
+  double acc = 0.0;
+  const float* pa = a.data<float>();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  Tensor out = Tensor::Empty({1}, DType::kFloat32, a.device_id());
+  out.data<float>()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  Tensor s = SumAll(a);
+  s.data<float>()[0] /= static_cast<float>(a.numel());
+  return s;
+}
+
+Tensor Softmax(const Tensor& a) {
+  CheckFloatContiguous(a, "a");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float* orow = po + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  CheckFloatContiguous(a, "a");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float* orow = po + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - log_denom;
+  }
+  return out;
+}
+
+Tensor ArgMaxRows(const Tensor& a) {
+  CheckFloatContiguous(a, "a");
+  DDPKIT_CHECK_EQ(a.dim(), 2);
+  const int64_t m = a.size(0), n = a.size(1);
+  Tensor out = Tensor::Empty({m}, DType::kInt64, a.device_id());
+  const float* pa = a.data<float>();
+  int64_t* po = out.data<int64_t>();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    int64_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    po[i] = best;
+  }
+  return out;
+}
+
+// ---- Embedding ----------------------------------------------------------------------
+
+Tensor EmbeddingLookup(const Tensor& indices, const Tensor& table) {
+  DDPKIT_CHECK(indices.dtype() == DType::kInt64);
+  CheckFloatContiguous(table, "table");
+  DDPKIT_CHECK_EQ(table.dim(), 2);
+  const int64_t n = indices.numel();
+  const int64_t vocab = table.size(0), dim = table.size(1);
+  Tensor out = Tensor::Empty({n, dim}, DType::kFloat32, table.device_id());
+  const int64_t* pidx = indices.data<int64_t>();
+  const float* pt = table.data<float>();
+  float* po = out.data<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    DDPKIT_CHECK(pidx[i] >= 0 && pidx[i] < vocab);
+    std::memcpy(po + i * dim, pt + pidx[i] * dim,
+                static_cast<size_t>(dim) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor EmbeddingBackward(const Tensor& grad_out, const Tensor& indices,
+                         const std::vector<int64_t>& table_shape) {
+  CheckFloatContiguous(grad_out, "grad_out");
+  DDPKIT_CHECK(indices.dtype() == DType::kInt64);
+  const int64_t n = indices.numel();
+  const int64_t dim = table_shape[1];
+  Tensor grad_table =
+      Tensor::Zeros(table_shape, DType::kFloat32, grad_out.device_id());
+  const int64_t* pidx = indices.data<int64_t>();
+  const float* pg = grad_out.data<float>();
+  float* pt = grad_table.data<float>();
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = pt + pidx[i] * dim;
+    const float* grow = pg + i * dim;
+    for (int64_t j = 0; j < dim; ++j) row[j] += grow[j];
+  }
+  return grad_table;
+}
+
+// ---- Comparisons ----------------------------------------------------------------------
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  DDPKIT_CHECK_EQ(a.numel(), b.numel());
+  double mx = 0.0;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    mx = std::max(mx, std::abs(a.FlatAt(i) - b.FlatAt(i)));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (a.numel() != b.numel()) return false;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const double x = a.FlatAt(i), y = b.FlatAt(i);
+    if (std::abs(x - y) > atol + rtol * std::abs(y)) return false;
+  }
+  return true;
+}
+
+}  // namespace ddpkit::kernels

@@ -1,0 +1,130 @@
+// Randomized property test for the autograd engine: build random DAGs of
+// differentiable ops over a handful of leaf parameters, then check every
+// analytic gradient against central finite differences. Catches wrong
+// backward formulas, fan-in accumulation bugs, and engine scheduling
+// errors that hand-written cases miss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit {
+namespace {
+
+using autograd::Backward;
+using autograd::NoGradGuard;
+
+/// Applies a randomly chosen shape-preserving differentiable op. The op
+/// choice consumes `rng` deterministically, so the same seed rebuilds the
+/// same graph — required for finite differencing.
+Tensor RandomUnary(const Tensor& x, uint64_t choice) {
+  switch (choice % 5) {
+    case 0:
+      // Smooth ops only: ReLU kinks within the finite-difference epsilon
+      // would produce spurious mismatches.
+      return ops::Gelu(ops::Scale(x, 1.3));
+    case 1:
+      return ops::Gelu(x);
+    case 2:
+      // exp of a tamed input to avoid overflow.
+      return ops::Exp(ops::Scale(x, 0.3));
+    case 3:
+      return ops::Scale(x, -0.7);
+    default:
+      return ops::Mul(x, x);
+  }
+}
+
+Tensor RandomBinary(const Tensor& a, const Tensor& b, uint64_t choice) {
+  switch (choice % 3) {
+    case 0:
+      return ops::Add(a, b);
+    case 1:
+      return ops::Sub(a, b);
+    default:
+      return ops::Mul(a, b);
+  }
+}
+
+/// Builds a random DAG over `leaves` using a fixed op-choice sequence and
+/// returns the scalar loss.
+Tensor BuildGraph(const std::vector<Tensor>& leaves,
+                  const std::vector<uint64_t>& choices) {
+  std::vector<Tensor> pool = leaves;
+  size_t c = 0;
+  auto next = [&] { return choices[c++ % choices.size()]; };
+  // Grow the pool with random ops over random existing nodes.
+  for (int step = 0; step < 6; ++step) {
+    const uint64_t kind = next();
+    const Tensor& a = pool[next() % pool.size()];
+    if (kind % 2 == 0) {
+      pool.push_back(RandomUnary(a, next()));
+    } else {
+      const Tensor& b = pool[next() % pool.size()];
+      pool.push_back(RandomBinary(a, b, next()));
+    }
+  }
+  // Sum everything so every path contributes to the loss.
+  Tensor acc = pool.back();
+  for (size_t i = 0; i + 1 < pool.size(); ++i) {
+    acc = ops::Add(acc, pool[i]);
+  }
+  return ops::MeanAll(acc);
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzzTest, AnalyticMatchesNumerical) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+
+  std::vector<Tensor> leaves;
+  for (int i = 0; i < 3; ++i) {
+    Tensor leaf = Tensor::Rand({4}, &rng, -1.0, 1.0);
+    leaf.set_requires_grad(true);
+    leaves.push_back(leaf);
+  }
+  std::vector<uint64_t> choices;
+  for (int i = 0; i < 64; ++i) choices.push_back(rng.Next());
+
+  Tensor loss = BuildGraph(leaves, choices);
+  Backward(loss);
+
+  auto loss_value = [&] {
+    NoGradGuard guard;
+    return BuildGraph(leaves, choices).Item();
+  };
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Tensor leaf = leaves[li];
+    ASSERT_TRUE(leaf.grad().defined()) << "leaf " << li;
+    for (int64_t i = 0; i < leaf.numel(); ++i) {
+      const double analytic = leaf.grad().FlatAt(i);
+      const double orig = leaf.FlatAt(i);
+      const double eps = 5e-3;
+      leaf.FlatSet(i, orig + eps);
+      const double plus = loss_value();
+      leaf.FlatSet(i, orig - eps);
+      const double minus = loss_value();
+      leaf.FlatSet(i, orig);
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(analytic, numeric, 5e-2 * (1.0 + std::abs(numeric)))
+          << "seed " << seed << " leaf " << li << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest,
+                         ::testing::Range(1, 21),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ddpkit

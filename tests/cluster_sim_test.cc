@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+
+namespace ddpkit::cluster {
+namespace {
+
+ClusterConfig BaseConfig(int world, sim::Backend backend) {
+  ClusterConfig config;
+  config.world = world;
+  config.backend = backend;
+  config.straggler.sigma = 0.0;  // deterministic for assertions
+  config.compute.op_jitter_sigma = 0.0;
+  return config;
+}
+
+TEST(ClusterSimTest, SingleGpuHasNoCommunication) {
+  ClusterSim sim(ResNet50Spec(), BaseConfig(1, sim::Backend::kNccl));
+  auto result = sim.Run(5);
+  EXPECT_DOUBLE_EQ(result.mean_breakdown.backward_comm_exposed, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_breakdown.comm_busy, 0.0);
+  EXPECT_GT(result.mean_breakdown.total, 0.05);  // ~0.1 s iteration
+  EXPECT_LT(result.mean_breakdown.total, 0.3);
+}
+
+TEST(ClusterSimTest, DistributedIsSlowerThanLocal) {
+  auto local =
+      ClusterSim(ResNet50Spec(), BaseConfig(1, sim::Backend::kNccl)).Run(5);
+  auto distributed =
+      ClusterSim(ResNet50Spec(), BaseConfig(32, sim::Backend::kNccl)).Run(5);
+  EXPECT_GT(distributed.mean_breakdown.total, local.mean_breakdown.total);
+}
+
+TEST(ClusterSimTest, OverlapBeatsNoOverlap) {
+  // The central claim of §3.2.3 / Fig 6: overlapping communication with
+  // the backward pass shortens iterations.
+  auto with = BaseConfig(32, sim::Backend::kNccl);
+  auto without = with;
+  without.overlap = false;
+  auto t_overlap = ClusterSim(ResNet50Spec(), with).Run(5);
+  auto t_serial = ClusterSim(ResNet50Spec(), without).Run(5);
+  EXPECT_LT(t_overlap.mean_breakdown.total,
+            0.95 * t_serial.mean_breakdown.total);
+}
+
+TEST(ClusterSimTest, GlooSlowerThanNccl) {
+  auto nccl =
+      ClusterSim(ResNet50Spec(), BaseConfig(32, sim::Backend::kNccl)).Run(3);
+  auto gloo =
+      ClusterSim(ResNet50Spec(), BaseConfig(32, sim::Backend::kGloo)).Run(3);
+  EXPECT_GT(gloo.mean_breakdown.total, nccl.mean_breakdown.total);
+}
+
+TEST(ClusterSimTest, BucketSweepHasInteriorOptimum) {
+  // Fig 7: both 0 MB (per-gradient) and one-giant-bucket are worse than a
+  // mid-size cap.
+  auto time_for_cap = [](size_t cap) {
+    auto config = BaseConfig(16, sim::Backend::kNccl);
+    config.bucket_cap_bytes = cap;
+    return ClusterSim(ResNet50Spec(), config).Run(5).mean_breakdown.total;
+  };
+  const double zero = time_for_cap(0);
+  const double mid = time_for_cap(25u << 20);
+  const double giant = time_for_cap(size_t{1} << 40);
+  EXPECT_LT(mid, zero);
+  EXPECT_LT(mid, giant);
+}
+
+TEST(ClusterSimTest, SkipSyncReducesAmortizedLatency) {
+  auto config = BaseConfig(32, sim::Backend::kNccl);
+  auto every = ClusterSim(ResNet50Spec(), config).Run(16);
+  config.skip_sync_every = 8;
+  auto skip8 = ClusterSim(ResNet50Spec(), config).Run(16);
+  const double mean_every = every.LatencySummary().mean;
+  const double mean_skip = skip8.LatencySummary().mean;
+  EXPECT_LT(mean_skip, mean_every);
+}
+
+TEST(ClusterSimTest, RoundRobinHelpsCommBoundModel) {
+  // Fig 12: BERT on NCCL gains from rr3.
+  auto config = BaseConfig(16, sim::Backend::kNccl);
+  auto rr1 = ClusterSim(BertBaseSpec(), config).Run(5);
+  config.round_robin_groups = 3;
+  auto rr3 = ClusterSim(BertBaseSpec(), config).Run(5);
+  EXPECT_LT(rr3.mean_breakdown.total, rr1.mean_breakdown.total);
+}
+
+TEST(ClusterSimTest, RoundRobinNegligibleForComputeBoundModel) {
+  // Fig 12(a): ResNet50 on NCCL sees little difference.
+  auto config = BaseConfig(8, sim::Backend::kNccl);
+  auto rr1 = ClusterSim(ResNet50Spec(), config).Run(5);
+  config.round_robin_groups = 3;
+  auto rr3 = ClusterSim(ResNet50Spec(), config).Run(5);
+  const double delta = std::abs(rr1.mean_breakdown.total -
+                                rr3.mean_breakdown.total);
+  EXPECT_LT(delta / rr1.mean_breakdown.total, 0.15);
+}
+
+TEST(ClusterSimTest, BiggerModelTakesLonger) {
+  auto r50 =
+      ClusterSim(ResNet50Spec(), BaseConfig(32, sim::Backend::kNccl)).Run(3);
+  auto bert =
+      ClusterSim(BertBaseSpec(), BaseConfig(32, sim::Backend::kNccl)).Run(3);
+  EXPECT_GT(bert.mean_breakdown.total, 2.0 * r50.mean_breakdown.total);
+}
+
+TEST(ClusterSimTest, FindUnusedAddsBitmapCost) {
+  auto config = BaseConfig(32, sim::Backend::kNccl);
+  auto without = ClusterSim(ResNet50Spec(), config).Run(3);
+  config.find_unused_parameters = true;
+  auto with = ClusterSim(ResNet50Spec(), config).Run(3);
+  EXPECT_GT(with.mean_breakdown.comm_busy, without.mean_breakdown.comm_busy);
+}
+
+TEST(ClusterSimTest, CompressionScaleShrinksCommTime) {
+  auto config = BaseConfig(32, sim::Backend::kGloo);
+  auto full = ClusterSim(BertBaseSpec(), config).Run(3);
+  config.comm_bytes_scale = 0.5;  // fp16 hook
+  auto half = ClusterSim(BertBaseSpec(), config).Run(3);
+  EXPECT_LT(half.mean_breakdown.comm_busy,
+            0.7 * full.mean_breakdown.comm_busy);
+}
+
+TEST(ClusterSimTest, StragglersWidenTheDistribution) {
+  auto config = BaseConfig(32, sim::Backend::kNccl);
+  config.straggler.sigma = 0.05;
+  config.compute.op_jitter_sigma = 0.02;
+  auto result = ClusterSim(ResNet50Spec(), config).Run(50);
+  auto summary = result.LatencySummary();
+  EXPECT_GT(summary.max, summary.min);
+  EXPECT_GT(summary.stddev, 0.0);
+}
+
+TEST(ClusterSimTest, HiccupsCreateOutliers) {
+  auto config = BaseConfig(16, sim::Backend::kNccl);
+  config.hiccup_every = 10;
+  config.hiccup_seconds = 0.5;
+  auto result = ClusterSim(ResNet50Spec(), config).Run(25);
+  auto summary = result.LatencySummary();
+  EXPECT_GT(summary.max, summary.median + 0.4);
+}
+
+TEST(ClusterSimTest, SplitAllReduceMatchesFig2Shape) {
+  ClusterSim sim(ResNet152Spec(), BaseConfig(2, sim::Backend::kNccl));
+  const size_t total = 240u << 20;
+  const double small = sim.SplitAllReduceSeconds(total, 4096);
+  const double large = sim.SplitAllReduceSeconds(total, 80u << 20);
+  EXPECT_GT(small, 10.0 * large);
+}
+
+TEST(ClusterSimTest, DeterministicForSameSeed) {
+  auto config = BaseConfig(16, sim::Backend::kNccl);
+  config.straggler.sigma = 0.05;
+  config.compute.op_jitter_sigma = 0.03;
+  auto a = ClusterSim(ResNet50Spec(), config).Run(10);
+  auto b = ClusterSim(ResNet50Spec(), config).Run(10);
+  EXPECT_EQ(a.iteration_latencies, b.iteration_latencies);
+}
+
+TEST(ClusterSimTest, BucketAssignmentSharedWithProduction) {
+  auto config = BaseConfig(4, sim::Backend::kNccl);
+  config.bucket_cap_bytes = 25u << 20;
+  ClusterSim sim(ResNet50Spec(), config);
+  auto direct = core::AssignBuckets(ResNet50Spec().params, 25u << 20);
+  EXPECT_EQ(sim.assignment().buckets, direct.buckets);
+}
+
+}  // namespace
+}  // namespace ddpkit::cluster

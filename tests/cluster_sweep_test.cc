@@ -1,0 +1,111 @@
+// Parameterized property sweep over the cluster simulator's configuration
+// space. Invariants asserted for every (model, backend, world):
+//   - the latency breakdown's components sum to the total;
+//   - total latency is never below the pure-compute (world=1) floor;
+//   - exposed communication is non-negative and zero at world=1;
+//   - overlap never hurts;
+//   - results are deterministic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "cluster/cluster_sim.h"
+
+namespace ddpkit::cluster {
+namespace {
+
+using SweepParam = std::tuple<int, sim::Backend, int>;  // model, backend, world
+
+ModelSpec SpecFor(int model) {
+  switch (model) {
+    case 0:
+      return ResNet18Spec();
+    case 1:
+      return ResNet50Spec();
+    default:
+      return BertBaseSpec();
+  }
+}
+
+class ClusterSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ClusterSweepTest, BreakdownInvariantsHold) {
+  const auto [model, backend, world] = GetParam();
+  ClusterConfig config;
+  config.world = world;
+  config.backend = backend;
+  config.straggler.sigma = 0.0;
+  config.compute.op_jitter_sigma = 0.0;
+
+  ClusterSim sim(SpecFor(model), config);
+  auto result = sim.Run(4);
+  const auto& b = result.mean_breakdown;
+
+  // Components account for the whole iteration.
+  EXPECT_NEAR(b.forward + b.backward_compute + b.backward_comm_exposed +
+                  b.optimizer,
+              b.total, 1e-9 * b.total + 1e-12);
+
+  EXPECT_GE(b.backward_comm_exposed, 0.0);
+  EXPECT_GE(b.comm_busy, b.backward_comm_exposed - 1e-12);
+  if (world == 1) {
+    EXPECT_DOUBLE_EQ(b.comm_busy, 0.0);
+  } else {
+    EXPECT_GT(b.comm_busy, 0.0);
+  }
+
+  // Never faster than the compute-only floor.
+  ClusterConfig local = config;
+  local.world = 1;
+  auto floor = ClusterSim(SpecFor(model), local).Run(4);
+  EXPECT_GE(b.total, floor.mean_breakdown.total - 1e-9);
+
+  // Overlap never hurts.
+  ClusterConfig no_overlap = config;
+  no_overlap.overlap = false;
+  auto serial = ClusterSim(SpecFor(model), no_overlap).Run(4);
+  EXPECT_LE(b.total, serial.mean_breakdown.total + 1e-9);
+
+  // Deterministic.
+  auto again = ClusterSim(SpecFor(model), config).Run(4);
+  EXPECT_EQ(result.iteration_latencies, again.iteration_latencies);
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& [model, backend, world] = info.param;
+  const char* names[] = {"r18", "r50", "bert"};
+  return std::string(names[model]) + "_" +
+         sim::BackendName(backend) + "_w" + std::to_string(world);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, ClusterSweepTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(sim::Backend::kNccl,
+                                         sim::Backend::kGloo,
+                                         sim::Backend::kMpi),
+                       ::testing::Values(1, 2, 8, 16, 64, 256)),
+    SweepName);
+
+TEST(ClusterMonotonicityTest, LatencyGrowsAcrossHostBoundary) {
+  // Within one host latency grows slowly; crossing to multi-host (NIC
+  // ring) is a visible step for every backend and model.
+  for (sim::Backend backend : {sim::Backend::kNccl, sim::Backend::kGloo,
+                               sim::Backend::kMpi}) {
+    ClusterConfig config;
+    config.backend = backend;
+    config.straggler.sigma = 0.0;
+    config.compute.op_jitter_sigma = 0.0;
+    config.world = 8;
+    auto intra = ClusterSim(ResNet50Spec(), config).Run(3);
+    config.world = 16;
+    auto inter = ClusterSim(ResNet50Spec(), config).Run(3);
+    EXPECT_GT(inter.mean_breakdown.total, intra.mean_breakdown.total)
+        << sim::BackendName(backend);
+  }
+}
+
+}  // namespace
+}  // namespace ddpkit::cluster

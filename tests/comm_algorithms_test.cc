@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "comm/algorithms.h"
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::comm {
+namespace {
+
+std::vector<Tensor> MakeContributions(int world, int64_t n, Rng* rng) {
+  std::vector<Tensor> tensors;
+  for (int r = 0; r < world; ++r) {
+    tensors.push_back(Tensor::Randn({n}, rng));
+  }
+  return tensors;
+}
+
+Tensor ReferenceSum(const std::vector<Tensor>& tensors) {
+  // Double-precision reference, independent of algorithm order.
+  const int64_t n = tensors[0].numel();
+  Tensor out = Tensor::Zeros({n});
+  std::vector<double> acc(static_cast<size_t>(n), 0.0);
+  for (const Tensor& t : tensors) {
+    for (int64_t i = 0; i < n; ++i) acc[static_cast<size_t>(i)] += t.FlatAt(i);
+  }
+  for (int64_t i = 0; i < n; ++i) out.FlatSet(i, acc[static_cast<size_t>(i)]);
+  return out;
+}
+
+class AllReduceAlgorithmTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, int, int64_t>> {};
+
+TEST_P(AllReduceAlgorithmTest, SumMatchesReference) {
+  auto [algorithm, world, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(world * 1000 + n));
+  auto originals = MakeContributions(world, n, &rng);
+  std::vector<Tensor> tensors;
+  for (const Tensor& t : originals) tensors.push_back(t.Clone());
+
+  RunAllReduce(algorithm, ReduceOp::kSum, tensors);
+
+  Tensor expected = ReferenceSum(originals);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_LT(kernels::MaxAbsDiff(tensors[static_cast<size_t>(r)], expected),
+              1e-4 * world)
+        << "rank " << r;
+  }
+  // All ranks hold bit-identical results.
+  for (int r = 1; r < world; ++r) {
+    EXPECT_EQ(kernels::MaxAbsDiff(tensors[static_cast<size_t>(r)],
+                                  tensors[0]),
+              0.0);
+  }
+}
+
+std::string AllReduceParamName(
+    const ::testing::TestParamInfo<std::tuple<Algorithm, int, int64_t>>&
+        info) {
+  return std::string(AlgorithmName(std::get<0>(info.param))) + "_w" +
+         std::to_string(std::get<1>(info.param)) + "_n" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllReduceAlgorithmTest,
+    ::testing::Combine(
+        ::testing::Values(Algorithm::kNaive, Algorithm::kRing,
+                          Algorithm::kTree),
+        ::testing::Values(1, 2, 3, 4, 7, 8),   // odd worlds stress chunking
+        ::testing::Values(int64_t{1}, int64_t{5}, int64_t{64}, int64_t{1000},
+                          int64_t{4097})),
+    AllReduceParamName);
+
+TEST(AllReduceTest, SumIsDeterministicAcrossRuns) {
+  Rng rng1(42), rng2(42);
+  auto a = MakeContributions(4, 1000, &rng1);
+  auto b = MakeContributions(4, 1000, &rng2);
+  RunAllReduce(Algorithm::kRing, ReduceOp::kSum, a);
+  RunAllReduce(Algorithm::kRing, ReduceOp::kSum, b);
+  EXPECT_EQ(kernels::MaxAbsDiff(a[0], b[0]), 0.0);
+}
+
+TEST(AllReduceTest, MaxOperator) {
+  std::vector<Tensor> tensors = {
+      Tensor::FromVector({1, 5, -3}, {3}),
+      Tensor::FromVector({4, 2, -1}, {3}),
+      Tensor::FromVector({0, 9, -7}, {3}),
+  };
+  RunAllReduce(Algorithm::kRing, ReduceOp::kMax, tensors);
+  EXPECT_DOUBLE_EQ(tensors[0].FlatAt(0), 4.0);
+  EXPECT_DOUBLE_EQ(tensors[1].FlatAt(1), 9.0);
+  EXPECT_DOUBLE_EQ(tensors[2].FlatAt(2), -1.0);
+}
+
+TEST(AllReduceTest, BitwiseOrOnBitmaps) {
+  // The globally-unused-parameter bitmap path (§3.2.3).
+  std::vector<Tensor> bitmaps;
+  for (int r = 0; r < 3; ++r) {
+    bitmaps.push_back(Tensor::Zeros({5}, DType::kUInt8));
+  }
+  bitmaps[0].data<uint8_t>()[0] = 1;
+  bitmaps[1].data<uint8_t>()[2] = 1;
+  bitmaps[2].data<uint8_t>()[2] = 1;
+  RunAllReduce(Algorithm::kNaive, ReduceOp::kBor, bitmaps);
+  for (int r = 0; r < 3; ++r) {
+    const uint8_t* bits = bitmaps[static_cast<size_t>(r)].data<uint8_t>();
+    EXPECT_EQ(bits[0], 1);
+    EXPECT_EQ(bits[1], 0);
+    EXPECT_EQ(bits[2], 1);
+    EXPECT_EQ(bits[3], 0);
+  }
+}
+
+TEST(AllReduceTest, Int64Sum) {
+  std::vector<Tensor> tensors = {
+      Tensor::FromVectorInt64({1, 2}, {2}),
+      Tensor::FromVectorInt64({10, 20}, {2}),
+  };
+  RunAllReduce(Algorithm::kTree, ReduceOp::kSum, tensors);
+  EXPECT_EQ(tensors[0].data<int64_t>()[0], 11);
+  EXPECT_EQ(tensors[1].data<int64_t>()[1], 22);
+}
+
+TEST(AllReduceTest, Fp16SumAccumulatesInFloat) {
+  std::vector<Tensor> tensors;
+  for (int r = 0; r < 4; ++r) {
+    Tensor t = Tensor::Empty({3}, DType::kFloat16);
+    for (int64_t i = 0; i < 3; ++i) t.FlatSet(i, 0.25 * (r + 1));
+    tensors.push_back(t);
+  }
+  RunAllReduce(Algorithm::kRing, ReduceOp::kSum, tensors);
+  // 0.25+0.5+0.75+1.0 = 2.5, exactly representable in half.
+  for (const Tensor& t : tensors) {
+    EXPECT_DOUBLE_EQ(t.FlatAt(0), 2.5);
+  }
+}
+
+TEST(BroadcastTest, CopiesRootToAll) {
+  std::vector<Tensor> tensors = {
+      Tensor::Full({4}, 1.0),
+      Tensor::Full({4}, 2.0),
+      Tensor::Full({4}, 3.0),
+  };
+  RunBroadcast(tensors, /*root=*/1);
+  for (const Tensor& t : tensors) {
+    EXPECT_DOUBLE_EQ(t.FlatAt(0), 2.0);
+  }
+}
+
+TEST(AllGatherTest, ConcatenatesInRankOrder) {
+  std::vector<Tensor> inputs = {
+      Tensor::Full({2}, 1.0),
+      Tensor::Full({2}, 2.0),
+      Tensor::Full({2}, 3.0),
+  };
+  std::vector<Tensor> outputs;
+  for (int r = 0; r < 3; ++r) outputs.push_back(Tensor::Zeros({6}));
+  RunAllGather(inputs, outputs);
+  for (const Tensor& out : outputs) {
+    EXPECT_DOUBLE_EQ(out.FlatAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(out.FlatAt(2), 2.0);
+    EXPECT_DOUBLE_EQ(out.FlatAt(5), 3.0);
+  }
+}
+
+TEST(AllReduceTest, SingleRankIsIdentity) {
+  std::vector<Tensor> tensors = {Tensor::FromVector({1, 2, 3}, {3})};
+  RunAllReduce(Algorithm::kRing, ReduceOp::kSum, tensors);
+  EXPECT_DOUBLE_EQ(tensors[0].FlatAt(2), 3.0);
+}
+
+TEST(AllReduceTest, WorldLargerThanElements) {
+  // 8 ranks, 3 elements: some ring chunks are empty.
+  Rng rng(77);
+  auto originals = MakeContributions(8, 3, &rng);
+  std::vector<Tensor> tensors;
+  for (const Tensor& t : originals) tensors.push_back(t.Clone());
+  RunAllReduce(Algorithm::kRing, ReduceOp::kSum, tensors);
+  Tensor expected = ReferenceSum(originals);
+  EXPECT_LT(kernels::MaxAbsDiff(tensors[3], expected), 1e-4);
+}
+
+}  // namespace
+}  // namespace ddpkit::comm

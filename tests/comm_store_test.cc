@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "comm/store.h"
+
+namespace ddpkit::comm {
+namespace {
+
+TEST(StoreTest, SetAndTryGet) {
+  Store store;
+  std::string value;
+  EXPECT_FALSE(store.TryGet("k", &value));
+  store.Set("k", "v");
+  EXPECT_TRUE(store.TryGet("k", &value));
+  EXPECT_EQ(value, "v");
+  EXPECT_EQ(store.NumKeys(), 1u);
+}
+
+TEST(StoreTest, SetOverwrites) {
+  Store store;
+  store.Set("k", "a");
+  store.Set("k", "b");
+  EXPECT_EQ(store.Get("k"), "b");
+}
+
+TEST(StoreTest, GetBlocksUntilSet) {
+  Store store;
+  std::string got;
+  std::thread reader([&] { got = store.Get("late"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  store.Set("late", "arrived");
+  reader.join();
+  EXPECT_EQ(got, "arrived");
+}
+
+TEST(StoreTest, AddIsAtomicAcrossThreads) {
+  Store store;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) store.Add("counter", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.Add("counter", 0), kThreads * kIncrements);
+}
+
+TEST(StoreTest, AddNegativeDelta) {
+  Store store;
+  store.Add("n", 10);
+  EXPECT_EQ(store.Add("n", -3), 7);
+}
+
+TEST(StoreTest, WaitForMultipleKeys) {
+  Store store;
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    store.Wait({"a", "b", "c"});
+    done = true;
+  });
+  store.Set("a", "1");
+  store.Set("b", "2");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(done.load());
+  store.Set("c", "3");
+  waiter.join();
+  EXPECT_TRUE(done.load());
+}
+
+}  // namespace
+}  // namespace ddpkit::comm

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ddpkit {
+namespace {
+
+// ---- Status ------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(),  Status::OutOfRange("").code(),
+      Status::FailedPrecondition("").code(), Status::Internal("").code(),
+      Status::TimedOut("").code(),         Status::NotFound("").code(),
+      Status::Unimplemented("").code(),
+  };
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.ValueOr(7), 42);
+
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ValueOr(7), 7);
+}
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit over 2000 draws
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, LogNormalPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 0.5), 0.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(17);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---- Stats ---------------------------------------------------------------------
+
+TEST(StatsTest, SummaryOfKnownSamples) {
+  std::vector<double> samples = {5.0, 1.0, 3.0, 2.0, 4.0};
+  Summary s = Summarize(samples);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(StatsTest, SingleSample) {
+  Summary s = Summarize({2.5});
+  EXPECT_DOUBLE_EQ(s.min, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(sorted, 1.0), 10.0);
+}
+
+// ---- Barrier --------------------------------------------------------------------
+
+TEST(BarrierTest, SynchronizesThreads) {
+  constexpr int kThreads = 8;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      phase_counter.fetch_add(1);
+      if (barrier.ArriveAndWait()) serial_count.fetch_add(1);
+      // After the barrier, all increments must be visible.
+      EXPECT_EQ(phase_counter.load(), kThreads);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial_count.load(), 1);  // exactly one "serial" thread
+}
+
+TEST(BarrierTest, Reusable) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.ArriveAndWait();
+        EXPECT_EQ(counter.load() % (kThreads * kRounds + 1),
+                  counter.load());  // no torn state
+        barrier.ArriveAndWait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+}  // namespace
+}  // namespace ddpkit

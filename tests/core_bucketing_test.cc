@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/bucketing.h"
+
+namespace ddpkit::core {
+namespace {
+
+std::vector<ParamMeta> MakeParams(const std::vector<int64_t>& numels,
+                                  int device = 0) {
+  std::vector<ParamMeta> params;
+  for (int64_t n : numels) {
+    params.push_back(ParamMeta{n, static_cast<size_t>(n) * 4, device});
+  }
+  return params;
+}
+
+/// Every parameter appears exactly once across all buckets.
+void ExpectIsPartition(const BucketAssignment& a, size_t num_params) {
+  std::vector<int> seen(num_params, 0);
+  for (const auto& bucket : a.buckets) {
+    EXPECT_FALSE(bucket.empty());
+    for (size_t idx : bucket) {
+      ASSERT_LT(idx, num_params);
+      ++seen[idx];
+    }
+  }
+  for (size_t i = 0; i < num_params; ++i) {
+    EXPECT_EQ(seen[i], 1) << "param " << i;
+  }
+}
+
+TEST(BucketingTest, ReverseOrderPacking) {
+  // 4 params of 1KB each, cap 2KB -> two buckets; bucket 0 holds the LAST
+  // registered params (reverse order heuristic, §3.2.3).
+  auto params = MakeParams({256, 256, 256, 256});
+  auto a = AssignBuckets(params, 2048);
+  ASSERT_EQ(a.num_buckets(), 2u);
+  EXPECT_EQ(a.buckets[0], (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(a.buckets[1], (std::vector<size_t>{1, 0}));
+  ExpectIsPartition(a, 4);
+}
+
+TEST(BucketingTest, ZeroCapMeansPerGradientBuckets) {
+  auto params = MakeParams({10, 20, 30});
+  auto a = AssignBuckets(params, 0);
+  ASSERT_EQ(a.num_buckets(), 3u);
+  for (const auto& bucket : a.buckets) {
+    EXPECT_EQ(bucket.size(), 1u);
+  }
+  EXPECT_EQ(a.buckets[0][0], 2u);  // still reverse order
+}
+
+TEST(BucketingTest, OversizedParamGetsOwnBucket) {
+  auto params = MakeParams({100, 10000, 100});
+  auto a = AssignBuckets(params, 1024);
+  ExpectIsPartition(a, 3);
+  // The 40KB param must sit alone.
+  bool found_alone = false;
+  for (const auto& bucket : a.buckets) {
+    if (bucket.size() == 1 && bucket[0] == 1) found_alone = true;
+  }
+  EXPECT_TRUE(found_alone);
+}
+
+TEST(BucketingTest, CapRespectedExceptSingletons) {
+  auto params = MakeParams({300, 200, 100, 400, 50, 250});
+  const size_t cap = 1200;  // bytes
+  auto a = AssignBuckets(params, cap);
+  ExpectIsPartition(a, 6);
+  for (const auto& bucket : a.buckets) {
+    if (bucket.size() > 1) {
+      EXPECT_LE(BucketBytes(params, bucket), cap);
+    }
+  }
+}
+
+TEST(BucketingTest, DeviceAffinitySplitsBuckets) {
+  std::vector<ParamMeta> params = {
+      {100, 400, 0}, {100, 400, 0}, {100, 400, 1}, {100, 400, 1}};
+  auto a = AssignBuckets(params, 1 << 20);
+  // Reverse order: 3,2 (device 1) then 1,0 (device 0) — split at the
+  // device boundary even though the cap would allow one bucket.
+  ASSERT_EQ(a.num_buckets(), 2u);
+  EXPECT_EQ(a.buckets[0], (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(a.buckets[1], (std::vector<size_t>{1, 0}));
+}
+
+TEST(BucketingTest, FirstBucketCapSmaller) {
+  auto params = MakeParams({256, 256, 256, 256});
+  auto a = AssignBuckets(params, 4096, /*first_bucket_cap_bytes=*/1024);
+  ASSERT_GE(a.num_buckets(), 2u);
+  EXPECT_EQ(a.buckets[0].size(), 1u);  // first bucket fits one 1KB param
+  EXPECT_EQ(a.buckets[0][0], 3u);
+}
+
+TEST(BucketingTest, SingleHugeBucketWhenCapUnlimited) {
+  auto params = MakeParams({100, 200, 300});
+  auto a = AssignBuckets(params, size_t{1} << 40);
+  ASSERT_EQ(a.num_buckets(), 1u);
+  EXPECT_EQ(a.buckets[0], (std::vector<size_t>{2, 1, 0}));
+}
+
+TEST(BucketingTest, DeterministicAcrossCalls) {
+  auto params = MakeParams({17, 999, 3, 12345, 64, 64, 2048});
+  auto a = AssignBuckets(params, 4096);
+  auto b = AssignBuckets(params, 4096);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(BucketingTest, Resnet50LikeDistribution) {
+  // 25 MB cap over a ResNet50-scale inventory gives a handful of buckets.
+  std::vector<ParamMeta> params;
+  for (int i = 0; i < 161; ++i) {
+    const int64_t numel = (i % 3 == 0) ? 2359296 : 512;  // mix of big/small
+    params.push_back(ParamMeta{numel, static_cast<size_t>(numel) * 4, 0});
+  }
+  auto a = AssignBuckets(params, 25u << 20);
+  ExpectIsPartition(a, params.size());
+  EXPECT_GE(a.num_buckets(), 2u);
+  EXPECT_LE(a.num_buckets(), 40u);
+}
+
+TEST(BucketingTest, FromOrderUsesGivenPermutation) {
+  auto params = MakeParams({256, 256, 256, 256});
+  // Observed ready order says param 1 finished first.
+  auto a = AssignBucketsFromOrder(params, {1, 0, 3, 2}, 2048);
+  ASSERT_EQ(a.num_buckets(), 2u);
+  EXPECT_EQ(a.buckets[0], (std::vector<size_t>{1, 0}));
+  EXPECT_EQ(a.buckets[1], (std::vector<size_t>{3, 2}));
+}
+
+TEST(BucketingTest, BucketBytesSums) {
+  auto params = MakeParams({10, 20, 30});
+  EXPECT_EQ(BucketBytes(params, {0, 2}), 40u + 120u);
+}
+
+TEST(BucketingTest, ToStringMentionsEveryBucket) {
+  auto params = MakeParams({256, 256});
+  auto a = AssignBuckets(params, 512);
+  const std::string s = a.ToString(params);
+  EXPECT_NE(s.find("bucket 0"), std::string::npos);
+  EXPECT_NE(s.find("bucket 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddpkit::core

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/sim_world.h"
+#include "common/rng.h"
+#include "core/distributed_data_parallel.h"
+#include "nn/losses.h"
+#include "nn/zoo.h"
+#include "optim/sgd.h"
+
+namespace ddpkit::core {
+namespace {
+
+using comm::SimWorld;
+
+std::vector<float> FlattenGrads(const nn::Module& module) {
+  std::vector<float> out;
+  for (const Tensor& p : module.parameters()) {
+    Tensor g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      out.push_back(static_cast<float>(g.FlatAt(i)));
+    }
+  }
+  return out;
+}
+
+TEST(NoSyncTest, SkipsCommunicationInsideGuard) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(1);
+    auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 4}, &rng);
+    DistributedDataParallel ddp(model, ctx.process_group);
+    const uint64_t before = ddp.reducer().stats().allreduces_launched;
+    {
+      auto guard = ddp.no_sync();
+      Tensor x = Tensor::Full({2, 4}, 1.0);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+    }
+    EXPECT_EQ(ddp.reducer().stats().allreduces_launched, before);
+    EXPECT_FALSE(ddp.reducer().backward_finalized());
+  });
+}
+
+TEST(NoSyncTest, GradientsAccumulateLocally) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(2);
+    auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{3, 1}, &rng);
+    DistributedDataParallel ddp(model, ctx.process_group);
+    Tensor x = Tensor::Full({1, 3}, 1.0);
+
+    auto one_backward = [&] {
+      autograd::Backward(ops::SumAll(ddp.Forward(x)));
+    };
+    {
+      auto guard = ddp.no_sync();
+      one_backward();
+    }
+    std::vector<float> after_one = FlattenGrads(*model);
+    {
+      auto guard = ddp.no_sync();
+      one_backward();
+    }
+    std::vector<float> after_two = FlattenGrads(*model);
+    for (size_t i = 0; i < after_one.size(); ++i) {
+      EXPECT_NEAR(after_two[i], 2.0f * after_one[i], 1e-5);
+    }
+  });
+}
+
+TEST(NoSyncTest, FirstSyncedBackwardReducesAccumulatedGrads) {
+  // Paper §3.2.4: the accumulated micro-batch gradients must equal the
+  // gradient of one big batch processed in one shot.
+  constexpr int kWorld = 2;
+  const int64_t micro = 2;
+
+  // Global data: 2 micro-batches per rank, 2 ranks = 8 examples total.
+  Rng data_rng(3);
+  Tensor all_x = Tensor::Randn({8, 5}, &data_rng);
+  Tensor all_y = Tensor::Randn({8, 2}, &data_rng);
+
+  // Reference: local model over the full 8-example batch.
+  Rng model_rng(7);
+  nn::Mlp local({5, 2}, &model_rng);
+  autograd::Backward(nn::MSELoss()(local.Forward(all_x), all_y));
+  std::vector<float> local_grads = FlattenGrads(local);
+
+  std::vector<std::vector<float>> ddp_grads(kWorld);
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Rng rng(7);
+    auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{5, 2}, &rng);
+    DistributedDataParallel ddp(model, ctx.process_group);
+    nn::MSELoss mse;
+    // Rank r owns examples [4r, 4r+4): micro-batch 1 = first half,
+    // micro-batch 2 = second half.
+    Tensor x1 = all_x.Narrow(0, ctx.rank * 4, micro).Clone();
+    Tensor y1 = all_y.Narrow(0, ctx.rank * 4, micro).Clone();
+    Tensor x2 = all_x.Narrow(0, ctx.rank * 4 + micro, micro).Clone();
+    Tensor y2 = all_y.Narrow(0, ctx.rank * 4 + micro, micro).Clone();
+    {
+      auto guard = ddp.no_sync();
+      autograd::Backward(mse(ddp.Forward(x1), y1));
+    }
+    // Synced backward: reduces the sum of both micro-batch gradients.
+    autograd::Backward(mse(ddp.Forward(x2), y2));
+    EXPECT_TRUE(ddp.reducer().backward_finalized());
+    ddp_grads[static_cast<size_t>(ctx.rank)] = FlattenGrads(*model);
+  });
+
+  // Accumulated-and-averaged micro-batch gradients = 2x the big-batch mean
+  // gradient (two accumulated means per rank vs one mean over all), so
+  // compare after halving.
+  for (int r = 0; r < kWorld; ++r) {
+    ASSERT_EQ(ddp_grads[static_cast<size_t>(r)].size(), local_grads.size());
+    for (size_t i = 0; i < local_grads.size(); ++i) {
+      EXPECT_NEAR(ddp_grads[static_cast<size_t>(r)][i] / 2.0f,
+                  local_grads[i], 5e-5)
+          << "rank " << r << " element " << i;
+    }
+  }
+}
+
+TEST(NoSyncTest, UsageBitmapAccumulatesAcrossNoSyncIterations) {
+  // A branch used only inside the no_sync window must still be flagged as
+  // used when the next synced backward reduces (§3.2.4).
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(4);
+    auto model = std::make_shared<nn::BranchyNet>(4, &rng);
+    DdpOptions options;
+    options.find_unused_parameters = true;
+    DistributedDataParallel ddp(model, ctx.process_group, options);
+    Tensor x = Tensor::Full({2, 4}, 1.0);
+    {
+      auto guard = ddp.no_sync();
+      model->set_use_branch_a(true);  // branch A used (unsynced)
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+    }
+    model->set_use_branch_a(false);  // branch B used (synced)
+    autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+
+    const auto& mask = ddp.globally_used_mask();
+    const auto named = model->named_parameters();
+    for (size_t i = 0; i < named.size(); ++i) {
+      // Both branches participated since the last sync.
+      EXPECT_EQ(mask[i], 1) << named[i].first;
+    }
+  });
+}
+
+TEST(NoSyncTest, TrainingWithAccumulationStaysConsistent) {
+  constexpr int kWorld = 2;
+  std::vector<std::vector<float>> params(kWorld);
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Rng rng(5);
+    auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{6, 3}, &rng);
+    DistributedDataParallel ddp(model, ctx.process_group);
+    optim::Sgd opt(model->parameters(), optim::Sgd::Options{.lr = 0.02});
+    for (int step = 0; step < 3; ++step) {
+      opt.ZeroGrad();
+      Rng data_rng(step * 10 + ctx.rank);
+      {
+        auto guard = ddp.no_sync();
+        for (int micro = 0; micro < 2; ++micro) {
+          Tensor x = Tensor::Randn({2, 6}, &data_rng);
+          autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+        }
+      }
+      Tensor x = Tensor::Randn({2, 6}, &data_rng);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      opt.Step();
+    }
+    std::vector<float> flat;
+    for (const Tensor& p : model->parameters()) {
+      for (int64_t i = 0; i < p.numel(); ++i) {
+        flat.push_back(static_cast<float>(p.FlatAt(i)));
+      }
+    }
+    params[static_cast<size_t>(ctx.rank)] = std::move(flat);
+  });
+  EXPECT_EQ(params[0], params[1]);  // replicas never diverge
+}
+
+}  // namespace
+}  // namespace ddpkit::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/sim_world.h"
+#include "common/rng.h"
+#include "core/distributed_data_parallel.h"
+#include "core/order_tracer.h"
+#include "nn/zoo.h"
+
+namespace ddpkit::core {
+namespace {
+
+using comm::SimWorld;
+
+/// Model whose registration order is the REVERSE of its invocation order:
+/// the reverse-parameters() heuristic mis-predicts the backward order, so
+/// order tracing should improve the bucket layout (§6.2.1).
+class MisorderedNet : public nn::Module {
+ public:
+  explicit MisorderedNet(Rng* rng) {
+    // Registered first, but applied LAST in forward.
+    late_ = RegisterModule("late", std::make_shared<nn::Linear>(8, 8, rng));
+    early_ = RegisterModule("early", std::make_shared<nn::Linear>(8, 8, rng));
+  }
+  Tensor Forward(const Tensor& input) override {
+    return late_->Forward(ops::Relu(early_->Forward(input)));
+  }
+
+ private:
+  std::shared_ptr<nn::Linear> late_;
+  std::shared_ptr<nn::Linear> early_;
+};
+
+TEST(OrderTracerTest, RebuildsAfterStableOrder) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(1);
+    auto model = std::make_shared<MisorderedNet>(&rng);
+    DdpOptions options;
+    options.bucket_cap_bytes = 8 * 8 * 4 + 8 * 4;  // one layer per bucket
+    DistributedDataParallel ddp(model, ctx.process_group, options);
+    OrderTracer tracer(OrderTracer::Options{.stable_iterations = 2,
+                                            .max_rebuilds = 1});
+    auto before = ddp.reducer().assignment().buckets;
+
+    bool rebuilt = false;
+    for (int step = 0; step < 5; ++step) {
+      model->ZeroGrad();
+      Tensor x = Tensor::Full({2, 8}, 1.0);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      rebuilt = tracer.ObserveAndMaybeRebuild(&ddp.reducer()) || rebuilt;
+    }
+    EXPECT_TRUE(rebuilt);
+    EXPECT_EQ(tracer.rebuilds(), 1);
+    // The rebuilt layout differs: `late` params (registered first, ready
+    // first) now lead the launch order.
+    auto after = ddp.reducer().assignment().buckets;
+    EXPECT_NE(before, after);
+    // First bucket now contains low indices (the "late" module's params,
+    // which are registered first => indices 0,1).
+    EXPECT_TRUE(after[0][0] == 0 || after[0][0] == 1);
+  });
+}
+
+TEST(OrderTracerTest, TrainingStillCorrectAfterRebuild) {
+  constexpr int kWorld = 2;
+  std::vector<std::vector<float>> grads(kWorld);
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Rng rng(2);
+    auto model = std::make_shared<MisorderedNet>(&rng);
+    DdpOptions options;
+    options.bucket_cap_bytes = 128;
+    DistributedDataParallel ddp(model, ctx.process_group, options);
+    OrderTracer tracer;
+    for (int step = 0; step < 6; ++step) {
+      model->ZeroGrad();
+      Rng data_rng(step * 10 + ctx.rank);
+      Tensor x = Tensor::Randn({2, 8}, &data_rng);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      EXPECT_TRUE(ddp.reducer().backward_finalized());
+      tracer.ObserveAndMaybeRebuild(&ddp.reducer());
+    }
+    for (const Tensor& p : model->parameters()) {
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        grads[static_cast<size_t>(ctx.rank)].push_back(
+            static_cast<float>(g.FlatAt(i)));
+      }
+    }
+  });
+  EXPECT_EQ(grads[0], grads[1]);  // still synchronized after rebuild
+}
+
+TEST(OrderTracerTest, NoRebuildWhileOrderUnstable) {
+  SimWorld::Run(1, [&](SimWorld::RankContext& ctx) {
+    Rng rng(3);
+    auto model = std::make_shared<nn::BranchyNet>(4, &rng);
+    DdpOptions options;
+    options.find_unused_parameters = true;
+    DistributedDataParallel ddp(model, ctx.process_group, options);
+    OrderTracer tracer(OrderTracer::Options{.stable_iterations = 2,
+                                            .max_rebuilds = 1});
+    for (int step = 0; step < 6; ++step) {
+      model->set_use_branch_a(step % 2 == 0);  // order flips every step
+      model->ZeroGrad();
+      Tensor x = Tensor::Full({1, 4}, 1.0);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      EXPECT_FALSE(tracer.ObserveAndMaybeRebuild(&ddp.reducer()));
+    }
+    EXPECT_EQ(tracer.rebuilds(), 0);
+  });
+}
+
+TEST(OrderTracerTest, MaxRebuildsBounded) {
+  SimWorld::Run(1, [&](SimWorld::RankContext& ctx) {
+    Rng rng(4);
+    auto model = std::make_shared<MisorderedNet>(&rng);
+    DdpOptions options;
+    options.bucket_cap_bytes = 128;
+    DistributedDataParallel ddp(model, ctx.process_group, options);
+    OrderTracer tracer(OrderTracer::Options{.stable_iterations = 1,
+                                            .max_rebuilds = 1});
+    for (int step = 0; step < 8; ++step) {
+      model->ZeroGrad();
+      Tensor x = Tensor::Full({1, 8}, 1.0);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      tracer.ObserveAndMaybeRebuild(&ddp.reducer());
+    }
+    EXPECT_LE(tracer.rebuilds(), 1);
+    EXPECT_LE(ddp.reducer().stats().rebuilds, 1u);
+  });
+}
+
+}  // namespace
+}  // namespace ddpkit::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/sim_world.h"
+#include "common/rng.h"
+#include "core/reducer.h"
+#include "nn/zoo.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::core {
+namespace {
+
+using comm::SimWorld;
+
+TEST(ReducerTest, BucketCountMatchesAssignment) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(1);
+    nn::Mlp mlp({8, 16, 4}, &rng);
+    ReducerOptions options;
+    options.bucket_cap_bytes = 0;  // one bucket per gradient
+    Reducer reducer(mlp.parameters(), ctx.process_group, options);
+    EXPECT_EQ(reducer.num_buckets(), mlp.parameters().size());
+  });
+}
+
+TEST(ReducerTest, SingleBackwardAveragesGradients) {
+  constexpr int kWorld = 4;
+  std::vector<double> grads(kWorld, 0.0);
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Tensor p = Tensor::Full({3}, 1.0);
+    p.set_requires_grad(true);
+    Reducer reducer({p}, ctx.process_group, ReducerOptions{});
+    // Each rank's local gradient is rank+1; the average is 2.5.
+    Tensor x = Tensor::Full({3}, ctx.rank + 1.0);
+    Tensor loss = ops::SumAll(ops::Mul(p, x));
+    reducer.PrepareForBackward({loss}, /*will_sync=*/true);
+    autograd::Backward(loss);
+    EXPECT_TRUE(reducer.backward_finalized());
+    grads[static_cast<size_t>(ctx.rank)] = p.grad().FlatAt(0);
+  });
+  for (double g : grads) {
+    EXPECT_DOUBLE_EQ(g, (1.0 + 2.0 + 3.0 + 4.0) / 4.0);
+  }
+}
+
+TEST(ReducerTest, MultipleBucketsAllReduced) {
+  constexpr int kWorld = 2;
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Rng rng(2);
+    nn::Mlp mlp({16, 32, 8}, &rng);
+    ReducerOptions options;
+    options.bucket_cap_bytes = 1024;  // force several buckets
+    Reducer reducer(mlp.parameters(), ctx.process_group, options);
+    EXPECT_GT(reducer.num_buckets(), 2u);
+
+    Tensor x = Tensor::Full({4, 16}, ctx.rank == 0 ? 1.0 : -1.0);
+    Tensor loss = ops::MeanAll(mlp.Forward(x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    EXPECT_TRUE(reducer.backward_finalized());
+    EXPECT_EQ(reducer.stats().allreduces_launched, reducer.num_buckets());
+  });
+}
+
+TEST(ReducerTest, GradientsIdenticalAcrossRanks) {
+  constexpr int kWorld = 3;
+  std::vector<std::vector<float>> flat_grads(kWorld);
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Rng rng(3);  // same weights everywhere
+    nn::Mlp mlp({6, 10, 2}, &rng);
+    Reducer reducer(mlp.parameters(), ctx.process_group, ReducerOptions{});
+    Rng data_rng(100 + ctx.rank);  // different data per rank
+    Tensor x = Tensor::Randn({5, 6}, &data_rng);
+    Tensor loss = ops::MeanAll(mlp.Forward(x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    for (const Tensor& p : mlp.parameters()) {
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        flat_grads[static_cast<size_t>(ctx.rank)].push_back(
+            static_cast<float>(g.FlatAt(i)));
+      }
+    }
+  });
+  // Synchronized gradients must be bit-identical across ranks.
+  EXPECT_EQ(flat_grads[0], flat_grads[1]);
+  EXPECT_EQ(flat_grads[0], flat_grads[2]);
+}
+
+TEST(ReducerTest, ReplenishesPendingCountsAcrossIterations) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(4);
+    nn::Mlp mlp({4, 4}, &rng);
+    Reducer reducer(mlp.parameters(), ctx.process_group, ReducerOptions{});
+    for (int iter = 0; iter < 3; ++iter) {
+      mlp.ZeroGrad();
+      Tensor x = Tensor::Full({2, 4}, iter + 1.0);
+      Tensor loss = ops::MeanAll(mlp.Forward(x));
+      reducer.PrepareForBackward({loss}, true);
+      autograd::Backward(loss);
+      EXPECT_TRUE(reducer.backward_finalized()) << "iter " << iter;
+    }
+    EXPECT_EQ(reducer.stats().finalized_backwards, 3u);
+  });
+}
+
+TEST(ReducerTest, ReadyOrderIsReverseRegistrationForChains) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(5);
+    nn::Mlp mlp({4, 4, 4}, &rng);  // fc0.w, fc0.b, fc1.w, fc1.b
+    Reducer reducer(mlp.parameters(), ctx.process_group, ReducerOptions{});
+    Tensor x = Tensor::Full({1, 4}, 1.0);
+    Tensor loss = ops::MeanAll(mlp.Forward(x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    const auto& order = reducer.last_ready_order();
+    ASSERT_EQ(order.size(), 4u);
+    // fc1's parameters (indices 2,3) become ready before fc0's (0,1).
+    EXPECT_TRUE(order[0] == 2 || order[0] == 3);
+    EXPECT_TRUE(order[3] == 0 || order[3] == 1);
+  });
+}
+
+TEST(ReducerTest, WorldOfOneStillWorks) {
+  SimWorld::Run(1, [&](SimWorld::RankContext& ctx) {
+    Tensor p = Tensor::Full({2}, 1.0);
+    p.set_requires_grad(true);
+    Reducer reducer({p}, ctx.process_group, ReducerOptions{});
+    Tensor loss = ops::SumAll(ops::Mul(p, p));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    EXPECT_TRUE(reducer.backward_finalized());
+    EXPECT_DOUBLE_EQ(p.grad().FlatAt(0), 2.0);  // unchanged by averaging
+  });
+}
+
+TEST(ReducerTest, VirtualClockChargesComputeAndComm) {
+  std::vector<double> with_model(2), without_model(2);
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(6);
+    nn::Mlp mlp({64, 64}, &rng);
+    ReducerOptions options;
+    options.compute_model = std::make_shared<sim::ComputeCostModel>(
+        sim::ComputeCostModel::GpuProfile());
+    Reducer reducer(mlp.parameters(), ctx.process_group, options);
+    Tensor x = Tensor::Full({1, 64}, 1.0);
+    Tensor loss = ops::MeanAll(mlp.Forward(x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    with_model[static_cast<size_t>(ctx.rank)] = ctx.clock->Now();
+  });
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Rng rng(6);
+    nn::Mlp mlp({64, 64}, &rng);
+    Reducer reducer(mlp.parameters(), ctx.process_group, ReducerOptions{});
+    Tensor x = Tensor::Full({1, 64}, 1.0);
+    Tensor loss = ops::MeanAll(mlp.Forward(x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    without_model[static_cast<size_t>(ctx.rank)] = ctx.clock->Now();
+  });
+  EXPECT_GT(with_model[0], without_model[0]);
+}
+
+TEST(ReducerTest, StatsCountBytes) {
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    Tensor p = Tensor::Full({100}, 1.0);
+    p.set_requires_grad(true);
+    Reducer reducer({p}, ctx.process_group, ReducerOptions{});
+    Tensor loss = ops::SumAll(ops::Mul(p, p));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    EXPECT_EQ(reducer.stats().bytes_reduced, 400u);
+  });
+}
+
+}  // namespace
+}  // namespace ddpkit::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::nn {
+namespace {
+
+TEST(LinearTest, OutputShapeAndValue) {
+  Rng rng(1);
+  Linear layer(3, 2, &rng);
+  // Overwrite weights to known values: y = xW^T + b.
+  layer.weight().CopyFrom(Tensor::FromVector({1, 0, 0, 0, 1, 0}, {2, 3}));
+  layer.bias().CopyFrom(Tensor::FromVector({10, 20}, {2}));
+  Tensor x = Tensor::FromVector({1, 2, 3}, {1, 3});
+  Tensor out = layer.Forward(x);
+  EXPECT_DOUBLE_EQ(out.At({0, 0}), 11.0);
+  EXPECT_DOUBLE_EQ(out.At({0, 1}), 22.0);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(2);
+  Linear layer(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  EXPECT_FALSE(layer.bias().defined());
+  Tensor out = layer.Forward(Tensor::Zeros({1, 3}));
+  EXPECT_DOUBLE_EQ(out.At({0, 0}), 0.0);
+}
+
+TEST(Conv2dTest, ShapeWithStridePadding) {
+  Rng rng(3);
+  Conv2d conv(3, 8, 3, &rng, /*stride=*/2, /*padding=*/1);
+  Tensor out = conv.Forward(Tensor::Randn({2, 3, 8, 8}, &rng));
+  EXPECT_EQ(out.size(0), 2);
+  EXPECT_EQ(out.size(1), 8);
+  EXPECT_EQ(out.size(2), 4);
+  EXPECT_EQ(out.size(3), 4);
+}
+
+TEST(BatchNormTest, NormalizesToZeroMeanUnitVar) {
+  Rng rng(4);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::Randn({8, 3, 4, 4}, &rng);
+  kernels::ScaleInPlace(&x, 5.0);  // large variance input
+  Tensor out = bn.Forward(x);
+  // Per-channel output should be ~N(0,1) since gamma=1, beta=0.
+  const int64_t m = 8 * 4 * 4;
+  for (int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t n = 0; n < 8; ++n) {
+      for (int64_t h = 0; h < 4; ++h) {
+        for (int64_t w = 0; w < 4; ++w) {
+          const double v = out.At({n, c, h, w});
+          sum += v;
+          sq += v * v;
+        }
+      }
+    }
+    EXPECT_NEAR(sum / m, 0.0, 1e-4);
+    EXPECT_NEAR(sq / m, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNormTest, RunningStatsUpdateInTraining) {
+  Rng rng(5);
+  BatchNorm2d bn(2);
+  Tensor before_mean = bn.running_mean().Clone();
+  Tensor x = Tensor::Full({4, 2, 2, 2}, 3.0);
+  bn.Forward(x);
+  // running_mean moves towards 3.0 by momentum 0.1.
+  EXPECT_NEAR(bn.running_mean().FlatAt(0), 0.3, 1e-5);
+  EXPECT_NEAR(before_mean.FlatAt(0), 0.0, 1e-7);
+}
+
+TEST(BatchNormTest, EvalModeUsesRunningStats) {
+  Rng rng(6);
+  BatchNorm2d bn(1);
+  // Prime running stats.
+  for (int i = 0; i < 50; ++i) {
+    bn.Forward(Tensor::Full({4, 1, 2, 2}, 2.0));
+  }
+  bn.SetTraining(false);
+  Tensor out = bn.Forward(Tensor::Full({1, 1, 2, 2}, 2.0));
+  // Input approximately equals the running mean -> output near beta = 0.
+  // (With constant input the running variance decays toward eps, inflating
+  // the normalized residual; a loose bound suffices.)
+  EXPECT_NEAR(out.FlatAt(0), 0.0, 0.3);
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(7);
+  LayerNorm ln(8);
+  Tensor x = Tensor::Randn({4, 8}, &rng);
+  Tensor out = ln.Forward(x);
+  for (int64_t i = 0; i < 4; ++i) {
+    double sum = 0.0, sq = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      sum += out.At({i, j});
+      sq += out.At({i, j}) * out.At({i, j});
+    }
+    EXPECT_NEAR(sum / 8, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 8, 1.0, 1e-2);
+  }
+}
+
+TEST(EmbeddingTest, LookupGradientsFlowToTable) {
+  Rng rng(8);
+  Embedding emb(10, 4, &rng);
+  Tensor idx = Tensor::FromVectorInt64({3, 7}, {2});
+  Tensor out = emb.Forward(idx);
+  EXPECT_EQ(out.size(0), 2);
+  EXPECT_EQ(out.size(1), 4);
+  autograd::Backward(ops::MeanAll(out));
+  Tensor grad = emb.parameters()[0].grad();
+  ASSERT_TRUE(grad.defined());
+  // Only rows 3 and 7 receive gradient.
+  EXPECT_NE(grad.At({3, 0}), 0.0);
+  EXPECT_NE(grad.At({7, 0}), 0.0);
+  EXPECT_EQ(grad.At({0, 0}), 0.0);
+}
+
+TEST(LossTest, MSELossZeroWhenEqual) {
+  MSELoss mse;
+  Tensor a = Tensor::Full({4}, 2.0);
+  EXPECT_DOUBLE_EQ(mse(a, a.Clone()).Item(), 0.0);
+}
+
+TEST(LossTest, MSELossHandComputed) {
+  MSELoss mse;
+  Tensor pred = Tensor::FromVector({1, 2}, {2});
+  Tensor target = Tensor::FromVector({3, 2}, {2});
+  EXPECT_DOUBLE_EQ(mse(pred, target).Item(), 2.0);  // (4 + 0) / 2
+}
+
+TEST(LossTest, CrossEntropyUniformLogits) {
+  CrossEntropyLoss ce;
+  Tensor logits = Tensor::Zeros({2, 4});
+  Tensor targets = Tensor::FromVectorInt64({1, 3}, {2});
+  EXPECT_NEAR(ce(logits, targets).Item(), std::log(4.0), 1e-5);
+}
+
+TEST(LossTest, CrossEntropyConfidentCorrectIsSmall) {
+  CrossEntropyLoss ce;
+  Tensor logits = Tensor::FromVector({10, 0, 0, 0}, {1, 4});
+  Tensor targets = Tensor::FromVectorInt64({0}, {1});
+  EXPECT_LT(ce(logits, targets).Item(), 1e-3);
+}
+
+}  // namespace
+}  // namespace ddpkit::nn

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/zoo.h"
+
+namespace ddpkit::nn {
+namespace {
+
+TEST(ModuleTest, ParametersInRegistrationOrder) {
+  Rng rng(1);
+  Mlp mlp({4, 8, 2}, &rng);
+  auto named = mlp.named_parameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc0.weight");
+  EXPECT_EQ(named[1].first, "fc0.bias");
+  EXPECT_EQ(named[2].first, "fc1.weight");
+  EXPECT_EQ(named[3].first, "fc1.bias");
+}
+
+TEST(ModuleTest, ParametersRequireGrad) {
+  Rng rng(2);
+  Mlp mlp({3, 3}, &rng);
+  for (const Tensor& p : mlp.parameters()) {
+    EXPECT_TRUE(p.requires_grad());
+  }
+}
+
+TEST(ModuleTest, NumParametersCountsEverything) {
+  Rng rng(3);
+  Mlp mlp({4, 8, 2}, &rng);
+  EXPECT_EQ(mlp.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(ModuleTest, BuffersAreSeparateFromParameters) {
+  BatchNorm2d bn(4);
+  EXPECT_EQ(bn.parameters().size(), 2u);  // gamma, beta
+  EXPECT_EQ(bn.buffers().size(), 2u);     // running mean/var
+  auto buffer_names = bn.named_buffers();
+  EXPECT_EQ(buffer_names[0].first, "running_mean");
+  EXPECT_EQ(buffer_names[1].first, "running_var");
+}
+
+TEST(ModuleTest, TrainingModeIsRecursive) {
+  Rng rng(4);
+  SmallConvNet net(&rng);
+  EXPECT_TRUE(net.training());
+  net.SetTraining(false);
+  EXPECT_FALSE(net.training());
+}
+
+TEST(ModuleTest, ZeroGradZeroesAll) {
+  Rng rng(5);
+  Mlp mlp({2, 2}, &rng);
+  Tensor x = Tensor::Randn({3, 2}, &rng);
+  autograd::Backward(ops::MeanAll(mlp.Forward(x)));
+  bool any_nonzero = false;
+  for (const Tensor& p : mlp.parameters()) {
+    ASSERT_TRUE(p.grad().defined());
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      if (p.grad().FlatAt(i) != 0.0) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  mlp.ZeroGrad();
+  for (const Tensor& p : mlp.parameters()) {
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      EXPECT_EQ(p.grad().FlatAt(i), 0.0);
+    }
+  }
+}
+
+TEST(ModuleTest, SequentialRunsInOrder) {
+  Rng rng(6);
+  auto seq = std::make_shared<Sequential>();
+  seq->Append(std::make_shared<Linear>(4, 8, &rng))
+      .Append(std::make_shared<ReLU>())
+      .Append(std::make_shared<Linear>(8, 2, &rng));
+  EXPECT_EQ(seq->size(), 3u);
+  Tensor out = seq->Forward(Tensor::Randn({5, 4}, &rng));
+  EXPECT_EQ(out.size(0), 5);
+  EXPECT_EQ(out.size(1), 2);
+  // 2 Linear layers with bias.
+  EXPECT_EQ(seq->parameters().size(), 4u);
+}
+
+TEST(ModuleTest, NestedModuleNamesAreQualified) {
+  Rng rng(7);
+  ResNetTiny net(&rng, 3, 4, 10, 1);
+  auto named = net.named_parameters();
+  EXPECT_EQ(named[0].first, "stem.weight");
+  bool found_nested = false;
+  for (const auto& [name, p] : named) {
+    if (name.find("stage1_0.conv1.weight") != std::string::npos) {
+      found_nested = true;
+    }
+  }
+  EXPECT_TRUE(found_nested);
+}
+
+}  // namespace
+}  // namespace ddpkit::nn

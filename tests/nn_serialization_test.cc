@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/sim_world.h"
+#include "common/rng.h"
+#include "core/distributed_data_parallel.h"
+#include "nn/serialization.h"
+#include "nn/zoo.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::nn {
+namespace {
+
+std::string TempPath(const char* tag) {
+  return std::string(::testing::TempDir()) + "/ddpkit_" + tag + "_" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+TEST(SerializationTest, RoundTripRestoresParametersAndBuffers) {
+  Rng rng(1);
+  SmallConvNet original(&rng, 4);
+  // Touch the BatchNorm buffers so they are non-default.
+  original.Forward(Tensor::Randn({2, 1, 28, 28}, &rng));
+
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(SaveStateDict(original, path).ok());
+
+  Rng rng2(99);  // different init
+  SmallConvNet restored(&rng2, 4);
+  Status status = LoadStateDict(&restored, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  auto a = original.named_parameters();
+  auto b = restored.named_parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(kernels::MaxAbsDiff(a[i].second, b[i].second), 0.0)
+        << a[i].first;
+  }
+  auto buf_a = original.named_buffers();
+  auto buf_b = restored.named_buffers();
+  for (size_t i = 0; i < buf_a.size(); ++i) {
+    EXPECT_EQ(kernels::MaxAbsDiff(buf_a[i].second, buf_b[i].second), 0.0)
+        << buf_a[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RestoredModelProducesIdenticalOutputs) {
+  Rng rng(2);
+  Mlp original({6, 12, 3}, &rng);
+  const std::string path = TempPath("outputs");
+  ASSERT_TRUE(SaveStateDict(original, path).ok());
+
+  Rng rng2(3);
+  Mlp restored({6, 12, 3}, &rng2);
+  ASSERT_TRUE(LoadStateDict(&restored, path).ok());
+
+  Rng data_rng(4);
+  Tensor x = Tensor::Randn({5, 6}, &data_rng);
+  EXPECT_EQ(kernels::MaxAbsDiff(original.Forward(x), restored.Forward(x)),
+            0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsNotFound) {
+  Rng rng(5);
+  Mlp model({2, 2}, &rng);
+  Status status = LoadStateDict(&model, "/nonexistent/dir/x.bin");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, ArchitectureMismatchRejected) {
+  Rng rng(6);
+  Mlp small({4, 4}, &rng);
+  Mlp big({4, 8, 4}, &rng);
+  const std::string path = TempPath("mismatch");
+  ASSERT_TRUE(SaveStateDict(small, path).ok());
+  Status status = LoadStateDict(&big, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ShapeMismatchRejected) {
+  Rng rng(7);
+  Mlp a({4, 4}, &rng);
+  Mlp b({4, 6}, &rng);  // same entry names, different shapes
+  const std::string path = TempPath("shape");
+  ASSERT_TRUE(SaveStateDict(a, path).ok());
+  Status status = LoadStateDict(&b, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos)
+      << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, GarbageFileRejected) {
+  const std::string path = TempPath("garbage");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a state dict", f);
+  std::fclose(f);
+  Rng rng(8);
+  Mlp model({2, 2}, &rng);
+  Status status = LoadStateDict(&model, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CheckpointResumeInDdpTraining) {
+  // Save mid-training on rank 0, then restart a fresh world from the
+  // checkpoint: the DDP constructor broadcast propagates rank 0's loaded
+  // state, so training resumes from a consistent point on all ranks.
+  const std::string path = TempPath("ddp_resume");
+  std::vector<float> params_at_save;
+
+  comm::SimWorld::Run(2, [&](comm::SimWorld::RankContext& ctx) {
+    Rng rng(10);
+    auto model = std::make_shared<Mlp>(std::vector<int64_t>{4, 4}, &rng);
+    core::DistributedDataParallel ddp(model, ctx.process_group);
+    for (int step = 0; step < 3; ++step) {
+      model->ZeroGrad();
+      Rng data_rng(step);
+      Tensor x = Tensor::Randn({2, 4}, &data_rng);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+    }
+    if (ctx.rank == 0) {
+      ASSERT_TRUE(SaveStateDict(*model, path).ok());
+      for (const Tensor& p : model->parameters()) {
+        for (int64_t i = 0; i < p.numel(); ++i) {
+          params_at_save.push_back(static_cast<float>(p.FlatAt(i)));
+        }
+      }
+    }
+  });
+
+  std::vector<std::vector<float>> resumed(2);
+  comm::SimWorld::Run(2, [&](comm::SimWorld::RankContext& ctx) {
+    Rng rng(777 + ctx.rank);  // fresh (different!) init everywhere
+    auto model = std::make_shared<Mlp>(std::vector<int64_t>{4, 4}, &rng);
+    if (ctx.rank == 0) {
+      ASSERT_TRUE(LoadStateDict(model.get(), path).ok());
+    }
+    core::DistributedDataParallel ddp(model, ctx.process_group);
+    for (const Tensor& p : model->parameters()) {
+      for (int64_t i = 0; i < p.numel(); ++i) {
+        resumed[static_cast<size_t>(ctx.rank)].push_back(
+            static_cast<float>(p.FlatAt(i)));
+      }
+    }
+  });
+  EXPECT_EQ(resumed[0], params_at_save);
+  EXPECT_EQ(resumed[1], params_at_save);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ddpkit::nn

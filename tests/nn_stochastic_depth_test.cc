@@ -1,0 +1,176 @@
+// Layer dropping (paper §6.2.2) end to end: same-seed coordination keeps
+// ranks aligned, skipped layers stay out of the autograd graph, DDP with
+// find_unused_parameters handles the per-iteration sub-graphs, and — the
+// paper's key observation — the communicated volume does NOT shrink when
+// layers are dropped, because parameter-to-bucket mapping is fixed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/sim_world.h"
+#include "common/rng.h"
+#include "core/distributed_data_parallel.h"
+#include "nn/stochastic_depth.h"
+#include "nn/zoo.h"
+#include "optim/sgd.h"
+
+namespace ddpkit::nn {
+namespace {
+
+using comm::SimWorld;
+
+/// Residual stack of droppable MLP blocks (shape-preserving).
+class DroppableStack : public Module {
+ public:
+  DroppableStack(int blocks, int64_t dim, double drop_prob, uint64_t seed,
+                 Rng* rng) {
+    for (int i = 0; i < blocks; ++i) {
+      auto inner = std::make_shared<Linear>(dim, dim, rng);
+      layers_.push_back(RegisterModule(
+          "block" + std::to_string(i),
+          std::make_shared<StochasticDepth>(inner, drop_prob,
+                                            seed + static_cast<uint64_t>(i))));
+    }
+    // Always-active head so the loss has a gradient path even in the
+    // (possible) iteration where every droppable block skips.
+    head_ = RegisterModule("head", std::make_shared<Linear>(dim, dim, rng));
+  }
+  Tensor Forward(const Tensor& input) override {
+    Tensor x = input;
+    for (auto& layer : layers_) {
+      x = ops::Add(x, layer->Forward(x));  // residual
+    }
+    return head_->Forward(x);
+  }
+  const std::vector<std::shared_ptr<StochasticDepth>>& layers() const {
+    return layers_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<StochasticDepth>> layers_;
+  std::shared_ptr<Linear> head_;
+};
+
+TEST(StochasticDepthTest, NeverSkipsInEvalMode) {
+  Rng rng(1);
+  auto inner = std::make_shared<Linear>(4, 4, &rng);
+  StochasticDepth layer(inner, 0.9, 7);
+  layer.SetTraining(false);
+  for (int i = 0; i < 20; ++i) {
+    layer.Forward(Tensor::Ones({1, 4}));
+    EXPECT_FALSE(layer.last_forward_skipped());
+  }
+}
+
+TEST(StochasticDepthTest, SkipReturnsInputUnchanged) {
+  Rng rng(2);
+  auto inner = std::make_shared<Linear>(4, 4, &rng);
+  StochasticDepth layer(inner, 0.999999, 7);  // virtually always skip
+  Tensor x = Tensor::Full({2, 4}, 3.0);
+  Tensor out = layer.Forward(x);
+  ASSERT_TRUE(layer.last_forward_skipped());
+  EXPECT_TRUE(out.is_same(x));
+}
+
+TEST(StochasticDepthTest, SameSeedSameDecisions) {
+  Rng rng_a(3), rng_b(4);  // different weights are fine
+  auto inner_a = std::make_shared<Linear>(4, 4, &rng_a);
+  auto inner_b = std::make_shared<Linear>(4, 4, &rng_b);
+  StochasticDepth a(inner_a, 0.5, /*seed=*/99);
+  StochasticDepth b(inner_b, 0.5, /*seed=*/99);
+  Tensor x = Tensor::Ones({1, 4});
+  for (int i = 0; i < 50; ++i) {
+    a.Forward(x);
+    b.Forward(x);
+    EXPECT_EQ(a.last_forward_skipped(), b.last_forward_skipped()) << i;
+  }
+}
+
+TEST(StochasticDepthTest, SkipRateApproximatesDropProb) {
+  Rng rng(5);
+  auto inner = std::make_shared<Linear>(2, 2, &rng);
+  StochasticDepth layer(inner, 0.3, 11);
+  int skipped = 0;
+  Tensor x = Tensor::Ones({1, 2});
+  for (int i = 0; i < 2000; ++i) {
+    layer.Forward(x);
+    if (layer.last_forward_skipped()) ++skipped;
+  }
+  EXPECT_NEAR(skipped / 2000.0, 0.3, 0.05);
+}
+
+TEST(StochasticDepthTest, SkippedLayerGetsNoGradient) {
+  Rng rng(6);
+  auto inner = std::make_shared<Linear>(4, 4, &rng);
+  auto layer = std::make_shared<StochasticDepth>(inner, 0.999999, 13);
+  Tensor x = Tensor::Ones({1, 4});
+  x.set_requires_grad(true);
+  Tensor out = ops::MeanAll(ops::Add(x, layer->Forward(x)));
+  autograd::Backward(out);
+  for (const Tensor& p : inner->parameters()) {
+    EXPECT_FALSE(p.grad().defined());
+  }
+}
+
+TEST(StochasticDepthTest, DdpTrainsWithCoordinatedDropping) {
+  constexpr int kWorld = 2;
+  std::vector<std::vector<float>> params(kWorld);
+  SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+    Rng rng(7);  // same model weights AND same drop seed on all ranks
+    auto model = std::make_shared<DroppableStack>(3, 6, 0.5, /*seed=*/21,
+                                                  &rng);
+    core::DdpOptions options;
+    options.find_unused_parameters = true;
+    core::DistributedDataParallel ddp(model, ctx.process_group, options);
+    optim::Sgd opt(model->parameters(), optim::Sgd::Options{.lr = 0.01});
+    for (int step = 0; step < 6; ++step) {
+      opt.ZeroGrad();
+      Rng data_rng(step * 5 + ctx.rank);
+      Tensor x = Tensor::Randn({2, 6}, &data_rng);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      EXPECT_TRUE(ddp.reducer().backward_finalized()) << "step " << step;
+      opt.Step(ddp.globally_used_mask());
+    }
+    std::vector<float> flat;
+    for (const Tensor& p : model->parameters()) {
+      for (int64_t i = 0; i < p.numel(); ++i) {
+        flat.push_back(static_cast<float>(p.FlatAt(i)));
+      }
+    }
+    params[static_cast<size_t>(ctx.rank)] = std::move(flat);
+  });
+  EXPECT_EQ(params[0], params[1]);  // replicas never diverge
+}
+
+TEST(StochasticDepthTest, CommunicatedBytesDoNotShrinkWhenLayersDrop) {
+  // The §6.2.2 caveat: AllReduce granularity is the bucket, so dropping
+  // layers saves compute but not (with the fixed mapping) communication.
+  constexpr int kWorld = 2;
+  uint64_t bytes_with_drop = 0, bytes_without = 0;
+  auto run = [&](double drop_prob, uint64_t* bytes_out) {
+    SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+      Rng rng(8);
+      auto model = std::make_shared<DroppableStack>(3, 6, drop_prob, 31,
+                                                    &rng);
+      core::DdpOptions options;
+      options.find_unused_parameters = true;
+      core::DistributedDataParallel ddp(model, ctx.process_group, options);
+      for (int step = 0; step < 4; ++step) {
+        model->ZeroGrad();
+        Tensor x = Tensor::Full({2, 6}, 1.0);
+        autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      }
+      if (ctx.rank == 0) *bytes_out = ddp.reducer().stats().bytes_reduced;
+    });
+  };
+  run(0.7, &bytes_with_drop);
+  run(0.0, &bytes_without);
+  EXPECT_EQ(bytes_with_drop, bytes_without);
+}
+
+}  // namespace
+}  // namespace ddpkit::nn

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/graph_utils.h"
+#include "autograd/ops.h"
+#include "cluster/model_specs.h"
+#include "common/rng.h"
+#include "nn/losses.h"
+#include "nn/zoo.h"
+
+namespace ddpkit::nn {
+namespace {
+
+TEST(ZooTest, MlpForwardShape) {
+  Rng rng(1);
+  Mlp mlp({6, 12, 3}, &rng);
+  Tensor out = mlp.Forward(Tensor::Randn({4, 6}, &rng));
+  EXPECT_EQ(out.size(0), 4);
+  EXPECT_EQ(out.size(1), 3);
+}
+
+TEST(ZooTest, SmallConvNetTrainsOnMnistShapes) {
+  Rng rng(2);
+  SmallConvNet net(&rng, /*width=*/4);
+  Tensor images = Tensor::Randn({2, 1, 28, 28}, &rng);
+  Tensor out = net.Forward(images);
+  EXPECT_EQ(out.size(0), 2);
+  EXPECT_EQ(out.size(1), 10);
+  Tensor labels = Tensor::FromVectorInt64({3, 7}, {2});
+  CrossEntropyLoss ce;
+  autograd::Backward(ce(out, labels));
+  for (const Tensor& p : net.parameters()) {
+    EXPECT_TRUE(p.grad().defined());
+  }
+}
+
+TEST(ZooTest, ResNetTinyForwardBackward) {
+  Rng rng(3);
+  ResNetTiny net(&rng, 3, 4, 10, 1);
+  Tensor images = Tensor::Randn({2, 3, 8, 8}, &rng);
+  Tensor out = net.Forward(images);
+  EXPECT_EQ(out.size(1), 10);
+  autograd::Backward(ops::MeanAll(out));
+  for (const Tensor& p : net.parameters()) {
+    EXPECT_TRUE(p.grad().defined());
+  }
+}
+
+TEST(ZooTest, TransformerTinyForwardBackward) {
+  Rng rng(4);
+  TransformerTiny::Config config;
+  config.vocab_size = 32;
+  config.seq_len = 6;
+  config.dim = 8;
+  config.ff_dim = 16;
+  config.num_layers = 2;
+  config.num_classes = 3;
+  TransformerTiny net(config, &rng);
+  Tensor tokens = Tensor::FromVectorInt64(
+      {1, 5, 9, 2, 0, 31, 7, 7, 3, 3, 12, 20}, {2, 6});
+  Tensor out = net.Forward(tokens);
+  EXPECT_EQ(out.size(0), 2);
+  EXPECT_EQ(out.size(1), 3);
+  autograd::Backward(ops::MeanAll(out));
+  for (const auto& [name, p] : net.named_parameters()) {
+    EXPECT_TRUE(p.grad().defined()) << name;
+  }
+}
+
+TEST(ZooTest, BranchyNetLeavesInactiveBranchWithoutGrad) {
+  Rng rng(5);
+  BranchyNet net(4, &rng);
+  net.set_use_branch_a(true);
+  Tensor out = net.Forward(Tensor::Randn({2, 4}, &rng));
+  autograd::Backward(ops::MeanAll(out));
+  for (const Tensor& p : net.branch_a_parameters()) {
+    EXPECT_TRUE(p.grad().defined());
+  }
+  for (const Tensor& p : net.branch_b_parameters()) {
+    EXPECT_FALSE(p.grad().defined());
+  }
+}
+
+TEST(ZooTest, BranchyNetGraphTraversalMatchesBranch) {
+  Rng rng(6);
+  BranchyNet net(4, &rng);
+  net.set_use_branch_a(false);
+  Tensor out = net.Forward(Tensor::Randn({1, 4}, &rng));
+  auto reachable = autograd::FindReachableParams({out});
+  for (const Tensor& p : net.branch_b_parameters()) {
+    EXPECT_EQ(reachable.count(p.id()), 1u);
+  }
+  for (const Tensor& p : net.branch_a_parameters()) {
+    EXPECT_EQ(reachable.count(p.id()), 0u);
+  }
+}
+
+// ---- Paper model shape inventories ---------------------------------------------
+
+TEST(ModelSpecTest, ResNet18ParameterCount) {
+  // torchvision resnet18: 11,689,512 parameters.
+  EXPECT_EQ(cluster::ResNet18Spec().TotalNumel(), 11689512);
+}
+
+TEST(ModelSpecTest, ResNet34ParameterCount) {
+  // torchvision resnet34: 21,797,672 parameters.
+  EXPECT_EQ(cluster::ResNet34Spec().TotalNumel(), 21797672);
+}
+
+TEST(ModelSpecTest, Gpt2SmallParameterCount) {
+  // GPT-2 small: ~124.4M parameters with tied embeddings.
+  EXPECT_NEAR(static_cast<double>(cluster::Gpt2SmallSpec().TotalNumel()),
+              124.4e6, 0.5e6);
+}
+
+TEST(ModelSpecTest, ResNet50ParameterCount) {
+  auto spec = cluster::ResNet50Spec();
+  // torchvision resnet50: 25,557,032 parameters.
+  EXPECT_EQ(spec.TotalNumel(), 25557032);
+}
+
+TEST(ModelSpecTest, ResNet152ParameterCount) {
+  auto spec = cluster::ResNet152Spec();
+  // torchvision resnet152: 60,192,808 parameters — the ~60M of Fig 2(c).
+  EXPECT_EQ(spec.TotalNumel(), 60192808);
+}
+
+TEST(ModelSpecTest, BertBaseParameterCount) {
+  auto spec = cluster::BertBaseSpec();
+  // BERT-Base encoder ~109.5M parameters; the paper calls it "15X more
+  // parameters compared to ResNet50" (§5.2).
+  EXPECT_NEAR(static_cast<double>(spec.TotalNumel()), 109.48e6, 0.2e6);
+  const double ratio = static_cast<double>(spec.TotalNumel()) /
+                       static_cast<double>(cluster::ResNet50Spec().TotalNumel());
+  EXPECT_GT(ratio, 4.0);
+}
+
+TEST(ModelSpecTest, SpecFromModuleMatchesParameters) {
+  Rng rng(7);
+  Mlp mlp({4, 8, 2}, &rng);
+  auto spec = cluster::SpecFromModule("mlp", mlp);
+  EXPECT_EQ(spec.NumParams(), 4u);
+  EXPECT_EQ(spec.TotalNumel(), mlp.NumParameters());
+  EXPECT_EQ(spec.params[0].numel, 4 * 8);
+}
+
+}  // namespace
+}  // namespace ddpkit::nn

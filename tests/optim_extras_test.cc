@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "optim/lr_scheduler.h"
+#include "optim/sgd.h"
+
+namespace ddpkit::optim {
+namespace {
+
+Tensor Param(double value) {
+  Tensor p = Tensor::Full({4}, value);
+  p.set_requires_grad(true);
+  return p;
+}
+
+// ---- LR schedulers ------------------------------------------------------------
+
+TEST(LrSchedulerTest, StepLrDecaysAtBoundaries) {
+  Tensor p = Param(1.0);
+  Sgd sgd({p}, Sgd::Options{.lr = 1.0});
+  StepLr scheduler(&sgd, /*step_size=*/3, /*gamma=*/0.1);
+  std::vector<double> rates;
+  for (int i = 0; i < 7; ++i) {
+    scheduler.Step();
+    rates.push_back(sgd.learning_rate());
+  }
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);   // step 1
+  EXPECT_DOUBLE_EQ(rates[1], 1.0);   // step 2
+  EXPECT_DOUBLE_EQ(rates[2], 0.1);   // step 3: first decay
+  EXPECT_DOUBLE_EQ(rates[4], 0.1);   // step 5
+  EXPECT_DOUBLE_EQ(rates[5], 0.01);  // step 6: second decay
+}
+
+TEST(LrSchedulerTest, CosineAnnealsToMin) {
+  Tensor p = Param(1.0);
+  Adam adam({p}, Adam::Options{.lr = 0.1});
+  CosineLr scheduler(&adam, /*total_steps=*/10, /*min_lr=*/0.01);
+  double prev = 0.1;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.Step();
+    EXPECT_LE(adam.learning_rate(), prev + 1e-12);
+    prev = adam.learning_rate();
+  }
+  EXPECT_NEAR(adam.learning_rate(), 0.01, 1e-9);
+  scheduler.Step();  // past the horizon: stays at min
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.01);
+}
+
+TEST(LrSchedulerTest, WarmupRampsLinearly) {
+  Tensor p = Param(1.0);
+  Sgd sgd({p}, Sgd::Options{.lr = 0.8});
+  WarmupLr scheduler(&sgd, /*warmup_steps=*/4);
+  scheduler.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.2, 1e-9);
+  scheduler.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.4, 1e-9);
+  scheduler.Step();
+  scheduler.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.8, 1e-9);
+  scheduler.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.8, 1e-9);
+}
+
+TEST(LrSchedulerTest, AffectsActualUpdates) {
+  Tensor p = Param(0.0);
+  p.set_grad(Tensor::Full({4}, 1.0));
+  Sgd sgd({p}, Sgd::Options{.lr = 1.0});
+  StepLr scheduler(&sgd, /*step_size=*/1, /*gamma=*/0.5);
+  scheduler.Step();  // lr -> 0.5
+  sgd.Step();
+  EXPECT_NEAR(p.FlatAt(0), -0.5, 1e-6);
+}
+
+// ---- Gradient clipping ----------------------------------------------------------
+
+TEST(ClipTest, NormBelowLimitUnchanged) {
+  Tensor p = Param(0.0);
+  p.set_grad(Tensor::Full({4}, 0.1));  // norm = 0.2
+  const double norm = ClipGradNorm({p}, 1.0);
+  EXPECT_NEAR(norm, 0.2, 1e-6);
+  EXPECT_NEAR(p.grad().FlatAt(0), 0.1, 1e-7);
+}
+
+TEST(ClipTest, NormAboveLimitRescaled) {
+  Tensor p = Param(0.0);
+  p.set_grad(Tensor::Full({4}, 3.0));  // norm = 6
+  const double norm = ClipGradNorm({p}, 1.5);
+  EXPECT_NEAR(norm, 6.0, 1e-5);
+  // After clipping, the norm is max_norm.
+  double sq = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    sq += p.grad().FlatAt(i) * p.grad().FlatAt(i);
+  }
+  EXPECT_NEAR(std::sqrt(sq), 1.5, 1e-5);
+}
+
+TEST(ClipTest, NormSpansMultipleParams) {
+  Tensor a = Param(0.0);
+  Tensor b = Param(0.0);
+  a.set_grad(Tensor::Full({4}, 3.0));
+  b.set_grad(Tensor::Full({4}, 4.0));
+  // norm = sqrt(4*9 + 4*16) = 10
+  const double norm = ClipGradNorm({a, b}, 5.0);
+  EXPECT_NEAR(norm, 10.0, 1e-5);
+  EXPECT_NEAR(a.grad().FlatAt(0), 1.5, 1e-5);
+  EXPECT_NEAR(b.grad().FlatAt(0), 2.0, 1e-5);
+}
+
+TEST(ClipTest, UndefinedGradsSkipped) {
+  Tensor with = Param(0.0);
+  Tensor without = Param(0.0);
+  with.set_grad(Tensor::Full({4}, 1.0));
+  EXPECT_NEAR(ClipGradNorm({with, without}, 10.0), 2.0, 1e-6);
+  EXPECT_FALSE(without.grad().defined());
+}
+
+TEST(ClipTest, ValueClampsElementwise) {
+  Tensor p = Param(0.0);
+  p.set_grad(Tensor::FromVector({-5.0f, -0.5f, 0.5f, 5.0f}, {4}));
+  ClipGradValue({p}, 1.0);
+  EXPECT_DOUBLE_EQ(p.grad().FlatAt(0), -1.0);
+  EXPECT_DOUBLE_EQ(p.grad().FlatAt(1), -0.5);
+  EXPECT_DOUBLE_EQ(p.grad().FlatAt(2), 0.5);
+  EXPECT_DOUBLE_EQ(p.grad().FlatAt(3), 1.0);
+}
+
+}  // namespace
+}  // namespace ddpkit::optim

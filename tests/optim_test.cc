@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "optim/adam.h"
+#include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::optim {
+namespace {
+
+Tensor ParamWithGrad(double value, double grad) {
+  Tensor p = Tensor::Full({2}, value);
+  p.set_requires_grad(true);
+  p.set_grad(Tensor::Full({2}, grad));
+  return p;
+}
+
+TEST(SgdTest, PlainStepHandComputed) {
+  Tensor p = ParamWithGrad(1.0, 0.5);
+  Sgd sgd({p}, Sgd::Options{.lr = 0.1});
+  sgd.Step();
+  EXPECT_NEAR(p.FlatAt(0), 1.0 - 0.1 * 0.5, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Tensor p = ParamWithGrad(0.0, 1.0);
+  Sgd sgd({p}, Sgd::Options{.lr = 0.1, .momentum = 0.9});
+  sgd.Step();  // buf = 1.0, p = -0.1
+  EXPECT_NEAR(p.FlatAt(0), -0.1, 1e-6);
+  p.set_grad(Tensor::Full({2}, 1.0));
+  sgd.Step();  // buf = 0.9 + 1 = 1.9, p = -0.1 - 0.19 = -0.29
+  EXPECT_NEAR(p.FlatAt(0), -0.29, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayAddsToGradient) {
+  Tensor p = ParamWithGrad(2.0, 0.0);
+  Sgd sgd({p}, Sgd::Options{.lr = 0.1, .weight_decay = 0.5});
+  sgd.Step();  // effective grad = 0 + 0.5*2 = 1 -> p = 2 - 0.1
+  EXPECT_NEAR(p.FlatAt(0), 1.9, 1e-6);
+}
+
+TEST(SgdTest, SkipsParamsWithUndefinedGrad) {
+  Tensor p = Tensor::Full({2}, 1.0);
+  p.set_requires_grad(true);
+  Sgd sgd({p}, Sgd::Options{.lr = 0.1});
+  sgd.Step();  // no grad -> unchanged
+  EXPECT_DOUBLE_EQ(p.FlatAt(0), 1.0);
+}
+
+TEST(SgdTest, UsedMaskFreezesMomentumOfSkippedParams) {
+  // The §3.2.3 regression scenario: with gradient-absence information the
+  // optimizer must leave momentum untouched for unused parameters.
+  Tensor used = ParamWithGrad(0.0, 1.0);
+  Tensor unused = ParamWithGrad(0.0, 1.0);
+  Sgd sgd({used, unused}, Sgd::Options{.lr = 0.1, .momentum = 0.9});
+  sgd.Step({1, 0});
+  EXPECT_NEAR(used.FlatAt(0), -0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(unused.FlatAt(0), 0.0);  // untouched
+  // Next step with both used: unused momentum starts fresh (buf = grad),
+  // not compounded from the skipped step.
+  used.set_grad(Tensor::Full({2}, 1.0));
+  unused.set_grad(Tensor::Full({2}, 1.0));
+  sgd.Step({1, 1});
+  EXPECT_NEAR(unused.FlatAt(0), -0.1, 1e-6);
+}
+
+TEST(SgdTest, ZeroGradClearsGradients) {
+  Tensor p = ParamWithGrad(1.0, 5.0);
+  Sgd sgd({p}, Sgd::Options{});
+  sgd.ZeroGrad();
+  EXPECT_DOUBLE_EQ(p.grad().FlatAt(0), 0.0);
+}
+
+TEST(AdamTest, FirstStepMovesByLr) {
+  // With bias correction, Adam's first update is ~lr * sign(grad).
+  Tensor p = ParamWithGrad(1.0, 0.3);
+  Adam adam({p}, Adam::Options{.lr = 0.01});
+  adam.Step();
+  EXPECT_NEAR(p.FlatAt(0), 1.0 - 0.01, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (p - 3)^2 with autograd-produced gradients.
+  Rng rng(1);
+  Tensor p = Tensor::Zeros({1});
+  p.set_requires_grad(true);
+  Adam adam({p}, Adam::Options{.lr = 0.1});
+  Tensor target = Tensor::Full({1}, 3.0);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    Tensor loss = ops::MSELoss(p, target);
+    autograd::Backward(loss);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.FlatAt(0), 3.0, 0.05);
+}
+
+TEST(AdamTest, UsedMaskFreezesMoments) {
+  Tensor a = ParamWithGrad(0.0, 1.0);
+  Tensor b = ParamWithGrad(0.0, 1.0);
+  Adam adam({a, b}, Adam::Options{.lr = 0.01});
+  adam.Step({1, 0});
+  EXPECT_NE(a.FlatAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(b.FlatAt(0), 0.0);
+}
+
+TEST(SgdTest, IdenticalSequencesStayIdentical) {
+  // Two replicas fed identical gradients stay bit-identical — the DDP
+  // correctness contract (§3).
+  Tensor p1 = Tensor::Full({4}, 1.0);
+  Tensor p2 = Tensor::Full({4}, 1.0);
+  p1.set_requires_grad(true);
+  p2.set_requires_grad(true);
+  Sgd opt1({p1}, Sgd::Options{.lr = 0.05, .momentum = 0.9});
+  Sgd opt2({p2}, Sgd::Options{.lr = 0.05, .momentum = 0.9});
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    Tensor g = Tensor::Randn({4}, &rng);
+    p1.set_grad(g.Clone());
+    p2.set_grad(g.Clone());
+    opt1.Step();
+    opt2.Step();
+    for (int64_t j = 0; j < 4; ++j) {
+      ASSERT_EQ(p1.FlatAt(j), p2.FlatAt(j)) << "step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddpkit::optim

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/comm_cost_model.h"
+#include "sim/compute_cost_model.h"
+#include "sim/jitter.h"
+
+namespace ddpkit::sim {
+namespace {
+
+// ---- Communication cost models ------------------------------------------------
+
+TEST(NcclCostTest, WorldOfOneIsFree) {
+  NcclCostModel model{Topology()};
+  EXPECT_DOUBLE_EQ(model.AllReduceSeconds(1 << 20, 1, 1), 0.0);
+}
+
+TEST(NcclCostTest, MonotonicInBytes) {
+  NcclCostModel model{Topology()};
+  double prev = 0.0;
+  for (size_t bytes = 1024; bytes <= (64u << 20); bytes *= 4) {
+    const double t = model.AllReduceSeconds(bytes, 8, 1);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NcclCostTest, LatencyDominatedSmallBandwidthDominatedLarge) {
+  // Fig 2(a)'s core shape: splitting a fixed volume into many small ops is
+  // far slower than a few large ops.
+  NcclCostModel model{Topology()};
+  const size_t total = 240u << 20;  // 60M params
+  const double many_small =
+      static_cast<double>(total / 4096) * model.AllReduceSeconds(4096, 2, 1);
+  const double few_large =
+      3.0 * model.AllReduceSeconds(total / 3, 2, 1);
+  EXPECT_GT(many_small, 20.0 * few_large);
+}
+
+TEST(NcclCostTest, FasterThanGlooEverywhere) {
+  Topology topo;
+  NcclCostModel nccl{topo};
+  GlooCostModel gloo{topo};
+  for (size_t bytes : {size_t{4096}, size_t{1} << 20, size_t{100} << 20}) {
+    for (int world : {2, 8, 32}) {
+      EXPECT_LT(nccl.AllReduceSeconds(bytes, world, 1),
+                gloo.AllReduceSeconds(bytes, world, 1))
+          << bytes << " " << world;
+    }
+  }
+}
+
+TEST(NcclCostTest, ConcurrentGroupsShareBandwidth) {
+  NcclCostModel model{Topology()};
+  const size_t bytes = 100u << 20;
+  const double alone = model.AllReduceSeconds(bytes, 8, 1);
+  const double shared = model.AllReduceSeconds(bytes, 8, 4);
+  EXPECT_GT(shared, alone);  // each op is slower...
+  // ...but 4 concurrent queues still beat one serialized queue because a
+  // single group cannot saturate the link (per_group_bw_fraction).
+  EXPECT_LT(shared, 4.0 * alone);
+}
+
+TEST(NcclCostTest, DegradedLinksAboveThreshold) {
+  NcclCostModel::Options options;
+  options.degraded_above_world = 128;
+  options.degraded_net_factor = 0.5;
+  NcclCostModel model{Topology(), options};
+  const size_t bytes = 100u << 20;
+  const double at_128 = model.AllReduceSeconds(bytes, 128, 1);
+  const double at_256 = model.AllReduceSeconds(bytes, 256, 1);
+  // The jump should exceed the natural (p-1)/p growth by a wide margin.
+  EXPECT_GT(at_256, 1.5 * at_128);
+}
+
+TEST(GlooCostTest, SaturatesNearHalfMegabyte) {
+  // Fig 2(b): total time for a fixed volume stops improving once the
+  // per-op tensor exceeds ~500K parameters.
+  GlooCostModel model{Topology()};
+  const size_t total = 240u << 20;
+  auto total_time = [&](size_t per_op) {
+    return static_cast<double>((total + per_op - 1) / per_op) *
+           model.AllReduceSeconds(per_op, 2, 1);
+  };
+  const double at_4k = total_time(4 << 10);
+  const double at_2m = total_time(2 << 20);    // ~500K params
+  const double at_32m = total_time(32 << 20);  // ~8M params
+  EXPECT_GT(at_4k, 5.0 * at_2m);               // strong gain up to saturation
+  EXPECT_NEAR(at_32m / at_2m, 1.0, 0.5);       // flat beyond it
+}
+
+TEST(GlooCostTest, DegradesWithWorldSize) {
+  GlooCostModel model{Topology()};
+  const size_t bytes = 100u << 20;
+  EXPECT_GT(model.AllReduceSeconds(bytes, 256, 1),
+            2.0 * model.AllReduceSeconds(bytes, 16, 1));
+}
+
+TEST(CostModelTest, BroadcastCheaperThanAllReduce) {
+  NcclCostModel model{Topology()};
+  const size_t bytes = 32u << 20;
+  EXPECT_LT(model.BroadcastSeconds(bytes, 32),
+            model.AllReduceSeconds(bytes, 32, 1));
+}
+
+TEST(CostModelTest, BarrierIsCheap) {
+  NcclCostModel model{Topology()};
+  EXPECT_LT(model.BarrierSeconds(32), 1e-3);
+  EXPECT_GT(model.BarrierSeconds(32), 0.0);
+}
+
+TEST(CostModelTest, FactoryDispatch) {
+  Topology topo;
+  EXPECT_EQ(MakeCostModel(Backend::kNccl, topo)->backend(), Backend::kNccl);
+  EXPECT_EQ(MakeCostModel(Backend::kGloo, topo)->backend(), Backend::kGloo);
+}
+
+// ---- Compute cost model -----------------------------------------------------------
+
+TEST(ComputeCostTest, GpuProfileMatchesFig2c) {
+  // 60.2M-parameter ResNet152 backward ~ 250 ms on the GPU profile.
+  ComputeCostModel model{ComputeCostModel::GpuProfile()};
+  const double t = model.BackwardSeconds(60192808, 465);
+  EXPECT_GT(t, 0.20);
+  EXPECT_LT(t, 0.30);
+}
+
+TEST(ComputeCostTest, CpuProfileMatchesFig2d) {
+  ComputeCostModel model{ComputeCostModel::CpuProfile()};
+  const double t = model.BackwardSeconds(60192808, 465);
+  EXPECT_GT(t, 5.0);
+  EXPECT_LT(t, 7.0);
+}
+
+TEST(ComputeCostTest, ForwardIsFractionOfBackward) {
+  ComputeCostModel model{ComputeCostModel::GpuProfile()};
+  EXPECT_NEAR(model.ForwardSeconds(1000000, 10) /
+                  model.BackwardSeconds(1000000, 10),
+              model.options().forward_fraction, 1e-9);
+}
+
+TEST(ComputeCostTest, ReadyTimesAreMonotonic) {
+  ComputeCostModel model{ComputeCostModel::GpuProfile()};
+  std::vector<int64_t> numels = {100, 5000, 20, 300000, 1};
+  auto times = model.GradReadyTimes(numels, nullptr);
+  ASSERT_EQ(times.size(), numels.size());
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+  EXPECT_NEAR(times.back(), model.BackwardSeconds(305121, 5), 1e-9);
+}
+
+TEST(ComputeCostTest, JitterWidensButStaysClose) {
+  ComputeCostModel model{ComputeCostModel::GpuProfile()};
+  std::vector<int64_t> numels(50, 100000);
+  Rng rng(3);
+  auto jittered = model.GradReadyTimes(numels, &rng);
+  auto clean = model.GradReadyTimes(numels, nullptr);
+  EXPECT_NE(jittered.back(), clean.back());
+  EXPECT_NEAR(jittered.back() / clean.back(), 1.0, 0.15);
+}
+
+// ---- Straggler model ----------------------------------------------------------------
+
+TEST(StragglerTest, SampleNearOneForSmallSigma) {
+  StragglerModel model{StragglerModel::Options{.sigma = 0.02}};
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const double f = model.Sample(&rng);
+    EXPECT_GT(f, 0.8);
+    EXPECT_LT(f, 1.25);
+  }
+}
+
+TEST(StragglerTest, MaxOverWorldGrowsWithWorld) {
+  StragglerModel model{StragglerModel::Options{.sigma = 0.05}};
+  Rng rng(5);
+  double sum2 = 0.0, sum64 = 0.0;
+  for (int i = 0; i < 200; ++i) sum2 += model.SampleMaxOverWorld(&rng, 2);
+  for (int i = 0; i < 200; ++i) sum64 += model.SampleMaxOverWorld(&rng, 64);
+  EXPECT_GT(sum64 / 200.0, sum2 / 200.0);
+}
+
+TEST(StragglerTest, ZeroSigmaIsDeterministicOne) {
+  StragglerModel model{StragglerModel::Options{.sigma = 0.0}};
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(model.Sample(&rng), 1.0);
+}
+
+}  // namespace
+}  // namespace ddpkit::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+#include "sim/virtual_clock.h"
+
+namespace ddpkit::sim {
+namespace {
+
+TEST(VirtualClockTest, AdvanceAndAdvanceTo) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.Advance(-1.0);  // negative durations ignored
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.AdvanceTo(1.0);  // never backwards
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.AdvanceTo(2.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 2.0);
+}
+
+TEST(TopologyTest, SelfLink) {
+  Topology topo;
+  EXPECT_EQ(topo.Link(3, 3), LinkType::kSelf);
+}
+
+TEST(TopologyTest, CubeMeshIsSymmetric) {
+  Topology topo;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(topo.Link(i, j), topo.Link(j, i)) << i << "," << j;
+    }
+  }
+}
+
+TEST(TopologyTest, KnownCubeMeshEntries) {
+  // Spot-checks against the DGX-1V hybrid cube-mesh (the paper's Fig 5).
+  Topology topo;
+  EXPECT_EQ(topo.Link(0, 3), LinkType::kNv2);
+  EXPECT_EQ(topo.Link(0, 4), LinkType::kNv2);
+  EXPECT_EQ(topo.Link(0, 1), LinkType::kNv1);
+  EXPECT_EQ(topo.Link(0, 5), LinkType::kNode);
+  EXPECT_EQ(topo.Link(4, 7), LinkType::kNv2);
+}
+
+TEST(TopologyTest, CrossHostIsNet) {
+  Topology topo;
+  EXPECT_EQ(topo.Link(0, 8), LinkType::kNet);
+  EXPECT_EQ(topo.Link(7, 9), LinkType::kNet);
+  EXPECT_EQ(topo.Link(8, 9), topo.Link(0, 1));  // same pattern per host
+}
+
+TEST(TopologyTest, BandwidthOrdering) {
+  Topology topo;
+  EXPECT_GT(topo.Bandwidth(LinkType::kNv2), topo.Bandwidth(LinkType::kNv1));
+  EXPECT_GT(topo.Bandwidth(LinkType::kNv1), topo.Bandwidth(LinkType::kNet));
+  EXPECT_GT(topo.Latency(LinkType::kNet), topo.Latency(LinkType::kNv1));
+}
+
+TEST(TopologyTest, RingBandwidthSingleHostVsMultiHost) {
+  Topology topo;
+  const double intra = topo.RingBandwidth(8);
+  const double inter = topo.RingBandwidth(16);
+  EXPECT_GT(intra, inter);  // crossing the NIC throttles the ring
+  EXPECT_DOUBLE_EQ(inter, topo.Bandwidth(LinkType::kNet));
+}
+
+TEST(TopologyTest, SingleHostPredicate) {
+  Topology topo;
+  EXPECT_TRUE(topo.SingleHost(8));
+  EXPECT_FALSE(topo.SingleHost(9));
+}
+
+TEST(TopologyTest, WorldOfOneIsFree) {
+  Topology topo;
+  EXPECT_GT(topo.RingBandwidth(1), 1e11);
+  EXPECT_DOUBLE_EQ(topo.RingHopLatency(1), 0.0);
+}
+
+TEST(TopologyTest, MatrixStringMentionsAllLinkClasses) {
+  Topology topo;
+  const std::string matrix = topo.MatrixString();
+  EXPECT_NE(matrix.find("NV2"), std::string::npos);
+  EXPECT_NE(matrix.find("NV1"), std::string::npos);
+  EXPECT_NE(matrix.find("NODE"), std::string::npos);
+  EXPECT_NE(matrix.find("GPU7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddpkit::sim

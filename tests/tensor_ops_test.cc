@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace ddpkit::kernels {
+namespace {
+
+TEST(KernelsTest, ElementwiseAddSubMul) {
+  Tensor a = Tensor::FromVector({1, 2, 3}, {3});
+  Tensor b = Tensor::FromVector({4, -5, 6}, {3});
+  Tensor sum = Add(a, b);
+  Tensor diff = Sub(a, b);
+  Tensor prod = Mul(a, b);
+  EXPECT_DOUBLE_EQ(sum.FlatAt(1), -3.0);
+  EXPECT_DOUBLE_EQ(diff.FlatAt(1), 7.0);
+  EXPECT_DOUBLE_EQ(prod.FlatAt(2), 18.0);
+}
+
+TEST(KernelsTest, ScaleAndAxpy) {
+  Tensor a = Tensor::FromVector({1, 2}, {2});
+  Tensor s = Scale(a, 3.0);
+  EXPECT_DOUBLE_EQ(s.FlatAt(1), 6.0);
+  Tensor y = Tensor::FromVector({10, 20}, {2});
+  Axpy(2.0, a, &y);
+  EXPECT_DOUBLE_EQ(y.FlatAt(0), 12.0);
+  EXPECT_DOUBLE_EQ(y.FlatAt(1), 24.0);
+  ScaleInPlace(&y, 0.5);
+  EXPECT_DOUBLE_EQ(y.FlatAt(0), 6.0);
+}
+
+TEST(KernelsTest, ReluAndBackward) {
+  Tensor x = Tensor::FromVector({-1, 0, 2}, {3});
+  Tensor y = Relu(x);
+  EXPECT_DOUBLE_EQ(y.FlatAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(y.FlatAt(2), 2.0);
+  Tensor g = ReluBackward(Tensor::Ones({3}), x);
+  EXPECT_DOUBLE_EQ(g.FlatAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.FlatAt(1), 0.0);  // x == 0: gradient 0
+  EXPECT_DOUBLE_EQ(g.FlatAt(2), 1.0);
+}
+
+TEST(KernelsTest, MatMulAgainstHandComputed) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::FromVector({5, 6, 7, 8}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At({0, 0}), 19.0);
+  EXPECT_DOUBLE_EQ(c.At({0, 1}), 22.0);
+  EXPECT_DOUBLE_EQ(c.At({1, 0}), 43.0);
+  EXPECT_DOUBLE_EQ(c.At({1, 1}), 50.0);
+}
+
+TEST(KernelsTest, MatMulTransposedVariantsAgree) {
+  Rng rng(21);
+  Tensor a = Tensor::Randn({3, 4}, &rng);
+  Tensor b = Tensor::Randn({4, 5}, &rng);
+  Tensor reference = MatMul(a, b);
+  Tensor via_trans_a = MatMulTransA(Transpose2D(a), b);
+  Tensor via_trans_b = MatMulTransB(a, Transpose2D(b));
+  EXPECT_LT(MaxAbsDiff(reference, via_trans_a), 1e-5);
+  EXPECT_LT(MaxAbsDiff(reference, via_trans_b), 1e-5);
+}
+
+TEST(KernelsTest, Transpose2D) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.size(0), 3);
+  EXPECT_EQ(t.size(1), 2);
+  EXPECT_DOUBLE_EQ(t.At({2, 1}), 6.0);
+  EXPECT_DOUBLE_EQ(t.At({0, 1}), 4.0);
+}
+
+TEST(KernelsTest, RowBroadcastAndSumRows) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor bias = Tensor::FromVector({10, 20}, {2});
+  Tensor out = AddRowBroadcast(a, bias);
+  EXPECT_DOUBLE_EQ(out.At({0, 0}), 11.0);
+  EXPECT_DOUBLE_EQ(out.At({1, 1}), 24.0);
+  Tensor sums = SumRows(a);
+  EXPECT_DOUBLE_EQ(sums.FlatAt(0), 4.0);
+  EXPECT_DOUBLE_EQ(sums.FlatAt(1), 6.0);
+}
+
+TEST(KernelsTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor input = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 2, 2});
+  Tensor weight = Tensor::Ones({1, 1, 1, 1});
+  Tensor out = Conv2d(input, weight, Conv2dArgs{1, 0});
+  EXPECT_LT(MaxAbsDiff(out, input), 1e-7);
+}
+
+TEST(KernelsTest, Conv2dHandComputed3x3) {
+  // All-ones 3x3 kernel with padding 1: each output = sum of 3x3
+  // neighborhood.
+  Tensor input = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9},
+                                    {1, 1, 3, 3});
+  Tensor weight = Tensor::Ones({1, 1, 3, 3});
+  Tensor out = Conv2d(input, weight, Conv2dArgs{1, 1});
+  EXPECT_DOUBLE_EQ(out.At({0, 0, 1, 1}), 45.0);  // full sum at center
+  EXPECT_DOUBLE_EQ(out.At({0, 0, 0, 0}), 1 + 2 + 4 + 5);
+}
+
+TEST(KernelsTest, Conv2dStrideShrinksOutput) {
+  Rng rng(4);
+  Tensor input = Tensor::Randn({2, 3, 8, 8}, &rng);
+  Tensor weight = Tensor::Randn({4, 3, 3, 3}, &rng);
+  Tensor out = Conv2d(input, weight, Conv2dArgs{2, 1});
+  EXPECT_EQ(out.size(0), 2);
+  EXPECT_EQ(out.size(1), 4);
+  EXPECT_EQ(out.size(2), 4);
+  EXPECT_EQ(out.size(3), 4);
+}
+
+TEST(KernelsTest, AvgPoolAndGlobalPool) {
+  Tensor input = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 2, 2});
+  Tensor pooled = AvgPool2x2(input);
+  EXPECT_EQ(pooled.numel(), 1);
+  EXPECT_DOUBLE_EQ(pooled.FlatAt(0), 2.5);
+  Tensor gap = GlobalAvgPool(input);
+  EXPECT_DOUBLE_EQ(gap.At({0, 0}), 2.5);
+}
+
+TEST(KernelsTest, SoftmaxRowsSumToOne) {
+  Rng rng(6);
+  Tensor logits = Tensor::Randn({5, 7}, &rng);
+  Tensor probs = Softmax(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < 7; ++j) {
+      const double p = probs.At({i, j});
+      EXPECT_GE(p, 0.0);
+      row_sum += p;
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(KernelsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(8);
+  Tensor logits = Tensor::Randn({4, 6}, &rng);
+  Tensor lp = LogSoftmax(logits);
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < lp.numel(); ++i) {
+    EXPECT_NEAR(lp.FlatAt(i), std::log(p.FlatAt(i)), 1e-4);
+  }
+}
+
+TEST(KernelsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromVector({1000.0f, 1001.0f}, {1, 2});
+  Tensor p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p.FlatAt(0)));
+  EXPECT_NEAR(p.FlatAt(0) + p.FlatAt(1), 1.0, 1e-6);
+}
+
+TEST(KernelsTest, ArgMaxRows) {
+  Tensor a = Tensor::FromVector({1, 5, 2, 9, 0, 3}, {2, 3});
+  Tensor idx = ArgMaxRows(a);
+  EXPECT_EQ(idx.data<int64_t>()[0], 1);
+  EXPECT_EQ(idx.data<int64_t>()[1], 0);
+}
+
+TEST(KernelsTest, EmbeddingLookupAndBackward) {
+  Tensor table = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {3, 2});
+  Tensor idx = Tensor::FromVectorInt64({2, 0, 2}, {3});
+  Tensor out = EmbeddingLookup(idx, table);
+  EXPECT_DOUBLE_EQ(out.At({0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(out.At({1, 1}), 2.0);
+
+  Tensor grad_out = Tensor::Ones({3, 2});
+  Tensor grad_table = EmbeddingBackward(grad_out, idx, {3, 2});
+  EXPECT_DOUBLE_EQ(grad_table.At({2, 0}), 2.0);  // index 2 hit twice
+  EXPECT_DOUBLE_EQ(grad_table.At({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(grad_table.At({1, 0}), 0.0);
+}
+
+TEST(KernelsTest, SumAllMeanAll) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {4});
+  EXPECT_DOUBLE_EQ(SumAll(a).Item(), 10.0);
+  EXPECT_DOUBLE_EQ(MeanAll(a).Item(), 2.5);
+}
+
+TEST(KernelsTest, AllCloseAndMaxAbsDiff) {
+  Tensor a = Tensor::FromVector({1, 2}, {2});
+  Tensor b = Tensor::FromVector({1, 2.0001f}, {2});
+  EXPECT_TRUE(AllClose(a, b, 1e-3, 1e-3));
+  EXPECT_FALSE(AllClose(a, b, 1e-7, 1e-7));
+  EXPECT_NEAR(MaxAbsDiff(a, b), 0.0001, 1e-5);
+}
+
+TEST(KernelsTest, GeluMatchesReferencePoints) {
+  Tensor x = Tensor::FromVector({0.0f, 1.0f, -1.0f}, {3});
+  Tensor y = Gelu(x);
+  EXPECT_NEAR(y.FlatAt(0), 0.0, 1e-6);
+  EXPECT_NEAR(y.FlatAt(1), 0.8412, 5e-3);
+  EXPECT_NEAR(y.FlatAt(2), -0.1588, 5e-3);
+}
+
+}  // namespace
+}  // namespace ddpkit::kernels

@@ -1,0 +1,270 @@
+// ddpkit_trainer — command-line driver for simulated distributed
+// data-parallel training, combining every subsystem: model zoo, synthetic
+// datasets, DistributedSampler, DDP with all knobs, optimizers, LR
+// schedulers, gradient clipping, checkpointing, and per-iteration virtual
+// latency reporting.
+//
+// Usage:
+//   ddpkit_trainer [--model=mlp|convnet|resnet|transformer] [--world=N]
+//                  [--backend=nccl|gloo|mpi] [--bucket-mb=N] [--steps=N]
+//                  [--batch=N] [--lr=F] [--momentum=F] [--optimizer=sgd|adam]
+//                  [--sync-every=N] [--find-unused] [--compress=none|fp16|1bit]
+//                  [--round-robin=N] [--clip-norm=F] [--warmup=N]
+//                  [--checkpoint=PATH] [--trace=PATH] [--seed=N]
+//
+// --trace writes a Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto) showing forward/backward compute spans and the AllReduce spans
+// overlapping them.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "comm/sim_world.h"
+#include "common/stats.h"
+#include "core/distributed_data_parallel.h"
+#include "data/distributed_sampler.h"
+#include "data/synthetic.h"
+#include "nn/losses.h"
+#include "nn/serialization.h"
+#include "nn/zoo.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "optim/lr_scheduler.h"
+#include "optim/sgd.h"
+
+using namespace ddpkit;  // NOLINT
+
+namespace {
+
+struct Args {
+  std::string model = "convnet";
+  int world = 4;
+  std::string backend = "nccl";
+  int bucket_mb = 25;
+  int steps = 50;
+  int batch = 8;
+  double lr = 0.02;
+  double momentum = 0.9;
+  std::string optimizer = "sgd";
+  int sync_every = 1;
+  bool find_unused = false;
+  std::string compress = "none";
+  int round_robin = 1;
+  double clip_norm = 0.0;
+  int warmup = 0;
+  std::string checkpoint;
+  std::string trace;
+  uint64_t seed = 1;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (ParseFlag(a, "model", &value)) args.model = value;
+    else if (ParseFlag(a, "world", &value)) args.world = std::atoi(value.c_str());
+    else if (ParseFlag(a, "backend", &value)) args.backend = value;
+    else if (ParseFlag(a, "bucket-mb", &value)) args.bucket_mb = std::atoi(value.c_str());
+    else if (ParseFlag(a, "steps", &value)) args.steps = std::atoi(value.c_str());
+    else if (ParseFlag(a, "batch", &value)) args.batch = std::atoi(value.c_str());
+    else if (ParseFlag(a, "lr", &value)) args.lr = std::atof(value.c_str());
+    else if (ParseFlag(a, "momentum", &value)) args.momentum = std::atof(value.c_str());
+    else if (ParseFlag(a, "optimizer", &value)) args.optimizer = value;
+    else if (ParseFlag(a, "sync-every", &value)) args.sync_every = std::atoi(value.c_str());
+    else if (std::strcmp(a, "--find-unused") == 0) args.find_unused = true;
+    else if (ParseFlag(a, "compress", &value)) args.compress = value;
+    else if (ParseFlag(a, "round-robin", &value)) args.round_robin = std::atoi(value.c_str());
+    else if (ParseFlag(a, "clip-norm", &value)) args.clip_norm = std::atof(value.c_str());
+    else if (ParseFlag(a, "warmup", &value)) args.warmup = std::atoi(value.c_str());
+    else if (ParseFlag(a, "checkpoint", &value)) args.checkpoint = value;
+    else if (ParseFlag(a, "trace", &value)) args.trace = value;
+    else if (ParseFlag(a, "seed", &value)) args.seed = std::strtoull(value.c_str(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+sim::Backend BackendFromName(const std::string& name) {
+  if (name == "gloo") return sim::Backend::kGloo;
+  if (name == "mpi") return sim::Backend::kMpi;
+  return sim::Backend::kNccl;
+}
+
+std::shared_ptr<nn::Module> MakeModel(const std::string& name, Rng* rng) {
+  if (name == "mlp") {
+    return std::make_shared<nn::Mlp>(
+        std::vector<int64_t>{28 * 28, 64, 10}, rng);
+  }
+  if (name == "resnet") {
+    return std::make_shared<nn::ResNetTiny>(rng, 1, 4, 10, 1);
+  }
+  if (name == "transformer") {
+    nn::TransformerTiny::Config config;
+    config.vocab_size = 64;
+    config.seq_len = 8;
+    config.dim = 16;
+    config.ff_dim = 32;
+    config.num_layers = 2;
+    config.num_classes = 4;
+    return std::make_shared<nn::TransformerTiny>(config, rng);
+  }
+  return std::make_shared<nn::SmallConvNet>(rng, 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::printf("ddpkit_trainer: model=%s world=%d backend=%s bucket=%dMB "
+              "steps=%d batch=%d lr=%g sync_every=%d rr=%d compress=%s\n",
+              args.model.c_str(), args.world, args.backend.c_str(),
+              args.bucket_mb, args.steps, args.batch, args.lr,
+              args.sync_every, args.round_robin, args.compress.c_str());
+
+  const bool transformer = args.model == "transformer";
+  const bool image_2d = args.model == "convnet" || args.model == "resnet";
+  data::SyntheticMnist images(2048, args.seed, 0.6);
+  data::SyntheticTokens tokens(2048, 8, 64, 4, args.seed);
+
+  std::vector<double> iteration_latencies;
+  std::vector<double> losses(static_cast<size_t>(args.steps), 0.0);
+  std::shared_ptr<core::TraceRecorder> trace_recorder;
+  if (!args.trace.empty()) {
+    trace_recorder = std::make_shared<core::TraceRecorder>();
+  }
+
+  comm::SimWorldOptions world_options;
+  world_options.backend = BackendFromName(args.backend);
+  world_options.round_robin_groups = args.round_robin;
+  world_options.seed = args.seed;
+
+  comm::SimWorld::Run(args.world, world_options,
+                      [&](comm::SimWorld::RankContext& ctx) {
+    Rng rng(args.seed + 100);
+    auto model = MakeModel(args.model, &rng);
+
+    core::DdpOptions ddp_options;
+    ddp_options.bucket_cap_bytes = static_cast<size_t>(args.bucket_mb) << 20;
+    ddp_options.find_unused_parameters = args.find_unused;
+    if (args.compress == "fp16") {
+      ddp_options.comm_hook = std::make_shared<core::Fp16CompressionHook>();
+    } else if (args.compress == "1bit") {
+      ddp_options.comm_hook = std::make_shared<core::OneBitCompressionHook>();
+    }
+    ddp_options.compute_model = std::make_shared<sim::ComputeCostModel>(
+        sim::ComputeCostModel::V100Profile());
+    ddp_options.trace = trace_recorder;
+    core::DistributedDataParallel ddp(model, ctx.process_group, ddp_options);
+
+    std::unique_ptr<optim::Optimizer> opt;
+    if (args.optimizer == "adam") {
+      opt = std::make_unique<optim::Adam>(model->parameters(),
+                                          optim::Adam::Options{.lr = args.lr});
+    } else {
+      opt = std::make_unique<optim::Sgd>(
+          model->parameters(),
+          optim::Sgd::Options{.lr = args.lr, .momentum = args.momentum});
+    }
+    std::unique_ptr<optim::WarmupLr> scheduler;
+    if (args.warmup > 0) {
+      scheduler = std::make_unique<optim::WarmupLr>(opt.get(), args.warmup);
+    }
+
+    data::DistributedSampler sampler(
+        transformer ? tokens.size() : images.size(), args.world, ctx.rank,
+        args.seed + 7);
+    auto indices = sampler.EpochIndices(0);
+    nn::CrossEntropyLoss criterion;
+
+    size_t cursor = 0;
+    double last_clock = ctx.clock->Now();
+    for (int step = 0; step < args.steps; ++step) {
+      std::vector<int64_t> ids;
+      for (int b = 0; b < args.batch; ++b) {
+        ids.push_back(indices[cursor++ % indices.size()]);
+      }
+      data::Batch batch = transformer ? tokens.Get(ids) : images.Get(ids);
+      Tensor inputs = batch.inputs;
+      if (!image_2d && !transformer) {
+        inputs = inputs.Reshape({inputs.size(0), 28 * 28});  // mlp input
+      }
+
+      const bool sync = ((step + 1) % args.sync_every) == 0;
+      double loss_value;
+      if (!sync) {
+        auto guard = ddp.no_sync();
+        Tensor loss = criterion(ddp.Forward(inputs), batch.targets);
+        loss_value = loss.Item();
+        autograd::Backward(loss);
+      } else {
+        Tensor loss = criterion(ddp.Forward(inputs), batch.targets);
+        loss_value = loss.Item();
+        autograd::Backward(loss);
+        if (args.clip_norm > 0.0) {
+          optim::ClipGradNorm(model->parameters(), args.clip_norm);
+        }
+        if (args.find_unused) {
+          opt->Step(ddp.globally_used_mask());
+        } else {
+          opt->Step();
+        }
+        opt->ZeroGrad();
+        if (scheduler) scheduler->Step();
+      }
+
+      if (ctx.rank == 0) {
+        losses[static_cast<size_t>(step)] = loss_value;
+        const double now = ctx.clock->Now();
+        iteration_latencies.push_back(now - last_clock);
+        last_clock = now;
+      }
+    }
+
+    if (ctx.rank == 0 && !args.checkpoint.empty()) {
+      Status status = nn::SaveStateDict(*model, args.checkpoint);
+      std::printf("checkpoint -> %s: %s\n", args.checkpoint.c_str(),
+                  status.ToString().c_str());
+      // Optimizer state beside it, for exact resume (momentum/moments).
+      Status opt_status =
+          nn::SaveTensorMap(opt->named_state(), args.checkpoint + ".opt");
+      std::printf("optimizer state -> %s.opt: %s\n",
+                  args.checkpoint.c_str(), opt_status.ToString().c_str());
+    }
+  });
+
+  std::printf("\n%-8s %-10s %-14s\n", "step", "loss", "virt_latency_s");
+  for (int step = 0; step < args.steps;
+       step += std::max(1, args.steps / 10)) {
+    std::printf("%-8d %-10.4f %-14.6f\n", step,
+                losses[static_cast<size_t>(step)],
+                iteration_latencies[static_cast<size_t>(step)]);
+  }
+  Summary latency = Summarize(iteration_latencies);
+  std::printf("\nvirtual per-iteration latency: %s\n",
+              latency.ToString().c_str());
+  std::printf("final loss: %.4f\n", losses.back());
+  if (trace_recorder) {
+    Status status = trace_recorder->WriteJson(args.trace);
+    std::printf("trace (%zu spans) -> %s: %s\n", trace_recorder->size(),
+                args.trace.c_str(), status.ToString().c_str());
+  }
+  return 0;
+}
