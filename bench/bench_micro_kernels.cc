@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "comm/algorithms.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/bucketing.h"
 #include "tensor/tensor_ops.h"
@@ -97,6 +98,82 @@ void BM_BucketCopy(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * n * 4);
 }
 BENCHMARK(BM_BucketCopy)->Arg(1 << 16)->Arg(1 << 20);
+
+// ---------------------------------------------------------------------------
+// Thread-scaling sweep: the same kernels at 1/2/4/8 pool threads. Each
+// benchmark resizes the global pool before timing and restores the prior
+// size afterwards so the serial benchmarks are unaffected by ordering. On a
+// single-core host these curves are flat (or show dispatch overhead); on
+// multi-core hosts they show the intra-op speedup. The "threads" arg name
+// keys the sweep in the JSON report.
+// ---------------------------------------------------------------------------
+
+class ThreadSweep {
+ public:
+  explicit ThreadSweep(int threads)
+      : prev_(ThreadPool::Global().num_threads()) {
+    ThreadPool::SetNumThreads(threads);
+  }
+  ~ThreadSweep() { ThreadPool::SetNumThreads(prev_); }
+
+ private:
+  int prev_;
+};
+
+void BM_ElementwiseAddThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  Rng rng(8);
+  Tensor a = Tensor::Randn({n}, &rng);
+  Tensor b = Tensor::Randn({n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Add(a, b));
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4 * 3);
+}
+BENCHMARK(BM_ElementwiseAddThreads)
+    ->ArgNames({"threads", "n"})
+    ->Args({1, 1 << 20})
+    ->Args({2, 1 << 20})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20});
+
+void BM_MatMulThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  Rng rng(9);
+  Tensor a = Tensor::Randn({n, n}, &rng);
+  Tensor b = Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->ArgNames({"threads", "n"})
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({8, 256});
+
+void BM_RingAllReduceThreads(benchmark::State& state) {
+  ThreadSweep sweep(static_cast<int>(state.range(0)));
+  const int world = 4;
+  const int64_t n = state.range(1);
+  Rng rng(10);
+  std::vector<Tensor> tensors;
+  for (int r = 0; r < world; ++r) tensors.push_back(Tensor::Randn({n}, &rng));
+  for (auto _ : state) {
+    comm::RunAllReduce(comm::Algorithm::kRing, comm::ReduceOp::kSum, tensors);
+  }
+  state.SetBytesProcessed(state.iterations() * world * n * 4);
+}
+BENCHMARK(BM_RingAllReduceThreads)
+    ->ArgNames({"threads", "n"})
+    ->Args({1, 1 << 20})
+    ->Args({2, 1 << 20})
+    ->Args({4, 1 << 20})
+    ->Args({8, 1 << 20});
 
 void BM_Fp16Conversion(benchmark::State& state) {
   const int64_t n = state.range(0);

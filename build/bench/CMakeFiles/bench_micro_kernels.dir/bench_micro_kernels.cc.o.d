@@ -228,5 +228,7 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/common/rng.h /root/repo/src/tensor/dtype.h \
- /root/repo/src/tensor/storage.h /root/repo/src/core/bucketing.h \
- /root/repo/src/tensor/tensor_ops.h
+ /root/repo/src/tensor/storage.h /root/repo/src/common/parallel.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
+ /root/repo/src/core/bucketing.h /root/repo/src/tensor/tensor_ops.h

@@ -221,4 +221,7 @@ src/CMakeFiles/ddpkit_comm.dir/comm/algorithms.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/rng.h \
  /root/repo/src/tensor/dtype.h /usr/include/c++/12/cstddef \
  /root/repo/src/tensor/storage.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread

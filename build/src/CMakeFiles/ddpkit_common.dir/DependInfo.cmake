@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/ddpkit_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ddpkit_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/ddpkit_common.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/ddpkit_common.dir/common/parallel.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/ddpkit_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ddpkit_common.dir/common/rng.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/CMakeFiles/ddpkit_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ddpkit_common.dir/common/stats.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/ddpkit_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ddpkit_common.dir/common/status.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/ddpkit_common.dir/common/logging.cc.o"
   "CMakeFiles/ddpkit_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ddpkit_common.dir/common/parallel.cc.o"
+  "CMakeFiles/ddpkit_common.dir/common/parallel.cc.o.d"
   "CMakeFiles/ddpkit_common.dir/common/rng.cc.o"
   "CMakeFiles/ddpkit_common.dir/common/rng.cc.o.d"
   "CMakeFiles/ddpkit_common.dir/common/stats.cc.o"

@@ -233,9 +233,13 @@ src/CMakeFiles/ddpkit_core.dir/core/reducer.cc.o: \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/core/trace.h /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sim/compute_cost_model.h /root/repo/src/autograd/engine.h \
+ /root/repo/src/sim/compute_cost_model.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/autograd/engine.h \
  /root/repo/src/autograd/grad_accumulator.h \
  /root/repo/src/autograd/node.h /root/repo/src/autograd/graph_utils.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/tensor/tensor_ops.h
+ /root/repo/src/common/parallel.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /root/repo/src/tensor/tensor_ops.h

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/comm_process_group_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_process_group_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_process_group_test.cc.o.d"
   "/root/repo/tests/comm_round_robin_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_round_robin_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_round_robin_test.cc.o.d"
   "/root/repo/tests/comm_store_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_store_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_store_test.cc.o.d"
+  "/root/repo/tests/common_parallel_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/common_parallel_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/common_parallel_test.cc.o.d"
   "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/common_test.cc.o.d"
   "/root/repo/tests/core_bucket_view_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucket_view_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucket_view_test.cc.o.d"
   "/root/repo/tests/core_bucketing_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucketing_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucketing_test.cc.o.d"

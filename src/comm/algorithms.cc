@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ddpkit::comm {
 
@@ -40,20 +41,29 @@ T Combine(ReduceOp op, T a, T b) {
 }
 
 /// Naive: combine contributions in rank order into rank 0's buffer, then
-/// copy everywhere (gather + local reduce + broadcast).
+/// copy everywhere (gather + local reduce + broadcast). Parallelized over
+/// elements; each element still accumulates ranks in ascending order, so
+/// the sum is bit-exact regardless of thread count.
 template <typename T>
 void NaiveAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   const int world = static_cast<int>(tensors.size());
   const int64_t n = tensors[0].numel();
   T* acc = const_cast<Tensor&>(tensors[0]).data<T>();
-  for (int r = 1; r < world; ++r) {
-    const T* src = tensors[r].data<T>();
-    for (int64_t i = 0; i < n; ++i) acc[i] = Combine(op, acc[i], src[i]);
-  }
-  for (int r = 1; r < world; ++r) {
-    std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>(), acc,
-                static_cast<size_t>(n) * sizeof(T));
-  }
+  std::vector<const T*> srcs;
+  for (int r = 1; r < world; ++r) srcs.push_back(tensors[r].data<T>());
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      T v = acc[i];
+      for (const T* src : srcs) v = Combine(op, v, src[i]);
+      acc[i] = v;
+    }
+  });
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int r = 1; r < world; ++r) {
+      std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>() + b, acc + b,
+                  static_cast<size_t>(e - b) * sizeof(T));
+    }
+  });
 }
 
 /// Ring: split the array into `world` chunks. Chunk c is reduced by walking
@@ -77,22 +87,26 @@ void RingAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
     const int64_t begin = chunk_begin(c);
     const int64_t len = chunk_size(c);
     if (len == 0) continue;
-    // Start from the ring successor of the chunk owner.
+    // Start from the ring successor of the chunk owner. Elements within the
+    // chunk are split across threads; each element is combined in the same
+    // ring order as the serial loop, so the result is bit-exact.
     const int first = (c + 1) % world;
     const T* src0 = tensors[first].data<T>() + begin;
-    std::memcpy(reduced.data() + begin, src0,
-                static_cast<size_t>(len) * sizeof(T));
-    for (int s = 2; s <= world; ++s) {
-      const int r = (c + s) % world;
-      const T* src = tensors[r].data<T>() + begin;
-      T* dst = reduced.data() + begin;
-      for (int64_t i = 0; i < len; ++i) dst[i] = Combine(op, dst[i], src[i]);
+    T* dst = reduced.data() + begin;
+    ParallelFor(0, len, GrainFromCost(world), [&](int64_t b, int64_t e) {
+      std::memcpy(dst + b, src0 + b, static_cast<size_t>(e - b) * sizeof(T));
+      for (int s = 2; s <= world; ++s) {
+        const T* src = tensors[(c + s) % world].data<T>() + begin;
+        for (int64_t i = b; i < e; ++i) dst[i] = Combine(op, dst[i], src[i]);
+      }
+    });
+  }
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int r = 0; r < world; ++r) {
+      std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>() + b,
+                  reduced.data() + b, static_cast<size_t>(e - b) * sizeof(T));
     }
-  }
-  for (int r = 0; r < world; ++r) {
-    std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>(), reduced.data(),
-                static_cast<size_t>(n) * sizeof(T));
-  }
+  });
 }
 
 /// Tree: recursive-doubling reduction to rank 0 followed by a broadcast
@@ -102,21 +116,35 @@ void TreeAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   const int world = static_cast<int>(tensors.size());
   const int64_t n = tensors[0].numel();
   std::vector<std::vector<T>> acc(static_cast<size_t>(world));
-  for (int r = 0; r < world; ++r) {
-    const T* src = tensors[r].data<T>();
-    acc[r].assign(src, src + n);
-  }
-  for (int span = 1; span < world; span *= 2) {
-    for (int r = 0; r + span < world; r += 2 * span) {
-      T* dst = acc[r].data();
-      const T* src = acc[r + span].data();
-      for (int64_t i = 0; i < n; ++i) dst[i] = Combine(op, dst[i], src[i]);
+  for (int r = 0; r < world; ++r) acc[r].resize(static_cast<size_t>(n));
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int r = 0; r < world; ++r) {
+      std::memcpy(acc[r].data() + b, tensors[r].data<T>() + b,
+                  static_cast<size_t>(e - b) * sizeof(T));
     }
+  });
+  // Rounds stay sequential (each halving depends on the previous); within a
+  // round the (dst, src) pairs write disjoint buffers and each element keeps
+  // the recursive-doubling combine order.
+  for (int span = 1; span < world; span *= 2) {
+    std::vector<std::pair<T*, const T*>> pairs;
+    for (int r = 0; r + span < world; r += 2 * span) {
+      pairs.emplace_back(acc[r].data(), acc[r + span].data());
+    }
+    if (pairs.empty()) continue;
+    ParallelFor(0, n, GrainFromCost(static_cast<int64_t>(pairs.size())),
+                [&](int64_t b, int64_t e) {
+      for (auto& [dst, src] : pairs) {
+        for (int64_t i = b; i < e; ++i) dst[i] = Combine(op, dst[i], src[i]);
+      }
+    });
   }
-  for (int r = 0; r < world; ++r) {
-    std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>(), acc[0].data(),
-                static_cast<size_t>(n) * sizeof(T));
-  }
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int r = 0; r < world; ++r) {
+      std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>() + b,
+                  acc[0].data() + b, static_cast<size_t>(e - b) * sizeof(T));
+    }
+  });
 }
 
 /// Half-precision all-reduce: accumulate in float (as GPU tensor cores do)
@@ -126,15 +154,24 @@ void Fp16AllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   DDPKIT_CHECK(op == ReduceOp::kSum) << "fp16 all-reduce supports sum only";
   const int world = static_cast<int>(tensors.size());
   const int64_t n = tensors[0].numel();
-  std::vector<float> acc(static_cast<size_t>(n), 0.0f);
-  for (int r = 0; r < world; ++r) {
-    const uint16_t* src = tensors[r].data<uint16_t>();
-    for (int64_t i = 0; i < n; ++i) acc[i] += HalfBitsToFloat32(src[i]);
-  }
-  for (int r = 0; r < world; ++r) {
-    uint16_t* dst = const_cast<Tensor&>(tensors[r]).data<uint16_t>();
-    for (int64_t i = 0; i < n; ++i) dst[i] = Float32ToHalfBits(acc[i]);
-  }
+  std::vector<float> acc(static_cast<size_t>(n));
+  std::vector<const uint16_t*> srcs;
+  for (int r = 0; r < world; ++r) srcs.push_back(tensors[r].data<uint16_t>());
+  // Per-element fp32 accumulation in ascending rank order, then the half
+  // stores; both conversion loops are element-parallel.
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      float v = 0.0f;
+      for (const uint16_t* src : srcs) v += HalfBitsToFloat32(src[i]);
+      acc[i] = v;
+    }
+  });
+  ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
+    for (int r = 0; r < world; ++r) {
+      uint16_t* dst = const_cast<Tensor&>(tensors[r]).data<uint16_t>();
+      for (int64_t i = b; i < e; ++i) dst[i] = Float32ToHalfBits(acc[i]);
+    }
+  });
 }
 
 template <typename T>
@@ -203,11 +240,19 @@ void ReduceInto(ReduceOp op, const std::vector<Tensor>& tensors,
                 Tensor* dest) {
   const int64_t n = dest->numel();
   T* acc = dest->data<T>();
+  std::vector<const T*> srcs;
   for (const Tensor& t : tensors) {
     if (t.id() == dest->id()) continue;
-    const T* src = t.data<T>();
-    for (int64_t i = 0; i < n; ++i) acc[i] = Combine(op, acc[i], src[i]);
+    srcs.push_back(t.data<T>());
   }
+  ParallelFor(0, n, GrainFromCost(static_cast<int64_t>(srcs.size()) + 1),
+              [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      T v = acc[i];
+      for (const T* src : srcs) v = Combine(op, v, src[i]);
+      acc[i] = v;
+    }
+  });
 }
 
 }  // namespace
@@ -251,22 +296,23 @@ void RunReduceScatter(ReduceOp op, const std::vector<Tensor>& inputs,
         << "ReduceScatter supports float32";
   }
   // Chunk c reduced in ring order starting at rank (c+1) % world, matching
-  // RingAllReduce's combine order.
+  // RingAllReduce's combine order; elements within a chunk are
+  // thread-partitioned without reordering any element's summation.
   for (int c = 0; c < world; ++c) {
     Tensor out = outputs[static_cast<size_t>(c)];
     float* acc = out.data<float>();
     const int first = (c + 1) % world;
     const float* src0 =
         inputs[static_cast<size_t>(first)].data<float>() + c * chunk;
-    for (int64_t i = 0; i < chunk; ++i) acc[i] = src0[i];
-    for (int s = 2; s <= world; ++s) {
-      const int r = (c + s) % world;
-      const float* src =
-          inputs[static_cast<size_t>(r)].data<float>() + c * chunk;
-      for (int64_t i = 0; i < chunk; ++i) {
-        acc[i] = Combine(op, acc[i], src[i]);
+    ParallelFor(0, chunk, GrainFromCost(world), [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) acc[i] = src0[i];
+      for (int s = 2; s <= world; ++s) {
+        const float* src =
+            inputs[static_cast<size_t>((c + s) % world)].data<float>() +
+            c * chunk;
+        for (int64_t i = b; i < e; ++i) acc[i] = Combine(op, acc[i], src[i]);
       }
-    }
+    });
   }
 }
 

@@ -1,0 +1,165 @@
+#include "common/parallel.h"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace ddpkit {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("DDPKIT_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(std::min(v, 64L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+}  // namespace
+
+namespace internal {
+
+bool InPoolWorker() { return t_in_pool_worker; }
+
+}  // namespace internal
+
+/// One ParallelFor invocation. Chunks are claimed from `next` by whichever
+/// threads show up (caller + any free workers); chunk *boundaries* are fixed
+/// by (begin, end, grain) alone, so the claiming race never affects results.
+struct ThreadPool::Task {
+  Task(int64_t begin_in, int64_t end_in, int64_t grain_in,
+       internal::RangeFnRef body_in)
+      : body(body_in),
+        begin(begin_in),
+        end(end_in),
+        grain(grain_in),
+        num_chunks((end_in - begin_in + grain_in - 1) / grain_in) {}
+
+  internal::RangeFnRef body;
+  const int64_t begin;
+  const int64_t end;
+  const int64_t grain;
+  const int64_t num_chunks;
+
+  std::atomic<int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int64_t done = 0;                 // guarded by mu
+  std::exception_ptr error;         // guarded by mu; first thrown wins
+
+  /// Claim and run chunks until none remain. Returns once this thread can
+  /// claim no more work; other threads may still be finishing their chunks.
+  void RunChunks() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const int64_t b = begin + c * grain;
+      const int64_t e = std::min(end, b + grain);
+      std::exception_ptr err;
+      try {
+        body(b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (err && !error) error = err;
+      if (++done == num_chunks) done_cv.notify_all();
+    }
+  }
+
+  bool HasUnclaimedChunks() const {
+    return next.load(std::memory_order_relaxed) < num_chunks;
+  }
+
+  void WaitAndRethrow() {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return done == num_chunks; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads_.store(std::max(1, num_threads), std::memory_order_relaxed);
+  StartWorkers();
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultNumThreads());
+  return *pool;
+}
+
+void ThreadPool::SetNumThreads(int n) { Global().Resize(std::max(1, n)); }
+
+void ThreadPool::StartWorkers() {
+  const int n = num_threads_.load(std::memory_order_relaxed);
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::StopWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = false;
+}
+
+void ThreadPool::Resize(int n) {
+  StopWorkers();
+  num_threads_.store(n, std::memory_order_relaxed);
+  StartWorkers();
+}
+
+void ThreadPool::Dispatch(const std::shared_ptr<Task>& task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(task);
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    // Every free worker converges on the oldest task and claims chunks from
+    // it; the task is retired from the queue once fully claimed.
+    std::shared_ptr<Task> task = queue_.front();
+    lock.unlock();
+    task->RunChunks();
+    lock.lock();
+    if (!queue_.empty() && queue_.front() == task &&
+        !task->HasUnclaimedChunks()) {
+      queue_.pop_front();
+    }
+  }
+}
+
+namespace internal {
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     RangeFnRef body) {
+  ThreadPool& pool = ThreadPool::Global();
+  auto task = std::make_shared<ThreadPool::Task>(begin, end, grain, body);
+  pool.Dispatch(task);
+  task->RunChunks();
+  task->WaitAndRethrow();
+}
+
+}  // namespace internal
+
+}  // namespace ddpkit

@@ -1,0 +1,155 @@
+#ifndef DDPKIT_COMMON_PARALLEL_H_
+#define DDPKIT_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddpkit {
+
+/// Default work granularity, in scalar operations per chunk. Loops whose
+/// total cost is below one grain run serially on the calling thread, so
+/// small tensors never pay dispatch overhead. The value matches
+/// at::internal::GRAIN_SIZE's order of magnitude.
+inline constexpr int64_t kParallelGrain = 32768;
+
+/// Grain (in iterations) for a loop whose every iteration performs
+/// `cost_per_iter` scalar operations, so one chunk is ~kParallelGrain ops.
+inline int64_t GrainFromCost(int64_t cost_per_iter) {
+  return std::max<int64_t>(1, kParallelGrain / std::max<int64_t>(1, cost_per_iter));
+}
+
+namespace internal {
+
+/// Non-owning type-erased reference to a `void(int64_t begin, int64_t end)`
+/// callable. Avoids std::function's allocation on the hot dispatch path;
+/// the referenced callable must outlive the call (ParallelFor blocks until
+/// completion, so stack lambdas are safe).
+class RangeFnRef {
+ public:
+  template <typename F>
+  RangeFnRef(const F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_([](const void* obj, int64_t b, int64_t e) {
+          (*static_cast<const F*>(obj))(b, e);
+        }) {}
+  void operator()(int64_t begin, int64_t end) const { call_(obj_, begin, end); }
+
+ private:
+  const void* obj_;
+  void (*call_)(const void*, int64_t, int64_t);
+};
+
+/// True when the current thread is a pool worker (nested ParallelFor calls
+/// then run inline to avoid deadlocking the pool).
+bool InPoolWorker();
+
+/// Parallel path of ParallelFor; begin < end and grain >= 1 guaranteed.
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain, RangeFnRef body);
+
+}  // namespace internal
+
+/// Lazily-initialized persistent worker pool shared by every ParallelFor in
+/// the process. Sized from DDPKIT_NUM_THREADS (else hardware concurrency);
+/// `num_threads` counts the calling thread, so a pool of N keeps N-1
+/// standing workers. Multiple threads (e.g. SimWorld rank threads) may
+/// dispatch concurrently: the calling thread always participates in its own
+/// loop, so progress never depends on a worker being free.
+class ThreadPool {
+ public:
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, created on first use.
+  static ThreadPool& Global();
+
+  /// Test escape hatch: resize the global pool (clamped to >= 1). Must not
+  /// be called while any ParallelFor is in flight.
+  static void SetNumThreads(int n);
+
+  /// Total threads that participate in a ParallelFor (workers + caller).
+  int num_threads() const { return num_threads_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void internal::ParallelForImpl(int64_t, int64_t, int64_t,
+                                        internal::RangeFnRef);
+
+  struct Task;
+
+  explicit ThreadPool(int num_threads);
+  void StartWorkers();
+  void StopWorkers();
+  void Resize(int n);
+  void Dispatch(const std::shared_ptr<Task>& task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  std::atomic<int> num_threads_{1};
+};
+
+/// Runs `body(sub_begin, sub_end)` over disjoint subranges that exactly
+/// tile [begin, end), potentially on multiple threads.
+///
+/// Determinism contract: subrange boundaries are derived only from
+/// (end - begin) and `grain` — never from the thread count — and every
+/// subrange is executed by exactly one thread. A body whose writes are
+/// per-index pure (each output element depends only on its own subrange
+/// position) therefore produces bit-identical results for any pool size,
+/// including the serial fallback. Order-sensitive reductions must go
+/// through ParallelReduce, which fixes the combine order by chunk index.
+///
+/// The calling thread participates; nested calls from inside a body run
+/// serially. Exceptions thrown by `body` are rethrown on the caller (first
+/// one wins) after all subranges finish.
+template <typename F>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, const F& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t g = grain < 1 ? 1 : grain;
+  if (n <= g || internal::InPoolWorker() ||
+      ThreadPool::Global().num_threads() == 1) {
+    body(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, g, internal::RangeFnRef(body));
+}
+
+/// Chunked deterministic reduction: partials are computed per fixed-size
+/// chunk (`map(chunk_begin, chunk_end) -> T`) and combined left-to-right in
+/// chunk-index order, so the floating-point summation order depends only on
+/// (end - begin) and `grain`, never on the thread count. Returns `identity`
+/// for empty ranges.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
+                 const MapFn& map, const CombineFn& combine) {
+  const int64_t n = end - begin;
+  if (n <= 0) return identity;
+  const int64_t g = grain < 1 ? 1 : grain;
+  const int64_t num_chunks = (n + g - 1) / g;
+  if (num_chunks == 1) return combine(identity, map(begin, end));
+  std::vector<T> partials(static_cast<size_t>(num_chunks), identity);
+  ParallelFor(0, num_chunks, 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t c = cb; c < ce; ++c) {
+      const int64_t b = begin + c * g;
+      partials[static_cast<size_t>(c)] = map(b, std::min(end, b + g));
+    }
+  });
+  T acc = identity;
+  for (T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_COMMON_PARALLEL_H_

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 
+#include <cstring>
+
 #include "autograd/engine.h"
 #include "autograd/grad_accumulator.h"
 #include "autograd/graph_utils.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace ddpkit::core {
+
+namespace {
+
+/// Thread-chunked copy between contiguous float32 buffers (the bucket
+/// copy-in/copy-out path, §4.2's named per-backward copy cost).
+void ParallelCopy(float* dst, const float* src, int64_t n) {
+  ParallelFor(0, n, kParallelGrain, [&](int64_t b, int64_t e) {
+    std::memcpy(dst + b, src + b, static_cast<size_t>(e - b) * sizeof(float));
+  });
+}
+
+}  // namespace
 
 Reducer::Reducer(std::vector<Tensor> params,
                  std::shared_ptr<comm::ProcessGroup> process_group,
@@ -69,6 +84,7 @@ void Reducer::InitBuckets(const BucketAssignment& assignment) {
   buckets_.clear();
   buckets_.resize(assignment_.buckets.size());
   param_to_bucket_.assign(params_.size(), 0);
+  param_slots_.assign(params_.size(), Slot{});
 
   for (size_t b = 0; b < assignment_.buckets.size(); ++b) {
     Bucket& bucket = buckets_[b];
@@ -76,6 +92,7 @@ void Reducer::InitBuckets(const BucketAssignment& assignment) {
     for (size_t idx : assignment_.buckets[b]) {
       bucket.slots.push_back(Slot{idx, total, metas_[idx].numel});
       param_to_bucket_[idx] = b;
+      param_slots_[idx] = bucket.slots.back();
       total += metas_[idx].numel;
     }
     const int device = metas_[assignment_.buckets[b].front()].device_id;
@@ -176,21 +193,20 @@ void Reducer::MarkParamReady(size_t param_index, bool via_hook) {
   ready_order_.push_back(param_index);
 
   Bucket& bucket = buckets_[param_to_bucket_[param_index]];
-  // Copy the gradient into its bucket view (Algorithm 1 lines 15-16).
-  const Slot* slot = nullptr;
-  for (const Slot& s : bucket.slots) {
-    if (s.param_index == param_index) {
-      slot = &s;
-      break;
-    }
-  }
-  DDPKIT_CHECK(slot != nullptr);
-  Tensor view = bucket.buffer.Narrow(0, slot->offset, slot->length);
+  // Copy the gradient into its bucket view (Algorithm 1 lines 15-16). The
+  // slot was precomputed at bucket-build time, so this lookup is O(1).
+  const Slot& slot = param_slots_[param_index];
+  DDPKIT_CHECK_EQ(slot.param_index, param_index);
+  Tensor view = bucket.buffer.Narrow(0, slot.offset, slot.length);
   Tensor grad = params_[param_index].grad();
   if (grad.defined() && grad.data<float>() == view.data<float>()) {
     // gradient_as_bucket_view: the gradient already lives in the bucket.
   } else if (grad.defined()) {
-    view.CopyFrom(grad.Flatten());
+    if (grad.is_contiguous()) {
+      ParallelCopy(view.data<float>(), grad.data<float>(), slot.length);
+    } else {
+      view.CopyFrom(grad.Flatten());
+    }
   } else {
     // Locally-unused parameter with no accumulated gradient: contribute
     // zeros so peers that did use it still receive a correct average.
@@ -272,6 +288,15 @@ void Reducer::FinalizeBackward() {
 
   // Average and write back (the finalizing step Algorithm 1 omits).
   const double inv_world = 1.0 / static_cast<double>(pg_->world());
+  // Gradient allocation and view bookkeeping stay on this thread; the
+  // per-slot data movement is collected into jobs and fanned out across the
+  // pool (slots write disjoint gradient buffers).
+  struct CopyJob {
+    float* dst;
+    const float* src;
+    int64_t numel;
+  };
+  std::vector<CopyJob> copy_jobs;
   for (Bucket& bucket : buckets_) {
     kernels::ScaleInPlace(&bucket.buffer, inv_world);
     if (options_.gradient_as_bucket_view) {
@@ -294,10 +319,22 @@ void Reducer::FinalizeBackward() {
         p.set_grad(fresh);
         grad = p.grad();
       }
-      grad.Flatten().CopyFrom(
-          bucket.buffer.Narrow(0, slot.offset, slot.length));
+      DDPKIT_CHECK(grad.is_contiguous());
+      copy_jobs.push_back(CopyJob{
+          grad.data<float>(),
+          bucket.buffer.data<float>() + slot.offset,
+          slot.length,
+      });
     }
   }
+  ParallelFor(0, static_cast<int64_t>(copy_jobs.size()), 1,
+              [&](int64_t jb, int64_t je) {
+    for (int64_t j = jb; j < je; ++j) {
+      const CopyJob& job = copy_jobs[static_cast<size_t>(j)];
+      std::memcpy(job.dst, job.src,
+                  static_cast<size_t>(job.numel) * sizeof(float));
+    }
+  });
 
   std::fill(locally_used_.begin(), locally_used_.end(), 0);
   last_ready_order_ = ready_order_;

@@ -143,6 +143,10 @@ class Reducer {
   BucketAssignment assignment_;
   std::vector<Bucket> buckets_;
   std::vector<size_t> param_to_bucket_;
+  /// param_index -> its slot (offset/length in its bucket's buffer),
+  /// precomputed at bucket-build time so MarkParamReady does no O(slots)
+  /// scan on the per-gradient hot path.
+  std::vector<Slot> param_slots_;
 
   // Per-iteration state.
   std::vector<uint8_t> param_ready_;

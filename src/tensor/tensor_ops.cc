@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/parallel.h"
+
 namespace ddpkit::kernels {
 
 namespace {
@@ -14,8 +16,10 @@ void CheckFloatContiguous(const Tensor& t, const char* what) {
   DDPKIT_CHECK(t.is_contiguous()) << what << " must be contiguous";
 }
 
-void CheckSameNumel(const Tensor& a, const Tensor& b) {
-  DDPKIT_CHECK_EQ(a.numel(), b.numel());
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  DDPKIT_CHECK(a.shape() == b.shape())
+      << "shape mismatch: " << a.ShapeString() << " vs " << b.ShapeString()
+      << " (elementwise kernels do not broadcast)";
 }
 
 template <typename F>
@@ -24,8 +28,9 @@ Tensor Unary(const Tensor& a, F f) {
   Tensor out = Tensor::Empty(a.shape(), DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   float* po = out.data<float>();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  ParallelFor(0, a.numel(), kParallelGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -33,13 +38,14 @@ template <typename F>
 Tensor Binary(const Tensor& a, const Tensor& b, F f) {
   CheckFloatContiguous(a, "lhs");
   CheckFloatContiguous(b, "rhs");
-  CheckSameNumel(a, b);
+  CheckSameShape(a, b);
   Tensor out = Tensor::Empty(a.shape(), DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* po = out.data<float>();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  ParallelFor(0, a.numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
   return out;
 }
 
@@ -93,12 +99,13 @@ void Axpy(double alpha, const Tensor& x, Tensor* y) {
   DDPKIT_CHECK(y != nullptr);
   CheckFloatContiguous(x, "x");
   CheckFloatContiguous(*y, "y");
-  CheckSameNumel(x, *y);
+  CheckSameShape(x, *y);
   const float a = static_cast<float>(alpha);
   const float* px = x.data<float>();
   float* py = y->data<float>();
-  const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += a * px[i];
+  ParallelFor(0, x.numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] += a * px[i];
+  });
 }
 
 void ScaleInPlace(Tensor* y, double s) {
@@ -106,8 +113,9 @@ void ScaleInPlace(Tensor* y, double s) {
   CheckFloatContiguous(*y, "y");
   const float fs = static_cast<float>(s);
   float* py = y->data<float>();
-  const int64_t n = y->numel();
-  for (int64_t i = 0; i < n; ++i) py[i] *= fs;
+  ParallelFor(0, y->numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] *= fs;
+  });
 }
 
 void AddInPlace(Tensor* dst, const Tensor& src) { Axpy(1.0, src, dst); }
@@ -165,19 +173,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   DDPKIT_CHECK_EQ(b.dim(), 2);
   const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   DDPKIT_CHECK_EQ(k, b.size(0));
-  Tensor out = Tensor::Zeros({m, n}, DType::kFloat32, a.device_id());
+  // Empty + per-row zeroing inside the kernel: one pass over the output
+  // instead of a full memset followed by the accumulation pass.
+  Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
+  ParallelFor(0, m, GrainFromCost(k * n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
       float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      std::fill(orow, orow + n, 0.0f);
+      const float* arow = pa + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = pb + p * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -188,20 +202,26 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   DDPKIT_CHECK_EQ(b.dim(), 2);
   const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   DDPKIT_CHECK_EQ(k, b.size(0));
-  Tensor out = Tensor::Zeros({m, n}, DType::kFloat32, a.device_id());
+  Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* po = out.data<float>();
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
+  // i-outer so each output row has exactly one writer; the seed's k-outer
+  // loop would race when rows are split across threads. Per-element
+  // accumulation order (ascending p) is unchanged, so results stay
+  // bit-exact with the serial version.
+  ParallelFor(0, m, GrainFromCost(k * n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
       float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      std::fill(orow, orow + n, 0.0f);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = pa[p * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = pb + p * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -216,15 +236,17 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const float* pa = a.data<float>();
   const float* pb = b.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      po[i * n + j] = acc;
+  ParallelFor(0, m, GrainFromCost(k * n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* arow = pa + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        po[i * n + j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -235,9 +257,11 @@ Tensor Transpose2D(const Tensor& a) {
   Tensor out = Tensor::Empty({n, m}, DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
-  }
+  ParallelFor(0, m, GrainFromCost(n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+    }
+  });
   return out;
 }
 
@@ -251,9 +275,11 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   const float* pa = a.data<float>();
   const float* pbias = bias.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pbias[j];
-  }
+  ParallelFor(0, m, GrainFromCost(n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pbias[j];
+    }
+  });
   return out;
 }
 
@@ -261,12 +287,18 @@ Tensor SumRows(const Tensor& a) {
   CheckFloatContiguous(a, "a");
   DDPKIT_CHECK_EQ(a.dim(), 2);
   const int64_t m = a.size(0), n = a.size(1);
-  Tensor out = Tensor::Zeros({n}, DType::kFloat32, a.device_id());
+  Tensor out = Tensor::Empty({n}, DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j] += pa[i * n + j];
-  }
+  // Column-partitioned: each output element is owned by one thread and
+  // accumulates rows in ascending order, exactly as the serial loop does.
+  ParallelFor(0, n, GrainFromCost(m), [&](int64_t jb, int64_t je) {
+    std::fill(po + jb, po + je, 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      const float* row = pa + i * n;
+      for (int64_t j = jb; j < je; ++j) po[j] += row[j];
+    }
+  });
   return out;
 }
 
@@ -296,32 +328,36 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight,
   const int64_t ow = ConvOutSize(w, kw, args.stride, args.padding);
   DDPKIT_CHECK(oh > 0 && ow > 0);
   Tensor out =
-      Tensor::Zeros({batch, cout, oh, ow}, DType::kFloat32, input.device_id());
+      Tensor::Empty({batch, cout, oh, ow}, DType::kFloat32, input.device_id());
   const float* pi = input.data<float>();
   const float* pw = weight.data<float>();
   float* po = out.data<float>();
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t oc = 0; oc < cout; ++oc) {
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          float acc = 0.0f;
-          for (int64_t ic = 0; ic < cin; ++ic) {
-            for (int64_t ky = 0; ky < kh; ++ky) {
-              const int64_t iy = y * args.stride - args.padding + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (int64_t kx = 0; kx < kw; ++kx) {
-                const int64_t ix = x * args.stride - args.padding + kx;
-                if (ix < 0 || ix >= w) continue;
-                acc += pi[((n * cin + ic) * h + iy) * w + ix] *
-                       pw[((oc * cin + ic) * kh + ky) * kw + kx];
-              }
+  // One work item per output scanline (n, oc, y); every output element is
+  // written by exactly one thread.
+  ParallelFor(0, batch * cout * oh, GrainFromCost(ow * cin * kh * kw),
+              [&](int64_t rb, int64_t re) {
+    for (int64_t row = rb; row < re; ++row) {
+      const int64_t y = row % oh;
+      const int64_t oc = (row / oh) % cout;
+      const int64_t n = row / (oh * cout);
+      for (int64_t x = 0; x < ow; ++x) {
+        float acc = 0.0f;
+        for (int64_t ic = 0; ic < cin; ++ic) {
+          for (int64_t ky = 0; ky < kh; ++ky) {
+            const int64_t iy = y * args.stride - args.padding + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kx = 0; kx < kw; ++kx) {
+              const int64_t ix = x * args.stride - args.padding + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += pi[((n * cin + ic) * h + iy) * w + ix] *
+                     pw[((oc * cin + ic) * kh + ky) * kw + kx];
             }
           }
-          po[((n * cout + oc) * oh + y) * ow + x] = acc;
         }
+        po[((n * cout + oc) * oh + y) * ow + x] = acc;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -420,24 +456,25 @@ Tensor MaxPool2x2(const Tensor& input, Tensor* argmax) {
   const float* pi = input.data<float>();
   float* po = out.data<float>();
   int64_t* pa = argmax->data<int64_t>();
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          const int64_t base = ((n * c + ch) * h + 2 * y) * w + 2 * x;
-          const int64_t candidates[4] = {base, base + 1, base + w,
-                                         base + w + 1};
-          int64_t best = candidates[0];
-          for (int k = 1; k < 4; ++k) {
-            if (pi[candidates[k]] > pi[best]) best = candidates[k];
-          }
-          const int64_t out_idx = ((n * c + ch) * oh + y) * ow + x;
-          po[out_idx] = pi[best];
-          pa[out_idx] = best;
+  ParallelFor(0, batch * c * oh, GrainFromCost(ow * 4),
+              [&](int64_t rb, int64_t re) {
+    for (int64_t row = rb; row < re; ++row) {
+      const int64_t y = row % oh;
+      const int64_t nc = row / oh;  // flattened (n, ch)
+      for (int64_t x = 0; x < ow; ++x) {
+        const int64_t base = (nc * h + 2 * y) * w + 2 * x;
+        const int64_t candidates[4] = {base, base + 1, base + w,
+                                       base + w + 1};
+        int64_t best = candidates[0];
+        for (int k = 1; k < 4; ++k) {
+          if (pi[candidates[k]] > pi[best]) best = candidates[k];
         }
+        const int64_t out_idx = (nc * oh + y) * ow + x;
+        po[out_idx] = pi[best];
+        pa[out_idx] = best;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -471,18 +508,19 @@ Tensor AvgPool2x2(const Tensor& input) {
       Tensor::Empty({batch, c, oh, ow}, DType::kFloat32, input.device_id());
   const float* pi = input.data<float>();
   float* po = out.data<float>();
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      for (int64_t y = 0; y < oh; ++y) {
-        for (int64_t x = 0; x < ow; ++x) {
-          const int64_t base = ((n * c + ch) * h + 2 * y) * w + 2 * x;
-          po[((n * c + ch) * oh + y) * ow + x] =
-              0.25f * (pi[base] + pi[base + 1] + pi[base + w] +
-                       pi[base + w + 1]);
-        }
+  ParallelFor(0, batch * c * oh, GrainFromCost(ow * 4),
+              [&](int64_t rb, int64_t re) {
+    for (int64_t row = rb; row < re; ++row) {
+      const int64_t y = row % oh;
+      const int64_t nc = row / oh;
+      for (int64_t x = 0; x < ow; ++x) {
+        const int64_t base = (nc * h + 2 * y) * w + 2 * x;
+        po[(nc * oh + y) * ow + x] =
+            0.25f * (pi[base] + pi[base + 1] + pi[base + w] +
+                     pi[base + w + 1]);
       }
     }
-  }
+  });
   return out;
 }
 
@@ -518,18 +556,19 @@ Tensor GlobalAvgPool(const Tensor& input) {
   DDPKIT_CHECK_EQ(input.dim(), 4);
   const int64_t batch = input.size(0), c = input.size(1), h = input.size(2),
                 w = input.size(3);
-  Tensor out = Tensor::Zeros({batch, c}, DType::kFloat32, input.device_id());
+  Tensor out = Tensor::Empty({batch, c}, DType::kFloat32, input.device_id());
   const float* pi = input.data<float>();
   float* po = out.data<float>();
   const float inv = 1.0f / static_cast<float>(h * w);
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t ch = 0; ch < c; ++ch) {
+  ParallelFor(0, batch * c, GrainFromCost(h * w),
+              [&](int64_t cb, int64_t ce) {
+    for (int64_t nc = cb; nc < ce; ++nc) {
       float acc = 0.0f;
-      const float* base = pi + (n * c + ch) * h * w;
+      const float* base = pi + nc * h * w;
       for (int64_t i = 0; i < h * w; ++i) acc += base[i];
-      po[n * c + ch] = acc * inv;
+      po[nc] = acc * inv;
     }
-  }
+  });
   return out;
 }
 
@@ -543,13 +582,14 @@ Tensor GlobalAvgPoolBackward(const Tensor& grad_out,
   const float* pg = grad_out.data<float>();
   float* pi = grad_in.data<float>();
   const float inv = 1.0f / static_cast<float>(h * w);
-  for (int64_t n = 0; n < batch; ++n) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float g = pg[n * c + ch] * inv;
-      float* base = pi + (n * c + ch) * h * w;
+  ParallelFor(0, batch * c, GrainFromCost(h * w),
+              [&](int64_t cb, int64_t ce) {
+    for (int64_t nc = cb; nc < ce; ++nc) {
+      const float g = pg[nc] * inv;
+      float* base = pi + nc * h * w;
       for (int64_t i = 0; i < h * w; ++i) base[i] = g;
     }
-  }
+  });
   return grad_in;
 }
 
@@ -557,10 +597,18 @@ Tensor GlobalAvgPoolBackward(const Tensor& grad_out,
 
 Tensor SumAll(const Tensor& a) {
   CheckFloatContiguous(a, "a");
-  double acc = 0.0;
   const float* pa = a.data<float>();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  // Chunked double-precision partial sums combined in chunk-index order:
+  // the summation order depends only on numel and the grain, never on the
+  // thread count.
+  const double acc = ParallelReduce(
+      0, a.numel(), kParallelGrain, 0.0,
+      [&](int64_t b, int64_t e) {
+        double s = 0.0;
+        for (int64_t i = b; i < e; ++i) s += pa[i];
+        return s;
+      },
+      [](double x, double y) { return x + y; });
   Tensor out = Tensor::Empty({1}, DType::kFloat32, a.device_id());
   out.data<float>()[0] = static_cast<float>(acc);
   return out;
@@ -579,19 +627,21 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    float* orow = po + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      denom += orow[j];
+  ParallelFor(0, m, GrainFromCost(4 * n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* row = pa + i * n;
+      float* orow = po + i * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -602,16 +652,18 @@ Tensor LogSoftmax(const Tensor& a) {
   Tensor out = Tensor::Empty({m, n}, DType::kFloat32, a.device_id());
   const float* pa = a.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    float* orow = po + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.0f;
-    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
-    const float log_denom = std::log(denom) + mx;
-    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - log_denom;
-  }
+  ParallelFor(0, m, GrainFromCost(4 * n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* row = pa + i * n;
+      float* orow = po + i * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.0f;
+      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+      const float log_denom = std::log(denom) + mx;
+      for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - log_denom;
+    }
+  });
   return out;
 }
 
@@ -622,14 +674,16 @@ Tensor ArgMaxRows(const Tensor& a) {
   Tensor out = Tensor::Empty({m}, DType::kInt64, a.device_id());
   const float* pa = a.data<float>();
   int64_t* po = out.data<int64_t>();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    int64_t best = 0;
-    for (int64_t j = 1; j < n; ++j) {
-      if (row[j] > row[best]) best = j;
+  ParallelFor(0, m, GrainFromCost(n), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      const float* row = pa + i * n;
+      int64_t best = 0;
+      for (int64_t j = 1; j < n; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      po[i] = best;
     }
-    po[i] = best;
-  }
+  });
   return out;
 }
 
@@ -645,11 +699,13 @@ Tensor EmbeddingLookup(const Tensor& indices, const Tensor& table) {
   const int64_t* pidx = indices.data<int64_t>();
   const float* pt = table.data<float>();
   float* po = out.data<float>();
-  for (int64_t i = 0; i < n; ++i) {
-    DDPKIT_CHECK(pidx[i] >= 0 && pidx[i] < vocab);
-    std::memcpy(po + i * dim, pt + pidx[i] * dim,
-                static_cast<size_t>(dim) * sizeof(float));
-  }
+  ParallelFor(0, n, GrainFromCost(dim), [&](int64_t rb, int64_t re) {
+    for (int64_t i = rb; i < re; ++i) {
+      DDPKIT_CHECK(pidx[i] >= 0 && pidx[i] < vocab);
+      std::memcpy(po + i * dim, pt + pidx[i] * dim,
+                  static_cast<size_t>(dim) * sizeof(float));
+    }
+  });
   return out;
 }
 
@@ -676,12 +732,18 @@ Tensor EmbeddingBackward(const Tensor& grad_out, const Tensor& indices,
 
 double MaxAbsDiff(const Tensor& a, const Tensor& b) {
   DDPKIT_CHECK_EQ(a.numel(), b.numel());
-  double mx = 0.0;
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    mx = std::max(mx, std::abs(a.FlatAt(i) - b.FlatAt(i)));
-  }
-  return mx;
+  // max is order-insensitive, but the chunked combine keeps the pattern
+  // consistent with SumAll.
+  return ParallelReduce(
+      0, a.numel(), kParallelGrain, 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double mx = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          mx = std::max(mx, std::abs(a.FlatAt(i) - b.FlatAt(i)));
+        }
+        return mx;
+      },
+      [](double x, double y) { return std::max(x, y); });
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
