@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crosscheck.dir/bench_crosscheck.cc.o"
+  "CMakeFiles/bench_crosscheck.dir/bench_crosscheck.cc.o.d"
+  "bench_crosscheck"
+  "bench_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_skipsync.dir/bench_fig10_skipsync.cc.o"
+  "CMakeFiles/bench_fig10_skipsync.dir/bench_fig10_skipsync.cc.o.d"
+  "bench_fig10_skipsync"
+  "bench_fig10_skipsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_skipsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_roundrobin.dir/bench_fig12_roundrobin.cc.o"
+  "CMakeFiles/bench_fig12_roundrobin.dir/bench_fig12_roundrobin.cc.o.d"
+  "bench_fig12_roundrobin"
+  "bench_fig12_roundrobin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_roundrobin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

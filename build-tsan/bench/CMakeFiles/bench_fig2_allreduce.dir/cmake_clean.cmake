@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_allreduce.dir/bench_fig2_allreduce.cc.o"
+  "CMakeFiles/bench_fig2_allreduce.dir/bench_fig2_allreduce.cc.o.d"
+  "bench_fig2_allreduce"
+  "bench_fig2_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

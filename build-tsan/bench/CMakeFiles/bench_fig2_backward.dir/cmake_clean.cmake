@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_backward.dir/bench_fig2_backward.cc.o"
+  "CMakeFiles/bench_fig2_backward.dir/bench_fig2_backward.cc.o.d"
+  "bench_fig2_backward"
+  "bench_fig2_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bucket32.dir/bench_fig8_bucket32.cc.o"
+  "CMakeFiles/bench_fig8_bucket32.dir/bench_fig8_bucket32.cc.o.d"
+  "bench_fig8_bucket32"
+  "bench_fig8_bucket32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bucket32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

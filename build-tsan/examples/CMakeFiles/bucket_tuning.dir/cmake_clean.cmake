@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_tuning.dir/bucket_tuning.cpp.o"
+  "CMakeFiles/bucket_tuning.dir/bucket_tuning.cpp.o.d"
+  "bucket_tuning"
+  "bucket_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

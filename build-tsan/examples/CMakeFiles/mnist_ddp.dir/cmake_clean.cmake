@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_ddp.dir/mnist_ddp.cpp.o"
+  "CMakeFiles/mnist_ddp.dir/mnist_ddp.cpp.o.d"
+  "mnist_ddp"
+  "mnist_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

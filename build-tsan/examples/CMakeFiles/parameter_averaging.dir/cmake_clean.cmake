@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_averaging.dir/parameter_averaging.cpp.o"
+  "CMakeFiles/parameter_averaging.dir/parameter_averaging.cpp.o.d"
+  "parameter_averaging"
+  "parameter_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_ddp.dir/transformer_ddp.cpp.o"
+  "CMakeFiles/transformer_ddp.dir/transformer_ddp.cpp.o.d"
+  "transformer_ddp"
+  "transformer_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/engine.cc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/engine.cc.o" "gcc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/engine.cc.o.d"
+  "/root/repo/src/autograd/grad_accumulator.cc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/grad_accumulator.cc.o" "gcc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/grad_accumulator.cc.o.d"
+  "/root/repo/src/autograd/graph_utils.cc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/graph_utils.cc.o" "gcc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/graph_utils.cc.o.d"
+  "/root/repo/src/autograd/node.cc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/node.cc.o" "gcc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/node.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/ddpkit_autograd.dir/autograd/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

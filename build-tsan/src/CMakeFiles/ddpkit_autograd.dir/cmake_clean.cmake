@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_autograd.dir/autograd/engine.cc.o"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/engine.cc.o.d"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/grad_accumulator.cc.o"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/grad_accumulator.cc.o.d"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/graph_utils.cc.o"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/graph_utils.cc.o.d"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/node.cc.o"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/node.cc.o.d"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/ddpkit_autograd.dir/autograd/ops.cc.o.d"
+  "libddpkit_autograd.a"
+  "libddpkit_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

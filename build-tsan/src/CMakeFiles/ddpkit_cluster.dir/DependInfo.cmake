@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_sim.cc" "src/CMakeFiles/ddpkit_cluster.dir/cluster/cluster_sim.cc.o" "gcc" "src/CMakeFiles/ddpkit_cluster.dir/cluster/cluster_sim.cc.o.d"
+  "/root/repo/src/cluster/model_specs.cc" "src/CMakeFiles/ddpkit_cluster.dir/cluster/model_specs.cc.o" "gcc" "src/CMakeFiles/ddpkit_cluster.dir/cluster/model_specs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_comm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

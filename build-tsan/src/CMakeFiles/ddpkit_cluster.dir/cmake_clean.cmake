@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_cluster.dir/cluster/cluster_sim.cc.o"
+  "CMakeFiles/ddpkit_cluster.dir/cluster/cluster_sim.cc.o.d"
+  "CMakeFiles/ddpkit_cluster.dir/cluster/model_specs.cc.o"
+  "CMakeFiles/ddpkit_cluster.dir/cluster/model_specs.cc.o.d"
+  "libddpkit_cluster.a"
+  "libddpkit_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/algorithms.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/algorithms.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/algorithms.cc.o.d"
+  "/root/repo/src/comm/process_group.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/process_group.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/process_group.cc.o.d"
+  "/root/repo/src/comm/process_group_sim.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/process_group_sim.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/process_group_sim.cc.o.d"
+  "/root/repo/src/comm/round_robin_process_group.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/round_robin_process_group.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/round_robin_process_group.cc.o.d"
+  "/root/repo/src/comm/sim_world.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/sim_world.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/sim_world.cc.o.d"
+  "/root/repo/src/comm/store.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/store.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/store.cc.o.d"
+  "/root/repo/src/comm/work.cc" "src/CMakeFiles/ddpkit_comm.dir/comm/work.cc.o" "gcc" "src/CMakeFiles/ddpkit_comm.dir/comm/work.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

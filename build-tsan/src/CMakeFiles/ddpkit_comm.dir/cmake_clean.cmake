@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_comm.dir/comm/algorithms.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/algorithms.cc.o.d"
+  "CMakeFiles/ddpkit_comm.dir/comm/process_group.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/process_group.cc.o.d"
+  "CMakeFiles/ddpkit_comm.dir/comm/process_group_sim.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/process_group_sim.cc.o.d"
+  "CMakeFiles/ddpkit_comm.dir/comm/round_robin_process_group.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/round_robin_process_group.cc.o.d"
+  "CMakeFiles/ddpkit_comm.dir/comm/sim_world.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/sim_world.cc.o.d"
+  "CMakeFiles/ddpkit_comm.dir/comm/store.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/store.cc.o.d"
+  "CMakeFiles/ddpkit_comm.dir/comm/work.cc.o"
+  "CMakeFiles/ddpkit_comm.dir/comm/work.cc.o.d"
+  "libddpkit_comm.a"
+  "libddpkit_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

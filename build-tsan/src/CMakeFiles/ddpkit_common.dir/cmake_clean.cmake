@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_common.dir/common/logging.cc.o"
+  "CMakeFiles/ddpkit_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ddpkit_common.dir/common/parallel.cc.o"
+  "CMakeFiles/ddpkit_common.dir/common/parallel.cc.o.d"
+  "CMakeFiles/ddpkit_common.dir/common/rng.cc.o"
+  "CMakeFiles/ddpkit_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ddpkit_common.dir/common/stats.cc.o"
+  "CMakeFiles/ddpkit_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/ddpkit_common.dir/common/status.cc.o"
+  "CMakeFiles/ddpkit_common.dir/common/status.cc.o.d"
+  "libddpkit_common.a"
+  "libddpkit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bucketing.cc" "src/CMakeFiles/ddpkit_core.dir/core/bucketing.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/bucketing.cc.o.d"
+  "/root/repo/src/core/compression.cc" "src/CMakeFiles/ddpkit_core.dir/core/compression.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/compression.cc.o.d"
+  "/root/repo/src/core/distributed_data_parallel.cc" "src/CMakeFiles/ddpkit_core.dir/core/distributed_data_parallel.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/distributed_data_parallel.cc.o.d"
+  "/root/repo/src/core/memory.cc" "src/CMakeFiles/ddpkit_core.dir/core/memory.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/memory.cc.o.d"
+  "/root/repo/src/core/order_tracer.cc" "src/CMakeFiles/ddpkit_core.dir/core/order_tracer.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/order_tracer.cc.o.d"
+  "/root/repo/src/core/reducer.cc" "src/CMakeFiles/ddpkit_core.dir/core/reducer.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/reducer.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/CMakeFiles/ddpkit_core.dir/core/trace.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/trace.cc.o.d"
+  "/root/repo/src/core/zero_redundancy_optimizer.cc" "src/CMakeFiles/ddpkit_core.dir/core/zero_redundancy_optimizer.cc.o" "gcc" "src/CMakeFiles/ddpkit_core.dir/core/zero_redundancy_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_comm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_core.dir/core/bucketing.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/bucketing.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/compression.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/compression.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/distributed_data_parallel.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/distributed_data_parallel.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/memory.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/memory.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/order_tracer.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/order_tracer.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/reducer.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/reducer.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/trace.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/trace.cc.o.d"
+  "CMakeFiles/ddpkit_core.dir/core/zero_redundancy_optimizer.cc.o"
+  "CMakeFiles/ddpkit_core.dir/core/zero_redundancy_optimizer.cc.o.d"
+  "libddpkit_core.a"
+  "libddpkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/distributed_sampler.cc" "src/CMakeFiles/ddpkit_data.dir/data/distributed_sampler.cc.o" "gcc" "src/CMakeFiles/ddpkit_data.dir/data/distributed_sampler.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/ddpkit_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/ddpkit_data.dir/data/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

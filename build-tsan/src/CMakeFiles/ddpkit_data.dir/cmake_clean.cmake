@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_data.dir/data/distributed_sampler.cc.o"
+  "CMakeFiles/ddpkit_data.dir/data/distributed_sampler.cc.o.d"
+  "CMakeFiles/ddpkit_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/ddpkit_data.dir/data/synthetic.cc.o.d"
+  "libddpkit_data.a"
+  "libddpkit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

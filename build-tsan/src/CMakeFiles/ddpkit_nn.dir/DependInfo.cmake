@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/ddpkit_nn.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/ddpkit_nn.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/CMakeFiles/ddpkit_nn.dir/nn/losses.cc.o" "gcc" "src/CMakeFiles/ddpkit_nn.dir/nn/losses.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/ddpkit_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/ddpkit_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/CMakeFiles/ddpkit_nn.dir/nn/serialization.cc.o" "gcc" "src/CMakeFiles/ddpkit_nn.dir/nn/serialization.cc.o.d"
+  "/root/repo/src/nn/stochastic_depth.cc" "src/CMakeFiles/ddpkit_nn.dir/nn/stochastic_depth.cc.o" "gcc" "src/CMakeFiles/ddpkit_nn.dir/nn/stochastic_depth.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/CMakeFiles/ddpkit_nn.dir/nn/zoo.cc.o" "gcc" "src/CMakeFiles/ddpkit_nn.dir/nn/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/ddpkit_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/ddpkit_nn.dir/nn/losses.cc.o"
+  "CMakeFiles/ddpkit_nn.dir/nn/losses.cc.o.d"
+  "CMakeFiles/ddpkit_nn.dir/nn/module.cc.o"
+  "CMakeFiles/ddpkit_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/ddpkit_nn.dir/nn/serialization.cc.o"
+  "CMakeFiles/ddpkit_nn.dir/nn/serialization.cc.o.d"
+  "CMakeFiles/ddpkit_nn.dir/nn/stochastic_depth.cc.o"
+  "CMakeFiles/ddpkit_nn.dir/nn/stochastic_depth.cc.o.d"
+  "CMakeFiles/ddpkit_nn.dir/nn/zoo.cc.o"
+  "CMakeFiles/ddpkit_nn.dir/nn/zoo.cc.o.d"
+  "libddpkit_nn.a"
+  "libddpkit_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

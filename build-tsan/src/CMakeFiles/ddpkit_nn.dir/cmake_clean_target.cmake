@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libddpkit_nn.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_optim.dir/optim/adam.cc.o"
+  "CMakeFiles/ddpkit_optim.dir/optim/adam.cc.o.d"
+  "CMakeFiles/ddpkit_optim.dir/optim/clip.cc.o"
+  "CMakeFiles/ddpkit_optim.dir/optim/clip.cc.o.d"
+  "CMakeFiles/ddpkit_optim.dir/optim/lr_scheduler.cc.o"
+  "CMakeFiles/ddpkit_optim.dir/optim/lr_scheduler.cc.o.d"
+  "CMakeFiles/ddpkit_optim.dir/optim/optimizer.cc.o"
+  "CMakeFiles/ddpkit_optim.dir/optim/optimizer.cc.o.d"
+  "CMakeFiles/ddpkit_optim.dir/optim/sgd.cc.o"
+  "CMakeFiles/ddpkit_optim.dir/optim/sgd.cc.o.d"
+  "libddpkit_optim.a"
+  "libddpkit_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/comm_cost_model.cc" "src/CMakeFiles/ddpkit_sim.dir/sim/comm_cost_model.cc.o" "gcc" "src/CMakeFiles/ddpkit_sim.dir/sim/comm_cost_model.cc.o.d"
+  "/root/repo/src/sim/compute_cost_model.cc" "src/CMakeFiles/ddpkit_sim.dir/sim/compute_cost_model.cc.o" "gcc" "src/CMakeFiles/ddpkit_sim.dir/sim/compute_cost_model.cc.o.d"
+  "/root/repo/src/sim/jitter.cc" "src/CMakeFiles/ddpkit_sim.dir/sim/jitter.cc.o" "gcc" "src/CMakeFiles/ddpkit_sim.dir/sim/jitter.cc.o.d"
+  "/root/repo/src/sim/topology.cc" "src/CMakeFiles/ddpkit_sim.dir/sim/topology.cc.o" "gcc" "src/CMakeFiles/ddpkit_sim.dir/sim/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_sim.dir/sim/comm_cost_model.cc.o"
+  "CMakeFiles/ddpkit_sim.dir/sim/comm_cost_model.cc.o.d"
+  "CMakeFiles/ddpkit_sim.dir/sim/compute_cost_model.cc.o"
+  "CMakeFiles/ddpkit_sim.dir/sim/compute_cost_model.cc.o.d"
+  "CMakeFiles/ddpkit_sim.dir/sim/jitter.cc.o"
+  "CMakeFiles/ddpkit_sim.dir/sim/jitter.cc.o.d"
+  "CMakeFiles/ddpkit_sim.dir/sim/topology.cc.o"
+  "CMakeFiles/ddpkit_sim.dir/sim/topology.cc.o.d"
+  "libddpkit_sim.a"
+  "libddpkit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

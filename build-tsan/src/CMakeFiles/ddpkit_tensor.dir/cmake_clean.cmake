@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_tensor.dir/tensor/storage.cc.o"
+  "CMakeFiles/ddpkit_tensor.dir/tensor/storage.cc.o.d"
+  "CMakeFiles/ddpkit_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/ddpkit_tensor.dir/tensor/tensor.cc.o.d"
+  "CMakeFiles/ddpkit_tensor.dir/tensor/tensor_ops.cc.o"
+  "CMakeFiles/ddpkit_tensor.dir/tensor/tensor_ops.cc.o.d"
+  "libddpkit_tensor.a"
+  "libddpkit_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_fuzz_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/autograd_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/autograd_fuzz_test.cc.o.d"
+  "/root/repo/tests/autograd_gradcheck_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/autograd_gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/autograd_gradcheck_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/checkpoint_resume_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/checkpoint_resume_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/checkpoint_resume_test.cc.o.d"
+  "/root/repo/tests/cluster_sim_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/cluster_sim_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/cluster_sim_test.cc.o.d"
+  "/root/repo/tests/cluster_sweep_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/cluster_sweep_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/cluster_sweep_test.cc.o.d"
+  "/root/repo/tests/comm_algorithms_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_algorithms_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_algorithms_test.cc.o.d"
+  "/root/repo/tests/comm_collectives_extra_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_collectives_extra_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_collectives_extra_test.cc.o.d"
+  "/root/repo/tests/comm_mpi_backend_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_mpi_backend_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_mpi_backend_test.cc.o.d"
+  "/root/repo/tests/comm_process_group_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_process_group_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_process_group_test.cc.o.d"
+  "/root/repo/tests/comm_round_robin_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_round_robin_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_round_robin_test.cc.o.d"
+  "/root/repo/tests/comm_store_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/comm_store_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/comm_store_test.cc.o.d"
+  "/root/repo/tests/common_parallel_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/common_parallel_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/common_parallel_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_bucket_view_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucket_view_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucket_view_test.cc.o.d"
+  "/root/repo/tests/core_bucketing_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucketing_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_bucketing_test.cc.o.d"
+  "/root/repo/tests/core_compression_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_compression_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_compression_test.cc.o.d"
+  "/root/repo/tests/core_ddp_equivalence_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_ddp_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_ddp_equivalence_test.cc.o.d"
+  "/root/repo/tests/core_multi_device_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_multi_device_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_multi_device_test.cc.o.d"
+  "/root/repo/tests/core_no_sync_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_no_sync_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_no_sync_test.cc.o.d"
+  "/root/repo/tests/core_order_tracer_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_order_tracer_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_order_tracer_test.cc.o.d"
+  "/root/repo/tests/core_reducer_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_reducer_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_reducer_test.cc.o.d"
+  "/root/repo/tests/core_sweep_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_sweep_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_sweep_test.cc.o.d"
+  "/root/repo/tests/core_trace_memory_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_trace_memory_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_trace_memory_test.cc.o.d"
+  "/root/repo/tests/core_unused_params_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_unused_params_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_unused_params_test.cc.o.d"
+  "/root/repo/tests/core_zero_optimizer_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/core_zero_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/core_zero_optimizer_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/integration_training_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/integration_training_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/integration_training_test.cc.o.d"
+  "/root/repo/tests/nn_layers_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/nn_layers_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/nn_layers_test.cc.o.d"
+  "/root/repo/tests/nn_module_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/nn_module_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/nn_module_test.cc.o.d"
+  "/root/repo/tests/nn_serialization_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/nn_serialization_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/nn_serialization_test.cc.o.d"
+  "/root/repo/tests/nn_stochastic_depth_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/nn_stochastic_depth_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/nn_stochastic_depth_test.cc.o.d"
+  "/root/repo/tests/nn_zoo_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/nn_zoo_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/nn_zoo_test.cc.o.d"
+  "/root/repo/tests/ops_extra_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/ops_extra_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/ops_extra_test.cc.o.d"
+  "/root/repo/tests/optim_extras_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/optim_extras_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/optim_extras_test.cc.o.d"
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/optim_test.cc.o.d"
+  "/root/repo/tests/sim_cost_model_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/sim_cost_model_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/sim_cost_model_test.cc.o.d"
+  "/root/repo/tests/sim_topology_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/sim_topology_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/sim_topology_test.cc.o.d"
+  "/root/repo/tests/tensor_ops_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/tensor_ops_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/tensor_ops_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/ddpkit_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/ddpkit_tests.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_optim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_comm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/ddpkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

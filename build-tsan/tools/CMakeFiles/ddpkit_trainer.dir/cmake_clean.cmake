@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddpkit_trainer.dir/ddpkit_trainer.cc.o"
+  "CMakeFiles/ddpkit_trainer.dir/ddpkit_trainer.cc.o.d"
+  "ddpkit_trainer"
+  "ddpkit_trainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddpkit_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
