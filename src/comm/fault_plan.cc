@@ -1,0 +1,127 @@
+#include "comm/fault_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ddpkit::comm {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDelayedCompletion:
+      return "delayed_completion";
+    case FaultKind::kDropParticipation:
+      return "drop_participation";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+void FaultPlan::StallRank(int rank, uint64_t seq, double seconds) {
+  DDPKIT_CHECK_GE(rank, 0);
+  DDPKIT_CHECK_GT(seconds, 0.0);
+  stalls_[{rank, seq}] += seconds;
+}
+
+void FaultPlan::DelayCompletion(int rank, uint64_t seq, double seconds) {
+  DDPKIT_CHECK_GE(rank, 0);
+  DDPKIT_CHECK_GT(seconds, 0.0);
+  double& delay = delays_[{rank, seq}];
+  delay = std::max(delay, seconds);
+}
+
+void FaultPlan::DropRank(int rank, uint64_t from_seq) {
+  DDPKIT_CHECK_GE(rank, 0);
+  auto it = drop_from_.find(rank);
+  if (it == drop_from_.end()) {
+    drop_from_[rank] = from_seq;
+  } else {
+    it->second = std::min(it->second, from_seq);
+  }
+}
+
+void FaultPlan::CrashRank(int rank, uint64_t at_seq) {
+  DDPKIT_CHECK_GE(rank, 0);
+  auto it = crash_at_.find(rank);
+  if (it == crash_at_.end()) {
+    crash_at_[rank] = at_seq;
+  } else {
+    it->second = std::min(it->second, at_seq);
+  }
+}
+
+void FaultPlan::AddRandomStalls(uint64_t seed, int world, uint64_t num_seqs,
+                                const sim::StragglerModel& model) {
+  DDPKIT_CHECK_GT(world, 0);
+  // One forked stream per rank so a rank's schedule does not depend on
+  // world size ordering quirks — only on (seed, rank, seq).
+  Rng root(seed);
+  for (int r = 0; r < world; ++r) {
+    Rng rank_rng = root.Fork();
+    for (uint64_t s = 0; s < num_seqs; ++s) {
+      const double stall = model.SampleStallSeconds(&rank_rng);
+      if (stall > 0.0) StallRank(r, s, stall);
+    }
+  }
+}
+
+double FaultPlan::StallSeconds(int rank, uint64_t seq) const {
+  auto it = stalls_.find({rank, seq});
+  return it == stalls_.end() ? 0.0 : it->second;
+}
+
+double FaultPlan::CompletionDelaySeconds(uint64_t seq) const {
+  double delay = 0.0;
+  for (const auto& [key, seconds] : delays_) {
+    if (key.second == seq) delay = std::max(delay, seconds);
+  }
+  return delay;
+}
+
+bool FaultPlan::IsAbsent(int rank, uint64_t seq) const {
+  auto drop = drop_from_.find(rank);
+  if (drop != drop_from_.end() && seq >= drop->second) return true;
+  auto crash = crash_at_.find(rank);
+  return crash != crash_at_.end() && seq >= crash->second;
+}
+
+bool FaultPlan::IsCrashed(int rank, uint64_t seq) const {
+  auto crash = crash_at_.find(rank);
+  return crash != crash_at_.end() && seq >= crash->second;
+}
+
+bool FaultPlan::HasCrash(int rank) const {
+  return crash_at_.count(rank) > 0;
+}
+
+uint64_t FaultPlan::CrashSeq(int rank) const {
+  auto it = crash_at_.find(rank);
+  DDPKIT_CHECK(it != crash_at_.end());
+  return it->second;
+}
+
+std::vector<int> FaultPlan::AbsentRanks(uint64_t seq, int world) const {
+  std::vector<int> absent;
+  for (int r = 0; r < world; ++r) {
+    if (IsAbsent(r, seq)) absent.push_back(r);
+  }
+  return absent;
+}
+
+std::string FaultPlan::AbsenceReason(int rank, uint64_t seq) const {
+  if (IsCrashed(rank, seq)) {
+    return "crashed at collective " + std::to_string(CrashSeq(rank));
+  }
+  auto drop = drop_from_.find(rank);
+  if (drop != drop_from_.end() && seq >= drop->second) {
+    return "dropped participation from collective " +
+           std::to_string(drop->second);
+  }
+  return "present";
+}
+
+}  // namespace ddpkit::comm

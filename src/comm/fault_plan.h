@@ -1,0 +1,105 @@
+#ifndef DDPKIT_COMM_FAULT_PLAN_H_
+#define DDPKIT_COMM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/jitter.h"
+
+namespace ddpkit::comm {
+
+/// The kinds of fault ProcessGroupSim can inject (paper §Discussion names
+/// error handling as the unsolved operational pain; DistIR/Proteus-style
+/// simulators are the one place failure timelines are reproducible).
+enum class FaultKind {
+  /// Rank arrives late at one collective: its preceding compute stalled.
+  kStall,
+  /// The collective's completion is pushed back (slow link / congestion).
+  kDelayedCompletion,
+  /// Rank silently stops participating from a sequence number on — the
+  /// NCCL-desync shape: peers see the op never finish.
+  kDropParticipation,
+  /// Rank hard-crashes at its Nth collective and is dead afterwards.
+  kCrash,
+};
+const char* FaultKindName(FaultKind kind);
+
+/// Deterministic per-rank fault schedule consulted by ProcessGroupSim.
+/// Faults are keyed by (rank, collective sequence number); all ranks of a
+/// group share one plan, so every participant derives the same view of who
+/// is stalled, absent, or dead at any sequence number — which is what lets
+/// the simulated backend surface a typed timeout instead of deadlocking.
+///
+/// Build the schedule up front (explicitly or via AddRandomStalls), then
+/// hand the plan to ProcessGroupSim::Options / SimWorldOptions. Queries are
+/// const and lock-free; mutating a plan after groups started using it is a
+/// race and unsupported.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Rank `rank` arrives `seconds` of virtual time late at collective `seq`.
+  void StallRank(int rank, uint64_t seq, double seconds);
+
+  /// Collective `seq` completes `seconds` later than modeled whenever
+  /// `rank` participates (per-rank slow-link; the max over ranks applies).
+  void DelayCompletion(int rank, uint64_t seq, double seconds);
+
+  /// Rank `rank` never joins collectives with sequence >= `from_seq`.
+  void DropRank(int rank, uint64_t from_seq);
+
+  /// Rank `rank` crashes at collective `at_seq` (its own call fails with
+  /// kRankFailure) and never joins any later collective.
+  void CrashRank(int rank, uint64_t at_seq);
+
+  /// Seeded random stalls: every (rank, seq) pair with rank < world and
+  /// seq < num_seqs is stalled independently according to the straggler
+  /// model's stall options. Same seed => same schedule, bit-for-bit.
+  void AddRandomStalls(uint64_t seed, int world, uint64_t num_seqs,
+                       const sim::StragglerModel& model);
+
+  /// Virtual seconds rank `rank` is late to collective `seq` (0 = on time).
+  double StallSeconds(int rank, uint64_t seq) const;
+
+  /// Max completion delay any participant injects into collective `seq`.
+  double CompletionDelaySeconds(uint64_t seq) const;
+
+  /// True when `rank` does not participate in collective `seq` (dropped or
+  /// already crashed).
+  bool IsAbsent(int rank, uint64_t seq) const;
+
+  /// True when `rank` has crashed at or before collective `seq`.
+  bool IsCrashed(int rank, uint64_t seq) const;
+
+  /// Sequence number at which `rank` crashes; valid when HasCrash(rank).
+  bool HasCrash(int rank) const;
+  uint64_t CrashSeq(int rank) const;
+
+  /// Ranks in [0, world) absent from collective `seq`, ascending.
+  std::vector<int> AbsentRanks(uint64_t seq, int world) const;
+
+  /// One-line description of why `rank` is absent from `seq`, for
+  /// diagnostics ("crashed at collective 3" / "dropped participation from
+  /// collective 5").
+  std::string AbsenceReason(int rank, uint64_t seq) const;
+
+  bool empty() const {
+    return stalls_.empty() && delays_.empty() && drop_from_.empty() &&
+           crash_at_.empty();
+  }
+
+ private:
+  using RankSeq = std::pair<int, uint64_t>;
+
+  std::map<RankSeq, double> stalls_;
+  std::map<RankSeq, double> delays_;
+  std::map<int, uint64_t> drop_from_;
+  std::map<int, uint64_t> crash_at_;
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_FAULT_PLAN_H_

@@ -10,6 +10,8 @@
 
 namespace ddpkit::comm {
 
+class Store;
+
 /// Reduction operators for AllReduce. kSum is the gradient path; kBor backs
 /// the globally-unused-parameter bitmap (paper §3.2.3 — the bitmap cannot
 /// be coalesced into gradient all-reduces because of the dtype mismatch).
@@ -65,6 +67,12 @@ class ProcessGroup {
 
   /// This rank's virtual clock (advanced by collective completions).
   virtual sim::VirtualClock* clock() = 0;
+
+  /// Rendezvous store this group was created through, or nullptr when the
+  /// backend has none. DDP uses it for out-of-band desync detection
+  /// (cross-rank bucket-layout validation) — the paper's Discussion notes
+  /// a desynchronized rank otherwise surfaces only as a hang or crash.
+  virtual Store* store() { return nullptr; }
 
   /// Human-readable backend tag ("nccl", "gloo", "round_robin[...]").
   virtual std::string backend_name() const = 0;

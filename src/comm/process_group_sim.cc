@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -21,6 +22,26 @@ enum class OpKind {
   kGather,
   kBarrier,
 };
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAllReduce:
+      return "all_reduce";
+    case OpKind::kBroadcast:
+      return "broadcast";
+    case OpKind::kAllGather:
+      return "all_gather";
+    case OpKind::kReduce:
+      return "reduce";
+    case OpKind::kReduceScatter:
+      return "reduce_scatter";
+    case OpKind::kGather:
+      return "gather";
+    case OpKind::kBarrier:
+      return "barrier";
+  }
+  return "unknown";
+}
 
 /// One in-flight collective, matched across ranks by per-rank sequence
 /// number (all ranks must issue collectives in the same order — §3.3).
@@ -55,6 +76,11 @@ struct GroupState {
   std::unique_ptr<sim::CommCostModel> cost_model;
   Algorithm algorithm = Algorithm::kRing;
   int concurrent_groups = 1;
+  /// Shared deterministic fault schedule (null = fault-free) and the
+  /// virtual-time watchdog applied when scheduled faults leave a
+  /// collective short of participants.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  double collective_timeout = 30.0;
 };
 
 namespace {
@@ -96,6 +122,7 @@ class GroupRegistry {
 using internal::CollectiveInstance;
 using internal::GroupState;
 using internal::OpKind;
+using internal::OpKindName;
 
 std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
     Store* store, const std::string& name, int rank, int world,
@@ -132,21 +159,24 @@ std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
       }
       state->algorithm = options.algorithm;
       state->concurrent_groups = options.concurrent_groups;
+      state->fault_plan = options.fault_plan;
+      state->collective_timeout = options.collective_timeout_seconds;
     }
   }
   state->ctor_barrier.ArriveAndWait();
 
-  return std::shared_ptr<ProcessGroupSim>(
-      new ProcessGroupSim(std::move(state), rank, world, options, clock));
+  return std::shared_ptr<ProcessGroupSim>(new ProcessGroupSim(
+      std::move(state), rank, world, options, clock, store));
 }
 
 ProcessGroupSim::ProcessGroupSim(std::shared_ptr<GroupState> state, int rank,
                                  int world, const Options& options,
-                                 sim::VirtualClock* clock)
+                                 sim::VirtualClock* clock, Store* store)
     : ProcessGroup(rank, world),
       state_(std::move(state)),
       options_(options),
-      clock_(clock) {}
+      clock_(clock),
+      store_(store) {}
 
 ProcessGroupSim::~ProcessGroupSim() = default;
 
@@ -160,15 +190,52 @@ std::string ProcessGroupSim::backend_name() const {
 
 namespace {
 
-/// Registers this rank's contribution under `seq`; the last arrival runs
-/// the data-plane operation, computes timing against the group's comm
-/// queue, and completes the shared Work.
+/// Pre-failed handle for a rank the fault plan keeps out of collective
+/// `seq`: its own call must surface an error too, not hang.
+WorkHandle AbsentRankWork(const FaultPlan& plan, GroupState* state,
+                          uint64_t seq, int rank, OpKind kind,
+                          sim::VirtualClock* clock) {
+  auto work = std::make_shared<Work>();
+  std::ostringstream msg;
+  if (plan.IsCrashed(rank, seq)) {
+    msg << OpKindName(kind) << " seq " << seq << ": rank " << rank
+        << " crashed (fault plan, " << plan.AbsenceReason(rank, seq) << ")";
+    work->MarkFailed(WorkError::kRankFailure, msg.str(), clock->Now());
+  } else {
+    msg << OpKindName(kind) << " seq " << seq << " timed out after "
+        << state->collective_timeout << "s (virtual): rank " << rank
+        << " " << plan.AbsenceReason(rank, seq);
+    work->MarkFailed(WorkError::kTimeout, msg.str(),
+                     clock->Now() + state->collective_timeout);
+  }
+  return work;
+}
+
+/// Registers this rank's contribution under `seq`; the last live arrival
+/// runs the data-plane operation, computes timing against the group's comm
+/// queue, and completes the shared Work. Faults from the group's plan are
+/// applied here: stalls delay this rank's arrival, absent peers turn the
+/// collective into a typed timeout/rank-failure instead of a deadlock, and
+/// cross-rank signature mismatches fail the work instead of aborting.
 WorkHandle Contribute(
-    GroupState* state, uint64_t seq, int rank, double arrival_clock,
+    GroupState* state, uint64_t seq, int rank, sim::VirtualClock* clock,
     OpKind kind, ReduceOp op, int root, int64_t numel, DType dtype,
     const Tensor* inplace, const Tensor* gather_in, const Tensor* gather_out,
     const std::function<double(const CollectiveInstance&, double start)>&
         duration_fn) {
+  const FaultPlan* plan = state->fault_plan.get();
+  int live = state->world;
+  if (plan != nullptr) {
+    if (plan->IsAbsent(rank, seq)) {
+      return AbsentRankWork(*plan, state, seq, rank, kind, clock);
+    }
+    // A stalled rank shows up late: its clock (and hence this collective's
+    // start time) advances by the scheduled stall.
+    clock->Advance(plan->StallSeconds(rank, seq));
+    live -= static_cast<int>(plan->AbsentRanks(seq, state->world).size());
+  }
+  const double arrival_clock = clock->Now();
+
   std::shared_ptr<CollectiveInstance> inst;
   bool last = false;
   {
@@ -188,15 +255,23 @@ WorkHandle Contribute(
       state->inflight.emplace(seq, inst);
     } else {
       inst = it->second;
-      // The paper's crash-on-mismatch behaviour: collectives must line up
-      // in kind, size and dtype across ranks.
-      DDPKIT_CHECK(inst->kind == kind)
-          << "collective kind mismatch at seq " << seq;
-      DDPKIT_CHECK(inst->op == op) << "reduce-op mismatch at seq " << seq;
-      DDPKIT_CHECK_EQ(inst->root, root);
-      DDPKIT_CHECK_EQ(inst->numel, numel);
-      DDPKIT_CHECK(inst->dtype == dtype)
-          << "dtype mismatch at seq " << seq;
+      // The paper's "incorrect reduction result or program crash" case:
+      // collectives must line up in kind, size and dtype across ranks.
+      // Surface the desync as a typed failure instead of aborting, so DDP
+      // can report which rank diverged.
+      if (inst->kind != kind || inst->op != op || inst->root != root ||
+          inst->numel != numel || inst->dtype != dtype) {
+        std::ostringstream msg;
+        msg << "collective signatures diverged at seq " << seq << ": rank "
+            << rank << " issued " << OpKindName(kind) << " (numel " << numel
+            << ", root " << root << ", op " << ReduceOpName(op)
+            << ") but an earlier participant issued "
+            << OpKindName(inst->kind) << " (numel " << inst->numel
+            << ", root " << inst->root << ", op " << ReduceOpName(inst->op)
+            << ")";
+        inst->work->MarkFailed(WorkError::kShapeMismatch, msg.str(),
+                               arrival_clock);
+      }
     }
     if (inplace != nullptr) inst->tensors[static_cast<size_t>(rank)] = *inplace;
     if (gather_in != nullptr) {
@@ -206,11 +281,38 @@ WorkHandle Contribute(
       inst->gather_outputs[static_cast<size_t>(rank)] = *gather_out;
     }
     inst->arrivals[static_cast<size_t>(rank)] = arrival_clock;
-    last = (++inst->arrived == state->world);
+    last = (++inst->arrived == live);
     if (last) state->inflight.erase(seq);
   }
 
-  if (last) {
+  if (last && !inst->work->Poll()) {
+    if (live < state->world) {
+      // Scheduled faults left the collective short of participants: the op
+      // can never complete. Fail it `collective_timeout` virtual seconds
+      // after the last live arrival, naming every missing rank — peers see
+      // a typed error, never a deadlock.
+      const double max_arrival =
+          *std::max_element(inst->arrivals.begin(), inst->arrivals.end());
+      const std::vector<int> absent = plan->AbsentRanks(seq, state->world);
+      bool any_crashed = false;
+      std::ostringstream msg;
+      msg << OpKindName(kind) << " seq " << seq << " timed out after "
+          << state->collective_timeout << "s (virtual) waiting for";
+      for (int r : absent) {
+        msg << " rank " << r << " (" << plan->AbsenceReason(r, seq) << ")";
+        any_crashed = any_crashed || plan->IsCrashed(r, seq);
+      }
+      const double fail_time = max_arrival + state->collective_timeout;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->queue_tail = std::max(state->queue_tail, fail_time);
+      }
+      inst->work->MarkFailed(
+          any_crashed ? WorkError::kRankFailure : WorkError::kTimeout,
+          msg.str(), fail_time);
+      return inst->work;
+    }
+
     // Data plane (real reduction), executed once by the last arrival.
     switch (inst->kind) {
       case OpKind::kAllReduce:
@@ -240,15 +342,24 @@ WorkHandle Contribute(
     // Time plane: start when the last participant arrived AND the comm
     // queue is free; serialize the queue.
     double completion;
+    int slowest = 0;
     {
       std::lock_guard<std::mutex> lock(state->mutex);
-      const double max_arrival =
-          *std::max_element(inst->arrivals.begin(), inst->arrivals.end());
+      slowest = static_cast<int>(std::distance(
+          inst->arrivals.begin(),
+          std::max_element(inst->arrivals.begin(), inst->arrivals.end())));
+      const double max_arrival = inst->arrivals[static_cast<size_t>(slowest)];
       const double start = std::max(max_arrival, state->queue_tail);
       completion = start + duration_fn(*inst, start);
+      if (plan != nullptr) completion += plan->CompletionDelaySeconds(seq);
       state->queue_tail = completion;
     }
-    inst->work->MarkCompleted(completion);
+    inst->work->MarkCompleted(
+        completion, "slowest participant: rank " + std::to_string(slowest) +
+                        " (arrived at t=" +
+                        std::to_string(
+                            inst->arrivals[static_cast<size_t>(slowest)]) +
+                        ")");
   }
   return inst->work;
 }
@@ -262,7 +373,7 @@ WorkHandle ProcessGroupSim::AllReduce(Tensor tensor, ReduceOp op) {
   const int w = world();
   const int groups = options_.concurrent_groups;
   return Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kAllReduce, op,
+      state, next_seq_++, rank(), clock_, OpKind::kAllReduce, op,
       /*root=*/0, tensor.numel(), tensor.dtype(), &tensor, nullptr, nullptr,
       [state, bytes, w, groups](const CollectiveInstance&, double) {
         return state->cost_model->AllReduceSeconds(bytes, w, groups);
@@ -276,7 +387,7 @@ WorkHandle ProcessGroupSim::Broadcast(Tensor tensor, int root) {
   const size_t bytes = tensor.nbytes();
   const int w = world();
   return Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kBroadcast,
+      state, next_seq_++, rank(), clock_, OpKind::kBroadcast,
       ReduceOp::kSum, root, tensor.numel(), tensor.dtype(), &tensor, nullptr,
       nullptr, [state, bytes, w](const CollectiveInstance&, double) {
         return state->cost_model->BroadcastSeconds(bytes, w);
@@ -291,7 +402,7 @@ WorkHandle ProcessGroupSim::AllGather(const Tensor& input, Tensor output) {
   const size_t bytes = input.nbytes();
   const int w = world();
   return Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kAllGather,
+      state, next_seq_++, rank(), clock_, OpKind::kAllGather,
       ReduceOp::kSum, /*root=*/0, input.numel(), input.dtype(), nullptr,
       &input, &output, [state, bytes, w](const CollectiveInstance&, double) {
         return state->cost_model->AllGatherSeconds(bytes, w);
@@ -305,7 +416,7 @@ WorkHandle ProcessGroupSim::Reduce(Tensor tensor, int root, ReduceOp op) {
   const size_t bytes = tensor.nbytes();
   const int w = world();
   return Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kReduce, op, root,
+      state, next_seq_++, rank(), clock_, OpKind::kReduce, op, root,
       tensor.numel(), tensor.dtype(), &tensor, nullptr, nullptr,
       [state, bytes, w](const CollectiveInstance&, double) {
         // A tree reduce mirrors a pipelined broadcast's cost profile.
@@ -323,7 +434,7 @@ WorkHandle ProcessGroupSim::ReduceScatter(const Tensor& input, Tensor output,
   const int w = world();
   const int groups = options_.concurrent_groups;
   return Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kReduceScatter, op,
+      state, next_seq_++, rank(), clock_, OpKind::kReduceScatter, op,
       /*root=*/0, input.numel(), input.dtype(), nullptr, &input, &output,
       [state, bytes, w, groups](const CollectiveInstance&, double) {
         // Reduce-scatter is the first half of ring all-reduce: same step
@@ -345,7 +456,7 @@ WorkHandle ProcessGroupSim::Gather(const Tensor& input, Tensor output,
   const int w = world();
   const Tensor* out_ptr = rank() == root ? &output : nullptr;
   return Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kGather,
+      state, next_seq_++, rank(), clock_, OpKind::kGather,
       ReduceOp::kSum, root, input.numel(), input.dtype(), nullptr, &input,
       out_ptr, [state, bytes, w](const CollectiveInstance&, double) {
         // Root receives (w-1) payloads; same volume as all-gather's
@@ -358,7 +469,7 @@ void ProcessGroupSim::Barrier() {
   GroupState* state = state_.get();
   const int w = world();
   WorkHandle work = Contribute(
-      state, next_seq_++, rank(), clock_->Now(), OpKind::kBarrier,
+      state, next_seq_++, rank(), clock_, OpKind::kBarrier,
       ReduceOp::kSum, /*root=*/0, 0, DType::kFloat32, nullptr, nullptr,
       nullptr, [state, w](const CollectiveInstance&, double) {
         return state->cost_model->BarrierSeconds(w);

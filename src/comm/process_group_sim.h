@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/algorithms.h"
+#include "comm/fault_plan.h"
 #include "comm/process_group.h"
 #include "comm/store.h"
 #include "common/barrier.h"
@@ -45,6 +46,13 @@ class ProcessGroupSim : public ProcessGroup {
     /// Optional overrides for the flavor's cost-model parameters.
     std::optional<sim::NcclCostModel::Options> nccl_options;
     std::optional<sim::GlooCostModel::Options> gloo_options;
+    /// Deterministic fault schedule shared by all ranks of the group (pass
+    /// the same plan to every rank's Create). Null = fault-free.
+    std::shared_ptr<const FaultPlan> fault_plan;
+    /// Virtual-time watchdog: when a fault plan makes a rank miss a
+    /// collective, peers' Work fails kTimeout/kRankFailure this many
+    /// virtual seconds after the last live participant arrived.
+    double collective_timeout_seconds = 30.0;
   };
 
   /// Rendezvous constructor: blocks until all `world` ranks have called
@@ -67,6 +75,7 @@ class ProcessGroupSim : public ProcessGroup {
   void Barrier() override;
 
   sim::VirtualClock* clock() override { return clock_; }
+  Store* store() override { return store_; }
   std::string backend_name() const override;
 
   const sim::CommCostModel& cost_model() const;
@@ -77,12 +86,13 @@ class ProcessGroupSim : public ProcessGroup {
 
  private:
   ProcessGroupSim(std::shared_ptr<internal::GroupState> state, int rank,
-                  int world, const Options& options,
-                  sim::VirtualClock* clock);
+                  int world, const Options& options, sim::VirtualClock* clock,
+                  Store* store);
 
   std::shared_ptr<internal::GroupState> state_;
   Options options_;
   sim::VirtualClock* clock_;
+  Store* store_ = nullptr;
   uint64_t next_seq_ = 0;
 };
 

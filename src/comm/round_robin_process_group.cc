@@ -1,5 +1,7 @@
 #include "comm/round_robin_process_group.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ddpkit::comm {
@@ -7,58 +9,109 @@ namespace ddpkit::comm {
 RoundRobinProcessGroup::RoundRobinProcessGroup(
     std::vector<std::shared_ptr<ProcessGroup>> groups)
     : ProcessGroup(groups.empty() ? 0 : groups[0]->rank(),
-                   groups.empty() ? 1 : groups[0]->world()),
-      groups_(std::move(groups)) {
-  DDPKIT_CHECK(!groups_.empty());
-  for (const auto& g : groups_) {
+                   groups.empty() ? 1 : groups[0]->world()) {
+  DDPKIT_CHECK(!groups.empty());
+  children_.reserve(groups.size());
+  for (auto& g : groups) {
     DDPKIT_CHECK_EQ(g->rank(), rank());
     DDPKIT_CHECK_EQ(g->world(), world());
+    children_.push_back(Child{std::move(g)});
   }
 }
 
 ProcessGroup* RoundRobinProcessGroup::Next() {
-  ProcessGroup* g = groups_[next_].get();
-  next_ = (next_ + 1) % groups_.size();
-  return g;
+  // Skip unhealthy children; rotation state advances identically on every
+  // rank because health flags are derived from shared Work outcomes.
+  for (size_t hops = 0; hops < children_.size(); ++hops) {
+    Child& c = children_[next_];
+    const size_t picked = next_;
+    next_ = (next_ + 1) % children_.size();
+    if (c.healthy) {
+      last_dispatched_ = picked;
+      return c.group.get();
+    }
+  }
+  DDPKIT_CHECK(false) << "RoundRobinProcessGroup: no healthy child group "
+                         "left to dispatch to";
+  return nullptr;
+}
+
+WorkHandle RoundRobinProcessGroup::Track(WorkHandle work) {
+  Child& c = children_[last_dispatched_];
+  // Opportunistic prune: drop works that already completed successfully so
+  // the in-flight list tracks only live or failed handles.
+  c.inflight.erase(
+      std::remove_if(c.inflight.begin(), c.inflight.end(),
+                     [](const WorkHandle& w) { return w->IsCompleted(); }),
+      c.inflight.end());
+  c.inflight.push_back(work);
+  return work;
 }
 
 WorkHandle RoundRobinProcessGroup::AllReduce(Tensor tensor, ReduceOp op) {
-  return Next()->AllReduce(std::move(tensor), op);
+  return Track(Next()->AllReduce(std::move(tensor), op));
 }
 
 WorkHandle RoundRobinProcessGroup::Broadcast(Tensor tensor, int root) {
-  return Next()->Broadcast(std::move(tensor), root);
+  return Track(Next()->Broadcast(std::move(tensor), root));
 }
 
 WorkHandle RoundRobinProcessGroup::AllGather(const Tensor& input,
                                              Tensor output) {
-  return Next()->AllGather(input, std::move(output));
+  return Track(Next()->AllGather(input, std::move(output)));
 }
 
 WorkHandle RoundRobinProcessGroup::Reduce(Tensor tensor, int root,
                                           ReduceOp op) {
-  return Next()->Reduce(std::move(tensor), root, op);
+  return Track(Next()->Reduce(std::move(tensor), root, op));
 }
 
 WorkHandle RoundRobinProcessGroup::ReduceScatter(const Tensor& input,
                                                  Tensor output,
                                                  ReduceOp op) {
-  return Next()->ReduceScatter(input, std::move(output), op);
+  return Track(Next()->ReduceScatter(input, std::move(output), op));
 }
 
 WorkHandle RoundRobinProcessGroup::Gather(const Tensor& input, Tensor output,
                                           int root) {
-  return Next()->Gather(input, std::move(output), root);
+  return Track(Next()->Gather(input, std::move(output), root));
 }
 
 void RoundRobinProcessGroup::Barrier() {
-  // Barrier must synchronize all queues, not just the next one in rotation.
-  for (auto& g : groups_) g->Barrier();
+  // Barrier must synchronize all (healthy) queues, not just the next one
+  // in rotation.
+  for (Child& c : children_) {
+    if (c.healthy) c.group->Barrier();
+  }
+}
+
+Status RoundRobinProcessGroup::DrainAndFailover(double timeout_seconds) {
+  Status first_error = Status::OK();
+  for (Child& c : children_) {
+    for (WorkHandle& work : c.inflight) {
+      const Status st = work->Wait(clock(), timeout_seconds);
+      if (!st.ok()) {
+        c.healthy = false;
+        if (first_error.ok()) first_error = st;
+      }
+    }
+    c.inflight.clear();
+  }
+  DDPKIT_CHECK_GT(num_healthy_groups(), 0u)
+      << "RoundRobinProcessGroup: every child group failed; last error: "
+      << first_error.ToString();
+  return first_error;
+}
+
+size_t RoundRobinProcessGroup::num_healthy_groups() const {
+  size_t n = 0;
+  for (const Child& c : children_) n += c.healthy ? 1 : 0;
+  return n;
 }
 
 std::string RoundRobinProcessGroup::backend_name() const {
-  return "round_robin[" + groups_[0]->backend_name() + " x " +
-         std::to_string(groups_.size()) + "]";
+  return "round_robin[" + children_[0].group->backend_name() + " x " +
+         std::to_string(children_.size()) + "]";
 }
 
 }  // namespace ddpkit::comm

@@ -1,11 +1,13 @@
 #ifndef DDPKIT_COMM_ROUND_ROBIN_PROCESS_GROUP_H_
 #define DDPKIT_COMM_ROUND_ROBIN_PROCESS_GROUP_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/status.h"
 
 namespace ddpkit::comm {
 
@@ -17,6 +19,14 @@ namespace ddpkit::comm {
 ///
 /// Every rank must construct its composite with the same child list order,
 /// so dispatch decisions line up across ranks.
+///
+/// Failover: each dispatched Work is recorded against its child.
+/// DrainAndFailover() settles every outstanding Work; children that
+/// surfaced a failure are marked unhealthy and skipped by subsequent
+/// dispatch, so a transient child-group fault degrades bandwidth instead
+/// of killing the job. Health transitions are driven purely by observed
+/// Work outcomes (deterministic under a shared FaultPlan), so every rank
+/// reaches the same healthy set and rotation stays aligned.
 class RoundRobinProcessGroup : public ProcessGroup {
  public:
   explicit RoundRobinProcessGroup(
@@ -31,16 +41,38 @@ class RoundRobinProcessGroup : public ProcessGroup {
   WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
   void Barrier() override;
 
-  sim::VirtualClock* clock() override { return groups_[0]->clock(); }
+  sim::VirtualClock* clock() override { return children_[0].group->clock(); }
+  Store* store() override { return children_[0].group->store(); }
   std::string backend_name() const override;
 
-  size_t num_groups() const { return groups_.size(); }
+  /// Settles every outstanding Work recorded since the last drain, waiting
+  /// with `timeout_seconds` (virtual) per work. Children that produced a
+  /// failed or timed-out Work are marked unhealthy and excluded from
+  /// future dispatch. Returns OK when everything drained clean, else the
+  /// first error observed (dispatch continues on the survivors). Aborts
+  /// only if every child failed — there is nothing left to fail over to.
+  Status DrainAndFailover(double timeout_seconds = 30.0);
+
+  size_t num_groups() const { return children_.size(); }
+  size_t num_healthy_groups() const;
 
  private:
-  ProcessGroup* Next();
+  struct Child {
+    std::shared_ptr<ProcessGroup> group;
+    bool healthy = true;
+    /// Works dispatched to this child and not yet drained. Pruned of
+    /// successfully-completed entries on every dispatch, so it stays
+    /// bounded by the collectives genuinely in flight.
+    std::vector<WorkHandle> inflight;
+  };
 
-  std::vector<std::shared_ptr<ProcessGroup>> groups_;
+  /// Next healthy child in rotation; records `work` bookkeeping via Track.
+  ProcessGroup* Next();
+  WorkHandle Track(WorkHandle work);
+
+  std::vector<Child> children_;
   size_t next_ = 0;
+  size_t last_dispatched_ = 0;
 };
 
 }  // namespace ddpkit::comm

@@ -34,6 +34,9 @@ void SimWorld::Run(int world, const SimWorldOptions& options, RankFn fn) {
       pg_options.concurrent_groups = options.round_robin_groups;
       pg_options.nccl_options = options.nccl_options;
       pg_options.gloo_options = options.gloo_options;
+      pg_options.fault_plan = options.fault_plan;
+      pg_options.collective_timeout_seconds =
+          options.collective_timeout_seconds;
 
       RankContext ctx;
       ctx.rank = r;

@@ -23,6 +23,12 @@ struct SimWorldOptions {
   uint64_t seed = 1234;
   std::optional<sim::NcclCostModel::Options> nccl_options;
   std::optional<sim::GlooCostModel::Options> gloo_options;
+  /// Deterministic fault schedule shared by every rank (and, with
+  /// round-robin, by every child group). Null = fault-free.
+  std::shared_ptr<const FaultPlan> fault_plan;
+  /// Watchdog applied when the fault plan leaves a collective short of
+  /// participants (see ProcessGroupSim::Options).
+  double collective_timeout_seconds = 30.0;
 };
 
 /// Test/example harness standing in for `torchrun`: spawns one thread per

@@ -1,8 +1,29 @@
 #include "comm/store.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/check.h"
 
 namespace ddpkit::comm {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point DeadlineAfter(double seconds) {
+  return Clock::now() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
+void SleepBackoff(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+}  // namespace
 
 void Store::Set(const std::string& key, std::string value) {
   {
@@ -54,6 +75,112 @@ void Store::Wait(const std::vector<std::string>& keys) {
 size_t Store::NumKeys() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return data_.size();
+}
+
+bool Store::MaybeInjectFault() {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (fault_budget_ > 0) {
+    --fault_budget_;
+    ++transient_failures_;
+    return true;
+  }
+  if (fault_probability_ > 0.0 && fault_rng_ != nullptr &&
+      fault_rng_->Uniform() < fault_probability_) {
+    ++transient_failures_;
+    return true;
+  }
+  return false;
+}
+
+void Store::InjectTransientFaults(int failure_budget) {
+  DDPKIT_CHECK_GE(failure_budget, 0);
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_budget_ = failure_budget;
+}
+
+void Store::InjectTransientFaults(uint64_t seed, double probability) {
+  DDPKIT_CHECK(probability >= 0.0 && probability < 1.0);
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_probability_ = probability;
+  fault_rng_ = std::make_unique<Rng>(seed);
+}
+
+uint64_t Store::transient_failures() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return transient_failures_;
+}
+
+Status Store::SetWithRetry(const std::string& key, std::string value,
+                           const RetryPolicy& policy) {
+  double backoff = policy.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    if (!MaybeInjectFault()) {
+      Set(key, std::move(value));
+      return Status::OK();
+    }
+    if (attempt >= policy.max_attempts) {
+      return Status::Internal("store Set('" + key +
+                              "') failed transiently on all " +
+                              std::to_string(policy.max_attempts) +
+                              " attempts");
+    }
+    SleepBackoff(backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+}
+
+Status Store::AddWithRetry(const std::string& key, int64_t delta,
+                           int64_t* result, const RetryPolicy& policy) {
+  double backoff = policy.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    if (!MaybeInjectFault()) {
+      const int64_t value = Add(key, delta);
+      if (result != nullptr) *result = value;
+      return Status::OK();
+    }
+    if (attempt >= policy.max_attempts) {
+      return Status::Internal("store Add('" + key +
+                              "') failed transiently on all " +
+                              std::to_string(policy.max_attempts) +
+                              " attempts");
+    }
+    SleepBackoff(backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+}
+
+Result<std::string> Store::GetWithRetry(const std::string& key,
+                                        double timeout_seconds,
+                                        const RetryPolicy& policy) {
+  const auto deadline = DeadlineAfter(timeout_seconds);
+  double backoff = policy.initial_backoff_seconds;
+  int failed_attempts = 0;
+  while (true) {
+    if (MaybeInjectFault()) {
+      if (++failed_attempts >= policy.max_attempts) {
+        return Status::Internal("store Get('" + key +
+                                "') failed transiently on all " +
+                                std::to_string(policy.max_attempts) +
+                                " attempts");
+      }
+      if (Clock::now() >= deadline) {
+        return Status::TimedOut("store Get('" + key + "') deadline (" +
+                                std::to_string(timeout_seconds) +
+                                "s real) elapsed during transient-failure "
+                                "retries");
+      }
+      SleepBackoff(backoff);
+      backoff *= policy.backoff_multiplier;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (cv_.wait_until(lock, deadline,
+                       [&] { return data_.count(key) > 0; })) {
+      return data_[key];
+    }
+    return Status::TimedOut("store key '" + key + "' not set within " +
+                            std::to_string(timeout_seconds) + "s (real)");
+  }
 }
 
 }  // namespace ddpkit::comm

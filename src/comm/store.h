@@ -4,17 +4,40 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
+#include "common/status.h"
+
 namespace ddpkit::comm {
+
+/// Backoff schedule for the retryable Store entry points: attempt, sleep
+/// `initial_backoff_seconds`, retry, doubling (by `backoff_multiplier`) up
+/// to `max_attempts` total tries. Real (wall-clock) sleeps: the store
+/// models an out-of-band TCP service, not the virtual data plane.
+struct RetryPolicy {
+  int max_attempts = 5;
+  double initial_backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+};
 
 /// In-memory rendezvous key-value store with blocking waits — the
 /// equivalent of PyTorch's TCPStore for our thread-backed "processes".
 /// Process groups use it to agree on membership before any collective runs
 /// ("the first arrival will block waiting until the last instance joins",
 /// paper §3.3).
+///
+/// Two API tiers:
+///  - the legacy blocking ops (Set/Get/Add/Wait) assume a healthy store
+///    and block forever on missing keys;
+///  - the *WithRetry ops model a flaky network path to the store service:
+///    they honor a RetryPolicy with exponential backoff, bound waits with
+///    real-time deadlines, and return Status instead of blocking forever.
+///    Transient faults injected via InjectTransientFaults apply only to
+///    this tier.
 class Store {
  public:
   Store() = default;
@@ -38,10 +61,49 @@ class Store {
 
   size_t NumKeys() const;
 
+  /// Retryable Set: retries transient failures per `policy`; fails with
+  /// kInternal once the attempt budget is exhausted.
+  Status SetWithRetry(const std::string& key, std::string value,
+                      const RetryPolicy& policy = RetryPolicy());
+
+  /// Retryable Add; on success stores the post-add value in `*result`
+  /// (which may be null).
+  Status AddWithRetry(const std::string& key, int64_t delta, int64_t* result,
+                      const RetryPolicy& policy = RetryPolicy());
+
+  /// Retryable bounded Get: waits up to `timeout_seconds` of real time for
+  /// the key to appear, retrying transient failures per `policy`. Returns
+  /// kTimedOut if the key never appears — the caller-visible difference
+  /// between "peer is slow" and the legacy Get's silent hang.
+  Result<std::string> GetWithRetry(const std::string& key,
+                                   double timeout_seconds,
+                                   const RetryPolicy& policy = RetryPolicy());
+
+  /// Fault injection for the retryable tier: the next `failure_budget`
+  /// retryable attempts fail with a transient error (deterministic), after
+  /// which the store is healthy again. Complements the seeded overload.
+  void InjectTransientFaults(int failure_budget);
+
+  /// Seeded probabilistic injection: each retryable attempt independently
+  /// fails with `probability`. Same seed => same failure sequence.
+  void InjectTransientFaults(uint64_t seed, double probability);
+
+  /// Total transient failures served so far (for test assertions).
+  uint64_t transient_failures() const;
+
  private:
+  /// True when this attempt should fail transiently (consumes budget/RNG).
+  bool MaybeInjectFault();
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::string, std::string> data_;
+
+  mutable std::mutex fault_mutex_;
+  int fault_budget_ = 0;
+  double fault_probability_ = 0.0;
+  std::unique_ptr<Rng> fault_rng_;
+  uint64_t transient_failures_ = 0;
 };
 
 }  // namespace ddpkit::comm

@@ -1,18 +1,95 @@
 #include "comm/work.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace ddpkit::comm {
 
+const char* WorkErrorName(WorkError error) {
+  switch (error) {
+    case WorkError::kNone:
+      return "none";
+    case WorkError::kTimeout:
+      return "timeout";
+    case WorkError::kRankFailure:
+      return "rank_failure";
+    case WorkError::kShapeMismatch:
+      return "shape_mismatch";
+  }
+  return "unknown";
+}
+
 void Work::Wait(sim::VirtualClock* clock) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return done_; });
+  DDPKIT_CHECK(error_ == WorkError::kNone)
+      << "Work::Wait on failed collective (" << WorkErrorName(error_)
+      << "): " << error_message_
+      << " — use Wait(clock, timeout) to handle failures";
   if (clock != nullptr) clock->AdvanceTo(completion_time_);
+}
+
+Status Work::Wait(sim::VirtualClock* clock, double timeout_seconds) {
+  const double entry = clock != nullptr ? clock->Now() : 0.0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  if (error_ != WorkError::kNone) {
+    if (clock != nullptr) clock->AdvanceTo(completion_time_);
+    return StatusLocked();
+  }
+  if (clock != nullptr && timeout_seconds > 0.0 &&
+      completion_time_ - entry > timeout_seconds) {
+    clock->AdvanceTo(entry + timeout_seconds);
+    std::string msg = "collective did not complete within " +
+                      std::to_string(timeout_seconds) +
+                      "s (virtual); it finished at t=" +
+                      std::to_string(completion_time_) +
+                      ", this rank arrived at t=" + std::to_string(entry);
+    if (!completion_note_.empty()) msg += "; " + completion_note_;
+    return Status::TimedOut(std::move(msg));
+  }
+  if (clock != nullptr) clock->AdvanceTo(completion_time_);
+  return Status::OK();
+}
+
+bool Work::Poll() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
 }
 
 bool Work::IsCompleted() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return done_;
+  return done_ && error_ == WorkError::kNone;
+}
+
+WorkError Work::error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+std::string Work::error_message() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_message_;
+}
+
+Status Work::StatusLocked() const {
+  switch (error_) {
+    case WorkError::kNone:
+      return Status::OK();
+    case WorkError::kTimeout:
+      return Status::TimedOut(error_message_);
+    case WorkError::kRankFailure:
+      return Status::Internal(error_message_);
+    case WorkError::kShapeMismatch:
+      return Status::FailedPrecondition(error_message_);
+  }
+  return Status::Internal(error_message_);
+}
+
+Status Work::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return StatusLocked();
 }
 
 double Work::completion_time() const {
@@ -21,12 +98,27 @@ double Work::completion_time() const {
   return completion_time_;
 }
 
-void Work::MarkCompleted(double completion_time) {
+void Work::MarkCompleted(double completion_time, std::string note) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     DDPKIT_CHECK(!done_);
     done_ = true;
     completion_time_ = completion_time;
+    completion_note_ = std::move(note);
+  }
+  cv_.notify_all();
+}
+
+void Work::MarkFailed(WorkError error, std::string message,
+                      double failure_time) {
+  DDPKIT_CHECK(error != WorkError::kNone);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) return;  // first terminal state wins
+    done_ = true;
+    error_ = error;
+    error_message_ = std::move(message);
+    completion_time_ = failure_time;
   }
   cv_.notify_all();
 }

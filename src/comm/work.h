@@ -4,37 +4,97 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 
+#include "common/status.h"
 #include "sim/virtual_clock.h"
 
 namespace ddpkit::comm {
+
+/// Typed failure states for a collective, mirroring the error taxonomy the
+/// paper's Discussion section leaves open: a peer that never shows up
+/// (kTimeout), a peer known dead (kRankFailure), or ranks issuing
+/// structurally different collectives (kShapeMismatch).
+enum class WorkError {
+  kNone = 0,
+  kTimeout,
+  kRankFailure,
+  kShapeMismatch,
+};
+const char* WorkErrorName(WorkError error);
 
 /// Handle to an asynchronously-launched collective, mirroring c10d's Work.
 /// The launching rank keeps computing (overlap!); Wait() blocks the real
 /// thread until every participant has contributed and then advances the
 /// rank's virtual clock to the modeled completion time.
+///
+/// A Work terminates exactly once, either successfully (MarkCompleted) or
+/// with a typed error (MarkFailed). The timeout-aware Wait overload turns a
+/// late completion or a terminal error into a Status instead of blocking
+/// forever — the NCCL-watchdog behaviour the paper's design lacks.
 class Work {
  public:
   Work() = default;
   Work(const Work&) = delete;
   Work& operator=(const Work&) = delete;
 
-  /// Blocks until completed; advances `clock` to max(now, completion).
+  /// Legacy blocking wait: blocks until terminal; advances `clock` to
+  /// max(now, completion). Aborts with a diagnostic if the work failed —
+  /// callers that can recover use the timeout-aware overload.
   void Wait(sim::VirtualClock* clock);
 
+  /// Timeout-aware wait. Blocks the real thread until the work is terminal,
+  /// then:
+  ///  - failed work: advances `clock` to the failure time and returns the
+  ///    failure as a Status (kTimedOut / kInternal / kFailedPrecondition);
+  ///  - completed later than `timeout_seconds` of virtual time after this
+  ///    rank's arrival: advances `clock` by exactly the timeout and returns
+  ///    TimedOut (per-rank watchdog semantics — the collective itself may
+  ///    have finished for punctual peers);
+  ///  - completed in time: advances `clock` to completion, returns OK.
+  /// A non-positive timeout disables the watchdog (virtual-time-wise).
+  Status Wait(sim::VirtualClock* clock, double timeout_seconds);
+
+  /// Non-throwing, non-blocking: true once the work is terminal (either
+  /// completed or failed). Never aborts.
+  bool Poll() const;
+
+  /// True once the work completed successfully.
   bool IsCompleted() const;
 
-  /// Virtual completion time. Precondition: IsCompleted().
+  /// Error state; kNone while pending or after success.
+  WorkError error() const;
+
+  /// Diagnostic for a failed work (names the offending rank and sequence
+  /// number when known). Empty while pending or after success.
+  std::string error_message() const;
+
+  /// The failure rendered as a Status; OK while pending or after success.
+  Status status() const;
+
+  /// Virtual terminal time. Precondition: Poll().
   double completion_time() const;
 
   /// Marks the collective done at virtual time `completion_time` (called by
   /// the last-arriving participant after it has performed the reduction).
-  void MarkCompleted(double completion_time);
+  /// `note` is appended to timeout diagnostics (e.g. the slowest
+  /// participant's identity).
+  void MarkCompleted(double completion_time, std::string note = "");
+
+  /// Marks the collective failed at virtual time `failure_time`. The first
+  /// terminal state wins: failing an already-terminal work is a no-op, so
+  /// concurrent detectors don't race.
+  void MarkFailed(WorkError error, std::string message, double failure_time);
 
  private:
+  Status StatusLocked() const;
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool done_ = false;
+  WorkError error_ = WorkError::kNone;
+  std::string error_message_;
+  std::string completion_note_;
   double completion_time_ = 0.0;
 };
 

@@ -25,32 +25,65 @@ DistributedDataParallel::DistributedDataParallel(
   reducer_options.compute_model = options_.compute_model;
   reducer_options.gradient_as_bucket_view = options_.gradient_as_bucket_view;
   reducer_options.trace = options_.trace;
+  reducer_options.collective_timeout_seconds =
+      options_.collective_timeout_seconds;
+  reducer_options.validate_bucket_layout = options_.validate_bucket_layout;
   reducer_ = std::make_unique<Reducer>(module_->parameters(), pg_,
                                        reducer_options);
 }
 
+void DistributedDataParallel::RecordCommFailure(Status status) {
+  DDPKIT_CHECK(!status.ok());
+  if (comm_status_.ok()) comm_status_ = std::move(status);
+}
+
 void DistributedDataParallel::BroadcastInitialState() {
   // All replicas adopt rank 0's parameters and buffers at construction
-  // time (Algorithm 1 lines 2-3), guaranteeing a common starting point.
+  // time (Algorithm 1 lines 2-3), guaranteeing a common starting point. A
+  // faulted broadcast disables sync (remaining broadcasts are skipped: the
+  // replicas no longer share a collective sequence).
   autograd::NoGradGuard guard;
   for (Tensor& p : module_->parameters()) {
-    pg_->Broadcast(p.Flatten(), /*root=*/0)->Wait(pg_->clock());
+    Status st = pg_->Broadcast(p.Flatten(), /*root=*/0)
+                    ->Wait(pg_->clock(), options_.collective_timeout_seconds);
+    if (!st.ok()) {
+      RecordCommFailure(Status(st.code(), "initial parameter broadcast (rank " +
+                                              std::to_string(pg_->rank()) +
+                                              "): " + st.message()));
+      return;
+    }
   }
   for (Tensor& b : module_->buffers()) {
     if (b.dtype() != DType::kFloat32) continue;
-    pg_->Broadcast(b.Flatten(), /*root=*/0)->Wait(pg_->clock());
+    Status st = pg_->Broadcast(b.Flatten(), /*root=*/0)
+                    ->Wait(pg_->clock(), options_.collective_timeout_seconds);
+    if (!st.ok()) {
+      RecordCommFailure(Status(st.code(), "initial buffer broadcast (rank " +
+                                              std::to_string(pg_->rank()) +
+                                              "): " + st.message()));
+      return;
+    }
   }
   buffers_dirty_ = false;
 }
 
 void DistributedDataParallel::PreForward() {
   autograd::NoGradGuard guard;
-  if (options_.broadcast_buffers && sync_enabled_ && buffers_dirty_) {
+  if (options_.broadcast_buffers && sync_enabled_ && buffers_dirty_ &&
+      sync_status().ok()) {
     // Rank 0 is the authority for buffer state (paper §4.1): broadcast
     // before the forward pass of a synced iteration.
     for (Tensor& b : module_->buffers()) {
       if (b.dtype() != DType::kFloat32) continue;
-      pg_->Broadcast(b.Flatten(), /*root=*/0)->Wait(pg_->clock());
+      Status st =
+          pg_->Broadcast(b.Flatten(), /*root=*/0)
+              ->Wait(pg_->clock(), options_.collective_timeout_seconds);
+      if (!st.ok()) {
+        RecordCommFailure(Status(st.code(), "buffer broadcast (rank " +
+                                                std::to_string(pg_->rank()) +
+                                                "): " + st.message()));
+        break;
+      }
     }
     buffers_dirty_ = false;
   }
@@ -77,7 +110,8 @@ void DistributedDataParallel::PostForward(const std::vector<Tensor>& outputs) {
   // is no backward to prepare for — mirroring PyTorch's
   // torch.is_grad_enabled() gate.
   if (autograd::GradModeEnabled()) {
-    reducer_->PrepareForBackward(outputs, sync_enabled_);
+    reducer_->PrepareForBackward(outputs,
+                                 sync_enabled_ && sync_status().ok());
   }
   if (module_->training() && !module_->buffers().empty()) {
     // The local forward advanced running statistics; schedule a broadcast

@@ -28,6 +28,13 @@ struct DdpOptions {
   /// Optional span recorder (forward/backward/comm timeline; see
   /// core/trace.h).
   std::shared_ptr<TraceRecorder> trace;
+  /// Watchdog (virtual seconds) applied to every collective DDP issues:
+  /// state broadcasts, buffer broadcasts, and — through ReducerOptions —
+  /// gradient-bucket all-reduces. A stalled or crashed peer surfaces as a
+  /// typed sync_status() error instead of a hang.
+  double collective_timeout_seconds = 30.0;
+  /// See ReducerOptions::validate_bucket_layout.
+  bool validate_bucket_layout = true;
 };
 
 /// The paper's primary contribution: an nn::Module wrapper that makes
@@ -91,15 +98,29 @@ class DistributedDataParallel : public nn::Module {
     return reducer_->globally_used_mask();
   }
 
+  /// Communication health of this replica: the first error among DDP's own
+  /// collectives (state/buffer broadcasts) and the reducer's
+  /// (layout-validation desync, gradient all-reduce faults). Non-OK means
+  /// gradient synchronization is permanently disabled — training continues
+  /// locally; restart-from-checkpoint is the recovery path.
+  Status sync_status() const {
+    return comm_status_.ok() ? reducer_->sync_status() : comm_status_;
+  }
+  bool sync_disabled() const { return !sync_status().ok(); }
+
  private:
   void BroadcastInitialState();
   void PreForward();
   void PostForward(const std::vector<Tensor>& outputs);
+  /// Records a failed DDP-issued collective (first error wins) and stops
+  /// issuing broadcasts.
+  void RecordCommFailure(Status status);
 
   std::shared_ptr<nn::Module> module_;
   std::shared_ptr<comm::ProcessGroup> pg_;
   DdpOptions options_;
   std::unique_ptr<Reducer> reducer_;
+  Status comm_status_;
   bool sync_enabled_ = true;
   /// Buffers must be re-broadcast before the next synced forward whenever
   /// the previous synced iteration advanced them (paper §4.1).

@@ -1,13 +1,17 @@
 #include "core/reducer.h"
 
 #include <algorithm>
+#include <sstream>
+#include <utility>
 
 #include <cstring>
 
 #include "autograd/engine.h"
 #include "autograd/grad_accumulator.h"
 #include "autograd/graph_utils.h"
+#include "comm/store.h"
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "tensor/tensor_ops.h"
 
@@ -59,6 +63,7 @@ Reducer::Reducer(std::vector<Tensor> params,
   InitBuckets(AssignBuckets(metas_, options_.bucket_cap_bytes,
                             options_.first_bucket_cap_bytes));
   InstallHooks();
+  if (options_.validate_bucket_layout) ValidateCrossRankLayout();
 }
 
 Reducer::~Reducer() { *alive_ = false; }
@@ -142,8 +147,12 @@ void Reducer::PrepareForBackward(const std::vector<Tensor>& outputs,
   DDPKIT_CHECK(!armed_ || finalized_ || !expect_hooks_)
       << "previous synced backward never finalized";
   ResetIterationState();
-  expect_hooks_ = will_sync;
+  // A replica whose communication failed (desync or collective fault)
+  // degrades to local-only accumulation: issuing further collectives after
+  // a desync would deadlock or corrupt the reduction.
+  expect_hooks_ = will_sync && sync_status_.ok();
   armed_ = true;
+  will_sync = expect_hooks_;
 
   if (!will_sync) return;
 
@@ -264,11 +273,21 @@ void Reducer::FinalizeBackward() {
   }
 
   // Block waiting for all AllReduce ops (Algorithm 1 line 21), advancing
-  // the virtual clock to each completion.
+  // the virtual clock to each completion. A fault — a bucket that timed
+  // out, a peer that crashed mid-collective — aborts the sync with a
+  // diagnostic naming the bucket instead of deadlocking the backward.
   for (size_t b = 0; b < buckets_.size(); ++b) {
     Bucket& bucket = buckets_[b];
     DDPKIT_CHECK(bucket.work != nullptr);
-    bucket.work->Wait(pg_->clock());
+    const Status wait_status =
+        bucket.work->Wait(pg_->clock(), options_.collective_timeout_seconds);
+    if (!wait_status.ok()) {
+      AbortSync(Status(wait_status.code(),
+                       "gradient bucket " + std::to_string(b) +
+                           " (rank " + std::to_string(pg_->rank()) +
+                           "): " + wait_status.message()));
+      return;
+    }
     if (bucket.hook_launched.finalize) bucket.hook_launched.finalize();
     if (options_.trace != nullptr) {
       options_.trace->AddSpan("allreduce bucket " + std::to_string(b),
@@ -277,7 +296,15 @@ void Reducer::FinalizeBackward() {
     }
   }
   if (bitmap_work != nullptr) {
-    bitmap_work->Wait(pg_->clock());
+    const Status wait_status =
+        bitmap_work->Wait(pg_->clock(), options_.collective_timeout_seconds);
+    if (!wait_status.ok()) {
+      AbortSync(Status(wait_status.code(),
+                       "unused-parameter bitmap all-reduce (rank " +
+                           std::to_string(pg_->rank()) +
+                           "): " + wait_status.message()));
+      return;
+    }
     const uint8_t* bits = used_bitmap_.data<uint8_t>();
     for (size_t i = 0; i < params_.size(); ++i) {
       globally_used_[i] = bits[i] ? 1 : 0;
@@ -342,6 +369,132 @@ void Reducer::FinalizeBackward() {
   expect_hooks_ = false;
   finalized_ = true;
   ++stats_.finalized_backwards;
+}
+
+void Reducer::AbortSync(Status status) {
+  DDPKIT_CHECK(!status.ok());
+  if (sync_status_.ok()) {
+    // First error wins; later failures are downstream of the original.
+    sync_status_ = std::move(status);
+    DDPKIT_LOG(Error) << "gradient synchronization disabled: "
+                      << sync_status_.ToString();
+  }
+  ++stats_.sync_failures;
+  // Unwind the iteration so the replica survives to read the diagnostic:
+  // no hooks are expected, nothing is finalized, and the next
+  // PrepareForBackward degrades to local-only accumulation.
+  armed_ = false;
+  expect_hooks_ = false;
+  finalized_ = false;
+}
+
+namespace {
+
+/// Bucket-layout signature exchanged through the Store:
+/// "<nbuckets>:<numel0>:<numel1>:...". Two ranks whose reducers would issue
+/// different collective sequences necessarily differ in this string.
+std::string LayoutSignature(const std::vector<int64_t>& bucket_numels) {
+  std::ostringstream sig;
+  sig << bucket_numels.size();
+  for (int64_t n : bucket_numels) sig << ':' << n;
+  return sig.str();
+}
+
+std::vector<int64_t> ParseSignatureNumels(const std::string& sig) {
+  std::vector<int64_t> numels;
+  std::istringstream in(sig);
+  std::string field;
+  bool first = true;
+  while (std::getline(in, field, ':')) {
+    if (first) {
+      first = false;  // leading bucket count
+      continue;
+    }
+    numels.push_back(std::stoll(field));
+  }
+  return numels;
+}
+
+}  // namespace
+
+void Reducer::ValidateCrossRankLayout() {
+  comm::Store* store = pg_->store();
+  if (store == nullptr || pg_->world() <= 1) return;
+
+  const int rank = pg_->rank();
+  const int world = pg_->world();
+
+  // Pair up the Nth reducer on every rank: reducers are constructed in
+  // program order, so the per-rank instance counter yields matching ids on
+  // ranks that are still in sync — and the handshake below catches the
+  // ones that are not.
+  int64_t count = 0;
+  Status st = store->AddWithRetry(
+      "reducer/instances/rank" + std::to_string(rank), 1, &count);
+  if (!st.ok()) {
+    AbortSync(Status(st.code(),
+                     "bucket-layout validation could not reach the store: " +
+                         st.message()));
+    return;
+  }
+  const int64_t instance = count - 1;
+  const std::string prefix =
+      "reducer/layout/" + std::to_string(instance) + "/rank";
+
+  std::vector<int64_t> bucket_numels;
+  bucket_numels.reserve(buckets_.size());
+  for (const Bucket& bucket : buckets_) {
+    bucket_numels.push_back(bucket.buffer.numel());
+  }
+  const std::string own_sig = LayoutSignature(bucket_numels);
+  st = store->SetWithRetry(prefix + std::to_string(rank), own_sig);
+  if (!st.ok()) {
+    AbortSync(Status(st.code(),
+                     "bucket-layout validation could not publish rank " +
+                         std::to_string(rank) +
+                         "'s signature: " + st.message()));
+    return;
+  }
+
+  // Compare every rank against rank 0's canonical layout. The bounded Get
+  // turns a peer that never constructed its reducer into a typed timeout
+  // instead of a rendezvous hang.
+  std::vector<std::string> sigs(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    auto got = store->GetWithRetry(prefix + std::to_string(r),
+                                   options_.validation_timeout_seconds);
+    if (!got.ok()) {
+      AbortSync(Status(got.status().code(),
+                       "bucket-layout validation: rank " + std::to_string(r) +
+                           " never published a signature for reducer instance " +
+                           std::to_string(instance) + " (" +
+                           got.status().message() + ")"));
+      return;
+    }
+    sigs[static_cast<size_t>(r)] = std::move(got).value();
+  }
+
+  for (int r = 1; r < world; ++r) {
+    if (sigs[static_cast<size_t>(r)] == sigs[0]) continue;
+    // Lowest disagreeing rank named; pin down the first divergent bucket.
+    const std::vector<int64_t> base = ParseSignatureNumels(sigs[0]);
+    const std::vector<int64_t> theirs =
+        ParseSignatureNumels(sigs[static_cast<size_t>(r)]);
+    std::ostringstream msg;
+    msg << "bucket layout desynchronized across ranks: rank " << r << " has "
+        << theirs.size() << " bucket(s) vs rank 0's " << base.size();
+    const size_t common = std::min(base.size(), theirs.size());
+    for (size_t b = 0; b < common; ++b) {
+      if (base[b] != theirs[b]) {
+        msg << "; first mismatch at bucket " << b << " (rank " << r << ": "
+            << theirs[b] << " elements, rank 0: " << base[b] << " elements)";
+        break;
+      }
+    }
+    msg << " — did ranks diverge in bucket_cap_bytes or rebuild order?";
+    AbortSync(Status::FailedPrecondition(msg.str()));
+    return;
+  }
 }
 
 bool Reducer::RebuildBucketsFromTrace() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/status.h"
 #include "core/bucketing.h"
 #include "core/compression.h"
 #include "core/trace.h"
@@ -45,6 +46,21 @@ struct ReducerOptions {
   /// Optional span recorder: per-gradient compute spans (when a compute
   /// model is attached) and per-bucket AllReduce request->completion spans.
   std::shared_ptr<TraceRecorder> trace;
+  /// Per-bucket watchdog (virtual seconds): a bucket AllReduce that takes
+  /// longer than this to complete after FinalizeBackward starts waiting
+  /// surfaces as a kTimedOut sync_status() instead of blocking forever.
+  /// Non-positive disables the watchdog.
+  double collective_timeout_seconds = 30.0;
+  /// Cross-rank bucket-layout validation at construction: every rank
+  /// publishes its bucket signature through the process group's Store and
+  /// checks the peers'. A mismatch (desynchronized rebuild, divergent
+  /// bucket_cap) is reported through sync_status() naming the offending
+  /// rank and bucket, and gradient synchronization is disabled — the
+  /// clean-abort alternative to the paper's "incorrect reduction result or
+  /// program crash". Skipped when the backend exposes no Store.
+  bool validate_bucket_layout = true;
+  /// Real-time budget for the validation handshake above.
+  double validation_timeout_seconds = 20.0;
 };
 
 /// Core gradient-reduction engine (the paper's reducer.cpp, §4.2). Four
@@ -74,6 +90,20 @@ class Reducer {
   /// (all AllReduce waits done, gradients averaged and written back).
   bool backward_finalized() const { return finalized_; }
 
+  /// Communication health. OK while every sync has succeeded. Becomes a
+  /// typed error when construction-time validation detects a cross-rank
+  /// bucket-layout desync (kFailedPrecondition naming rank and bucket) or
+  /// when a synced backward hits a collective fault (kTimedOut /
+  /// kInternal, naming the bucket and — when known — the offending rank).
+  /// Any non-OK status permanently disables further gradient
+  /// synchronization on this replica: backwards still accumulate local
+  /// gradients, but no collectives are issued (restart-from-checkpoint is
+  /// the recovery path, as with a dead NCCL communicator).
+  const Status& sync_status() const { return sync_status_; }
+
+  /// True when gradient synchronization has been disabled by an error.
+  bool sync_disabled() const { return !sync_status_.ok(); }
+
   /// Per-parameter "used by any rank since last sync" mask; all ones when
   /// find_unused_parameters is off. Valid after a finalized backward.
   const std::vector<uint8_t>& globally_used_mask() const {
@@ -100,6 +130,7 @@ class Reducer {
     uint64_t bytes_reduced = 0;
     uint64_t rebuilds = 0;
     uint64_t finalized_backwards = 0;
+    uint64_t sync_failures = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -123,6 +154,13 @@ class Reducer {
 
   void InstallHooks();
   void InitBuckets(const BucketAssignment& assignment);
+  /// Store-based cross-rank bucket-signature handshake (see
+  /// ReducerOptions::validate_bucket_layout). Sets sync_status_ on desync.
+  void ValidateCrossRankLayout();
+  /// Records a failed sync: stamps sync_status_ (first error wins),
+  /// disables future syncs, and unwinds per-iteration state so the replica
+  /// survives to read the diagnostic.
+  void AbortSync(Status status);
   /// gradient_as_bucket_view: repoint every param.grad at its bucket slot,
   /// preserving any existing gradient values.
   void InstallGradViews();
@@ -163,6 +201,7 @@ class Reducer {
 
   std::vector<size_t> last_ready_order_;
   std::shared_ptr<bool> alive_;  // guards accumulator hooks against dtor
+  Status sync_status_;
   Stats stats_;
 };
 

@@ -19,6 +19,14 @@ class StragglerModel {
     /// spikes at 100-iteration boundaries in Fig 7).
     double hiccup_probability = 0.0;
     double hiccup_factor = 1.5;
+    /// Fault-injection extension: probability that a rank-collective
+    /// suffers a hard stall — a seconds-scale pause (page fault storm,
+    /// checkpoint write, preemption on shared entitlements, §5) rather
+    /// than the multiplicative skew above. Sampled by SampleStallSeconds
+    /// and consumed by comm::FaultPlan::AddRandomStalls.
+    double stall_probability = 0.0;
+    double stall_min_seconds = 0.5;
+    double stall_max_seconds = 5.0;
   };
 
   StragglerModel() : options_(Options()) {}
@@ -33,6 +41,18 @@ class StragglerModel {
       f *= options_.hiccup_factor;
     }
     return f;
+  }
+
+  /// Seconds of hard stall for one rank-collective; 0.0 unless the stall
+  /// lottery (stall_probability) hits. Uniform in [stall_min_seconds,
+  /// stall_max_seconds) when it does.
+  double SampleStallSeconds(Rng* rng) const {
+    if (options_.stall_probability <= 0.0 ||
+        rng->Uniform() >= options_.stall_probability) {
+      return 0.0;
+    }
+    return rng->Uniform(options_.stall_min_seconds,
+                        options_.stall_max_seconds);
   }
 
   /// The expected maximum skew across `world` independent ranks grows with
