@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "cluster/cluster_sim.h"
 
@@ -15,7 +16,7 @@ namespace {
 
 const int kWorlds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
 
-void RunBackend(sim::Backend backend) {
+std::string RunBackend(sim::Backend backend) {
   std::printf("ResNet50 on %s, average per-iteration latency (sec):\n",
               sim::BackendName(backend));
   std::vector<std::string> columns;
@@ -23,6 +24,8 @@ void RunBackend(sim::Backend backend) {
   bench::PrintHeader("sync_every", columns);
 
   std::vector<double> baseline;
+  std::string series = "[";
+  bool first = true;
   for (int n : {1, 2, 4, 8}) {
     std::vector<double> row;
     for (int world : kWorlds) {
@@ -40,8 +43,19 @@ void RunBackend(sim::Backend backend) {
     if (n == 1) baseline = row;
     bench::PrintSeries(n == 1 ? "every (n=1)" : "no_sync_" + std::to_string(n),
                        row);
+    if (!first) series += ',';
+    first = false;
+    series += "{\"sync_every\":" + std::to_string(n) + ",\"mean_seconds\":[";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) series += ',';
+      series += JsonNumber(row[i]);
+    }
+    series += "]}";
   }
+  series += "]";
   std::printf("\n");
+  return "{\"backend\":\"" + std::string(sim::BackendName(backend)) +
+         "\",\"series\":" + series + "}";
 }
 
 }  // namespace
@@ -49,8 +63,11 @@ void RunBackend(sim::Backend backend) {
 int main() {
   bench::Banner("Figure 10",
                 "Skip gradient synchronization: amortized latency");
-  RunBackend(sim::Backend::kNccl);
-  RunBackend(sim::Backend::kGloo);
+  bench::JsonReport report("fig10_skipsync");
+  std::string backends = "[" + RunBackend(sim::Backend::kNccl) + "," +
+                         RunBackend(sim::Backend::kGloo) + "]";
+  report.AddRaw("backends", backends);
+  report.Write();
   std::printf("Expected shape: amortized latency drops as sync frequency "
               "falls; paper reports ~38%% (NCCL) and ~57%% (Gloo) speedup "
               "at 256 GPUs with sync every 8 iterations; the NCCL jump at "

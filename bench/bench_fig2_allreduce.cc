@@ -7,8 +7,10 @@
 // near 500K parameters per op, NCCL keeps improving through 20M.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "cluster/cluster_sim.h"
 
@@ -16,7 +18,7 @@ using namespace ddpkit;  // NOLINT
 
 namespace {
 
-void RunBackend(sim::Backend backend) {
+std::string RunBackend(sim::Backend backend) {
   cluster::ClusterConfig config;
   config.world = 2;
   config.backend = backend;
@@ -28,25 +30,38 @@ void RunBackend(sim::Backend backend) {
                           3'000'000, 10'000'000, 20'000'000};
   std::printf("%-22s %-12s %-16s\n", "params_per_allreduce", "num_ops",
               "total_time_sec");
+  std::string rows = "[";
+  bool first = true;
   for (size_t params : sizes) {
     const size_t bytes = params * 4;
     const double total = sim.SplitAllReduceSeconds(kTotalParams * 4, bytes);
     const size_t ops = (kTotalParams + params - 1) / params;
     std::printf("%-22zu %-12zu %-16.5f\n", params, ops, total);
+    if (!first) rows += ',';
+    first = false;
+    rows += "{\"params_per_allreduce\":" + std::to_string(params) +
+            ",\"num_ops\":" + std::to_string(ops) +
+            ",\"total_seconds\":" + JsonNumber(total) + "}";
   }
+  rows += "]";
   std::printf("\n");
+  return "{\"backend\":\"" + std::string(sim::BackendName(backend)) +
+         "\",\"rows\":" + rows + "}";
 }
 
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig2_allreduce");
   bench::Banner("Figure 2(a)", "NCCL total execution time vs tensor size "
                                "(60M params, 2 GPUs, NVLink)");
-  RunBackend(sim::Backend::kNccl);
+  const std::string nccl = RunBackend(sim::Backend::kNccl);
 
   bench::Banner("Figure 2(b)", "Gloo total execution time vs tensor size "
                                "(60M params, 2 ranks, CPU tensors)");
-  RunBackend(sim::Backend::kGloo);
+  const std::string gloo = RunBackend(sim::Backend::kGloo);
+  report.AddRaw("backends", "[" + nccl + "," + gloo + "]");
+  report.Write();
 
   std::printf("Expected shape: monotone improvement with tensor size; Gloo "
               "flattens beyond ~500K params/op, NCCL keeps gaining to 20M "

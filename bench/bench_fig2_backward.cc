@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "cluster/model_specs.h"
 #include "common/rng.h"
@@ -16,8 +18,8 @@ using namespace ddpkit;  // NOLINT
 
 namespace {
 
-void RunDevice(const sim::ComputeCostModel::Options& profile,
-               const char* label) {
+std::string RunDevice(const sim::ComputeCostModel::Options& profile,
+                      const char* label) {
   const auto spec = cluster::ResNet152Spec();
   std::vector<int64_t> backward_numels;
   for (size_t i = spec.params.size(); i-- > 0;) {
@@ -47,6 +49,7 @@ void RunDevice(const sim::ComputeCostModel::Options& profile,
               "min_sec", "max_sec");
   // Print ~16 evenly spaced sample points.
   const size_t n = backward_numels.size();
+  std::string rows = "[";
   for (size_t s = 1; s <= 16; ++s) {
     const size_t idx = std::min(n - 1, s * n / 16);
     std::vector<double> at;
@@ -55,20 +58,30 @@ void RunDevice(const sim::ComputeCostModel::Options& profile,
     std::printf("%-18lld %-14.4f %-14.4f %-14.4f\n",
                 static_cast<long long>(cumulative[idx]), summary.median,
                 summary.min, summary.max);
+    if (s > 1) rows += ',';
+    rows += "{\"params_ready\":" + std::to_string(cumulative[idx]) +
+            ",\"median_seconds\":" + JsonNumber(summary.median) +
+            ",\"min_seconds\":" + JsonNumber(summary.min) +
+            ",\"max_seconds\":" + JsonNumber(summary.max) + "}";
   }
+  rows += "]";
   std::printf("\n");
+  return "{\"device\":\"" + std::string(label) + "\",\"rows\":" + rows + "}";
 }
 
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig2_backward");
   bench::Banner("Figure 2(c)", "GPU backward time vs #ready parameters "
                                "(ResNet152)");
-  RunDevice(sim::ComputeCostModel::GpuProfile(), "GPU");
+  const std::string gpu = RunDevice(sim::ComputeCostModel::GpuProfile(), "GPU");
 
   bench::Banner("Figure 2(d)", "CPU backward time vs #ready parameters "
                                "(ResNet152)");
-  RunDevice(sim::ComputeCostModel::CpuProfile(), "CPU");
+  const std::string cpu = RunDevice(sim::ComputeCostModel::CpuProfile(), "CPU");
+  report.AddRaw("devices", "[" + gpu + "," + cpu + "]");
+  report.Write();
 
   std::printf("Expected shape: near-linear growth; full GPU backward "
               "~0.25 s, CPU ~6 s (paper Fig 2c/2d).\n");

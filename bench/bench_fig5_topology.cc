@@ -3,7 +3,9 @@
 // consume.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "sim/topology.h"
 
@@ -13,6 +15,7 @@ int main() {
   bench::Banner("Figure 5", "GPU connection topology (8 GPUs per server)");
   sim::Topology topo;
   std::printf("%s\n", topo.MatrixString().c_str());
+  bench::JsonReport report("fig5_topology");
 
   std::printf("link characteristics:\n");
   for (sim::LinkType type : {sim::LinkType::kNv2, sim::LinkType::kNv1,
@@ -25,12 +28,25 @@ int main() {
   std::printf("\nring bottlenecks by world size:\n");
   std::printf("%-8s %-18s %-14s %-12s\n", "world", "ring_bw_GBps",
               "hop_latency_us", "single_host");
+  std::string rows = "[";
+  bool first = true;
   for (int world : {2, 4, 8, 16, 32, 64, 256}) {
     std::printf("%-8d %-18.1f %-14.1f %-12s\n", world,
                 topo.RingBandwidth(world) / 1e9,
                 topo.RingHopLatency(world) * 1e6,
                 topo.SingleHost(world) ? "yes" : "no");
+    if (!first) rows += ',';
+    first = false;
+    rows += "{\"world\":" + std::to_string(world) +
+            ",\"ring_bandwidth_bytes_per_second\":" +
+            JsonNumber(topo.RingBandwidth(world)) +
+            ",\"ring_hop_latency_seconds\":" +
+            JsonNumber(topo.RingHopLatency(world)) + ",\"single_host\":" +
+            (topo.SingleHost(world) ? "true" : "false") + "}";
   }
+  rows += "]";
+  report.AddRaw("ring_bottlenecks", rows);
+  report.Write();
   std::printf("\nCrossing the host boundary (world > 8) drops the ring to "
               "NIC bandwidth — the paper's recommendation to keep DDP "
               "groups within one machine when possible (6.1).\n");

@@ -5,8 +5,10 @@
 // and stronger straggler jitter.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "cluster/cluster_sim.h"
 
@@ -30,28 +32,44 @@ cluster::ClusterConfig SharedEntitlementConfig(int world,
   return config;
 }
 
-void RunCombo(const cluster::ModelSpec& spec, sim::Backend backend) {
+std::string RunCombo(const cluster::ModelSpec& spec, sim::Backend backend) {
   std::printf("%s on %s:\n", spec.name.c_str(), sim::BackendName(backend));
   std::printf("  %-8s %-14s %-14s %-14s\n", "gpus", "median_sec",
               "p25_sec", "p75_sec");
+  std::string rows = "[";
+  bool first = true;
   for (int world : kWorlds) {
     auto config = SharedEntitlementConfig(world, backend);
     cluster::ClusterSim sim(spec, config);
     auto summary = sim.Run(40).LatencySummary();
     std::printf("  %-8d %-14.4f %-14.4f %-14.4f\n", world, summary.median,
                 summary.p25, summary.p75);
+    if (!first) rows += ',';
+    first = false;
+    rows += "{\"world\":" + std::to_string(world) +
+            ",\"median_seconds\":" + JsonNumber(summary.median) +
+            ",\"p25_seconds\":" + JsonNumber(summary.p25) +
+            ",\"p75_seconds\":" + JsonNumber(summary.p75) + "}";
   }
+  rows += "]";
   std::printf("\n");
+  return "{\"model\":\"" + spec.name + "\",\"backend\":\"" +
+         sim::BackendName(backend) + "\",\"rows\":" + rows + "}";
 }
 
 }  // namespace
 
 int main() {
   bench::Banner("Figure 9", "Scalability: per-iteration latency, 1-256 GPUs");
-  RunCombo(cluster::ResNet50Spec(), sim::Backend::kNccl);
-  RunCombo(cluster::ResNet50Spec(), sim::Backend::kGloo);
-  RunCombo(cluster::BertBaseSpec(), sim::Backend::kNccl);
-  RunCombo(cluster::BertBaseSpec(), sim::Backend::kGloo);
+  bench::JsonReport report("fig9_scalability");
+  std::string combos = "[";
+  combos += RunCombo(cluster::ResNet50Spec(), sim::Backend::kNccl);
+  combos += "," + RunCombo(cluster::ResNet50Spec(), sim::Backend::kGloo);
+  combos += "," + RunCombo(cluster::BertBaseSpec(), sim::Backend::kNccl);
+  combos += "," + RunCombo(cluster::BertBaseSpec(), sim::Backend::kGloo);
+  combos += "]";
+  report.AddRaw("combos", combos);
+  report.Write();
   std::printf("Expected shape: latency grows steadily with scale; "
               "ResNet50/NCCL at 256 GPUs ~2x the 1-GPU latency (real "
               "scaling factor ~128, paper 5.3); Gloo degrades ~3x for "

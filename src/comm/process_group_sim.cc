@@ -81,6 +81,9 @@ struct GroupState {
   /// collective short of participants.
   std::shared_ptr<const FaultPlan> fault_plan;
   double collective_timeout = 30.0;
+  /// Optional pg.* metrics sink (first non-null registry offered at Create
+  /// wins; typically one registry shared by every rank).
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 namespace {
@@ -162,6 +165,7 @@ std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
       state->fault_plan = options.fault_plan;
       state->collective_timeout = options.collective_timeout_seconds;
     }
+    if (!state->metrics && options.metrics) state->metrics = options.metrics;
   }
   state->ctor_barrier.ArriveAndWait();
 
@@ -223,6 +227,13 @@ WorkHandle Contribute(
     const Tensor* inplace, const Tensor* gather_in, const Tensor* gather_out,
     const std::function<double(const CollectiveInstance&, double start)>&
         duration_fn) {
+  if (state->metrics != nullptr) {
+    state->metrics->counter(std::string("pg.ops.") + OpKindName(kind))
+        .Increment();
+    state->metrics->counter("pg.bytes_contributed")
+        .Increment(static_cast<uint64_t>(numel) *
+                   static_cast<uint64_t>(ItemSize(dtype)));
+  }
   const FaultPlan* plan = state->fault_plan.get();
   int live = state->world;
   if (plan != nullptr) {
@@ -271,6 +282,9 @@ WorkHandle Contribute(
             << ")";
         inst->work->MarkFailed(WorkError::kShapeMismatch, msg.str(),
                                arrival_clock);
+        if (state->metrics != nullptr) {
+          state->metrics->counter("pg.collectives_failed").Increment();
+        }
       }
     }
     if (inplace != nullptr) inst->tensors[static_cast<size_t>(rank)] = *inplace;
@@ -310,6 +324,9 @@ WorkHandle Contribute(
       inst->work->MarkFailed(
           any_crashed ? WorkError::kRankFailure : WorkError::kTimeout,
           msg.str(), fail_time);
+      if (state->metrics != nullptr) {
+        state->metrics->counter("pg.collectives_failed").Increment();
+      }
       return inst->work;
     }
 
@@ -342,6 +359,8 @@ WorkHandle Contribute(
     // Time plane: start when the last participant arrived AND the comm
     // queue is free; serialize the queue.
     double completion;
+    double queue_delay = 0.0;
+    double duration = 0.0;
     int slowest = 0;
     {
       std::lock_guard<std::mutex> lock(state->mutex);
@@ -350,9 +369,19 @@ WorkHandle Contribute(
           std::max_element(inst->arrivals.begin(), inst->arrivals.end())));
       const double max_arrival = inst->arrivals[static_cast<size_t>(slowest)];
       const double start = std::max(max_arrival, state->queue_tail);
+      queue_delay = start - max_arrival;
       completion = start + duration_fn(*inst, start);
       if (plan != nullptr) completion += plan->CompletionDelaySeconds(seq);
+      duration = completion - start;
       state->queue_tail = completion;
+    }
+    if (state->metrics != nullptr) {
+      // Recorded once per collective (by the last-arriving rank): how long
+      // the op sat behind the serialized comm queue, and its modeled
+      // on-the-wire duration.
+      state->metrics->counter("pg.collectives_completed").Increment();
+      state->metrics->histogram("pg.queue_delay_seconds").Record(queue_delay);
+      state->metrics->histogram("pg.collective_seconds").Record(duration);
     }
     inst->work->MarkCompleted(
         completion, "slowest participant: rank " + std::to_string(slowest) +

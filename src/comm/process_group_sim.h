@@ -13,6 +13,7 @@
 #include "comm/process_group.h"
 #include "comm/store.h"
 #include "common/barrier.h"
+#include "common/metrics.h"
 #include "sim/comm_cost_model.h"
 #include "sim/topology.h"
 
@@ -53,6 +54,12 @@ class ProcessGroupSim : public ProcessGroup {
     /// collective, peers' Work fails kTimeout/kRankFailure this many
     /// virtual seconds after the last live participant arrived.
     double collective_timeout_seconds = 30.0;
+    /// Optional metrics sink (pg.* namespace): per-rank op/byte counters at
+    /// issue time, and — recorded once per collective by the last-arriving
+    /// rank — queue-delay and duration histograms plus failure counters.
+    /// Pass the same registry to every rank (the group adopts the first
+    /// non-null one for the collective-level metrics).
+    std::shared_ptr<MetricsRegistry> metrics;
   };
 
   /// Rendezvous constructor: blocks until all `world` ranks have called

@@ -37,6 +37,7 @@ void SimWorld::Run(int world, const SimWorldOptions& options, RankFn fn) {
       pg_options.fault_plan = options.fault_plan;
       pg_options.collective_timeout_seconds =
           options.collective_timeout_seconds;
+      pg_options.metrics = options.metrics;
 
       RankContext ctx;
       ctx.rank = r;

@@ -29,6 +29,9 @@ struct SimWorldOptions {
   /// Watchdog applied when the fault plan leaves a collective short of
   /// participants (see ProcessGroupSim::Options).
   double collective_timeout_seconds = 30.0;
+  /// Optional metrics registry shared by every rank's process group (pg.*
+  /// namespace; see ProcessGroupSim::Options::metrics).
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 /// Test/example harness standing in for `torchrun`: spawns one thread per

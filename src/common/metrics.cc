@@ -1,0 +1,172 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace ddpkit {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void Histogram::Record(double sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_valid_ = false;
+}
+
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return Percentile(sorted_, q);
+}
+
+std::vector<double> Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Hold the creation lock only to copy the pointer maps; each metric's own
+  // lock serializes against concurrent updates while rendering.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    out += "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    out += "\":" + JsonNumber(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendJsonEscaped(&out, name);
+    out += "\":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + JsonNumber(h->sum()) +
+           ",\"min\":" + JsonNumber(h->min()) +
+           ",\"max\":" + JsonNumber(h->max()) +
+           ",\"p50\":" + JsonNumber(h->p50()) +
+           ",\"p95\":" + JsonNumber(h->p95()) +
+           ",\"p99\":" + JsonNumber(h->p99()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ddpkit

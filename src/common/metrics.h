@@ -1,0 +1,114 @@
+#ifndef DDPKIT_COMMON_METRICS_H_
+#define DDPKIT_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ddpkit {
+
+/// Appends `s` to `*out` with JSON string escaping: quotes, backslashes,
+/// and control characters (< 0x20) become \" \\ \n \t \r or \u00XX. Shared
+/// by the metrics registry, the telemetry records, and the Chrome trace
+/// exporter so every JSON emitter in the codebase survives hostile names.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+
+/// Renders a double for JSON: finite values via %.9g, non-finite as 0 (JSON
+/// has no NaN/Inf literals).
+std::string JsonNumber(double value);
+
+/// Monotonic event count. Lock-free; safe to bump from rank threads.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ = value;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  double value_ = 0.0;
+};
+
+/// Sample distribution with exact quantiles. Samples are retained (the
+/// per-iteration cardinalities here are small — thousands, not millions),
+/// so p50/p95/p99 are true percentiles rather than sketch estimates.
+class Histogram {
+ public:
+  void Record(double sample);
+
+  size_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolation percentile, q in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+
+  std::vector<double> snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  /// Sorted lazily on quantile queries; valid while no Record intervened.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+/// Named metric registry: the process-level sink for DDP runtime telemetry
+/// (reducer, DDP wrapper, simulated process group). Metrics are created on
+/// first use and live as long as the registry; returned references stay
+/// valid, so hot paths can cache them. ToJson() renders the full registry
+/// for the BENCH_*.json emitters and test assertions.
+///
+/// Thread-safe: creation is serialized, and each metric type synchronizes
+/// its own updates.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,p50,p95,p99}}} — keys sorted (std::map) for stable diffs.
+  std::string ToJson() const;
+
+  size_t NumMetrics() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_COMMON_METRICS_H_

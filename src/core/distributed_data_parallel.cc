@@ -25,6 +25,8 @@ DistributedDataParallel::DistributedDataParallel(
   reducer_options.compute_model = options_.compute_model;
   reducer_options.gradient_as_bucket_view = options_.gradient_as_bucket_view;
   reducer_options.trace = options_.trace;
+  reducer_options.telemetry = options_.telemetry;
+  reducer_options.metrics = options_.metrics;
   reducer_options.collective_timeout_seconds =
       options_.collective_timeout_seconds;
   reducer_options.validate_bucket_layout = options_.validate_bucket_layout;
@@ -102,6 +104,8 @@ void DistributedDataParallel::PreForward() {
       options_.trace->AddSpan("forward", "forward", pg_->rank(), t0,
                               pg_->clock()->Now());
     }
+    // Stamp the forward cost into the next backward's telemetry frame.
+    reducer_->RecordForwardSeconds(pg_->clock()->Now() - t0);
   }
 }
 

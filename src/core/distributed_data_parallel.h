@@ -28,6 +28,13 @@ struct DdpOptions {
   /// Optional span recorder (forward/backward/comm timeline; see
   /// core/trace.h).
   std::shared_ptr<TraceRecorder> trace;
+  /// Optional per-iteration telemetry sink (see ReducerOptions::telemetry);
+  /// DDP additionally stamps each frame's forward time.
+  std::shared_ptr<TelemetryLog> telemetry;
+  /// Optional metrics registry shared by the reducer (ddp.*/reducer.*
+  /// namespaces) and — when the same registry is handed to the backend —
+  /// the process group (pg.* namespace).
+  std::shared_ptr<MetricsRegistry> metrics;
   /// Watchdog (virtual seconds) applied to every collective DDP issues:
   /// state broadcasts, buffer broadcasts, and — through ReducerOptions —
   /// gradient-bucket all-reduces. A stalled or crashed peer surfaces as a

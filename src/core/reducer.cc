@@ -1,6 +1,9 @@
 #include "core/reducer.h"
 
 #include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -25,6 +28,98 @@ void ParallelCopy(float* dst, const float* src, int64_t n) {
   ParallelFor(0, n, kParallelGrain, [&](int64_t b, int64_t e) {
     std::memcpy(dst + b, src + b, static_cast<size_t>(e - b) * sizeof(float));
   });
+}
+
+/// Monotonic wall-clock seconds for the copy-cost telemetry (the copies
+/// are real work in this process, unlike the modeled virtual time).
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Total length of the union of [start, end) intervals clipped to
+/// [clip_lo, clip_hi]. Buckets' launch->completion windows can nest and
+/// abut (they share one serialized comm queue), so summing them naively
+/// would double-count; the union is what "time with communication in
+/// flight" means.
+double UnionLength(std::vector<std::pair<double, double>> intervals,
+                   double clip_lo, double clip_hi) {
+  double total = 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double cur_lo = 0.0, cur_hi = 0.0;
+  bool open = false;
+  for (auto [lo, hi] : intervals) {
+    lo = std::max(lo, clip_lo);
+    hi = std::min(hi, clip_hi);
+    if (hi <= lo) continue;
+    if (!open) {
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else if (lo <= cur_hi) {
+      cur_hi = std::max(cur_hi, hi);
+    } else {
+      total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+    }
+  }
+  if (open) total += cur_hi - cur_lo;
+  return total;
+}
+
+/// Strict integer parse of one ':'-separated field. Untrusted input (the
+/// Store can serve corrupted/truncated values); never throws.
+bool ParseField(const std::string& field, int64_t* out) {
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Gradient-ready order serialized for the Store rebuild broadcast:
+/// "<nparams>:<idx0>:<idx1>:...".
+std::string SerializeOrder(const std::vector<size_t>& order) {
+  std::ostringstream out;
+  out << order.size();
+  for (size_t idx : order) out << ':' << idx;
+  return out.str();
+}
+
+/// Defensive inverse of SerializeOrder: the result must be a permutation
+/// of [0, num_params). Returns false on any structural problem.
+bool ParseOrder(const std::string& serialized, size_t num_params,
+                std::vector<size_t>* order) {
+  order->clear();
+  std::istringstream in(serialized);
+  std::string field;
+  bool first = true;
+  int64_t declared = -1;
+  std::vector<uint8_t> seen(num_params, 0);
+  while (std::getline(in, field, ':')) {
+    int64_t value = 0;
+    if (!ParseField(field, &value)) return false;
+    if (first) {
+      first = false;
+      declared = value;
+      continue;
+    }
+    if (value < 0 || static_cast<size_t>(value) >= num_params) return false;
+    if (seen[static_cast<size_t>(value)]) return false;
+    seen[static_cast<size_t>(value)] = 1;
+    order->push_back(static_cast<size_t>(value));
+  }
+  return declared == static_cast<int64_t>(num_params) &&
+         order->size() == num_params;
+}
+
+/// Bounded excerpt of untrusted Store payloads for diagnostics.
+std::string Excerpt(const std::string& s) {
+  constexpr size_t kMax = 48;
+  if (s.size() <= kMax) return s;
+  return s.substr(0, kMax) + "...";
 }
 
 }  // namespace
@@ -63,6 +158,28 @@ Reducer::Reducer(std::vector<Tensor> params,
   InitBuckets(AssignBuckets(metas_, options_.bucket_cap_bytes,
                             options_.first_bucket_cap_bytes));
   InstallHooks();
+
+  // Pair up the Nth reducer on every rank: reducers are constructed in
+  // program order, so the per-rank instance counter yields matching ids on
+  // ranks that are still in sync. The id keys both the layout-validation
+  // handshake and the rebuild-order broadcast.
+  if (comm::Store* store = pg_->store();
+      store != nullptr && pg_->world() > 1) {
+    int64_t count = 0;
+    Status st = store->AddWithRetry(
+        "reducer/instances/rank" + std::to_string(pg_->rank()), 1, &count);
+    if (st.ok()) {
+      store_instance_ = count - 1;
+    } else if (options_.validate_bucket_layout) {
+      AbortSync(Status(st.code(),
+                       "bucket-layout validation could not reach the store: " +
+                           st.message()));
+    } else {
+      DDPKIT_LOG(Warning)
+          << "reducer instance-id allocation failed; bucket rebuilds will "
+             "stay rank-local: " << st.ToString();
+    }
+  }
   if (options_.validate_bucket_layout) ValidateCrossRankLayout();
 }
 
@@ -154,6 +271,17 @@ void Reducer::PrepareForBackward(const std::vector<Tensor>& outputs,
   armed_ = true;
   will_sync = expect_hooks_;
 
+  // Open this iteration's telemetry frame. Only synced backwards produce a
+  // record: no_sync iterations issue no collectives, so there is nothing
+  // to break down.
+  frame_ = DDPTelemetry{};
+  frame_.iteration = iteration_++;
+  frame_.rank = pg_->rank();
+  frame_.forward_seconds = pending_forward_seconds_;
+  pending_forward_seconds_ = 0.0;
+  backward_start_clock_ = pg_->clock()->Now();
+  frame_active_ = will_sync;
+
   if (!will_sync) return;
 
   if (options_.find_unused_parameters) {
@@ -188,6 +316,9 @@ void Reducer::AutogradHook(size_t param_index) {
                               "backward", pg_->rank(), t0,
                               pg_->clock()->Now());
     }
+    if (frame_active_ && options_.telemetry != nullptr) {
+      frame_.param_compute_seconds.push_back(pg_->clock()->Now() - t0);
+    }
   }
 
   DDPKIT_CHECK(!param_ready_[param_index])
@@ -201,11 +332,14 @@ void Reducer::MarkParamReady(size_t param_index, bool via_hook) {
   param_ready_[param_index] = 1;
   ready_order_.push_back(param_index);
 
-  Bucket& bucket = buckets_[param_to_bucket_[param_index]];
+  const size_t bucket_id = param_to_bucket_[param_index];
+  Bucket& bucket = buckets_[bucket_id];
   // Copy the gradient into its bucket view (Algorithm 1 lines 15-16). The
   // slot was precomputed at bucket-build time, so this lookup is O(1).
   const Slot& slot = param_slots_[param_index];
   DDPKIT_CHECK_EQ(slot.param_index, param_index);
+  const bool time_copies = frame_active_ && options_.telemetry != nullptr;
+  const double copy_start = time_copies ? WallSeconds() : 0.0;
   Tensor view = bucket.buffer.Narrow(0, slot.offset, slot.length);
   Tensor grad = params_[param_index].grad();
   if (grad.defined() && grad.data<float>() == view.data<float>()) {
@@ -222,10 +356,18 @@ void Reducer::MarkParamReady(size_t param_index, bool via_hook) {
     DDPKIT_CHECK(!via_hook);
     view.Zero();
   }
+  if (time_copies) frame_.copy_in_seconds += WallSeconds() - copy_start;
 
   DDPKIT_CHECK_GT(bucket.pending, 0u);
   if (--bucket.pending == 0) {
     bucket.ready = true;
+    if (expect_hooks_ && options_.trace != nullptr) {
+      // Flow-arrow origin: the instant the bucket's last gradient landed.
+      options_.trace->AddFlowPoint(
+          FlowId(bucket_id), TraceRecorder::FlowPhase::kStart,
+          "bucket " + std::to_string(bucket_id) + " grads ready", "flow",
+          pg_->rank(), pg_->clock()->Now());
+    }
     MaybeLaunchBuckets();
   }
 }
@@ -248,6 +390,16 @@ void Reducer::LaunchBucket(size_t bucket_id) {
   DDPKIT_CHECK(!bucket.launched);
   bucket.launched = true;
   bucket.launch_clock = pg_->clock()->Now();
+  if (options_.trace != nullptr) {
+    options_.trace->AddFlowPoint(
+        FlowId(bucket_id), TraceRecorder::FlowPhase::kStep,
+        "bucket " + std::to_string(bucket_id) + " launch", "flow",
+        pg_->rank(), bucket.launch_clock);
+  }
+  if (frame_active_ && options_.telemetry != nullptr) {
+    frame_.buckets.push_back(BucketTelemetry{bucket_id, bucket.bytes,
+                                             bucket.launch_clock, 0.0, 0.0});
+  }
   if (options_.comm_hook != nullptr) {
     bucket.hook_launched =
         options_.comm_hook->Launch(*pg_, bucket.buffer, bucket_id);
@@ -260,6 +412,12 @@ void Reducer::LaunchBucket(size_t bucket_id) {
 }
 
 void Reducer::FinalizeBackward() {
+  // Virtual time at which backward compute ended: every gradient hook has
+  // fired and the last bucket just became launch-eligible. Everything the
+  // clock advances past this point is exposed communication (the Fig 6
+  // "allreduce wait" slice).
+  const double backward_end = pg_->clock()->Now();
+
   // The additional bitmap AllReduce for globally-unused parameters
   // (§3.2.3). It cannot be coalesced into the gradient buckets because of
   // the dtype mismatch; it launches after all buckets, in the same order on
@@ -272,6 +430,8 @@ void Reducer::FinalizeBackward() {
     ++stats_.bitmap_allreduces;
   }
 
+  const bool telem = options_.telemetry != nullptr;
+
   // Block waiting for all AllReduce ops (Algorithm 1 line 21), advancing
   // the virtual clock to each completion. A fault — a bucket that timed
   // out, a peer that crashed mid-collective — aborts the sync with a
@@ -279,6 +439,7 @@ void Reducer::FinalizeBackward() {
   for (size_t b = 0; b < buckets_.size(); ++b) {
     Bucket& bucket = buckets_[b];
     DDPKIT_CHECK(bucket.work != nullptr);
+    const double wait_start = pg_->clock()->Now();
     const Status wait_status =
         bucket.work->Wait(pg_->clock(), options_.collective_timeout_seconds);
     if (!wait_status.ok()) {
@@ -289,10 +450,20 @@ void Reducer::FinalizeBackward() {
       return;
     }
     if (bucket.hook_launched.finalize) bucket.hook_launched.finalize();
+    const double completion = bucket.work->completion_time();
+    if (telem && b < frame_.buckets.size()) {
+      frame_.buckets[b].completion_seconds = completion;
+      frame_.buckets[b].wait_seconds =
+          std::max(0.0, pg_->clock()->Now() - wait_start);
+    }
     if (options_.trace != nullptr) {
       options_.trace->AddSpan("allreduce bucket " + std::to_string(b),
                               "comm", pg_->rank(), bucket.launch_clock,
-                              bucket.work->completion_time());
+                              completion);
+      options_.trace->AddFlowPoint(
+          FlowId(b), TraceRecorder::FlowPhase::kEnd,
+          "bucket " + std::to_string(b) + " complete", "flow", pg_->rank(),
+          completion);
     }
   }
   if (bitmap_work != nullptr) {
@@ -313,6 +484,25 @@ void Reducer::FinalizeBackward() {
     std::fill(globally_used_.begin(), globally_used_.end(), 1);
   }
 
+  // Close out the Fig 6 breakdown now that every wait has resolved.
+  const double waits_end = pg_->clock()->Now();
+  frame_.backward_compute_seconds = backward_end - backward_start_clock_;
+  frame_.allreduce_wait_seconds = waits_end - backward_end;
+  {
+    std::vector<std::pair<double, double>> windows;
+    windows.reserve(frame_.buckets.size());
+    for (const BucketTelemetry& bt : frame_.buckets) {
+      windows.emplace_back(bt.launch_seconds, bt.completion_seconds);
+    }
+    const double inf = std::numeric_limits<double>::infinity();
+    frame_.comm_seconds = UnionLength(windows, -inf, inf);
+    // Communication hidden behind backward compute: in-flight windows
+    // clipped to the compute span. By construction overlap_seconds <=
+    // backward_compute_seconds.
+    frame_.overlap_seconds =
+        UnionLength(std::move(windows), backward_start_clock_, backward_end);
+  }
+
   // Average and write back (the finalizing step Algorithm 1 omits).
   const double inv_world = 1.0 / static_cast<double>(pg_->world());
   // Gradient allocation and view bookkeeping stay on this thread; the
@@ -323,6 +513,7 @@ void Reducer::FinalizeBackward() {
     const float* src;
     int64_t numel;
   };
+  const double copy_out_start = telem ? WallSeconds() : 0.0;
   std::vector<CopyJob> copy_jobs;
   for (Bucket& bucket : buckets_) {
     kernels::ScaleInPlace(&bucket.buffer, inv_world);
@@ -362,6 +553,7 @@ void Reducer::FinalizeBackward() {
                   static_cast<size_t>(job.numel) * sizeof(float));
     }
   });
+  if (telem) frame_.copy_out_seconds = WallSeconds() - copy_out_start;
 
   std::fill(locally_used_.begin(), locally_used_.end(), 0);
   last_ready_order_ = ready_order_;
@@ -369,6 +561,45 @@ void Reducer::FinalizeBackward() {
   expect_hooks_ = false;
   finalized_ = true;
   ++stats_.finalized_backwards;
+
+  if (options_.metrics != nullptr) {
+    MetricsRegistry& m = *options_.metrics;
+    m.counter("reducer.finalized_backwards").Increment();
+    m.counter("reducer.bytes_reduced").Increment(stats_.bytes_reduced);
+    m.histogram("ddp.forward_seconds").Record(frame_.forward_seconds);
+    m.histogram("ddp.backward_compute_seconds")
+        .Record(frame_.backward_compute_seconds);
+    m.histogram("ddp.allreduce_wait_seconds")
+        .Record(frame_.allreduce_wait_seconds);
+    m.histogram("ddp.overlap_seconds").Record(frame_.overlap_seconds);
+    for (const BucketTelemetry& bt : frame_.buckets) {
+      m.histogram("reducer.bucket_latency_seconds")
+          .Record(bt.completion_seconds - bt.launch_seconds);
+    }
+  }
+  if (options_.trace != nullptr) {
+    // Per-iteration frame marker: lets trace viewers (and trace_summary)
+    // slice the timeline at synced-iteration boundaries.
+    options_.trace->AddInstant("iteration " + std::to_string(frame_.iteration),
+                               "frame", pg_->rank(), waits_end);
+  }
+  EmitTelemetryFrame(/*synced=*/true);
+}
+
+uint64_t Reducer::FlowId(size_t bucket_id) const {
+  // Unique across (rank, iteration, bucket): ranks share one trace file.
+  return ((static_cast<uint64_t>(pg_->rank()) + 1) << 48) ^
+         (iteration_ << 16) ^ static_cast<uint64_t>(bucket_id);
+}
+
+void Reducer::EmitTelemetryFrame(bool synced) {
+  if (!frame_active_) return;
+  frame_active_ = false;
+  if (options_.telemetry == nullptr) return;
+  frame_.synced = synced;
+  frame_.rebuilds = stats_.rebuilds;
+  frame_.sync_failures = stats_.sync_failures;
+  options_.telemetry->Append(frame_);
 }
 
 void Reducer::AbortSync(Status status) {
@@ -380,12 +611,29 @@ void Reducer::AbortSync(Status status) {
                       << sync_status_.ToString();
   }
   ++stats_.sync_failures;
+  // Drain in-flight collectives non-throwingly: a handle whose work did
+  // complete still advances the clock to its completion (peers saw this
+  // rank participate), and every handle is released so an abandoned Work
+  // can never be waited on again by a later iteration.
+  for (Bucket& bucket : buckets_) {
+    if (bucket.work == nullptr) continue;
+    if (bucket.work->Poll() && bucket.work->IsCompleted()) {
+      pg_->clock()->AdvanceTo(bucket.work->completion_time());
+    }
+    bucket.work.reset();
+    bucket.hook_launched = CommHook::Launched{};
+  }
+  // The aborted iteration never reached the bitmap AllReduce; leaving
+  // locally_used_ set would leak this iteration's usage into the next
+  // successful sync's globally-used mask.
+  std::fill(locally_used_.begin(), locally_used_.end(), 0);
   // Unwind the iteration so the replica survives to read the diagnostic:
   // no hooks are expected, nothing is finalized, and the next
   // PrepareForBackward degrades to local-only accumulation.
   armed_ = false;
   expect_hooks_ = false;
   finalized_ = false;
+  EmitTelemetryFrame(/*synced=*/false);
 }
 
 namespace {
@@ -400,19 +648,29 @@ std::string LayoutSignature(const std::vector<int64_t>& bucket_numels) {
   return sig.str();
 }
 
-std::vector<int64_t> ParseSignatureNumels(const std::string& sig) {
-  std::vector<int64_t> numels;
+/// Defensive inverse of LayoutSignature. The Store serves untrusted bytes
+/// (a corrupted peer, a stale key, an operator poking at the rendezvous
+/// service); a malformed signature must surface as a diagnostic, not as a
+/// std::stoll throw. Returns false on any structural problem.
+bool ParseSignatureNumels(const std::string& sig,
+                          std::vector<int64_t>* numels) {
+  numels->clear();
   std::istringstream in(sig);
   std::string field;
   bool first = true;
+  int64_t declared = -1;
   while (std::getline(in, field, ':')) {
+    int64_t value = 0;
+    if (!ParseField(field, &value)) return false;
     if (first) {
       first = false;  // leading bucket count
+      declared = value;
       continue;
     }
-    numels.push_back(std::stoll(field));
+    if (value < 0) return false;
+    numels->push_back(value);
   }
-  return numels;
+  return !first && declared == static_cast<int64_t>(numels->size());
 }
 
 }  // namespace
@@ -420,26 +678,19 @@ std::vector<int64_t> ParseSignatureNumels(const std::string& sig) {
 void Reducer::ValidateCrossRankLayout() {
   comm::Store* store = pg_->store();
   if (store == nullptr || pg_->world() <= 1) return;
+  if (store_instance_ < 0) return;  // id allocation failed; already reported
+  if (sync_disabled()) return;
 
   const int rank = pg_->rank();
   const int world = pg_->world();
 
-  // Pair up the Nth reducer on every rank: reducers are constructed in
-  // program order, so the per-rank instance counter yields matching ids on
-  // ranks that are still in sync — and the handshake below catches the
-  // ones that are not.
-  int64_t count = 0;
-  Status st = store->AddWithRetry(
-      "reducer/instances/rank" + std::to_string(rank), 1, &count);
-  if (!st.ok()) {
-    AbortSync(Status(st.code(),
-                     "bucket-layout validation could not reach the store: " +
-                         st.message()));
-    return;
-  }
-  const int64_t instance = count - 1;
-  const std::string prefix =
-      "reducer/layout/" + std::to_string(instance) + "/rank";
+  // Epoch-keyed namespace: the handshake re-runs after every coordinated
+  // bucket rebuild, and ranks in lockstep consume matching epochs. (The
+  // instance id pairing the Nth reducer across ranks was allocated at
+  // construction.)
+  const std::string prefix = "reducer/layout/" +
+                             std::to_string(store_instance_) + "/v" +
+                             std::to_string(layout_epoch_++) + "/rank";
 
   std::vector<int64_t> bucket_numels;
   bucket_numels.reserve(buckets_.size());
@@ -447,7 +698,7 @@ void Reducer::ValidateCrossRankLayout() {
     bucket_numels.push_back(bucket.buffer.numel());
   }
   const std::string own_sig = LayoutSignature(bucket_numels);
-  st = store->SetWithRetry(prefix + std::to_string(rank), own_sig);
+  Status st = store->SetWithRetry(prefix + std::to_string(rank), own_sig);
   if (!st.ok()) {
     AbortSync(Status(st.code(),
                      "bucket-layout validation could not publish rank " +
@@ -467,7 +718,7 @@ void Reducer::ValidateCrossRankLayout() {
       AbortSync(Status(got.status().code(),
                        "bucket-layout validation: rank " + std::to_string(r) +
                            " never published a signature for reducer instance " +
-                           std::to_string(instance) + " (" +
+                           std::to_string(store_instance_) + " (" +
                            got.status().message() + ")"));
       return;
     }
@@ -477,18 +728,31 @@ void Reducer::ValidateCrossRankLayout() {
   for (int r = 1; r < world; ++r) {
     if (sigs[static_cast<size_t>(r)] == sigs[0]) continue;
     // Lowest disagreeing rank named; pin down the first divergent bucket.
-    const std::vector<int64_t> base = ParseSignatureNumels(sigs[0]);
-    const std::vector<int64_t> theirs =
-        ParseSignatureNumels(sigs[static_cast<size_t>(r)]);
+    // Both signatures are untrusted Store bytes — parse defensively and
+    // fold a malformed one into the diagnostic instead of crashing on it.
+    std::vector<int64_t> base;
+    std::vector<int64_t> theirs;
+    const bool base_ok = ParseSignatureNumels(sigs[0], &base);
+    const bool theirs_ok =
+        ParseSignatureNumels(sigs[static_cast<size_t>(r)], &theirs);
     std::ostringstream msg;
-    msg << "bucket layout desynchronized across ranks: rank " << r << " has "
-        << theirs.size() << " bucket(s) vs rank 0's " << base.size();
-    const size_t common = std::min(base.size(), theirs.size());
-    for (size_t b = 0; b < common; ++b) {
-      if (base[b] != theirs[b]) {
-        msg << "; first mismatch at bucket " << b << " (rank " << r << ": "
-            << theirs[b] << " elements, rank 0: " << base[b] << " elements)";
-        break;
+    msg << "bucket layout desynchronized across ranks";
+    if (!base_ok || !theirs_ok) {
+      const int bad = base_ok ? r : 0;
+      const std::string& raw = sigs[static_cast<size_t>(base_ok ? r : 0)];
+      msg << ": rank " << bad << " published a malformed signature \""
+          << Excerpt(raw) << "\"";
+    } else {
+      msg << ": rank " << r << " has " << theirs.size()
+          << " bucket(s) vs rank 0's " << base.size();
+      const size_t common = std::min(base.size(), theirs.size());
+      for (size_t b = 0; b < common; ++b) {
+        if (base[b] != theirs[b]) {
+          msg << "; first mismatch at bucket " << b << " (rank " << r << ": "
+              << theirs[b] << " elements, rank 0: " << base[b]
+              << " elements)";
+          break;
+        }
       }
     }
     msg << " — did ranks diverge in bucket_cap_bytes or rebuild order?";
@@ -500,15 +764,84 @@ void Reducer::ValidateCrossRankLayout() {
 bool Reducer::RebuildBucketsFromTrace() {
   DDPKIT_CHECK(!armed_ || finalized_)
       << "RebuildBucketsFromTrace must be called between iterations";
-  if (last_ready_order_.size() != params_.size()) return false;
-  BucketAssignment rebuilt =
-      AssignBucketsFromOrder(metas_, last_ready_order_,
-                             options_.bucket_cap_bytes,
-                             options_.first_bucket_cap_bytes);
-  if (rebuilt.buckets == assignment_.buckets) return false;
-  InitBuckets(rebuilt);
-  ++stats_.rebuilds;
-  return true;
+  if (sync_disabled()) return false;
+
+  comm::Store* store = pg_->store();
+  const bool coordinated =
+      store != nullptr && pg_->world() > 1 && store_instance_ >= 0;
+
+  // The order to rebuild from. Rank-local only in single-process or
+  // store-less setups; otherwise rank 0's observed order is broadcast and
+  // every rank rebuilds from that ONE trace. Rebuilding from each rank's
+  // local order looks symmetric but is the desync bug this guards against:
+  // hook orders diverge under jitter or divergent control flow, the
+  // resulting layouts differ, and every later in-order AllReduce silently
+  // mixes unrelated parameters.
+  std::vector<size_t> order;
+  if (!coordinated) {
+    if (last_ready_order_.size() != params_.size()) return false;
+    order = last_ready_order_;
+  } else {
+    const std::string key = "reducer/rebuild/" +
+                            std::to_string(store_instance_) + "/v" +
+                            std::to_string(rebuild_epoch_++) + "/order";
+    if (pg_->rank() == 0) {
+      // "skip" keeps the epoch consumed on every rank even when rank 0 has
+      // no complete trace yet (e.g. rebuild requested before any synced
+      // backward); SerializeOrder output always starts with a digit.
+      const bool has_trace = last_ready_order_.size() == params_.size();
+      Status st = store->SetWithRetry(
+          key, has_trace ? SerializeOrder(last_ready_order_) : "skip");
+      if (!st.ok()) {
+        AbortSync(Status(st.code(),
+                         "bucket rebuild could not broadcast rank 0's ready "
+                         "order: " + st.message()));
+        return false;
+      }
+      if (!has_trace) return false;
+      order = last_ready_order_;
+    } else {
+      // Bounded wait: a rank rebuilding alone (mismatched call counts
+      // across ranks) surfaces here as a typed timeout instead of a hang
+      // or a corrupted reduction.
+      auto got = store->GetWithRetry(key, options_.validation_timeout_seconds);
+      if (!got.ok()) {
+        AbortSync(Status(got.status().code(),
+                         "bucket rebuild: rank 0 never broadcast a ready "
+                         "order for epoch " + std::to_string(rebuild_epoch_ - 1) +
+                         " — did every rank call RebuildBucketsFromTrace? (" +
+                         got.status().message() + ")"));
+        return false;
+      }
+      const std::string payload = std::move(got).value();
+      if (payload == "skip") return false;
+      if (!ParseOrder(payload, params_.size(), &order)) {
+        AbortSync(Status::FailedPrecondition(
+            "bucket rebuild: rank 0 broadcast a malformed ready order \"" +
+            Excerpt(payload) + "\""));
+        return false;
+      }
+    }
+  }
+
+  BucketAssignment rebuilt = AssignBucketsFromOrder(
+      metas_, order, options_.bucket_cap_bytes,
+      options_.first_bucket_cap_bytes);
+  const bool changed = rebuilt.buckets != assignment_.buckets;
+  if (changed) {
+    InitBuckets(rebuilt);
+    ++stats_.rebuilds;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("reducer.rebuilds").Increment();
+    }
+  }
+  // Re-validate after every coordinated rebuild — even a no-op one keeps
+  // the layout epochs aligned, and a rank whose layout diverged for any
+  // other reason is caught here rather than at the next AllReduce.
+  if (coordinated && options_.validate_bucket_layout) {
+    ValidateCrossRankLayout();
+  }
+  return changed;
 }
 
 }  // namespace ddpkit::core

@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/bucketing.h"
 #include "core/compression.h"
+#include "core/telemetry.h"
 #include "core/trace.h"
 #include "sim/compute_cost_model.h"
 #include "tensor/tensor.h"
@@ -44,8 +46,17 @@ struct ReducerOptions {
   /// thread-backed stack produces paper-comparable iteration latencies.
   std::shared_ptr<sim::ComputeCostModel> compute_model;
   /// Optional span recorder: per-gradient compute spans (when a compute
-  /// model is attached) and per-bucket AllReduce request->completion spans.
+  /// model is attached), per-bucket AllReduce request->completion spans,
+  /// flow arrows linking grad-ready -> bucket launch -> completion, and
+  /// per-iteration frame markers.
   std::shared_ptr<TraceRecorder> trace;
+  /// Optional per-iteration telemetry sink: every synced backward appends
+  /// one DDPTelemetry record (Fig 6 breakdown, copy costs, per-bucket
+  /// latencies); aborted syncs append a record with synced=false.
+  std::shared_ptr<TelemetryLog> telemetry;
+  /// Optional metrics registry: finalize-time counters and latency
+  /// histograms (ddp.* and reducer.* namespaces).
+  std::shared_ptr<MetricsRegistry> metrics;
   /// Per-bucket watchdog (virtual seconds): a bucket AllReduce that takes
   /// longer than this to complete after FinalizeBackward starts waiting
   /// surfaces as a kTimedOut sync_status() instead of blocking forever.
@@ -116,9 +127,33 @@ class Reducer {
     return last_ready_order_;
   }
 
-  /// §6.2.1 extension: re-bucket according to last_ready_order(). Call
-  /// between iterations; returns true if the assignment changed.
+  /// §6.2.1 extension: re-bucket according to an observed gradient-ready
+  /// order. Call between iterations; returns true if the assignment
+  /// changed.
+  ///
+  /// This is a COLLECTIVE operation when the backend exposes a Store and
+  /// world > 1: rank 0 broadcasts its last_ready_order() through the Store
+  /// and every rank rebuilds from that one order (as PyTorch's
+  /// _rebuild_buckets does). Rebuilding from each rank's *local* order
+  /// would silently desynchronize bucket layouts whenever hook orders
+  /// diverge (jitter, stragglers, divergent control flow) — every later
+  /// AllReduce would then mix unrelated parameters. All ranks must call
+  /// this the same number of times at the same point in training; a rank
+  /// that rebuilds alone surfaces as a typed kTimedOut sync_status() after
+  /// validation_timeout_seconds instead of corrupting gradients. After
+  /// every coordinated rebuild the cross-rank layout validation handshake
+  /// re-runs (validate_bucket_layout).
   bool RebuildBucketsFromTrace();
+
+  /// Records the virtual-time cost of the preceding forward pass; consumed
+  /// into the next iteration's telemetry frame. Called by the DDP wrapper.
+  void RecordForwardSeconds(double seconds) {
+    pending_forward_seconds_ = seconds;
+  }
+
+  /// Per-parameter "used locally since last successful sync" bitmap
+  /// (telemetry/introspection; cleared by finalize and by AbortSync).
+  const std::vector<uint8_t>& locally_used() const { return locally_used_; }
 
   const BucketAssignment& assignment() const { return assignment_; }
   size_t num_buckets() const { return buckets_.size(); }
@@ -156,7 +191,15 @@ class Reducer {
   void InitBuckets(const BucketAssignment& assignment);
   /// Store-based cross-rank bucket-signature handshake (see
   /// ReducerOptions::validate_bucket_layout). Sets sync_status_ on desync.
+  /// Re-runnable: each invocation uses a fresh epoch of Store keys, so the
+  /// handshake repeats after every coordinated bucket rebuild.
   void ValidateCrossRankLayout();
+  /// Flow-arrow id for one bucket of the current iteration, unique across
+  /// ranks and iterations.
+  uint64_t FlowId(size_t bucket_id) const;
+  /// Appends the current telemetry frame (if a sink is attached and a
+  /// synced backward is in flight). `synced` is false on abort paths.
+  void EmitTelemetryFrame(bool synced);
   /// Records a failed sync: stamps sync_status_ (first error wins),
   /// disables future syncs, and unwinds per-iteration state so the replica
   /// survives to read the diagnostic.
@@ -203,6 +246,20 @@ class Reducer {
   std::shared_ptr<bool> alive_;  // guards accumulator hooks against dtor
   Status sync_status_;
   Stats stats_;
+
+  // Store-coordination state: per-rank reducer instance id (pairs the Nth
+  // reducer on every rank) and epoch counters that keep validation and
+  // rebuild key namespaces in lockstep across ranks.
+  int64_t store_instance_ = -1;
+  uint64_t layout_epoch_ = 0;
+  uint64_t rebuild_epoch_ = 0;
+
+  // Telemetry state for the in-flight iteration.
+  DDPTelemetry frame_;
+  bool frame_active_ = false;
+  double backward_start_clock_ = 0.0;
+  double pending_forward_seconds_ = 0.0;
+  uint64_t iteration_ = 0;
 };
 
 }  // namespace ddpkit::core

@@ -1,0 +1,87 @@
+#include "core/telemetry.h"
+
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace ddpkit::core {
+
+std::string DDPTelemetry::ToJson() const {
+  std::string out = "{";
+  out += "\"iteration\":" + std::to_string(iteration);
+  out += ",\"rank\":" + std::to_string(rank);
+  out += ",\"synced\":";
+  out += synced ? "true" : "false";
+  out += ",\"forward_seconds\":" + JsonNumber(forward_seconds);
+  out += ",\"backward_compute_seconds\":" +
+         JsonNumber(backward_compute_seconds);
+  out += ",\"allreduce_wait_seconds\":" + JsonNumber(allreduce_wait_seconds);
+  out += ",\"overlap_seconds\":" + JsonNumber(overlap_seconds);
+  out += ",\"comm_seconds\":" + JsonNumber(comm_seconds);
+  out += ",\"copy_in_seconds\":" + JsonNumber(copy_in_seconds);
+  out += ",\"copy_out_seconds\":" + JsonNumber(copy_out_seconds);
+  out += ",\"rebuilds\":" + std::to_string(rebuilds);
+  out += ",\"sync_failures\":" + std::to_string(sync_failures);
+  out += ",\"param_compute_seconds\":[";
+  for (size_t i = 0; i < param_compute_seconds.size(); ++i) {
+    if (i) out += ',';
+    out += JsonNumber(param_compute_seconds[i]);
+  }
+  out += "],\"buckets\":[";
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const BucketTelemetry& b = buckets[i];
+    if (i) out += ',';
+    out += "{\"bucket\":" + std::to_string(b.bucket) +
+           ",\"bytes\":" + std::to_string(b.bytes) +
+           ",\"launch_seconds\":" + JsonNumber(b.launch_seconds) +
+           ",\"completion_seconds\":" + JsonNumber(b.completion_seconds) +
+           ",\"wait_seconds\":" + JsonNumber(b.wait_seconds) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void TelemetryLog::Append(DDPTelemetry record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+void TelemetryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+size_t TelemetryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<DDPTelemetry> TelemetryLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::string TelemetryLog::ToJson() const {
+  std::vector<DDPTelemetry> records = snapshot();
+  std::string out = "{\"iterations\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i) out += ',';
+    out += records[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+Status TelemetryLog::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace ddpkit::core

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/metrics.h"
+
 namespace ddpkit::core {
 
 void TraceRecorder::AddSpan(std::string name, std::string category, int rank,
@@ -12,9 +14,26 @@ void TraceRecorder::AddSpan(std::string name, std::string category, int rank,
                         start_seconds, end_seconds});
 }
 
+void TraceRecorder::AddFlowPoint(uint64_t flow_id, FlowPhase phase,
+                                 std::string name, std::string category,
+                                 int rank, double time_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flow_points_.push_back(FlowPoint{flow_id, phase, std::move(name),
+                                   std::move(category), rank, time_seconds});
+}
+
+void TraceRecorder::AddInstant(std::string name, std::string category,
+                               int rank, double time_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  instants_.push_back(
+      Instant{std::move(name), std::move(category), rank, time_seconds});
+}
+
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
+  flow_points_.clear();
+  instants_.clear();
 }
 
 std::vector<TraceRecorder::Span> TraceRecorder::snapshot() const {
@@ -22,39 +41,91 @@ std::vector<TraceRecorder::Span> TraceRecorder::snapshot() const {
   return spans_;
 }
 
+std::vector<TraceRecorder::FlowPoint> TraceRecorder::flow_points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flow_points_;
+}
+
+std::vector<TraceRecorder::Instant> TraceRecorder::instants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instants_;
+}
+
 size_t TraceRecorder::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return spans_.size();
+  return spans_.size() + flow_points_.size() + instants_.size();
 }
 
 namespace {
 
 void AppendEscaped(std::ostringstream* os, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      *os << '\\';
-    }
-    *os << c;
+  // Full JSON escaping (control characters included): span names may carry
+  // user-provided parameter or module names.
+  std::string out;
+  AppendJsonEscaped(&out, s);
+  *os << out;
+}
+
+void AppendCommon(std::ostringstream* os, const std::string& name,
+                  const std::string& category, int rank) {
+  *os << "{\"name\":\"";
+  AppendEscaped(os, name);
+  *os << "\",\"cat\":\"";
+  AppendEscaped(os, category);
+  *os << "\",\"pid\":0,\"tid\":" << rank;
+}
+
+const char* FlowPhaseChar(TraceRecorder::FlowPhase phase) {
+  switch (phase) {
+    case TraceRecorder::FlowPhase::kStart:
+      return "s";
+    case TraceRecorder::FlowPhase::kStep:
+      return "t";
+    case TraceRecorder::FlowPhase::kEnd:
+      return "f";
   }
+  return "s";
 }
 
 }  // namespace
 
 std::string TraceRecorder::ToChromeTraceJson() const {
-  std::vector<Span> spans = snapshot();
+  std::vector<Span> spans;
+  std::vector<FlowPoint> flows;
+  std::vector<Instant> instants;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans = spans_;
+    flows = flow_points_;
+    instants = instants_;
+  }
+
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const Span& span : spans) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\"";
-    AppendEscaped(&os, span.name);
-    os << "\",\"cat\":\"";
-    AppendEscaped(&os, span.category);
-    os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.rank
-       << ",\"ts\":" << span.start_seconds * 1e6
-       << ",\"dur\":" << (span.end_seconds - span.start_seconds) * 1e6
+    AppendCommon(&os, span.name, span.category, span.rank);
+    os << ",\"ph\":\"X\",\"ts\":" << span.start_seconds * 1e6
+       << ",\"dur\":" << (span.end_seconds - span.start_seconds) * 1e6 << "}";
+  }
+  for (const FlowPoint& fp : flows) {
+    if (!first) os << ",";
+    first = false;
+    AppendCommon(&os, fp.name, fp.category, fp.rank);
+    // bp:"e" binds flow end points to the enclosing slice, matching how
+    // chrome://tracing draws arrows between spans.
+    os << ",\"ph\":\"" << FlowPhaseChar(fp.phase) << "\",\"id\":" << fp.flow_id
+       << ",\"ts\":" << fp.time_seconds * 1e6;
+    if (fp.phase == FlowPhase::kEnd) os << ",\"bp\":\"e\"";
+    os << "}";
+  }
+  for (const Instant& inst : instants) {
+    if (!first) os << ",";
+    first = false;
+    AppendCommon(&os, inst.name, inst.category, inst.rank);
+    os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << inst.time_seconds * 1e6
        << "}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";

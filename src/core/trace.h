@@ -1,6 +1,7 @@
 #ifndef DDPKIT_CORE_TRACE_H_
 #define DDPKIT_CORE_TRACE_H_
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -16,6 +17,13 @@ namespace ddpkit::core {
 /// Perfetto), making the paper's overlap behaviour directly visible: comm
 /// spans riding under the backward-compute span.
 ///
+/// Beyond plain spans the recorder supports two Chrome trace-event idioms:
+///  - flow events ("s"/"t"/"f" phases, shared id) draw arrows across the
+///    causal chain of one bucket: last gradient ready -> AllReduce launch
+///    -> completion;
+///  - instant events ("i" phase) mark iteration boundaries, giving the
+///    viewer per-iteration frames to navigate by.
+///
 /// Thread-safe: rank threads append concurrently.
 class TraceRecorder {
  public:
@@ -27,19 +35,51 @@ class TraceRecorder {
     double end_seconds = 0.0;
   };
 
+  /// Position of a flow point within its arrow chain.
+  enum class FlowPhase { kStart, kStep, kEnd };
+
+  struct FlowPoint {
+    uint64_t flow_id = 0;
+    FlowPhase phase = FlowPhase::kStart;
+    std::string name;
+    std::string category;
+    int rank = 0;
+    double time_seconds = 0.0;
+  };
+
+  struct Instant {
+    std::string name;
+    std::string category;
+    int rank = 0;
+    double time_seconds = 0.0;
+  };
+
   TraceRecorder() = default;
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   void AddSpan(std::string name, std::string category, int rank,
                double start_seconds, double end_seconds);
+
+  /// One point of a flow arrow. Points sharing `flow_id` are connected in
+  /// time order; every chain needs exactly one kStart and one kEnd, with
+  /// any number of kStep points between.
+  void AddFlowPoint(uint64_t flow_id, FlowPhase phase, std::string name,
+                    std::string category, int rank, double time_seconds);
+
+  /// Zero-duration marker (per-iteration frame boundaries).
+  void AddInstant(std::string name, std::string category, int rank,
+                  double time_seconds);
+
   void Clear();
 
   std::vector<Span> snapshot() const;
+  std::vector<FlowPoint> flow_points() const;
+  std::vector<Instant> instants() const;
   size_t size() const;
 
-  /// Chrome trace-event JSON ("X" complete events, microsecond units,
-  /// one pseudo-thread per rank).
+  /// Chrome trace-event JSON ("X" complete events, "s"/"t"/"f" flow
+  /// events, "i" instants; microsecond units, one pseudo-thread per rank).
   std::string ToChromeTraceJson() const;
 
   /// Writes ToChromeTraceJson() to `path`.
@@ -48,6 +88,8 @@ class TraceRecorder {
  private:
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
+  std::vector<FlowPoint> flow_points_;
+  std::vector<Instant> instants_;
 };
 
 }  // namespace ddpkit::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace ddpkit {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  std::string out;
+  AppendJsonEscaped(&out, "a\"b\\c\nd\te\rf");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\rf");
+
+  out.clear();
+  AppendJsonEscaped(&out, std::string("x\x01y\x1fz", 5));
+  EXPECT_EQ(out, "x\\u0001y\\u001fz");
+}
+
+TEST(JsonNumberTest, NonFiniteValuesFoldToZero) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "0");
+  EXPECT_EQ(JsonNumber(INFINITY), "0");
+  EXPECT_EQ(JsonNumber(-INFINITY), "0");
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+}
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("reducer.test_events");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same metric.
+  EXPECT_EQ(registry.counter("reducer.test_events").value(), 42u);
+  EXPECT_EQ(registry.NumMetrics(), 1u);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("pg.queue_depth");
+  g.Set(3.0);
+  g.Set(-1.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("pg.queue_depth").value(), -1.5);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreExact) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("ddp.latency");
+  // 1..100 in scrambled order: quantiles must not depend on insert order.
+  for (int i = 0; i < 100; ++i) h.Record(((i * 37) % 100) + 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_NEAR(h.p50(), 50.5, 1.0);
+  EXPECT_NEAR(h.p95(), 95.0, 1.5);
+  EXPECT_NEAR(h.p99(), 99.0, 1.5);
+  // Recording after a quantile query re-sorts correctly.
+  h.Record(1000.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST(MetricsTest, EmptyHistogramIsZeroNotNan) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(MetricsTest, ToJsonRendersAllSectionsSorted) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Increment(2);
+  registry.counter("a.count").Increment(1);
+  registry.gauge("z.gauge").Set(0.5);
+  registry.histogram("h.samples").Record(1.0);
+  registry.histogram("h.samples").Record(3.0);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a.count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.count\":2"), std::string::npos) << json;
+  // std::map ordering: a.count precedes b.count.
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+}
+
+TEST(MetricsTest, HostileMetricNamesAreEscapedInJson) {
+  MetricsRegistry registry;
+  registry.counter("weird\"name\nwith\tcontrols").Increment();
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("weird\\\"name\\nwith\\tcontrols"), std::string::npos)
+      << json;
+  // The raw control characters must not appear.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentUpdatesFromRankThreads) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("shared.count").Increment();
+        registry.histogram("shared.hist").Record(t);
+        registry.gauge("rank" + std::to_string(t)).Set(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.counter("shared.count").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("shared.hist").count(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace ddpkit

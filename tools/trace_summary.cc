@@ -1,0 +1,430 @@
+// trace_summary: digest a ddpkit Chrome-trace JSON file (written by
+// TraceRecorder::WriteJson) into the paper's Figure-6 style overlap
+// numbers, per rank:
+//
+//   backward  = union of "backward" category spans (per-gradient hooks)
+//   comm      = union of "comm" category spans (bucket AllReduce windows)
+//   overlap   = |backward ∩ comm|
+//   ratio     = overlap / comm   (1.0 = communication fully hidden)
+//
+// Also counts flow arrows (grad-ready -> launch -> completion) and frame
+// markers so a truncated or mis-written trace is visible at a glance.
+//
+// Usage:
+//   trace_summary <trace.json>
+//   trace_summary --selftest [scratch.json]   # write + verify a known trace
+//
+// Exit status is 0 on success, 1 on parse/verification failure, so the
+// selftest doubles as a ctest entry.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. Chrome trace files are flat and machine-written; this
+// parser supports the full value grammar (objects, arrays, strings with
+// escapes, numbers, true/false/null) but keeps only what the summary needs.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;                       // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;  // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : input_(input) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    const bool ok = Value(out) && (SkipWs(), pos_ == input_.size());
+    if (!ok && error != nullptr) {
+      *error = "JSON parse error near byte " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, JsonValue* out, JsonValue::Kind kind,
+               bool value) {
+    const size_t len = std::string(word).size();
+    if (input_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    out->kind = kind;
+    out->boolean = value;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= input_.size() || input_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= input_.size()) return false;
+      const char esc = input_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = input_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Summary output never prints names, so a lossy single-byte fold
+          // of non-ASCII escapes is acceptable here.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' || input_[pos_] == 'E' ||
+            input_[pos_] == '+' || input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out->number = std::stod(input_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= input_.size()) return false;
+    const char c = input_[pos_];
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return String(&out->text);
+    }
+    if (c == 't') return Literal("true", out, JsonValue::Kind::kBool, true);
+    if (c == 'f') return Literal("false", out, JsonValue::Kind::kBool, false);
+    if (c == 'n') return Literal("null", out, JsonValue::Kind::kNull, false);
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (pos_ < input_.size() && input_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!Value(&item)) return false;
+        out->items.push_back(std::move(item));
+        SkipWs();
+        if (pos_ >= input_.size()) return false;
+        if (input_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (input_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (pos_ < input_.size() && input_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!String(&key)) return false;
+        SkipWs();
+        if (pos_ >= input_.size() || input_[pos_] != ':') return false;
+        ++pos_;
+        JsonValue value;
+        if (!Value(&value)) return false;
+        out->fields.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (pos_ >= input_.size()) return false;
+        if (input_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (input_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return false;
+      }
+    }
+    return Number(out);
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Interval arithmetic over microsecond spans.
+// ---------------------------------------------------------------------------
+
+using Interval = std::pair<double, double>;
+
+std::vector<Interval> UnionIntervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (iv.second <= iv.first) continue;
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+double TotalLength(const std::vector<Interval>& merged) {
+  double total = 0.0;
+  for (const Interval& iv : merged) total += iv.second - iv.first;
+  return total;
+}
+
+double IntersectionLength(const std::vector<Interval>& a,
+                          const std::vector<Interval>& b) {
+  double total = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) total += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Summary proper.
+// ---------------------------------------------------------------------------
+
+struct RankSummary {
+  std::vector<Interval> backward;
+  std::vector<Interval> comm;
+  std::vector<Interval> forward;
+  int flow_starts = 0;
+  int flow_steps = 0;
+  int flow_ends = 0;
+  int frames = 0;
+};
+
+bool Summarize(const JsonValue& root, std::string* error,
+               std::map<int, RankSummary>* out) {
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    *error = "no traceEvents array at top level";
+    return false;
+  }
+  for (const JsonValue& ev : events->items) {
+    if (ev.kind != JsonValue::Kind::kObject) continue;
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* tid = ev.Find("tid");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        tid == nullptr) {
+      continue;
+    }
+    RankSummary& rank = (*out)[static_cast<int>(tid->number)];
+    const JsonValue* cat = ev.Find("cat");
+    const std::string category =
+        cat != nullptr && cat->kind == JsonValue::Kind::kString ? cat->text
+                                                                : "";
+    if (ph->text == "X") {
+      const JsonValue* ts = ev.Find("ts");
+      const JsonValue* dur = ev.Find("dur");
+      if (ts == nullptr || dur == nullptr) continue;
+      const Interval iv{ts->number, ts->number + dur->number};
+      if (category == "backward") rank.backward.push_back(iv);
+      else if (category == "comm") rank.comm.push_back(iv);
+      else if (category == "forward") rank.forward.push_back(iv);
+    } else if (ph->text == "s") {
+      ++rank.flow_starts;
+    } else if (ph->text == "t") {
+      ++rank.flow_steps;
+    } else if (ph->text == "f") {
+      ++rank.flow_ends;
+    } else if (ph->text == "i" && category == "frame") {
+      ++rank.frames;
+    }
+  }
+  if (out->empty()) {
+    *error = "trace contains no events";
+    return false;
+  }
+  return true;
+}
+
+void PrintSummary(const std::map<int, RankSummary>& ranks) {
+  std::printf("%-6s %-12s %-12s %-12s %-12s %-8s %-16s %-7s\n", "rank",
+              "forward_ms", "backward_ms", "comm_ms", "overlap_ms", "ratio",
+              "flows(s/t/f)", "frames");
+  for (const auto& [rank, s] : ranks) {
+    const auto backward = UnionIntervals(s.backward);
+    const auto comm = UnionIntervals(s.comm);
+    const double backward_us = TotalLength(backward);
+    const double comm_us = TotalLength(comm);
+    const double overlap_us = IntersectionLength(backward, comm);
+    const double ratio = comm_us > 0.0 ? overlap_us / comm_us : 0.0;
+    std::ostringstream flows;
+    flows << s.flow_starts << "/" << s.flow_steps << "/" << s.flow_ends;
+    std::printf("%-6d %-12.3f %-12.3f %-12.3f %-12.3f %-8.3f %-16s %-7d\n",
+                rank, TotalLength(UnionIntervals(s.forward)) * 1e-3,
+                backward_us * 1e-3, comm_us * 1e-3, overlap_us * 1e-3, ratio,
+                flows.str().c_str(), s.frames);
+  }
+  std::printf("\nratio = |backward ∩ comm| / |comm|: 1.0 means every "
+              "AllReduce microsecond was hidden under backward compute "
+              "(paper Fig 6); 0.0 means fully serialized.\n");
+}
+
+bool SummarizeFile(const std::string& path,
+                   std::map<int, RankSummary>* ranks) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_summary: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  std::string error;
+  JsonParser parser(text);
+  if (!parser.Parse(&root, &error) || !Summarize(root, &error, ranks)) {
+    std::fprintf(stderr, "trace_summary: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Writes a trace with a known answer and checks the pipeline end to end:
+// backward occupies [0ms, 10ms], comm occupies [5ms, 15ms], so the overlap
+// is 5ms and the ratio must come out exactly 0.5.
+int SelfTest(const std::string& path) {
+  ddpkit::core::TraceRecorder trace;
+  trace.AddSpan("forward", "forward", 0, 0.000, 0.002);
+  trace.AddSpan("grad 0", "backward", 0, 0.000, 0.006);
+  trace.AddSpan("grad 1", "backward", 0, 0.004, 0.010);
+  trace.AddSpan("allreduce bucket 0", "comm", 0, 0.005, 0.015);
+  trace.AddFlowPoint(1, ddpkit::core::TraceRecorder::FlowPhase::kStart,
+                     "bucket 0 grads ready", "flow", 0, 0.005);
+  trace.AddFlowPoint(1, ddpkit::core::TraceRecorder::FlowPhase::kStep,
+                     "bucket 0 launch", "flow", 0, 0.005);
+  trace.AddFlowPoint(1, ddpkit::core::TraceRecorder::FlowPhase::kEnd,
+                     "bucket 0 complete", "flow", 0, 0.015);
+  trace.AddInstant("iteration 0", "frame", 0, 0.015);
+  const ddpkit::Status written = trace.WriteJson(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "trace_summary selftest: %s\n",
+                 written.message().c_str());
+    return 1;
+  }
+
+  std::map<int, RankSummary> ranks;
+  if (!SummarizeFile(path, &ranks)) return 1;
+  PrintSummary(ranks);
+
+  const RankSummary& s = ranks[0];
+  const auto backward = UnionIntervals(s.backward);
+  const auto comm = UnionIntervals(s.comm);
+  const double ratio = IntersectionLength(backward, comm) / TotalLength(comm);
+  const bool ok = std::fabs(ratio - 0.5) < 1e-9 &&
+                  std::fabs(TotalLength(backward) - 10000.0) < 1e-6 &&
+                  s.flow_starts == 1 && s.flow_steps == 1 &&
+                  s.flow_ends == 1 && s.frames == 1;
+  std::printf("selftest %s (ratio %.6f, expected 0.5)\n",
+              ok ? "PASSED" : "FAILED", ratio);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--selftest") {
+    return SelfTest(argc >= 3 ? argv[2] : "trace_summary_selftest.json");
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.json>\n"
+                 "       %s --selftest [scratch.json]\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  std::map<int, RankSummary> ranks;
+  if (!SummarizeFile(argv[1], &ranks)) return 1;
+  PrintSummary(ranks);
+  return 0;
+}
