@@ -6,6 +6,12 @@
 #include "common/check.h"
 #include "common/parallel.h"
 
+// ddplint: allow-file(check-in-comm) data-plane internal invariants: every
+// Run* entry is reached only after ProcessGroupSim's Contribute validated
+// cross-rank collective signatures and converted mismatches into typed
+// kShapeMismatch failures, so these checks guard unreachable-by-contract
+// states (memory-safety bounds), not recoverable runtime conditions.
+
 namespace ddpkit::comm {
 
 const char* AlgorithmName(Algorithm algorithm) {

@@ -1,13 +1,13 @@
 #include "comm/process_group_sim.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit::comm {
 
@@ -68,11 +68,19 @@ struct GroupState {
   const int world;
   ddpkit::Barrier ctor_barrier;
 
-  std::mutex mutex;
-  std::unordered_map<uint64_t, std::shared_ptr<CollectiveInstance>> inflight;
+  /// Protects the in-flight collective table and the comm-queue tail — the
+  /// state rank threads race on during Contribute.
+  Mutex mutex;
+  std::unordered_map<uint64_t, std::shared_ptr<CollectiveInstance>> inflight
+      GUARDED_BY(mutex);
   /// Virtual time at which the group's serialized comm queue frees up.
-  double queue_tail = 0.0;
+  double queue_tail GUARDED_BY(mutex) = 0.0;
 
+  // The configuration below is written only by the first-arriving rank
+  // (under `mutex`, inside Create) and becomes immutable once every rank
+  // passes ctor_barrier — the barrier's release/acquire pair publishes it,
+  // so post-rendezvous readers (collective lambdas, Contribute) take no
+  // lock. Deliberately not GUARDED_BY.
   std::unique_ptr<sim::CommCostModel> cost_model;
   Algorithm algorithm = Algorithm::kRing;
   int concurrent_groups = 1;
@@ -100,14 +108,17 @@ class GroupRegistry {
 
   std::shared_ptr<GroupState> GetOrCreate(const std::string& name,
                                           int world) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = groups_.find(name);
     if (it != groups_.end()) {
       if (auto existing = it->second.lock()) {
+        // ddplint: allow(check-in-comm) rendezvous misconfiguration at group
+        // setup, caught before any collective is in flight.
         DDPKIT_CHECK_EQ(existing->world, world)
             << "group '" << name << "' world-size mismatch";
         return existing;
       }
+      groups_.erase(it);  // group fully torn down; drop the dead entry
     }
     auto state = std::make_shared<GroupState>(world);
     groups_[name] = state;
@@ -115,8 +126,9 @@ class GroupRegistry {
   }
 
  private:
-  std::mutex mutex_;
-  std::unordered_map<std::string, std::weak_ptr<GroupState>> groups_;
+  Mutex mutex_;
+  std::unordered_map<std::string, std::weak_ptr<GroupState>> groups_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -130,8 +142,12 @@ using internal::OpKindName;
 std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
     Store* store, const std::string& name, int rank, int world,
     const Options& options, sim::VirtualClock* clock) {
+  // ddplint: allow(check-in-comm) rendezvous preconditions at group setup;
+  // no collective is in flight yet, so aborting cannot strand a peer.
   DDPKIT_CHECK(store != nullptr);
+  // ddplint: allow(check-in-comm) rendezvous precondition (see above).
   DDPKIT_CHECK(clock != nullptr);
+  // ddplint: allow(check-in-comm) rendezvous precondition (see above).
   DDPKIT_CHECK(rank >= 0 && rank < world);
 
   // Membership rendezvous through the store (the TCPStore role).
@@ -142,7 +158,7 @@ std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
   // First arrival configures the shared cost model; everyone then blocks
   // until the last instance joins (paper §3.3 rendezvous semantics).
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(&state->mutex);
     if (!state->cost_model) {
       switch (options.flavor) {
         case sim::Backend::kNccl:
@@ -215,6 +231,22 @@ WorkHandle AbsentRankWork(const FaultPlan& plan, GroupState* state,
   return work;
 }
 
+/// Pre-failed handle for a locally invalid collective call — the Status
+/// path of PR 2's failure model, where the c10d analogue throws on the
+/// calling rank before enqueueing anything. The call never joins the
+/// group's sequence (no seq number is consumed), so a subsequent valid
+/// collective on this rank pairs with peers as a signature mismatch rather
+/// than silently corrupting the reduction.
+WorkHandle InvalidArgumentWork(OpKind kind, int rank, const std::string& detail,
+                               sim::VirtualClock* clock) {
+  auto work = std::make_shared<Work>();
+  std::ostringstream msg;
+  msg << OpKindName(kind) << ": rank " << rank
+      << " issued invalid collective arguments: " << detail;
+  work->MarkFailed(WorkError::kShapeMismatch, msg.str(), clock->Now());
+  return work;
+}
+
 /// Registers this rank's contribution under `seq`; the last live arrival
 /// runs the data-plane operation, computes timing against the group's comm
 /// queue, and completes the shared Work. Faults from the group's plan are
@@ -250,7 +282,7 @@ WorkHandle Contribute(
   std::shared_ptr<CollectiveInstance> inst;
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(state->mutex);
+    MutexLock lock(&state->mutex);
     auto it = state->inflight.find(seq);
     if (it == state->inflight.end()) {
       inst = std::make_shared<CollectiveInstance>();
@@ -318,7 +350,7 @@ WorkHandle Contribute(
       }
       const double fail_time = max_arrival + state->collective_timeout;
       {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(&state->mutex);
         state->queue_tail = std::max(state->queue_tail, fail_time);
       }
       inst->work->MarkFailed(
@@ -363,7 +395,7 @@ WorkHandle Contribute(
     double duration = 0.0;
     int slowest = 0;
     {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(&state->mutex);
       slowest = static_cast<int>(std::distance(
           inst->arrivals.begin(),
           std::max_element(inst->arrivals.begin(), inst->arrivals.end())));
@@ -396,7 +428,11 @@ WorkHandle Contribute(
 }  // namespace
 
 WorkHandle ProcessGroupSim::AllReduce(Tensor tensor, ReduceOp op) {
-  DDPKIT_CHECK(tensor.defined() && tensor.is_contiguous());
+  if (!tensor.defined() || !tensor.is_contiguous()) {
+    return InvalidArgumentWork(OpKind::kAllReduce, rank(),
+                               "tensor must be defined and contiguous",
+                               clock_);
+  }
   GroupState* state = state_.get();
   const size_t bytes = tensor.nbytes();
   const int w = world();
@@ -410,8 +446,16 @@ WorkHandle ProcessGroupSim::AllReduce(Tensor tensor, ReduceOp op) {
 }
 
 WorkHandle ProcessGroupSim::Broadcast(Tensor tensor, int root) {
-  DDPKIT_CHECK(tensor.defined() && tensor.is_contiguous());
-  DDPKIT_CHECK(root >= 0 && root < world());
+  if (!tensor.defined() || !tensor.is_contiguous()) {
+    return InvalidArgumentWork(OpKind::kBroadcast, rank(),
+                               "tensor must be defined and contiguous",
+                               clock_);
+  }
+  if (root < 0 || root >= world()) {
+    return InvalidArgumentWork(
+        OpKind::kBroadcast, rank(),
+        "root " + std::to_string(root) + " outside [0, world)", clock_);
+  }
   GroupState* state = state_.get();
   const size_t bytes = tensor.nbytes();
   const int w = world();
@@ -424,9 +468,20 @@ WorkHandle ProcessGroupSim::Broadcast(Tensor tensor, int root) {
 }
 
 WorkHandle ProcessGroupSim::AllGather(const Tensor& input, Tensor output) {
-  DDPKIT_CHECK(input.defined() && input.is_contiguous());
-  DDPKIT_CHECK(output.defined() && output.is_contiguous());
-  DDPKIT_CHECK_EQ(output.numel(), input.numel() * world());
+  if (!input.defined() || !input.is_contiguous() || !output.defined() ||
+      !output.is_contiguous()) {
+    return InvalidArgumentWork(
+        OpKind::kAllGather, rank(),
+        "input and output must be defined and contiguous", clock_);
+  }
+  if (output.numel() != input.numel() * world()) {
+    return InvalidArgumentWork(
+        OpKind::kAllGather, rank(),
+        "output numel " + std::to_string(output.numel()) +
+            " != input numel * world (" +
+            std::to_string(input.numel() * world()) + ")",
+        clock_);
+  }
   GroupState* state = state_.get();
   const size_t bytes = input.nbytes();
   const int w = world();
@@ -439,8 +494,16 @@ WorkHandle ProcessGroupSim::AllGather(const Tensor& input, Tensor output) {
 }
 
 WorkHandle ProcessGroupSim::Reduce(Tensor tensor, int root, ReduceOp op) {
-  DDPKIT_CHECK(tensor.defined() && tensor.is_contiguous());
-  DDPKIT_CHECK(root >= 0 && root < world());
+  if (!tensor.defined() || !tensor.is_contiguous()) {
+    return InvalidArgumentWork(OpKind::kReduce, rank(),
+                               "tensor must be defined and contiguous",
+                               clock_);
+  }
+  if (root < 0 || root >= world()) {
+    return InvalidArgumentWork(
+        OpKind::kReduce, rank(),
+        "root " + std::to_string(root) + " outside [0, world)", clock_);
+  }
   GroupState* state = state_.get();
   const size_t bytes = tensor.nbytes();
   const int w = world();
@@ -455,9 +518,20 @@ WorkHandle ProcessGroupSim::Reduce(Tensor tensor, int root, ReduceOp op) {
 
 WorkHandle ProcessGroupSim::ReduceScatter(const Tensor& input, Tensor output,
                                           ReduceOp op) {
-  DDPKIT_CHECK(input.defined() && input.is_contiguous());
-  DDPKIT_CHECK(output.defined() && output.is_contiguous());
-  DDPKIT_CHECK_EQ(input.numel(), output.numel() * world());
+  if (!input.defined() || !input.is_contiguous() || !output.defined() ||
+      !output.is_contiguous()) {
+    return InvalidArgumentWork(
+        OpKind::kReduceScatter, rank(),
+        "input and output must be defined and contiguous", clock_);
+  }
+  if (input.numel() != output.numel() * world()) {
+    return InvalidArgumentWork(
+        OpKind::kReduceScatter, rank(),
+        "input numel " + std::to_string(input.numel()) +
+            " != output numel * world (" +
+            std::to_string(output.numel() * world()) + ")",
+        clock_);
+  }
   GroupState* state = state_.get();
   const size_t bytes = input.nbytes();
   const int w = world();
@@ -474,11 +548,28 @@ WorkHandle ProcessGroupSim::ReduceScatter(const Tensor& input, Tensor output,
 
 WorkHandle ProcessGroupSim::Gather(const Tensor& input, Tensor output,
                                    int root) {
-  DDPKIT_CHECK(input.defined() && input.is_contiguous());
-  DDPKIT_CHECK(root >= 0 && root < world());
+  if (!input.defined() || !input.is_contiguous()) {
+    return InvalidArgumentWork(OpKind::kGather, rank(),
+                               "input must be defined and contiguous", clock_);
+  }
+  if (root < 0 || root >= world()) {
+    return InvalidArgumentWork(
+        OpKind::kGather, rank(),
+        "root " + std::to_string(root) + " outside [0, world)", clock_);
+  }
   if (rank() == root) {
-    DDPKIT_CHECK(output.defined());
-    DDPKIT_CHECK_EQ(output.numel(), input.numel() * world());
+    if (!output.defined()) {
+      return InvalidArgumentWork(OpKind::kGather, rank(),
+                                 "root output must be defined", clock_);
+    }
+    if (output.numel() != input.numel() * world()) {
+      return InvalidArgumentWork(
+          OpKind::kGather, rank(),
+          "root output numel " + std::to_string(output.numel()) +
+              " != input numel * world (" +
+              std::to_string(input.numel() * world()) + ")",
+          clock_);
+    }
   }
   GroupState* state = state_.get();
   const size_t bytes = input.nbytes();

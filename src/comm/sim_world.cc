@@ -14,7 +14,10 @@ std::atomic<uint64_t> g_world_counter{0};
 }  // namespace
 
 void SimWorld::Run(int world, const SimWorldOptions& options, RankFn fn) {
+  // ddplint: allow(check-in-comm) test-harness precondition before any rank
+  // thread (or collective) exists.
   DDPKIT_CHECK_GT(world, 0);
+  // ddplint: allow(check-in-comm) test-harness precondition (see above).
   DDPKIT_CHECK_GE(options.round_robin_groups, 1);
 
   const std::string base_name =

@@ -9,6 +9,9 @@ namespace ddpkit::comm {
 
 namespace {
 
+// ddplint: allow(banned-nondeterminism) the store models an out-of-band TCP
+// service: retry backoff and deadlines are real time by design (DESIGN.md
+// §6), not part of the deterministic virtual-time data plane.
 using Clock = std::chrono::steady_clock;
 
 Clock::time_point DeadlineAfter(double seconds) {
@@ -27,21 +30,23 @@ void SleepBackoff(double seconds) {
 
 void Store::Set(const std::string& key, std::string value) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     data_[key] = std::move(value);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 std::string Store::Get(const std::string& key) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return data_.count(key) > 0; });
+  MutexLock lock(&mutex_);
+  while (data_.count(key) == 0) cv_.Wait(mutex_);
   return data_[key];
 }
 
 bool Store::TryGet(const std::string& key, std::string* value) const {
+  // ddplint: allow(check-in-comm) API precondition on the out-parameter,
+  // not a runtime collective failure.
   DDPKIT_CHECK(value != nullptr);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = data_.find(key);
   if (it == data_.end()) return false;
   *value = it->second;
@@ -51,34 +56,39 @@ bool Store::TryGet(const std::string& key, std::string* value) const {
 int64_t Store::Add(const std::string& key, int64_t delta) {
   int64_t result;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     int64_t current = 0;
     auto it = data_.find(key);
     if (it != data_.end()) current = std::stoll(it->second);
     result = current + delta;
     data_[key] = std::to_string(result);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return result;
 }
 
 void Store::Wait(const std::vector<std::string>& keys) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] {
+  MutexLock lock(&mutex_);
+  for (;;) {
+    bool all_present = true;
     for (const auto& key : keys) {
-      if (data_.count(key) == 0) return false;
+      if (data_.count(key) == 0) {
+        all_present = false;
+        break;
+      }
     }
-    return true;
-  });
+    if (all_present) return;
+    cv_.Wait(mutex_);
+  }
 }
 
 size_t Store::NumKeys() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return data_.size();
 }
 
 bool Store::MaybeInjectFault() {
-  std::lock_guard<std::mutex> lock(fault_mutex_);
+  MutexLock lock(&fault_mutex_);
   if (fault_budget_ > 0) {
     --fault_budget_;
     ++transient_failures_;
@@ -93,20 +103,24 @@ bool Store::MaybeInjectFault() {
 }
 
 void Store::InjectTransientFaults(int failure_budget) {
+  // ddplint: allow(check-in-comm) test-harness argument precondition, not a
+  // runtime collective failure.
   DDPKIT_CHECK_GE(failure_budget, 0);
-  std::lock_guard<std::mutex> lock(fault_mutex_);
+  MutexLock lock(&fault_mutex_);
   fault_budget_ = failure_budget;
 }
 
 void Store::InjectTransientFaults(uint64_t seed, double probability) {
+  // ddplint: allow(check-in-comm) test-harness argument precondition, not a
+  // runtime collective failure.
   DDPKIT_CHECK(probability >= 0.0 && probability < 1.0);
-  std::lock_guard<std::mutex> lock(fault_mutex_);
+  MutexLock lock(&fault_mutex_);
   fault_probability_ = probability;
   fault_rng_ = std::make_unique<Rng>(seed);
 }
 
 uint64_t Store::transient_failures() const {
-  std::lock_guard<std::mutex> lock(fault_mutex_);
+  MutexLock lock(&fault_mutex_);
   return transient_failures_;
 }
 
@@ -173,13 +187,17 @@ Result<std::string> Store::GetWithRetry(const std::string& key,
       backoff *= policy.backoff_multiplier;
       continue;
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (cv_.wait_until(lock, deadline,
-                       [&] { return data_.count(key) > 0; })) {
-      return data_[key];
+    MutexLock lock(&mutex_);
+    for (;;) {
+      if (data_.count(key) > 0) return data_[key];
+      if (!cv_.WaitUntil(mutex_, deadline)) {
+        // Deadline passed; one final predicate check under the lock, as
+        // wait_until-with-predicate would have done.
+        if (data_.count(key) > 0) return data_[key];
+        return Status::TimedOut("store key '" + key + "' not set within " +
+                                std::to_string(timeout_seconds) + "s (real)");
+      }
     }
-    return Status::TimedOut("store key '" + key + "' not set within " +
-                            std::to_string(timeout_seconds) + "s (real)");
   }
 }
 

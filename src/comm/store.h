@@ -1,16 +1,16 @@
 #ifndef DDPKIT_COMM_STORE_H_
 #define DDPKIT_COMM_STORE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit::comm {
 
@@ -93,17 +93,20 @@ class Store {
 
  private:
   /// True when this attempt should fail transiently (consumes budget/RNG).
-  bool MaybeInjectFault();
+  bool MaybeInjectFault() EXCLUDES(fault_mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::string, std::string> data_;
+  /// Protects the key-value map; cv_ signals key arrivals.
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::map<std::string, std::string> data_ GUARDED_BY(mutex_);
 
-  mutable std::mutex fault_mutex_;
-  int fault_budget_ = 0;
-  double fault_probability_ = 0.0;
-  std::unique_ptr<Rng> fault_rng_;
-  uint64_t transient_failures_ = 0;
+  /// Separate leaf lock for the fault-injection state so injection checks
+  /// never contend with data-plane waits.
+  mutable Mutex fault_mutex_;
+  int fault_budget_ GUARDED_BY(fault_mutex_) = 0;
+  double fault_probability_ GUARDED_BY(fault_mutex_) = 0.0;
+  std::unique_ptr<Rng> fault_rng_ GUARDED_BY(fault_mutex_);
+  uint64_t transient_failures_ GUARDED_BY(fault_mutex_) = 0;
 };
 
 }  // namespace ddpkit::comm

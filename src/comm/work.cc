@@ -21,8 +21,10 @@ const char* WorkErrorName(WorkError error) {
 }
 
 void Work::Wait(sim::VirtualClock* clock) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return done_; });
+  MutexLock lock(&mutex_);
+  while (!done_) cv_.Wait(mutex_);
+  // ddplint: allow(check-in-comm) documented legacy API contract: callers
+  // that can recover must use the Status-returning Wait(clock, timeout).
   DDPKIT_CHECK(error_ == WorkError::kNone)
       << "Work::Wait on failed collective (" << WorkErrorName(error_)
       << "): " << error_message_
@@ -32,8 +34,8 @@ void Work::Wait(sim::VirtualClock* clock) {
 
 Status Work::Wait(sim::VirtualClock* clock, double timeout_seconds) {
   const double entry = clock != nullptr ? clock->Now() : 0.0;
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return done_; });
+  MutexLock lock(&mutex_);
+  while (!done_) cv_.Wait(mutex_);
   if (error_ != WorkError::kNone) {
     if (clock != nullptr) clock->AdvanceTo(completion_time_);
     return StatusLocked();
@@ -54,22 +56,22 @@ Status Work::Wait(sim::VirtualClock* clock, double timeout_seconds) {
 }
 
 bool Work::Poll() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return done_;
 }
 
 bool Work::IsCompleted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return done_ && error_ == WorkError::kNone;
 }
 
 WorkError Work::error() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return error_;
 }
 
 std::string Work::error_message() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return error_message_;
 }
 
@@ -88,39 +90,44 @@ Status Work::StatusLocked() const {
 }
 
 Status Work::status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return StatusLocked();
 }
 
 double Work::completion_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
+  // ddplint: allow(check-in-comm) API precondition (caller must Poll()
+  // first), not a runtime collective failure.
   DDPKIT_CHECK(done_);
   return completion_time_;
 }
 
 void Work::MarkCompleted(double completion_time, std::string note) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    DDPKIT_CHECK(!done_);
+    MutexLock lock(&mutex_);
+    if (done_) return;  // first terminal state wins (a watchdog's MarkFailed
+                        // may race the last arrival's completion)
     done_ = true;
     completion_time_ = completion_time;
     completion_note_ = std::move(note);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void Work::MarkFailed(WorkError error, std::string message,
                       double failure_time) {
+  // ddplint: allow(check-in-comm) API precondition on the error taxonomy
+  // (kNone is not a failure), not a runtime collective failure.
   DDPKIT_CHECK(error != WorkError::kNone);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (done_) return;  // first terminal state wins
     done_ = true;
     error_ = error;
     error_message_ = std::move(message);
     completion_time_ = failure_time;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace ddpkit::comm

@@ -1,12 +1,12 @@
 #ifndef DDPKIT_COMM_WORK_H_
 #define DDPKIT_COMM_WORK_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "sim/virtual_clock.h"
 
 namespace ddpkit::comm {
@@ -78,7 +78,9 @@ class Work {
   /// Marks the collective done at virtual time `completion_time` (called by
   /// the last-arriving participant after it has performed the reduction).
   /// `note` is appended to timeout diagnostics (e.g. the slowest
-  /// participant's identity).
+  /// participant's identity). The first terminal state wins: completing an
+  /// already-terminal work (e.g. one a concurrent watchdog already failed)
+  /// is a no-op, never an abort — the failure verdict stands.
   void MarkCompleted(double completion_time, std::string note = "");
 
   /// Marks the collective failed at virtual time `failure_time`. The first
@@ -87,15 +89,15 @@ class Work {
   void MarkFailed(WorkError error, std::string message, double failure_time);
 
  private:
-  Status StatusLocked() const;
+  Status StatusLocked() const REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  WorkError error_ = WorkError::kNone;
-  std::string error_message_;
-  std::string completion_note_;
-  double completion_time_ = 0.0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  bool done_ GUARDED_BY(mutex_) = false;
+  WorkError error_ GUARDED_BY(mutex_) = WorkError::kNone;
+  std::string error_message_ GUARDED_BY(mutex_);
+  std::string completion_note_ GUARDED_BY(mutex_);
+  double completion_time_ GUARDED_BY(mutex_) = 0.0;
 };
 
 using WorkHandle = std::shared_ptr<Work>;

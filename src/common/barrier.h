@@ -1,11 +1,11 @@
 #ifndef DDPKIT_COMMON_BARRIER_H_
 #define DDPKIT_COMMON_BARRIER_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit {
 
@@ -24,25 +24,25 @@ class Barrier {
   /// Blocks until all participants arrive. Returns true on exactly one
   /// participant per cycle (the last arrival), mirroring
   /// pthread_barrier's SERIAL_THREAD semantics.
-  bool ArriveAndWait() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  bool ArriveAndWait() EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     const size_t generation = generation_;
     if (++count_ == threshold_) {
       ++generation_;
       count_ = 0;
-      cv_.notify_all();
+      cv_.NotifyAll();
       return true;
     }
-    cv_.wait(lock, [&] { return generation_ != generation; });
+    while (generation_ == generation) cv_.Wait(mutex_);
     return false;
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
   const size_t threshold_;
-  size_t count_ = 0;
-  size_t generation_ = 0;
+  size_t count_ GUARDED_BY(mutex_) = 0;
+  size_t generation_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ddpkit

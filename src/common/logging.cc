@@ -3,13 +3,18 @@
 #include <atomic>
 #include <iostream>
 
+#include "common/mutex.h"
+
 namespace ddpkit {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex& LogMutex() {
-  static std::mutex* m = new std::mutex;
+
+/// Serializes whole log lines onto std::cerr across threads. Leaked so log
+/// statements in static destructors stay safe.
+Mutex& LogMutex() {
+  static Mutex* m = new Mutex;
   return *m;
 }
 
@@ -49,7 +54,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(&LogMutex());
   std::cerr << stream_.str() << std::endl;
 }
 

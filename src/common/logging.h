@@ -1,7 +1,6 @@
 #ifndef DDPKIT_COMMON_LOGGING_H_
 #define DDPKIT_COMMON_LOGGING_H_
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

@@ -47,36 +47,35 @@ std::string JsonNumber(double value) {
 }
 
 void Histogram::Record(double sample) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   samples_.push_back(sample);
   sum_ += sample;
   sorted_valid_ = false;
 }
 
 size_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return samples_.size();
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (samples_.empty()) return 0.0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
-double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+double Histogram::QuantileLocked(double q) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_valid_) {
     sorted_ = samples_;
@@ -86,34 +85,54 @@ double Histogram::Quantile(double q) const {
   return Percentile(sorted_, q);
 }
 
+double Histogram::Quantile(double q) const {
+  MutexLock lock(&mutex_);
+  return QuantileLocked(q);
+}
+
+Histogram::Summary Histogram::Snapshot() const {
+  MutexLock lock(&mutex_);
+  Summary s;
+  s.count = samples_.size();
+  s.sum = sum_;
+  if (!samples_.empty()) {
+    s.min = *std::min_element(samples_.begin(), samples_.end());
+    s.max = *std::max_element(samples_.begin(), samples_.end());
+  }
+  s.p50 = QuantileLocked(0.50);
+  s.p95 = QuantileLocked(0.95);
+  s.p99 = QuantileLocked(0.99);
+  return s;
+}
+
 std::vector<double> Histogram::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return samples_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 size_t MetricsRegistry::NumMetrics() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
@@ -124,7 +143,7 @@ std::string MetricsRegistry::ToJson() const {
   std::vector<std::pair<std::string, const Gauge*>> gauges;
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
     for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
     for (const auto& [name, h] : histograms_) {
@@ -157,13 +176,18 @@ std::string MetricsRegistry::ToJson() const {
     first = false;
     out += '"';
     AppendJsonEscaped(&out, name);
-    out += "\":{\"count\":" + std::to_string(h->count()) +
-           ",\"sum\":" + JsonNumber(h->sum()) +
-           ",\"min\":" + JsonNumber(h->min()) +
-           ",\"max\":" + JsonNumber(h->max()) +
-           ",\"p50\":" + JsonNumber(h->p50()) +
-           ",\"p95\":" + JsonNumber(h->p95()) +
-           ",\"p99\":" + JsonNumber(h->p99()) + "}";
+    // One locked snapshot per histogram: rendering via the individual
+    // accessors would take the lock seven times, letting a concurrent
+    // Record() tear the view (e.g. count from before a sample, sum from
+    // after it).
+    const Histogram::Summary s = h->Snapshot();
+    out += "\":{\"count\":" + std::to_string(s.count) +
+           ",\"sum\":" + JsonNumber(s.sum) +
+           ",\"min\":" + JsonNumber(s.min) +
+           ",\"max\":" + JsonNumber(s.max) +
+           ",\"p50\":" + JsonNumber(s.p50) +
+           ",\"p95\":" + JsonNumber(s.p95) +
+           ",\"p99\":" + JsonNumber(s.p99) + "}";
   }
   out += "}}";
   return out;

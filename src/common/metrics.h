@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit {
 
@@ -37,17 +39,17 @@ class Counter {
 class Gauge {
  public:
   void Set(double value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     value_ = value;
   }
   double value() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return value_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  double value_ = 0.0;
+  mutable Mutex mutex_;
+  double value_ GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Sample distribution with exact quantiles. Samples are retained (the
@@ -55,6 +57,18 @@ class Gauge {
 /// so p50/p95/p99 are true percentiles rather than sketch estimates.
 class Histogram {
  public:
+  /// All summary fields captured under one lock acquisition, so the numbers
+  /// are mutually consistent even while other threads keep recording.
+  struct Summary {
+    size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
   void Record(double sample);
 
   size_t count() const;
@@ -67,15 +81,22 @@ class Histogram {
   double p95() const { return Quantile(0.95); }
   double p99() const { return Quantile(0.99); }
 
+  /// Atomic multi-field snapshot. Prefer this over chaining the scalar
+  /// accessors when the fields must agree with each other (each scalar call
+  /// locks independently, so a writer between two calls tears the view).
+  Summary Snapshot() const;
+
   std::vector<double> snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> samples_;
+  double QuantileLocked(double q) const REQUIRES(mutex_);
+
+  mutable Mutex mutex_;
+  std::vector<double> samples_ GUARDED_BY(mutex_);
   /// Sorted lazily on quantile queries; valid while no Record intervened.
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
-  double sum_ = 0.0;
+  mutable std::vector<double> sorted_ GUARDED_BY(mutex_);
+  mutable bool sorted_valid_ GUARDED_BY(mutex_) = false;
+  double sum_ GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Named metric registry: the process-level sink for DDP runtime telemetry
@@ -103,10 +124,11 @@ class MetricsRegistry {
   size_t NumMetrics() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace ddpkit

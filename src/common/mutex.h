@@ -1,0 +1,104 @@
+#ifndef DDPKIT_COMMON_MUTEX_H_
+#define DDPKIT_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+// ddplint: allow-file(unannotated-mutex) this header IS the annotated
+// wrapper layer; it necessarily names the raw std primitives it wraps.
+
+namespace ddpkit {
+
+/// Annotated wrapper over std::mutex. Clang's thread-safety analysis can only
+/// reason about lock acquisitions made through attributed functions, and
+/// libstdc++'s std::mutex / std::lock_guard carry no attributes — so all
+/// mutex-protected state in ddpkit is guarded by this type (enforced by
+/// tools/ddplint).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped handle, for interop (CondVar, std::scoped_lock of two
+  /// mutexes). Lock state changes made through it are invisible to the
+  /// analysis; pair every use with the matching annotation.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;  // ddplint: allow(unannotated-mutex) wrapped by this class
+};
+
+/// RAII lock for Mutex, equivalent of std::lock_guard. The analysis treats
+/// the guard's scope as the critical section.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable usable with Mutex. Waits REQUIRE the mutex so the
+/// analysis verifies the wait-predicate is only evaluated under the lock.
+/// There is deliberately no predicate-lambda overload: clang analyzes lambda
+/// bodies as separate functions (losing the held-capability context), so
+/// call sites write the canonical `while (!pred) cv.Wait(mu);` loop, which
+/// the analysis checks directly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before return.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native_handle(), std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  /// Like Wait, but returns false if `deadline` passed without a signal.
+  /// Spurious wakeups return true; callers must re-check their predicate.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status != std::cv_status::timeout;
+  }
+
+  /// Like WaitUntil with a relative timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lk, timeout);
+    lk.release();
+    return status != std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // ddplint: allow(unannotated-mutex) wrapped by this class
+  std::condition_variable cv_;
+};
+
+}  // namespace ddpkit
+
+#endif  // DDPKIT_COMMON_MUTEX_H_

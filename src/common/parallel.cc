@@ -46,14 +46,14 @@ struct ThreadPool::Task {
   const int64_t num_chunks;
 
   std::atomic<int64_t> next{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int64_t done = 0;                 // guarded by mu
-  std::exception_ptr error;         // guarded by mu; first thrown wins
+  Mutex mu;
+  CondVar done_cv;
+  int64_t done GUARDED_BY(mu) = 0;
+  std::exception_ptr error GUARDED_BY(mu);  // first thrown wins
 
   /// Claim and run chunks until none remain. Returns once this thread can
   /// claim no more work; other threads may still be finishing their chunks.
-  void RunChunks() {
+  void RunChunks() EXCLUDES(mu) {
     for (;;) {
       const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
@@ -65,9 +65,9 @@ struct ThreadPool::Task {
       } catch (...) {
         err = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       if (err && !error) error = err;
-      if (++done == num_chunks) done_cv.notify_all();
+      if (++done == num_chunks) done_cv.NotifyAll();
     }
   }
 
@@ -75,9 +75,9 @@ struct ThreadPool::Task {
     return next.load(std::memory_order_relaxed) < num_chunks;
   }
 
-  void WaitAndRethrow() {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&] { return done == num_chunks; });
+  void WaitAndRethrow() EXCLUDES(mu) {
+    MutexLock lock(&mu);
+    while (done != num_chunks) done_cv.Wait(mu);
     if (error) std::rethrow_exception(error);
   }
 };
@@ -98,6 +98,9 @@ void ThreadPool::SetNumThreads(int n) { Global().Resize(std::max(1, n)); }
 
 void ThreadPool::StartWorkers() {
   const int n = num_threads_.load(std::memory_order_relaxed);
+  // Workers spawned under mu_ block on their first Lock() until we release,
+  // so they never observe a half-built workers_ vector.
+  MutexLock lock(&mu_);
   workers_.reserve(static_cast<size_t>(n - 1));
   for (int i = 0; i < n - 1; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -105,14 +108,17 @@ void ThreadPool::StartWorkers() {
 }
 
 void ThreadPool::StopWorkers() {
+  // Swap the worker vector out under the lock, then join outside it: joining
+  // under mu_ would deadlock with workers reacquiring mu_ to observe stop_.
+  std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
+    to_join.swap(workers_);
   }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
-  workers_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  cv_.NotifyAll();
+  for (std::thread& w : to_join) w.join();
+  MutexLock lock(&mu_);
   stop_ = false;
 }
 
@@ -124,29 +130,30 @@ void ThreadPool::Resize(int n) {
 
 void ThreadPool::Dispatch(const std::shared_ptr<Task>& task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(task);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+    if (stop_) break;
     // Every free worker converges on the oldest task and claims chunks from
     // it; the task is retired from the queue once fully claimed.
     std::shared_ptr<Task> task = queue_.front();
-    lock.unlock();
+    mu_.Unlock();
     task->RunChunks();
-    lock.lock();
+    mu_.Lock();
     if (!queue_.empty() && queue_.front() == task &&
         !task->HasUnclaimedChunks()) {
       queue_.pop_front();
     }
   }
+  mu_.Unlock();
 }
 
 namespace internal {

@@ -3,13 +3,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit {
 
@@ -84,17 +85,20 @@ class ThreadPool {
   struct Task;
 
   explicit ThreadPool(int num_threads);
-  void StartWorkers();
-  void StopWorkers();
-  void Resize(int n);
-  void Dispatch(const std::shared_ptr<Task>& task);
-  void WorkerLoop();
+  void StartWorkers() EXCLUDES(mu_);
+  void StopWorkers() EXCLUDES(mu_);
+  void Resize(int n) EXCLUDES(mu_);
+  void Dispatch(const std::shared_ptr<Task>& task) EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Task>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  /// Protects the task queue, the stop flag, and the worker-thread vector
+  /// (workers_ is mutated by Start/StopWorkers, which Resize may run while
+  /// other threads call num_threads()/Dispatch).
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Task>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::atomic<int> num_threads_{1};
 };
 

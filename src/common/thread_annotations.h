@@ -1,0 +1,74 @@
+#ifndef DDPKIT_COMMON_THREAD_ANNOTATIONS_H_
+#define DDPKIT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros.
+///
+/// These turn the repo's implicit locking conventions ("the pg mutex protects
+/// the comm queue") into contracts the compiler checks at build time. Under
+/// clang with -Wthread-safety (see the DDPKIT_THREAD_SAFETY CMake option)
+/// every annotated member access and lock acquisition is verified; under any
+/// other compiler the macros expand to nothing, so GCC builds are unaffected.
+///
+/// The analysis only understands lock acquisitions performed through
+/// annotated functions, and libstdc++'s std::mutex carries no annotations —
+/// so guarded state must be protected by ddpkit::Mutex / ddpkit::MutexLock /
+/// ddpkit::CondVar from common/mutex.h, not by raw std types. tools/ddplint
+/// enforces that convention tree-wide.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define DDPKIT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DDPKIT_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability (lockable type).
+#define CAPABILITY(x) DDPKIT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY DDPKIT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define GUARDED_BY(x) DDPKIT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define PT_GUARDED_BY(x) DDPKIT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed mutexes.
+#define REQUIRES(...) \
+  DDPKIT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while holding the listed mutexes in
+/// shared (reader) mode.
+#define REQUIRES_SHARED(...) \
+  DDPKIT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed mutexes and does not release them.
+#define ACQUIRE(...) \
+  DDPKIT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed mutexes (which must be held on entry).
+#define RELEASE(...) \
+  DDPKIT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the listed mutexes iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  DDPKIT_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed mutexes
+/// (deadlock prevention; catches self-deadlock on non-reentrant locks).
+#define EXCLUDES(...) DDPKIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given mutex.
+#define RETURN_CAPABILITY(x) DDPKIT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts (without acquiring) that the calling context holds the mutex.
+#define ASSERT_CAPABILITY(x) DDPKIT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry a
+/// comment explaining why the function is correct anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DDPKIT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DDPKIT_COMMON_THREAD_ANNOTATIONS_H_

@@ -33,9 +33,10 @@ void ParallelCopy(float* dst, const float* src, int64_t n) {
 /// Monotonic wall-clock seconds for the copy-cost telemetry (the copies
 /// are real work in this process, unlike the modeled virtual time).
 double WallSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // ddplint: allow(banned-nondeterminism) copy-cost telemetry measures real
+  // memcpy time by design (§4.2); it never feeds simulated results.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
 }
 
 /// Total length of the union of [start, end) intervals clipped to
@@ -150,6 +151,10 @@ Reducer::Reducer(std::vector<Tensor> params,
       << "gradient_as_bucket_view cannot keep globally-unused gradients "
          "intact; disable one of the two options";
 
+  // No concurrent access is possible before the constructor returns, but
+  // InitBuckets / AbortSync / ValidateCrossRankLayout carry REQUIRES(mu_)
+  // contracts, so take the (uncontended) lock for the setup sequence.
+  MutexLock lock(&mu_);
   locally_used_.assign(params_.size(), 0);
   globally_used_.assign(params_.size(), 1);
   used_bitmap_ = Tensor::Zeros({static_cast<int64_t>(params_.size())},
@@ -261,6 +266,7 @@ void Reducer::ResetIterationState() {
 
 void Reducer::PrepareForBackward(const std::vector<Tensor>& outputs,
                                  bool will_sync) {
+  MutexLock lock(&mu_);
   DDPKIT_CHECK(!armed_ || finalized_ || !expect_hooks_)
       << "previous synced backward never finalized";
   ResetIterationState();
@@ -298,6 +304,7 @@ void Reducer::PrepareForBackward(const std::vector<Tensor>& outputs,
 }
 
 void Reducer::AutogradHook(size_t param_index) {
+  MutexLock lock(&mu_);
   if (!armed_) return;  // backward outside a DDP forward; nothing to do
   locally_used_[param_index] = 1;
   if (!expect_hooks_) return;  // no_sync: gradients accumulate locally only
@@ -679,7 +686,7 @@ void Reducer::ValidateCrossRankLayout() {
   comm::Store* store = pg_->store();
   if (store == nullptr || pg_->world() <= 1) return;
   if (store_instance_ < 0) return;  // id allocation failed; already reported
-  if (sync_disabled()) return;
+  if (!sync_status_.ok()) return;  // not sync_disabled(): mu_ already held
 
   const int rank = pg_->rank();
   const int world = pg_->world();
@@ -762,9 +769,10 @@ void Reducer::ValidateCrossRankLayout() {
 }
 
 bool Reducer::RebuildBucketsFromTrace() {
+  MutexLock lock(&mu_);
   DDPKIT_CHECK(!armed_ || finalized_)
       << "RebuildBucketsFromTrace must be called between iterations";
-  if (sync_disabled()) return false;
+  if (!sync_status_.ok()) return false;
 
   comm::Store* store = pg_->store();
   const bool coordinated =

@@ -8,7 +8,9 @@
 
 #include "comm/process_group.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/bucketing.h"
 #include "core/compression.h"
 #include "core/telemetry.h"
@@ -95,11 +97,15 @@ class Reducer {
   /// out-of-graph parameters ready so their buckets cannot hang.
   /// `will_sync` is false inside no_sync: hooks then only record usage and
   /// let gradients accumulate.
-  void PrepareForBackward(const std::vector<Tensor>& outputs, bool will_sync);
+  void PrepareForBackward(const std::vector<Tensor>& outputs, bool will_sync)
+      EXCLUDES(mu_);
 
   /// True once the most recent synced backward has completed its reduction
   /// (all AllReduce waits done, gradients averaged and written back).
-  bool backward_finalized() const { return finalized_; }
+  bool backward_finalized() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return finalized_;
+  }
 
   /// Communication health. OK while every sync has succeeded. Becomes a
   /// typed error when construction-time validation detects a cross-rank
@@ -110,20 +116,33 @@ class Reducer {
   /// synchronization on this replica: backwards still accumulate local
   /// gradients, but no collectives are issued (restart-from-checkpoint is
   /// the recovery path, as with a dead NCCL communicator).
-  const Status& sync_status() const { return sync_status_; }
+  ///
+  /// Like the other const&-returning accessors below, this returns a
+  /// reference into reducer state: safe to hold only while no backward /
+  /// rebuild is running on another thread (the quiescent-read contract —
+  /// callers read between iterations on the rank's own thread).
+  const Status& sync_status() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return sync_status_;
+  }
 
   /// True when gradient synchronization has been disabled by an error.
-  bool sync_disabled() const { return !sync_status_.ok(); }
+  bool sync_disabled() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return !sync_status_.ok();
+  }
 
   /// Per-parameter "used by any rank since last sync" mask; all ones when
   /// find_unused_parameters is off. Valid after a finalized backward.
-  const std::vector<uint8_t>& globally_used_mask() const {
+  const std::vector<uint8_t>& globally_used_mask() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return globally_used_;
   }
 
   /// Parameter indices in the order their gradients became ready during
   /// the last synced backward (the §6.2.1 trace).
-  const std::vector<size_t>& last_ready_order() const {
+  const std::vector<size_t>& last_ready_order() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return last_ready_order_;
   }
 
@@ -143,21 +162,34 @@ class Reducer {
   /// validation_timeout_seconds instead of corrupting gradients. After
   /// every coordinated rebuild the cross-rank layout validation handshake
   /// re-runs (validate_bucket_layout).
-  bool RebuildBucketsFromTrace();
+  bool RebuildBucketsFromTrace() EXCLUDES(mu_);
 
   /// Records the virtual-time cost of the preceding forward pass; consumed
   /// into the next iteration's telemetry frame. Called by the DDP wrapper.
-  void RecordForwardSeconds(double seconds) {
+  void RecordForwardSeconds(double seconds) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     pending_forward_seconds_ = seconds;
   }
 
   /// Per-parameter "used locally since last successful sync" bitmap
   /// (telemetry/introspection; cleared by finalize and by AbortSync).
-  const std::vector<uint8_t>& locally_used() const { return locally_used_; }
+  const std::vector<uint8_t>& locally_used() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return locally_used_;
+  }
 
-  const BucketAssignment& assignment() const { return assignment_; }
-  size_t num_buckets() const { return buckets_.size(); }
-  size_t bucket_bytes(size_t b) const { return buckets_[b].bytes; }
+  const BucketAssignment& assignment() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return assignment_;
+  }
+  size_t num_buckets() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return buckets_.size();
+  }
+  size_t bucket_bytes(size_t b) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return buckets_[b].bytes;
+  }
 
   struct Stats {
     uint64_t allreduces_launched = 0;
@@ -167,7 +199,10 @@ class Reducer {
     uint64_t finalized_backwards = 0;
     uint64_t sync_failures = 0;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
  private:
   struct Slot {
@@ -188,78 +223,97 @@ class Reducer {
   };
 
   void InstallHooks();
-  void InitBuckets(const BucketAssignment& assignment);
+  void InitBuckets(const BucketAssignment& assignment) REQUIRES(mu_);
   /// Store-based cross-rank bucket-signature handshake (see
   /// ReducerOptions::validate_bucket_layout). Sets sync_status_ on desync.
   /// Re-runnable: each invocation uses a fresh epoch of Store keys, so the
-  /// handshake repeats after every coordinated bucket rebuild.
-  void ValidateCrossRankLayout();
+  /// handshake repeats after every coordinated bucket rebuild. Holding mu_
+  /// across the Store round-trips is deadlock-free: peers answer from
+  /// their own reducer instances and never need this rank's mu_.
+  void ValidateCrossRankLayout() REQUIRES(mu_);
   /// Flow-arrow id for one bucket of the current iteration, unique across
   /// ranks and iterations.
-  uint64_t FlowId(size_t bucket_id) const;
+  uint64_t FlowId(size_t bucket_id) const REQUIRES(mu_);
   /// Appends the current telemetry frame (if a sink is attached and a
   /// synced backward is in flight). `synced` is false on abort paths.
-  void EmitTelemetryFrame(bool synced);
+  void EmitTelemetryFrame(bool synced) REQUIRES(mu_);
   /// Records a failed sync: stamps sync_status_ (first error wins),
   /// disables future syncs, and unwinds per-iteration state so the replica
   /// survives to read the diagnostic.
-  void AbortSync(Status status);
+  void AbortSync(Status status) REQUIRES(mu_);
   /// gradient_as_bucket_view: repoint every param.grad at its bucket slot,
   /// preserving any existing gradient values.
-  void InstallGradViews();
-  void ResetIterationState();
-  /// Post-hook entry point (Algorithm 1 lines 12-21).
-  void AutogradHook(size_t param_index);
-  void MarkParamReady(size_t param_index, bool via_hook);
-  void MaybeLaunchBuckets();
-  void LaunchBucket(size_t bucket_id);
-  void FinalizeBackward();
+  void InstallGradViews() REQUIRES(mu_);
+  void ResetIterationState() REQUIRES(mu_);
+  /// Post-hook entry point (Algorithm 1 lines 12-21). Locks mu_ for the
+  /// whole hook: autograd fires it on the rank's own backward thread,
+  /// which holds no reducer lock at that point.
+  void AutogradHook(size_t param_index) EXCLUDES(mu_);
+  void MarkParamReady(size_t param_index, bool via_hook) REQUIRES(mu_);
+  void MaybeLaunchBuckets() REQUIRES(mu_);
+  void LaunchBucket(size_t bucket_id) REQUIRES(mu_);
+  /// Waits on the in-flight bucket works while holding mu_. Deadlock-free
+  /// by the lock hierarchy (DESIGN.md §8): completing a collective takes
+  /// GroupState::mutex and Work::mutex_, never a peer Reducer's mu_.
+  void FinalizeBackward() REQUIRES(mu_);
 
+  // Immutable after construction (no guard needed): the parameter set,
+  // its metadata, the process-group handle, the options block, the hook
+  // liveness token, and the Store instance id are written once in the
+  // constructor and only read afterwards.
   std::vector<Tensor> params_;
   std::vector<ParamMeta> metas_;
   std::unordered_map<const void*, size_t> param_index_;
   std::shared_ptr<comm::ProcessGroup> pg_;
   ReducerOptions options_;
+  std::shared_ptr<bool> alive_;  // guards accumulator hooks against dtor
+  int64_t store_instance_ = -1;
 
-  BucketAssignment assignment_;
-  std::vector<Bucket> buckets_;
-  std::vector<size_t> param_to_bucket_;
+  /// Guards all mutable reducer state below. Root of this replica's lock
+  /// hierarchy: held while calling into the process group (GroupState
+  /// mutex, Work mutex, Store mutex are all acquired strictly after it,
+  /// never the other way around). See DESIGN.md §8.
+  mutable Mutex mu_;
+
+  BucketAssignment assignment_ GUARDED_BY(mu_);
+  std::vector<Bucket> buckets_ GUARDED_BY(mu_);
+  std::vector<size_t> param_to_bucket_ GUARDED_BY(mu_);
   /// param_index -> its slot (offset/length in its bucket's buffer),
   /// precomputed at bucket-build time so MarkParamReady does no O(slots)
   /// scan on the per-gradient hot path.
-  std::vector<Slot> param_slots_;
+  std::vector<Slot> param_slots_ GUARDED_BY(mu_);
 
   // Per-iteration state.
-  std::vector<uint8_t> param_ready_;
-  size_t next_bucket_ = 0;  // in-order launch cursor (§3.2.3 rule 1)
-  bool expect_hooks_ = false;
-  bool armed_ = false;
-  bool finalized_ = false;
-  std::vector<size_t> ready_order_;
+  std::vector<uint8_t> param_ready_ GUARDED_BY(mu_);
+  // In-order launch cursor (§3.2.3 rule 1).
+  size_t next_bucket_ GUARDED_BY(mu_) = 0;
+  bool expect_hooks_ GUARDED_BY(mu_) = false;
+  bool armed_ GUARDED_BY(mu_) = false;
+  bool finalized_ GUARDED_BY(mu_) = false;
+  std::vector<size_t> ready_order_ GUARDED_BY(mu_);
 
   // Usage tracking (accumulates across no_sync iterations, §3.2.4).
-  std::vector<uint8_t> locally_used_;
-  std::vector<uint8_t> globally_used_;
-  Tensor used_bitmap_;  // uint8, lives on "CPU" then copied (paper §4.2)
+  std::vector<uint8_t> locally_used_ GUARDED_BY(mu_);
+  std::vector<uint8_t> globally_used_ GUARDED_BY(mu_);
+  // uint8, lives on "CPU" then copied (paper §4.2).
+  Tensor used_bitmap_ GUARDED_BY(mu_);
 
-  std::vector<size_t> last_ready_order_;
-  std::shared_ptr<bool> alive_;  // guards accumulator hooks against dtor
-  Status sync_status_;
-  Stats stats_;
+  std::vector<size_t> last_ready_order_ GUARDED_BY(mu_);
+  Status sync_status_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 
-  // Store-coordination state: per-rank reducer instance id (pairs the Nth
-  // reducer on every rank) and epoch counters that keep validation and
-  // rebuild key namespaces in lockstep across ranks.
-  int64_t store_instance_ = -1;
-  uint64_t layout_epoch_ = 0;
-  uint64_t rebuild_epoch_ = 0;
+  // Store-coordination epochs that keep validation and rebuild key
+  // namespaces in lockstep across ranks (the instance id pairing the Nth
+  // reducer on every rank is immutable, above).
+  uint64_t layout_epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t rebuild_epoch_ GUARDED_BY(mu_) = 0;
 
   // Telemetry state for the in-flight iteration.
-  DDPTelemetry frame_;
-  bool frame_active_ = false;
-  double backward_start_clock_ = 0.0;
-  double pending_forward_seconds_ = 0.0;
-  uint64_t iteration_ = 0;
+  DDPTelemetry frame_ GUARDED_BY(mu_);
+  bool frame_active_ GUARDED_BY(mu_) = false;
+  double backward_start_clock_ GUARDED_BY(mu_) = 0.0;
+  double pending_forward_seconds_ GUARDED_BY(mu_) = 0.0;
+  uint64_t iteration_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ddpkit::core

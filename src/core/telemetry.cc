@@ -42,22 +42,22 @@ std::string DDPTelemetry::ToJson() const {
 }
 
 void TelemetryLog::Append(DDPTelemetry record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   records_.push_back(std::move(record));
 }
 
 void TelemetryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   records_.clear();
 }
 
 size_t TelemetryLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_.size();
 }
 
 std::vector<DDPTelemetry> TelemetryLog::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_;
 }
 

@@ -2,11 +2,12 @@
 #define DDPKIT_CORE_TELEMETRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit::core {
 
@@ -90,8 +91,8 @@ class TelemetryLog {
   Status WriteJson(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<DDPTelemetry> records_;
+  mutable Mutex mutex_;
+  std::vector<DDPTelemetry> records_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ddpkit::core

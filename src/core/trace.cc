@@ -9,7 +9,7 @@ namespace ddpkit::core {
 
 void TraceRecorder::AddSpan(std::string name, std::string category, int rank,
                             double start_seconds, double end_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   spans_.push_back(Span{std::move(name), std::move(category), rank,
                         start_seconds, end_seconds});
 }
@@ -17,42 +17,42 @@ void TraceRecorder::AddSpan(std::string name, std::string category, int rank,
 void TraceRecorder::AddFlowPoint(uint64_t flow_id, FlowPhase phase,
                                  std::string name, std::string category,
                                  int rank, double time_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   flow_points_.push_back(FlowPoint{flow_id, phase, std::move(name),
                                    std::move(category), rank, time_seconds});
 }
 
 void TraceRecorder::AddInstant(std::string name, std::string category,
                                int rank, double time_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   instants_.push_back(
       Instant{std::move(name), std::move(category), rank, time_seconds});
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   spans_.clear();
   flow_points_.clear();
   instants_.clear();
 }
 
 std::vector<TraceRecorder::Span> TraceRecorder::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return spans_;
 }
 
 std::vector<TraceRecorder::FlowPoint> TraceRecorder::flow_points() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return flow_points_;
 }
 
 std::vector<TraceRecorder::Instant> TraceRecorder::instants() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return instants_;
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return spans_.size() + flow_points_.size() + instants_.size();
 }
 
@@ -94,7 +94,7 @@ std::string TraceRecorder::ToChromeTraceJson() const {
   std::vector<FlowPoint> flows;
   std::vector<Instant> instants;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     spans = spans_;
     flows = flow_points_;
     instants = instants_;

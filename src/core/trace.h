@@ -2,11 +2,12 @@
 #define DDPKIT_CORE_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ddpkit::core {
 
@@ -86,10 +87,10 @@ class TraceRecorder {
   Status WriteJson(const std::string& path) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Span> spans_;
-  std::vector<FlowPoint> flow_points_;
-  std::vector<Instant> instants_;
+  mutable Mutex mutex_;
+  std::vector<Span> spans_ GUARDED_BY(mutex_);
+  std::vector<FlowPoint> flow_points_ GUARDED_BY(mutex_);
+  std::vector<Instant> instants_ GUARDED_BY(mutex_);
 };
 
 }  // namespace ddpkit::core

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -122,6 +123,40 @@ TEST(MetricsTest, ConcurrentUpdatesFromRankThreads) {
             static_cast<uint64_t>(kThreads) * kPerThread);
   EXPECT_EQ(registry.histogram("shared.hist").count(),
             static_cast<size_t>(kThreads) * kPerThread);
+}
+
+// Regression: rendering a histogram via seven individually-locked accessors
+// could interleave with a concurrent Record, producing a summary whose
+// fields belong to different instants (count from before the record, sum
+// from after). Snapshot() takes the lock once, so count/sum/min/max/
+// quantiles are always mutually consistent: recording only 1.0s, a
+// snapshot with sum != count would be torn.
+TEST(MetricsTest, SnapshotIsNeverTorn) {
+  // Both sides are bounded: a snapshot sorts the samples it copies, so an
+  // unbounded writer would make the reader loop quadratic (and blow the
+  // per-test timeout under TSan's slowdown). The reader stops once the
+  // writer is done — every snapshot it takes races a live Record.
+  constexpr int kRecords = 5'000;
+  constexpr int kMaxSnapshots = 20'000;
+  Histogram h;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < kRecords; ++i) h.Record(1.0);
+    done.store(true);
+  });
+  for (int i = 0; i < kMaxSnapshots && !done.load(); ++i) {
+    const Histogram::Summary s = h.Snapshot();
+    ASSERT_DOUBLE_EQ(s.sum, static_cast<double>(s.count));
+    if (s.count > 0) {
+      ASSERT_DOUBLE_EQ(s.min, 1.0);
+      ASSERT_DOUBLE_EQ(s.max, 1.0);
+      ASSERT_DOUBLE_EQ(s.p50, 1.0);
+    }
+  }
+  writer.join();
+  const Histogram::Summary s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<size_t>(kRecords));
+  EXPECT_DOUBLE_EQ(s.sum, static_cast<double>(kRecords));
 }
 
 }  // namespace

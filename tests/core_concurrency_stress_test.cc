@@ -1,0 +1,194 @@
+// Deterministic-interleaving stress for the reducer's locked hot path:
+// four rank threads drive MarkParamReady (autograd hooks, plus the
+// unused-parameter proactive path), coordinated RebuildBucketsFromTrace,
+// and the AbortSync fault path, while the intra-op pool size sweeps
+// 1/2/8 — so bucket copies and the all-reduce reduction fan out across
+// worker threads that interleave differently every run. The training
+// result must not care: gradients are asserted bit-exact against the
+// single-threaded pool configuration for every seed.
+//
+// Runs under the TSan CI leg (label `stress`), where the same sweep vets
+// the Mutex/CondVar discipline the thread-safety annotations promise.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "autograd/ops.h"
+#include "comm/fault_plan.h"
+#include "comm/sim_world.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/distributed_data_parallel.h"
+#include "core/reducer.h"
+#include "nn/zoo.h"
+
+namespace ddpkit::core {
+namespace {
+
+using comm::SimWorld;
+using comm::SimWorldOptions;
+
+constexpr int kWorld = 4;
+constexpr int kIterations = 4;
+constexpr int64_t kDim = 8;
+
+/// Restores the global pool size after a test that resizes it.
+class PoolSizeGuard {
+ public:
+  PoolSizeGuard() : previous_(ThreadPool::Global().num_threads()) {}
+  ~PoolSizeGuard() { ThreadPool::SetNumThreads(previous_); }
+
+ private:
+  int previous_;
+};
+
+std::vector<float> FlattenGrads(const nn::Module& module) {
+  std::vector<float> out;
+  for (const Tensor& p : module.parameters()) {
+    Tensor g = p.grad();
+    if (!g.defined()) {
+      out.insert(out.end(), static_cast<size_t>(p.numel()), 0.0f);
+      continue;
+    }
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      out.push_back(static_cast<float>(g.FlatAt(i)));
+    }
+  }
+  return out;
+}
+
+struct RunResult {
+  /// Per-rank, all iterations' gradients concatenated in order.
+  std::vector<std::vector<float>> grads{std::vector<std::vector<float>>(
+      static_cast<size_t>(kWorld))};
+  std::vector<Status> statuses{std::vector<Status>(
+      static_cast<size_t>(kWorld))};
+  std::vector<uint64_t> rebuilds{std::vector<uint64_t>(
+      static_cast<size_t>(kWorld), 0)};
+};
+
+/// One full training episode: kIterations synced backwards through a
+/// BranchyNet (find_unused_parameters exercises the proactive
+/// MarkParamReady path; the taken branch flips per iteration, identically
+/// on every rank), with a coordinated bucket rebuild after every even
+/// iteration. Everything is derived from `seed`, so two runs with equal
+/// seeds must agree exactly — whatever the pool size.
+RunResult RunEpisode(uint64_t seed, int pool_threads) {
+  PoolSizeGuard guard;
+  ThreadPool::SetNumThreads(pool_threads);
+
+  RunResult result;
+  SimWorldOptions world_options;
+  world_options.seed = seed;
+  SimWorld::Run(kWorld, world_options, [&](SimWorld::RankContext& ctx) {
+    const size_t r = static_cast<size_t>(ctx.rank);
+    Rng model_rng(seed);
+    auto model = std::make_shared<nn::BranchyNet>(kDim, &model_rng);
+    DdpOptions options;
+    options.find_unused_parameters = true;
+    // ~1 layer per bucket: several buckets in flight per backward.
+    options.bucket_cap_bytes = kDim * kDim * 4 + kDim * 4;
+    DistributedDataParallel ddp(model, ctx.process_group, options);
+
+    Rng data_rng(seed + 100 * static_cast<uint64_t>(ctx.rank));
+    for (int iter = 0; iter < kIterations; ++iter) {
+      model->set_use_branch_a(iter % 2 == 0);
+      model->ZeroGrad();
+      Tensor x = Tensor::Randn({2, kDim}, &data_rng);
+      autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      const std::vector<float> grads = FlattenGrads(*model);
+      result.grads[r].insert(result.grads[r].end(), grads.begin(),
+                             grads.end());
+      if (iter % 2 == 1) {
+        // Collective: every rank calls it the same number of times.
+        ddp.reducer().RebuildBucketsFromTrace();
+      }
+    }
+    result.statuses[r] = ddp.sync_status();
+    result.rebuilds[r] = ddp.reducer().stats().rebuilds;
+  });
+  return result;
+}
+
+/// Gradients (and the whole episode) must be a pure function of the seed:
+/// the pool's worker interleavings — chunked bucket copies, parallel
+/// all-reduce reductions — may not leak into results.
+TEST(ConcurrencyStressTest, GradientsBitExactAcrossPoolSizes) {
+  for (const uint64_t seed : {11u, 29u, 71u}) {
+    const RunResult reference = RunEpisode(seed, /*pool_threads=*/1);
+    for (size_t r = 0; r < kWorld; ++r) {
+      ASSERT_TRUE(reference.statuses[r].ok())
+          << "seed " << seed << " rank " << r << ": "
+          << reference.statuses[r].ToString();
+      ASSERT_FALSE(reference.grads[r].empty());
+    }
+    for (const int threads : {2, 8}) {
+      const RunResult run = RunEpisode(seed, threads);
+      for (size_t r = 0; r < kWorld; ++r) {
+        EXPECT_TRUE(run.statuses[r].ok())
+            << "seed " << seed << " threads " << threads << " rank " << r;
+        EXPECT_EQ(run.rebuilds[r], reference.rebuilds[r])
+            << "seed " << seed << " threads " << threads << " rank " << r;
+        // Bit-exact: element-wise float equality, no tolerance.
+        EXPECT_EQ(run.grads[r], reference.grads[r])
+            << "seed " << seed << " threads " << threads << " rank " << r;
+      }
+    }
+  }
+}
+
+/// Same sweep through the abort path: rank 3 crashes mid-episode, every
+/// survivor must land on a typed error (no deadlock, no abort) at every
+/// pool size, and the error must keep naming the same failure kind.
+TEST(ConcurrencyStressTest, AbortSyncSurvivesPoolSweep) {
+  auto plan = std::make_shared<comm::FaultPlan>();
+  // Mlp({kDim, kDim}) has 2 parameters that fit one bucket: DDP's ctor
+  // state broadcasts occupy seqs 0-1 and each synced backward is one
+  // collective, so seq 4 is the third iteration's gradient bucket.
+  plan->CrashRank(3, /*at_seq=*/4);
+
+  for (const int threads : {1, 2, 8}) {
+    PoolSizeGuard guard;
+    ThreadPool::SetNumThreads(threads);
+
+    std::vector<Status> statuses(kWorld);
+    SimWorldOptions world_options;
+    world_options.seed = 7;
+    world_options.fault_plan = plan;
+    world_options.collective_timeout_seconds = 5.0;
+    SimWorld::Run(kWorld, world_options, [&](SimWorld::RankContext& ctx) {
+      const size_t r = static_cast<size_t>(ctx.rank);
+      Rng model_rng(7);
+      auto model = std::make_shared<nn::Mlp>(
+          std::vector<int64_t>{kDim, kDim}, &model_rng);
+      DdpOptions options;
+      options.bucket_cap_bytes = kDim * kDim * 4 + kDim * 4;
+      options.collective_timeout_seconds = 5.0;
+      DistributedDataParallel ddp(model, ctx.process_group, options);
+
+      Rng data_rng(7 + 100 * static_cast<uint64_t>(ctx.rank));
+      for (int iter = 0; iter < kIterations; ++iter) {
+        model->ZeroGrad();
+        Tensor x = Tensor::Randn({2, kDim}, &data_rng);
+        autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      }
+      statuses[r] = ddp.sync_status();
+    });
+
+    // Every survivor observed the crash as a typed error — no deadlock,
+    // no abort, at any pool size. (Rank 3, the crashed one, is modeled as
+    // absent; its own status is not part of the contract.)
+    for (int r = 0; r < kWorld - 1; ++r) {
+      EXPECT_FALSE(statuses[static_cast<size_t>(r)].ok())
+          << "threads " << threads << " rank " << r
+          << ": survivor never observed the crash";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddpkit::core

@@ -75,7 +75,10 @@ TEST(RebuildSyncTest, DivergentReadyOrdersConvergeToRankZeroLayout) {
 
   std::vector<std::vector<size_t>> traced_orders(kWorld);
   std::vector<std::vector<std::vector<size_t>>> layouts(kWorld);
-  std::vector<bool> changed(kWorld, false);
+  // Not vector<bool>: rank threads write their own slot concurrently, and
+  // the bit-packed specialization would make neighbouring slots share a
+  // word (a data race TSan rightly flags).
+  std::vector<uint8_t> changed(kWorld, 0);
   std::vector<Status> statuses(kWorld);
   std::vector<std::vector<float>> grads(kWorld);
   SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
@@ -95,7 +98,7 @@ TEST(RebuildSyncTest, DivergentReadyOrdersConvergeToRankZeroLayout) {
     autograd::Backward(ops::MeanAll(ddp.Forward(Tensor::Full({2, dim}, 0.5))));
     traced_orders[r] = ddp.reducer().last_ready_order();
 
-    changed[r] = ddp.reducer().RebuildBucketsFromTrace();
+    changed[r] = ddp.reducer().RebuildBucketsFromTrace() ? 1 : 0;
     layouts[r] = ddp.reducer().assignment().buckets;
     statuses[r] = ddp.sync_status();
 

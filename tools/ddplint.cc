@@ -1,0 +1,471 @@
+// ddplint: ddpkit's repo-invariant linter. Complements the Clang
+// thread-safety analysis (-DDDPKIT_THREAD_SAFETY=ON) with invariants that
+// are textual rather than type-level, so they hold under every compiler:
+//
+//   unannotated-mutex      raw std::mutex / std::condition_variable members
+//                          are banned; use ddpkit::Mutex / ddpkit::CondVar
+//                          (common/mutex.h) so GUARDED_BY can see the locks.
+//   check-in-comm          DDPKIT_CHECK* aborts in src/comm/ collective
+//                          paths are banned; communication failures must
+//                          surface as ddpkit::Status (the PR 2 failure
+//                          model), not process aborts.
+//   throw-boundary         `throw` across the Reducer/ProcessGroup boundary
+//                          (src/comm/, core/reducer, core/distributed_data_
+//                          parallel) is banned; these layers speak Status.
+//   banned-nondeterminism  rand()/srand()/std::random_device and wall-clock
+//                          reads (steady_clock, system_clock, ...) outside
+//                          sim/virtual_clock.h are banned; simulated time
+//                          and seeded ddpkit::Rng keep runs reproducible.
+//
+// Waivers (with a reason, reviewed like any code):
+//   // ddplint: allow(<rule>) <reason>        — this line, or the first
+//                                               code line after a comment-
+//                                               only waiver block
+//   // ddplint: allow-file(<rule>) <reason>   — the whole file
+//
+// Usage:
+//   ddplint <path>...        # lint files / directory trees (.h, .cc)
+//   ddplint --selftest       # run the embedded invariant snippets
+//
+// Exit status 0 when clean, 1 on violations (or selftest failure), so the
+// tree lint and the selftest both double as ctest entries.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tool_util.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source model: raw lines (waivers live in comments) plus a stripped view
+// with comments and string/char literals blanked (rules match code only).
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.empty()) lines.push_back("");
+  return lines;
+}
+
+/// Blanks comments and string/character literals while preserving line
+/// lengths and counts, carrying block-comment state across lines. Escapes
+/// inside literals are honored; raw strings are not (the repo style avoids
+/// them, and a raw string would only over-blank, never under-blank... the
+/// safe direction for a linter that bans tokens).
+std::vector<std::string> StripToCode(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;  // rest of line is comment
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      const char c = line[i];
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+          } else if (line[i] == quote) {
+            ++i;
+            break;
+          } else {
+            ++i;
+          }
+        }
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+bool IsBlankLine(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
+// ---------------------------------------------------------------------------
+
+struct Waivers {
+  std::set<std::string> file_rules;                    // allow-file(rule)
+  std::set<std::pair<std::string, size_t>> line_rules;  // (rule, 0-based line)
+
+  bool Covers(const std::string& rule, size_t line) const {
+    return file_rules.count(rule) > 0 ||
+           line_rules.count({rule, line}) > 0;
+  }
+};
+
+/// A comment-only waiver covers the first code line after its comment
+/// block (the NOLINTNEXTLINE idiom, tolerant of multi-line reasons); a
+/// trailing waiver covers its own line.
+Waivers ExtractWaivers(const std::vector<std::string>& raw,
+                       const std::vector<std::string>& code) {
+  Waivers waivers;
+  const std::string line_marker = "ddplint: allow(";
+  const std::string file_marker = "ddplint: allow-file(";
+  for (size_t i = 0; i < raw.size(); ++i) {
+    for (const bool file_scope : {true, false}) {
+      const std::string& marker = file_scope ? file_marker : line_marker;
+      const size_t at = raw[i].find(marker);
+      if (at == std::string::npos) continue;
+      const size_t open = at + marker.size();
+      const size_t close = raw[i].find(')', open);
+      if (close == std::string::npos) continue;
+      const std::string rule = raw[i].substr(open, close - open);
+      if (file_scope) {
+        waivers.file_rules.insert(rule);
+        continue;
+      }
+      waivers.line_rules.insert({rule, i});
+      if (!IsBlankLine(code[i])) continue;  // trailing waiver: own line only
+      size_t j = i + 1;
+      while (j < code.size() && IsBlankLine(code[j])) ++j;
+      if (j < code.size()) waivers.line_rules.insert({rule, j});
+    }
+  }
+  return waivers;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  /// When true the token may be a prefix of a longer identifier
+  /// (DDPKIT_CHECK also matches DDPKIT_CHECK_EQ).
+  bool prefix_match = false;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Identifier-boundary token search: 'rand' must not match 'grand' or
+/// 'operand'.
+bool LineHasToken(const std::string& code, const Token& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token.text, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + token.text.size();
+    const bool right_ok =
+        token.prefix_match || end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+/// True when `dir` ("comm/") appears as a directory component. "comm/"
+/// never matches "common/": the component must end at the slash.
+bool InDir(const std::string& path, const std::string& dir) {
+  const size_t at = path.find(dir);
+  if (at == std::string::npos) return false;
+  return at == 0 || path[at - 1] == '/';
+}
+
+bool MentionsFile(const std::string& path, const std::string& stem) {
+  return path.find(stem) != std::string::npos;
+}
+
+/// The layers that speak Status across the replica boundary: the process
+/// groups and the reducer/DDP pair that drives them.
+bool IsStatusBoundary(const std::string& path) {
+  return InDir(path, "comm/") || MentionsFile(path, "core/reducer.") ||
+         MentionsFile(path, "core/distributed_data_parallel.");
+}
+
+struct Rule {
+  std::string name;
+  std::vector<Token> tokens;
+  bool (*applies)(const std::string& path);
+  std::string why;
+  std::string fixit;
+};
+
+const std::vector<Rule>& Rules() {
+  static const std::vector<Rule>* rules = new std::vector<Rule>{
+      {"unannotated-mutex",
+       {{"std::mutex", false},
+        {"std::recursive_mutex", false},
+        {"std::timed_mutex", false},
+        {"std::shared_mutex", false},
+        {"std::condition_variable", true}},
+       [](const std::string&) { return true; },
+       "raw standard-library lock primitives are invisible to the Clang "
+       "thread-safety analysis",
+       "use ddpkit::Mutex / ddpkit::CondVar from common/mutex.h so "
+       "GUARDED_BY and REQUIRES can see the lock"},
+      {"check-in-comm",
+       {{"DDPKIT_CHECK", true}},
+       [](const std::string& path) { return InDir(path, "comm/"); },
+       "a CHECK on a collective path turns a peer's failure into a local "
+       "process abort",
+       "return a ddpkit::Status (or a pre-failed WorkHandle) per the comm "
+       "failure model; waive construction-time preconditions with "
+       "// ddplint: allow(check-in-comm) <reason>"},
+      {"throw-boundary",
+       {{"throw", false}},
+       IsStatusBoundary,
+       "the Reducer/ProcessGroup boundary speaks ddpkit::Status; an "
+       "exception thrown here unwinds through non-throwing callers",
+       "convert the error to a Status return (or AbortSync) instead of "
+       "throwing"},
+      {"banned-nondeterminism",
+       {{"rand", false},
+        {"srand", false},
+        {"rand_r", false},
+        {"drand48", false},
+        {"std::random_device", false},
+        {"steady_clock", false},
+        {"system_clock", false},
+        {"high_resolution_clock", false},
+        {"gettimeofday", false},
+        {"clock_gettime", false}},
+       [](const std::string& path) {
+         return !MentionsFile(path, "sim/virtual_clock");
+       },
+       "unseeded randomness and wall-clock reads make simulated runs "
+       "irreproducible",
+       "draw randomness from a seeded ddpkit::Rng and time from the "
+       "rank's sim::VirtualClock; waive real-time control paths with "
+       "// ddplint: allow(banned-nondeterminism) <reason>"},
+  };
+  return *rules;
+}
+
+// ---------------------------------------------------------------------------
+// Lint driver.
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string path;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string token;
+};
+
+void LintContent(const std::string& path, const std::string& content,
+                 std::vector<Violation>* out) {
+  const std::string norm = NormalizePath(path);
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> code = StripToCode(raw);
+  const Waivers waivers = ExtractWaivers(raw, code);
+  for (const Rule& rule : Rules()) {
+    if (!rule.applies(norm)) continue;
+    if (waivers.file_rules.count(rule.name) > 0) continue;
+    for (size_t i = 0; i < code.size(); ++i) {
+      for (const Token& token : rule.tokens) {
+        if (!LineHasToken(code[i], token)) continue;
+        if (waivers.Covers(rule.name, i)) continue;
+        out->push_back(Violation{path, i + 1, rule.name, token.text});
+        break;  // one report per line per rule
+      }
+    }
+  }
+}
+
+bool LintFile(const std::string& path, std::vector<Violation>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ddplint: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  LintContent(path, buffer.str(), out);
+  return true;
+}
+
+bool LintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp";
+}
+
+int LintPaths(const std::vector<std::string>& paths) {
+  std::vector<Violation> violations;
+  bool io_error = false;
+  for (const std::string& arg : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && LintableExtension(entry.path())) {
+          io_error |= !LintFile(entry.path().string(), &violations);
+        }
+      }
+    } else {
+      io_error |= !LintFile(arg, &violations);
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort for stable
+  // CI logs.
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  for (const Violation& v : violations) {
+    const Rule* rule = nullptr;
+    for (const Rule& r : Rules()) {
+      if (r.name == v.rule) rule = &r;
+    }
+    std::fprintf(stderr, "%s:%zu: [%s] '%s' — %s\n  fix: %s\n",
+                 v.path.c_str(), v.line, v.rule.c_str(), v.token.c_str(),
+                 rule->why.c_str(), rule->fixit.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "ddplint: %zu violation(s)\n", violations.size());
+  }
+  return violations.empty() && !io_error ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: each invariant demonstrated on an embedded snippet — one
+// violating case and one clean/waived case per rule, plus the comment and
+// literal stripping the rules depend on.
+// ---------------------------------------------------------------------------
+
+struct SelfCase {
+  std::string name;
+  std::string path;     // decides which rules apply
+  std::string content;
+  size_t expect_violations;
+  std::string expect_rule;  // checked when expect_violations > 0
+};
+
+int SelfTest(const ddpkit::tools::ToolArgs&) {
+  const std::vector<SelfCase> cases = {
+      {"raw mutex member flagged", "src/core/x.h",
+       "class X {\n std::mutex mu_;\n};\n", 1, "unannotated-mutex"},
+      {"raw condition_variable_any flagged (prefix match)", "src/core/x.h",
+       "std::condition_variable_any cv_;\n", 1, "unannotated-mutex"},
+      {"wrapper types are clean", "src/core/x.h",
+       "ddpkit::Mutex mu_;\nddpkit::CondVar cv_;\n", 0, ""},
+      {"trailing line waiver honored", "src/core/x.h",
+       "std::mutex mu_;  // ddplint: allow(unannotated-mutex) interop\n", 0,
+       ""},
+      {"comment-block waiver covers next code line", "src/core/x.h",
+       "// ddplint: allow(unannotated-mutex) wraps the raw primitive\n"
+       "// over two comment lines of reason\n"
+       "std::mutex mu_;\n",
+       0, ""},
+      {"file waiver covers whole file", "src/core/x.h",
+       "// ddplint: allow-file(unannotated-mutex) wrapper layer\n"
+       "std::mutex a_;\nstd::mutex b_;\n",
+       0, ""},
+      {"waiver for one rule does not cover another", "src/comm/x.cc",
+       "// ddplint: allow(unannotated-mutex) wrong rule\n"
+       "DDPKIT_CHECK(ok);\n",
+       1, "check-in-comm"},
+      {"CHECK in comm flagged (incl. _EQ suffix)", "src/comm/pg.cc",
+       "DDPKIT_CHECK_EQ(a, b);\n", 1, "check-in-comm"},
+      {"CHECK outside comm is fine", "src/core/reducer.cc",
+       "DDPKIT_CHECK(ok);\n", 0, ""},
+      {"comm never matches common", "src/common/util.cc",
+       "DDPKIT_CHECK(ok);\n", 0, ""},
+      {"throw at the status boundary flagged", "src/comm/pg.cc",
+       "if (bad) throw std::runtime_error(\"x\");\n", 1, "throw-boundary"},
+      {"throw in reducer flagged", "src/core/reducer.cc",
+       "throw 1;\n", 1, "throw-boundary"},
+      {"throw outside the boundary is fine", "src/tensor/tensor.cc",
+       "throw std::bad_alloc();\n", 0, ""},
+      {"rand() flagged", "src/core/x.cc", "int r = rand();\n", 1,
+       "banned-nondeterminism"},
+      {"identifier boundary: grand() is fine", "src/core/x.cc",
+       "int r = grand();\n", 0, ""},
+      {"wall clock outside the sim flagged", "src/core/x.cc",
+       "auto t = std::chrono::steady_clock::now();\n", 1,
+       "banned-nondeterminism"},
+      {"virtual_clock.h may read clocks", "src/sim/virtual_clock.h",
+       "auto t = std::chrono::steady_clock::now();\n", 0, ""},
+      {"tokens in comments are ignored", "src/comm/pg.cc",
+       "// std::mutex and DDPKIT_CHECK and throw, discussed in prose\n"
+       "/* steady_clock too,\n   across lines */\n",
+       0, ""},
+      {"tokens in string literals are ignored", "src/comm/pg.cc",
+       "const char* s = \"DDPKIT_CHECK(throw std::mutex)\";\n", 0, ""},
+      {"two rules can fire in one file", "src/comm/pg.cc",
+       "DDPKIT_CHECK(ok);\nthrow 1;\n", 2, ""},
+  };
+
+  int failures = 0;
+  for (const SelfCase& c : cases) {
+    std::vector<Violation> got;
+    LintContent(c.path, c.content, &got);
+    bool ok = got.size() == c.expect_violations;
+    if (ok && c.expect_violations > 0 && !c.expect_rule.empty()) {
+      ok = got[0].rule == c.expect_rule;
+    }
+    std::printf("  %-48s %s\n", c.name.c_str(), ok ? "PASSED" : "FAILED");
+    if (!ok) {
+      ++failures;
+      std::printf("    expected %zu violation(s)%s%s, got %zu:\n",
+                  c.expect_violations, c.expect_rule.empty() ? "" : " of ",
+                  c.expect_rule.c_str(), got.size());
+      for (const Violation& v : got) {
+        std::printf("    %s:%zu [%s] '%s'\n", v.path.c_str(), v.line,
+                    v.rule.c_str(), v.token.c_str());
+      }
+    }
+  }
+  std::printf("selftest %s (%zu cases, %d failed)\n",
+              failures == 0 ? "PASSED" : "FAILED", cases.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddpkit::tools::ToolSpec spec;
+  spec.usage = {"<path>...      # lint .h/.cc files or directory trees",
+                "--selftest     # run the embedded invariant snippets"};
+  spec.min_positional = 1;
+  spec.max_positional = 1024;
+  spec.run = [](const ddpkit::tools::ToolArgs& args) {
+    return LintPaths(args.positional);
+  };
+  spec.selftest = SelfTest;
+  return ddpkit::tools::RunTool(argc, argv, spec);
+}

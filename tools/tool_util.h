@@ -1,0 +1,117 @@
+// Shared scaffolding for ddpkit's command-line tools (trace_summary,
+// ddplint): one argv parser with --flag[=value] syntax and one driver that
+// routes --selftest, --help, and arity errors identically everywhere, so
+// every tool doubles as a ctest entry the same way.
+
+#ifndef DDPKIT_TOOLS_TOOL_UTIL_H_
+#define DDPKIT_TOOLS_TOOL_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ddpkit::tools {
+
+/// Parsed command line: positional operands plus --name / --name=value
+/// flags. --selftest is recognized for every tool and split out because
+/// the driver routes it before the tool's own logic runs.
+struct ToolArgs {
+  std::string program;
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> flags;
+  bool selftest = false;
+  bool help = false;
+
+  bool HasFlag(const std::string& name) const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return true;
+    }
+    return false;
+  }
+
+  std::string FlagValue(const std::string& name,
+                        const std::string& fallback = "") const {
+    for (const auto& [k, v] : flags) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+};
+
+inline ToolArgs ParseToolArgs(int argc, char** argv) {
+  ToolArgs args;
+  args.program = argc > 0 ? argv[0] : "tool";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args.positional.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(2, eq == std::string::npos
+                                               ? std::string::npos
+                                               : eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (name == "selftest") {
+      args.selftest = true;
+    } else if (name == "help") {
+      args.help = true;
+    } else {
+      args.flags.emplace_back(name, value);
+    }
+  }
+  return args;
+}
+
+/// One tool's contract with the shared driver. `usage` lines are printed
+/// (prefixed by the program name) on --help and on arity errors; `run`
+/// handles a normal invocation; `selftest` (optional) is the end-to-end
+/// check wired into ctest.
+struct ToolSpec {
+  std::vector<std::string> usage;
+  size_t min_positional = 0;
+  size_t max_positional = 0;
+  std::function<int(const ToolArgs&)> run;
+  std::function<int(const ToolArgs&)> selftest;
+};
+
+inline void PrintUsage(const ToolArgs& args, const ToolSpec& spec,
+                       std::FILE* out) {
+  for (size_t i = 0; i < spec.usage.size(); ++i) {
+    std::fprintf(out, "%s %s %s\n", i == 0 ? "usage:" : "      ",
+                 args.program.c_str(), spec.usage[i].c_str());
+  }
+}
+
+/// Shared main(): parses argv, dispatches --selftest / --help, enforces
+/// the positional-arity window, and delegates to the tool. Exit status is
+/// the tool's own (selftests return 0 on success, 1 on failure, so each
+/// tool doubles as a ctest entry).
+inline int RunTool(int argc, char** argv, const ToolSpec& spec) {
+  const ToolArgs args = ParseToolArgs(argc, argv);
+  if (args.help) {
+    PrintUsage(args, spec, stdout);
+    return 0;
+  }
+  if (args.selftest) {
+    if (!spec.selftest) {
+      std::fprintf(stderr, "%s: no selftest available\n",
+                   args.program.c_str());
+      return 1;
+    }
+    return spec.selftest(args);
+  }
+  if (args.positional.size() < spec.min_positional ||
+      args.positional.size() > spec.max_positional) {
+    PrintUsage(args, spec, stderr);
+    return 1;
+  }
+  return spec.run(args);
+}
+
+}  // namespace ddpkit::tools
+
+#endif  // DDPKIT_TOOLS_TOOL_UTIL_H_

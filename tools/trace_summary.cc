@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "tool_util.h"
 
 namespace {
 
@@ -413,18 +414,19 @@ int SelfTest(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::string(argv[1]) == "--selftest") {
-    return SelfTest(argc >= 3 ? argv[2] : "trace_summary_selftest.json");
-  }
-  if (argc != 2) {
-    std::fprintf(stderr,
-                 "usage: %s <trace.json>\n"
-                 "       %s --selftest [scratch.json]\n",
-                 argv[0], argv[0]);
-    return 1;
-  }
-  std::map<int, RankSummary> ranks;
-  if (!SummarizeFile(argv[1], &ranks)) return 1;
-  PrintSummary(ranks);
-  return 0;
+  ddpkit::tools::ToolSpec spec;
+  spec.usage = {"<trace.json>", "--selftest [scratch.json]"};
+  spec.min_positional = 1;
+  spec.max_positional = 1;
+  spec.run = [](const ddpkit::tools::ToolArgs& args) {
+    std::map<int, RankSummary> ranks;
+    if (!SummarizeFile(args.positional[0], &ranks)) return 1;
+    PrintSummary(ranks);
+    return 0;
+  };
+  spec.selftest = [](const ddpkit::tools::ToolArgs& args) {
+    return SelfTest(args.positional.empty() ? "trace_summary_selftest.json"
+                                            : args.positional[0]);
+  };
+  return ddpkit::tools::RunTool(argc, argv, spec);
 }
