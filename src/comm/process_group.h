@@ -77,6 +77,27 @@ class ProcessGroup {
   /// Human-readable backend tag ("nccl", "gloo", "round_robin[...]").
   virtual std::string backend_name() const = 0;
 
+  /// Elastic-recovery generation this group was formed at. Groups formed by
+  /// normal startup are generation 0; every completed rendezvous after a
+  /// fault forms its replacement at the next generation. Backends without
+  /// elastic support report 0.
+  virtual uint64_t generation() const { return 0; }
+
+  /// Non-zero once AbortGroup has retired this group: the generation that
+  /// replaced it. Zero while the group is live.
+  virtual uint64_t superseded_by() const { return 0; }
+
+  /// Retires this group in favour of generation `new_generation`:
+  /// in-flight collectives fail with kInvalidGeneration and every later
+  /// collective fails fast the same way, so a straggler still holding this
+  /// group can never corrupt (or hang on) a reduction that its surviving
+  /// peers have abandoned. Idempotent; the first abort's verdict stands.
+  /// Default is a no-op for backends without elastic support.
+  virtual void AbortGroup(uint64_t new_generation, const std::string& reason) {
+    (void)new_generation;
+    (void)reason;
+  }
+
  protected:
   ProcessGroup(int rank, int world) : rank_(rank), world_(world) {}
 

@@ -75,6 +75,11 @@ struct GroupState {
       GUARDED_BY(mutex);
   /// Virtual time at which the group's serialized comm queue frees up.
   double queue_tail GUARDED_BY(mutex) = 0.0;
+  /// Elastic recovery: non-zero once AbortGroup retired this group in
+  /// favour of a newer generation. Checked at the top of every Contribute
+  /// so stragglers fail fast with kInvalidGeneration.
+  uint64_t superseded_by GUARDED_BY(mutex) = 0;
+  std::string abort_reason GUARDED_BY(mutex);
 
   // The configuration below is written only by the first-arriving rank
   // (under `mutex`, inside Create) and becomes immutable once every rank
@@ -89,6 +94,8 @@ struct GroupState {
   /// collective short of participants.
   std::shared_ptr<const FaultPlan> fault_plan;
   double collective_timeout = 30.0;
+  /// Generation the group was formed at (0 = normal startup).
+  uint64_t generation = 0;
   /// Optional pg.* metrics sink (first non-null registry offered at Create
   /// wins; typically one registry shared by every rank).
   std::shared_ptr<MetricsRegistry> metrics;
@@ -180,6 +187,7 @@ std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
       state->concurrent_groups = options.concurrent_groups;
       state->fault_plan = options.fault_plan;
       state->collective_timeout = options.collective_timeout_seconds;
+      state->generation = options.generation;
     }
     if (!state->metrics && options.metrics) state->metrics = options.metrics;
   }
@@ -206,6 +214,44 @@ const sim::CommCostModel& ProcessGroupSim::cost_model() const {
 
 std::string ProcessGroupSim::backend_name() const {
   return sim::BackendName(options_.flavor);
+}
+
+uint64_t ProcessGroupSim::superseded_by() const {
+  MutexLock lock(&state_->mutex);
+  return state_->superseded_by;
+}
+
+void ProcessGroupSim::AbortGroup(uint64_t new_generation,
+                                 const std::string& reason) {
+  std::vector<std::shared_ptr<CollectiveInstance>> pending;
+  {
+    MutexLock lock(&state_->mutex);
+    if (state_->superseded_by != 0) return;  // first abort's verdict stands
+    state_->superseded_by = new_generation;
+    state_->abort_reason = reason;
+    pending.reserve(state_->inflight.size());
+    for (auto& [seq, inst] : state_->inflight) pending.push_back(inst);
+    state_->inflight.clear();
+  }
+  // Fail the partially-arrived collectives outside the lock (MarkFailed
+  // takes Work::mutex_, strictly after GroupState::mutex in the hierarchy,
+  // but there is no need to hold the group lock while notifying waiters).
+  const double now = clock_->Now();
+  for (auto& inst : pending) {
+    inst->work->MarkFailed(
+        WorkError::kInvalidGeneration,
+        "group generation " + std::to_string(state_->generation) +
+            " superseded by generation " + std::to_string(new_generation) +
+            " (" + reason + ")",
+        now);
+  }
+  if (state_->metrics != nullptr) {
+    state_->metrics->counter("pg.group_aborts").Increment();
+    if (!pending.empty()) {
+      state_->metrics->counter("pg.collectives_failed")
+          .Increment(pending.size());
+    }
+  }
 }
 
 namespace {
@@ -283,6 +329,26 @@ WorkHandle Contribute(
   bool last = false;
   {
     MutexLock lock(&state->mutex);
+    // Generation gate, checked in the same critical section that registers
+    // contributions so an AbortGroup can never interleave between the check
+    // and the registration: a retired group rejects every collective
+    // outright. A straggler that missed a recovery rendezvous gets a typed
+    // fast failure here instead of registering a contribution its peers
+    // will never match.
+    if (state->superseded_by != 0) {
+      auto work = std::make_shared<Work>();
+      std::ostringstream msg;
+      msg << OpKindName(kind) << " seq " << seq << ": rank " << rank
+          << " issued a collective on group generation " << state->generation
+          << ", which was superseded by generation " << state->superseded_by
+          << " (" << state->abort_reason << ")";
+      work->MarkFailed(WorkError::kInvalidGeneration, msg.str(),
+                       arrival_clock);
+      if (state->metrics != nullptr) {
+        state->metrics->counter("pg.collectives_failed").Increment();
+      }
+      return work;
+    }
     auto it = state->inflight.find(seq);
     if (it == state->inflight.end()) {
       inst = std::make_shared<CollectiveInstance>();

@@ -60,6 +60,10 @@ class ProcessGroupSim : public ProcessGroup {
     /// Pass the same registry to every rank (the group adopts the first
     /// non-null one for the collective-level metrics).
     std::shared_ptr<MetricsRegistry> metrics;
+    /// Elastic-recovery generation this group is formed at (0 for normal
+    /// startup; rendezvous-formed replacement groups carry the generation
+    /// the survivors agreed on). All ranks must pass the same value.
+    uint64_t generation = 0;
   };
 
   /// Rendezvous constructor: blocks until all `world` ranks have called
@@ -90,6 +94,16 @@ class ProcessGroupSim : public ProcessGroup {
 
   /// Total number of collectives this rank has issued.
   uint64_t ops_issued() const { return next_seq_; }
+
+  uint64_t generation() const override { return options_.generation; }
+  uint64_t superseded_by() const override;
+
+  /// Marks the shared group state superseded by `new_generation`: every
+  /// in-flight collective fails kInvalidGeneration immediately and every
+  /// later Contribute (from any rank handle of this group — including a
+  /// straggler that missed the rendezvous) fails fast the same way.
+  /// Idempotent across the survivors' concurrent calls.
+  void AbortGroup(uint64_t new_generation, const std::string& reason) override;
 
  private:
   ProcessGroupSim(std::shared_ptr<internal::GroupState> state, int rank,

@@ -100,12 +100,37 @@ Status RoundRobinProcessGroup::DrainAndFailover(double timeout_seconds) {
     for (WorkHandle& work : c.inflight) {
       const Status st = work->Wait(clock(), timeout_seconds);
       if (!st.ok()) {
-        c.healthy = false;
+        // A generation retirement is not a child fault: the child fails
+        // fast and typed rather than hanging, so excluding it from the
+        // rotation (and eventually CHECK-failing with zero healthy
+        // children) would be wrong. Alignment happens below.
+        if (work->error() != WorkError::kInvalidGeneration) {
+          c.healthy = false;
+        }
         if (first_error.ok()) first_error = st;
       }
     }
     c.inflight.clear();
   }
+
+  // Generation alignment: if any child was retired (a recovery elsewhere
+  // aborted it, possibly mid-round), retire every child to the same —
+  // highest — superseding generation before anything else dispatches.
+  // Without this, rotation would keep feeding buckets to the remaining
+  // old-generation children while others reject, mixing generations
+  // across one logical iteration's buckets.
+  const uint64_t superseding = superseded_by();
+  if (superseding != 0) {
+    AbortGroup(superseding,
+               "round-robin generation alignment after partial retirement");
+    if (first_error.ok()) {
+      first_error = Status::InvalidGeneration(
+          "round-robin composite retired: a child group was superseded by "
+          "generation " + std::to_string(superseding));
+    }
+    return first_error;
+  }
+
   // ddplint: allow(check-in-comm) documented API contract: with every child
   // failed there is nothing left to fail over to (callers saw each typed
   // error via the drained Status first).
@@ -113,6 +138,24 @@ Status RoundRobinProcessGroup::DrainAndFailover(double timeout_seconds) {
       << "RoundRobinProcessGroup: every child group failed; last error: "
       << first_error.ToString();
   return first_error;
+}
+
+uint64_t RoundRobinProcessGroup::superseded_by() const {
+  uint64_t highest = 0;
+  for (const Child& c : children_) {
+    highest = std::max(highest, c.group->superseded_by());
+  }
+  return highest;
+}
+
+void RoundRobinProcessGroup::AbortGroup(uint64_t new_generation,
+                                        const std::string& reason) {
+  // Uniform retirement: every child — healthy, unhealthy, or already
+  // retired (idempotent) — moves to the same superseding generation, so no
+  // dispatch order can observe a mixed-generation composite afterwards.
+  for (Child& c : children_) {
+    c.group->AbortGroup(new_generation, reason);
+  }
 }
 
 size_t RoundRobinProcessGroup::num_healthy_groups() const {

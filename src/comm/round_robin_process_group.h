@@ -51,10 +51,31 @@ class RoundRobinProcessGroup : public ProcessGroup {
   /// future dispatch. Returns OK when everything drained clean, else the
   /// first error observed (dispatch continues on the survivors). Aborts
   /// only if every child failed — there is nothing left to fail over to.
-  Status DrainAndFailover(double timeout_seconds = 30.0);
+  ///
+  /// Generation alignment: kInvalidGeneration failures are generation
+  /// retirements, not child faults — the child stays "healthy" (it fails
+  /// fast and typed, it does not hang) and is never failed over. Instead,
+  /// the highest superseding generation observed across the children is
+  /// propagated to ALL of them before returning, so a failover mid-round
+  /// can never leave some buckets dispatching at the old generation while
+  /// others reject at the new one.
+  [[nodiscard]] Status DrainAndFailover(double timeout_seconds = 30.0);
 
   size_t num_groups() const { return children_.size(); }
   size_t num_healthy_groups() const;
+
+  /// Generation the composite was formed at (the children all match).
+  uint64_t generation() const override {
+    return children_[0].group->generation();
+  }
+
+  /// Highest superseding generation across the children (0 = all live).
+  /// Non-zero with some children still live is the transient mid-round
+  /// state DrainAndFailover repairs.
+  uint64_t superseded_by() const override;
+
+  /// Retires every child uniformly (see ProcessGroup::AbortGroup).
+  void AbortGroup(uint64_t new_generation, const std::string& reason) override;
 
  private:
   struct Child {

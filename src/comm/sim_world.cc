@@ -48,6 +48,37 @@ void SimWorld::Run(int world, const SimWorldOptions& options, RankFn fn) {
       ctx.clock = &clocks[static_cast<size_t>(r)];
       ctx.store = &store;
       ctx.rng = Rng(options.seed * 1000003ULL + static_cast<uint64_t>(r));
+      ctx.group_name = base_name;
+
+      // Factory for recovery-formed generations: same backend shape as the
+      // original group, named per generation so each regroup is a fresh
+      // Store/registry rendezvous among exactly the survivors.
+      sim::VirtualClock* clock = ctx.clock;
+      Store* store_ptr = &store;
+      auto recovery_plan = options.recovery_fault_plan;
+      const int rr_groups = options.round_robin_groups;
+      ctx.make_group = [pg_options, clock, store_ptr, base_name,
+                        recovery_plan, rr_groups](
+                           uint64_t generation, int new_rank,
+                           int new_world) -> std::shared_ptr<ProcessGroup> {
+        ProcessGroupSim::Options regroup_options = pg_options;
+        regroup_options.fault_plan = recovery_plan;
+        regroup_options.generation = generation;
+        const std::string gen_name =
+            base_name + "/g" + std::to_string(generation);
+        if (rr_groups == 1) {
+          return ProcessGroupSim::Create(store_ptr, gen_name, new_rank,
+                                         new_world, regroup_options, clock);
+        }
+        std::vector<std::shared_ptr<ProcessGroup>> regroup_children;
+        for (int g = 0; g < rr_groups; ++g) {
+          regroup_children.push_back(ProcessGroupSim::Create(
+              store_ptr, gen_name + "_rr" + std::to_string(g), new_rank,
+              new_world, regroup_options, clock));
+        }
+        return std::make_shared<RoundRobinProcessGroup>(
+            std::move(regroup_children));
+      };
 
       if (options.round_robin_groups == 1) {
         ctx.process_group = ProcessGroupSim::Create(

@@ -26,6 +26,12 @@ struct SimWorldOptions {
   /// Deterministic fault schedule shared by every rank (and, with
   /// round-robin, by every child group). Null = fault-free.
   std::shared_ptr<const FaultPlan> fault_plan;
+  /// Fault schedule for groups re-formed through RankContext::make_group
+  /// after an elastic recovery. Defaults to null (the replacement
+  /// generation runs fault-free): collective sequence numbers restart at 0
+  /// in a new group, so reusing `fault_plan` would replay the same faults
+  /// against the survivors. Set this to chain failures across generations.
+  std::shared_ptr<const FaultPlan> recovery_fault_plan;
   /// Watchdog applied when the fault plan leaves a collective short of
   /// participants (see ProcessGroupSim::Options).
   double collective_timeout_seconds = 30.0;
@@ -47,6 +53,19 @@ class SimWorld {
     sim::VirtualClock* clock = nullptr;
     Store* store = nullptr;
     Rng rng{0};
+    /// This world's unique base group name — the rendezvous namespace for
+    /// elastic recovery (rendezvous/<group_name>/g<generation>/... keys).
+    std::string group_name;
+    /// Re-forms this rank's process group at `generation` over a shrunken
+    /// world, mirroring the original construction (same backend options and
+    /// round-robin shape; the fault plan comes from
+    /// SimWorldOptions::recovery_fault_plan). Blocks until all `new_world`
+    /// survivors call it — pass it as the group factory to DDP recovery. A
+    /// rank whose body simply returns after a crash never calls it: a
+    /// SimWorld "process" dies by leaving its rank function.
+    std::function<std::shared_ptr<ProcessGroup>(
+        uint64_t generation, int new_rank, int new_world)>
+        make_group;
   };
 
   using RankFn = std::function<void(RankContext&)>;

@@ -87,6 +87,22 @@ size_t Store::NumKeys() const {
   return data_.size();
 }
 
+bool Store::DeleteKey(const std::string& key) {
+  MutexLock lock(&mutex_);
+  return data_.erase(key) > 0;
+}
+
+size_t Store::DeletePrefix(const std::string& prefix) {
+  MutexLock lock(&mutex_);
+  auto it = data_.lower_bound(prefix);
+  size_t deleted = 0;
+  while (it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = data_.erase(it);
+    ++deleted;
+  }
+  return deleted;
+}
+
 bool Store::MaybeInjectFault() {
   MutexLock lock(&fault_mutex_);
   if (fault_budget_ > 0) {

@@ -61,23 +61,34 @@ class Store {
 
   size_t NumKeys() const;
 
+  /// Removes `key`; returns true when it existed. Deleting never wakes
+  /// waiters (a delete cannot satisfy a Wait/Get predicate).
+  bool DeleteKey(const std::string& key);
+
+  /// Removes every key starting with `prefix`; returns how many were
+  /// deleted. Epoch-keyed protocols (bucket-layout validation, rebuild
+  /// broadcasts, recovery rendezvous) use this to retire a finished
+  /// epoch's namespace so long runs keep a bounded key count.
+  size_t DeletePrefix(const std::string& prefix);
+
   /// Retryable Set: retries transient failures per `policy`; fails with
   /// kInternal once the attempt budget is exhausted.
-  Status SetWithRetry(const std::string& key, std::string value,
-                      const RetryPolicy& policy = RetryPolicy());
+  [[nodiscard]] Status SetWithRetry(const std::string& key, std::string value,
+                                    const RetryPolicy& policy = RetryPolicy());
 
   /// Retryable Add; on success stores the post-add value in `*result`
   /// (which may be null).
-  Status AddWithRetry(const std::string& key, int64_t delta, int64_t* result,
-                      const RetryPolicy& policy = RetryPolicy());
+  [[nodiscard]] Status AddWithRetry(const std::string& key, int64_t delta,
+                                    int64_t* result,
+                                    const RetryPolicy& policy = RetryPolicy());
 
   /// Retryable bounded Get: waits up to `timeout_seconds` of real time for
   /// the key to appear, retrying transient failures per `policy`. Returns
   /// kTimedOut if the key never appears — the caller-visible difference
   /// between "peer is slow" and the legacy Get's silent hang.
-  Result<std::string> GetWithRetry(const std::string& key,
-                                   double timeout_seconds,
-                                   const RetryPolicy& policy = RetryPolicy());
+  [[nodiscard]] Result<std::string> GetWithRetry(
+      const std::string& key, double timeout_seconds,
+      const RetryPolicy& policy = RetryPolicy());
 
   /// Fault injection for the retryable tier: the next `failure_budget`
   /// retryable attempts fail with a transient error (deterministic), after

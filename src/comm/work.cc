@@ -16,6 +16,8 @@ const char* WorkErrorName(WorkError error) {
       return "rank_failure";
     case WorkError::kShapeMismatch:
       return "shape_mismatch";
+    case WorkError::kInvalidGeneration:
+      return "invalid_generation";
   }
   return "unknown";
 }
@@ -85,6 +87,8 @@ Status Work::StatusLocked() const {
       return Status::Internal(error_message_);
     case WorkError::kShapeMismatch:
       return Status::FailedPrecondition(error_message_);
+    case WorkError::kInvalidGeneration:
+      return Status::InvalidGeneration(error_message_);
   }
   return Status::Internal(error_message_);
 }

@@ -13,13 +13,16 @@ namespace ddpkit::comm {
 
 /// Typed failure states for a collective, mirroring the error taxonomy the
 /// paper's Discussion section leaves open: a peer that never shows up
-/// (kTimeout), a peer known dead (kRankFailure), or ranks issuing
-/// structurally different collectives (kShapeMismatch).
+/// (kTimeout), a peer known dead (kRankFailure), ranks issuing structurally
+/// different collectives (kShapeMismatch), or a collective issued against a
+/// process-group generation that elastic recovery has superseded
+/// (kInvalidGeneration).
 enum class WorkError {
   kNone = 0,
   kTimeout,
   kRankFailure,
   kShapeMismatch,
+  kInvalidGeneration,
 };
 const char* WorkErrorName(WorkError error);
 
@@ -53,7 +56,7 @@ class Work {
   ///    have finished for punctual peers);
   ///  - completed in time: advances `clock` to completion, returns OK.
   /// A non-positive timeout disables the watchdog (virtual-time-wise).
-  Status Wait(sim::VirtualClock* clock, double timeout_seconds);
+  [[nodiscard]] Status Wait(sim::VirtualClock* clock, double timeout_seconds);
 
   /// Non-throwing, non-blocking: true once the work is terminal (either
   /// completed or failed). Never aborts.
@@ -70,7 +73,7 @@ class Work {
   std::string error_message() const;
 
   /// The failure rendered as a Status; OK while pending or after success.
-  Status status() const;
+  [[nodiscard]] Status status() const;
 
   /// Virtual terminal time. Precondition: Poll().
   double completion_time() const;
@@ -89,7 +92,7 @@ class Work {
   void MarkFailed(WorkError error, std::string message, double failure_time);
 
  private:
-  Status StatusLocked() const REQUIRES(mutex_);
+  [[nodiscard]] Status StatusLocked() const REQUIRES(mutex_);
 
   mutable Mutex mutex_;
   CondVar cv_;

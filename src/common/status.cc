@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kInvalidGeneration:
+      return "InvalidGeneration";
   }
   return "Unknown";
 }

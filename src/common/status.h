@@ -17,6 +17,10 @@ enum class StatusCode {
   kTimedOut,
   kNotFound,
   kUnimplemented,
+  /// A collective was issued against a process-group generation that a
+  /// completed rendezvous has superseded (elastic recovery: stragglers
+  /// from the old generation must fail fast, never corrupt a reduction).
+  kInvalidGeneration,
 };
 
 /// A Status describes the outcome of an operation: either OK, or an error
@@ -48,6 +52,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status InvalidGeneration(std::string msg) {
+    return Status(StatusCode::kInvalidGeneration, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

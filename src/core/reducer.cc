@@ -129,9 +129,9 @@ Reducer::Reducer(std::vector<Tensor> params,
                  std::shared_ptr<comm::ProcessGroup> process_group,
                  const ReducerOptions& options)
     : params_(std::move(params)),
-      pg_(std::move(process_group)),
       options_(options),
-      alive_(std::make_shared<bool>(true)) {
+      alive_(std::make_shared<bool>(true)),
+      pg_(std::move(process_group)) {
   DDPKIT_CHECK(pg_ != nullptr);
   DDPKIT_CHECK(!params_.empty()) << "Reducer needs at least one parameter";
 
@@ -732,6 +732,17 @@ void Reducer::ValidateCrossRankLayout() {
     sigs[static_cast<size_t>(r)] = std::move(got).value();
   }
 
+  // Garbage-collect previous epochs' signature keys. Completing the read
+  // loop above proves every rank published epoch e (= layout_epoch_ - 1),
+  // and a rank publishes e only after finishing its reads of e-1 — so no
+  // rank can still need any epoch below e. Without this sweep a
+  // rebuild-heavy job leaks world keys per epoch into the Store.
+  const std::string epoch_base =
+      "reducer/layout/" + std::to_string(store_instance_) + "/v";
+  for (; layout_swept_ + 1 < layout_epoch_; ++layout_swept_) {
+    store->DeletePrefix(epoch_base + std::to_string(layout_swept_) + "/");
+  }
+
   for (int r = 1; r < world; ++r) {
     if (sigs[static_cast<size_t>(r)] == sigs[0]) continue;
     // Lowest disagreeing rank named; pin down the first divergent bucket.
@@ -848,8 +859,99 @@ bool Reducer::RebuildBucketsFromTrace() {
   // other reason is caught here rather than at the next AllReduce.
   if (coordinated && options_.validate_bucket_layout) {
     ValidateCrossRankLayout();
+    if (sync_status_.ok()) {
+      // Garbage-collect the rebuild-order keys through the epoch just
+      // consumed: peers read the order key before entering the validation
+      // handshake, and this rank completing that handshake proves every
+      // peer got past its read. ("skip" epochs that returned early above
+      // are swept by the next rebuild that reaches this point.)
+      const std::string rebuild_base =
+          "reducer/rebuild/" + std::to_string(store_instance_) + "/v";
+      for (; rebuild_swept_ < rebuild_epoch_; ++rebuild_swept_) {
+        store->DeletePrefix(rebuild_base + std::to_string(rebuild_swept_) +
+                            "/");
+      }
+    }
   }
   return changed;
+}
+
+Status Reducer::ResetAfterRecovery(
+    std::shared_ptr<comm::ProcessGroup> new_group) {
+  MutexLock lock(&mu_);
+  if (new_group == nullptr) {
+    return Status::InvalidArgument(
+        "ResetAfterRecovery needs the rendezvous-formed replacement group");
+  }
+
+  // Drain works left over from the retired generation non-throwingly. A
+  // handle that did complete before the abort still advances the clock to
+  // its completion; everything else was failed (kInvalidGeneration) by
+  // AbortGroup and is simply released.
+  for (Bucket& bucket : buckets_) {
+    if (bucket.work == nullptr) continue;
+    if (bucket.work->Poll() && bucket.work->IsCompleted()) {
+      pg_->clock()->AdvanceTo(bucket.work->completion_time());
+    }
+    bucket.work.reset();
+    bucket.hook_launched = CommHook::Launched{};
+  }
+
+  pg_ = std::move(new_group);
+  sync_status_ = Status::OK();
+  armed_ = false;
+  expect_hooks_ = false;
+  finalized_ = false;
+  frame_active_ = false;
+
+  // Usage state restarts clean: the recovery broadcast just overwrote every
+  // parameter (and optimizer slot), so nothing accumulated before the fault
+  // may leak into the first post-recovery sync.
+  std::fill(locally_used_.begin(), locally_used_.end(), 0);
+  std::fill(globally_used_.begin(), globally_used_.end(), 1);
+  used_bitmap_.Zero();
+  last_ready_order_.clear();
+  ready_order_.clear();
+
+  // Fresh Store-coordination identity on the new generation: epochs restart
+  // at zero and a new instance id is allocated under the rank's NEW id.
+  // Every survivor constructed the same reducers pre-fault, so the per-rank
+  // instance counters agree across old rank positions and the re-allocation
+  // yields matching ids on every survivor.
+  layout_epoch_ = 0;
+  rebuild_epoch_ = 0;
+  layout_swept_ = 0;
+  rebuild_swept_ = 0;
+  store_instance_ = -1;
+  if (comm::Store* store = pg_->store();
+      store != nullptr && pg_->world() > 1) {
+    int64_t count = 0;
+    Status st = store->AddWithRetry(
+        "reducer/instances/rank" + std::to_string(pg_->rank()), 1, &count);
+    if (st.ok()) {
+      store_instance_ = count - 1;
+    } else if (options_.validate_bucket_layout) {
+      AbortSync(Status(st.code(),
+                       "post-recovery instance-id allocation could not reach "
+                       "the store: " + st.message()));
+      return sync_status_;
+    }
+  }
+
+  // Rebuild from the DEFAULT assignment — NOT the last trace-driven one.
+  // The reference a recovered run must stay bit-exact with is a fresh
+  // world' job started from the same checkpoint, and that job's freshly
+  // constructed reducer uses the default layout; ring all-reduce chunking
+  // (hence float summation order) follows the bucket partition.
+  InitBuckets(AssignBuckets(metas_, options_.bucket_cap_bytes,
+                            options_.first_bucket_cap_bytes));
+  ResetIterationState();
+
+  if (options_.validate_bucket_layout) ValidateCrossRankLayout();
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("reducer.recoveries").Increment();
+  }
+  return sync_status_;
 }
 
 }  // namespace ddpkit::core

@@ -164,6 +164,20 @@ class Reducer {
   /// re-runs (validate_bucket_layout).
   bool RebuildBucketsFromTrace() EXCLUDES(mu_);
 
+  /// Elastic-recovery re-init: adopt `new_group` (the shrunken,
+  /// rendezvous-formed replacement), drain any in-flight works from the
+  /// retired group non-throwingly, clear the sync-disabling error, and
+  /// rebuild buckets from the DEFAULT assignment — the layout a freshly
+  /// constructed reducer over the same parameters would pick, so a
+  /// recovered run stays bit-exact with a fresh run started from the same
+  /// state (ring all-reduce summation order depends on bucket chunking).
+  /// A fresh Store instance id is allocated and the cross-rank layout
+  /// validation handshake re-runs on the new group. Call between
+  /// iterations on the rank's own thread (after DDP's recovery broadcasts).
+  /// Returns the post-reset sync status.
+  [[nodiscard]] Status ResetAfterRecovery(
+      std::shared_ptr<comm::ProcessGroup> new_group) EXCLUDES(mu_);
+
   /// Records the virtual-time cost of the preceding forward pass; consumed
   /// into the next iteration's telemetry frame. Called by the DDP wrapper.
   void RecordForwardSeconds(double seconds) EXCLUDES(mu_) {
@@ -258,22 +272,25 @@ class Reducer {
   void FinalizeBackward() REQUIRES(mu_);
 
   // Immutable after construction (no guard needed): the parameter set,
-  // its metadata, the process-group handle, the options block, the hook
-  // liveness token, and the Store instance id are written once in the
-  // constructor and only read afterwards.
+  // its metadata, the options block, and the hook liveness token are
+  // written once in the constructor and only read afterwards.
   std::vector<Tensor> params_;
   std::vector<ParamMeta> metas_;
   std::unordered_map<const void*, size_t> param_index_;
-  std::shared_ptr<comm::ProcessGroup> pg_;
   ReducerOptions options_;
   std::shared_ptr<bool> alive_;  // guards accumulator hooks against dtor
-  int64_t store_instance_ = -1;
 
   /// Guards all mutable reducer state below. Root of this replica's lock
   /// hierarchy: held while calling into the process group (GroupState
   /// mutex, Work mutex, Store mutex are all acquired strictly after it,
   /// never the other way around). See DESIGN.md §8.
   mutable Mutex mu_;
+
+  // Swapped by elastic recovery (ResetAfterRecovery), read everywhere else
+  // under mu_: the process-group handle and the Store instance id pairing
+  // the Nth reducer across ranks.
+  std::shared_ptr<comm::ProcessGroup> pg_ GUARDED_BY(mu_);
+  int64_t store_instance_ GUARDED_BY(mu_) = -1;
 
   BucketAssignment assignment_ GUARDED_BY(mu_);
   std::vector<Bucket> buckets_ GUARDED_BY(mu_);
@@ -303,10 +320,14 @@ class Reducer {
   Stats stats_ GUARDED_BY(mu_);
 
   // Store-coordination epochs that keep validation and rebuild key
-  // namespaces in lockstep across ranks (the instance id pairing the Nth
-  // reducer on every rank is immutable, above).
+  // namespaces in lockstep across ranks. The *_swept_ cursors track the
+  // oldest epoch whose Store keys have not been deleted yet: once a
+  // handshake proves every rank has consumed epoch e, everything below e
+  // is garbage-collected so long-running jobs keep a bounded key count.
   uint64_t layout_epoch_ GUARDED_BY(mu_) = 0;
   uint64_t rebuild_epoch_ GUARDED_BY(mu_) = 0;
+  uint64_t layout_swept_ GUARDED_BY(mu_) = 0;
+  uint64_t rebuild_swept_ GUARDED_BY(mu_) = 0;
 
   // Telemetry state for the in-flight iteration.
   DDPTelemetry frame_ GUARDED_BY(mu_);

@@ -172,6 +172,158 @@ TEST(CheckpointResumeTest, DroppingOptimizerStateChangesTrajectory) {
   std::remove(opt_ck.c_str());
 }
 
+TEST(OptimizerStateTest, SgdMomentumRoundTripsBitExactly) {
+  // Direct named_state contract: every momentum buffer survives a
+  // save/load cycle into a FRESH optimizer bit for bit — the invariant
+  // both checkpoint resume and elastic recovery's extra_state broadcast
+  // stand on.
+  Rng rng(11);
+  auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 6, 2}, &rng);
+  optim::Sgd opt(model->parameters(),
+                 optim::Sgd::Options{.lr = 0.05, .momentum = 0.9});
+  nn::MSELoss mse;
+  for (int step = 0; step < 3; ++step) {  // populate momentum
+    opt.ZeroGrad();
+    autograd::Backward(
+        mse(model->Forward(StepInput(step, 0)), StepTarget(step, 0)));
+    opt.Step();
+  }
+  const std::string path = TempPath("sgd_state");
+  ASSERT_TRUE(nn::SaveTensorMap(opt.named_state(), path).ok());
+
+  Rng rng2(11);
+  auto model2 =
+      std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 6, 2}, &rng2);
+  optim::Sgd opt2(model2->parameters(),
+                  optim::Sgd::Options{.lr = 0.05, .momentum = 0.9});
+  ASSERT_TRUE(nn::LoadTensorMap(opt2.named_state(), path).ok());
+
+  auto want = opt.named_state();
+  auto got = opt2.named_state();
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_FALSE(want.empty());  // momentum state must actually exist
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first);
+    ASSERT_EQ(got[i].second.numel(), want[i].second.numel());
+    const float* a = want[i].second.data<float>();
+    const float* b = got[i].second.data<float>();
+    for (int64_t j = 0; j < want[i].second.numel(); ++j) {
+      EXPECT_EQ(b[j], a[j]) << want[i].first << "[" << j << "]";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OptimizerStateTest, AdamMomentsAndStepCountersRoundTripBitExactly) {
+  Rng rng(13);
+  auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 6, 2}, &rng);
+  optim::Adam opt(model->parameters(), optim::Adam::Options{.lr = 2e-3});
+  nn::MSELoss mse;
+  for (int step = 0; step < 3; ++step) {
+    opt.ZeroGrad();
+    autograd::Backward(
+        mse(model->Forward(StepInput(step, 0)), StepTarget(step, 0)));
+    opt.Step();
+  }
+  const std::string path = TempPath("adam_state");
+  ASSERT_TRUE(nn::SaveTensorMap(opt.named_state(), path).ok());
+
+  Rng rng2(13);
+  auto model2 =
+      std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 6, 2}, &rng2);
+  optim::Adam opt2(model2->parameters(), optim::Adam::Options{.lr = 2e-3});
+  ASSERT_TRUE(nn::LoadTensorMap(opt2.named_state(), path).ok());
+
+  auto want = opt.named_state();
+  auto got = opt2.named_state();
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_FALSE(want.empty());
+  bool saw_int64 = false;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first);
+    ASSERT_EQ(got[i].second.dtype(), want[i].second.dtype());
+    ASSERT_EQ(got[i].second.numel(), want[i].second.numel());
+    if (want[i].second.dtype() == DType::kInt64) {
+      // Adam's bias-correction step counters ride along as int64 state.
+      saw_int64 = true;
+      const int64_t* a = want[i].second.data<int64_t>();
+      const int64_t* b = got[i].second.data<int64_t>();
+      for (int64_t j = 0; j < want[i].second.numel(); ++j) {
+        EXPECT_EQ(b[j], a[j]) << want[i].first << "[" << j << "]";
+      }
+    } else {
+      const float* a = want[i].second.data<float>();
+      const float* b = got[i].second.data<float>();
+      for (int64_t j = 0; j < want[i].second.numel(); ++j) {
+        EXPECT_EQ(b[j], a[j]) << want[i].first << "[" << j << "]";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_int64);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, NoSyncAccumulationResumesBitExactly) {
+  // Checkpoint/resume composed with the paper's no_sync (§3.2.4): each
+  // step accumulates one skipped microbatch plus one synced microbatch
+  // before Step(). A checkpoint taken between steps must resume the
+  // accumulation schedule bit-exactly.
+  auto run = [](int first_step, int last_step, const std::string& load_model,
+                const std::string& load_opt, const std::string& save_model,
+                const std::string& save_opt) {
+    std::vector<float> result;
+    SimWorld::Run(kWorld, [&](SimWorld::RankContext& ctx) {
+      Rng rng(7);
+      auto model =
+          std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 6, 2}, &rng);
+      optim::Sgd opt(model->parameters(),
+                     optim::Sgd::Options{.lr = 0.05, .momentum = 0.9});
+      if (!load_model.empty()) {
+        ASSERT_TRUE(nn::LoadStateDict(model.get(), load_model).ok());
+        ASSERT_TRUE(nn::LoadTensorMap(opt.named_state(), load_opt).ok());
+      }
+      DistributedDataParallel ddp(model, ctx.process_group);
+      nn::MSELoss mse;
+      for (int step = first_step; step < last_step; ++step) {
+        opt.ZeroGrad();
+        {
+          auto guard = ddp.no_sync();  // microbatch 0: accumulate locally
+          autograd::Backward(mse(ddp.Forward(StepInput(step, ctx.rank)),
+                                 StepTarget(step, ctx.rank)));
+        }
+        // Microbatch 1: synced; reduces the accumulated gradients.
+        autograd::Backward(
+            mse(ddp.Forward(StepInput(step, ctx.rank + 100)),
+                StepTarget(step, ctx.rank + 100)));
+        opt.Step();
+      }
+      if (ctx.rank == 0) {
+        if (!save_model.empty()) {
+          ASSERT_TRUE(nn::SaveStateDict(*model, save_model).ok());
+          ASSERT_TRUE(nn::SaveTensorMap(opt.named_state(), save_opt).ok());
+        }
+        for (const Tensor& p : model->parameters()) {
+          for (int64_t i = 0; i < p.numel(); ++i) {
+            result.push_back(static_cast<float>(p.FlatAt(i)));
+          }
+        }
+      }
+    });
+    return result;
+  };
+
+  const std::string model_ck = TempPath("nosync_model");
+  const std::string opt_ck = TempPath("nosync_opt");
+  std::vector<float> straight = run(0, kTotalSteps, "", "", "", "");
+  run(0, kResumeAt, "", "", model_ck, opt_ck);
+  std::vector<float> resumed =
+      run(kResumeAt, kTotalSteps, model_ck, opt_ck, "", "");
+
+  EXPECT_EQ(resumed, straight);
+  std::remove(model_ck.c_str());
+  std::remove(opt_ck.c_str());
+}
+
 TEST(TensorMapTest, RoundTripsMixedDtypes) {
   // Direct API check: float32 and int64 entries in one map.
   Tensor a = Tensor::FromVector({1.5f, -2.5f}, {2});

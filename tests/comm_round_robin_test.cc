@@ -80,5 +80,62 @@ TEST(RoundRobinTest, SingleChildBehavesLikePlainGroup) {
   });
 }
 
+TEST(RoundRobinTest, GenerationRetirementAlignsChildrenWithoutFailover) {
+  // Regression: a generation retirement (elastic recovery aborting a child
+  // group) is NOT a child fault. DrainAndFailover must keep the child in
+  // the healthy set (no failover, no zero-healthy CHECK), surface a typed
+  // kInvalidGeneration status, and propagate the superseding generation to
+  // EVERY child so no later dispatch mixes generations across one
+  // iteration's buckets.
+  constexpr int kChildren = 3;
+  SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+    std::vector<std::shared_ptr<ProcessGroup>> children;
+    for (int g = 0; g < kChildren; ++g) {
+      ProcessGroupSim::Options options;
+      options.concurrent_groups = kChildren;
+      children.push_back(ProcessGroupSim::Create(
+          ctx.store, "rr_gen_align/c" + std::to_string(g), ctx.rank,
+          ctx.world, options, ctx.clock));
+    }
+    std::shared_ptr<ProcessGroup> retired_child = children[1];
+    RoundRobinProcessGroup rr(children);
+
+    // One collective per child; the rotation spreads them 0, 1, 2.
+    std::vector<Tensor> tensors;
+    for (int i = 0; i < kChildren; ++i) {
+      tensors.push_back(Tensor::Full({4}, ctx.rank + 1.0));
+      (void)rr.AllReduce(tensors.back(), ReduceOp::kSum);
+    }
+
+    // A recovery elsewhere retires child 1 only — the transient
+    // mixed-generation state DrainAndFailover must repair. (Idempotent:
+    // both ranks call it; the first verdict stands.)
+    retired_child->AbortGroup(1, "recovery elsewhere retired this child");
+
+    Status drained = rr.DrainAndFailover(/*timeout_seconds=*/30.0);
+    ASSERT_FALSE(drained.ok());
+    EXPECT_EQ(drained.code(), StatusCode::kInvalidGeneration)
+        << drained.ToString();
+    // No failover happened: the retired child fails fast and typed, it is
+    // not unhealthy — and the composite did not CHECK-abort.
+    EXPECT_EQ(rr.num_healthy_groups(), static_cast<size_t>(kChildren));
+    // Alignment: every child now rejects at the same superseding
+    // generation, not just the one the recovery touched.
+    for (const auto& child : children) {
+      EXPECT_EQ(child->superseded_by(), 1u);
+    }
+    EXPECT_EQ(rr.superseded_by(), 1u);
+
+    // A straggler dispatch on the retired composite fails fast and typed
+    // on whichever child rotation picks — never a hang, never a
+    // mixed-generation reduction.
+    Tensor late = Tensor::Full({4}, 1.0);
+    WorkHandle work = rr.AllReduce(late, ReduceOp::kSum);
+    Status st = work->Wait(ctx.clock, 5.0);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidGeneration) << st.ToString();
+    EXPECT_EQ(work->error(), WorkError::kInvalidGeneration);
+  });
+}
+
 }  // namespace
 }  // namespace ddpkit::comm

@@ -55,6 +55,38 @@ TEST(StoreTest, AddNegativeDelta) {
   EXPECT_EQ(store.Add("n", -3), 7);
 }
 
+TEST(StoreTest, DeleteKeyReportsPresence) {
+  Store store;
+  store.Set("k", "v");
+  EXPECT_TRUE(store.DeleteKey("k"));
+  std::string value;
+  EXPECT_FALSE(store.TryGet("k", &value));
+  EXPECT_FALSE(store.DeleteKey("k"));  // already gone
+  EXPECT_FALSE(store.DeleteKey("never-set"));
+  EXPECT_EQ(store.NumKeys(), 0u);
+}
+
+TEST(StoreTest, DeletePrefixRemovesOnlyMatchingKeys) {
+  Store store;
+  store.Set("epoch/v0/rank0", "a");
+  store.Set("epoch/v0/rank1", "b");
+  store.Set("epoch/v1/rank0", "c");
+  store.Set("epoch", "bare");         // equal to a prefix of the others
+  store.Set("epoch/v00/rank0", "d");  // shares "epoch/v0" as a string prefix
+
+  EXPECT_EQ(store.DeletePrefix("epoch/v0/"), 2u);
+  EXPECT_EQ(store.NumKeys(), 3u);
+  std::string value;
+  EXPECT_FALSE(store.TryGet("epoch/v0/rank0", &value));
+  EXPECT_TRUE(store.TryGet("epoch/v1/rank0", &value));
+  EXPECT_TRUE(store.TryGet("epoch", &value));
+  EXPECT_TRUE(store.TryGet("epoch/v00/rank0", &value));
+
+  EXPECT_EQ(store.DeletePrefix("no-such-prefix/"), 0u);
+  EXPECT_EQ(store.DeletePrefix(""), 3u);  // empty prefix matches everything
+  EXPECT_EQ(store.NumKeys(), 0u);
+}
+
 TEST(StoreTest, WaitForMultipleKeys) {
   Store store;
   std::atomic<bool> done{false};

@@ -16,6 +16,11 @@
 //                          reads (steady_clock, system_clock, ...) outside
 //                          sim/virtual_clock.h are banned; simulated time
 //                          and seeded ddpkit::Rng keep runs reproducible.
+//   nodiscard-status       Status/Result-returning function declarations in
+//                          status-boundary headers must be [[nodiscard]]:
+//                          a silently dropped Status on a recovery or
+//                          collective path turns a typed failure back into
+//                          the hang/corruption it was typed to prevent.
 //
 // Waivers (with a reason, reviewed like any code):
 //   // ddplint: allow(<rule>) <reason>        — this line, or the first
@@ -224,6 +229,83 @@ struct Rule {
   std::string fixit;
 };
 
+// ---------------------------------------------------------------------------
+// nodiscard-status: structural (not token) matching, run as its own pass.
+// ---------------------------------------------------------------------------
+
+bool IsHeaderPath(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".h") || ends_with(".hpp");
+}
+
+/// True when one stripped code line declares a function returning Status or
+/// Result<...> by value: optional qualifiers, the return type, an
+/// identifier, then '('. Reference/pointer returns and data members
+/// (identifier not followed by '(') are intentionally not matched.
+bool LineDeclaresStatusFunction(const std::string& code) {
+  size_t i = code.find_first_not_of(" \t");
+  if (i == std::string::npos) return false;
+
+  const auto word_at = [&](size_t pos, const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    return code.compare(pos, n, word) == 0 &&
+           (pos + n >= code.size() || !IsIdentChar(code[pos + n]));
+  };
+  static const char* kQualifiers[] = {"static",    "virtual", "inline",
+                                      "constexpr", "explicit", "friend"};
+  bool stripped = true;
+  while (stripped) {
+    stripped = false;
+    for (const char* q : kQualifiers) {
+      if (!word_at(i, q)) continue;
+      i = code.find_first_not_of(" \t",
+                                 i + std::char_traits<char>::length(q));
+      if (i == std::string::npos) return false;
+      stripped = true;
+    }
+  }
+
+  size_t after_type = std::string::npos;
+  for (const char* status : {"ddpkit::Status", "Status"}) {
+    if (word_at(i, status)) {
+      after_type = i + std::char_traits<char>::length(status);
+      break;
+    }
+  }
+  if (after_type == std::string::npos) {
+    for (const char* result : {"ddpkit::Result<", "Result<"}) {
+      const size_t n = std::char_traits<char>::length(result);
+      if (code.compare(i, n, result) != 0) continue;
+      size_t j = i + n;
+      int depth = 1;
+      while (j < code.size() && depth > 0) {
+        if (code[j] == '<') ++depth;
+        if (code[j] == '>') --depth;
+        ++j;
+      }
+      if (depth != 0) return false;
+      after_type = j;
+      break;
+    }
+  }
+  if (after_type == std::string::npos) return false;
+
+  // By-reference / by-pointer returns are observers, not must-check calls.
+  size_t j = code.find_first_not_of(" \t", after_type);
+  if (j == std::string::npos || j == after_type) return false;
+  if (code[j] == '&' || code[j] == '*') return false;
+  if (!IsIdentChar(code[j]) ||
+      std::isdigit(static_cast<unsigned char>(code[j])) != 0) {
+    return false;
+  }
+  while (j < code.size() && IsIdentChar(code[j])) ++j;
+  j = code.find_first_not_of(" \t", j);
+  return j != std::string::npos && code[j] == '(';
+}
+
 const std::vector<Rule>& Rules() {
   static const std::vector<Rule>* rules = new std::vector<Rule>{
       {"unannotated-mutex",
@@ -271,6 +353,17 @@ const std::vector<Rule>& Rules() {
        "draw randomness from a seeded ddpkit::Rng and time from the "
        "rank's sim::VirtualClock; waive real-time control paths with "
        "// ddplint: allow(banned-nondeterminism) <reason>"},
+      {"nodiscard-status",
+       {},  // structural rule: matched by LintNodiscardStatus, not tokens
+       [](const std::string& path) {
+         return IsStatusBoundary(path) && IsHeaderPath(path);
+       },
+       "a silently dropped Status on a collective or recovery path turns a "
+       "typed failure back into the hang or corruption it was typed to "
+       "prevent",
+       "mark the declaration [[nodiscard]] (same line or the line above); "
+       "waive intentionally discardable calls with "
+       "// ddplint: allow(nodiscard-status) <reason>"},
   };
   return *rules;
 }
@@ -286,6 +379,31 @@ struct Violation {
   std::string token;
 };
 
+/// The structural nodiscard-status pass: every Status/Result-by-value
+/// function declaration in an applicable header must carry [[nodiscard]]
+/// on its own line or on the previous non-blank code line.
+void LintNodiscardStatus(const std::string& path,
+                         const std::vector<std::string>& code,
+                         const Waivers& waivers,
+                         std::vector<Violation>* out) {
+  const std::string rule = "nodiscard-status";
+  if (waivers.file_rules.count(rule) > 0) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!LineDeclaresStatusFunction(code[i])) continue;
+    if (code[i].find("[[nodiscard]]") != std::string::npos) continue;
+    bool annotated_above = false;
+    for (size_t j = i; j > 0;) {
+      --j;
+      if (IsBlankLine(code[j])) continue;
+      annotated_above = code[j].find("[[nodiscard]]") != std::string::npos;
+      break;
+    }
+    if (annotated_above) continue;
+    if (waivers.Covers(rule, i)) continue;
+    out->push_back(Violation{path, i + 1, rule, "Status"});
+  }
+}
+
 void LintContent(const std::string& path, const std::string& content,
                  std::vector<Violation>* out) {
   const std::string norm = NormalizePath(path);
@@ -295,6 +413,10 @@ void LintContent(const std::string& path, const std::string& content,
   for (const Rule& rule : Rules()) {
     if (!rule.applies(norm)) continue;
     if (waivers.file_rules.count(rule.name) > 0) continue;
+    if (rule.name == "nodiscard-status") {
+      LintNodiscardStatus(path, code, waivers, out);
+      continue;
+    }
     for (size_t i = 0; i < code.size(); ++i) {
       for (const Token& token : rule.tokens) {
         if (!LineHasToken(code[i], token)) continue;
@@ -428,6 +550,30 @@ int SelfTest(const ddpkit::tools::ToolArgs&) {
        "const char* s = \"DDPKIT_CHECK(throw std::mutex)\";\n", 0, ""},
       {"two rules can fire in one file", "src/comm/pg.cc",
        "DDPKIT_CHECK(ok);\nthrow 1;\n", 2, ""},
+      {"bare Status declaration in comm header flagged", "src/comm/x.h",
+       "Status Connect(int rank);\n", 1, "nodiscard-status"},
+      {"virtual Status declaration flagged", "src/comm/x.h",
+       "virtual Status Drain(double timeout) = 0;\n", 1, "nodiscard-status"},
+      {"Result<> declaration flagged", "src/comm/x.h",
+       "Result<std::vector<int>> Members(const std::string& key);\n", 1,
+       "nodiscard-status"},
+      {"[[nodiscard]] on the same line is clean", "src/comm/x.h",
+       "[[nodiscard]] Status Connect(int rank);\n", 0, ""},
+      {"[[nodiscard]] on the previous line is clean", "src/comm/x.h",
+       "[[nodiscard]] virtual\nStatus Drain(double timeout) = 0;\n", 0, ""},
+      {"Status data members are not declarations", "src/core/reducer.h",
+       "Status sync_status_ GUARDED_BY(mu_);\nStatus comm_status_;\n", 0, ""},
+      {"const Status& observers are not must-check", "src/core/reducer.h",
+       "const Status& sync_status() const;\nStatus& mutable_status();\n", 0,
+       ""},
+      {"nodiscard-status skips .cc definitions", "src/comm/x.cc",
+       "Status Connect(int rank) { return Status::OK(); }\n", 0, ""},
+      {"nodiscard-status skips headers outside the boundary",
+       "src/optim/optimizer.h", "Status Load(const std::string& path);\n", 0,
+       ""},
+      {"nodiscard-status waiver honored", "src/comm/x.h",
+       "Status Legacy();  // ddplint: allow(nodiscard-status) migration\n", 0,
+       ""},
   };
 
   int failures = 0;
