@@ -10,6 +10,7 @@
 #include "comm/algorithms.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/vec.h"
 #include "core/bucketing.h"
 #include "tensor/tensor_ops.h"
 
@@ -37,6 +38,8 @@ void BM_Conv2d(benchmark::State& state) {
     benchmark::DoNotOptimize(
         kernels::Conv2d(input, weight, kernels::Conv2dArgs{1, 1}));
   }
+  // MACs per conv: out_elems * cin * kh * kw.
+  state.SetItemsProcessed(state.iterations() * c * 16 * 16 * c * 3 * 3);
 }
 BENCHMARK(BM_Conv2d)->Arg(4)->Arg(8)->Arg(16);
 
@@ -50,12 +53,41 @@ void BM_RingAllReduceData(benchmark::State& state) {
     comm::RunAllReduce(comm::Algorithm::kRing, comm::ReduceOp::kSum, tensors);
   }
   state.SetBytesProcessed(state.iterations() * world * n * 4);
+  state.SetItemsProcessed(state.iterations() * world * n);
 }
 BENCHMARK(BM_RingAllReduceData)
     ->Args({2, 1 << 16})
     ->Args({4, 1 << 16})
     ->Args({8, 1 << 16})
     ->Args({4, 1 << 20});
+
+void BM_ZooAllReduceData(benchmark::State& state) {
+  // Real data-plane wall time for every zoo variant at a fixed shape, so
+  // the modeled speedups in bench_fig2_allreduce have a measured
+  // counterpart for the combine work itself.
+  const auto algo = static_cast<comm::Algorithm>(state.range(0));
+  const int world = 8;
+  const int64_t n = state.range(1);
+  Rng rng(11);
+  std::vector<Tensor> tensors;
+  for (int r = 0; r < world; ++r) tensors.push_back(Tensor::Randn({n}, &rng));
+  for (auto _ : state) {
+    comm::RunAllReduce(algo, comm::ReduceOp::kSum, tensors);
+  }
+  state.SetBytesProcessed(state.iterations() * world * n * 4);
+  state.SetItemsProcessed(state.iterations() * world * n);
+  state.SetLabel(comm::AlgorithmName(algo));
+}
+BENCHMARK(BM_ZooAllReduceData)
+    ->ArgNames({"algo", "n"})
+    ->Args({static_cast<long>(sim::CollectiveAlgorithm::kNaive), 1 << 18})
+    ->Args({static_cast<long>(sim::CollectiveAlgorithm::kRing), 1 << 18})
+    ->Args({static_cast<long>(sim::CollectiveAlgorithm::kRingChunked),
+            1 << 18})
+    ->Args({static_cast<long>(sim::CollectiveAlgorithm::kHalvingDoubling),
+            1 << 18})
+    ->Args({static_cast<long>(sim::CollectiveAlgorithm::kHierarchical),
+            1 << 18});
 
 void BM_NaiveAllReduceData(benchmark::State& state) {
   const int world = static_cast<int>(state.range(0));
@@ -174,6 +206,111 @@ BENCHMARK(BM_RingAllReduceThreads)
     ->Args({2, 1 << 20})
     ->Args({4, 1 << 20})
     ->Args({8, 1 << 20});
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch-level sweep: the vec.h batch kernels at scalar / AVX2 /
+// AVX-512, per-element throughput (items/s). Levels the host cannot
+// execute clamp down and are labeled with the level that actually ran, so
+// a row never silently reports the wrong ISA. The all-reduce combine
+// primitive (AccumulateAdd) is the acceptance surface: the vectorized
+// levels must beat scalar by >= 2x per element on AVX2-class hosts.
+// ---------------------------------------------------------------------------
+
+class SimdLevelSweep {
+ public:
+  explicit SimdLevelSweep(benchmark::State& state, int requested)
+      : prev_(vec::ActiveLevel()) {
+    const vec::Level got =
+        vec::SetLevelForTesting(static_cast<vec::Level>(requested));
+    state.SetLabel(vec::LevelName(got));
+  }
+  ~SimdLevelSweep() { vec::SetLevelForTesting(prev_); }
+
+ private:
+  vec::Level prev_;
+};
+
+#define DDPKIT_SIMD_LEVEL_ARGS(n)                                   \
+  ArgNames({"level", "n"})                                          \
+      ->Args({static_cast<long>(vec::Level::kScalar), (n)})         \
+      ->Args({static_cast<long>(vec::Level::kAvx2), (n)})           \
+      ->Args({static_cast<long>(vec::Level::kAvx512), (n)})
+
+void BM_VecAccumulateAdd(benchmark::State& state) {
+  SimdLevelSweep sweep(state, static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  std::vector<float> dst(static_cast<size_t>(n), 1.0f);
+  std::vector<float> src(static_cast<size_t>(n), 0.5f);
+  for (auto _ : state) {
+    vec::AccumulateAdd(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 4 * 3);
+}
+BENCHMARK(BM_VecAccumulateAdd)->DDPKIT_SIMD_LEVEL_ARGS(1 << 16);
+
+void BM_VecAccumulateMax(benchmark::State& state) {
+  SimdLevelSweep sweep(state, static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  std::vector<float> dst(static_cast<size_t>(n), 1.0f);
+  std::vector<float> src(static_cast<size_t>(n), 0.5f);
+  for (auto _ : state) {
+    vec::AccumulateMax(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 4 * 3);
+}
+BENCHMARK(BM_VecAccumulateMax)->DDPKIT_SIMD_LEVEL_ARGS(1 << 16);
+
+void BM_VecAdd(benchmark::State& state) {
+  SimdLevelSweep sweep(state, static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  std::vector<float> a(static_cast<size_t>(n), 1.0f);
+  std::vector<float> b(static_cast<size_t>(n), 2.0f);
+  std::vector<float> out(static_cast<size_t>(n));
+  for (auto _ : state) {
+    vec::Add(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 4 * 3);
+}
+BENCHMARK(BM_VecAdd)->DDPKIT_SIMD_LEVEL_ARGS(1 << 16);
+
+void BM_VecAxpy(benchmark::State& state) {
+  SimdLevelSweep sweep(state, static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  std::vector<float> x(static_cast<size_t>(n), 1.0f);
+  std::vector<float> y(static_cast<size_t>(n), 2.0f);
+  for (auto _ : state) {
+    vec::Axpy(0.5f, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 4 * 3);
+}
+BENCHMARK(BM_VecAxpy)->DDPKIT_SIMD_LEVEL_ARGS(1 << 16);
+
+void BM_VecCopy(benchmark::State& state) {
+  SimdLevelSweep sweep(state, static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  std::vector<float> src(static_cast<size_t>(n), 1.0f);
+  std::vector<float> dst(static_cast<size_t>(n));
+  for (auto _ : state) {
+    vec::Copy(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * 4 * 2);
+}
+BENCHMARK(BM_VecCopy)->DDPKIT_SIMD_LEVEL_ARGS(1 << 16);
 
 void BM_Fp16Conversion(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/vec.h"
 
 // ddplint: allow-file(check-in-comm) data-plane internal invariants: every
 // Run* entry is reached only after ProcessGroupSim's Contribute validated
@@ -15,15 +17,7 @@
 namespace ddpkit::comm {
 
 const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kNaive:
-      return "naive";
-    case Algorithm::kRing:
-      return "ring";
-    case Algorithm::kTree:
-      return "tree";
-  }
-  return "?";
+  return sim::CollectiveAlgorithmName(algorithm);
 }
 
 namespace {
@@ -46,71 +40,103 @@ T Combine(ReduceOp op, T a, T b) {
   return a;
 }
 
-/// Naive: combine contributions in rank order into rank 0's buffer, then
-/// copy everywhere (gather + local reduce + broadcast). Parallelized over
+/// dst[0..len) = Combine(dst, src) lanewise — the one combine loop every
+/// algorithm below funnels through. Float/double sum and max dispatch into
+/// the SIMD layer (bit-exact at every vector width, see common/vec.h); the
+/// remaining (integer, kBor) combinations stay scalar.
+template <typename T>
+void CombineSpan(ReduceOp op, T* dst, const T* src, int64_t len) {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    if (op == ReduceOp::kSum) {
+      vec::AccumulateAdd(dst, src, len);
+      return;
+    }
+    if (op == ReduceOp::kMax) {
+      vec::AccumulateMax(dst, src, len);
+      return;
+    }
+  }
+  // ddplint: allow(raw-elementwise-loop) integer / kBor fallback; the vec
+  // layer covers the float and double sum/max hot paths above
+  for (int64_t i = 0; i < len; ++i) dst[i] = Combine(op, dst[i], src[i]);
+}
+
+template <typename T>
+void CopySpan(T* dst, const T* src, int64_t len) {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    vec::Copy(dst, src, len);
+  } else {
+    if (len > 0) std::memcpy(dst, src, static_cast<size_t>(len) * sizeof(T));
+  }
+}
+
+/// Naive: combine contributions in ascending rank order into rank 0's
+/// buffer, then copy everywhere (gather + local reduce + broadcast). The
+/// reference combine order for the zoo property tests. Parallelized over
 /// elements; each element still accumulates ranks in ascending order, so
 /// the sum is bit-exact regardless of thread count.
 template <typename T>
-void NaiveAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
-  const int world = static_cast<int>(tensors.size());
-  const int64_t n = tensors[0].numel();
-  T* acc = const_cast<Tensor&>(tensors[0]).data<T>();
-  std::vector<const T*> srcs;
-  for (int r = 1; r < world; ++r) srcs.push_back(tensors[r].data<T>());
+void NaiveAllReduce(ReduceOp op, const std::vector<T*>& bufs, int64_t n) {
+  const int world = static_cast<int>(bufs.size());
+  T* acc = bufs[0];
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      T v = acc[i];
-      for (const T* src : srcs) v = Combine(op, v, src[i]);
-      acc[i] = v;
+    for (int r = 1; r < world; ++r) {
+      CombineSpan(op, acc + b, bufs[static_cast<size_t>(r)] + b, e - b);
     }
   });
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
     for (int r = 1; r < world; ++r) {
-      std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>() + b, acc + b,
-                  static_cast<size_t>(e - b) * sizeof(T));
+      CopySpan(bufs[static_cast<size_t>(r)] + b, acc + b, e - b);
     }
   });
 }
 
-/// Ring: split the array into `world` chunks. Chunk c is reduced by walking
-/// the ring starting at rank (c+1) % world and accumulating until it
-/// returns to its owner — exactly the combine order of a reduce-scatter —
-/// then all-gathered to every rank. The chunked pattern keeps summation
-/// order independent of which thread executes it.
+/// Ring: split the array into world * chunks_per_rank chunks. Chunk c is
+/// reduced by walking the ring starting at rank (c % world + 1) % world and
+/// accumulating until it returns to its owner — exactly the combine order
+/// of a reduce-scatter — then all-gathered to every rank.
+///
+/// chunks_per_rank == 1 is the classic two-phase ring (one chunk per rank
+/// per step). chunks_per_rank > 1 is the pipelined variant after
+/// fbcollective's allreduce_ring_chunked: with several in-flight chunks per
+/// rank, the reduce of chunk k overlaps the transfer of chunk k-1 and the
+/// bottleneck link stays busy through the whole collective. The data plane
+/// models exactly that chunking, so the two variants have *different* (but
+/// each individually deterministic) per-element summation orders.
 template <typename T>
-void RingAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
-  const int world = static_cast<int>(tensors.size());
-  const int64_t n = tensors[0].numel();
-  const int64_t base = n / world;
-  const int64_t rem = n % world;
+void RingAllReduce(ReduceOp op, const std::vector<T*>& bufs, int64_t n,
+                   int chunks_per_rank) {
+  const int world = static_cast<int>(bufs.size());
+  const int num_chunks = world * chunks_per_rank;
+  const int64_t base = n / num_chunks;
+  const int64_t rem = n % num_chunks;
   auto chunk_begin = [&](int c) {
     return base * c + std::min<int64_t>(c, rem);
   };
   auto chunk_size = [&](int c) { return base + (c < rem ? 1 : 0); };
 
   std::vector<T> reduced(static_cast<size_t>(n));
-  for (int c = 0; c < world; ++c) {
+  for (int c = 0; c < num_chunks; ++c) {
     const int64_t begin = chunk_begin(c);
     const int64_t len = chunk_size(c);
     if (len == 0) continue;
     // Start from the ring successor of the chunk owner. Elements within the
     // chunk are split across threads; each element is combined in the same
     // ring order as the serial loop, so the result is bit-exact.
-    const int first = (c + 1) % world;
-    const T* src0 = tensors[first].data<T>() + begin;
+    const int owner = c % world;
+    const T* src0 = bufs[static_cast<size_t>((owner + 1) % world)] + begin;
     T* dst = reduced.data() + begin;
     ParallelFor(0, len, GrainFromCost(world), [&](int64_t b, int64_t e) {
-      std::memcpy(dst + b, src0 + b, static_cast<size_t>(e - b) * sizeof(T));
+      CopySpan(dst + b, src0 + b, e - b);
       for (int s = 2; s <= world; ++s) {
-        const T* src = tensors[(c + s) % world].data<T>() + begin;
-        for (int64_t i = b; i < e; ++i) dst[i] = Combine(op, dst[i], src[i]);
+        const T* src = bufs[static_cast<size_t>((owner + s) % world)] + begin;
+        CombineSpan(op, dst + b, src + b, e - b);
       }
     });
   }
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
     for (int r = 0; r < world; ++r) {
-      std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>() + b,
-                  reduced.data() + b, static_cast<size_t>(e - b) * sizeof(T));
+      CopySpan(bufs[static_cast<size_t>(r)] + b, reduced.data() + b, e - b);
     }
   });
 }
@@ -118,15 +144,16 @@ void RingAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
 /// Tree: recursive-doubling reduction to rank 0 followed by a broadcast
 /// (NCCL 2.4's tree mode, cited by the paper [22]).
 template <typename T>
-void TreeAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
-  const int world = static_cast<int>(tensors.size());
-  const int64_t n = tensors[0].numel();
+void TreeAllReduce(ReduceOp op, const std::vector<T*>& bufs, int64_t n) {
+  const int world = static_cast<int>(bufs.size());
   std::vector<std::vector<T>> acc(static_cast<size_t>(world));
-  for (int r = 0; r < world; ++r) acc[r].resize(static_cast<size_t>(n));
+  for (int r = 0; r < world; ++r) {
+    acc[static_cast<size_t>(r)].resize(static_cast<size_t>(n));
+  }
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
     for (int r = 0; r < world; ++r) {
-      std::memcpy(acc[r].data() + b, tensors[r].data<T>() + b,
-                  static_cast<size_t>(e - b) * sizeof(T));
+      CopySpan(acc[static_cast<size_t>(r)].data() + b,
+               bufs[static_cast<size_t>(r)] + b, e - b);
     }
   });
   // Rounds stay sequential (each halving depends on the previous); within a
@@ -135,27 +162,196 @@ void TreeAllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   for (int span = 1; span < world; span *= 2) {
     std::vector<std::pair<T*, const T*>> pairs;
     for (int r = 0; r + span < world; r += 2 * span) {
-      pairs.emplace_back(acc[r].data(), acc[r + span].data());
+      pairs.emplace_back(acc[static_cast<size_t>(r)].data(),
+                         acc[static_cast<size_t>(r + span)].data());
     }
     if (pairs.empty()) continue;
     ParallelFor(0, n, GrainFromCost(static_cast<int64_t>(pairs.size())),
                 [&](int64_t b, int64_t e) {
       for (auto& [dst, src] : pairs) {
-        for (int64_t i = b; i < e; ++i) dst[i] = Combine(op, dst[i], src[i]);
+        CombineSpan(op, dst + b, src + b, e - b);
       }
     });
   }
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
     for (int r = 0; r < world; ++r) {
-      std::memcpy(const_cast<Tensor&>(tensors[r]).data<T>() + b,
-                  acc[0].data() + b, static_cast<size_t>(e - b) * sizeof(T));
+      CopySpan(bufs[static_cast<size_t>(r)] + b, acc[0].data() + b, e - b);
     }
   });
 }
 
+/// Recursive halving-doubling (the MPICH/Rabenseifner pattern): fold any
+/// ranks beyond the leading power of two into it, recursive-halving
+/// reduce-scatter (partner distance and owned segment both halve each
+/// round), recursive-doubling all-gather (the exact reverse), then fan the
+/// result back out to the folded ranks. Every element is reduced along a
+/// fixed binary tree over ranks, so the combine order depends only on
+/// (world, n) and each element is finalized by exactly one owner — all
+/// ranks end bit-identical by construction.
+template <typename T>
+void HalvingDoublingAllReduce(ReduceOp op, const std::vector<T*>& bufs,
+                              int64_t n) {
+  const int world = static_cast<int>(bufs.size());
+  int pof2 = 1;
+  while (pof2 * 2 <= world) pof2 *= 2;
+  const int rem = world - pof2;
+
+  // Fold: odd ranks below 2*rem combine into their even neighbor, which
+  // then represents both in the power-of-two phase.
+  for (int r = 0; r < rem; ++r) {
+    T* dst = bufs[static_cast<size_t>(2 * r)];
+    const T* src = bufs[static_cast<size_t>(2 * r + 1)];
+    ParallelFor(0, n, GrainFromCost(2), [&](int64_t b, int64_t e) {
+      CombineSpan(op, dst + b, src + b, e - b);
+    });
+  }
+  // Participant p's global rank: even survivors first, then the tail.
+  auto part_rank = [&](int p) { return p < rem ? 2 * p : p + rem; };
+
+  std::vector<int64_t> beg(static_cast<size_t>(pof2), 0);
+  std::vector<int64_t> end(static_cast<size_t>(pof2), n);
+
+  // Recursive halving. Pair members share a segment by induction (their
+  // higher mask bits match, so every earlier keep-low/keep-high decision
+  // matched); the keeper combines its own value with the partner's.
+  for (int mask = pof2 / 2; mask >= 1; mask /= 2) {
+    for (int p = 0; p < pof2; ++p) {
+      const int q = p ^ mask;
+      if (q < p) continue;
+      T* lo = bufs[static_cast<size_t>(part_rank(p))];
+      T* hi = bufs[static_cast<size_t>(part_rank(q))];
+      const int64_t b = beg[static_cast<size_t>(p)];
+      const int64_t e = end[static_cast<size_t>(p)];
+      const int64_t mid = b + (e - b) / 2;
+      // Writes are confined to each keeper's half, so hi's read of
+      // lo[mid, e) and lo's read of hi[b, mid) see pre-round values.
+      ParallelFor(b, mid, GrainFromCost(2), [&](int64_t s, int64_t t) {
+        CombineSpan(op, lo + s, hi + s, t - s);
+      });
+      ParallelFor(mid, e, GrainFromCost(2), [&](int64_t s, int64_t t) {
+        CombineSpan(op, hi + s, lo + s, t - s);
+      });
+      end[static_cast<size_t>(p)] = mid;
+      beg[static_cast<size_t>(q)] = mid;
+    }
+  }
+
+  // Recursive doubling: reverse the splits, exchanging adjacent segments.
+  for (int mask = 1; mask < pof2; mask *= 2) {
+    for (int p = 0; p < pof2; ++p) {
+      const int q = p ^ mask;
+      if (q < p) continue;
+      T* lo = bufs[static_cast<size_t>(part_rank(p))];
+      T* hi = bufs[static_cast<size_t>(part_rank(q))];
+      const int64_t pb = beg[static_cast<size_t>(p)];
+      const int64_t pe = end[static_cast<size_t>(p)];
+      const int64_t qb = beg[static_cast<size_t>(q)];
+      const int64_t qe = end[static_cast<size_t>(q)];
+      ParallelFor(pb, pe, kParallelGrain, [&](int64_t s, int64_t t) {
+        CopySpan(hi + s, lo + s, t - s);
+      });
+      ParallelFor(qb, qe, kParallelGrain, [&](int64_t s, int64_t t) {
+        CopySpan(lo + s, hi + s, t - s);
+      });
+      const int64_t nb = std::min(pb, qb);
+      const int64_t ne = std::max(pe, qe);
+      beg[static_cast<size_t>(p)] = beg[static_cast<size_t>(q)] = nb;
+      end[static_cast<size_t>(p)] = end[static_cast<size_t>(q)] = ne;
+    }
+  }
+
+  // Unfold: folded odd ranks copy the result from their even neighbor.
+  for (int r = 0; r < rem; ++r) {
+    T* dst = bufs[static_cast<size_t>(2 * r + 1)];
+    const T* src = bufs[static_cast<size_t>(2 * r)];
+    ParallelFor(0, n, kParallelGrain, [&](int64_t b, int64_t e) {
+      CopySpan(dst + b, src + b, e - b);
+    });
+  }
+}
+
+/// Hierarchical two-level (keyed off the topology's host boundaries, ranks
+/// host-major): each node reduces into its leader in ascending rank order
+/// (NVLink-tier traffic), leaders run a classic ring across nodes (the only
+/// NIC-tier traffic: 2*(nodes-1)/nodes of the bytes instead of
+/// 2*(world-1)/world), then each leader broadcasts inside its node. A
+/// single-node world degenerates to exactly the kNaive combine order.
+template <typename T>
+void HierarchicalAllReduce(ReduceOp op, const std::vector<T*>& bufs,
+                           int64_t n, int ranks_per_node) {
+  const int world = static_cast<int>(bufs.size());
+  if (ranks_per_node <= 0) ranks_per_node = sim::Topology().gpus_per_host();
+  const int nodes = (world + ranks_per_node - 1) / ranks_per_node;
+
+  std::vector<T*> leaders;
+  for (int node = 0; node < nodes; ++node) {
+    const int lo = node * ranks_per_node;
+    const int hi = std::min(world, lo + ranks_per_node);
+    T* leader = bufs[static_cast<size_t>(lo)];
+    for (int r = lo + 1; r < hi; ++r) {
+      const T* src = bufs[static_cast<size_t>(r)];
+      ParallelFor(0, n, GrainFromCost(2), [&](int64_t b, int64_t e) {
+        CombineSpan(op, leader + b, src + b, e - b);
+      });
+    }
+    leaders.push_back(leader);
+  }
+  if (leaders.size() > 1) {
+    RingAllReduce(op, leaders, n, /*chunks_per_rank=*/1);
+  }
+  for (int node = 0; node < nodes; ++node) {
+    const int lo = node * ranks_per_node;
+    const int hi = std::min(world, lo + ranks_per_node);
+    const T* leader = bufs[static_cast<size_t>(lo)];
+    for (int r = lo + 1; r < hi; ++r) {
+      T* dst = bufs[static_cast<size_t>(r)];
+      ParallelFor(0, n, kParallelGrain, [&](int64_t b, int64_t e) {
+        CopySpan(dst + b, leader + b, e - b);
+      });
+    }
+  }
+}
+
+template <typename T>
+void DispatchAllReduceRaw(Algorithm algorithm, ReduceOp op,
+                          const std::vector<T*>& bufs, int64_t n,
+                          int ranks_per_node) {
+  if (algorithm == Algorithm::kAuto) {
+    // Callers with a configured topology (ProcessGroupSim) resolve kAuto
+    // themselves; this standalone path selects against the testbed default.
+    algorithm = sim::SelectAllReduceAlgorithm(
+        static_cast<size_t>(n) * sizeof(T), static_cast<int>(bufs.size()),
+        sim::Topology());
+  }
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      NaiveAllReduce<T>(op, bufs, n);
+      return;
+    case Algorithm::kRing:
+      RingAllReduce<T>(op, bufs, n, /*chunks_per_rank=*/1);
+      return;
+    case Algorithm::kTree:
+      TreeAllReduce<T>(op, bufs, n);
+      return;
+    case Algorithm::kRingChunked:
+      RingAllReduce<T>(op, bufs, n, sim::kRingChunksPerRank);
+      return;
+    case Algorithm::kHalvingDoubling:
+      HalvingDoublingAllReduce<T>(op, bufs, n);
+      return;
+    case Algorithm::kHierarchical:
+      HierarchicalAllReduce<T>(op, bufs, n, ranks_per_node);
+      return;
+    case Algorithm::kAuto:
+      break;  // resolved above
+  }
+  DDPKIT_CHECK(false) << "bad algorithm";
+}
+
 /// Half-precision all-reduce: accumulate in float (as GPU tensor cores do)
 /// in deterministic rank order, store back as half. Used by the gradient
-/// compression extension (paper §6.2.3).
+/// compression extension (paper §6.2.3). The half<->float conversion loops
+/// dominate, so all algorithm variants share this one rank-order path.
 void Fp16AllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   DDPKIT_CHECK(op == ReduceOp::kSum) << "fp16 all-reduce supports sum only";
   const int world = static_cast<int>(tensors.size());
@@ -168,6 +364,8 @@ void Fp16AllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) {
       float v = 0.0f;
+      // ddplint: allow(raw-elementwise-loop) half bits convert through
+      // fp32 per element; no packed fp16 arithmetic in the vec layer
       for (const uint16_t* src : srcs) v += HalfBitsToFloat32(src[i]);
       acc[i] = v;
     }
@@ -175,32 +373,50 @@ void Fp16AllReduce(ReduceOp op, const std::vector<Tensor>& tensors) {
   ParallelFor(0, n, GrainFromCost(world), [&](int64_t b, int64_t e) {
     for (int r = 0; r < world; ++r) {
       uint16_t* dst = const_cast<Tensor&>(tensors[r]).data<uint16_t>();
+      // ddplint: allow(raw-elementwise-loop) half bits convert through
+      // fp32 per element; no packed fp16 arithmetic in the vec layer
       for (int64_t i = b; i < e; ++i) dst[i] = Float32ToHalfBits(acc[i]);
     }
   });
 }
 
 template <typename T>
-void DispatchAllReduce(Algorithm algorithm, ReduceOp op,
-                       const std::vector<Tensor>& tensors) {
-  switch (algorithm) {
-    case Algorithm::kNaive:
-      NaiveAllReduce<T>(op, tensors);
-      return;
-    case Algorithm::kRing:
-      RingAllReduce<T>(op, tensors);
-      return;
-    case Algorithm::kTree:
-      TreeAllReduce<T>(op, tensors);
-      return;
+std::vector<T*> GatherPointers(const std::vector<Tensor>& tensors) {
+  std::vector<T*> bufs;
+  bufs.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    bufs.push_back(const_cast<Tensor&>(t).data<T>());
   }
-  DDPKIT_CHECK(false) << "bad algorithm";
+  return bufs;
 }
 
 }  // namespace
 
+template <typename T>
+void RunAllReduceRaw(Algorithm algorithm, ReduceOp op,
+                     const std::vector<T*>& bufs, int64_t n,
+                     int ranks_per_node) {
+  DDPKIT_CHECK(!bufs.empty());
+  DDPKIT_CHECK(n >= 0);
+  if (bufs.size() == 1 || n == 0) return;
+  DispatchAllReduceRaw<T>(algorithm, op, bufs, n, ranks_per_node);
+}
+
+template void RunAllReduceRaw<float>(Algorithm, ReduceOp,
+                                     const std::vector<float*>&, int64_t,
+                                     int);
+template void RunAllReduceRaw<double>(Algorithm, ReduceOp,
+                                      const std::vector<double*>&, int64_t,
+                                      int);
+template void RunAllReduceRaw<int64_t>(Algorithm, ReduceOp,
+                                       const std::vector<int64_t*>&, int64_t,
+                                       int);
+template void RunAllReduceRaw<uint8_t>(Algorithm, ReduceOp,
+                                       const std::vector<uint8_t*>&, int64_t,
+                                       int);
+
 void RunAllReduce(Algorithm algorithm, ReduceOp op,
-                  const std::vector<Tensor>& tensors) {
+                  const std::vector<Tensor>& tensors, int ranks_per_node) {
   DDPKIT_CHECK(!tensors.empty());
   const int64_t n = tensors[0].numel();
   const DType dtype = tensors[0].dtype();
@@ -212,13 +428,16 @@ void RunAllReduce(Algorithm algorithm, ReduceOp op,
   if (tensors.size() == 1 || n == 0) return;
   switch (dtype) {
     case DType::kFloat32:
-      DispatchAllReduce<float>(algorithm, op, tensors);
+      DispatchAllReduceRaw<float>(algorithm, op, GatherPointers<float>(tensors),
+                                  n, ranks_per_node);
       return;
     case DType::kUInt8:
-      DispatchAllReduce<uint8_t>(algorithm, op, tensors);
+      DispatchAllReduceRaw<uint8_t>(
+          algorithm, op, GatherPointers<uint8_t>(tensors), n, ranks_per_node);
       return;
     case DType::kInt64:
-      DispatchAllReduce<int64_t>(algorithm, op, tensors);
+      DispatchAllReduceRaw<int64_t>(
+          algorithm, op, GatherPointers<int64_t>(tensors), n, ranks_per_node);
       return;
     case DType::kFloat16:
       Fp16AllReduce(op, tensors);
@@ -253,11 +472,7 @@ void ReduceInto(ReduceOp op, const std::vector<Tensor>& tensors,
   }
   ParallelFor(0, n, GrainFromCost(static_cast<int64_t>(srcs.size()) + 1),
               [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      T v = acc[i];
-      for (const T* src : srcs) v = Combine(op, v, src[i]);
-      acc[i] = v;
-    }
+    for (const T* src : srcs) CombineSpan(op, acc + b, src + b, e - b);
   });
 }
 
@@ -311,12 +526,12 @@ void RunReduceScatter(ReduceOp op, const std::vector<Tensor>& inputs,
     const float* src0 =
         inputs[static_cast<size_t>(first)].data<float>() + c * chunk;
     ParallelFor(0, chunk, GrainFromCost(world), [&](int64_t b, int64_t e) {
-      for (int64_t i = b; i < e; ++i) acc[i] = src0[i];
+      CopySpan(acc + b, src0 + b, e - b);
       for (int s = 2; s <= world; ++s) {
         const float* src =
             inputs[static_cast<size_t>((c + s) % world)].data<float>() +
             c * chunk;
-        for (int64_t i = b; i < e; ++i) acc[i] = Combine(op, acc[i], src[i]);
+        CombineSpan(op, acc + b, src + b, e - b);
       }
     });
   }

@@ -1,29 +1,51 @@
 #ifndef DDPKIT_COMM_ALGORITHMS_H_
 #define DDPKIT_COMM_ALGORITHMS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/process_group.h"
+#include "sim/collective_algo.h"
 #include "tensor/tensor.h"
 
 namespace ddpkit::comm {
 
 /// Data-plane reduction algorithms. The paper (§2.3) notes that collective
 /// libraries implement sophisticated algorithms — ring-based (NCCL) and
-/// tree-based — rather than naive gather+reduce; all three are implemented
-/// here and selectable per process group.
+/// tree-based — rather than naive gather+reduce; the full zoo (naive, ring,
+/// tree, pipelined chunked ring, recursive halving-doubling, hierarchical
+/// two-level) is implemented here and selectable per process group.
 ///
-/// Each algorithm reproduces the *data movement pattern* (chunking and
-/// combine order) of its real counterpart, so floating-point results are
-/// bit-deterministic given the algorithm and world size.
-enum class Algorithm { kNaive, kRing, kTree };
+/// The enum itself lives in the sim layer (sim::CollectiveAlgorithm) so the
+/// analytical cost models and this data plane key off the same type; see
+/// that header for each variant's canonical combine order. Each algorithm
+/// reproduces the *data movement pattern* (chunking and combine order) of
+/// its real counterpart, so floating-point results are bit-deterministic
+/// given the algorithm and world size.
+using Algorithm = sim::CollectiveAlgorithm;
 const char* AlgorithmName(Algorithm algorithm);
 
 /// In-place all-reduce across per-rank contributions: on return every
 /// tensor holds the elementwise reduction of all of them. Tensors must be
-/// contiguous, same numel, same dtype (float32 or uint8).
+/// contiguous, same numel, same dtype (float32, uint8, int64 or float16).
+///
+/// `ranks_per_node` feeds kHierarchical's node boundaries (ranks are laid
+/// out host-major, matching sim::Topology); 0 means the testbed default of
+/// 8 GPUs per host. Algorithm::kAuto is resolved against the default
+/// topology; callers with a configured topology (ProcessGroupSim) resolve
+/// kAuto themselves before calling.
 void RunAllReduce(Algorithm algorithm, ReduceOp op,
-                  const std::vector<Tensor>& tensors);
+                  const std::vector<Tensor>& tensors, int ranks_per_node = 0);
+
+/// Raw-buffer all-reduce: bufs[r] points at rank r's `n` elements, reduced
+/// in place across all ranks. Same algorithms and combine orders as the
+/// Tensor overload; exposed so tests and benches can sweep dtypes the
+/// Tensor layer only partially supports (double). Instantiated for float,
+/// double, int64_t and uint8_t.
+template <typename T>
+void RunAllReduceRaw(Algorithm algorithm, ReduceOp op,
+                     const std::vector<T*>& bufs, int64_t n,
+                     int ranks_per_node = 0);
 
 /// Copies tensors[root] into every other tensor.
 void RunBroadcast(const std::vector<Tensor>& tensors, int root);

@@ -430,9 +430,26 @@ WorkHandle Contribute(
 
     // Data plane (real reduction), executed once by the last arrival.
     switch (inst->kind) {
-      case OpKind::kAllReduce:
-        RunAllReduce(state->algorithm, inst->op, inst->tensors);
+      case OpKind::kAllReduce: {
+        // Resolve kAuto against this group's actual topology (message size
+        // x world size x host layout), and tell the data plane where the
+        // node boundaries are so kHierarchical reduces intra-host first.
+        // The same resolution happens inside the cost model's 4-arg
+        // AllReduceSeconds, so modeled time and data movement agree.
+        const size_t bytes = static_cast<size_t>(inst->numel) *
+                             static_cast<size_t>(ItemSize(inst->dtype));
+        const sim::Topology& topo = state->cost_model->topology();
+        const Algorithm algo = sim::ResolveAllReduceAlgorithm(
+            state->algorithm, bytes, state->world, topo);
+        if (state->metrics != nullptr) {
+          state->metrics
+              ->counter(std::string("pg.allreduce_algo.") +
+                        AlgorithmName(algo))
+              .Increment();
+        }
+        RunAllReduce(algo, inst->op, inst->tensors, topo.gpus_per_host());
         break;
+      }
       case OpKind::kBroadcast:
         RunBroadcast(inst->tensors, inst->root);
         break;
@@ -507,7 +524,8 @@ WorkHandle ProcessGroupSim::AllReduce(Tensor tensor, ReduceOp op) {
       state, next_seq_++, rank(), clock_, OpKind::kAllReduce, op,
       /*root=*/0, tensor.numel(), tensor.dtype(), &tensor, nullptr, nullptr,
       [state, bytes, w, groups](const CollectiveInstance&, double) {
-        return state->cost_model->AllReduceSeconds(bytes, w, groups);
+        return state->cost_model->AllReduceSeconds(bytes, w, groups,
+                                                   state->algorithm);
       });
 }
 

@@ -1,0 +1,522 @@
+#include "common/vec.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define DDPKIT_VEC_X86 1
+#include <immintrin.h>
+#endif
+
+namespace ddpkit::vec {
+namespace {
+
+// Target attributes deliberately request only the base ISA sets (no "fma"):
+// the kernels below must emit separate mul and add instructions so their
+// rounding matches the scalar fallback bit-for-bit (see the contract in
+// vec.h). The x86-64 baseline the scalar path compiles against has no FMA
+// instruction, so -ffp-contract cannot fuse it either.
+#if defined(DDPKIT_VEC_X86)
+#define DDPKIT_TARGET_AVX2 __attribute__((target("avx2")))
+#define DDPKIT_TARGET_AVX512 __attribute__((target("avx512f")))
+#endif
+
+// ---------------------------------------------------------------------------
+// Scalar kernels, written over Vec<T,N> so the fallback exercises the same
+// fixed-width shape the intrinsic paths use (N=8 matches one AVX2 float
+// register). The compiler is free to auto-vectorize these at the baseline
+// ISA; correctness never depends on whether it does.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename LaneFn>
+void ScalarLanewise2(const T* a, const T* b, T* dst, int64_t n, LaneFn fn) {
+  using V = Vec<T, 8>;
+  int64_t i = 0;
+  for (; i + V::size() <= n; i += V::size()) {
+    fn(V::Load(a + i), V::Load(b + i)).Store(dst + i);
+  }
+  for (; i < n; ++i) {
+    V va = V::Broadcast(a[i]);
+    V vb = V::Broadcast(b[i]);
+    dst[i] = fn(va, vb).lane[0];
+  }
+}
+
+template <typename T, typename LaneFn>
+void ScalarLanewise1(const T* a, T* dst, int64_t n, LaneFn fn) {
+  using V = Vec<T, 8>;
+  int64_t i = 0;
+  for (; i + V::size() <= n; i += V::size()) {
+    fn(V::Load(a + i)).Store(dst + i);
+  }
+  for (; i < n; ++i) {
+    dst[i] = fn(V::Broadcast(a[i])).lane[0];
+  }
+}
+
+void AddScalarImpl(const float* a, const float* b, float* dst, int64_t n) {
+  ScalarLanewise2(a, b, dst, n, [](auto x, auto y) { return x + y; });
+}
+void SubScalarImpl(const float* a, const float* b, float* dst, int64_t n) {
+  ScalarLanewise2(a, b, dst, n, [](auto x, auto y) { return x - y; });
+}
+void MulScalarImpl(const float* a, const float* b, float* dst, int64_t n) {
+  ScalarLanewise2(a, b, dst, n, [](auto x, auto y) { return x * y; });
+}
+void DivScalarImpl(const float* a, const float* b, float* dst, int64_t n) {
+  ScalarLanewise2(a, b, dst, n, [](auto x, auto y) { return x / y; });
+}
+
+void ScaleScalarImpl(const float* a, float s, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] * s;
+}
+void AddScalarScalarImpl(const float* a, float s, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] + s;
+}
+void NegScalarImpl(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = -a[i];
+}
+void ReluScalarImpl(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+void ReluBackwardScalarImpl(const float* g, const float* x, float* dst,
+                            int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+void SqrtScalarImpl(const float* a, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = __builtin_sqrtf(a[i]);
+}
+void AxpyScalarImpl(float alpha, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float prod = alpha * x[i];
+    y[i] = y[i] + prod;
+  }
+}
+void ScaleInPlaceScalarImpl(float* y, float s, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = y[i] * s;
+}
+void AccumAddF32ScalarImpl(float* dst, const float* src, int64_t n) {
+  ScalarLanewise2<float>(dst, src, dst, n,
+                         [](auto x, auto y) { return x + y; });
+}
+void AccumMaxF32ScalarImpl(float* dst, const float* src, int64_t n) {
+  ScalarLanewise2<float>(dst, src, dst, n, [](auto x, auto y) {
+    return decltype(x)::Max(x, y);
+  });
+}
+void AccumAddF64ScalarImpl(double* dst, const double* src, int64_t n) {
+  ScalarLanewise2<double>(dst, src, dst, n,
+                          [](auto x, auto y) { return x + y; });
+}
+void AccumMaxF64ScalarImpl(double* dst, const double* src, int64_t n) {
+  ScalarLanewise2<double>(dst, src, dst, n, [](auto x, auto y) {
+    return decltype(x)::Max(x, y);
+  });
+}
+
+#if defined(DDPKIT_VEC_X86)
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels: 8 float / 4 double lanes per register.
+// ---------------------------------------------------------------------------
+
+DDPKIT_TARGET_AVX2 void AddAvx2(const float* a, const float* b, float* dst,
+                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+DDPKIT_TARGET_AVX2 void SubAvx2(const float* a, const float* b, float* dst,
+                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] - b[i];
+}
+DDPKIT_TARGET_AVX2 void MulAvx2(const float* a, const float* b, float* dst,
+                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+DDPKIT_TARGET_AVX2 void DivAvx2(const float* a, const float* b, float* dst,
+                                int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_div_ps(_mm256_loadu_ps(a + i),
+                                            _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] / b[i];
+}
+DDPKIT_TARGET_AVX2 void ScaleAvx2(const float* a, float s, float* dst,
+                                  int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * s;
+}
+DDPKIT_TARGET_AVX2 void AddScalarAvx2(const float* a, float s, float* dst,
+                                      int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(a + i), vs));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + s;
+}
+DDPKIT_TARGET_AVX2 void NegAvx2(const float* a, float* dst, int64_t n) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_xor_ps(_mm256_loadu_ps(a + i), sign));
+  }
+  for (; i < n; ++i) dst[i] = -a[i];
+}
+DDPKIT_TARGET_AVX2 void ReluAvx2(const float* a, float* dst, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // max(a, +0.0) maps -0.0 inputs to +0.0, matching `a > 0 ? a : 0`.
+    _mm256_storeu_ps(dst + i, _mm256_max_ps(_mm256_loadu_ps(a + i), zero));
+  }
+  for (; i < n; ++i) dst[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+DDPKIT_TARGET_AVX2 void ReluBackwardAvx2(const float* g, const float* x,
+                                         float* dst, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    _mm256_storeu_ps(dst + i, _mm256_and_ps(_mm256_loadu_ps(g + i), mask));
+  }
+  for (; i < n; ++i) dst[i] = x[i] > 0.0f ? g[i] : 0.0f;
+}
+DDPKIT_TARGET_AVX2 void SqrtAvx2(const float* a, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_sqrt_ps(_mm256_loadu_ps(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = __builtin_sqrtf(a[i]);
+}
+DDPKIT_TARGET_AVX2 void AxpyAvx2(float alpha, const float* x, float* y,
+                                 int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) {
+    const float prod = alpha * x[i];
+    y[i] = y[i] + prod;
+  }
+}
+DDPKIT_TARGET_AVX2 void ScaleInPlaceAvx2(float* y, float s, int64_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), vs));
+  }
+  for (; i < n; ++i) y[i] = y[i] * s;
+}
+DDPKIT_TARGET_AVX2 void AccumAddF32Avx2(float* dst, const float* src,
+                                        int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] + src[i];
+}
+DDPKIT_TARGET_AVX2 void AccumMaxF32Avx2(float* dst, const float* src,
+                                        int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // maxps returns its second operand on unordered or equal compares, and
+    // the scalar `dst > src ? dst : src` yields src in exactly those cases
+    // (NaN anywhere, or ±0.0 ties) — so src must be the second operand.
+    _mm256_storeu_ps(dst + i, _mm256_max_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] > src[i] ? dst[i] : src[i];
+}
+DDPKIT_TARGET_AVX2 void AccumAddF64Avx2(double* dst, const double* src,
+                                        int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] + src[i];
+}
+DDPKIT_TARGET_AVX2 void AccumMaxF64Avx2(double* dst, const double* src,
+                                        int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_max_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] > src[i] ? dst[i] : src[i];
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels: 16 float / 8 double lanes per register. Only the
+// bandwidth-bound accumulate/copy/axpy family gets dedicated 512-bit
+// bodies; the rest reuse the AVX2 bodies at this level (same bit-exact
+// results, and 256-bit ops avoid license-based downclocking on older
+// parts for the short kernels).
+// ---------------------------------------------------------------------------
+
+DDPKIT_TARGET_AVX512 void AddAvx512(const float* a, const float* b, float* dst,
+                                    int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(dst + i, _mm512_add_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] + b[i];
+}
+DDPKIT_TARGET_AVX512 void MulAvx512(const float* a, const float* b, float* dst,
+                                    int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(dst + i, _mm512_mul_ps(_mm512_loadu_ps(a + i),
+                                            _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+DDPKIT_TARGET_AVX512 void AxpyAvx512(float alpha, const float* x, float* y,
+                                     int64_t n) {
+  const __m512 va = _mm512_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 prod = _mm512_mul_ps(va, _mm512_loadu_ps(x + i));
+    _mm512_storeu_ps(y + i, _mm512_add_ps(_mm512_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) {
+    const float prod = alpha * x[i];
+    y[i] = y[i] + prod;
+  }
+}
+DDPKIT_TARGET_AVX512 void AccumAddF32Avx512(float* dst, const float* src,
+                                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(dst + i, _mm512_add_ps(_mm512_loadu_ps(dst + i),
+                                            _mm512_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] + src[i];
+}
+DDPKIT_TARGET_AVX512 void AccumMaxF32Avx512(float* dst, const float* src,
+                                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(dst + i, _mm512_max_ps(_mm512_loadu_ps(dst + i),
+                                            _mm512_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] > src[i] ? dst[i] : src[i];
+}
+DDPKIT_TARGET_AVX512 void AccumAddF64Avx512(double* dst, const double* src,
+                                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(dst + i, _mm512_add_pd(_mm512_loadu_pd(dst + i),
+                                            _mm512_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] + src[i];
+}
+DDPKIT_TARGET_AVX512 void AccumMaxF64Avx512(double* dst, const double* src,
+                                            int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(dst + i, _mm512_max_pd(_mm512_loadu_pd(dst + i),
+                                            _mm512_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] > src[i] ? dst[i] : src[i];
+}
+
+#endif  // DDPKIT_VEC_X86
+
+// ---------------------------------------------------------------------------
+// Level detection + dispatch state.
+// ---------------------------------------------------------------------------
+
+Level DetectHardwareLevel() {
+#if defined(DDPKIT_VEC_X86)
+  if (__builtin_cpu_supports("avx512f")) return Level::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level ClampToEnv(Level hw) {
+  // Startup-only env read; the result is a process-wide constant, and every
+  // level is bit-exact anyway, so this cannot make a run irreproducible.
+  const char* env = std::getenv("DDPKIT_SIMD");
+  if (env == nullptr) return hw;
+  const std::string_view want(env);
+  Level requested = hw;
+  if (want == "scalar") {
+    requested = Level::kScalar;
+  } else if (want == "avx2") {
+    requested = Level::kAvx2;
+  } else if (want == "avx512") {
+    requested = Level::kAvx512;
+  }
+  return requested <= hw ? requested : hw;
+}
+
+std::atomic<Level>& ActiveLevelState() {
+  static std::atomic<Level> level{ClampToEnv(DetectHardwareLevel())};
+  return level;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+  static const Level detected = ClampToEnv(DetectHardwareLevel());
+  return detected;
+}
+
+Level ActiveLevel() {
+  return ActiveLevelState().load(std::memory_order_relaxed);
+}
+
+Level SetLevelForTesting(Level level) {
+  const Level clamped = level <= DetectedLevel() ? level : DetectedLevel();
+  ActiveLevelState().store(clamped, std::memory_order_relaxed);
+  return clamped;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points. The switch costs one predictable branch per
+// batch call — negligible against the loops it guards, and it keeps
+// SetLevelForTesting effective without a rebindable function table.
+// ---------------------------------------------------------------------------
+
+#if defined(DDPKIT_VEC_X86)
+#define DDPKIT_VEC_DISPATCH(avx512_call, avx2_call, scalar_call) \
+  do {                                                           \
+    switch (ActiveLevel()) {                                     \
+      case Level::kAvx512:                                       \
+        avx512_call;                                             \
+        return;                                                  \
+      case Level::kAvx2:                                         \
+        avx2_call;                                               \
+        return;                                                  \
+      case Level::kScalar:                                       \
+        break;                                                   \
+    }                                                            \
+    scalar_call;                                                 \
+  } while (0)
+#else
+#define DDPKIT_VEC_DISPATCH(avx512_call, avx2_call, scalar_call) \
+  do {                                                           \
+    scalar_call;                                                 \
+  } while (0)
+#endif
+
+void Add(const float* a, const float* b, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AddAvx512(a, b, dst, n), AddAvx2(a, b, dst, n),
+                      AddScalarImpl(a, b, dst, n));
+}
+void Sub(const float* a, const float* b, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(SubAvx2(a, b, dst, n), SubAvx2(a, b, dst, n),
+                      SubScalarImpl(a, b, dst, n));
+}
+void Mul(const float* a, const float* b, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(MulAvx512(a, b, dst, n), MulAvx2(a, b, dst, n),
+                      MulScalarImpl(a, b, dst, n));
+}
+void Div(const float* a, const float* b, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(DivAvx2(a, b, dst, n), DivAvx2(a, b, dst, n),
+                      DivScalarImpl(a, b, dst, n));
+}
+void Scale(const float* a, float s, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(ScaleAvx2(a, s, dst, n), ScaleAvx2(a, s, dst, n),
+                      ScaleScalarImpl(a, s, dst, n));
+}
+void AddScalar(const float* a, float s, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AddScalarAvx2(a, s, dst, n), AddScalarAvx2(a, s, dst, n),
+                      AddScalarScalarImpl(a, s, dst, n));
+}
+void Neg(const float* a, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(NegAvx2(a, dst, n), NegAvx2(a, dst, n),
+                      NegScalarImpl(a, dst, n));
+}
+void Relu(const float* a, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(ReluAvx2(a, dst, n), ReluAvx2(a, dst, n),
+                      ReluScalarImpl(a, dst, n));
+}
+void ReluBackward(const float* g, const float* x, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(ReluBackwardAvx2(g, x, dst, n),
+                      ReluBackwardAvx2(g, x, dst, n),
+                      ReluBackwardScalarImpl(g, x, dst, n));
+}
+void Sqrt(const float* a, float* dst, int64_t n) {
+  DDPKIT_VEC_DISPATCH(SqrtAvx2(a, dst, n), SqrtAvx2(a, dst, n),
+                      SqrtScalarImpl(a, dst, n));
+}
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AxpyAvx512(alpha, x, y, n), AxpyAvx2(alpha, x, y, n),
+                      AxpyScalarImpl(alpha, x, y, n));
+}
+void ScaleInPlace(float* y, float s, int64_t n) {
+  DDPKIT_VEC_DISPATCH(ScaleInPlaceAvx2(y, s, n), ScaleInPlaceAvx2(y, s, n),
+                      ScaleInPlaceScalarImpl(y, s, n));
+}
+void AccumulateAdd(float* dst, const float* src, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AccumAddF32Avx512(dst, src, n),
+                      AccumAddF32Avx2(dst, src, n),
+                      AccumAddF32ScalarImpl(dst, src, n));
+}
+void AccumulateMax(float* dst, const float* src, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AccumMaxF32Avx512(dst, src, n),
+                      AccumMaxF32Avx2(dst, src, n),
+                      AccumMaxF32ScalarImpl(dst, src, n));
+}
+void AccumulateAdd(double* dst, const double* src, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AccumAddF64Avx512(dst, src, n),
+                      AccumAddF64Avx2(dst, src, n),
+                      AccumAddF64ScalarImpl(dst, src, n));
+}
+void AccumulateMax(double* dst, const double* src, int64_t n) {
+  DDPKIT_VEC_DISPATCH(AccumMaxF64Avx512(dst, src, n),
+                      AccumMaxF64Avx2(dst, src, n),
+                      AccumMaxF64ScalarImpl(dst, src, n));
+}
+
+void Copy(float* dst, const float* src, int64_t n) {
+  if (n > 0) std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(float));
+}
+void Copy(double* dst, const double* src, int64_t n) {
+  if (n > 0) std::memcpy(dst, src, static_cast<size_t>(n) * sizeof(double));
+}
+
+#undef DDPKIT_VEC_DISPATCH
+
+}  // namespace ddpkit::vec

@@ -16,6 +16,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/vec.h"
 #include "tensor/tensor_ops.h"
 
 namespace ddpkit::core {
@@ -26,7 +27,7 @@ namespace {
 /// copy-in/copy-out path, §4.2's named per-backward copy cost).
 void ParallelCopy(float* dst, const float* src, int64_t n) {
   ParallelFor(0, n, kParallelGrain, [&](int64_t b, int64_t e) {
-    std::memcpy(dst + b, src + b, static_cast<size_t>(e - b) * sizeof(float));
+    vec::Copy(dst + b, src + b, e - b);
   });
 }
 
@@ -556,8 +557,7 @@ void Reducer::FinalizeBackward() {
               [&](int64_t jb, int64_t je) {
     for (int64_t j = jb; j < je; ++j) {
       const CopyJob& job = copy_jobs[static_cast<size_t>(j)];
-      std::memcpy(job.dst, job.src,
-                  static_cast<size_t>(job.numel) * sizeof(float));
+      vec::Copy(job.dst, job.src, job.numel);
     }
   });
   if (telem) frame_.copy_out_seconds = WallSeconds() - copy_out_start;

@@ -1,0 +1,54 @@
+#include "sim/collective_algo.h"
+
+namespace ddpkit::sim {
+
+const char* CollectiveAlgorithmName(CollectiveAlgorithm algorithm) {
+  switch (algorithm) {
+    case CollectiveAlgorithm::kNaive:
+      return "naive";
+    case CollectiveAlgorithm::kRing:
+      return "ring";
+    case CollectiveAlgorithm::kTree:
+      return "tree";
+    case CollectiveAlgorithm::kRingChunked:
+      return "ring_chunked";
+    case CollectiveAlgorithm::kHalvingDoubling:
+      return "halving_doubling";
+    case CollectiveAlgorithm::kHierarchical:
+      return "hierarchical";
+    case CollectiveAlgorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+CollectiveAlgorithm SelectAllReduceAlgorithm(size_t bytes, int world,
+                                             const Topology& topology) {
+  if (world <= 2) {
+    // With 0 or 1 peers there is nothing to pipeline and no step count to
+    // shrink; the naive order is also the cheapest data plane.
+    return CollectiveAlgorithm::kNaive;
+  }
+  if (bytes < kSmallAllReduceBytes) {
+    // Latency regime (Fig 2a left side): 2*ceil(log2 w) steps beat the
+    // ring's 2*(w-1) long before bandwidth matters.
+    return CollectiveAlgorithm::kHalvingDoubling;
+  }
+  if (!topology.SingleHost(world)) {
+    // Bandwidth regime across hosts: only 2*(hosts-1)/hosts of the bytes
+    // should ever touch the NIC; reduce inside each host first.
+    return CollectiveAlgorithm::kHierarchical;
+  }
+  // Bandwidth regime inside one host: pipelined chunks keep the bottleneck
+  // NVLink busy through the whole collective.
+  return CollectiveAlgorithm::kRingChunked;
+}
+
+CollectiveAlgorithm ResolveAllReduceAlgorithm(CollectiveAlgorithm algorithm,
+                                              size_t bytes, int world,
+                                              const Topology& topology) {
+  if (algorithm != CollectiveAlgorithm::kAuto) return algorithm;
+  return SelectAllReduceAlgorithm(bytes, world, topology);
+}
+
+}  // namespace ddpkit::sim

@@ -1,0 +1,73 @@
+#ifndef DDPKIT_SIM_COLLECTIVE_ALGO_H_
+#define DDPKIT_SIM_COLLECTIVE_ALGO_H_
+
+#include <cstddef>
+
+#include "sim/topology.h"
+
+namespace ddpkit::sim {
+
+/// All-reduce algorithm zoo. Lives in the sim layer (below comm) so both
+/// the analytical cost models and the ProcessGroupSim data plane key off
+/// one enum; `comm::Algorithm` is an alias of this type.
+///
+/// Every variant is deterministic: it declares a canonical per-element
+/// combine order that depends only on (world, numel, op), never on thread
+/// count or arrival timing. Float results may differ *between* variants
+/// (summation order differs, and float addition is not associative), but a
+/// given variant is bit-exact across runs, pool sizes, and SIMD levels.
+enum class CollectiveAlgorithm {
+  /// Rank 0 accumulates contributions in ascending rank order, then
+  /// broadcasts. The reference order for the property tests.
+  kNaive,
+  /// Classic two-phase ring: world chunks, chunk c reduced in ring order
+  /// starting at rank (c+1) % world. One chunk per rank per step.
+  kRing,
+  /// Recursive doubling over rank spans; O(log w) steps.
+  kTree,
+  /// Ring with chunks_per_rank * world chunks pipelined through the ring so
+  /// the reduce of chunk k overlaps the transfer of chunk k-1 (after
+  /// fbcollective's allreduce_ring_chunked). Same per-chunk combine order
+  /// as kRing; only the chunking granularity differs.
+  kRingChunked,
+  /// Recursive halving (reduce-scatter) + recursive doubling (all-gather);
+  /// 2*ceil(log2 w) steps. Non-power-of-two worlds fold the extra ranks
+  /// into the leading power of two first and fan back out at the end.
+  kHalvingDoubling,
+  /// Two-level: intra-node reduce to each node leader, ring all-reduce
+  /// across leaders, intra-node broadcast. Keyed off the topology's
+  /// host boundaries (NV2/NODE tiers inside a host, NET between hosts).
+  kHierarchical,
+  /// Defer to SelectAllReduceAlgorithm at call time (message size x world
+  /// size x topology).
+  kAuto,
+};
+
+const char* CollectiveAlgorithmName(CollectiveAlgorithm algorithm);
+
+/// Message-size x world-size x topology auto-selector, honored by both the
+/// cost models (when asked to price kAuto) and ProcessGroupSim's data
+/// plane. Deterministic; dispatch rules are documented in DESIGN.md §10:
+///   - world <= 2: kNaive (nothing to pipeline)
+///   - small messages (< 256 KB): kHalvingDoubling (fewest latency steps)
+///   - multi-host worlds: kHierarchical (keeps most traffic off the NIC)
+///   - large single-host messages: kRingChunked (pipelining saturates the
+///     bottleneck link)
+CollectiveAlgorithm SelectAllReduceAlgorithm(size_t bytes, int world,
+                                             const Topology& topology);
+
+/// Resolves kAuto via the selector; returns other values unchanged.
+CollectiveAlgorithm ResolveAllReduceAlgorithm(CollectiveAlgorithm algorithm,
+                                              size_t bytes, int world,
+                                              const Topology& topology);
+
+/// Messages below this many bytes are latency-bound: step count, not
+/// bandwidth, dominates, so the selector prefers halving-doubling.
+inline constexpr size_t kSmallAllReduceBytes = 256 * 1024;
+
+/// Pipelining depth of kRingChunked: total chunks = world * this.
+inline constexpr int kRingChunksPerRank = 4;
+
+}  // namespace ddpkit::sim
+
+#endif  // DDPKIT_SIM_COLLECTIVE_ALGO_H_

@@ -19,6 +19,81 @@ const char* BackendName(Backend backend) {
   return "?";
 }
 
+// ---- Shared algorithm-aware pricing -----------------------------------------
+
+double CommCostModel::AllReduceSeconds(size_t bytes, int world,
+                                       int concurrent_groups,
+                                       CollectiveAlgorithm algorithm) const {
+  DDPKIT_CHECK_GT(world, 0);
+  if (world == 1) return 0.0;
+  const Topology& topo = topology();
+  const CollectiveAlgorithm algo =
+      ResolveAllReduceAlgorithm(algorithm, bytes, world, topo);
+  const double fbytes = static_cast<double>(bytes);
+  const double ring_traffic =
+      2.0 * (world - 1) / static_cast<double>(world) * fbytes;
+  const AlgoModelParams p = AlgoParams(bytes, world, concurrent_groups);
+  switch (algo) {
+    case CollectiveAlgorithm::kRing:
+    case CollectiveAlgorithm::kTree:
+      // The legacy per-backend ring model, unchanged: existing virtual-time
+      // traces and the cluster sweeps keep their exact numbers.
+      return AllReduceSeconds(bytes, world, concurrent_groups);
+    case CollectiveAlgorithm::kNaive: {
+      // Gather everything through the root's link, reduce, broadcast back:
+      // (world-1)+1 message volumes through one link instead of the ring's
+      // balanced 2*(world-1)/world.
+      const double traffic = static_cast<double>(world) * fbytes;
+      return p.base_latency + 2.0 * p.step_latency +
+             traffic / p.ring_bandwidth;
+    }
+    case CollectiveAlgorithm::kRingChunked: {
+      // Same balanced traffic as the ring, a few extra fill steps while the
+      // pipeline primes, and the pipelined sustained bandwidth.
+      const double steps =
+          2.0 * (world - 1) + static_cast<double>(kRingChunksPerRank - 1);
+      return p.base_latency + steps * p.step_latency +
+             ring_traffic / p.chunked_bandwidth;
+    }
+    case CollectiveAlgorithm::kHalvingDoubling: {
+      int pof2 = 1;
+      while (pof2 * 2 <= world) pof2 *= 2;
+      const double depth = std::ceil(std::log2(static_cast<double>(world)));
+      double seconds = p.base_latency + 2.0 * depth * p.step_latency +
+                       ring_traffic / p.ring_bandwidth;
+      if (pof2 != world) {
+        // Fold/unfold for the ranks beyond the leading power of two: one
+        // extra full-vector exchange on each side.
+        seconds += 2.0 * p.step_latency + 2.0 * fbytes / p.ring_bandwidth;
+      }
+      return seconds;
+    }
+    case CollectiveAlgorithm::kHierarchical: {
+      const int per_host = std::min(world, topo.gpus_per_host());
+      const int hosts = (world + topo.gpus_per_host() - 1) /
+                        topo.gpus_per_host();
+      const double intra_depth =
+          std::ceil(std::log2(static_cast<double>(std::max(2, per_host))));
+      // Intra-host reduce to the leader, then the mirror-image broadcast.
+      double seconds = p.base_latency +
+                       2.0 * (intra_depth * p.intra_step_latency +
+                              fbytes / p.intra_bandwidth);
+      if (hosts > 1) {
+        // Leader ring across hosts: the only NIC-tier traffic.
+        const double leader_traffic =
+            2.0 * (hosts - 1) / static_cast<double>(hosts) * fbytes;
+        seconds += 2.0 * (hosts - 1) * p.net_step_latency +
+                   leader_traffic / p.net_bandwidth;
+      }
+      return seconds;
+    }
+    case CollectiveAlgorithm::kAuto:
+      break;  // resolved above
+  }
+  DDPKIT_CHECK(false) << "bad algorithm";
+  return 0.0;
+}
+
 // ---- NcclCostModel ----------------------------------------------------------
 
 NcclCostModel::NcclCostModel(const Topology& topology)
@@ -88,6 +163,43 @@ double NcclCostModel::BarrierSeconds(int world) const {
   return options_.base_latency +
          2.0 * depth *
              (topology_.RingHopLatency(world) + options_.step_overhead);
+}
+
+CommCostModel::AlgoModelParams NcclCostModel::AlgoParams(
+    size_t /*bytes*/, int world, int concurrent_groups) const {
+  AlgoModelParams p;
+  p.base_latency = options_.base_latency;
+  p.step_latency = topology_.RingHopLatency(world) + options_.step_overhead;
+  p.ring_bandwidth = EffectiveBandwidth(world, concurrent_groups);
+
+  const double groups = static_cast<double>(std::max(1, concurrent_groups));
+  double link = topology_.RingBandwidth(world);
+  if (options_.degraded_above_world > 0 &&
+      world > options_.degraded_above_world) {
+    link *= options_.degraded_net_factor;
+  }
+  const double chunked_fraction = topology_.SingleHost(world)
+                                      ? options_.chunked_bw_fraction_intra
+                                      : options_.chunked_bw_fraction;
+  p.chunked_bandwidth = std::min(chunked_fraction * link, link / groups);
+
+  const int per_host = std::min(world, topology_.gpus_per_host());
+  const double intra_link = topology_.RingBandwidth(per_host);
+  p.intra_bandwidth = std::min(
+      options_.chunked_bw_fraction_intra * intra_link, intra_link / groups);
+  p.intra_step_latency =
+      topology_.RingHopLatency(per_host) + options_.step_overhead;
+
+  double net_link = topology_.Bandwidth(LinkType::kNet);
+  if (options_.degraded_above_world > 0 &&
+      world > options_.degraded_above_world) {
+    net_link *= options_.degraded_net_factor;
+  }
+  p.net_bandwidth =
+      std::min(options_.chunked_bw_fraction * net_link, net_link / groups);
+  p.net_step_latency =
+      topology_.Latency(LinkType::kNet) + options_.step_overhead;
+  return p;
 }
 
 // ---- GlooCostModel -------------------------------------------------------------
@@ -165,6 +277,26 @@ double GlooCostModel::BarrierSeconds(int world) const {
              (topology_.RingHopLatency(world) + options_.step_overhead);
 }
 
+CommCostModel::AlgoModelParams GlooCostModel::AlgoParams(
+    size_t bytes, int world, int concurrent_groups) const {
+  AlgoModelParams p;
+  p.base_latency = options_.base_latency;
+  p.step_latency = topology_.RingHopLatency(world) + options_.step_overhead;
+  p.ring_bandwidth =
+      EffectiveBandwidth(std::max<size_t>(bytes, 1), world, concurrent_groups);
+  p.chunked_bandwidth = p.ring_bandwidth * options_.chunked_pipeline_gain;
+  const int per_host = std::min(world, topology_.gpus_per_host());
+  p.intra_bandwidth = EffectiveBandwidth(std::max<size_t>(bytes, 1), per_host,
+                                         concurrent_groups);
+  p.intra_step_latency =
+      topology_.RingHopLatency(per_host) + options_.step_overhead;
+  // The CPU/TCP path is the cap whether or not the hop crosses a NIC.
+  p.net_bandwidth = p.ring_bandwidth;
+  p.net_step_latency =
+      topology_.Latency(LinkType::kNet) + options_.step_overhead;
+  return p;
+}
+
 // ---- MpiCostModel ----------------------------------------------------------------
 
 MpiCostModel::MpiCostModel(const Topology& topology)
@@ -221,6 +353,28 @@ double MpiCostModel::BarrierSeconds(int world) const {
   return options_.base_latency +
          2.0 * depth *
              (topology_.RingHopLatency(world) + options_.step_overhead);
+}
+
+CommCostModel::AlgoModelParams MpiCostModel::AlgoParams(
+    size_t /*bytes*/, int world, int concurrent_groups) const {
+  AlgoModelParams p;
+  const double groups = static_cast<double>(std::max(1, concurrent_groups));
+  p.base_latency = options_.base_latency;
+  p.step_latency = topology_.RingHopLatency(world) + options_.step_overhead;
+  p.ring_bandwidth = EffectiveBandwidth(world, concurrent_groups);
+  p.chunked_bandwidth = p.ring_bandwidth * options_.chunked_pipeline_gain;
+  const int per_host = std::min(world, topology_.gpus_per_host());
+  p.intra_bandwidth =
+      std::min(options_.max_bandwidth, topology_.RingBandwidth(per_host)) /
+      groups;
+  p.intra_step_latency =
+      topology_.RingHopLatency(per_host) + options_.step_overhead;
+  p.net_bandwidth =
+      std::min(options_.max_bandwidth, topology_.Bandwidth(LinkType::kNet)) /
+      groups;
+  p.net_step_latency =
+      topology_.Latency(LinkType::kNet) + options_.step_overhead;
+  return p;
 }
 
 // ---- Factory ----------------------------------------------------------------------

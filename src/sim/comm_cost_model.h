@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "sim/collective_algo.h"
 #include "sim/topology.h"
 
 namespace ddpkit::sim {
@@ -31,6 +32,18 @@ class CommCostModel {
   virtual double AllReduceSeconds(size_t bytes, int world,
                                   int concurrent_groups = 1) const = 0;
 
+  /// Algorithm-aware all-reduce pricing, shared across backends. kRing and
+  /// kTree map to the legacy ring model above (so existing virtual-time
+  /// traces are unchanged); kAuto resolves via SelectAllReduceAlgorithm
+  /// against this model's topology — the same resolution ProcessGroupSim's
+  /// data plane performs, so modeled time and data movement always agree.
+  /// kRingChunked prices the pipelined ring (higher sustained link
+  /// saturation, a few extra fill steps), kHalvingDoubling trades bandwidth
+  /// for 2*ceil(log2 w) latency steps, and kHierarchical pays NVLink-tier
+  /// cost intra-host and NIC-tier cost only for the leader ring.
+  double AllReduceSeconds(size_t bytes, int world, int concurrent_groups,
+                          CollectiveAlgorithm algorithm) const;
+
   /// Binary-tree broadcast of `bytes` from one root.
   virtual double BroadcastSeconds(size_t bytes, int world) const = 0;
 
@@ -41,6 +54,25 @@ class CommCostModel {
 
   virtual Backend backend() const = 0;
   virtual const Topology& topology() const = 0;
+
+ protected:
+  /// Per-backend knobs the shared algorithm-zoo formulas consume.
+  /// `ring_bandwidth` must equal what the backend's legacy ring model uses
+  /// for the same (bytes, world, groups); `chunked_bandwidth` is the higher
+  /// sustained rate a pipelined chunked ring achieves on the same links;
+  /// the intra/net tier fields price kHierarchical's two levels.
+  struct AlgoModelParams {
+    double base_latency = 0.0;
+    double step_latency = 0.0;       // per ring hop, protocol included
+    double ring_bandwidth = 0.0;     // legacy single-group effective bw
+    double chunked_bandwidth = 0.0;  // pipelined-chunked saturated bw
+    double intra_bandwidth = 0.0;    // intra-host tier (kHierarchical)
+    double intra_step_latency = 0.0;
+    double net_bandwidth = 0.0;      // inter-host tier (kHierarchical)
+    double net_step_latency = 0.0;
+  };
+  virtual AlgoModelParams AlgoParams(size_t bytes, int world,
+                                     int concurrent_groups) const = 0;
 };
 
 /// NCCL-like: microsecond launch overhead, low per-hop latency, high
@@ -67,6 +99,12 @@ class NcclCostModel : public CommCostModel {
     /// shared-entitlement links beyond 128 GPUs (§5.3).
     int degraded_above_world = 0;
     double degraded_net_factor = 0.5;
+    /// Sustained fraction of the bottleneck link a *pipelined chunked* ring
+    /// achieves (vs the per_group fractions above): with several chunks in
+    /// flight per rank the reduce of chunk k overlaps the transfer of chunk
+    /// k-1, so a single group keeps the wire nearly saturated.
+    double chunked_bw_fraction_intra = 0.95;
+    double chunked_bw_fraction = 0.3;
   };
 
   explicit NcclCostModel(const Topology& topology);
@@ -79,6 +117,10 @@ class NcclCostModel : public CommCostModel {
   double BarrierSeconds(int world) const override;
   Backend backend() const override { return Backend::kNccl; }
   const Topology& topology() const override { return topology_; }
+
+ protected:
+  AlgoModelParams AlgoParams(size_t bytes, int world,
+                             int concurrent_groups) const override;
 
  private:
   double EffectiveBandwidth(int world, int concurrent_groups) const;
@@ -110,6 +152,9 @@ class GlooCostModel : public CommCostModel {
     double large_message_factor = 0.8;
     /// Per-rank bandwidth degradation: bw /= (1 + world_penalty * world).
     double world_penalty = 0.006;
+    /// Gloo is CPU-bound, so chunk pipelining only overlaps the copy with
+    /// the send — a modest sustained-bandwidth gain, not link saturation.
+    double chunked_pipeline_gain = 1.25;
   };
 
   explicit GlooCostModel(const Topology& topology);
@@ -122,6 +167,10 @@ class GlooCostModel : public CommCostModel {
   double BarrierSeconds(int world) const override;
   Backend backend() const override { return Backend::kGloo; }
   const Topology& topology() const override { return topology_; }
+
+ protected:
+  AlgoModelParams AlgoParams(size_t bytes, int world,
+                             int concurrent_groups) const override;
 
  private:
   double EffectiveBandwidth(size_t message_bytes, int world,
@@ -141,6 +190,9 @@ class MpiCostModel : public CommCostModel {
     double step_overhead = 8e-6;
     /// Host-staging ceiling on achievable bandwidth.
     double max_bandwidth = 2.0e9;
+    /// Chunk pipelining overlaps the host staging copy with the fabric
+    /// transfer; bounded well below NCCL-style link saturation.
+    double chunked_pipeline_gain = 1.2;
   };
 
   explicit MpiCostModel(const Topology& topology);
@@ -153,6 +205,10 @@ class MpiCostModel : public CommCostModel {
   double BarrierSeconds(int world) const override;
   Backend backend() const override { return Backend::kMpi; }
   const Topology& topology() const override { return topology_; }
+
+ protected:
+  AlgoModelParams AlgoParams(size_t bytes, int world,
+                             int concurrent_groups) const override;
 
  private:
   double EffectiveBandwidth(int world, int concurrent_groups) const;

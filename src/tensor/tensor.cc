@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/vec.h"
+
 namespace ddpkit {
 
 namespace {
@@ -358,10 +360,7 @@ void Tensor::AccumulateGrad(const Tensor& g) {
   DDPKIT_CHECK(grad_tensor.is_contiguous() && g.is_contiguous());
   DDPKIT_CHECK(grad_tensor.dtype() == DType::kFloat32 &&
                g.dtype() == DType::kFloat32);
-  float* dst = grad_tensor.data<float>();
-  const float* src = g.data<float>();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  vec::AccumulateAdd(grad_tensor.data<float>(), g.data<float>(), numel());
 }
 
 void Tensor::ZeroGrad() {

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/parallel.h"
+#include "common/vec.h"
 
 namespace ddpkit::kernels {
 
@@ -22,6 +23,10 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
       << " (elementwise kernels do not broadcast)";
 }
 
+/// Scalar fallback for kernels with no vec.h mapping: transcendentals
+/// (exp/log/tanh and friends) stay scalar by design — libm gives no
+/// cross-width bit-exactness guarantee, so vectorizing them would break
+/// the SIMD layer's contract (common/vec.h).
 template <typename F>
 Tensor Unary(const Tensor& a, F f) {
   CheckFloatContiguous(a, "input");
@@ -29,6 +34,8 @@ Tensor Unary(const Tensor& a, F f) {
   const float* pa = a.data<float>();
   float* po = out.data<float>();
   ParallelFor(0, a.numel(), kParallelGrain, [&](int64_t b, int64_t e) {
+    // ddplint: allow(raw-elementwise-loop) transcendental fallback; libm
+    // has no cross-width bit-exactness, so these stay scalar by contract
     for (int64_t i = b; i < e; ++i) po[i] = f(pa[i]);
   });
   return out;
@@ -44,7 +51,38 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f) {
   const float* pb = b.data<float>();
   float* po = out.data<float>();
   ParallelFor(0, a.numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
+    // ddplint: allow(raw-elementwise-loop) transcendental fallback; libm
+    // has no cross-width bit-exactness, so these stay scalar by contract
     for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
+  return out;
+}
+
+/// SIMD-path helpers: the batch fn receives whole [lo, hi) spans and is
+/// expected to forward to a vec.h entry point.
+template <typename BatchFn>
+Tensor UnaryBatch(const Tensor& a, BatchFn fn) {
+  CheckFloatContiguous(a, "input");
+  Tensor out = Tensor::Empty(a.shape(), DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  float* po = out.data<float>();
+  ParallelFor(0, a.numel(), kParallelGrain, [&](int64_t b, int64_t e) {
+    fn(pa + b, po + b, e - b);
+  });
+  return out;
+}
+
+template <typename BatchFn>
+Tensor BinaryBatch(const Tensor& a, const Tensor& b, BatchFn fn) {
+  CheckFloatContiguous(a, "lhs");
+  CheckFloatContiguous(b, "rhs");
+  CheckSameShape(a, b);
+  Tensor out = Tensor::Empty(a.shape(), DType::kFloat32, a.device_id());
+  const float* pa = a.data<float>();
+  const float* pb = b.data<float>();
+  float* po = out.data<float>();
+  ParallelFor(0, a.numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
+    fn(pa + lo, pb + lo, po + lo, hi - lo);
   });
   return out;
 }
@@ -54,33 +92,42 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f) {
 // ---- Elementwise ------------------------------------------------------------
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x + y; });
+  return BinaryBatch(a, b, [](const float* x, const float* y, float* d,
+                              int64_t n) { vec::Add(x, y, d, n); });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x - y; });
+  return BinaryBatch(a, b, [](const float* x, const float* y, float* d,
+                              int64_t n) { vec::Sub(x, y, d, n); });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x * y; });
+  return BinaryBatch(a, b, [](const float* x, const float* y, float* d,
+                              int64_t n) { vec::Mul(x, y, d, n); });
 }
 
 Tensor Scale(const Tensor& a, double s) {
   const float fs = static_cast<float>(s);
-  return Unary(a, [fs](float x) { return x * fs; });
+  return UnaryBatch(a, [fs](const float* x, float* d, int64_t n) {
+    vec::Scale(x, fs, d, n);
+  });
 }
 
 Tensor AddScalar(const Tensor& a, double s) {
   const float fs = static_cast<float>(s);
-  return Unary(a, [fs](float x) { return x + fs; });
+  return UnaryBatch(a, [fs](const float* x, float* d, int64_t n) {
+    vec::AddScalar(x, fs, d, n);
+  });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x / y; });
+  return BinaryBatch(a, b, [](const float* x, const float* y, float* d,
+                              int64_t n) { vec::Div(x, y, d, n); });
 }
 
 Tensor Neg(const Tensor& a) {
-  return Unary(a, [](float x) { return -x; });
+  return UnaryBatch(
+      a, [](const float* x, float* d, int64_t n) { vec::Neg(x, d, n); });
 }
 
 Tensor Exp(const Tensor& a) {
@@ -92,7 +139,10 @@ Tensor Log(const Tensor& a) {
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return Unary(a, [](float x) { return std::sqrt(x); });
+  // sqrtps is correctly rounded per IEEE-754, so unlike the transcendentals
+  // this one is safe to vectorize without breaking bit-exactness.
+  return UnaryBatch(
+      a, [](const float* x, float* d, int64_t n) { vec::Sqrt(x, d, n); });
 }
 
 void Axpy(double alpha, const Tensor& x, Tensor* y) {
@@ -104,7 +154,7 @@ void Axpy(double alpha, const Tensor& x, Tensor* y) {
   const float* px = x.data<float>();
   float* py = y->data<float>();
   ParallelFor(0, x.numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) py[i] += a * px[i];
+    vec::Axpy(a, px + lo, py + lo, hi - lo);
   });
 }
 
@@ -114,7 +164,7 @@ void ScaleInPlace(Tensor* y, double s) {
   const float fs = static_cast<float>(s);
   float* py = y->data<float>();
   ParallelFor(0, y->numel(), kParallelGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) py[i] *= fs;
+    vec::ScaleInPlace(py + lo, fs, hi - lo);
   });
 }
 
@@ -123,12 +173,15 @@ void AddInPlace(Tensor* dst, const Tensor& src) { Axpy(1.0, src, dst); }
 // ---- Activations -------------------------------------------------------------
 
 Tensor Relu(const Tensor& a) {
-  return Unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return UnaryBatch(
+      a, [](const float* x, float* d, int64_t n) { vec::Relu(x, d, n); });
 }
 
 Tensor ReluBackward(const Tensor& grad_out, const Tensor& input) {
-  return Binary(grad_out, input,
-                [](float g, float x) { return x > 0.0f ? g : 0.0f; });
+  return BinaryBatch(grad_out, input,
+                     [](const float* g, const float* x, float* d, int64_t n) {
+                       vec::ReluBackward(g, x, d, n);
+                     });
 }
 
 namespace {
@@ -187,8 +240,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       for (int64_t p = 0; p < k; ++p) {
         const float av = arow[p];
         if (av == 0.0f) continue;
-        const float* brow = pb + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        // vec::Axpy is explicit mul-then-add at every dispatch level, the
+        // same rounding as the scalar `orow[j] += av * brow[j]` it replaces.
+        vec::Axpy(av, pb + p * n, orow, n);
       }
     }
   });
@@ -217,8 +271,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
       for (int64_t p = 0; p < k; ++p) {
         const float av = pa[p * m + i];
         if (av == 0.0f) continue;
-        const float* brow = pb + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        vec::Axpy(av, pb + p * n, orow, n);
       }
     }
   });
@@ -242,6 +295,8 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
       for (int64_t j = 0; j < n; ++j) {
         const float* brow = pb + j * k;
         float acc = 0.0f;
+        // ddplint: allow(raw-elementwise-loop) horizontal dot product; the
+        // vec layer offers no reductions (lane order would change rounding)
         for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
         po[i * n + j] = acc;
       }
@@ -277,7 +332,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   float* po = out.data<float>();
   ParallelFor(0, m, GrainFromCost(n), [&](int64_t rb, int64_t re) {
     for (int64_t i = rb; i < re; ++i) {
-      for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pbias[j];
+      vec::Add(pa + i * n, pbias, po + i * n, n);
     }
   });
   return out;
@@ -295,8 +350,7 @@ Tensor SumRows(const Tensor& a) {
   ParallelFor(0, n, GrainFromCost(m), [&](int64_t jb, int64_t je) {
     std::fill(po + jb, po + je, 0.0f);
     for (int64_t i = 0; i < m; ++i) {
-      const float* row = pa + i * n;
-      for (int64_t j = jb; j < je; ++j) po[j] += row[j];
+      vec::AccumulateAdd(po + jb, pa + i * n + jb, je - jb);
     }
   });
   return out;
@@ -470,6 +524,7 @@ Tensor MaxPool2x2(const Tensor& input, Tensor* argmax) {
           if (pi[candidates[k]] > pi[best]) best = candidates[k];
         }
         const int64_t out_idx = (nc * oh + y) * ow + x;
+        // ddplint: allow(raw-elementwise-loop) per-window argmax gather
         po[out_idx] = pi[best];
         pa[out_idx] = best;
       }
@@ -635,11 +690,13 @@ Tensor Softmax(const Tensor& a) {
       for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
       float denom = 0.0f;
       for (int64_t j = 0; j < n; ++j) {
+        // ddplint: allow(raw-elementwise-loop) fused exp + horizontal sum;
+        // transcendentals stay scalar per the vec.h bit-exactness contract
         orow[j] = std::exp(row[j] - mx);
         denom += orow[j];
       }
       const float inv = 1.0f / denom;
-      for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+      vec::ScaleInPlace(orow, inv, n);
     }
   });
   return out;
@@ -661,7 +718,8 @@ Tensor LogSoftmax(const Tensor& a) {
       float denom = 0.0f;
       for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
       const float log_denom = std::log(denom) + mx;
-      for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - log_denom;
+      // x - c and x + (-c) round identically in IEEE arithmetic.
+      vec::AddScalar(row, -log_denom, orow, n);
     }
   });
   return out;
@@ -722,8 +780,7 @@ Tensor EmbeddingBackward(const Tensor& grad_out, const Tensor& indices,
   float* pt = grad_table.data<float>();
   for (int64_t i = 0; i < n; ++i) {
     float* row = pt + pidx[i] * dim;
-    const float* grow = pg + i * dim;
-    for (int64_t j = 0; j < dim; ++j) row[j] += grow[j];
+    vec::AccumulateAdd(row, pg + i * dim, dim);
   }
   return grad_table;
 }

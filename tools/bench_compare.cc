@@ -1,0 +1,544 @@
+// bench_compare: the CI regression gate over bench JSON reports.
+//
+//   bench_compare <baseline.json> <candidate.json>
+//                 [--threshold=1.15] [--waivers=<file>]
+//   bench_compare --selftest
+//
+// Compares the per-cell modeled latencies in the candidate's "zoo_sweep"
+// section (written by bench_fig2_allreduce) against a committed baseline
+// (bench/baselines/BENCH_fig2_allreduce.json). A cell is identified as
+// <algorithm>/w<world>/b<bytes> and fails the gate when
+//
+//   candidate_ns > baseline_ns * threshold     (default threshold 1.15)
+//
+// or when a baseline cell is missing from the candidate (coverage loss is
+// a regression too). New candidate cells are reported but never fail —
+// growing the sweep must not require touching the baseline first.
+//
+// Waivers mirror ddplint's contract — explicit, with a reason, reviewed
+// like any code. One per line in the --waivers file:
+//
+//   allow(<cell-id>) <reason>
+//
+// Blank lines and lines starting with '#' are ignored. A waiver without a
+// reason is itself an error: the gate refuses to run rather than let an
+// unexplained regression through. Waived cells are reported as waived so
+// the regression stays visible in the CI log.
+//
+// The numbers gated here come from the analytical cost models, not wall
+// clocks, so they are bit-deterministic across machines: any drift is a
+// genuine model change, and the 15% headroom exists only so deliberate
+// parameter retunes inside the noise band don't force a baseline refresh.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tool_util.h"
+
+namespace ddpkit::tools {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough for ddpkit's own bench reports
+// (objects, arrays, strings without exotic escapes, numbers, literals).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    if (ok && pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return ok;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(&out->str) &&
+                         (out->kind = JsonValue::Kind::kString, true);
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        SkipSpace();
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: c = esc; break;  // \" \\ \/ and friends
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    static const struct {
+      const char* word;
+      JsonValue::Kind kind;
+      bool boolean;
+    } kLiterals[] = {{"true", JsonValue::Kind::kBool, true},
+                     {"false", JsonValue::Kind::kBool, false},
+                     {"null", JsonValue::Kind::kNull, false}};
+    for (const auto& lit : kLiterals) {
+      const size_t len = std::string(lit.word).size();
+      if (text_.compare(pos_, len, lit.word) == 0) {
+        pos_ += len;
+        out->kind = lit.kind;
+        out->boolean = lit.boolean;
+        return true;
+      }
+    }
+    return Fail("unrecognized literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Fail("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Report model: cell-id -> modeled ns, extracted from "zoo_sweep".
+// ---------------------------------------------------------------------------
+
+bool ExtractCells(const std::string& json_text, const std::string& label,
+                  std::map<std::string, double>* cells, std::string* error) {
+  JsonValue root;
+  JsonParser parser(json_text);
+  if (!parser.Parse(&root)) {
+    *error = label + ": JSON parse error: " + parser.error();
+    return false;
+  }
+  const JsonValue* sweep = root.Find("zoo_sweep");
+  if (sweep == nullptr || sweep->kind != JsonValue::Kind::kArray) {
+    *error = label + ": no \"zoo_sweep\" array in report";
+    return false;
+  }
+  for (const JsonValue& row : sweep->items) {
+    const JsonValue* algo = row.Find("algorithm");
+    const JsonValue* world = row.Find("world");
+    const JsonValue* bytes = row.Find("bytes");
+    const JsonValue* ns = row.Find("ns");
+    if (algo == nullptr || world == nullptr || bytes == nullptr ||
+        ns == nullptr || algo->kind != JsonValue::Kind::kString ||
+        ns->kind != JsonValue::Kind::kNumber) {
+      *error = label + ": zoo_sweep row missing algorithm/world/bytes/ns";
+      return false;
+    }
+    const std::string id =
+        algo->str + "/w" + std::to_string(static_cast<long long>(world->number)) +
+        "/b" + std::to_string(static_cast<long long>(bytes->number));
+    (*cells)[id] = ns->number;
+  }
+  if (cells->empty()) {
+    *error = label + ": zoo_sweep is empty";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Waivers: allow(<cell-id>) <reason>, one per line, reason mandatory.
+// ---------------------------------------------------------------------------
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool ParseWaivers(const std::string& text,
+                  std::map<std::string, std::string>* waivers,
+                  std::string* error) {
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::string marker = "allow(";
+    if (line.rfind(marker, 0) != 0) {
+      *error = "waivers line " + std::to_string(lineno) +
+               ": expected allow(<cell-id>) <reason>";
+      return false;
+    }
+    const size_t close = line.find(')', marker.size());
+    if (close == std::string::npos) {
+      *error = "waivers line " + std::to_string(lineno) + ": missing ')'";
+      return false;
+    }
+    const std::string id = line.substr(marker.size(), close - marker.size());
+    const std::string reason = Trim(line.substr(close + 1));
+    if (id.empty() || reason.empty()) {
+      *error = "waivers line " + std::to_string(lineno) +
+               ": a waiver needs both a cell id and a reason";
+      return false;
+    }
+    (*waivers)[id] = reason;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// The comparison proper. Pure over strings so the selftest can drive it
+// with embedded documents.
+// ---------------------------------------------------------------------------
+
+struct CompareResult {
+  bool ok = false;          // gate verdict
+  std::string error;        // non-empty => inputs were unusable
+  int compared = 0;
+  int regressions = 0;      // unwaived, over threshold
+  int waived = 0;
+  int missing = 0;          // baseline cells absent from candidate
+  int added = 0;            // candidate cells absent from baseline
+  std::vector<std::string> lines;  // human report
+};
+
+CompareResult CompareReports(const std::string& baseline_json,
+                             const std::string& candidate_json,
+                             double threshold,
+                             const std::string& waivers_text) {
+  CompareResult result;
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> candidate;
+  std::map<std::string, std::string> waivers;
+  if (!ExtractCells(baseline_json, "baseline", &baseline, &result.error) ||
+      !ExtractCells(candidate_json, "candidate", &candidate, &result.error) ||
+      !ParseWaivers(waivers_text, &waivers, &result.error)) {
+    return result;
+  }
+
+  for (const auto& [id, base_ns] : baseline) {
+    const auto it = candidate.find(id);
+    if (it == candidate.end()) {
+      ++result.missing;
+      result.lines.push_back("MISSING  " + id +
+                             " (in baseline, absent from candidate)");
+      continue;
+    }
+    ++result.compared;
+    const double cand_ns = it->second;
+    const double ratio = base_ns > 0.0 ? cand_ns / base_ns : 1.0;
+    if (ratio <= threshold) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3fx (limit %.2fx)", ratio, threshold);
+    const auto waiver = waivers.find(id);
+    if (waiver != waivers.end()) {
+      ++result.waived;
+      result.lines.push_back("WAIVED   " + id + " " + buf + " — " +
+                             waiver->second);
+    } else {
+      ++result.regressions;
+      result.lines.push_back("REGRESS  " + id + " " + buf);
+    }
+  }
+  for (const auto& [id, ns] : candidate) {
+    if (baseline.find(id) == baseline.end()) {
+      ++result.added;
+      result.lines.push_back("NEW      " + id + " (not gated yet)");
+    }
+  }
+  result.ok = result.regressions == 0 && result.missing == 0;
+  return result;
+}
+
+std::string ReadFile(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int RunCompare(const ToolArgs& args) {
+  std::string error;
+  const std::string baseline = ReadFile(args.positional[0], &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string candidate = ReadFile(args.positional[1], &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+    return 1;
+  }
+  std::string waivers_text;
+  const std::string waivers_path = args.FlagValue("waivers");
+  if (!waivers_path.empty()) {
+    waivers_text = ReadFile(waivers_path, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  const double threshold = std::stod(args.FlagValue("threshold", "1.15"));
+
+  const CompareResult result =
+      CompareReports(baseline, candidate, threshold, waivers_text);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "bench_compare: %s\n", result.error.c_str());
+    return 1;
+  }
+  for (const std::string& line : result.lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf(
+      "bench_compare: %d cells compared, %d regressions, %d waived, "
+      "%d missing, %d new — %s\n",
+      result.compared, result.regressions, result.waived, result.missing,
+      result.added, result.ok ? "OK" : "FAIL");
+  return result.ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: embedded documents through the same comparison path.
+// ---------------------------------------------------------------------------
+
+std::string Report(const std::string& rows) {
+  return "{\"bench\":\"fig2_allreduce\",\"zoo_sweep\":[" + rows + "]}";
+}
+
+std::string Cell(const std::string& algo, int world, long bytes, double ns) {
+  return "{\"algorithm\":\"" + algo + "\",\"resolved\":\"" + algo +
+         "\",\"world\":" + std::to_string(world) +
+         ",\"bytes\":" + std::to_string(bytes) +
+         ",\"ns\":" + std::to_string(ns) + ",\"gbps\":1.0}";
+}
+
+int RunSelftest(const ToolArgs&) {
+  const std::string base =
+      Report(Cell("ring", 8, 1048576, 1000.0) + "," +
+             Cell("auto", 8, 1048576, 600.0));
+  int failed = 0;
+  const auto check = [&failed](const char* name, bool ok) {
+    std::printf("  %-44s %s\n", name, ok ? "ok" : "FAILED");
+    if (!ok) ++failed;
+  };
+
+  {
+    const CompareResult r = CompareReports(base, base, 1.15, "");
+    check("identical reports pass", r.ok && r.compared == 2 &&
+                                        r.regressions == 0 && r.error.empty());
+  }
+  {
+    const std::string cand = Report(Cell("ring", 8, 1048576, 1300.0) + "," +
+                                    Cell("auto", 8, 1048576, 600.0));
+    const CompareResult r = CompareReports(base, cand, 1.15, "");
+    check("30% regression fails", !r.ok && r.regressions == 1);
+  }
+  {
+    const std::string cand = Report(Cell("ring", 8, 1048576, 1100.0) + "," +
+                                    Cell("auto", 8, 1048576, 600.0));
+    const CompareResult r = CompareReports(base, cand, 1.15, "");
+    check("10% drift stays inside headroom", r.ok && r.regressions == 0);
+    const CompareResult tight = CompareReports(base, cand, 1.05, "");
+    check("--threshold tightens the gate", !tight.ok &&
+                                               tight.regressions == 1);
+  }
+  {
+    const std::string cand = Report(Cell("ring", 8, 1048576, 1300.0) + "," +
+                                    Cell("auto", 8, 1048576, 600.0));
+    const CompareResult r = CompareReports(
+        base, cand, 1.15,
+        "# retuned latency constants for the v2 NIC model\n"
+        "allow(ring/w8/b1048576) deliberate retune, see DESIGN.md §10\n");
+    check("waiver with reason passes", r.ok && r.waived == 1 &&
+                                           r.regressions == 0);
+  }
+  {
+    const std::string cand = Report(Cell("ring", 8, 1048576, 1300.0) + "," +
+                                    Cell("auto", 8, 1048576, 600.0));
+    const CompareResult r =
+        CompareReports(base, cand, 1.15, "allow(ring/w8/b1048576)\n");
+    check("waiver without reason is rejected", !r.ok && !r.error.empty());
+  }
+  {
+    const std::string cand = Report(Cell("auto", 8, 1048576, 600.0));
+    const CompareResult r = CompareReports(base, cand, 1.15, "");
+    check("missing baseline cell fails", !r.ok && r.missing == 1);
+  }
+  {
+    const std::string cand =
+        Report(Cell("ring", 8, 1048576, 1000.0) + "," +
+               Cell("auto", 8, 1048576, 600.0) + "," +
+               Cell("hierarchical", 32, 1048576, 400.0));
+    const CompareResult r = CompareReports(base, cand, 1.15, "");
+    check("new candidate cells never fail", r.ok && r.added == 1);
+  }
+  {
+    const std::string cand = Report(Cell("ring", 8, 1048576, 500.0) + "," +
+                                    Cell("auto", 8, 1048576, 300.0));
+    const CompareResult r = CompareReports(base, cand, 1.15, "");
+    check("improvements pass without a baseline refresh", r.ok);
+  }
+  {
+    const CompareResult r = CompareReports("{not json", base, 1.15, "");
+    check("malformed baseline is an error", !r.ok && !r.error.empty());
+  }
+  {
+    const CompareResult r =
+        CompareReports("{\"zoo_sweep\":[]}", base, 1.15, "");
+    check("empty sweep is an error", !r.ok && !r.error.empty());
+  }
+
+  std::printf("bench_compare selftest: %d failed\n", failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ddpkit::tools
+
+int main(int argc, char** argv) {
+  using namespace ddpkit::tools;  // NOLINT
+  ToolSpec spec;
+  spec.usage = {
+      "<baseline.json> <candidate.json> [--threshold=1.15] "
+      "[--waivers=<file>]",
+      "--selftest",
+  };
+  spec.min_positional = 2;
+  spec.max_positional = 2;
+  spec.run = RunCompare;
+  spec.selftest = RunSelftest;
+  return RunTool(argc, argv, spec);
+}

@@ -21,6 +21,13 @@
 //                          a silently dropped Status on a recovery or
 //                          collective path turns a typed failure back into
 //                          the hang/corruption it was typed to prevent.
+//   raw-elementwise-loop   hand-rolled elementwise loops (a store to a bare
+//                          subscript `dst[i]` computed from another bare
+//                          subscript) in src/tensor/ and src/comm/ are
+//                          banned; route the hot path through the SIMD
+//                          layer (common/vec.h) or waive with a reason
+//                          (transcendentals, integer fallbacks, dot
+//                          products).
 //
 // Waivers (with a reason, reviewed like any code):
 //   // ddplint: allow(<rule>) <reason>        — this line, or the first
@@ -306,6 +313,73 @@ bool LineDeclaresStatusFunction(const std::string& code) {
   return j != std::string::npos && code[j] == '(';
 }
 
+// ---------------------------------------------------------------------------
+// raw-elementwise-loop: structural pass over the kernel directories.
+// ---------------------------------------------------------------------------
+
+/// Matches a *bare* subscript `ident[ident]` whose identifier starts at
+/// `pos`; returns one past the closing ']' or npos. Compound indices
+/// (`a[i * n + j]`), nested subscripts (`a[idx[i]]`) and non-identifier
+/// indices deliberately do not match: those are gathers/scatters or
+/// stride arithmetic the vec layer cannot express.
+size_t BareSubscriptEnd(const std::string& code, size_t pos) {
+  size_t i = pos;
+  while (i < code.size() && IsIdentChar(code[i])) ++i;
+  if (i == pos || i >= code.size() || code[i] != '[') {
+    return std::string::npos;
+  }
+  const size_t idx_start = ++i;
+  while (i < code.size() && IsIdentChar(code[i])) ++i;
+  if (i == idx_start || i >= code.size() || code[i] != ']') {
+    return std::string::npos;
+  }
+  return i + 1;
+}
+
+bool IsBareSubscriptStart(const std::string& code, size_t pos) {
+  if (pos > 0) {
+    const char prev = code[pos - 1];
+    // `s.lane[i]`, `p->v[i]`, `a[b[i]]` heads: not a bare subscript.
+    if (IsIdentChar(prev) || prev == '.' || prev == ']' || prev == '>') {
+      return false;
+    }
+  }
+  return BareSubscriptEnd(code, pos) != std::string::npos;
+}
+
+bool ContainsBareSubscript(const std::string& code, size_t from) {
+  for (size_t i = from; i < code.size(); ++i) {
+    if (IsBareSubscriptStart(code, i)) return true;
+  }
+  return false;
+}
+
+/// True when the line stores through a bare subscript (`dst[i] =`,
+/// `dst[i] +=`, ...) and the assigned expression reads another bare
+/// subscript — the shape of a hand-rolled elementwise kernel. Scalar
+/// reductions (`acc += a[i] * b[i]`), scatters (`out[idx[i]] += g[i]`) and
+/// strided/compound addressing are all structurally excluded.
+bool LineHasRawElementwiseLoop(const std::string& code) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!IsBareSubscriptStart(code, i)) continue;
+    size_t j = BareSubscriptEnd(code, i);
+    while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
+    if (j >= code.size()) return false;
+    size_t rhs = std::string::npos;
+    if (code[j] == '=' && (j + 1 >= code.size() || code[j + 1] != '=')) {
+      rhs = j + 1;  // plain assignment (not ==)
+    } else if ((code[j] == '+' || code[j] == '-' || code[j] == '*' ||
+                code[j] == '/') &&
+               j + 1 < code.size() && code[j + 1] == '=') {
+      rhs = j + 2;  // compound assignment
+    }
+    if (rhs != std::string::npos && ContainsBareSubscript(code, rhs)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 const std::vector<Rule>& Rules() {
   static const std::vector<Rule>* rules = new std::vector<Rule>{
       {"unannotated-mutex",
@@ -364,6 +438,17 @@ const std::vector<Rule>& Rules() {
        "mark the declaration [[nodiscard]] (same line or the line above); "
        "waive intentionally discardable calls with "
        "// ddplint: allow(nodiscard-status) <reason>"},
+      {"raw-elementwise-loop",
+       {},  // structural rule: matched by LintRawElementwiseLoop, not tokens
+       [](const std::string& path) {
+         return InDir(path, "tensor/") || InDir(path, "comm/");
+       },
+       "a hand-rolled elementwise loop on a kernel hot path bypasses the "
+       "SIMD layer and silently runs scalar",
+       "route the loop through a common/vec.h batch helper (Add, Axpy, "
+       "AccumulateAdd, Copy, ...); waive loops the vec layer cannot express "
+       "— transcendentals, integer fallbacks, dot products — with "
+       "// ddplint: allow(raw-elementwise-loop) <reason>"},
   };
   return *rules;
 }
@@ -404,6 +489,19 @@ void LintNodiscardStatus(const std::string& path,
   }
 }
 
+void LintRawElementwiseLoop(const std::string& path,
+                            const std::vector<std::string>& code,
+                            const Waivers& waivers,
+                            std::vector<Violation>* out) {
+  const std::string rule = "raw-elementwise-loop";
+  if (waivers.file_rules.count(rule) > 0) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!LineHasRawElementwiseLoop(code[i])) continue;
+    if (waivers.Covers(rule, i)) continue;
+    out->push_back(Violation{path, i + 1, rule, "dst[i] = ...src[i]"});
+  }
+}
+
 void LintContent(const std::string& path, const std::string& content,
                  std::vector<Violation>* out) {
   const std::string norm = NormalizePath(path);
@@ -415,6 +513,10 @@ void LintContent(const std::string& path, const std::string& content,
     if (waivers.file_rules.count(rule.name) > 0) continue;
     if (rule.name == "nodiscard-status") {
       LintNodiscardStatus(path, code, waivers, out);
+      continue;
+    }
+    if (rule.name == "raw-elementwise-loop") {
+      LintRawElementwiseLoop(path, code, waivers, out);
       continue;
     }
     for (size_t i = 0; i < code.size(); ++i) {
@@ -574,6 +676,30 @@ int SelfTest(const ddpkit::tools::ToolArgs&) {
       {"nodiscard-status waiver honored", "src/comm/x.h",
        "Status Legacy();  // ddplint: allow(nodiscard-status) migration\n", 0,
        ""},
+      {"raw elementwise loop in tensor flagged", "src/tensor/ops.cc",
+       "for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];\n", 1,
+       "raw-elementwise-loop"},
+      {"raw accumulate loop in comm flagged", "src/comm/algorithms.cc",
+       "for (int64_t i = 0; i < n; ++i) dst[i] += src[i];\n", 1,
+       "raw-elementwise-loop"},
+      {"vec.h batch call is clean", "src/tensor/ops.cc",
+       "vec::Add(pa, pb, po, n);\n", 0, ""},
+      {"scalar reduction is not elementwise", "src/tensor/ops.cc",
+       "for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];\n", 0, ""},
+      {"scatter through an index array is not elementwise",
+       "src/tensor/ops.cc", "pi[idx[i]] += pg[i];\n", 0, ""},
+      {"compound-index addressing is not elementwise", "src/tensor/ops.cc",
+       "po[i * n + j] = pa[i * n + j] + pbias[j];\n", 0, ""},
+      {"comparison is not a store", "src/tensor/ops.cc",
+       "if (row[j] > row[best]) best = j;\n", 0, ""},
+      {"member subscripts are not bare", "src/tensor/ops.cc",
+       "r.lane[i] = a.lane[i] + b.lane[i];\n", 0, ""},
+      {"raw loop outside kernel dirs is fine", "src/optim/sgd.cc",
+       "for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];\n", 0, ""},
+      {"raw-elementwise-loop waiver honored", "src/tensor/ops.cc",
+       "// ddplint: allow(raw-elementwise-loop) transcendental stays scalar\n"
+       "for (int64_t i = 0; i < n; ++i) po[i] = std::exp(pa[i]);\n",
+       0, ""},
   };
 
   int failures = 0;
