@@ -1,0 +1,72 @@
+#include "comm/backend_factory.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace ddpkit::comm {
+
+Result<std::shared_ptr<ProcessGroup>> CreateProcessGroupBackend(
+    const BackendConfig& config, Store* store, const std::string& name,
+    int rank, int world, sim::VirtualClock* clock) {
+  if (config.backend == "sim") {
+    return std::shared_ptr<ProcessGroup>(
+        ProcessGroupSim::Create(store, name, rank, world, config.sim, clock));
+  }
+  if (config.backend == "tcp") {
+    Result<std::shared_ptr<ProcessGroupTcp>> group =
+        ProcessGroupTcp::Create(store, name, rank, world, config.tcp, clock);
+    if (!group.ok()) return group.status();
+    return std::shared_ptr<ProcessGroup>(std::move(group).value());
+  }
+  return Status::InvalidArgument("unknown process-group backend \"" +
+                                 config.backend +
+                                 "\" (expected \"sim\" or \"tcp\")");
+}
+
+namespace {
+
+Result<int> EnvInt(const char* name) {
+  // ddplint: allow(banned-nondeterminism) reason: launcher env contract is
+  // inherently process-external; values are fixed for the process lifetime.
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return Status::FailedPrecondition(
+        std::string(name) + " is not set (run under tools/ddp_launch, or "
+                            "export the launcher contract by hand)");
+  }
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    return Status::FailedPrecondition(std::string(name) +
+                                      " is not an integer: " + raw);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+Result<LaunchEnv> ReadLaunchEnv() {
+  LaunchEnv env;
+  Result<int> rank = EnvInt("DDPKIT_RANK");
+  if (!rank.ok()) return rank.status();
+  env.rank = rank.value();
+  Result<int> world = EnvInt("DDPKIT_WORLD");
+  if (!world.ok()) return world.status();
+  env.world = world.value();
+  // ddplint: allow(banned-nondeterminism) reason: launcher env contract.
+  const char* host = std::getenv("DDPKIT_STORE_HOST");
+  env.store_host = (host != nullptr && *host != '\0') ? host : "127.0.0.1";
+  Result<int> port = EnvInt("DDPKIT_STORE_PORT");
+  if (!port.ok()) return port.status();
+  env.store_port = port.value();
+  if (env.rank < 0 || env.world <= 0 || env.rank >= env.world ||
+      env.store_port <= 0 || env.store_port > 65535) {
+    return Status::FailedPrecondition(
+        "launch env out of range: rank=" + std::to_string(env.rank) +
+        " world=" + std::to_string(env.world) +
+        " store_port=" + std::to_string(env.store_port));
+  }
+  return env;
+}
+
+}  // namespace ddpkit::comm

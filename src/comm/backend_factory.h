@@ -1,0 +1,48 @@
+#ifndef DDPKIT_COMM_BACKEND_FACTORY_H_
+#define DDPKIT_COMM_BACKEND_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "comm/process_group.h"
+#include "comm/process_group_sim.h"
+#include "comm/process_group_tcp.h"
+#include "comm/store.h"
+
+namespace ddpkit::comm {
+
+/// Backend selection by string — the `init_process_group(backend=...)` seam
+/// (paper §3.3): trainers and tools name a wire ("sim" | "tcp") and get a
+/// ProcessGroup without compiling against a concrete backend.
+struct BackendConfig {
+  /// "sim": shared-memory rank threads with modeled time (ProcessGroupSim).
+  /// "tcp": one process per rank over real sockets (ProcessGroupTcp).
+  std::string backend = "sim";
+  ProcessGroupSim::Options sim;
+  ProcessGroupTcp::Options tcp;
+};
+
+/// Creates the configured backend. For "sim", every rank must call from its
+/// own thread of one process (rendezvous through the shared in-memory
+/// store); for "tcp", every rank is its own process and `store` is normally
+/// a StoreClientTcp pointed at the launcher's StoreServerTcp. Unknown
+/// backend strings fail kInvalidArgument.
+[[nodiscard]] Result<std::shared_ptr<ProcessGroup>> CreateProcessGroupBackend(
+    const BackendConfig& config, Store* store, const std::string& name,
+    int rank, int world, sim::VirtualClock* clock);
+
+/// Reads the launcher's environment contract (DDPKIT_RANK, DDPKIT_WORLD,
+/// DDPKIT_STORE_HOST, DDPKIT_STORE_PORT — what tools/ddp_launch exports to
+/// every worker). Fails kFailedPrecondition when a variable is missing or
+/// malformed.
+struct LaunchEnv {
+  int rank = 0;
+  int world = 1;
+  std::string store_host;
+  int store_port = 0;
+};
+[[nodiscard]] Result<LaunchEnv> ReadLaunchEnv();
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_BACKEND_FACTORY_H_

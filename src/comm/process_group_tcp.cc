@@ -1,0 +1,1037 @@
+#include "comm/process_group_tcp.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "comm/net_socket.h"
+#include "common/logging.h"
+#include "common/vec.h"
+#include "sim/collective_algo.h"
+#include "sim/topology.h"
+#include "tensor/dtype.h"
+
+// ddplint: allow-file(banned-nondeterminism) wire deadlines are wall-clock
+// by definition: peers are other processes that make progress only in real
+// time (DESIGN.md §11). The virtual clock still tracks completions so
+// telemetry and Work timeout semantics stay uniform across backends.
+// ddplint: allow-file(raw-wire-io) owns the abort wake pipe; all socket
+// traffic goes through comm/net_socket.h helpers.
+
+namespace ddpkit::comm {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+constexpr uint32_t kHelloMagic = 0xDD9C0001;
+constexpr uint32_t kHeaderMagic = 0xDD9C0002;
+
+/// Collective kinds for the wire header.
+enum OpKind : uint8_t {
+  kKindAllReduce = 1,
+  kKindBroadcast = 2,
+  kKindAllGather = 3,
+  kKindReduce = 4,
+  kKindReduceScatter = 5,
+  kKindGather = 6,
+  kKindBarrier = 7,
+};
+
+const char* OpKindName(uint8_t kind) {
+  switch (kind) {
+    case kKindAllReduce:
+      return "allreduce";
+    case kKindBroadcast:
+      return "broadcast";
+    case kKindAllGather:
+      return "allgather";
+    case kKindReduce:
+      return "reduce";
+    case kKindReduceScatter:
+      return "reduce_scatter";
+    case kKindGather:
+      return "gather";
+    case kKindBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+template <typename T>
+T Combine(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return static_cast<T>(a + b);
+    case ReduceOp::kMax:
+      return a > b ? a : b;
+    case ReduceOp::kBor:
+      if constexpr (std::is_integral_v<T>) {
+        return static_cast<T>(a | b);
+      } else {
+        return (a != 0 || b != 0) ? T{1} : T{0};
+      }
+  }
+  return a;
+}
+
+/// Elementwise `dst = Combine(dst, src)` with the exact operand order and
+/// SIMD dispatch of comm/algorithms.cc's CombineSpan — the wire schedules
+/// below must produce bit-identical floats to the shared-memory zoo.
+template <typename T>
+void CombineSpan(ReduceOp op, T* dst, const T* src, int64_t len) {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    if (op == ReduceOp::kSum) {
+      vec::AccumulateAdd(dst, src, len);
+      return;
+    }
+    if (op == ReduceOp::kMax) {
+      vec::AccumulateMax(dst, src, len);
+      return;
+    }
+  }
+  // ddplint: allow(raw-elementwise-loop) integer / kBor fallback; the vec
+  // layer covers the float and double sum/max hot paths above
+  for (int64_t i = 0; i < len; ++i) dst[i] = Combine(op, dst[i], src[i]);
+}
+
+struct Hello {
+  uint32_t magic;
+  int32_t rank;
+  uint64_t generation;
+};
+
+}  // namespace
+
+/// Exchanged with both ring neighbours before any payload moves; all
+/// fields must agree or the collective fails kShapeMismatch — the typed
+/// version of the paper's "incorrect reduction result or program crash"
+/// when ranks desynchronize.
+struct ProcessGroupTcp::OpHeader {
+  uint32_t magic;
+  uint8_t kind;
+  uint8_t dtype;
+  uint8_t rop;
+  uint8_t pad;
+  int32_t root;
+  int64_t numel;
+  uint64_t seq;
+  uint64_t generation;
+};
+
+/// I/O context one collective runs under: the cached mesh, the wall
+/// deadline, and the abort pipe.
+struct ProcessGroupTcp::OpContext {
+  const std::vector<int>* fds;
+  int rank;
+  int world;
+  Deadline deadline;
+  int abort_fd;
+
+  int fd(int peer) const { return (*fds)[static_cast<size_t>(peer)]; }
+};
+
+namespace {
+using OpContext = ProcessGroupTcp::OpContext;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire schedules. Each replicates the combine order documented in
+// comm/algorithms.cc for its algorithm, with "own value" always on the
+// exact operand side the shared-memory loop uses.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] Status SendTo(const OpContext& ctx, int peer, const void* buf,
+                            size_t len) {
+  return SendAll(ctx.fd(peer), buf, len, ctx.deadline, ctx.abort_fd);
+}
+
+[[nodiscard]] Status RecvFrom(const OpContext& ctx, int peer, void* buf,
+                              size_t len) {
+  return RecvAll(ctx.fd(peer), buf, len, ctx.deadline, ctx.abort_fd);
+}
+
+[[nodiscard]] Status Exchange(const OpContext& ctx, int send_peer,
+                              const void* sbuf, size_t slen, int recv_peer,
+                              void* rbuf, size_t rlen) {
+  return SendRecvAll(ctx.fd(send_peer), sbuf, slen, ctx.fd(recv_peer), rbuf,
+                     rlen, ctx.deadline, ctx.abort_fd);
+}
+
+/// Naive: ascending-rank combine at rank 0, then a star broadcast —
+/// NaiveAllReduce's order exactly (acc = bufs[0], += bufs[1], bufs[2]...).
+template <typename T>
+Status NaiveAllReduceTcp(const OpContext& ctx, ReduceOp op, T* data,
+                         int64_t n) {
+  const size_t bytes = static_cast<size_t>(n) * sizeof(T);
+  if (ctx.rank == 0) {
+    std::vector<T> tmp(static_cast<size_t>(n));
+    for (int q = 1; q < ctx.world; ++q) {
+      DDPKIT_RETURN_IF_ERROR(RecvFrom(ctx, q, tmp.data(), bytes));
+      CombineSpan(op, data, tmp.data(), n);
+    }
+    for (int q = 1; q < ctx.world; ++q) {
+      DDPKIT_RETURN_IF_ERROR(SendTo(ctx, q, data, bytes));
+    }
+    return Status::OK();
+  }
+  DDPKIT_RETURN_IF_ERROR(SendTo(ctx, 0, data, bytes));
+  return RecvFrom(ctx, 0, data, bytes);
+}
+
+/// fp16: Fp16AllReduce's order — fp32 accumulation starting from 0.0f over
+/// ranks 0..world-1 ascending, at rank 0, then broadcast of the half bits.
+Status Fp16AllReduceTcp(const OpContext& ctx, ReduceOp op, uint16_t* data,
+                        int64_t n) {
+  if (op != ReduceOp::kSum) {
+    return Status::InvalidArgument("fp16 all-reduce supports sum only");
+  }
+  const size_t bytes = static_cast<size_t>(n) * sizeof(uint16_t);
+  if (ctx.rank == 0) {
+    std::vector<std::vector<uint16_t>> contributions(
+        static_cast<size_t>(ctx.world));
+    for (int q = 1; q < ctx.world; ++q) {
+      contributions[static_cast<size_t>(q)].resize(static_cast<size_t>(n));
+      DDPKIT_RETURN_IF_ERROR(RecvFrom(
+          ctx, q, contributions[static_cast<size_t>(q)].data(), bytes));
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      float v = 0.0f;
+      v += HalfBitsToFloat32(data[i]);  // rank 0's own contribution first
+      for (int q = 1; q < ctx.world; ++q) {
+        v += HalfBitsToFloat32(contributions[static_cast<size_t>(q)][i]);
+      }
+      data[i] = Float32ToHalfBits(v);
+    }
+    for (int q = 1; q < ctx.world; ++q) {
+      DDPKIT_RETURN_IF_ERROR(SendTo(ctx, q, data, bytes));
+    }
+    return Status::OK();
+  }
+  DDPKIT_RETURN_IF_ERROR(SendTo(ctx, 0, data, bytes));
+  return RecvFrom(ctx, 0, data, bytes);
+}
+
+/// Two-phase ring (reduce-scatter + all-gather) with `chunks_per_rank`
+/// chunks in flight per rank — RingAllReduce's chunking and combine order:
+/// chunk k (owner k % world) accumulates rank (owner+1)'s value first,
+/// then each next ring rank combines its own value as the right operand,
+/// ending at the owner.
+template <typename T>
+Status RingAllReduceTcp(const OpContext& ctx, ReduceOp op, T* data, int64_t n,
+                        int chunks_per_rank) {
+  const int world = ctx.world;
+  const int rank = ctx.rank;
+  const int next = (rank + 1) % world;
+  const int prev = (rank + world - 1) % world;
+  const int num_chunks = world * chunks_per_rank;
+  const int64_t base = n / num_chunks;
+  const int64_t rem = n % num_chunks;
+  auto chunk_begin = [&](int c) {
+    return base * c + std::min<int64_t>(c, rem);
+  };
+  auto chunk_size = [&](int c) { return base + (c < rem ? 1 : 0); };
+  // Owner o's chunks are o, o+world, o+2*world, ...
+  auto owner_bytes = [&](int o) {
+    int64_t total = 0;
+    for (int k = o; k < num_chunks; k += world) total += chunk_size(k);
+    return static_cast<size_t>(total) * sizeof(T);
+  };
+  auto pack = [&](int o, const T* src, T* stage) {
+    int64_t at = 0;
+    for (int k = o; k < num_chunks; k += world) {
+      std::memcpy(stage + at, src + chunk_begin(k),
+                  static_cast<size_t>(chunk_size(k)) * sizeof(T));
+      at += chunk_size(k);
+    }
+  };
+  auto unpack = [&](int o, const T* stage, T* dst) {
+    int64_t at = 0;
+    for (int k = o; k < num_chunks; k += world) {
+      std::memcpy(dst + chunk_begin(k), stage + at,
+                  static_cast<size_t>(chunk_size(k)) * sizeof(T));
+      at += chunk_size(k);
+    }
+  };
+
+  const size_t max_stage =
+      static_cast<size_t>(base + 1) * static_cast<size_t>(chunks_per_rank);
+  std::vector<T> send_stage(max_stage);
+  std::vector<T> recv_stage(max_stage);
+
+  // Phase 1 — reduce-scatter. At step s this rank forwards the partial for
+  // owner (rank - s) and receives the partial for owner (rank - 1 - s),
+  // combining its own contribution as the right operand.
+  for (int s = 1; s < world; ++s) {
+    const int send_owner = (rank - s + world) % world;
+    const int recv_owner = (rank - 1 - s + 2 * world) % world;
+    if (s == 1) pack(send_owner, data, send_stage.data());
+    DDPKIT_RETURN_IF_ERROR(Exchange(ctx, next, send_stage.data(),
+                                    owner_bytes(send_owner), prev,
+                                    recv_stage.data(),
+                                    owner_bytes(recv_owner)));
+    int64_t at = 0;
+    for (int k = recv_owner; k < num_chunks; k += world) {
+      CombineSpan(op, recv_stage.data() + at, data + chunk_begin(k),
+                  chunk_size(k));
+      at += chunk_size(k);
+    }
+    send_stage.swap(recv_stage);  // forward what we just accumulated
+  }
+  // After world-1 steps the accumulated partial is for owner == rank and it
+  // is complete; install it.
+  unpack(rank, send_stage.data(), data);
+
+  // Phase 2 — all-gather rotation of the finalized owner chunks.
+  for (int s = 1; s < world; ++s) {
+    const int send_owner = (rank - s + 1 + world) % world;
+    const int recv_owner = (rank - s + world) % world;
+    pack(send_owner, data, send_stage.data());
+    DDPKIT_RETURN_IF_ERROR(Exchange(ctx, next, send_stage.data(),
+                                    owner_bytes(send_owner), prev,
+                                    recv_stage.data(),
+                                    owner_bytes(recv_owner)));
+    unpack(recv_owner, recv_stage.data(), data);
+  }
+  return Status::OK();
+}
+
+/// Recursive halving-doubling — HalvingDoublingAllReduce's exact fold /
+/// segment-split / unfold sequence. Every rank replays the sim's beg/end
+/// bookkeeping for all participants (identical inputs → identical
+/// schedules), then performs only its own exchanges.
+template <typename T>
+Status HalvingDoublingAllReduceTcp(const OpContext& ctx, ReduceOp op,
+                                   T* data, int64_t n) {
+  const int world = ctx.world;
+  const int rank = ctx.rank;
+  int pof2 = 1;
+  while (pof2 * 2 <= world) pof2 *= 2;
+  const int rem = world - pof2;
+  const size_t nbytes = static_cast<size_t>(n) * sizeof(T);
+
+  // Fold: odd ranks below 2*rem hand their contribution to the even
+  // neighbour (which combines it as the right operand) and sit out until
+  // the unfold.
+  if (rank < 2 * rem) {
+    if (rank % 2 == 1) {
+      DDPKIT_RETURN_IF_ERROR(SendTo(ctx, rank - 1, data, nbytes));
+      return RecvFrom(ctx, rank - 1, data, nbytes);  // unfold
+    }
+    std::vector<T> tmp(static_cast<size_t>(n));
+    DDPKIT_RETURN_IF_ERROR(RecvFrom(ctx, rank + 1, tmp.data(), nbytes));
+    CombineSpan(op, data, tmp.data(), n);
+  }
+  const int p = rank < 2 * rem ? rank / 2 : rank - rem;
+  auto part_rank = [&](int q) { return q < rem ? 2 * q : q + rem; };
+
+  std::vector<int64_t> beg(static_cast<size_t>(pof2), 0);
+  std::vector<int64_t> end(static_cast<size_t>(pof2), n);
+  std::vector<T> tmp(static_cast<size_t>(n));
+
+  // Recursive halving: keeper combines its own (pre-round) half with the
+  // partner's, own value on the left — exactly the sim's CombineSpan
+  // operand order for both the low and the high keeper.
+  for (int mask = pof2 / 2; mask >= 1; mask /= 2) {
+    for (int a = 0; a < pof2; ++a) {
+      const int b_part = a ^ mask;
+      if (b_part < a) continue;
+      const int64_t b = beg[static_cast<size_t>(a)];
+      const int64_t e = end[static_cast<size_t>(a)];
+      const int64_t mid = b + (e - b) / 2;
+      if (a == p || b_part == p) {
+        const int partner = part_rank(a == p ? b_part : a);
+        const bool low = a == p;  // keep [b, mid) if we're the low member
+        const int64_t keep_b = low ? b : mid;
+        const int64_t keep_len = low ? mid - b : e - mid;
+        const int64_t give_b = low ? mid : b;
+        const int64_t give_len = low ? e - mid : mid - b;
+        DDPKIT_RETURN_IF_ERROR(Exchange(
+            ctx, partner, data + give_b,
+            static_cast<size_t>(give_len) * sizeof(T), partner,
+            tmp.data() + keep_b, static_cast<size_t>(keep_len) * sizeof(T)));
+        CombineSpan(op, data + keep_b, tmp.data() + keep_b, keep_len);
+      }
+      end[static_cast<size_t>(a)] = mid;
+      beg[static_cast<size_t>(b_part)] = mid;
+    }
+  }
+
+  // Recursive doubling: adjacent segments swap back (pure copies, order
+  // free), segments merge in reverse.
+  for (int mask = 1; mask < pof2; mask *= 2) {
+    for (int a = 0; a < pof2; ++a) {
+      const int b_part = a ^ mask;
+      if (b_part < a) continue;
+      const int64_t pb = beg[static_cast<size_t>(a)];
+      const int64_t pe = end[static_cast<size_t>(a)];
+      const int64_t qb = beg[static_cast<size_t>(b_part)];
+      const int64_t qe = end[static_cast<size_t>(b_part)];
+      if (a == p || b_part == p) {
+        const int partner = part_rank(a == p ? b_part : a);
+        const bool low = a == p;
+        const int64_t send_b = low ? pb : qb;
+        const int64_t send_len = low ? pe - pb : qe - qb;
+        const int64_t recv_b = low ? qb : pb;
+        const int64_t recv_len = low ? qe - qb : pe - pb;
+        DDPKIT_RETURN_IF_ERROR(Exchange(
+            ctx, partner, data + send_b,
+            static_cast<size_t>(send_len) * sizeof(T), partner,
+            data + recv_b, static_cast<size_t>(recv_len) * sizeof(T)));
+      }
+      const int64_t nb = std::min(pb, qb);
+      const int64_t ne = std::max(pe, qe);
+      beg[static_cast<size_t>(a)] = beg[static_cast<size_t>(b_part)] = nb;
+      end[static_cast<size_t>(a)] = end[static_cast<size_t>(b_part)] = ne;
+    }
+  }
+
+  // Unfold: hand the full result back to the folded odd neighbour.
+  if (rank < 2 * rem) {
+    DDPKIT_RETURN_IF_ERROR(SendTo(ctx, rank + 1, data, nbytes));
+  }
+  return Status::OK();
+}
+
+/// Tree: recursive doubling reduce to rank 0 (receiver's own value on the
+/// left, matching TreeAllReduce), then a star broadcast (copies).
+template <typename T>
+Status TreeAllReduceTcp(const OpContext& ctx, ReduceOp op, T* data,
+                        int64_t n) {
+  const size_t nbytes = static_cast<size_t>(n) * sizeof(T);
+  std::vector<T> tmp(static_cast<size_t>(n));
+  for (int span = 1; span < ctx.world; span *= 2) {
+    if (ctx.rank % (2 * span) == 0) {
+      if (ctx.rank + span < ctx.world) {
+        DDPKIT_RETURN_IF_ERROR(
+            RecvFrom(ctx, ctx.rank + span, tmp.data(), nbytes));
+        CombineSpan(op, data, tmp.data(), n);
+      }
+    } else if (ctx.rank % (2 * span) == span) {
+      DDPKIT_RETURN_IF_ERROR(SendTo(ctx, ctx.rank - span, data, nbytes));
+      break;  // contribution handed off; wait for the broadcast
+    }
+  }
+  if (ctx.rank == 0) {
+    for (int q = 1; q < ctx.world; ++q) {
+      DDPKIT_RETURN_IF_ERROR(SendTo(ctx, q, data, nbytes));
+    }
+    return Status::OK();
+  }
+  return RecvFrom(ctx, 0, data, nbytes);
+}
+
+template <typename T>
+Status AllReduceTcp(const OpContext& ctx, Algorithm algorithm, ReduceOp op,
+                    T* data, int64_t n) {
+  if (ctx.world == 1 || n == 0) return Status::OK();
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return NaiveAllReduceTcp(ctx, op, data, n);
+    case Algorithm::kRing:
+      return RingAllReduceTcp(ctx, op, data, n, /*chunks_per_rank=*/1);
+    case Algorithm::kRingChunked:
+      return RingAllReduceTcp(ctx, op, data, n, sim::kRingChunksPerRank);
+    case Algorithm::kHalvingDoubling:
+      return HalvingDoublingAllReduceTcp(ctx, op, data, n);
+    case Algorithm::kTree:
+      return TreeAllReduceTcp(ctx, op, data, n);
+    default:
+      return Status::InvalidArgument(
+          std::string("algorithm not supported over TCP: ") +
+          AlgorithmName(algorithm));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Group lifecycle.
+// ---------------------------------------------------------------------------
+
+ProcessGroupTcp::ProcessGroupTcp(Store* store, std::string name, int rank,
+                                 int world, const Options& options,
+                                 sim::VirtualClock* clock)
+    : ProcessGroup(rank, world),
+      options_(options),
+      name_(std::move(name)),
+      store_(store),
+      clock_(clock) {}
+
+Result<std::shared_ptr<ProcessGroupTcp>> ProcessGroupTcp::Create(
+    Store* store, const std::string& name, int rank, int world,
+    const Options& options, sim::VirtualClock* clock) {
+  if (store == nullptr || clock == nullptr) {
+    return Status::InvalidArgument("ProcessGroupTcp needs a store and clock");
+  }
+  if (rank < 0 || world <= 0 || rank >= world) {
+    return Status::InvalidArgument("bad rank/world: " + std::to_string(rank) +
+                                   "/" + std::to_string(world));
+  }
+  if (options.algorithm == Algorithm::kHierarchical) {
+    return Status::InvalidArgument(
+        "kHierarchical needs a multi-host topology; the TCP backend is a "
+        "single-host mesh (use kRing/kRingChunked/kHalvingDoubling)");
+  }
+  std::shared_ptr<ProcessGroupTcp> group(
+      new ProcessGroupTcp(store, name, rank, world, options, clock));
+  DDPKIT_RETURN_IF_ERROR(group->Bootstrap());
+  return group;
+}
+
+Status ProcessGroupTcp::Bootstrap() {
+  const Deadline deadline = Deadline::After(options_.connect_timeout_seconds);
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::Internal("pipe() failed for abort pipe");
+  }
+  wake_rfd_ = pipe_fds[0];
+  wake_wfd_ = pipe_fds[1];
+
+  Result<int> listen_fd = ListenTcp(options_.host, 0, /*backlog=*/world());
+  if (!listen_fd.ok()) return listen_fd.status();
+  Result<int> port = ListenPort(listen_fd.value());
+  if (!port.ok()) {
+    CloseFd(listen_fd.value());
+    return port.status();
+  }
+
+  const std::string prefix =
+      "pgtcp/" + name_ + "/g" + std::to_string(options_.generation) + "/";
+  const Status published = store_->SetWithRetry(
+      prefix + "rank" + std::to_string(rank()),
+      options_.host + ":" + std::to_string(port.value()));
+  if (!published.ok()) {
+    CloseFd(listen_fd.value());
+    return published;
+  }
+
+  std::vector<int> fds(static_cast<size_t>(world()), -1);
+  auto fail = [&](Status status) {
+    for (int fd : fds) CloseFd(fd);
+    CloseFd(listen_fd.value());
+    return status;
+  };
+
+  // Connect to every lower rank (their listener is up before they publish;
+  // the kernel backlog holds our SYN until they reach accept)...
+  for (int peer = 0; peer < rank(); ++peer) {
+    Result<std::string> addr = store_->GetWithRetry(
+        prefix + "rank" + std::to_string(peer),
+        options_.connect_timeout_seconds);
+    if (!addr.ok()) {
+      return fail(Status(addr.status().code(),
+                         "rank " + std::to_string(peer) +
+                             " never published its address: " +
+                             addr.status().message()));
+    }
+    const size_t colon = addr.value().rfind(':');
+    if (colon == std::string::npos) {
+      return fail(Status::Internal("malformed peer address: " + addr.value()));
+    }
+    const std::string host = addr.value().substr(0, colon);
+    const int peer_port = std::atoi(addr.value().c_str() + colon + 1);
+    Result<int> fd = ConnectWithDeadline(host, peer_port, deadline, wake_rfd_);
+    if (!fd.ok()) {
+      return fail(Status(fd.status().code(),
+                         "connect to rank " + std::to_string(peer) +
+                             " failed: " + fd.status().message()));
+    }
+    fds[static_cast<size_t>(peer)] = fd.value();
+    const Hello hello{kHelloMagic, rank(), options_.generation};
+    const Status sent =
+        SendAll(fd.value(), &hello, sizeof(hello), deadline, wake_rfd_);
+    if (!sent.ok()) return fail(sent);
+  }
+
+  // ...then accept one connection from every higher rank, identified by
+  // its HELLO (accept order is arbitrary under contention).
+  for (int expected = rank() + 1; expected < world(); ++expected) {
+    Result<int> fd = AcceptWithDeadline(listen_fd.value(), deadline,
+                                        wake_rfd_);
+    if (!fd.ok()) {
+      return fail(Status(fd.status().code(),
+                         "waiting for " +
+                             std::to_string(world() - expected) +
+                             " higher rank(s): " + fd.status().message()));
+    }
+    Hello hello{};
+    const Status got =
+        RecvAll(fd.value(), &hello, sizeof(hello), deadline, wake_rfd_);
+    if (!got.ok()) {
+      CloseFd(fd.value());
+      return fail(got);
+    }
+    if (hello.magic != kHelloMagic || hello.rank <= rank() ||
+        hello.rank >= world() ||
+        fds[static_cast<size_t>(hello.rank)] != -1) {
+      CloseFd(fd.value());
+      return fail(Status::Internal("bad HELLO from peer (rank " +
+                                   std::to_string(hello.rank) + ")"));
+    }
+    if (hello.generation != options_.generation) {
+      CloseFd(fd.value());
+      return fail(Status::InvalidGeneration(
+          "peer rank " + std::to_string(hello.rank) + " is at generation " +
+          std::to_string(hello.generation) + ", this group is g" +
+          std::to_string(options_.generation)));
+    }
+    fds[static_cast<size_t>(hello.rank)] = fd.value();
+  }
+  CloseFd(listen_fd.value());
+
+  MutexLock lock(&mu_);
+  peer_fds_ = std::move(fds);
+  return Status::OK();
+}
+
+ProcessGroupTcp::~ProcessGroupTcp() {
+  {
+    MutexLock lock(&mu_);
+    for (int fd : peer_fds_) CloseFd(fd);
+    peer_fds_.clear();
+  }
+  CloseFd(wake_rfd_);
+  CloseFd(wake_wfd_);
+}
+
+std::string ProcessGroupTcp::backend_name() const {
+  return std::string("tcp[") + AlgorithmName(options_.algorithm) + "]";
+}
+
+void ProcessGroupTcp::AbortGroup(uint64_t new_generation,
+                                 const std::string& reason) {
+  uint64_t expected = 0;
+  if (!superseded_by_.compare_exchange_strong(expected, new_generation)) {
+    return;  // first abort wins
+  }
+  if (options_.metrics) {
+    options_.metrics->counter("pg.group_aborts").Increment();
+  }
+  // Wake any in-flight poll first (the pipe is never drained: once
+  // aborted, always aborted), then take the I/O lock — the woken
+  // collective fails kInvalidGeneration and releases it — and tear the
+  // mesh down so remote peers blocked on us see EOF, not a hang.
+  const char wake = 'x';
+  (void)!write(wake_wfd_, &wake, 1);
+  (void)reason;
+  MutexLock lock(&mu_);
+  for (int fd : peer_fds_) CloseFd(fd);
+  std::fill(peer_fds_.begin(), peer_fds_.end(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Collective plumbing.
+// ---------------------------------------------------------------------------
+
+Status ProcessGroupTcp::ExchangeHeaders(const OpHeader& mine,
+                                        const OpContext& ctx) {
+  if (ctx.world == 1) return Status::OK();
+  const int next = (ctx.rank + 1) % ctx.world;
+  const int prev = (ctx.rank + ctx.world - 1) % ctx.world;
+  OpHeader from_prev{};
+  DDPKIT_RETURN_IF_ERROR(Exchange(ctx, next, &mine, sizeof(mine), prev,
+                                  &from_prev, sizeof(from_prev)));
+  auto mismatch = [&](const char* field, uint64_t ours, uint64_t theirs) {
+    return Status::InvalidArgument(
+        std::string("collective signature mismatch with rank ") +
+        std::to_string(prev) + ": " + field + " ours=" +
+        std::to_string(ours) + " theirs=" + std::to_string(theirs) +
+        " (op " + OpKindName(mine.kind) + ", seq " +
+        std::to_string(mine.seq) + ")");
+  };
+  if (from_prev.magic != kHeaderMagic) {
+    return Status::Internal("corrupt collective header from rank " +
+                            std::to_string(prev));
+  }
+  if (from_prev.seq != mine.seq) {
+    return mismatch("seq", mine.seq, from_prev.seq);
+  }
+  if (from_prev.kind != mine.kind) {
+    return mismatch("op", mine.kind, from_prev.kind);
+  }
+  if (from_prev.dtype != mine.dtype) {
+    return mismatch("dtype", mine.dtype, from_prev.dtype);
+  }
+  if (from_prev.rop != mine.rop) {
+    return mismatch("reduce_op", mine.rop, from_prev.rop);
+  }
+  if (from_prev.root != mine.root) {
+    return mismatch("root", static_cast<uint64_t>(mine.root),
+                    static_cast<uint64_t>(from_prev.root));
+  }
+  if (from_prev.numel != mine.numel) {
+    return mismatch("numel", static_cast<uint64_t>(mine.numel),
+                    static_cast<uint64_t>(from_prev.numel));
+  }
+  if (from_prev.generation != mine.generation) {
+    return mismatch("generation", mine.generation, from_prev.generation);
+  }
+  return Status::OK();
+}
+
+template <typename Body>
+WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
+                                          int64_t numel, int root,
+                                          ReduceOp op, Body body) {
+  auto work = std::make_shared<Work>();
+  const uint64_t seq = next_seq_.fetch_add(1);
+  const double issue_clock = clock_->Now();
+  const auto wall_start = SteadyClock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(SteadyClock::now() - wall_start)
+        .count();
+  };
+
+  if (options_.metrics) {
+    options_.metrics->counter(std::string("pg.ops.") + OpKindName(kind))
+        .Increment();
+  }
+
+  MutexLock lock(&mu_);
+  const uint64_t superseded = superseded_by_.load();
+  if (superseded != 0) {
+    work->MarkFailed(WorkError::kInvalidGeneration,
+                     "group generation " +
+                         std::to_string(options_.generation) +
+                         " superseded by " + std::to_string(superseded),
+                     issue_clock);
+    return work;
+  }
+  if (wire_failed_) {
+    work->MarkFailed(WorkError::kRankFailure,
+                     "group wire poisoned by earlier failure: " +
+                         wire_failure_reason_,
+                     issue_clock);
+    return work;
+  }
+
+  OpContext ctx{&peer_fds_, rank(), world(),
+                Deadline::After(options_.collective_timeout_seconds),
+                wake_rfd_};
+  OpHeader header{kHeaderMagic,
+                  kind,
+                  dtype_code,
+                  static_cast<uint8_t>(op),
+                  0,
+                  root,
+                  numel,
+                  seq,
+                  options_.generation};
+  Status status = ExchangeHeaders(header, ctx);
+  if (status.ok()) status = body(ctx);
+
+  if (status.ok()) {
+    // Track wall time on the virtual clock so Work/telemetry semantics
+    // stay uniform with the sim backends.
+    work->MarkCompleted(issue_clock + elapsed());
+    return work;
+  }
+
+  WorkError error = WorkError::kRankFailure;
+  switch (status.code()) {
+    case StatusCode::kTimedOut:
+      error = WorkError::kTimeout;
+      break;
+    case StatusCode::kInvalidArgument:  // header/shape disagreement
+      error = WorkError::kShapeMismatch;
+      break;
+    case StatusCode::kFailedPrecondition:  // abort pipe fired
+      error = WorkError::kInvalidGeneration;
+      break;
+    default:
+      error = WorkError::kRankFailure;
+      break;
+  }
+  if (error == WorkError::kInvalidGeneration) {
+    const uint64_t new_gen = superseded_by_.load();
+    work->MarkFailed(error,
+                     "collective " + std::string(OpKindName(kind)) + " seq " +
+                         std::to_string(seq) + " aborted: generation " +
+                         std::to_string(options_.generation) +
+                         " superseded by " + std::to_string(new_gen),
+                     issue_clock + elapsed());
+    return work;
+  }
+  // The wire can be mid-message anywhere in the mesh; poison the group so
+  // no later collective reads another op's bytes as its payload.
+  wire_failed_ = true;
+  wire_failure_reason_ = status.message();
+  if (options_.metrics) {
+    options_.metrics->counter("pg.collectives_failed").Increment();
+  }
+  work->MarkFailed(error,
+                   "collective " + std::string(OpKindName(kind)) + " seq " +
+                       std::to_string(seq) + " failed (" +
+                       status.message() + ")",
+                   issue_clock + elapsed());
+  return work;
+}
+
+// ---------------------------------------------------------------------------
+// Public collectives.
+// ---------------------------------------------------------------------------
+
+WorkHandle ProcessGroupTcp::AllReduce(Tensor tensor, ReduceOp op) {
+  const int64_t n = tensor.numel();
+  const uint8_t dtype_code = static_cast<uint8_t>(tensor.dtype());
+  Algorithm algorithm = options_.algorithm;
+  if (algorithm == Algorithm::kAuto) {
+    sim::Topology::Options topo;
+    if (options_.ranks_per_node > 0) {
+      topo.gpus_per_host = options_.ranks_per_node;
+    }
+    algorithm = sim::SelectAllReduceAlgorithm(
+        static_cast<size_t>(n) * ItemSize(tensor.dtype()), world(),
+        sim::Topology(topo));
+    // The auto-selector may pick the two-level hierarchical layout; this
+    // backend's mesh is flat, so the chunked ring is its stand-in (same
+    // bandwidth-optimal class, deterministically chosen on every rank).
+    if (algorithm == Algorithm::kHierarchical) {
+      algorithm = Algorithm::kRingChunked;
+    }
+  }
+  return RunCollective(
+      kKindAllReduce, dtype_code, n, /*root=*/-1, op,
+      [&, algorithm](const OpContext& ctx) -> Status {
+        if (!tensor.is_contiguous()) {
+          return Status::InvalidArgument("AllReduce needs contiguous tensor");
+        }
+        switch (tensor.dtype()) {
+          case DType::kFloat32:
+            return AllReduceTcp(ctx, algorithm, op, tensor.data<float>(), n);
+          case DType::kUInt8:
+            return AllReduceTcp(ctx, algorithm, op, tensor.data<uint8_t>(),
+                                n);
+          case DType::kInt64:
+            return AllReduceTcp(ctx, algorithm, op, tensor.data<int64_t>(),
+                                n);
+          case DType::kFloat16:
+            return Fp16AllReduceTcp(ctx, op, tensor.data<uint16_t>(), n);
+          default:
+            return Status::InvalidArgument(
+                std::string("AllReduce unsupported dtype ") +
+                DTypeName(tensor.dtype()));
+        }
+      });
+}
+
+WorkHandle ProcessGroupTcp::Broadcast(Tensor tensor, int root) {
+  const int64_t n = tensor.numel();
+  const size_t bytes = static_cast<size_t>(n) * ItemSize(tensor.dtype());
+  return RunCollective(
+      kKindBroadcast, static_cast<uint8_t>(tensor.dtype()), n, root,
+      ReduceOp::kSum, [&](const OpContext& ctx) -> Status {
+        if (root < 0 || root >= ctx.world) {
+          return Status::InvalidArgument("bad broadcast root");
+        }
+        if (!tensor.is_contiguous()) {
+          return Status::InvalidArgument("Broadcast needs contiguous tensor");
+        }
+        if (ctx.world == 1 || bytes == 0) return Status::OK();
+        void* data = tensor.data<uint8_t>();
+        if (ctx.rank == root) {
+          for (int q = 0; q < ctx.world; ++q) {
+            if (q == root) continue;
+            DDPKIT_RETURN_IF_ERROR(SendTo(ctx, q, data, bytes));
+          }
+          return Status::OK();
+        }
+        return RecvFrom(ctx, root, data, bytes);
+      });
+}
+
+WorkHandle ProcessGroupTcp::AllGather(const Tensor& input, Tensor output) {
+  const int64_t n = input.numel();
+  const size_t block = static_cast<size_t>(n) * ItemSize(input.dtype());
+  return RunCollective(
+      kKindAllGather, static_cast<uint8_t>(input.dtype()), n, /*root=*/-1,
+      ReduceOp::kSum, [&](const OpContext& ctx) -> Status {
+        if (output.numel() != n * ctx.world) {
+          return Status::InvalidArgument("AllGather output size mismatch");
+        }
+        if (!input.is_contiguous() || !output.is_contiguous()) {
+          return Status::InvalidArgument("AllGather needs contiguous tensors");
+        }
+        uint8_t* out = output.data<uint8_t>();
+        std::memcpy(out + static_cast<size_t>(ctx.rank) * block,
+                    input.data<uint8_t>(), block);
+        if (ctx.world == 1 || block == 0) return Status::OK();
+        // Ring rotation: step s forwards the block received last step.
+        const int next = (ctx.rank + 1) % ctx.world;
+        const int prev = (ctx.rank + ctx.world - 1) % ctx.world;
+        for (int s = 1; s < ctx.world; ++s) {
+          const int send_block = (ctx.rank - s + 1 + ctx.world) % ctx.world;
+          const int recv_block = (ctx.rank - s + ctx.world) % ctx.world;
+          DDPKIT_RETURN_IF_ERROR(Exchange(
+              ctx, next, out + static_cast<size_t>(send_block) * block,
+              block, prev, out + static_cast<size_t>(recv_block) * block,
+              block));
+        }
+        return Status::OK();
+      });
+}
+
+WorkHandle ProcessGroupTcp::Reduce(Tensor tensor, int root, ReduceOp op) {
+  const int64_t n = tensor.numel();
+  return RunCollective(
+      kKindReduce, static_cast<uint8_t>(tensor.dtype()), n, root, op,
+      [&](const OpContext& ctx) -> Status {
+        if (root < 0 || root >= ctx.world) {
+          return Status::InvalidArgument("bad reduce root");
+        }
+        if (!tensor.is_contiguous()) {
+          return Status::InvalidArgument("Reduce needs contiguous tensor");
+        }
+        if (ctx.world == 1 || n == 0) return Status::OK();
+        // ReduceInto's order: root's tensor is the accumulator, sources
+        // combined in ascending rank order skipping the root.
+        auto run = [&](auto* data) -> Status {
+          using T = std::remove_pointer_t<decltype(data)>;
+          const size_t bytes = static_cast<size_t>(n) * sizeof(T);
+          if (ctx.rank != root) return SendTo(ctx, root, data, bytes);
+          std::vector<T> tmp(static_cast<size_t>(n));
+          for (int q = 0; q < ctx.world; ++q) {
+            if (q == root) continue;
+            DDPKIT_RETURN_IF_ERROR(RecvFrom(ctx, q, tmp.data(), bytes));
+            CombineSpan(op, data, tmp.data(), n);
+          }
+          return Status::OK();
+        };
+        switch (tensor.dtype()) {
+          case DType::kFloat32:
+            return run(tensor.data<float>());
+          case DType::kUInt8:
+            return run(tensor.data<uint8_t>());
+          case DType::kInt64:
+            return run(tensor.data<int64_t>());
+          default:
+            return Status::InvalidArgument(
+                std::string("Reduce unsupported dtype ") +
+                DTypeName(tensor.dtype()));
+        }
+      });
+}
+
+WorkHandle ProcessGroupTcp::ReduceScatter(const Tensor& input, Tensor output,
+                                          ReduceOp op) {
+  const int64_t chunk = output.numel();
+  return RunCollective(
+      kKindReduceScatter, static_cast<uint8_t>(input.dtype()), chunk,
+      /*root=*/-1, op, [&](const OpContext& ctx) -> Status {
+        if (input.dtype() != DType::kFloat32 ||
+            output.dtype() != DType::kFloat32) {
+          return Status::InvalidArgument("ReduceScatter supports float32");
+        }
+        if (input.numel() != chunk * ctx.world) {
+          return Status::InvalidArgument("ReduceScatter input size mismatch");
+        }
+        if (!input.is_contiguous() || !output.is_contiguous()) {
+          return Status::InvalidArgument(
+              "ReduceScatter needs contiguous tensors");
+        }
+        const float* in = input.data<float>();
+        float* out = output.data<float>();
+        if (ctx.world == 1) {
+          std::memcpy(out, in, static_cast<size_t>(chunk) * sizeof(float));
+          return Status::OK();
+        }
+        if (chunk == 0) return Status::OK();
+        // Exactly RunReduceScatter: chunk c accumulates from rank (c+1)
+        // around the ring, finishing at rank c — the ring's phase 1, with
+        // this rank's contribution combined as the right operand.
+        const size_t bytes = static_cast<size_t>(chunk) * sizeof(float);
+        const int next = (ctx.rank + 1) % ctx.world;
+        const int prev = (ctx.rank + ctx.world - 1) % ctx.world;
+        std::vector<float> send_stage(static_cast<size_t>(chunk));
+        std::vector<float> recv_stage(static_cast<size_t>(chunk));
+        for (int s = 1; s < ctx.world; ++s) {
+          const int send_chunk = (ctx.rank - s + ctx.world) % ctx.world;
+          const int recv_chunk =
+              (ctx.rank - 1 - s + 2 * ctx.world) % ctx.world;
+          if (s == 1) {
+            std::memcpy(send_stage.data(),
+                        in + static_cast<size_t>(send_chunk) * chunk, bytes);
+          }
+          DDPKIT_RETURN_IF_ERROR(Exchange(ctx, next, send_stage.data(),
+                                          bytes, prev, recv_stage.data(),
+                                          bytes));
+          CombineSpan(op, recv_stage.data(),
+                      in + static_cast<size_t>(recv_chunk) * chunk, chunk);
+          send_stage.swap(recv_stage);
+        }
+        std::memcpy(out, send_stage.data(), bytes);
+        return Status::OK();
+      });
+}
+
+WorkHandle ProcessGroupTcp::Gather(const Tensor& input, Tensor output,
+                                   int root) {
+  const int64_t n = input.numel();
+  const size_t block = static_cast<size_t>(n) * ItemSize(input.dtype());
+  return RunCollective(
+      kKindGather, static_cast<uint8_t>(input.dtype()), n, root,
+      ReduceOp::kSum, [&](const OpContext& ctx) -> Status {
+        if (root < 0 || root >= ctx.world) {
+          return Status::InvalidArgument("bad gather root");
+        }
+        if (!input.is_contiguous()) {
+          return Status::InvalidArgument("Gather needs contiguous input");
+        }
+        if (ctx.rank != root) {
+          if (ctx.world == 1) return Status::OK();
+          return SendTo(ctx, root, input.data<uint8_t>(), block);
+        }
+        if (output.numel() != n * ctx.world) {
+          return Status::InvalidArgument("Gather output size mismatch");
+        }
+        if (!output.is_contiguous()) {
+          return Status::InvalidArgument("Gather needs contiguous output");
+        }
+        uint8_t* out = output.data<uint8_t>();
+        std::memcpy(out + static_cast<size_t>(root) * block,
+                    input.data<uint8_t>(), block);
+        for (int q = 0; q < ctx.world; ++q) {
+          if (q == root) continue;
+          DDPKIT_RETURN_IF_ERROR(RecvFrom(
+              ctx, q, out + static_cast<size_t>(q) * block, block));
+        }
+        return Status::OK();
+      });
+}
+
+void ProcessGroupTcp::Barrier() {
+  WorkHandle work = RunCollective(
+      kKindBarrier, 0, 0, /*root=*/-1, ReduceOp::kSum,
+      [&](const OpContext& ctx) -> Status {
+        if (ctx.world == 1) return Status::OK();
+        char token = 'b';
+        if (ctx.rank == 0) {
+          for (int q = 1; q < ctx.world; ++q) {
+            DDPKIT_RETURN_IF_ERROR(RecvFrom(ctx, q, &token, 1));
+          }
+          for (int q = 1; q < ctx.world; ++q) {
+            DDPKIT_RETURN_IF_ERROR(SendTo(ctx, q, &token, 1));
+          }
+          return Status::OK();
+        }
+        DDPKIT_RETURN_IF_ERROR(SendTo(ctx, 0, &token, 1));
+        return RecvFrom(ctx, 0, &token, 1);
+      });
+  // Barrier has no error channel; a wire failure is logged rather than
+  // aborted on (kill -9 chaos must surface as typed errors on the ops that
+  // carry Work handles, never as a raw abort in a drain-path barrier).
+  const Status status = work->Wait(clock_, options_.collective_timeout_seconds);
+  if (!status.ok()) {
+    DDPKIT_LOG(Error) << "[pg_tcp rank " << rank() << "] barrier failed: "
+                      << status.message();
+  }
+}
+
+}  // namespace ddpkit::comm

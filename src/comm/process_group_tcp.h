@@ -1,0 +1,158 @@
+#ifndef DDPKIT_COMM_PROCESS_GROUP_TCP_H_
+#define DDPKIT_COMM_PROCESS_GROUP_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/algorithms.h"
+#include "comm/process_group.h"
+#include "comm/store.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ddpkit::comm {
+
+/// ProcessGroup over real nonblocking TCP sockets — the production backend
+/// the paper's stack assumes (Gloo/NCCL bootstrapped through a store,
+/// §3.3). One process per rank; rendezvous through any comm::Store (in
+/// practice a StoreClientTcp pointed at the launcher's StoreServerTcp).
+///
+/// Bootstrap: each rank binds port 0 (collision-proof), publishes
+/// `pgtcp/<name>/g<generation>/rank<r>` = host:port, connects to every
+/// lower rank and accepts from every higher one, then keeps the full mesh
+/// cached for the group's lifetime.
+///
+/// Data plane: the wire schedules replicate the algorithm zoo's combine
+/// orders *exactly* — same chunking, same per-element summation order as
+/// comm/algorithms.cc — so a TCP run is bit-identical to ProcessGroupSim
+/// on the same seed (the PR's cross-check gate). kRing/kRingChunked run
+/// the two-phase ring, kHalvingDoubling the Rabenseifner exchange, kTree
+/// recursive doubling to rank 0, kNaive the root star; kAuto resolves per
+/// collective through sim::SelectAllReduceAlgorithm. Collectives execute
+/// synchronously in the calling thread (localhost latencies make overlap
+/// machinery pure complexity here); the returned Work is already terminal
+/// and carries the typed verdict.
+///
+/// Failure taxonomy, mapped from socket-layer Status:
+///   deadline elapsed      → WorkError::kTimeout
+///   peer closed / reset   → WorkError::kRankFailure
+///   header mismatch       → WorkError::kShapeMismatch
+///   abort pipe fired      → WorkError::kInvalidGeneration
+/// After any wire failure the group is poisoned (streams may be
+/// desynchronized): later collectives fail fast with kRankFailure.
+/// AbortGroup(new_gen) wakes any in-flight poll via the abort pipe and
+/// closes all peer sockets, which unblocks stranded remote peers with
+/// kRankFailure on their side.
+class ProcessGroupTcp : public ProcessGroup {
+ public:
+  struct Options {
+    Algorithm algorithm = Algorithm::kRing;
+    /// Wall-clock deadline for one collective's wire I/O. Unlike the sim
+    /// backend's virtual-time watchdog, this must be real time: a kill -9'd
+    /// peer stops making progress in real time only.
+    double collective_timeout_seconds = 30.0;
+    /// Wall-clock budget for the bootstrap (store publish + full mesh).
+    double connect_timeout_seconds = 30.0;
+    /// Address this rank binds and publishes (the launcher runtime is
+    /// localhost by design).
+    std::string host = "127.0.0.1";
+    /// Feeds kAuto resolution (message size x world, sim topology).
+    int ranks_per_node = 0;
+    /// Optional metrics sink (pg.* namespace, issue-side counters).
+    std::shared_ptr<MetricsRegistry> metrics;
+    /// Elastic-recovery generation (namespaces the rendezvous keys, so a
+    /// regrouped world bootstraps a fresh mesh).
+    uint64_t generation = 0;
+  };
+
+  /// Rendezvous constructor: blocks until the full mesh is up, within the
+  /// connect timeout. `store` and `clock` must outlive the group. Typed
+  /// failures: kTimedOut when a peer never publishes/connects,
+  /// kInvalidArgument for an unsupported algorithm (kHierarchical needs a
+  /// multi-host topology this backend doesn't have).
+  [[nodiscard]] static Result<std::shared_ptr<ProcessGroupTcp>> Create(
+      Store* store, const std::string& name, int rank, int world,
+      const Options& options, sim::VirtualClock* clock);
+
+  ~ProcessGroupTcp() override;
+
+  WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
+  WorkHandle Broadcast(Tensor tensor, int root) override;
+  WorkHandle AllGather(const Tensor& input, Tensor output) override;
+  WorkHandle Reduce(Tensor tensor, int root, ReduceOp op) override;
+  WorkHandle ReduceScatter(const Tensor& input, Tensor output,
+                           ReduceOp op) override;
+  WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
+  void Barrier() override;
+
+  sim::VirtualClock* clock() override { return clock_; }
+  Store* store() override { return store_; }
+  std::string backend_name() const override;
+  Algorithm algorithm() const { return options_.algorithm; }
+
+  uint64_t generation() const override { return options_.generation; }
+  uint64_t superseded_by() const override { return superseded_by_.load(); }
+
+  /// Retires this group: wakes any in-flight socket poll (abort pipe),
+  /// then closes every peer socket so remote peers blocked on us observe
+  /// EOF (kRankFailure) instead of hanging. Idempotent.
+  void AbortGroup(uint64_t new_generation, const std::string& reason) override;
+
+  /// Total number of collectives this rank has issued.
+  uint64_t ops_issued() const { return next_seq_.load(); }
+
+  /// Per-collective wire header, exchanged with the ring neighbours before
+  /// payload bytes move; disagreement is the typed kShapeMismatch arm.
+  /// Public only so the schedule implementations (free functions in the
+  /// .cc) can name it; defined there.
+  struct OpHeader;
+  /// Everything a schedule needs for one collective's I/O. Same deal.
+  struct OpContext;
+
+ private:
+  ProcessGroupTcp(Store* store, std::string name, int rank, int world,
+                  const Options& options, sim::VirtualClock* clock);
+
+  /// Builds the full mesh (listen, publish, connect/accept + HELLO).
+  [[nodiscard]] Status Bootstrap();
+
+  /// Runs `body` as collective `kind`, wrapping it with the sequence-number
+  /// bump, the neighbour header exchange, wall-deadline setup, error
+  /// mapping, and Work termination.
+  template <typename Body>
+  WorkHandle RunCollective(uint8_t kind, uint8_t dtype_code, int64_t numel,
+                           int root, ReduceOp op, Body body);
+
+  [[nodiscard]] Status ExchangeHeaders(const OpHeader& mine,
+                                       const OpContext& ctx);
+
+  Options options_;
+  std::string name_;
+  Store* store_;
+  sim::VirtualClock* clock_;
+
+  /// Serializes collectives and guards the socket mesh. AbortGroup writes
+  /// the wake pipe *before* taking this lock, so an in-flight collective
+  /// wakes, fails typed, and releases it.
+  Mutex mu_;
+  std::vector<int> peer_fds_ GUARDED_BY(mu_);  // rank -> fd, own rank = -1
+  bool wire_failed_ GUARDED_BY(mu_) = false;
+  std::string wire_failure_reason_ GUARDED_BY(mu_);
+
+  /// Abort pipe: AbortGroup writes `wake_wfd_`; every poll in a collective
+  /// includes `wake_rfd_`. Never drained — once aborted, always aborted.
+  int wake_rfd_ = -1;
+  int wake_wfd_ = -1;
+
+  std::atomic<uint64_t> superseded_by_{0};
+  std::atomic<uint64_t> next_seq_{0};
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_PROCESS_GROUP_TCP_H_

@@ -20,40 +20,89 @@ Clock::time_point DeadlineAfter(double seconds) {
              std::chrono::duration<double>(seconds));
 }
 
-void SleepBackoff(double seconds) {
+void SleepReal(double seconds) {
   if (seconds > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   }
 }
 
+/// How long each bounded slice of a legacy (block-forever) op waits before
+/// re-issuing. The in-memory primitives wake on notify regardless, so the
+/// slice only bounds how long a wire client's RPC channel stays occupied by
+/// one blocked waiter.
+constexpr double kLegacySliceSeconds = 0.05;
+
+/// Backoff between legacy-tier retries of a transport failure (a wire
+/// client reconnecting to a restarted server).
+constexpr double kLegacyRetryBackoffSeconds = 0.01;
+
+/// Elapsed/backoff accounting for the retryable tier, on the clock the
+/// policy selects. kVirtual never sleeps for real: backoff advances the
+/// supplied VirtualClock so sim tests walk the retry/timeout decision tree
+/// deterministically.
+class RetryClock {
+ public:
+  explicit RetryClock(const RetryPolicy& policy)
+      : virtual_clock_(policy.clock_mode == RetryPolicy::ClockMode::kVirtual
+                           ? policy.virtual_clock
+                           : nullptr) {
+    if (virtual_clock_ != nullptr) {
+      virtual_start_ = virtual_clock_->Now();
+    } else {
+      real_start_ = Clock::now();
+    }
+  }
+
+  bool real() const { return virtual_clock_ == nullptr; }
+
+  double Elapsed() const {
+    if (virtual_clock_ != nullptr) {
+      return virtual_clock_->Now() - virtual_start_;
+    }
+    return std::chrono::duration<double>(Clock::now() - real_start_).count();
+  }
+
+  void SleepBackoff(double seconds) {
+    if (virtual_clock_ != nullptr) {
+      virtual_clock_->Advance(seconds);
+      // Let a concurrent setter run; costs no virtual time, decides nothing.
+      std::this_thread::yield();
+      return;
+    }
+    SleepReal(seconds);
+  }
+
+ private:
+  sim::VirtualClock* virtual_clock_;
+  double virtual_start_ = 0.0;
+  Clock::time_point real_start_;
+};
+
 }  // namespace
 
-void Store::Set(const std::string& key, std::string value) {
+// ---------------------------------------------------------------------------
+// In-memory primitive layer (overridden by StoreClientTcp with framed RPCs).
+// ---------------------------------------------------------------------------
+
+Status Store::DoSet(const std::string& key, const std::string& value) {
   {
     MutexLock lock(&mutex_);
-    data_[key] = std::move(value);
+    data_[key] = value;
   }
   cv_.NotifyAll();
+  return Status::OK();
 }
 
-std::string Store::Get(const std::string& key) {
-  MutexLock lock(&mutex_);
-  while (data_.count(key) == 0) cv_.Wait(mutex_);
-  return data_[key];
-}
-
-bool Store::TryGet(const std::string& key, std::string* value) const {
-  // ddplint: allow(check-in-comm) API precondition on the out-parameter,
-  // not a runtime collective failure.
-  DDPKIT_CHECK(value != nullptr);
+Status Store::DoTryGet(const std::string& key, std::string* value,
+                       bool* found) {
   MutexLock lock(&mutex_);
   auto it = data_.find(key);
-  if (it == data_.end()) return false;
-  *value = it->second;
-  return true;
+  *found = it != data_.end();
+  if (*found) *value = it->second;
+  return Status::OK();
 }
 
-int64_t Store::Add(const std::string& key, int64_t delta) {
+Result<int64_t> Store::DoAdd(const std::string& key, int64_t delta) {
   int64_t result;
   {
     MutexLock lock(&mutex_);
@@ -67,7 +116,29 @@ int64_t Store::Add(const std::string& key, int64_t delta) {
   return result;
 }
 
-void Store::Wait(const std::vector<std::string>& keys) {
+Result<std::string> Store::DoGetBounded(const std::string& key,
+                                        double timeout_seconds) {
+  const bool immediate = timeout_seconds <= 0.0;
+  const auto deadline = DeadlineAfter(immediate ? 0.0 : timeout_seconds);
+  MutexLock lock(&mutex_);
+  for (;;) {
+    auto it = data_.find(key);
+    if (it != data_.end()) return it->second;
+    if (immediate || !cv_.WaitUntil(mutex_, deadline)) {
+      // Deadline passed; one final predicate check under the lock, as
+      // wait_until-with-predicate would have done.
+      it = data_.find(key);
+      if (it != data_.end()) return it->second;
+      return Status::TimedOut("store key '" + key + "' not set within " +
+                              std::to_string(timeout_seconds) + "s");
+    }
+  }
+}
+
+Status Store::DoWaitBounded(const std::vector<std::string>& keys,
+                            double timeout_seconds) {
+  const bool immediate = timeout_seconds <= 0.0;
+  const auto deadline = DeadlineAfter(immediate ? 0.0 : timeout_seconds);
   MutexLock lock(&mutex_);
   for (;;) {
     bool all_present = true;
@@ -77,31 +148,125 @@ void Store::Wait(const std::vector<std::string>& keys) {
         break;
       }
     }
-    if (all_present) return;
-    cv_.Wait(mutex_);
+    if (all_present) return Status::OK();
+    if (immediate || !cv_.WaitUntil(mutex_, deadline)) {
+      return Status::TimedOut("store keys not all set within " +
+                              std::to_string(timeout_seconds) + "s");
+    }
   }
 }
 
-size_t Store::NumKeys() const {
+Result<int64_t> Store::DoNumKeys() {
   MutexLock lock(&mutex_);
-  return data_.size();
+  return static_cast<int64_t>(data_.size());
 }
 
-bool Store::DeleteKey(const std::string& key) {
+Result<int64_t> Store::DoDeleteKey(const std::string& key) {
   MutexLock lock(&mutex_);
-  return data_.erase(key) > 0;
+  return static_cast<int64_t>(data_.erase(key));
 }
 
-size_t Store::DeletePrefix(const std::string& prefix) {
+Result<int64_t> Store::DoDeletePrefix(const std::string& prefix) {
   MutexLock lock(&mutex_);
   auto it = data_.lower_bound(prefix);
-  size_t deleted = 0;
-  while (it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+  int64_t deleted = 0;
+  while (it != data_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0) {
     it = data_.erase(it);
     ++deleted;
   }
   return deleted;
 }
+
+// ---------------------------------------------------------------------------
+// Legacy blocking tier: assumes a healthy store, so primitive-layer
+// transport failures (only possible from a wire subclass) retry forever
+// with a small real backoff, and bounded-slice timeouts just re-issue.
+// ---------------------------------------------------------------------------
+
+void Store::Set(const std::string& key, std::string value) {
+  for (;;) {
+    const Status status = DoSet(key, value);
+    if (status.ok()) return;
+    RecordTransientFailure();
+    SleepReal(kLegacyRetryBackoffSeconds);
+  }
+}
+
+std::string Store::Get(const std::string& key) {
+  for (;;) {
+    Result<std::string> result = DoGetBounded(key, kLegacySliceSeconds);
+    if (result.ok()) return std::move(result).value();
+    if (result.status().code() != StatusCode::kTimedOut) {
+      RecordTransientFailure();
+      SleepReal(kLegacyRetryBackoffSeconds);
+    }
+  }
+}
+
+bool Store::TryGet(const std::string& key, std::string* value) {
+  // ddplint: allow(check-in-comm) API precondition on the out-parameter,
+  // not a runtime collective failure.
+  DDPKIT_CHECK(value != nullptr);
+  for (;;) {
+    bool found = false;
+    const Status status = DoTryGet(key, value, &found);
+    if (status.ok()) return found;
+    RecordTransientFailure();
+    SleepReal(kLegacyRetryBackoffSeconds);
+  }
+}
+
+int64_t Store::Add(const std::string& key, int64_t delta) {
+  for (;;) {
+    Result<int64_t> result = DoAdd(key, delta);
+    if (result.ok()) return result.value();
+    RecordTransientFailure();
+    SleepReal(kLegacyRetryBackoffSeconds);
+  }
+}
+
+void Store::Wait(const std::vector<std::string>& keys) {
+  for (;;) {
+    const Status status = DoWaitBounded(keys, kLegacySliceSeconds);
+    if (status.ok()) return;
+    if (status.code() != StatusCode::kTimedOut) {
+      RecordTransientFailure();
+      SleepReal(kLegacyRetryBackoffSeconds);
+    }
+  }
+}
+
+size_t Store::NumKeys() {
+  for (;;) {
+    Result<int64_t> result = DoNumKeys();
+    if (result.ok()) return static_cast<size_t>(result.value());
+    RecordTransientFailure();
+    SleepReal(kLegacyRetryBackoffSeconds);
+  }
+}
+
+bool Store::DeleteKey(const std::string& key) {
+  for (;;) {
+    Result<int64_t> result = DoDeleteKey(key);
+    if (result.ok()) return result.value() > 0;
+    RecordTransientFailure();
+    SleepReal(kLegacyRetryBackoffSeconds);
+  }
+}
+
+size_t Store::DeletePrefix(const std::string& prefix) {
+  for (;;) {
+    Result<int64_t> result = DoDeletePrefix(prefix);
+    if (result.ok()) return static_cast<size_t>(result.value());
+    RecordTransientFailure();
+    SleepReal(kLegacyRetryBackoffSeconds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
 
 bool Store::MaybeInjectFault() {
   MutexLock lock(&fault_mutex_);
@@ -116,6 +281,11 @@ bool Store::MaybeInjectFault() {
     return true;
   }
   return false;
+}
+
+void Store::RecordTransientFailure() {
+  MutexLock lock(&fault_mutex_);
+  ++transient_failures_;
 }
 
 void Store::InjectTransientFaults(int failure_budget) {
@@ -140,13 +310,20 @@ uint64_t Store::transient_failures() const {
   return transient_failures_;
 }
 
+// ---------------------------------------------------------------------------
+// Retryable tier: bounded, typed, policy-clocked. Injected faults and real
+// primitive-layer transport failures share one attempt budget.
+// ---------------------------------------------------------------------------
+
 Status Store::SetWithRetry(const std::string& key, std::string value,
                            const RetryPolicy& policy) {
+  RetryClock clock(policy);
   double backoff = policy.initial_backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     if (!MaybeInjectFault()) {
-      Set(key, std::move(value));
-      return Status::OK();
+      const Status status = DoSet(key, value);
+      if (status.ok()) return Status::OK();
+      RecordTransientFailure();
     }
     if (attempt >= policy.max_attempts) {
       return Status::Internal("store Set('" + key +
@@ -154,19 +331,23 @@ Status Store::SetWithRetry(const std::string& key, std::string value,
                               std::to_string(policy.max_attempts) +
                               " attempts");
     }
-    SleepBackoff(backoff);
+    clock.SleepBackoff(backoff);
     backoff *= policy.backoff_multiplier;
   }
 }
 
 Status Store::AddWithRetry(const std::string& key, int64_t delta,
                            int64_t* result, const RetryPolicy& policy) {
+  RetryClock clock(policy);
   double backoff = policy.initial_backoff_seconds;
   for (int attempt = 1;; ++attempt) {
     if (!MaybeInjectFault()) {
-      const int64_t value = Add(key, delta);
-      if (result != nullptr) *result = value;
-      return Status::OK();
+      Result<int64_t> value = DoAdd(key, delta);
+      if (value.ok()) {
+        if (result != nullptr) *result = value.value();
+        return Status::OK();
+      }
+      RecordTransientFailure();
     }
     if (attempt >= policy.max_attempts) {
       return Status::Internal("store Add('" + key +
@@ -174,7 +355,7 @@ Status Store::AddWithRetry(const std::string& key, int64_t delta,
                               std::to_string(policy.max_attempts) +
                               " attempts");
     }
-    SleepBackoff(backoff);
+    clock.SleepBackoff(backoff);
     backoff *= policy.backoff_multiplier;
   }
 }
@@ -182,38 +363,49 @@ Status Store::AddWithRetry(const std::string& key, int64_t delta,
 Result<std::string> Store::GetWithRetry(const std::string& key,
                                         double timeout_seconds,
                                         const RetryPolicy& policy) {
-  const auto deadline = DeadlineAfter(timeout_seconds);
+  RetryClock clock(policy);
   double backoff = policy.initial_backoff_seconds;
   int failed_attempts = 0;
-  while (true) {
-    if (MaybeInjectFault()) {
-      if (++failed_attempts >= policy.max_attempts) {
-        return Status::Internal("store Get('" + key +
-                                "') failed transiently on all " +
-                                std::to_string(policy.max_attempts) +
-                                " attempts");
-      }
-      if (Clock::now() >= deadline) {
-        return Status::TimedOut("store Get('" + key + "') deadline (" +
-                                std::to_string(timeout_seconds) +
-                                "s real) elapsed during transient-failure "
-                                "retries");
-      }
-      SleepBackoff(backoff);
-      backoff *= policy.backoff_multiplier;
-      continue;
-    }
-    MutexLock lock(&mutex_);
-    for (;;) {
-      if (data_.count(key) > 0) return data_[key];
-      if (!cv_.WaitUntil(mutex_, deadline)) {
-        // Deadline passed; one final predicate check under the lock, as
-        // wait_until-with-predicate would have done.
-        if (data_.count(key) > 0) return data_[key];
+  // One iteration = one attempt against the store. On the real clock a
+  // healthy attempt blocks server-side for the remaining budget, so a miss
+  // is final; on the virtual clock attempts are immediate polls and the
+  // deadline accrues through virtual backoff, so a miss costs backoff and
+  // polls again.
+  for (;;) {
+    const bool faulted = MaybeInjectFault();
+    if (!faulted) {
+      const double remaining = timeout_seconds - clock.Elapsed();
+      if (remaining <= 0.0) {
         return Status::TimedOut("store key '" + key + "' not set within " +
-                                std::to_string(timeout_seconds) + "s (real)");
+                                std::to_string(timeout_seconds) + "s");
       }
+      Result<std::string> result =
+          DoGetBounded(key, clock.real() ? remaining : 0.0);
+      if (result.ok()) return result;
+      if (result.status().code() == StatusCode::kTimedOut) {
+        if (clock.real()) {
+          return Status::TimedOut("store key '" + key + "' not set within " +
+                                  std::to_string(timeout_seconds) + "s");
+        }
+        clock.SleepBackoff(backoff);
+        backoff *= policy.backoff_multiplier;
+        continue;
+      }
+      RecordTransientFailure();  // transport failure from a wire subclass
     }
+    if (++failed_attempts >= policy.max_attempts) {
+      return Status::Internal("store Get('" + key +
+                              "') failed transiently on all " +
+                              std::to_string(policy.max_attempts) +
+                              " attempts");
+    }
+    if (clock.Elapsed() >= timeout_seconds) {
+      return Status::TimedOut("store Get('" + key + "') deadline (" +
+                              std::to_string(timeout_seconds) +
+                              "s) elapsed during transient-failure retries");
+    }
+    clock.SleepBackoff(backoff);
+    backoff *= policy.backoff_multiplier;
   }
 }
 

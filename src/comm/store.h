@@ -11,36 +11,57 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "sim/virtual_clock.h"
 
 namespace ddpkit::comm {
 
 /// Backoff schedule for the retryable Store entry points: attempt, sleep
 /// `initial_backoff_seconds`, retry, doubling (by `backoff_multiplier`) up
-/// to `max_attempts` total tries. Real (wall-clock) sleeps: the store
-/// models an out-of-band TCP service, not the virtual data plane.
+/// to `max_attempts` total tries.
 struct RetryPolicy {
   int max_attempts = 5;
   double initial_backoff_seconds = 0.0005;
   double backoff_multiplier = 2.0;
+
+  /// How backoff sleeps and GetWithRetry deadlines are measured.
+  ///  - kReal (default): wall-clock sleeps and deadlines. Mandatory for
+  ///    TCP-backed stores, whose peers live in other processes and make
+  ///    progress only in real time.
+  ///  - kVirtual: no real sleeping — backoff and deadline accrue on
+  ///    `virtual_clock`, so sim tests exercise the retry/timeout decision
+  ///    tree deterministically (the same injected fault sequence always
+  ///    produces the same typed outcome at the same virtual timestamps).
+  enum class ClockMode { kReal, kVirtual };
+  ClockMode clock_mode = ClockMode::kReal;
+  /// Required when clock_mode == kVirtual; ignored otherwise.
+  sim::VirtualClock* virtual_clock = nullptr;
 };
 
-/// In-memory rendezvous key-value store with blocking waits — the
-/// equivalent of PyTorch's TCPStore for our thread-backed "processes".
-/// Process groups use it to agree on membership before any collective runs
-/// ("the first arrival will block waiting until the last instance joins",
-/// paper §3.3).
+/// Rendezvous key-value store with blocking waits — the equivalent of
+/// PyTorch's TCPStore. Process groups use it to agree on membership before
+/// any collective runs ("the first arrival will block waiting until the
+/// last instance joins", paper §3.3).
+///
+/// This base class IS the in-memory store (`Store s;` works as before,
+/// backing thread-backed sim worlds where all ranks share one address
+/// space). The wire backend subclasses it: StoreClientTcp (comm/store_tcp.h)
+/// overrides the `Do*` primitive layer with framed RPCs to a StoreServerTcp,
+/// so every consumer — rendezvous, reducer layout validation, elastic
+/// recovery — runs unchanged against either transport.
 ///
 /// Two API tiers:
 ///  - the legacy blocking ops (Set/Get/Add/Wait) assume a healthy store
-///    and block forever on missing keys;
-///  - the *WithRetry ops model a flaky network path to the store service:
-///    they honor a RetryPolicy with exponential backoff, bound waits with
-///    real-time deadlines, and return Status instead of blocking forever.
-///    Transient faults injected via InjectTransientFaults apply only to
-///    this tier.
+///    and block (retrying transparently, forever) on missing keys or an
+///    unreachable server;
+///  - the *WithRetry ops model a flaky path to the store service: they
+///    honor a RetryPolicy with exponential backoff, bound waits with
+///    deadlines, and return Status instead of blocking forever. Transient
+///    faults — injected via InjectTransientFaults, or real transport
+///    failures from a TCP subclass — apply only to this tier's budget.
 class Store {
  public:
   Store() = default;
+  virtual ~Store() = default;
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
 
@@ -50,7 +71,7 @@ class Store {
   std::string Get(const std::string& key);
 
   /// Non-blocking lookup.
-  bool TryGet(const std::string& key, std::string* value) const;
+  bool TryGet(const std::string& key, std::string* value);
 
   /// Atomically adds `delta` to an integer-valued key (creating it at 0)
   /// and returns the new value.
@@ -59,7 +80,7 @@ class Store {
   /// Blocks until all keys exist.
   void Wait(const std::vector<std::string>& keys);
 
-  size_t NumKeys() const;
+  size_t NumKeys();
 
   /// Removes `key`; returns true when it existed. Deleting never wakes
   /// waiters (a delete cannot satisfy a Wait/Get predicate).
@@ -82,10 +103,11 @@ class Store {
                                     int64_t* result,
                                     const RetryPolicy& policy = RetryPolicy());
 
-  /// Retryable bounded Get: waits up to `timeout_seconds` of real time for
-  /// the key to appear, retrying transient failures per `policy`. Returns
-  /// kTimedOut if the key never appears — the caller-visible difference
-  /// between "peer is slow" and the legacy Get's silent hang.
+  /// Retryable bounded Get: waits up to `timeout_seconds` (measured on the
+  /// policy's clock) for the key to appear, retrying transient failures per
+  /// `policy`. Returns kTimedOut if the key never appears — the
+  /// caller-visible difference between "peer is slow" and the legacy Get's
+  /// silent hang.
   [[nodiscard]] Result<std::string> GetWithRetry(
       const std::string& key, double timeout_seconds,
       const RetryPolicy& policy = RetryPolicy());
@@ -99,8 +121,35 @@ class Store {
   /// fails with `probability`. Same seed => same failure sequence.
   void InjectTransientFaults(uint64_t seed, double probability);
 
-  /// Total transient failures served so far (for test assertions).
+  /// Total transient failures served so far (injected + real transport
+  /// failures observed by the retry tier; for test assertions).
   uint64_t transient_failures() const;
+
+ protected:
+  /// Primitive layer every public entry point funnels through. The base
+  /// implementations are the in-memory store; a wire-backed subclass
+  /// overrides them with RPCs and reports transport failures as non-OK
+  /// Status (anything but kTimedOut is treated as transient and retried by
+  /// the tiers above). `DoGetBounded`/`DoWaitBounded` with a non-positive
+  /// timeout are immediate lookups, never waits.
+  [[nodiscard]] virtual Status DoSet(const std::string& key,
+                                     const std::string& value);
+  [[nodiscard]] virtual Status DoTryGet(const std::string& key,
+                                        std::string* value, bool* found);
+  [[nodiscard]] virtual Result<int64_t> DoAdd(const std::string& key,
+                                              int64_t delta);
+  [[nodiscard]] virtual Result<std::string> DoGetBounded(
+      const std::string& key, double timeout_seconds);
+  [[nodiscard]] virtual Status DoWaitBounded(
+      const std::vector<std::string>& keys, double timeout_seconds);
+  [[nodiscard]] virtual Result<int64_t> DoNumKeys();
+  [[nodiscard]] virtual Result<int64_t> DoDeleteKey(const std::string& key);
+  [[nodiscard]] virtual Result<int64_t> DoDeletePrefix(
+      const std::string& prefix);
+
+  /// Records a real transport failure against the transient counter so
+  /// tests can assert on retried wire errors the same way as injected ones.
+  void RecordTransientFailure();
 
  private:
   /// True when this attempt should fail transiently (consumes budget/RNG).

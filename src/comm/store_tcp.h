@@ -1,0 +1,137 @@
+#ifndef DDPKIT_COMM_STORE_TCP_H_
+#define DDPKIT_COMM_STORE_TCP_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "comm/store.h"
+
+namespace ddpkit::comm {
+
+/// TCP rendezvous store — the ddpkit equivalent of PyTorch's TCPStore
+/// (paper §3.3: rank 0 hosts the store, every process connects to it to
+/// bootstrap). One process runs a StoreServerTcp (the launcher, so a
+/// kill -9'd worker can never take the store down with it); every worker
+/// speaks to it through a StoreClientTcp, which IS a comm::Store — every
+/// consumer built against the Store seam (process-group rendezvous, reducer
+/// layout validation, elastic recovery) runs unchanged over the wire.
+///
+/// Wire protocol: length-prefixed frames (net_socket.h), payload = u8
+/// opcode + operands (strings as u32 length + bytes, integers launcher and
+/// workers share one host so fixed-width native-endian). Blocking ops
+/// (bounded Get/Wait) are held server-side in short slices so a server
+/// shutdown never strands a connection thread.
+class StoreServerTcp {
+ public:
+  /// Binds `host:port` and starts serving. Port 0 picks a free port —
+  /// the collision-proof choice for CI; read it back with port().
+  [[nodiscard]] static Result<std::unique_ptr<StoreServerTcp>> Start(
+      const std::string& host = "127.0.0.1", int port = 0);
+
+  ~StoreServerTcp();
+  StoreServerTcp(const StoreServerTcp&) = delete;
+  StoreServerTcp& operator=(const StoreServerTcp&) = delete;
+
+  int port() const { return port_; }
+  const std::string& host() const { return host_; }
+
+  /// Stops accepting, wakes every blocked connection, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The in-memory store this server fronts (for same-process assertions
+  /// in tests and for the launcher's own bookkeeping).
+  Store& backing();
+
+ private:
+  StoreServerTcp(std::string host, int port, int listen_fd, int wake_rfd,
+                 int wake_wfd);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Handles one decoded request, appending the response payload.
+  /// Returns false on a malformed request (connection is dropped).
+  bool HandleRequest(const std::vector<uint8_t>& request,
+                     std::vector<uint8_t>* response);
+
+  /// Store subclass that re-exposes the protected bounded primitives: the
+  /// server loops them in short slices so shutdown stays responsive.
+  class ServerStore;
+
+  std::string host_;
+  int port_;
+  int listen_fd_;
+  /// Wake pipe: Stop() writes `wake_wfd_`; every blocking socket call in
+  /// the server passes `wake_rfd_` as its abort fd.
+  int wake_rfd_;
+  int wake_wfd_;
+  std::atomic<bool> shutdown_{false};
+  std::unique_ptr<ServerStore> store_;
+  std::thread accept_thread_;
+
+  Mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mutex_);
+};
+
+/// Client half: a comm::Store whose primitive layer is framed RPCs to a
+/// StoreServerTcp. One socket per client, one RPC in flight at a time
+/// (serialized by a mutex); bounded waits are sliced so no single RPC
+/// occupies the channel for long. Transport failures close the socket and
+/// surface as non-OK Status from the primitives — the base-class tiers
+/// translate that into retries (with reconnect-on-next-attempt) or typed
+/// errors per their contract.
+class StoreClientTcp : public Store {
+ public:
+  struct Options {
+    /// Budget for (re)establishing the connection within one primitive op.
+    double connect_timeout_seconds = 10.0;
+    /// Server-side wait granularity for bounded Get/Wait slices.
+    double slice_seconds = 0.05;
+  };
+
+  StoreClientTcp(std::string host, int port);
+  StoreClientTcp(std::string host, int port, Options options);
+  ~StoreClientTcp() override;
+
+  /// One round-trip no-op RPC; OK means the server is reachable.
+  [[nodiscard]] Status Ping();
+
+ protected:
+  [[nodiscard]] Status DoSet(const std::string& key,
+                             const std::string& value) override;
+  [[nodiscard]] Status DoTryGet(const std::string& key, std::string* value,
+                                bool* found) override;
+  [[nodiscard]] Result<int64_t> DoAdd(const std::string& key,
+                                      int64_t delta) override;
+  [[nodiscard]] Result<std::string> DoGetBounded(
+      const std::string& key, double timeout_seconds) override;
+  [[nodiscard]] Status DoWaitBounded(const std::vector<std::string>& keys,
+                                     double timeout_seconds) override;
+  [[nodiscard]] Result<int64_t> DoNumKeys() override;
+  [[nodiscard]] Result<int64_t> DoDeleteKey(const std::string& key) override;
+  [[nodiscard]] Result<int64_t> DoDeletePrefix(
+      const std::string& prefix) override;
+
+ private:
+  /// One framed round trip under the RPC lock; connects first when needed.
+  /// Any transport failure closes the socket so the next call reconnects.
+  [[nodiscard]] Result<std::vector<uint8_t>> Rpc(
+      const std::vector<uint8_t>& request, double deadline_seconds)
+      EXCLUDES(rpc_mutex_);
+
+  std::string host_;
+  int port_;
+  Options options_;
+  Mutex rpc_mutex_;
+  int fd_ GUARDED_BY(rpc_mutex_) = -1;
+};
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_STORE_TCP_H_

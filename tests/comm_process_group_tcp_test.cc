@@ -1,0 +1,419 @@
+// ProcessGroupTcp over loopback, in-process: every rank is a thread with
+// its own group instance, rendezvousing through one shared in-memory Store
+// (keys only — payload moves over real sockets). The headline property is
+// the PR's cross-check gate in miniature: each wire schedule must be
+// BIT-IDENTICAL to the simulated zoo (RunAllReduceRaw) on the same inputs,
+// not merely numerically close. Plus the typed failure taxonomy: timeout,
+// shape mismatch, abort/generation, and post-failure poisoning.
+//
+// All sockets bind port 0 and publish through the store, so the suite is
+// port-collision-proof by construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/algorithms.h"
+#include "comm/process_group_tcp.h"
+#include "comm/store.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/virtual_clock.h"
+#include "tensor/tensor.h"
+
+namespace ddpkit::comm {
+namespace {
+
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+using Group = std::shared_ptr<ProcessGroupTcp>;
+
+/// Spawns `world` rank threads, each with its own VirtualClock and TCP
+/// group on a shared in-memory store, and runs `body(rank, group)`. A latch
+/// holds every group alive until all bodies finish, so no rank's destructor
+/// tears sockets out from under a straggler mid-collective.
+void RunTcpWorld(int world, const ProcessGroupTcp::Options& options,
+                 const std::function<void(int, const Group&)>& body) {
+  Store store;
+  Latch done(world);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < world; ++rank) {
+    threads.emplace_back([&, rank] {
+      sim::VirtualClock clock;
+      Result<Group> group =
+          ProcessGroupTcp::Create(&store, "test", rank, world, options, &clock);
+      if (!group.ok()) {
+        ADD_FAILURE() << "rank " << rank
+                      << " bootstrap: " << group.status().ToString();
+        done.CountDown();
+        return;
+      }
+      body(rank, group.value());
+      done.CountDown();
+      done.Wait();  // keep the mesh alive until every rank is through
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+Tensor FromVec(const std::vector<float>& values) {
+  return Tensor::FromVector(values, {static_cast<int64_t>(values.size())});
+}
+
+Tensor FromVecInt64(const std::vector<int64_t>& values) {
+  return Tensor::FromVectorInt64(values,
+                                 {static_cast<int64_t>(values.size())});
+}
+
+std::vector<std::vector<float>> MakeInputs(int world, int64_t n,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> bufs(static_cast<size_t>(world));
+  for (auto& b : bufs) {
+    b.resize(static_cast<size_t>(n));
+    for (auto& x : b) x = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  }
+  return bufs;
+}
+
+// The wire schedules (kHierarchical is sim-only; kAuto swept separately).
+const Algorithm kWireZoo[] = {Algorithm::kNaive, Algorithm::kRing,
+                              Algorithm::kRingChunked,
+                              Algorithm::kHalvingDoubling, Algorithm::kTree};
+
+// The gate: for every schedule and several world sizes (including non
+// powers of two and worlds bigger than the element remainder), the TCP
+// all-reduce must produce exactly the bytes the simulated zoo produces.
+TEST(ProcessGroupTcpTest, AllReduceBitExactVsSimZoo) {
+  const int worlds[] = {2, 3, 5, 8};
+  const int64_t n = 193;  // prime: uneven chunking in every schedule
+  for (Algorithm algorithm : kWireZoo) {
+    for (int world : worlds) {
+      SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + " world " +
+                   std::to_string(world));
+      const auto inputs = MakeInputs(
+          world, n, 0xbeef + static_cast<uint64_t>(world));
+
+      // Reference: the simulated data plane on a copy of the same inputs.
+      auto reference = inputs;
+      std::vector<float*> pointers;
+      for (auto& b : reference) pointers.push_back(b.data());
+      RunAllReduceRaw<float>(algorithm, ReduceOp::kSum, pointers, n);
+
+      ProcessGroupTcp::Options options;
+      options.algorithm = algorithm;
+      std::vector<std::vector<float>> wire(static_cast<size_t>(world));
+      RunTcpWorld(world, options, [&](int rank, const Group& group) {
+        Tensor tensor = FromVec(inputs[static_cast<size_t>(rank)]);
+        WorkHandle work = group->AllReduce(tensor, ReduceOp::kSum);
+        ASSERT_TRUE(work->status().ok())
+            << "rank " << rank << ": " << work->status().ToString();
+        wire[static_cast<size_t>(rank)].assign(
+            tensor.data<float>(), tensor.data<float>() + tensor.numel());
+      });
+
+      for (int rank = 0; rank < world; ++rank) {
+        EXPECT_EQ(0, std::memcmp(reference[static_cast<size_t>(rank)].data(),
+                                 wire[static_cast<size_t>(rank)].data(),
+                                 static_cast<size_t>(n) * sizeof(float)))
+            << "rank " << rank << " differs from the sim reference";
+      }
+    }
+  }
+}
+
+// kAuto resolves per collective (message size x world through the sim
+// selector); whatever it picks must still match the sim's kAuto result.
+TEST(ProcessGroupTcpTest, AutoAlgorithmResolvesAndMatchesSim) {
+  const int world = 4;
+  const int64_t n = 4096;
+  const auto inputs = MakeInputs(world, n, 0xa070);
+  auto reference = inputs;
+  std::vector<float*> pointers;
+  for (auto& b : reference) pointers.push_back(b.data());
+  RunAllReduceRaw<float>(Algorithm::kAuto, ReduceOp::kSum, pointers, n);
+
+  ProcessGroupTcp::Options options;
+  options.algorithm = Algorithm::kAuto;
+  std::vector<std::vector<float>> wire(static_cast<size_t>(world));
+  RunTcpWorld(world, options, [&](int rank, const Group& group) {
+    Tensor tensor = FromVec(inputs[static_cast<size_t>(rank)]);
+    WorkHandle work = group->AllReduce(tensor, ReduceOp::kSum);
+    ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+    wire[static_cast<size_t>(rank)].assign(
+        tensor.data<float>(), tensor.data<float>() + tensor.numel());
+  });
+  for (int rank = 0; rank < world; ++rank) {
+    EXPECT_EQ(0, std::memcmp(reference[static_cast<size_t>(rank)].data(),
+                             wire[static_cast<size_t>(rank)].data(),
+                             static_cast<size_t>(n) * sizeof(float)));
+  }
+}
+
+TEST(ProcessGroupTcpTest, MaxAndIntegerDtypesMatchSim) {
+  const int world = 3;
+  ProcessGroupTcp::Options options;
+  options.algorithm = Algorithm::kRing;
+  RunTcpWorld(world, options, [&](int rank, const Group& group) {
+    // float32 max
+    {
+      std::vector<float> mine(64);
+      for (size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = static_cast<float>((rank * 31 + static_cast<int>(i) * 7) %
+                                     97) - 48.0f;
+      }
+      Tensor tensor = FromVec(mine);
+      WorkHandle work = group->AllReduce(tensor, ReduceOp::kMax);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      for (int64_t i = 0; i < tensor.numel(); ++i) {
+        float expected = -1e30f;
+        for (int r = 0; r < world; ++r) {
+          const float x = static_cast<float>(
+              (r * 31 + static_cast<int>(i) * 7) % 97) - 48.0f;
+          expected = std::max(expected, x);
+        }
+        EXPECT_EQ(expected, tensor.data<float>()[i]) << "element " << i;
+      }
+    }
+    // int64 sum (associative: exact regardless of order)
+    {
+      std::vector<int64_t> mine(33);
+      for (size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = (rank + 1) * 1000 + static_cast<int64_t>(i);
+      }
+      Tensor tensor = FromVecInt64(mine);
+      WorkHandle work = group->AllReduce(tensor, ReduceOp::kSum);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      for (int64_t i = 0; i < tensor.numel(); ++i) {
+        int64_t expected = 0;
+        for (int r = 0; r < world; ++r) expected += (r + 1) * 1000 + i;
+        EXPECT_EQ(expected, tensor.data<int64_t>()[i]);
+      }
+    }
+    // uint8 bitwise-or (the used-parameter bitmap path)
+    {
+      Tensor tensor = Tensor::Zeros({8}, DType::kUInt8);
+      tensor.data<uint8_t>()[rank] = static_cast<uint8_t>(1 << rank);
+      WorkHandle work = group->AllReduce(tensor, ReduceOp::kBor);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      for (int r = 0; r < world; ++r) {
+        EXPECT_EQ(static_cast<uint8_t>(1 << r), tensor.data<uint8_t>()[r]);
+      }
+    }
+  });
+}
+
+TEST(ProcessGroupTcpTest, OtherCollectivesMatchReference) {
+  const int world = 4;
+  const int64_t n = 24;
+  const auto inputs = MakeInputs(world, n, 0xc0);
+  ProcessGroupTcp::Options options;
+  options.algorithm = Algorithm::kRing;
+  RunTcpWorld(world, options, [&](int rank, const Group& group) {
+    // Broadcast: everyone ends with root's buffer.
+    {
+      Tensor tensor = FromVec(inputs[static_cast<size_t>(rank)]);
+      WorkHandle work = group->Broadcast(tensor, /*root=*/2);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      EXPECT_EQ(0, std::memcmp(inputs[2].data(), tensor.data<float>(),
+                               static_cast<size_t>(n) * sizeof(float)));
+    }
+    // AllGather: rank-order concatenation everywhere.
+    {
+      Tensor input = FromVec(inputs[static_cast<size_t>(rank)]);
+      Tensor output = Tensor::Zeros({world * n});
+      WorkHandle work = group->AllGather(input, output);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      for (int r = 0; r < world; ++r) {
+        EXPECT_EQ(0, std::memcmp(inputs[static_cast<size_t>(r)].data(),
+                                 output.data<float>() + r * n,
+                                 static_cast<size_t>(n) * sizeof(float)))
+            << "gathered slot " << r;
+      }
+    }
+    // Reduce to root 1: ascending-order sum lands on the root only.
+    {
+      Tensor tensor = FromVec(inputs[static_cast<size_t>(rank)]);
+      WorkHandle work = group->Reduce(tensor, /*root=*/1, ReduceOp::kSum);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      if (rank == 1) {
+        for (int64_t i = 0; i < n; ++i) {
+          // Same ascending combine order as the sim reference.
+          float expected = inputs[0][static_cast<size_t>(i)];
+          for (int r = 1; r < world; ++r) {
+            expected += inputs[static_cast<size_t>(r)][static_cast<size_t>(i)];
+          }
+          EXPECT_EQ(expected, tensor.data<float>()[i]) << "element " << i;
+        }
+      }
+    }
+    // ReduceScatter: rank r owns the fully-reduced chunk r. Reference is
+    // the sim ring phase 1 on the same inputs.
+    {
+      std::vector<Tensor> ref_inputs, ref_outputs;
+      for (int r = 0; r < world; ++r) {
+        ref_inputs.push_back(
+            FromVec(inputs[static_cast<size_t>(r)]));
+        ref_outputs.push_back(Tensor::Zeros({n / world}));
+      }
+      RunReduceScatter(ReduceOp::kSum, ref_inputs, ref_outputs);
+
+      Tensor input = FromVec(inputs[static_cast<size_t>(rank)]);
+      Tensor output = Tensor::Zeros({n / world});
+      WorkHandle work = group->ReduceScatter(input, output, ReduceOp::kSum);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      EXPECT_EQ(0,
+                std::memcmp(ref_outputs[static_cast<size_t>(rank)]
+                                .data<float>(),
+                            output.data<float>(),
+                            static_cast<size_t>(n / world) * sizeof(float)));
+    }
+    // Gather to root 3.
+    {
+      Tensor input = FromVec(inputs[static_cast<size_t>(rank)]);
+      Tensor output = Tensor::Zeros({world * n});
+      WorkHandle work = group->Gather(input, output, /*root=*/3);
+      ASSERT_TRUE(work->status().ok()) << work->status().ToString();
+      if (rank == 3) {
+        for (int r = 0; r < world; ++r) {
+          EXPECT_EQ(0, std::memcmp(inputs[static_cast<size_t>(r)].data(),
+                                   output.data<float>() + r * n,
+                                   static_cast<size_t>(n) * sizeof(float)));
+        }
+      }
+    }
+    group->Barrier();  // and the token star runs clean on a healthy mesh
+  });
+}
+
+// A peer that never issues the collective: the issuing rank times out with
+// the typed verdict (not a hang, not an abort), and the group is poisoned —
+// the next collective fails fast as kRankFailure.
+TEST(ProcessGroupTcpTest, MissingPeerTimesOutTypedThenPoisons) {
+  Store store;
+  ProcessGroupTcp::Options options;
+  options.collective_timeout_seconds = 0.5;
+  Latch done(2);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < 2; ++rank) {
+    threads.emplace_back([&, rank] {
+      sim::VirtualClock clock;
+      Result<Group> group =
+          ProcessGroupTcp::Create(&store, "timeout", rank, 2, options, &clock);
+      ASSERT_TRUE(group.ok()) << group.status().ToString();
+      if (rank == 0) {
+        Tensor tensor = Tensor::Ones({16});
+        WorkHandle work = group.value()->AllReduce(tensor, ReduceOp::kSum);
+        EXPECT_EQ(WorkError::kTimeout, work->error())
+            << work->error_message();
+        EXPECT_EQ(StatusCode::kTimedOut, work->status().code());
+
+        WorkHandle after = group.value()->AllReduce(tensor, ReduceOp::kSum);
+        EXPECT_EQ(WorkError::kRankFailure, after->error())
+            << "poisoned group must fail fast, got: "
+            << after->error_message();
+      }
+      // Rank 1 issues nothing; both wait so destructors don't race the
+      // timing-out collective.
+      done.CountDown();
+      done.Wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Ranks disagreeing on the collective's shape: the neighbour header
+// exchange catches it on both sides as kShapeMismatch before any payload
+// moves.
+TEST(ProcessGroupTcpTest, ShapeMismatchIsTypedOnBothSides) {
+  Store store;
+  ProcessGroupTcp::Options options;
+  options.collective_timeout_seconds = 5.0;
+  Latch done(2);
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < 2; ++rank) {
+    threads.emplace_back([&, rank] {
+      sim::VirtualClock clock;
+      Result<Group> group =
+          ProcessGroupTcp::Create(&store, "shape", rank, 2, options, &clock);
+      ASSERT_TRUE(group.ok()) << group.status().ToString();
+      Tensor tensor = Tensor::Ones({rank == 0 ? 8 : 9});
+      WorkHandle work = group.value()->AllReduce(tensor, ReduceOp::kSum);
+      EXPECT_EQ(WorkError::kShapeMismatch, work->error())
+          << "rank " << rank << ": " << work->error_message();
+      done.CountDown();
+      done.Wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// AbortGroup from another thread (the elastic-recovery regroup path): the
+// in-flight collective wakes via the abort pipe and fails as
+// kInvalidGeneration, superseded_by() records the successor, and later
+// collectives fail the same way — no poisoning into kRankFailure, because
+// the caller is expected to regroup, not to declare the peer dead.
+TEST(ProcessGroupTcpTest, AbortUnblocksInflightCollectiveTyped) {
+  Store store;
+  ProcessGroupTcp::Options options;
+  options.collective_timeout_seconds = 30.0;  // abort must win, not timeout
+  Latch ready(2);
+  Latch done(2);
+  Group groups[2];
+  std::thread ranks[2];
+  for (int rank = 0; rank < 2; ++rank) {
+    ranks[rank] = std::thread([&, rank] {
+      sim::VirtualClock clock;
+      Result<Group> group =
+          ProcessGroupTcp::Create(&store, "abort", rank, 2, options, &clock);
+      ASSERT_TRUE(group.ok()) << group.status().ToString();
+      groups[rank] = group.value();
+      ready.CountDown();
+      if (rank == 0) {
+        Tensor tensor = Tensor::Ones({16});
+        WorkHandle work = groups[0]->AllReduce(tensor, ReduceOp::kSum);
+        EXPECT_EQ(WorkError::kInvalidGeneration, work->error())
+            << work->error_message();
+        EXPECT_EQ(1u, groups[0]->superseded_by());
+
+        WorkHandle after = groups[0]->AllReduce(tensor, ReduceOp::kSum);
+        EXPECT_EQ(WorkError::kInvalidGeneration, after->error());
+      }
+      done.CountDown();
+      done.Wait();
+    });
+  }
+  ready.Wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  groups[0]->AbortGroup(1, "superseded by test generation 1");
+  for (auto& t : ranks) t.join();
+}
+
+}  // namespace
+}  // namespace ddpkit::comm

@@ -1,0 +1,270 @@
+// StoreServerTcp / StoreClientTcp: the wire store must be observably the
+// same Store as the in-memory base — same values, same typed timeouts,
+// same retry-tier semantics — plus transport-only behaviours (reconnect
+// after a server restart). All sockets bind port 0 (collision-proof).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/store.h"
+#include "comm/store_tcp.h"
+#include "sim/virtual_clock.h"
+
+namespace ddpkit::comm {
+namespace {
+
+using StoreServerHandle = std::unique_ptr<StoreServerTcp>;
+
+StoreServerHandle MustStart(int port = 0) {
+  Result<StoreServerHandle> server = StoreServerTcp::Start("127.0.0.1", port);
+  EXPECT_TRUE(server.ok()) << server.status().message();
+  return std::move(server).value();
+}
+
+double WallSeconds() {
+  // ddplint: allow(banned-nondeterminism) reason: this test measures real
+  // wall-clock behaviour of the wire store on purpose.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TEST(StoreTcpTest, PingReachesServer) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp client("127.0.0.1", server->port());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(StoreTcpTest, SetGetTryGetParity) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp client("127.0.0.1", server->port());
+  Store reference;
+
+  const std::vector<std::pair<std::string, std::string>> entries = {
+      {"a", "1"}, {"b", ""}, {"nested/key/path", std::string(1000, 'x')}};
+  for (const auto& [key, value] : entries) {
+    client.Set(key, value);
+    reference.Set(key, value);
+  }
+  for (const auto& [key, value] : entries) {
+    std::string via_wire, via_memory;
+    EXPECT_TRUE(client.TryGet(key, &via_wire));
+    EXPECT_TRUE(reference.TryGet(key, &via_memory));
+    EXPECT_EQ(via_wire, via_memory);
+    EXPECT_EQ(client.Get(key), reference.Get(key));
+  }
+  EXPECT_EQ(client.NumKeys(), reference.NumKeys());
+  std::string missing;
+  EXPECT_FALSE(client.TryGet("absent", &missing));
+}
+
+TEST(StoreTcpTest, AddIsAtomicAcrossClients) {
+  StoreServerHandle server = MustStart();
+  constexpr int kClients = 4;
+  constexpr int kIncrements = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      StoreClientTcp client("127.0.0.1", server->port());
+      for (int i = 0; i < kIncrements; ++i) client.Add("counter", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  StoreClientTcp reader("127.0.0.1", server->port());
+  EXPECT_EQ(reader.Add("counter", 0), kClients * kIncrements);
+}
+
+TEST(StoreTcpTest, TwoClientsShareOneNamespace) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp writer("127.0.0.1", server->port());
+  StoreClientTcp reader("127.0.0.1", server->port());
+  writer.Set("shared", "value");
+  EXPECT_EQ(reader.Get("shared"), "value");
+  // And the launcher-side backing store sees the same data.
+  std::string via_backing;
+  EXPECT_TRUE(server->backing().TryGet("shared", &via_backing));
+  EXPECT_EQ(via_backing, "value");
+}
+
+TEST(StoreTcpTest, GetBlocksUntilAnotherClientSets) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp reader("127.0.0.1", server->port());
+  std::string got;
+  std::thread blocked([&] { got = reader.Get("late"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  StoreClientTcp writer("127.0.0.1", server->port());
+  writer.Set("late", "arrived");
+  blocked.join();
+  EXPECT_EQ(got, "arrived");
+}
+
+TEST(StoreTcpTest, WaitSeesKeysFromOtherClients) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp waiter("127.0.0.1", server->port());
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    StoreClientTcp writer("127.0.0.1", server->port());
+    writer.Set("w1", "a");
+    writer.Set("w2", "b");
+  });
+  waiter.Wait({"w1", "w2"});  // returns only once both exist
+  setter.join();
+  std::string value;
+  EXPECT_TRUE(waiter.TryGet("w2", &value));
+}
+
+TEST(StoreTcpTest, DeleteKeyAndPrefixParity) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp client("127.0.0.1", server->port());
+  client.Set("epoch0/a", "1");
+  client.Set("epoch0/b", "2");
+  client.Set("epoch1/a", "3");
+  EXPECT_TRUE(client.DeleteKey("epoch0/a"));
+  EXPECT_FALSE(client.DeleteKey("epoch0/a"));
+  EXPECT_EQ(client.DeletePrefix("epoch0/"), 1u);
+  EXPECT_EQ(client.NumKeys(), 1u);
+  std::string value;
+  EXPECT_TRUE(client.TryGet("epoch1/a", &value));
+}
+
+TEST(StoreTcpTest, BoundedGetTimesOutTyped) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp client("127.0.0.1", server->port());
+  const double start = WallSeconds();
+  Result<std::string> result = client.GetWithRetry("never-set", 0.3);
+  const double elapsed = WallSeconds() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimedOut)
+      << result.status().message();
+  EXPECT_GE(elapsed, 0.25);  // actually waited (server-held slices)
+  EXPECT_LT(elapsed, 5.0);   // and didn't hang
+}
+
+TEST(StoreTcpTest, BoundedGetReturnsValueSetMidWait) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp client("127.0.0.1", server->port());
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    StoreClientTcp writer("127.0.0.1", server->port());
+    writer.Set("mid-wait", "v");
+  });
+  Result<std::string> result = client.GetWithRetry("mid-wait", 5.0);
+  setter.join();
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_EQ(result.value(), "v");
+}
+
+TEST(StoreTcpTest, ClientReconnectsAfterServerRestart) {
+  StoreServerHandle server = MustStart();
+  const int port = server->port();
+  StoreClientTcp client("127.0.0.1", port);
+  client.Set("before", "restart");
+
+  server->Stop();
+  server.reset();
+  // Same port, fresh server (fresh, empty backing store): the client's
+  // next retryable attempt reconnects transparently.
+  server = MustStart(port);
+  EXPECT_TRUE(client.SetWithRetry("after", "reconnect").ok());
+  std::string value;
+  EXPECT_TRUE(client.TryGet("after", &value));
+  EXPECT_EQ(value, "reconnect");
+  // The restart counts as (at least one) observed transport failure.
+  EXPECT_GE(client.transient_failures(), 1u);
+}
+
+TEST(StoreTcpTest, UnreachableServerFailsTypedNotHangs) {
+  // Grab a port that is free, then close the listener so nothing answers.
+  int dead_port;
+  {
+    StoreServerHandle server = MustStart();
+    dead_port = server->port();
+    server->Stop();
+  }
+  StoreClientTcp::Options options;
+  options.connect_timeout_seconds = 0.2;
+  StoreClientTcp client("127.0.0.1", dead_port, options);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff_seconds = 0.01;
+  const double start = WallSeconds();
+  const Status status = client.SetWithRetry("k", "v", policy);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.message();
+  EXPECT_LT(WallSeconds() - start, 30.0);
+}
+
+// Satellite: the retry tier's clock choice. The same decision tree that
+// wall-clock TCP waits exercise must be steerable onto a virtual clock so
+// sim tests replay it deterministically — backoff cost and deadline math
+// accrue on the virtual clock, with (almost) no real time spent.
+TEST(StoreTcpTest, VirtualClockRetryIsDeterministicAndFast) {
+  sim::VirtualClock clock;
+  Store store;  // in-memory: the sim configuration of the same tier
+  RetryPolicy policy;
+  policy.clock_mode = RetryPolicy::ClockMode::kVirtual;
+  policy.virtual_clock = &clock;
+  policy.initial_backoff_seconds = 0.25;
+  policy.backoff_multiplier = 2.0;
+
+  const double wall_start = WallSeconds();
+  Result<std::string> result = store.GetWithRetry("never", 1.0, policy);
+  const double wall_elapsed = WallSeconds() - wall_start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimedOut);
+  // Poll misses cost doubling backoff on the virtual clock until the
+  // virtual deadline passes; the final timestamp is identical on every run.
+  EXPECT_GE(clock.Now(), 1.0);
+  EXPECT_LT(clock.Now(), 2.0);
+  // ...while wall time is a few yields, not a second of sleeping.
+  EXPECT_LT(wall_elapsed, 0.5);
+
+  // Injected transient faults consume the same budget deterministically.
+  sim::VirtualClock clock2;
+  Store flaky;
+  flaky.InjectTransientFaults(2);
+  RetryPolicy policy2 = policy;
+  policy2.virtual_clock = &clock2;
+  flaky.Set("key", "value");
+  Result<std::string> recovered = flaky.GetWithRetry("key", 1.0, policy2);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+  EXPECT_EQ(recovered.value(), "value");
+  EXPECT_EQ(flaky.transient_failures(), 2u);
+}
+
+TEST(StoreTcpTest, WireRetryPolicyHonorsRealClock) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp client("127.0.0.1", server->port());
+  // kReal is the default; a healthy wire Get within deadline returns
+  // promptly once the key appears.
+  client.Set("ready", "now");
+  Result<std::string> result = client.GetWithRetry("ready", 1.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "now");
+}
+
+TEST(StoreTcpTest, ServerStopUnblocksHeldGets) {
+  StoreServerHandle server = MustStart();
+  StoreClientTcp::Options options;
+  options.connect_timeout_seconds = 0.2;  // keep post-Stop reconnects short
+  StoreClientTcp client("127.0.0.1", server->port(), options);
+  std::thread blocked([&] {
+    // Bounded wait held server-side; Stop() must not strand it for the
+    // full timeout.
+    Result<std::string> result = client.GetWithRetry("never", 30.0);
+    EXPECT_FALSE(result.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double start = WallSeconds();
+  server->Stop();
+  blocked.join();
+  EXPECT_LT(WallSeconds() - start, 10.0);
+}
+
+}  // namespace
+}  // namespace ddpkit::comm

@@ -1,0 +1,167 @@
+// Test worker for the multi-process wire leg: one OS process = one rank.
+// Runs the shared deterministic scenario (multiproc_scenario.h) over
+// ProcessGroupTcp using the ddp_launch environment contract, optionally
+// raising SIGKILL mid-training (a real unclean death for the chaos case),
+// and writes its result line to --digest-out so the host test can compare
+// every rank's parameters bit-for-bit against the in-process reference.
+//
+// Output line format (one line, parseable by the e2e test):
+//   ok digest=<hex16> world=<n> generation=<g> recoveries=<k>
+//
+// ddplint: allow-file(banned-nondeterminism) reason: worker binary of the
+// multi-process harness; reads the launcher env contract and dies by
+// raise(SIGKILL) on purpose in the chaos scenario.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "comm/backend_factory.h"
+#include "comm/process_group_tcp.h"
+#include "comm/sim_world.h"
+#include "comm/store_tcp.h"
+#include "common/status.h"
+#include "sim/virtual_clock.h"
+#include "tests/multiproc_scenario.h"
+
+namespace {
+
+struct WorkerArgs {
+  int steps = 4;
+  int kill_rank = -1;
+  int kill_step = -1;
+  /// Prefix: rank r writes its result line to `<digest_out>.<r>`.
+  std::string digest_out;
+};
+
+int ParseInt(const char* text) {
+  return static_cast<int>(std::strtol(text, nullptr, 10));
+}
+
+WorkerArgs ParseArgs(int argc, char** argv) {
+  WorkerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--steps=", 0) == 0) {
+      args.steps = ParseInt(value_of("--steps=").c_str());
+    } else if (arg.rfind("--kill-rank=", 0) == 0) {
+      args.kill_rank = ParseInt(value_of("--kill-rank=").c_str());
+    } else if (arg.rfind("--kill-step=", 0) == 0) {
+      args.kill_step = ParseInt(value_of("--kill-step=").c_str());
+    } else if (arg.rfind("--digest-out=", 0) == 0) {
+      args.digest_out = value_of("--digest-out=");
+    } else {
+      std::fprintf(stderr, "ddp_worker: unknown argument %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using ddpkit::Result;
+  using ddpkit::Status;
+  namespace comm = ddpkit::comm;
+  namespace testing = ddpkit::testing;
+
+  const WorkerArgs args = ParseArgs(argc, argv);
+
+  Result<comm::LaunchEnv> env = comm::ReadLaunchEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "ddp_worker: needs the ddp_launch environment: %s\n",
+                 env.status().message().c_str());
+    return 2;
+  }
+  const comm::LaunchEnv launch_env = env.value();
+
+  ddpkit::sim::VirtualClock clock;
+  comm::StoreClientTcp store(launch_env.store_host, launch_env.store_port);
+  comm::BackendConfig config;
+  config.backend = "tcp";
+  // Short collective timeout: the chaos case relies on survivors timing out
+  // against the killed rank promptly instead of waiting the default 30s.
+  config.tcp.collective_timeout_seconds = 5.0;
+  Result<std::shared_ptr<comm::ProcessGroup>> group =
+      comm::CreateProcessGroupBackend(config, &store, "worker",
+                                      launch_env.rank, launch_env.world,
+                                      &clock);
+  if (!group.ok()) {
+    std::fprintf(stderr, "ddp_worker: rank %d rendezvous failed: %s\n",
+                 launch_env.rank, group.status().message().c_str());
+    return 1;
+  }
+
+  comm::SimWorld::RankContext ctx;
+  ctx.rank = launch_env.rank;
+  ctx.world = launch_env.world;
+  ctx.process_group = group.value();
+  ctx.clock = &clock;
+  ctx.store = &store;
+  ctx.group_name = "worker";
+  ctx.make_group = [&](uint64_t generation, int new_rank,
+                       int new_world) -> std::shared_ptr<comm::ProcessGroup> {
+    comm::ProcessGroupTcp::Options regroup_options = config.tcp;
+    regroup_options.generation = generation;
+    Result<std::shared_ptr<comm::ProcessGroupTcp>> regrouped =
+        comm::ProcessGroupTcp::Create(&store, "worker", new_rank, new_world,
+                                      regroup_options, &clock);
+    if (!regrouped.ok()) {
+      std::fprintf(stderr, "ddp_worker: rank %d regroup at g%llu failed: %s\n",
+                   launch_env.rank, static_cast<unsigned long long>(generation),
+                   regrouped.status().message().c_str());
+      return nullptr;
+    }
+    return regrouped.value();
+  };
+
+  testing::ScenarioOptions scenario;
+  scenario.total_steps = args.steps;
+  scenario.kill_rank = args.kill_rank;
+  scenario.kill_step = args.kill_step;
+  scenario.crash_before_sync = true;  // SIGKILL: peers learn through the wire
+  scenario.collective_timeout_seconds =
+      config.tcp.collective_timeout_seconds;
+  // Survivors reach the rendezvous spread out by up to one collective
+  // timeout (neighbours of the corpse see EOF instantly, the rest time
+  // out); the window must absorb that spread.
+  scenario.rendezvous_timeout_seconds = 20.0;
+  const testing::ScenarioResult result =
+      testing::RunScenario(ctx, scenario, [] {
+        // A real unclean death: no destructors, no socket shutdown — peers
+        // must detect it through the wire (EOF/timeout), not cooperation.
+        raise(SIGKILL);
+      });
+
+  if (!result.ok) {
+    std::fprintf(stderr, "ddp_worker: rank %d scenario failed: %s\n",
+                 launch_env.rank, result.error.c_str());
+    return 1;
+  }
+  std::printf("ok digest=%s world=%d generation=%llu recoveries=%d\n",
+              result.digest.c_str(), result.final_world,
+              static_cast<unsigned long long>(result.final_generation),
+              result.recoveries);
+  if (!args.digest_out.empty()) {
+    const std::string path =
+        args.digest_out + "." + std::to_string(launch_env.rank);
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "ddp_worker: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "ok digest=%s world=%d generation=%llu recoveries=%d\n",
+                 result.digest.c_str(), result.final_world,
+                 static_cast<unsigned long long>(result.final_generation),
+                 result.recoveries);
+    std::fclose(out);
+  }
+  return 0;
+}

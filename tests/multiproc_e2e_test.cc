@@ -1,0 +1,200 @@
+// The multi-process leg's host test: shells out to ddp_launch, which
+// spawns one real OS process per rank (ddp_worker) training the shared
+// scenario over ProcessGroupTcp, then compares every rank's parameter
+// digest bit-for-bit against an in-process SimWorld run of the SAME
+// scenario. This is the PR's cross-check gate: the wire backend must be
+// indistinguishable from the simulated one at the bits level.
+//
+// The chaos case kill -9s one rank mid-training: the launcher must report
+// the planned death as non-fatal (--allow-kill), the survivors must
+// Recover() to N-1 with typed errors (no hang, no raw abort), and their
+// final parameters must match the sim harness's elastic run of the same
+// crash bit-for-bit.
+//
+// Binary locations come from the build system (DDPKIT_LAUNCH_BIN /
+// DDPKIT_WORKER_BIN compile definitions), sockets all bind port 0, and
+// per-rank logs land in a temp --log-dir that CI uploads on failure.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/fault_plan.h"
+#include "comm/sim_world.h"
+#include "tests/multiproc_scenario.h"
+
+namespace ddpkit {
+namespace {
+
+constexpr int kSteps = 4;
+
+struct RankLine {
+  std::string digest;
+  int world = 0;
+  uint64_t generation = 0;
+  int recoveries = 0;
+};
+
+struct WireOutcome {
+  int launch_exit = -1;
+  std::string launch_output;
+  std::map<int, RankLine> ranks;  // only ranks that produced a result line
+};
+
+std::string TempRoot(const std::string& tag) {
+  // CI points DDPKIT_MP_TMPDIR inside the workspace so per-rank logs can be
+  // uploaded as artifacts when a run fails.
+  const char* base = std::getenv("DDPKIT_MP_TMPDIR");
+  const std::string root = (base != nullptr ? std::string(base)
+                                            : std::string(::testing::TempDir())) +
+                           "/ddpkit_mp_" + tag + "_" +
+                           std::to_string(::getpid());
+  ::mkdir(root.c_str(), 0755);
+  return root;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Launches `world` ddp_worker processes through ddp_launch and collects
+/// each surviving rank's result line.
+WireOutcome RunWire(const std::string& tag, int world, int kill_rank,
+                    int kill_step) {
+  const std::string root = TempRoot(tag);
+  const std::string digest_prefix = root + "/digest";
+  std::stringstream cmd;
+  cmd << DDPKIT_LAUNCH_BIN << " --nproc=" << world << " --timeout-sec=120"
+      << " --log-dir=" << root;
+  if (kill_rank >= 0) cmd << " --allow-kill=" << kill_rank;
+  cmd << " -- " << DDPKIT_WORKER_BIN << " --steps=" << kSteps
+      << " --digest-out=" << digest_prefix;
+  if (kill_rank >= 0) {
+    cmd << " --kill-rank=" << kill_rank << " --kill-step=" << kill_step;
+  }
+  cmd << " > " << root << "/launch.out 2>&1";
+
+  WireOutcome outcome;
+  const int status = std::system(cmd.str().c_str());
+  outcome.launch_exit =
+      WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  outcome.launch_output = ReadFileOrEmpty(root + "/launch.out");
+
+  for (int rank = 0; rank < world; ++rank) {
+    const std::string line =
+        ReadFileOrEmpty(digest_prefix + "." + std::to_string(rank));
+    if (line.empty()) continue;
+    RankLine parsed;
+    char digest[64] = {0};
+    unsigned long long generation = 0;
+    if (std::sscanf(line.c_str(),
+                    "ok digest=%63[0-9a-f] world=%d generation=%llu "
+                    "recoveries=%d",
+                    digest, &parsed.world, &generation,
+                    &parsed.recoveries) == 4) {
+      parsed.digest = digest;
+      parsed.generation = generation;
+      outcome.ranks[rank] = parsed;
+    }
+  }
+  return outcome;
+}
+
+/// The in-process reference: the same scenario under SimWorld (thread
+/// ranks, simulated process group). With a kill, a FaultPlan fails the
+/// collective at the kill step and the doomed rank leaves its body.
+std::vector<testing::ScenarioResult> RunSim(int world, int kill_rank,
+                                            int kill_step) {
+  comm::SimWorldOptions options;
+  options.algorithm = comm::Algorithm::kRing;  // ddp_worker's wire default
+  options.collective_timeout_seconds = 5.0;
+  testing::ScenarioOptions scenario;
+  scenario.total_steps = kSteps;
+  scenario.kill_rank = kill_rank;
+  scenario.kill_step = kill_step;
+  scenario.crash_before_sync = false;  // the FaultPlan is the murder weapon
+  scenario.collective_timeout_seconds = 5.0;
+  if (kill_rank >= 0) {
+    auto plan = std::make_shared<comm::FaultPlan>();
+    // Mlp{4,6,2}: 4 construction broadcasts occupy seqs 0..3, so training
+    // step i is the all-reduce at seq 4+i (one bucket).
+    plan->CrashRank(kill_rank, static_cast<uint64_t>(4 + kill_step));
+    options.fault_plan = plan;
+  }
+  std::vector<testing::ScenarioResult> results(static_cast<size_t>(world));
+  comm::SimWorld::Run(world, options, [&](comm::SimWorld::RankContext& ctx) {
+    results[static_cast<size_t>(ctx.rank)] =
+        testing::RunScenario(ctx, scenario, [] {});
+  });
+  return results;
+}
+
+// Fault-free cross-check, the ISSUE's acceptance gate: 2, 4 and 8 real
+// processes over TCP produce parameters bit-identical to the simulated
+// backend on the same seed.
+TEST(MultiprocE2eTest, WireMatchesSimBitExact) {
+  for (int world : {2, 4, 8}) {
+    SCOPED_TRACE("world " + std::to_string(world));
+    const auto sim = RunSim(world, -1, -1);
+    ASSERT_TRUE(sim[0].ok) << sim[0].error;
+
+    const WireOutcome wire =
+        RunWire("xcheck" + std::to_string(world), world, -1, -1);
+    ASSERT_EQ(0, wire.launch_exit) << wire.launch_output;
+    ASSERT_EQ(static_cast<size_t>(world), wire.ranks.size())
+        << wire.launch_output;
+    for (const auto& [rank, line] : wire.ranks) {
+      EXPECT_EQ(sim[static_cast<size_t>(rank)].digest, line.digest)
+          << "rank " << rank << " diverged from the sim reference";
+      EXPECT_EQ(world, line.world);
+      EXPECT_EQ(0u, line.generation);
+      EXPECT_EQ(0, line.recoveries);
+    }
+  }
+}
+
+// Chaos: kill -9 one of four ranks mid-training. The launcher treats the
+// planned death as non-fatal, survivors time out typed, Recover() to a
+// 3-rank generation-1 group, and finish bit-identical to the sim harness's
+// elastic run of the same crash.
+TEST(MultiprocE2eTest, KillMinusNineRankRecoversToNMinusOne) {
+  constexpr int kWorld = 4;
+  constexpr int kKillRank = 2;
+  constexpr int kKillStep = 1;
+
+  const auto sim = RunSim(kWorld, kKillRank, kKillStep);
+  const WireOutcome wire = RunWire("chaos", kWorld, kKillRank, kKillStep);
+  ASSERT_EQ(0, wire.launch_exit) << wire.launch_output;
+  // The corpse writes nothing; every survivor reports.
+  ASSERT_EQ(static_cast<size_t>(kWorld - 1), wire.ranks.size())
+      << wire.launch_output;
+  EXPECT_EQ(0u, wire.ranks.count(kKillRank));
+
+  for (const auto& [rank, line] : wire.ranks) {
+    SCOPED_TRACE("old rank " + std::to_string(rank));
+    const testing::ScenarioResult& reference =
+        sim[static_cast<size_t>(rank)];
+    ASSERT_TRUE(reference.ok) << reference.error;
+    EXPECT_EQ(reference.digest, line.digest)
+        << "survivor diverged from the sim elastic run";
+    EXPECT_EQ(kWorld - 1, line.world);
+    EXPECT_EQ(1u, line.generation);
+    EXPECT_EQ(1, line.recoveries);
+  }
+}
+
+}  // namespace
+}  // namespace ddpkit

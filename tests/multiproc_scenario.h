@@ -1,0 +1,166 @@
+// Deterministic training scenario shared by the multi-process wire tests:
+// the same code runs (a) inside SimWorld rank threads to produce the
+// reference digest and (b) inside real ddp_worker processes over
+// ProcessGroupTcp. Bit-identical digests across the two harnesses are the
+// PR's cross-check gate — the wire schedules must reproduce the simulated
+// zoo's combine orders exactly.
+//
+// The scenario is core_recovery_test's shrink-and-resync workload: an
+// Mlp{4,6,2} under DDP + momentum SGD, a data stream keyed by (step,
+// data_rank), and an optional planned crash; survivors Recover() to the
+// shrunken world and finish. The digest is an FNV-1a hash over every
+// parameter's exact float bits, so one flipped mantissa bit anywhere fails
+// the gate.
+
+#ifndef DDPKIT_TESTS_MULTIPROC_SCENARIO_H_
+#define DDPKIT_TESTS_MULTIPROC_SCENARIO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "comm/sim_world.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/distributed_data_parallel.h"
+#include "nn/losses.h"
+#include "nn/zoo.h"
+#include "optim/sgd.h"
+
+namespace ddpkit::testing {
+
+struct ScenarioOptions {
+  int total_steps = 4;
+  /// Rank that dies (by whatever means `on_crash` chooses), -1 = none.
+  int kill_rank = -1;
+  /// Training step at which `kill_rank` dies.
+  int kill_step = -1;
+  /// true: the kill rank crashes at the TOP of `kill_step`, before issuing
+  /// that step's collective (the wire worker's SIGKILL — peers find out
+  /// through the wire). false: the kill rank runs the step and leaves when
+  /// its sync fails (the sim harness, where a FaultPlan fails the
+  /// collective for everyone). Survivor trajectories are identical either
+  /// way: the crashed rank contributes nothing to `kill_step`.
+  bool crash_before_sync = true;
+  /// Survivors below this count give up instead of re-forming.
+  int min_world = 2;
+  double collective_timeout_seconds = 10.0;
+  double rendezvous_timeout_seconds = 10.0;
+};
+
+struct ScenarioResult {
+  bool ok = false;
+  std::string error;
+  /// FNV-1a over all parameter bytes after the final step.
+  std::string digest;
+  /// World size the run finished at (shrinks after a recovery).
+  int final_world = 0;
+  /// Process-group generation the run finished at.
+  uint64_t final_generation = 0;
+  int recoveries = 0;
+};
+
+inline Tensor ScenarioInput(int step, int data_rank) {
+  Rng rng(static_cast<uint64_t>(step * 100 + data_rank));
+  return Tensor::Randn({2, 4}, &rng);
+}
+
+inline Tensor ScenarioTarget(int step, int data_rank) {
+  Rng rng(static_cast<uint64_t>(step * 100 + data_rank + 50));
+  return Tensor::Randn({2, 2}, &rng);
+}
+
+/// FNV-1a64 over each parameter's raw storage bytes, in parameter order.
+inline std::string DigestParams(const nn::Module& model) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](const uint8_t* bytes, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      hash ^= bytes[i];
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const Tensor& p : model.parameters()) {
+    const Tensor contiguous = p.is_contiguous() ? p : p.Contiguous();
+    mix(contiguous.data<uint8_t>(), contiguous.nbytes());
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+/// Runs the scenario on one rank. `on_crash` fires on `kill_rank` at
+/// `kill_step` (timing per `crash_before_sync`): the wire worker raises
+/// SIGKILL there (a real unclean death), the in-process harness makes it a
+/// no-op and the thread "process" dies by leaving the rank body.
+template <typename CrashFn>
+ScenarioResult RunScenario(comm::SimWorld::RankContext& ctx,
+                           const ScenarioOptions& options, CrashFn on_crash) {
+  ScenarioResult result;
+  Rng rng(7);
+  auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{4, 6, 2}, &rng);
+  auto opt = std::make_unique<optim::Sgd>(
+      model->parameters(), optim::Sgd::Options{.lr = 0.05, .momentum = 0.9});
+
+  core::DdpOptions ddp_options;
+  ddp_options.collective_timeout_seconds = options.collective_timeout_seconds;
+  core::DistributedDataParallel ddp(model, ctx.process_group, ddp_options);
+  nn::MSELoss mse;
+
+  int data_rank = ctx.rank;
+  int world = ctx.world;
+  int step = 0;
+  while (step < options.total_steps) {
+    const bool is_kill_point =
+        ctx.rank == options.kill_rank && step == options.kill_step;
+    if (is_kill_point && options.crash_before_sync) {
+      on_crash();
+      result.error = "crashed before step " + std::to_string(step);
+      return result;
+    }
+    opt->ZeroGrad();
+    autograd::Backward(mse(ddp.Forward(ScenarioInput(step, data_rank)),
+                           ScenarioTarget(step, data_rank)));
+    if (!ddp.sync_status().ok()) {
+      if (is_kill_point) {
+        // The sim-harness death: the fault plan failed this collective for
+        // everyone; the doomed rank leaves instead of recovering.
+        on_crash();
+        result.error = "crashed at step " + std::to_string(step) + " sync";
+        return result;
+      }
+      // Incomplete gradients: drop them, re-form over the survivors, retry
+      // the same step under the new membership.
+      core::RecoveryOptions recovery;
+      recovery.rendezvous_namespace = ctx.group_name;
+      recovery.rendezvous_timeout_seconds = options.rendezvous_timeout_seconds;
+      recovery.min_world = options.min_world;
+      recovery.group_factory = ctx.make_group;
+      recovery.extra_state = opt->named_state();
+      core::RecoveryReport report;
+      const Status status = ddp.Recover(recovery, &report);
+      if (!status.ok()) {
+        result.error = "recover failed: " + status.ToString();
+        return result;
+      }
+      data_rank = report.new_rank;
+      world = report.new_world;
+      result.final_generation = report.generation;
+      ++result.recoveries;
+      continue;
+    }
+    opt->Step();
+    ++step;
+  }
+  result.ok = true;
+  result.digest = DigestParams(*model);
+  result.final_world = world;
+  return result;
+}
+
+}  // namespace ddpkit::testing
+
+#endif  // DDPKIT_TESTS_MULTIPROC_SCENARIO_H_

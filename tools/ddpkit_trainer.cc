@@ -6,7 +6,7 @@
 //
 // Usage:
 //   ddpkit_trainer [--model=mlp|convnet|resnet|transformer] [--world=N]
-//                  [--backend=nccl|gloo|mpi] [--bucket-mb=N] [--steps=N]
+//                  [--backend=nccl|gloo|mpi|tcp] [--bucket-mb=N] [--steps=N]
 //                  [--batch=N] [--lr=F] [--momentum=F] [--optimizer=sgd|adam]
 //                  [--sync-every=N] [--find-unused] [--compress=none|fp16|1bit]
 //                  [--round-robin=N] [--clip-norm=F] [--warmup=N]
@@ -15,6 +15,12 @@
 // --trace writes a Chrome trace-event JSON (open in chrome://tracing or
 // Perfetto) showing forward/backward compute spans and the AllReduce spans
 // overlapping them.
+//
+// --backend=tcp switches from the in-process simulated world to the real
+// wire: the process trains ONE rank over ProcessGroupTcp, reading its
+// coordinates from the tools/ddp_launch environment contract (DDPKIT_RANK,
+// DDPKIT_WORLD, DDPKIT_STORE_HOST, DDPKIT_STORE_PORT). Quickstart:
+//   ddp_launch --nproc=4 -- ddpkit_trainer --backend=tcp --steps=20
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +30,9 @@
 #include <vector>
 
 #include "autograd/engine.h"
+#include "comm/backend_factory.h"
 #include "comm/sim_world.h"
+#include "comm/store_tcp.h"
 #include "common/stats.h"
 #include "core/distributed_data_parallel.h"
 #include "data/distributed_sampler.h"
@@ -132,7 +140,22 @@ std::shared_ptr<nn::Module> MakeModel(const std::string& name, Rng* rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = ParseArgs(argc, argv);
+  Args args = ParseArgs(argc, argv);
+  const bool wire = args.backend == "tcp";
+  comm::LaunchEnv launch_env;
+  if (wire) {
+    // One rank per process: coordinates come from the launcher, not
+    // --world (which only shapes the in-process simulated run).
+    Result<comm::LaunchEnv> env = comm::ReadLaunchEnv();
+    if (!env.ok()) {
+      std::fprintf(stderr, "ddpkit_trainer: --backend=tcp needs the "
+                   "ddp_launch environment: %s\n",
+                   env.status().message().c_str());
+      return 2;
+    }
+    launch_env = env.value();
+    args.world = launch_env.world;
+  }
   std::printf("ddpkit_trainer: model=%s world=%d backend=%s bucket=%dMB "
               "steps=%d batch=%d lr=%g sync_every=%d rr=%d compress=%s\n",
               args.model.c_str(), args.world, args.backend.c_str(),
@@ -151,13 +174,11 @@ int main(int argc, char** argv) {
     trace_recorder = std::make_shared<core::TraceRecorder>();
   }
 
-  comm::SimWorldOptions world_options;
-  world_options.backend = BackendFromName(args.backend);
-  world_options.round_robin_groups = args.round_robin;
-  world_options.seed = args.seed;
-
-  comm::SimWorld::Run(args.world, world_options,
-                      [&](comm::SimWorld::RankContext& ctx) {
+  // The training body is written against SimWorld's RankContext but is
+  // backend-agnostic: the simulated harness calls it once per rank thread,
+  // the wire path (--backend=tcp) builds one context for this process's
+  // single rank and calls it directly.
+  auto rank_body = [&](comm::SimWorld::RankContext& ctx) {
     Rng rng(args.seed + 100);
     auto model = MakeModel(args.model, &rng);
 
@@ -248,7 +269,57 @@ int main(int argc, char** argv) {
       std::printf("optimizer state -> %s.opt: %s\n",
                   args.checkpoint.c_str(), opt_status.ToString().c_str());
     }
-  });
+  };
+
+  bool report = true;
+  if (wire) {
+    sim::VirtualClock clock;
+    comm::StoreClientTcp store(launch_env.store_host, launch_env.store_port);
+    comm::BackendConfig config;
+    config.backend = "tcp";
+    Result<std::shared_ptr<comm::ProcessGroup>> group =
+        comm::CreateProcessGroupBackend(config, &store, "trainer",
+                                        launch_env.rank, launch_env.world,
+                                        &clock);
+    if (!group.ok()) {
+      std::fprintf(stderr, "ddpkit_trainer: tcp rendezvous failed: %s\n",
+                   group.status().message().c_str());
+      return 1;
+    }
+    comm::SimWorld::RankContext ctx;
+    ctx.rank = launch_env.rank;
+    ctx.world = launch_env.world;
+    ctx.process_group = group.value();
+    ctx.clock = &clock;
+    ctx.store = &store;
+    ctx.group_name = "trainer";
+    ctx.make_group = [&](uint64_t generation, int new_rank,
+                         int new_world) -> std::shared_ptr<comm::ProcessGroup> {
+      comm::ProcessGroupTcp::Options regroup_options = config.tcp;
+      regroup_options.generation = generation;
+      Result<std::shared_ptr<comm::ProcessGroupTcp>> regrouped =
+          comm::ProcessGroupTcp::Create(&store, "trainer", new_rank,
+                                        new_world, regroup_options, &clock);
+      if (!regrouped.ok()) {
+        std::fprintf(stderr, "ddpkit_trainer: regroup at g%llu failed: %s\n",
+                     static_cast<unsigned long long>(generation),
+                     regrouped.status().message().c_str());
+        return nullptr;
+      }
+      return regrouped.value();
+    };
+    rank_body(ctx);
+    // Only rank 0 collected per-step stats; peers are done.
+    report = launch_env.rank == 0;
+  } else {
+    comm::SimWorldOptions world_options;
+    world_options.backend = BackendFromName(args.backend);
+    world_options.round_robin_groups = args.round_robin;
+    world_options.seed = args.seed;
+    comm::SimWorld::Run(args.world, world_options, rank_body);
+  }
+
+  if (!report) return 0;
 
   std::printf("\n%-8s %-10s %-14s\n", "step", "loss", "virt_latency_s");
   for (int step = 0; step < args.steps;

@@ -28,8 +28,17 @@
 //                          layer (common/vec.h) or waive with a reason
 //                          (transcendentals, integer fallbacks, dot
 //                          products).
+//   raw-wire-io            calls to the POSIX byte-I/O family (send/recv/
+//                          read/write and their v/to/from/msg/p variants)
+//                          outside comm/net_socket* and comm/*_tcp* are
+//                          banned: all wire I/O must go through the
+//                          deadline-aware helpers (SendAll/RecvAll/
+//                          SendFrame/...), which honor timeouts and the
+//                          abort pipe. Member calls (`file.read(...)`) and
+//                          scoped functions (`Foo::read(...)`) don't match.
 //
-// Waivers (with a reason, reviewed like any code):
+// Waivers (a reason is MANDATORY — a waiver without one is ignored and the
+// violation still fires; reviewed like any code):
 //   // ddplint: allow(<rule>) <reason>        — this line, or the first
 //                                               code line after a comment-
 //                                               only waiver block
@@ -144,7 +153,8 @@ struct Waivers {
 
 /// A comment-only waiver covers the first code line after its comment
 /// block (the NOLINTNEXTLINE idiom, tolerant of multi-line reasons); a
-/// trailing waiver covers its own line.
+/// trailing waiver covers its own line. A waiver with no reason after the
+/// closing paren is ignored entirely — the reason is part of the contract.
 Waivers ExtractWaivers(const std::vector<std::string>& raw,
                        const std::vector<std::string>& code) {
   Waivers waivers;
@@ -158,6 +168,12 @@ Waivers ExtractWaivers(const std::vector<std::string>& raw,
       const size_t open = at + marker.size();
       const size_t close = raw[i].find(')', open);
       if (close == std::string::npos) continue;
+      const std::string tail = raw[i].substr(close + 1);
+      const bool has_reason =
+          std::any_of(tail.begin(), tail.end(), [](unsigned char c) {
+            return std::isalnum(c) != 0;
+          });
+      if (!has_reason) continue;  // reason-mandatory: bare waivers don't count
       const std::string rule = raw[i].substr(open, close - open);
       if (file_scope) {
         waivers.file_rules.insert(rule);
@@ -380,6 +396,68 @@ bool LineHasRawElementwiseLoop(const std::string& code) {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// raw-wire-io: structural pass — POSIX byte-I/O *calls* outside the socket
+// layer.
+// ---------------------------------------------------------------------------
+
+/// The POSIX byte-I/O family. Matched as free-function calls only: an
+/// identifier boundary on the left (so `fread`/`pthread_` never match), not
+/// a member access (`file.read`, `stream->write`) nor a scoped function
+/// (`Foo::read`) — but a global-namespace qualification (bare `::read(`)
+/// does match, it is exactly the POSIX call being smuggled.
+const char* const kWireIoCalls[] = {
+    "send", "sendto",   "sendmsg", "recv",  "recvfrom", "recvmsg",
+    "read", "pread",    "readv",   "write", "pwrite",   "writev",
+};
+
+bool LineHasRawWireIoCall(const std::string& code, std::string* which) {
+  for (const char* name : kWireIoCalls) {
+    const size_t n = std::char_traits<char>::length(name);
+    size_t pos = 0;
+    while ((pos = code.find(name, pos)) != std::string::npos) {
+      const size_t end = pos + n;
+      const bool ident_bounded =
+          (pos == 0 || !IsIdentChar(code[pos - 1])) &&
+          (end >= code.size() || !IsIdentChar(code[end]));
+      if (!ident_bounded) {
+        ++pos;
+        continue;
+      }
+      // Member access is a different function entirely.
+      if (pos > 0 && (code[pos - 1] == '.' || code[pos - 1] == '>')) {
+        ++pos;
+        continue;
+      }
+      // `Foo::read(` is a scoped function; bare `::read(` is POSIX.
+      if (pos >= 2 && code[pos - 1] == ':' && code[pos - 2] == ':') {
+        const size_t q = pos - 2;
+        if (q > 0 && (IsIdentChar(code[q - 1]) || code[q - 1] == '>')) {
+          ++pos;
+          continue;
+        }
+      }
+      // Only calls: the next non-space character must open the arg list.
+      size_t j = end;
+      while (j < code.size() && (code[j] == ' ' || code[j] == '\t')) ++j;
+      if (j >= code.size() || code[j] != '(') {
+        ++pos;
+        continue;
+      }
+      *which = name;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The socket layer itself — the only place raw wire I/O belongs.
+bool IsWireIoLayer(const std::string& path) {
+  return MentionsFile(path, "comm/net_socket") ||
+         MentionsFile(path, "comm/store_tcp") ||
+         MentionsFile(path, "comm/process_group_tcp");
+}
+
 const std::vector<Rule>& Rules() {
   static const std::vector<Rule>* rules = new std::vector<Rule>{
       {"unannotated-mutex",
@@ -449,6 +527,15 @@ const std::vector<Rule>& Rules() {
        "AccumulateAdd, Copy, ...); waive loops the vec layer cannot express "
        "— transcendentals, integer fallbacks, dot products — with "
        "// ddplint: allow(raw-elementwise-loop) <reason>"},
+      {"raw-wire-io",
+       {},  // structural rule: matched by LintRawWireIo, not tokens
+       [](const std::string& path) { return !IsWireIoLayer(path); },
+       "a raw send/recv/read/write bypasses the deadline-aware socket "
+       "helpers, so it can block forever and never sees the abort pipe",
+       "go through comm/net_socket.h (SendAll/RecvAll/SendFrame/RecvFrame/"
+       "...) or the Store/ProcessGroup layers above it; waive non-wire fds "
+       "(pipes, files) with // ddplint: allow(raw-wire-io) <reason> — the "
+       "reason is mandatory"},
   };
   return *rules;
 }
@@ -502,6 +589,19 @@ void LintRawElementwiseLoop(const std::string& path,
   }
 }
 
+void LintRawWireIo(const std::string& path,
+                   const std::vector<std::string>& code,
+                   const Waivers& waivers, std::vector<Violation>* out) {
+  const std::string rule = "raw-wire-io";
+  if (waivers.file_rules.count(rule) > 0) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string which;
+    if (!LineHasRawWireIoCall(code[i], &which)) continue;
+    if (waivers.Covers(rule, i)) continue;
+    out->push_back(Violation{path, i + 1, rule, which});
+  }
+}
+
 void LintContent(const std::string& path, const std::string& content,
                  std::vector<Violation>* out) {
   const std::string norm = NormalizePath(path);
@@ -517,6 +617,10 @@ void LintContent(const std::string& path, const std::string& content,
     }
     if (rule.name == "raw-elementwise-loop") {
       LintRawElementwiseLoop(path, code, waivers, out);
+      continue;
+    }
+    if (rule.name == "raw-wire-io") {
+      LintRawWireIo(path, code, waivers, out);
       continue;
     }
     for (size_t i = 0; i < code.size(); ++i) {
@@ -700,6 +804,32 @@ int SelfTest(const ddpkit::tools::ToolArgs&) {
        "// ddplint: allow(raw-elementwise-loop) transcendental stays scalar\n"
        "for (int64_t i = 0; i < n; ++i) po[i] = std::exp(pa[i]);\n",
        0, ""},
+      {"raw send() outside the socket layer flagged", "src/core/x.cc",
+       "send(fd, buf.data(), buf.size(), 0);\n", 1, "raw-wire-io"},
+      {"global-qualified ::write is still POSIX", "src/comm/pg.cc",
+       "::write(fd, p, n);\n", 1, "raw-wire-io"},
+      {"recvfrom variant flagged", "tools/launcher.cc",
+       "ssize_t got = recvfrom(fd, p, n, 0, nullptr, nullptr);\n", 1,
+       "raw-wire-io"},
+      {"member read/write calls are different functions", "src/core/x.cc",
+       "file.read(p, n);\nstream->write(p, n);\n", 0, ""},
+      {"scoped Foo::read is not the POSIX call", "src/core/x.cc",
+       "Checkpoint::read(path);\n", 0, ""},
+      {"identifier boundary: fread/pthread are fine", "src/core/x.cc",
+       "fread(p, 1, n, f);\nunready(x);\n", 0, ""},
+      {"read without an arg list is not a call", "src/core/x.cc",
+       "int read;\nbool write = false;\n", 0, ""},
+      {"socket layer itself may do raw I/O", "src/comm/net_socket.cc",
+       "send(fd, p, n, MSG_NOSIGNAL);\n", 0, ""},
+      {"store_tcp and process_group_tcp are the wire layer",
+       "src/comm/process_group_tcp.cc", "recv(fd, p, n, 0);\n", 0, ""},
+      {"raw-wire-io waiver with a reason honored", "tools/launcher.cc",
+       "// ddplint: allow(raw-wire-io) reason: launcher log pipe, not wire\n"
+       "ssize_t got = read(pipe_fd, buf, sizeof(buf));\n",
+       0, ""},
+      {"waiver without a reason is ignored", "tools/launcher.cc",
+       "read(pipe_fd, buf, n);  // ddplint: allow(raw-wire-io)\n", 1,
+       "raw-wire-io"},
   };
 
   int failures = 0;
