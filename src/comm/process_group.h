@@ -36,31 +36,33 @@ class ProcessGroup {
 
   /// In-place all-reduce of a contiguous tensor (float32 or uint8).
   /// Asynchronous: returns a Work the caller must eventually Wait on.
-  virtual WorkHandle AllReduce(Tensor tensor, ReduceOp op = ReduceOp::kSum) = 0;
+  [[nodiscard]] virtual WorkHandle AllReduce(
+      Tensor tensor, ReduceOp op = ReduceOp::kSum) = 0;
 
   /// In-place broadcast from `root`.
-  virtual WorkHandle Broadcast(Tensor tensor, int root) = 0;
+  [[nodiscard]] virtual WorkHandle Broadcast(Tensor tensor, int root) = 0;
 
   /// Gathers each rank's `input` (same numel everywhere) into `output`,
   /// which must have world()*input.numel() elements.
-  virtual WorkHandle AllGather(const Tensor& input, Tensor output) = 0;
+  [[nodiscard]] virtual WorkHandle AllGather(const Tensor& input,
+                                             Tensor output) = 0;
 
   /// Reduces all contributions into `root`'s tensor only; other ranks'
   /// tensors are unchanged.
-  virtual WorkHandle Reduce(Tensor tensor, int root,
-                            ReduceOp op = ReduceOp::kSum) = 0;
+  [[nodiscard]] virtual WorkHandle Reduce(Tensor tensor, int root,
+                                          ReduceOp op = ReduceOp::kSum) = 0;
 
   /// Ring reduce-scatter: `input` has world()*chunk elements on every
   /// rank; `output` (chunk elements) receives this rank's fully-reduced
   /// chunk. The building block of ring all-reduce (§2.3) and of sharded
   /// optimizers.
-  virtual WorkHandle ReduceScatter(const Tensor& input, Tensor output,
-                                   ReduceOp op = ReduceOp::kSum) = 0;
+  [[nodiscard]] virtual WorkHandle ReduceScatter(
+      const Tensor& input, Tensor output, ReduceOp op = ReduceOp::kSum) = 0;
 
   /// Gathers every rank's `input` into `output` on `root` only (`output`
   /// may be undefined on other ranks).
-  virtual WorkHandle Gather(const Tensor& input, Tensor output,
-                            int root) = 0;
+  [[nodiscard]] virtual WorkHandle Gather(const Tensor& input,
+                                          Tensor output, int root) = 0;
 
   /// Synchronous barrier across all ranks.
   virtual void Barrier() = 0;

@@ -76,13 +76,16 @@ class ProcessGroupSim : public ProcessGroup {
 
   ~ProcessGroupSim() override;
 
-  WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
-  WorkHandle Broadcast(Tensor tensor, int root) override;
-  WorkHandle AllGather(const Tensor& input, Tensor output) override;
-  WorkHandle Reduce(Tensor tensor, int root, ReduceOp op) override;
-  WorkHandle ReduceScatter(const Tensor& input, Tensor output,
-                           ReduceOp op) override;
-  WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
+  [[nodiscard]] WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
+  [[nodiscard]] WorkHandle Broadcast(Tensor tensor, int root) override;
+  [[nodiscard]] WorkHandle AllGather(const Tensor& input,
+                                     Tensor output) override;
+  [[nodiscard]] WorkHandle Reduce(Tensor tensor, int root,
+                                  ReduceOp op) override;
+  [[nodiscard]] WorkHandle ReduceScatter(const Tensor& input, Tensor output,
+                                         ReduceOp op) override;
+  [[nodiscard]] WorkHandle Gather(const Tensor& input, Tensor output,
+                                  int root) override;
   void Barrier() override;
 
   sim::VirtualClock* clock() override { return clock_; }

@@ -692,6 +692,12 @@ WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
   if (options_.metrics) {
     options_.metrics->counter(std::string("pg.ops.") + OpKindName(kind))
         .Increment();
+    // Same accounting as ProcessGroupSim: this rank's payload contribution
+    // at issue time, so `pg.bytes_contributed` is backend-portable and the
+    // compression hooks' wire-byte metrics cross-check against it.
+    options_.metrics->counter("pg.bytes_contributed")
+        .Increment(static_cast<uint64_t>(numel) *
+                   ItemSize(static_cast<DType>(dtype_code)));
   }
 
   MutexLock lock(&mu_);

@@ -81,13 +81,16 @@ class ProcessGroupTcp : public ProcessGroup {
 
   ~ProcessGroupTcp() override;
 
-  WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
-  WorkHandle Broadcast(Tensor tensor, int root) override;
-  WorkHandle AllGather(const Tensor& input, Tensor output) override;
-  WorkHandle Reduce(Tensor tensor, int root, ReduceOp op) override;
-  WorkHandle ReduceScatter(const Tensor& input, Tensor output,
-                           ReduceOp op) override;
-  WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
+  [[nodiscard]] WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
+  [[nodiscard]] WorkHandle Broadcast(Tensor tensor, int root) override;
+  [[nodiscard]] WorkHandle AllGather(const Tensor& input,
+                                     Tensor output) override;
+  [[nodiscard]] WorkHandle Reduce(Tensor tensor, int root,
+                                  ReduceOp op) override;
+  [[nodiscard]] WorkHandle ReduceScatter(const Tensor& input, Tensor output,
+                                         ReduceOp op) override;
+  [[nodiscard]] WorkHandle Gather(const Tensor& input, Tensor output,
+                                  int root) override;
   void Barrier() override;
 
   sim::VirtualClock* clock() override { return clock_; }
@@ -125,7 +128,7 @@ class ProcessGroupTcp : public ProcessGroup {
   /// bump, the neighbour header exchange, wall-deadline setup, error
   /// mapping, and Work termination.
   template <typename Body>
-  WorkHandle RunCollective(uint8_t kind, uint8_t dtype_code, int64_t numel,
+  [[nodiscard]] WorkHandle RunCollective(uint8_t kind, uint8_t dtype_code, int64_t numel,
                            int root, ReduceOp op, Body body);
 
   [[nodiscard]] Status ExchangeHeaders(const OpHeader& mine,

@@ -32,13 +32,16 @@ class RoundRobinProcessGroup : public ProcessGroup {
   explicit RoundRobinProcessGroup(
       std::vector<std::shared_ptr<ProcessGroup>> groups);
 
-  WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
-  WorkHandle Broadcast(Tensor tensor, int root) override;
-  WorkHandle AllGather(const Tensor& input, Tensor output) override;
-  WorkHandle Reduce(Tensor tensor, int root, ReduceOp op) override;
-  WorkHandle ReduceScatter(const Tensor& input, Tensor output,
-                           ReduceOp op) override;
-  WorkHandle Gather(const Tensor& input, Tensor output, int root) override;
+  [[nodiscard]] WorkHandle AllReduce(Tensor tensor, ReduceOp op) override;
+  [[nodiscard]] WorkHandle Broadcast(Tensor tensor, int root) override;
+  [[nodiscard]] WorkHandle AllGather(const Tensor& input,
+                                     Tensor output) override;
+  [[nodiscard]] WorkHandle Reduce(Tensor tensor, int root,
+                                  ReduceOp op) override;
+  [[nodiscard]] WorkHandle ReduceScatter(const Tensor& input, Tensor output,
+                                         ReduceOp op) override;
+  [[nodiscard]] WorkHandle Gather(const Tensor& input, Tensor output,
+                                  int root) override;
   void Barrier() override;
 
   sim::VirtualClock* clock() override { return children_[0].group->clock(); }
@@ -89,7 +92,7 @@ class RoundRobinProcessGroup : public ProcessGroup {
 
   /// Next healthy child in rotation; records `work` bookkeeping via Track.
   ProcessGroup* Next();
-  WorkHandle Track(WorkHandle work);
+  [[nodiscard]] WorkHandle Track(WorkHandle work);
 
   std::vector<Child> children_;
   size_t next_ = 0;

@@ -1,38 +1,111 @@
 #include "core/compression.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace ddpkit::core {
 
-// ---- Fp16CompressionHook ------------------------------------------------------
+double CommHook::compression_ratio() const {
+  const uint64_t raw = total_raw_.load(std::memory_order_relaxed);
+  const uint64_t compressed = total_compressed_.load(std::memory_order_relaxed);
+  if (raw == 0) return nominal_ratio();
+  return static_cast<double>(compressed) / static_cast<double>(raw);
+}
 
-CommHook::Launched Fp16CompressionHook::Launch(comm::ProcessGroup& pg,
-                                               Tensor bucket,
-                                               size_t /*bucket_id*/) {
+void CommHook::RecordBytes(uint64_t raw, uint64_t compressed) {
+  total_raw_.fetch_add(raw, std::memory_order_relaxed);
+  total_compressed_.fetch_add(compressed, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Shared fp16/bf16 transport: pre-scale by the loss scale (a power of two,
+/// so the mantissa is untouched), encode to 16 bits, all-gather every
+/// rank's payload, then decode and accumulate in fp32 in rank order. The
+/// accumulation never rounds in half precision and never overflows below
+/// float range; a non-finite decoded sum (encode-side overflow or a
+/// non-finite input gradient, on any rank) surfaces as kOutOfRange.
+CommHook::Launched LaunchHalfTransport(comm::ProcessGroup& pg, Tensor bucket,
+                                       double loss_scale,
+                                       uint16_t (*encode)(float),
+                                       float (*decode)(uint16_t),
+                                       const char* hook_name) {
   DDPKIT_CHECK(bucket.dtype() == DType::kFloat32);
   const int64_t n = bucket.numel();
+  const int world = pg.world();
+  const float scale = static_cast<float>(loss_scale);
+  const float inv_scale = 1.0f / scale;
 
   Tensor payload = Tensor::Empty({n}, DType::kFloat16, bucket.device_id());
   {
     const float* src = bucket.data<float>();
     uint16_t* dst = payload.data<uint16_t>();
-    for (int64_t i = 0; i < n; ++i) dst[i] = Float32ToHalfBits(src[i]);
+    for (int64_t i = 0; i < n; ++i) dst[i] = encode(src[i] * scale);
   }
+  Tensor gathered =
+      Tensor::Zeros({n * static_cast<int64_t>(world)}, DType::kFloat16);
 
-  Launched launched;
-  launched.work = pg.AllReduce(payload, comm::ReduceOp::kSum);
-  launched.finalize = [bucket, payload]() mutable {
-    const uint16_t* src = payload.data<uint16_t>();
+  CommHook::Launched launched;
+  launched.bytes_raw = static_cast<uint64_t>(n) * sizeof(float);
+  launched.bytes_compressed = static_cast<uint64_t>(n) * sizeof(uint16_t);
+  launched.works.push_back(pg.AllGather(payload, gathered));
+  std::string overflow_message =
+      std::string(hook_name) +
+      " transport overflow: non-finite decompressed sum (gradient "
+      "magnitude exceeded the format range at loss scale " +
+      std::to_string(loss_scale) + ")";
+  launched.finalize = [bucket, gathered, decode, inv_scale, n, world,
+                       overflow_message = std::move(overflow_message)]() mutable
+      -> Status {
+    const uint16_t* src = gathered.data<uint16_t>();
     float* dst = bucket.data<float>();
-    const int64_t n = bucket.numel();
-    for (int64_t i = 0; i < n; ++i) dst[i] = HalfBitsToFloat32(src[i]);
+    bool finite = true;
+    for (int64_t i = 0; i < n; ++i) {
+      float acc = 0.0f;
+      for (int r = 0; r < world; ++r) {
+        acc += decode(src[static_cast<int64_t>(r) * n + i]);
+      }
+      const float value = acc * inv_scale;
+      finite = finite && std::isfinite(value);
+      dst[i] = value;
+    }
+    if (!finite) return Status::OutOfRange(overflow_message);
+    return Status::OK();
   };
   return launched;
 }
 
-// ---- OneBitCompressionHook ------------------------------------------------------
+}  // namespace
+
+// ---- Fp16CompressionHook ----------------------------------------------------
+
+CommHook::Launched Fp16CompressionHook::Launch(comm::ProcessGroup& pg,
+                                               Tensor bucket,
+                                               size_t /*bucket_id*/) {
+  Launched launched = LaunchHalfTransport(pg, std::move(bucket), loss_scale_,
+                                          &Float32ToHalfBits,
+                                          &HalfBitsToFloat32, "fp16");
+  RecordBytes(launched.bytes_raw, launched.bytes_compressed);
+  return launched;
+}
+
+// ---- Bf16CompressionHook ----------------------------------------------------
+
+CommHook::Launched Bf16CompressionHook::Launch(comm::ProcessGroup& pg,
+                                               Tensor bucket,
+                                               size_t /*bucket_id*/) {
+  Launched launched = LaunchHalfTransport(pg, std::move(bucket), loss_scale_,
+                                          &Float32ToBf16Bits,
+                                          &Bf16BitsToFloat32, "bf16");
+  RecordBytes(launched.bytes_raw, launched.bytes_compressed);
+  return launched;
+}
+
+// ---- OneBitCompressionHook --------------------------------------------------
 
 CommHook::Launched OneBitCompressionHook::Launch(comm::ProcessGroup& pg,
                                                  Tensor bucket,
@@ -86,14 +159,19 @@ CommHook::Launched OneBitCompressionHook::Launch(comm::ProcessGroup& pg,
   Tensor all_signs =
       Tensor::Zeros({packed_len * world}, DType::kUInt8);
 
-  // Two collectives on the same queue: scales then sign bitmaps. Data of
-  // the first is complete before the second can complete (program order per
-  // rank), so waiting on the second suffices.
-  pg.AllGather(scale_tensor, all_scales);
+  // Two collectives; BOTH handles are returned to the reducer. Completion
+  // order is a backend property (the TCP wire gives no cross-collective
+  // ordering guarantee), and a timeout or rank failure on either one must
+  // surface as a typed error rather than finalize reading zero scales.
   Launched launched;
-  launched.work = pg.AllGather(signs, all_signs);
+  launched.bytes_raw = static_cast<uint64_t>(n) * sizeof(float);
+  launched.bytes_compressed =
+      static_cast<uint64_t>(packed_len) + sizeof(float);
+  RecordBytes(launched.bytes_raw, launched.bytes_compressed);
+  launched.works.push_back(pg.AllGather(scale_tensor, all_scales));
+  launched.works.push_back(pg.AllGather(signs, all_signs));
   launched.finalize = [bucket, all_scales, all_signs, packed_len, n,
-                       world]() mutable {
+                       world]() mutable -> Status {
     float* dst = bucket.data<float>();
     const float* scales = all_scales.data<float>();
     const uint8_t* bits = all_signs.data<uint8_t>();
@@ -106,8 +184,308 @@ CommHook::Launched OneBitCompressionHook::Launch(comm::ProcessGroup& pg,
         dst[i] += positive ? s : -s;
       }
     }
+    return Status::OK();
   };
   return launched;
+}
+
+// ---- PowerSGDCompressionHook ------------------------------------------------
+
+CommHook::Launched PowerSGDCompressionHook::Launch(comm::ProcessGroup& pg,
+                                                   Tensor bucket,
+                                                   size_t bucket_id) {
+  DDPKIT_CHECK(bucket.dtype() == DType::kFloat32);
+  const int64_t n = bucket.numel();
+  const int world = pg.world();
+
+  BucketState& st = state_[bucket_id];
+  if (!st.residual.defined()) st.residual = Tensor::Zeros({n});
+  DDPKIT_CHECK_EQ(st.residual.numel(), n);
+
+  // Square-ish factorization: rows = ceil(sqrt(n)), padded with zeros. The
+  // linear index i*cols + j < n maps straight back to the bucket.
+  int64_t rows = static_cast<int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<int64_t>(n, 1)))));
+  rows = std::max<int64_t>(rows, 1);
+  const int64_t cols = (n + rows - 1) / rows;
+  const int64_t r = std::min<int64_t>(
+      std::max(1, options_.rank), std::min(rows, cols));
+
+  // M = gradient + residual (error feedback), row-major rows×cols.
+  std::vector<float> m(static_cast<size_t>(rows * cols), 0.0f);
+  {
+    const float* g = bucket.data<float>();
+    const float* e = st.residual.data<float>();
+    for (int64_t i = 0; i < n; ++i) {
+      m[static_cast<size_t>(i)] = g[i] + e[i];
+    }
+  }
+
+  // Warm-started right factor Q (cols×r, row-major). The first iteration
+  // seeds it from an Rng keyed only by the bucket id, so every rank starts
+  // from the identical basis without a broadcast.
+  if (!st.q.defined() || st.q.numel() != cols * r) {
+    st.q = Tensor::Zeros({cols * r});
+    Rng rng(0x9e3779b97f4a7c15ull ^
+            (static_cast<uint64_t>(bucket_id) * 0x100000001b3ull));
+    float* q = st.q.data<float>();
+    for (int64_t i = 0; i < cols * r; ++i) {
+      q[i] = static_cast<float>(rng.Normal());
+    }
+  }
+
+  // Power-iteration left step: P_local = M · Q_prev (rows×r).
+  Tensor p_local = Tensor::Zeros({rows * r});
+  {
+    const float* q = st.q.data<float>();
+    float* p = p_local.data<float>();
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        const float mij = m[static_cast<size_t>(i * cols + j)];
+        if (mij == 0.0f) continue;
+        for (int64_t t = 0; t < r; ++t) {
+          p[i * r + t] += mij * q[j * r + t];
+        }
+      }
+    }
+  }
+
+  Launched launched;
+  launched.bytes_raw = static_cast<uint64_t>(n) * sizeof(float);
+  launched.bytes_compressed =
+      static_cast<uint64_t>((rows + cols) * r) * sizeof(float);
+  RecordBytes(launched.bytes_raw, launched.bytes_compressed);
+
+  Tensor all_p = Tensor::Zeros({static_cast<int64_t>(world) * rows * r});
+  comm::WorkHandle p_work = pg.AllGather(p_local, all_p);
+  launched.works.push_back(p_work);
+
+  // The Q step needs the globally-agreed P̂, so the P all-gather is waited
+  // here inside Launch. On failure the handle (terminal state is sticky)
+  // stays in `works`: the reducer re-waits it, observes the same typed
+  // error, and aborts the sync without running finalize.
+  if (!p_work->Wait(pg.clock(), options_.collective_timeout_seconds).ok()) {
+    return launched;
+  }
+
+  // P_sum in rank order, then modified Gram-Schmidt so every rank holds the
+  // same orthonormal P̂ (sequential double accumulators: deterministic).
+  std::vector<float> p_hat(static_cast<size_t>(rows * r), 0.0f);
+  {
+    const float* ap = all_p.data<float>();
+    for (int rank = 0; rank < world; ++rank) {
+      const float* block = ap + static_cast<int64_t>(rank) * rows * r;
+      for (int64_t i = 0; i < rows * r; ++i) {
+        p_hat[static_cast<size_t>(i)] += block[i];
+      }
+    }
+    for (int64_t t = 0; t < r; ++t) {
+      for (int64_t s = 0; s < t; ++s) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < rows; ++i) {
+          dot += static_cast<double>(p_hat[i * r + t]) * p_hat[i * r + s];
+        }
+        const float proj = static_cast<float>(dot);
+        for (int64_t i = 0; i < rows; ++i) {
+          p_hat[i * r + t] -= proj * p_hat[i * r + s];
+        }
+      }
+      double norm_sq = 0.0;
+      for (int64_t i = 0; i < rows; ++i) {
+        norm_sq += static_cast<double>(p_hat[i * r + t]) * p_hat[i * r + t];
+      }
+      const double norm = std::sqrt(norm_sq);
+      const float inv = norm > 1e-20 ? static_cast<float>(1.0 / norm) : 0.0f;
+      for (int64_t i = 0; i < rows; ++i) p_hat[i * r + t] *= inv;
+    }
+  }
+
+  // Right step: Q_local = Mᵀ · P̂ (cols×r), all-gathered asynchronously.
+  Tensor q_local = Tensor::Zeros({cols * r});
+  {
+    float* ql = q_local.data<float>();
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        const float mij = m[static_cast<size_t>(i * cols + j)];
+        if (mij == 0.0f) continue;
+        for (int64_t t = 0; t < r; ++t) {
+          ql[j * r + t] += mij * p_hat[static_cast<size_t>(i * r + t)];
+        }
+      }
+    }
+  }
+  Tensor all_q = Tensor::Zeros({static_cast<int64_t>(world) * cols * r});
+  launched.works.push_back(pg.AllGather(q_local, all_q));
+
+  launched.finalize = [this, bucket, all_q, p_hat = std::move(p_hat),
+                       corrected = std::move(m), rows, cols, r, n, world,
+                       bucket_id]() mutable -> Status {
+    std::vector<float> q_sum(static_cast<size_t>(cols * r), 0.0f);
+    const float* aq = all_q.data<float>();
+    for (int rank = 0; rank < world; ++rank) {
+      const float* block = aq + static_cast<int64_t>(rank) * cols * r;
+      for (int64_t i = 0; i < cols * r; ++i) {
+        q_sum[static_cast<size_t>(i)] += block[i];
+      }
+    }
+    // bucket = P̂ · Q_sumᵀ — the rank-r approximation of the gradient SUM.
+    float* dst = bucket.data<float>();
+    bool finite = true;
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        const int64_t idx = i * cols + j;
+        if (idx >= n) break;
+        float acc = 0.0f;
+        for (int64_t t = 0; t < r; ++t) {
+          acc += p_hat[static_cast<size_t>(i * r + t)] *
+                 q_sum[static_cast<size_t>(j * r + t)];
+        }
+        finite = finite && std::isfinite(acc);
+        dst[idx] = acc;
+      }
+    }
+    if (!finite) {
+      return Status::OutOfRange(
+          "powersgd decompression produced a non-finite value (non-finite "
+          "input gradient?)");
+    }
+    BucketState& st = state_[bucket_id];
+    const float inv_world = 1.0f / static_cast<float>(world);
+    // Residual against the decompressed *average* (what this rank's next
+    // gradient competes with), warm-start Q for the next power iteration.
+    float* e = st.residual.data<float>();
+    for (int64_t idx = 0; idx < n; ++idx) {
+      e[idx] = corrected[static_cast<size_t>(idx)] - dst[idx] * inv_world;
+    }
+    float* q = st.q.data<float>();
+    for (int64_t i = 0; i < cols * r; ++i) {
+      q[i] = q_sum[static_cast<size_t>(i)] * inv_world;
+    }
+    return Status::OK();
+  };
+  return launched;
+}
+
+// ---- TopKCompressionHook ----------------------------------------------------
+
+namespace {
+constexpr int64_t kTopKEntryBytes = 8;  // uint32 index + fp32 value bits
+}  // namespace
+
+CommHook::Launched TopKCompressionHook::Launch(comm::ProcessGroup& pg,
+                                               Tensor bucket,
+                                               size_t bucket_id) {
+  DDPKIT_CHECK(bucket.dtype() == DType::kFloat32);
+  const int64_t n = bucket.numel();
+  const int world = pg.world();
+  const int64_t k = std::min<int64_t>(n, (n + 15) / 16);
+
+  Tensor& residual = error_feedback_[bucket_id];
+  if (!residual.defined()) residual = Tensor::Zeros({n});
+  DDPKIT_CHECK_EQ(residual.numel(), n);
+
+  std::vector<float> corrected(static_cast<size_t>(n));
+  {
+    const float* g = bucket.data<float>();
+    const float* e = residual.data<float>();
+    for (int64_t i = 0; i < n; ++i) {
+      corrected[static_cast<size_t>(i)] = g[i] + e[i];
+    }
+  }
+
+  // Top-k by magnitude, ties toward the lower index (a total order, so the
+  // selected set is unique regardless of the partial-sort implementation).
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  const auto by_magnitude = [&corrected](int64_t a, int64_t b) {
+    const float ma = std::abs(corrected[static_cast<size_t>(a)]);
+    const float mb = std::abs(corrected[static_cast<size_t>(b)]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  };
+  if (k < n) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(),
+                     by_magnitude);
+  }
+  order.resize(static_cast<size_t>(k));
+  // Canonical payload order: ascending index.
+  std::sort(order.begin(), order.end());
+
+  Tensor payload = Tensor::Zeros({k * kTopKEntryBytes}, DType::kUInt8);
+  {
+    uint8_t* out = payload.data<uint8_t>();
+    float* e = residual.data<float>();
+    for (int64_t i = 0; i < n; ++i) e[i] = corrected[static_cast<size_t>(i)];
+    for (int64_t s = 0; s < k; ++s) {
+      const int64_t idx = order[static_cast<size_t>(s)];
+      const uint32_t index32 = static_cast<uint32_t>(idx);
+      const float value = corrected[static_cast<size_t>(idx)];
+      std::memcpy(out + s * kTopKEntryBytes, &index32, sizeof(index32));
+      std::memcpy(out + s * kTopKEntryBytes + sizeof(index32), &value,
+                  sizeof(value));
+      e[idx] = 0.0f;  // transmitted in full: nothing left to feed back
+    }
+  }
+
+  Tensor gathered = Tensor::Zeros(
+      {static_cast<int64_t>(world) * k * kTopKEntryBytes}, DType::kUInt8);
+
+  Launched launched;
+  launched.bytes_raw = static_cast<uint64_t>(n) * sizeof(float);
+  launched.bytes_compressed = static_cast<uint64_t>(k * kTopKEntryBytes);
+  RecordBytes(launched.bytes_raw, launched.bytes_compressed);
+  launched.works.push_back(pg.AllGather(payload, gathered));
+  launched.finalize = [bucket, gathered, k, n, world]() mutable -> Status {
+    float* dst = bucket.data<float>();
+    for (int64_t i = 0; i < n; ++i) dst[i] = 0.0f;
+    const uint8_t* in = gathered.data<uint8_t>();
+    for (int r = 0; r < world; ++r) {
+      const uint8_t* block =
+          in + static_cast<int64_t>(r) * k * kTopKEntryBytes;
+      for (int64_t s = 0; s < k; ++s) {
+        uint32_t index32 = 0;
+        float value = 0.0f;
+        std::memcpy(&index32, block + s * kTopKEntryBytes, sizeof(index32));
+        std::memcpy(&value, block + s * kTopKEntryBytes + sizeof(index32),
+                    sizeof(value));
+        if (static_cast<int64_t>(index32) >= n) {
+          return Status::Internal(
+              "topk payload corrupt: rank " + std::to_string(r) +
+              " entry " + std::to_string(s) + " indexes element " +
+              std::to_string(index32) + " of a " + std::to_string(n) +
+              "-element bucket");
+        }
+        dst[index32] += value;
+      }
+    }
+    return Status::OK();
+  };
+  return launched;
+}
+
+// ---- Hook registry ----------------------------------------------------------
+
+std::shared_ptr<CommHook> MakeCommHookByName(const std::string& name) {
+  if (name.empty() || name == "none") return nullptr;
+  if (name == "fp16") return std::make_shared<Fp16CompressionHook>();
+  if (name == "bf16") return std::make_shared<Bf16CompressionHook>();
+  if (name == "onebit" || name == "1bit") {
+    return std::make_shared<OneBitCompressionHook>();
+  }
+  if (name == "powersgd") return std::make_shared<PowerSGDCompressionHook>();
+  if (name == "topk") return std::make_shared<TopKCompressionHook>();
+  return nullptr;
+}
+
+bool IsValidCommHookName(const std::string& name) {
+  return name.empty() || name == "none" || name == "1bit" ||
+         MakeCommHookByName(name) != nullptr;
+}
+
+const std::vector<std::string>& CommHookNames() {
+  static const std::vector<std::string> kNames = {"fp16", "bf16", "onebit",
+                                                  "powersgd", "topk"};
+  return kNames;
 }
 
 }  // namespace ddpkit::core

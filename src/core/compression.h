@@ -1,6 +1,8 @@
 #ifndef DDPKIT_CORE_COMPRESSION_H_
 #define DDPKIT_CORE_COMPRESSION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "comm/process_group.h"
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 namespace ddpkit::core {
@@ -17,13 +20,29 @@ namespace ddpkit::core {
 /// realized here as an extension). The hook must leave the bucket holding
 /// the *sum* across ranks when `finalize` runs; the reducer then divides by
 /// world size exactly as in the uncompressed path.
+///
+/// Bit-consistency contract: every hook in this zoo transports its payload
+/// exclusively through AllGather — pure byte movement, identical over
+/// ProcessGroupSim and ProcessGroupTcp regardless of the all-reduce
+/// algorithm in use — and reconstructs the sum locally in fp32, iterating
+/// ranks 0..world-1 in order. The decompressed bucket is therefore
+/// bit-identical across backends, algorithms, and pool sizes.
 class CommHook {
  public:
   struct Launched {
-    comm::WorkHandle work;
-    /// Runs on the launching rank after `work` completes; writes the
-    /// reduced result back into the bucket.
-    std::function<void()> finalize;
+    /// Every collective the hook issued, in issue order. The reducer waits
+    /// them in order and propagates the first typed error; none may be
+    /// dropped (a lost handle means a lost timeout/rank-failure verdict).
+    std::vector<comm::WorkHandle> works;
+    /// Runs on the launching rank after every work completed OK; writes the
+    /// reduced sum back into the bucket. A non-OK return (e.g. fp16
+    /// overflow) aborts the sync with a typed status naming the hook.
+    std::function<Status()> finalize;
+    /// Bytes this rank would have put on the wire uncompressed (the fp32
+    /// bucket payload).
+    uint64_t bytes_raw = 0;
+    /// Bytes this rank actually contributed to the hook's collectives.
+    uint64_t bytes_compressed = 0;
   };
 
   virtual ~CommHook() = default;
@@ -35,18 +54,71 @@ class CommHook {
 
   virtual std::string name() const = 0;
 
-  /// Payload bytes actually sent per input byte (for reporting).
-  virtual double compression_ratio() const = 0;
+  /// Payload bytes actually sent per input byte. Before the first Launch
+  /// this is the hook's nominal estimate; afterwards it is the measured
+  /// cumulative bytes_compressed / bytes_raw, which the metrics pair
+  /// `ddp.comm.bytes_{raw,compressed}` must match.
+  double compression_ratio() const;
+
+  /// Drops all per-bucket persistent state (error-feedback residuals,
+  /// PowerSGD warm-start factors). Called by the reducer on elastic
+  /// recovery: the recovered replica must be bit-exact against a fresh
+  /// checkpoint-resumed run, and a fresh run starts with zero residuals.
+  virtual void ResetState() {}
+
+ protected:
+  /// Nominal estimate used until the first Launch records real bytes.
+  virtual double nominal_ratio() const = 0;
+
+  /// Accumulates measured wire bytes (called from Launch implementations).
+  void RecordBytes(uint64_t raw, uint64_t compressed);
+
+ private:
+  std::atomic<uint64_t> total_raw_{0};
+  std::atomic<uint64_t> total_compressed_{0};
 };
 
 /// Casts buckets to IEEE half precision for transport: 2x less traffic,
-/// small quantization error.
+/// small quantization error. Values are pre-scaled by `loss_scale` (a power
+/// of two, so scaling is exact) to lift small gradients out of the denormal
+/// range, all-gathered as fp16 payloads, then decompressed and accumulated
+/// in fp32 on every rank — partial sums never round or overflow in half
+/// precision. Overflow of the *encoded* values (|g·scale| > 65504, or a
+/// non-finite input) surfaces as a typed kOutOfRange status from finalize.
 class Fp16CompressionHook : public CommHook {
  public:
+  explicit Fp16CompressionHook(double loss_scale = 8.0)
+      : loss_scale_(loss_scale) {}
   Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
                   size_t bucket_id) override;
   std::string name() const override { return "fp16"; }
-  double compression_ratio() const override { return 0.5; }
+  double loss_scale() const { return loss_scale_; }
+
+ protected:
+  double nominal_ratio() const override { return 0.5; }
+
+ private:
+  double loss_scale_;
+};
+
+/// bfloat16 transport: the top 16 bits of fp32 with round-to-nearest-even.
+/// Same exponent range as fp32 (no ±65504 cliff), 8-bit mantissa. The
+/// loss-scale plumbing matches fp16 (default 1.0: bf16 rarely underflows);
+/// non-finite encoded values surface as kOutOfRange from finalize.
+class Bf16CompressionHook : public CommHook {
+ public:
+  explicit Bf16CompressionHook(double loss_scale = 1.0)
+      : loss_scale_(loss_scale) {}
+  Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
+                  size_t bucket_id) override;
+  std::string name() const override { return "bf16"; }
+  double loss_scale() const { return loss_scale_; }
+
+ protected:
+  double nominal_ratio() const override { return 0.5; }
+
+ private:
+  double loss_scale_;
 };
 
 /// 1-bit SGD-style compression (Seide et al., cited as [34] in the paper):
@@ -59,12 +131,87 @@ class OneBitCompressionHook : public CommHook {
   Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
                   size_t bucket_id) override;
   std::string name() const override { return "onebit"; }
-  double compression_ratio() const override { return 1.0 / 32.0; }
+  void ResetState() override { error_feedback_.clear(); }
+
+ protected:
+  double nominal_ratio() const override { return 1.0 / 32.0; }
 
  private:
   /// Per-bucket error-feedback residual, keyed by bucket id.
   std::unordered_map<size_t, Tensor> error_feedback_;
 };
+
+/// PowerSGD-style low-rank projection (Vogels et al.) with per-bucket error
+/// feedback and warm-started factors. The bucket is reshaped to a matrix M
+/// (rows×cols); one power-iteration step runs per bucket per iteration:
+///
+///   P = M·Q_prev        — all-gathered, summed, then orthogonalized
+///   Q = Mᵀ·P̂            — all-gathered, summed in finalize
+///   bucket = P̂·Q_sumᵀ   — the rank-r approximation of the gradient sum
+///
+/// The first all-gather is waited inside Launch (the Q step needs the
+/// agreed P̂); its failure is still returned through `works`, so the
+/// reducer observes the typed error. Q_prev starts from a deterministic
+/// seeded basis identical on every rank, so no broadcast is needed.
+class PowerSGDCompressionHook : public CommHook {
+ public:
+  struct Options {
+    /// Rank of the low-rank approximation (clamped to min(rows, cols)).
+    int rank = 4;
+    /// Timeout for the in-Launch wait on the P all-gather (virtual time).
+    double collective_timeout_seconds = 30.0;
+  };
+  PowerSGDCompressionHook() : PowerSGDCompressionHook(Options{}) {}
+  explicit PowerSGDCompressionHook(Options options) : options_(options) {}
+  Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
+                  size_t bucket_id) override;
+  std::string name() const override { return "powersgd"; }
+  void ResetState() override { state_.clear(); }
+
+ protected:
+  /// Rough estimate for a square matrix: r(rows+cols)/(rows·cols) ≈ 2r/√n
+  /// for typical bucket sizes; measured ratio replaces this after the
+  /// first launch.
+  double nominal_ratio() const override { return 0.125; }
+
+ private:
+  struct BucketState {
+    Tensor residual;  // error feedback, length n
+    Tensor q;         // warm-start factor, cols×rank
+  };
+  Options options_;
+  std::unordered_map<size_t, BucketState> state_;
+};
+
+/// Top-k sparsification with per-bucket error feedback: the k = ⌈n/16⌉
+/// largest-magnitude entries of (gradient + residual) are packed CSR-style
+/// as (uint32 index, fp32 value bits) pairs into one uint8 payload,
+/// all-gathered, and scatter-added into the zeroed bucket in rank order.
+/// Ties break deterministically toward the lower index.
+class TopKCompressionHook : public CommHook {
+ public:
+  Launched Launch(comm::ProcessGroup& pg, Tensor bucket,
+                  size_t bucket_id) override;
+  std::string name() const override { return "topk"; }
+  void ResetState() override { error_feedback_.clear(); }
+
+ protected:
+  /// 8 bytes per entry, one entry per 16 elements of 4 bytes: 8/(16·4).
+  double nominal_ratio() const override { return 0.125; }
+
+ private:
+  std::unordered_map<size_t, Tensor> error_feedback_;
+};
+
+/// Hook registry shared by the trainer (`--compress=`), the multiproc
+/// worker (`--comm-hook=`), and the compression bench. Returns nullptr for
+/// "none"/"" (run uncompressed). "1bit" is accepted as an alias of
+/// "onebit". Unknown names also return nullptr; gate user input through
+/// IsValidCommHookName first.
+std::shared_ptr<CommHook> MakeCommHookByName(const std::string& name);
+bool IsValidCommHookName(const std::string& name);
+/// Canonical hook names (no aliases, no "none") for sweeps and usage text.
+const std::vector<std::string>& CommHookNames();
 
 }  // namespace ddpkit::core
 

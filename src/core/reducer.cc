@@ -408,15 +408,35 @@ void Reducer::LaunchBucket(size_t bucket_id) {
     frame_.buckets.push_back(BucketTelemetry{bucket_id, bucket.bytes,
                                              bucket.launch_clock, 0.0, 0.0});
   }
+  uint64_t bytes_raw = bucket.bytes;
+  uint64_t bytes_compressed = bucket.bytes;
   if (options_.comm_hook != nullptr) {
     bucket.hook_launched =
         options_.comm_hook->Launch(*pg_, bucket.buffer, bucket_id);
-    bucket.work = bucket.hook_launched.work;
+    DDPKIT_CHECK(!bucket.hook_launched.works.empty())
+        << "comm hook " << options_.comm_hook->name()
+        << " returned no collective handles";
+    bytes_raw = bucket.hook_launched.bytes_raw;
+    bytes_compressed = bucket.hook_launched.bytes_compressed;
   } else {
     bucket.work = pg_->AllReduce(bucket.buffer, comm::ReduceOp::kSum);
   }
   ++stats_.allreduces_launched;
   stats_.bytes_reduced += bucket.bytes;
+  stats_.bytes_wire_raw += bytes_raw;
+  stats_.bytes_wire_compressed += bytes_compressed;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("ddp.comm.bytes_raw").Increment(bytes_raw);
+    options_.metrics->counter("ddp.comm.bytes_compressed")
+        .Increment(bytes_compressed);
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->AddInstant(
+        "bucket " + std::to_string(bucket_id) + " wire " +
+            std::to_string(bytes_compressed) + "/" +
+            std::to_string(bytes_raw) + " B",
+        "comm", pg_->rank(), bucket.launch_clock);
+  }
 }
 
 void Reducer::FinalizeBackward() {
@@ -444,21 +464,51 @@ void Reducer::FinalizeBackward() {
   // the virtual clock to each completion. A fault — a bucket that timed
   // out, a peer that crashed mid-collective — aborts the sync with a
   // diagnostic naming the bucket instead of deadlocking the backward.
+  const bool hooked = options_.comm_hook != nullptr;
   for (size_t b = 0; b < buckets_.size(); ++b) {
     Bucket& bucket = buckets_[b];
-    DDPKIT_CHECK(bucket.work != nullptr);
     const double wait_start = pg_->clock()->Now();
-    const Status wait_status =
-        bucket.work->Wait(pg_->clock(), options_.collective_timeout_seconds);
+    // A hook may have issued several collectives; wait them in issue order
+    // and propagate the FIRST typed error (later handles are drained
+    // non-throwingly by AbortSync). The diagnostic names the hook: a
+    // timeout inside a compression collective is a different bug hunt than
+    // one in the stock bucket all-reduce.
+    Status wait_status = Status::OK();
+    double completion = 0.0;
+    if (hooked) {
+      for (const comm::WorkHandle& work : bucket.hook_launched.works) {
+        DDPKIT_CHECK(work != nullptr);
+        wait_status =
+            work->Wait(pg_->clock(), options_.collective_timeout_seconds);
+        if (!wait_status.ok()) break;
+        completion = std::max(completion, work->completion_time());
+      }
+    } else {
+      DDPKIT_CHECK(bucket.work != nullptr);
+      wait_status =
+          bucket.work->Wait(pg_->clock(), options_.collective_timeout_seconds);
+      if (wait_status.ok()) completion = bucket.work->completion_time();
+    }
+    const std::string where =
+        "gradient bucket " + std::to_string(b) + " (rank " +
+        std::to_string(pg_->rank()) +
+        (hooked ? ", comm hook " + options_.comm_hook->name() : "") + ")";
     if (!wait_status.ok()) {
+      // Skip finalize: a failed collective left the gathered buffers
+      // incomplete, and decompressing them would overwrite the bucket with
+      // garbage.
       AbortSync(Status(wait_status.code(),
-                       "gradient bucket " + std::to_string(b) +
-                           " (rank " + std::to_string(pg_->rank()) +
-                           "): " + wait_status.message()));
+                       where + ": " + wait_status.message()));
       return;
     }
-    if (bucket.hook_launched.finalize) bucket.hook_launched.finalize();
-    const double completion = bucket.work->completion_time();
+    if (bucket.hook_launched.finalize) {
+      const Status finalize_status = bucket.hook_launched.finalize();
+      if (!finalize_status.ok()) {
+        AbortSync(Status(finalize_status.code(),
+                         where + " finalize: " + finalize_status.message()));
+        return;
+      }
+    }
     if (telem && b < frame_.buckets.size()) {
       frame_.buckets[b].completion_seconds = completion;
       frame_.buckets[b].wait_seconds =
@@ -622,14 +672,7 @@ void Reducer::AbortSync(Status status) {
   // complete still advances the clock to its completion (peers saw this
   // rank participate), and every handle is released so an abandoned Work
   // can never be waited on again by a later iteration.
-  for (Bucket& bucket : buckets_) {
-    if (bucket.work == nullptr) continue;
-    if (bucket.work->Poll() && bucket.work->IsCompleted()) {
-      pg_->clock()->AdvanceTo(bucket.work->completion_time());
-    }
-    bucket.work.reset();
-    bucket.hook_launched = CommHook::Launched{};
-  }
+  for (Bucket& bucket : buckets_) DrainBucketWorks(bucket);
   // The aborted iteration never reached the bitmap AllReduce; leaving
   // locally_used_ set would leak this iteration's usage into the next
   // successful sync's globally-used mask.
@@ -641,6 +684,19 @@ void Reducer::AbortSync(Status status) {
   expect_hooks_ = false;
   finalized_ = false;
   EmitTelemetryFrame(/*synced=*/false);
+}
+
+void Reducer::DrainBucketWorks(Bucket& bucket) {
+  const auto drain = [this](const comm::WorkHandle& work) {
+    if (work == nullptr) return;
+    if (work->Poll() && work->IsCompleted()) {
+      pg_->clock()->AdvanceTo(work->completion_time());
+    }
+  };
+  drain(bucket.work);
+  for (const comm::WorkHandle& work : bucket.hook_launched.works) drain(work);
+  bucket.work.reset();
+  bucket.hook_launched = CommHook::Launched{};
 }
 
 namespace {
@@ -888,14 +944,12 @@ Status Reducer::ResetAfterRecovery(
   // handle that did complete before the abort still advances the clock to
   // its completion; everything else was failed (kInvalidGeneration) by
   // AbortGroup and is simply released.
-  for (Bucket& bucket : buckets_) {
-    if (bucket.work == nullptr) continue;
-    if (bucket.work->Poll() && bucket.work->IsCompleted()) {
-      pg_->clock()->AdvanceTo(bucket.work->completion_time());
-    }
-    bucket.work.reset();
-    bucket.hook_launched = CommHook::Launched{};
-  }
+  for (Bucket& bucket : buckets_) DrainBucketWorks(bucket);
+
+  // Error-feedback residuals and warm-start factors die with the
+  // generation: the recovered replica must match a fresh checkpoint-resumed
+  // run bit for bit, and a fresh run starts with empty hook state.
+  if (options_.comm_hook != nullptr) options_.comm_hook->ResetState();
 
   pg_ = std::move(new_group);
   sync_status_ = Status::OK();

@@ -212,6 +212,11 @@ class Reducer {
     uint64_t rebuilds = 0;
     uint64_t finalized_backwards = 0;
     uint64_t sync_failures = 0;
+    /// Wire-byte accounting: what the gradient payload would have cost
+    /// uncompressed vs. what the comm hook actually put on the wire. Equal
+    /// when no hook is installed.
+    uint64_t bytes_wire_raw = 0;
+    uint64_t bytes_wire_compressed = 0;
   };
   const Stats& stats() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -255,6 +260,11 @@ class Reducer {
   /// disables future syncs, and unwinds per-iteration state so the replica
   /// survives to read the diagnostic.
   void AbortSync(Status status) REQUIRES(mu_);
+  /// Releases every collective handle a bucket holds (the default-path
+  /// AllReduce and all comm-hook works) non-throwingly: a handle whose work
+  /// did complete still advances the clock to its completion, everything
+  /// else is simply dropped.
+  void DrainBucketWorks(Bucket& bucket) REQUIRES(mu_);
   /// gradient_as_bucket_view: repoint every param.grad at its bucket slot,
   /// preserving any existing gradient values.
   void InstallGradViews() REQUIRES(mu_);

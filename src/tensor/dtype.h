@@ -54,6 +54,11 @@ constexpr const char* DTypeName(DType dtype) {
 uint16_t Float32ToHalfBits(float value);
 float HalfBitsToFloat32(uint16_t bits);
 
+/// bfloat16 conversions: the top 16 bits of the fp32 representation,
+/// round-to-nearest-even on encode. Same exponent range as fp32.
+uint16_t Float32ToBf16Bits(float value);
+float Bf16BitsToFloat32(uint16_t bits);
+
 }  // namespace ddpkit
 
 #endif  // DDPKIT_TENSOR_DTYPE_H_

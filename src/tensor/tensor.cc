@@ -437,4 +437,23 @@ float HalfBitsToFloat32(uint16_t h) {
   return out;
 }
 
+uint16_t Float32ToBf16Bits(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  if (((bits >> 23) & 0xffu) == 0xffu && (bits & 0x7fffffu)) {
+    // NaN: quieten instead of rounding (rounding could carry into inf).
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round to nearest even on the 16 dropped bits.
+  const uint32_t rounding = 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>((bits + rounding) >> 16);
+}
+
+float Bf16BitsToFloat32(uint16_t bf) {
+  const uint32_t bits = static_cast<uint32_t>(bf) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
 }  // namespace ddpkit

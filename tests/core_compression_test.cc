@@ -1,18 +1,30 @@
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "autograd/engine.h"
 #include "autograd/ops.h"
+#include "comm/fault_plan.h"
+#include "comm/process_group_tcp.h"
 #include "comm/sim_world.h"
+#include "comm/store.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/compression.h"
 #include "core/distributed_data_parallel.h"
 #include "nn/losses.h"
 #include "nn/zoo.h"
 #include "optim/sgd.h"
+#include "sim/virtual_clock.h"
 #include "tensor/tensor_ops.h"
+#include "tests/multiproc_scenario.h"
 
 namespace ddpkit::core {
 namespace {
@@ -169,6 +181,400 @@ TEST(CompressionTest, HooksWorkWithManyBuckets) {
     autograd::Backward(ops::MeanAll(ddp.Forward(x)));
     EXPECT_TRUE(ddp.reducer().backward_finalized());
   });
+}
+
+// ---------------------------------------------------------------------------
+// Backend parity: every hook must produce bit-identical gradients over
+// ProcessGroupSim and ProcessGroupTcp, across odd world sizes and thread
+// pool shapes. Hooks transport via AllGather and accumulate rank-by-rank in
+// fp32, so float equality here is exact, not approximate.
+// ---------------------------------------------------------------------------
+
+class Latch {
+ public:
+  explicit Latch(int count) : count_(count) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+/// Three DDP steps of an Mlp{6,8,4} with per-(step, rank) data; returns the
+/// final step's flattened gradients. Error feedback and PowerSGD warm-start
+/// evolve across the steps, so the result exercises persistent hook state.
+std::vector<float> TrainThreeStepsCollectGrads(
+    const std::string& hook_name,
+    const std::shared_ptr<comm::ProcessGroup>& pg, int rank) {
+  Rng rng(21);
+  auto model = std::make_shared<nn::Mlp>(std::vector<int64_t>{6, 8, 4}, &rng);
+  DdpOptions options;
+  options.comm_hook = MakeCommHookByName(hook_name);
+  DistributedDataParallel ddp(model, pg, options);
+  for (int step = 0; step < 3; ++step) {
+    model->ZeroGrad();
+    Rng data_rng(static_cast<uint64_t>(1000 * step + rank));
+    Tensor x = Tensor::Randn({2, 6}, &data_rng);
+    autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+    EXPECT_TRUE(ddp.sync_status().ok()) << ddp.sync_status().ToString();
+  }
+  return FlattenGrads(*model);
+}
+
+std::vector<std::vector<float>> RunHookGradsSim(const std::string& hook,
+                                                int world) {
+  std::vector<std::vector<float>> grads(static_cast<size_t>(world));
+  SimWorld::Run(world, [&](SimWorld::RankContext& ctx) {
+    grads[static_cast<size_t>(ctx.rank)] =
+        TrainThreeStepsCollectGrads(hook, ctx.process_group, ctx.rank);
+  });
+  return grads;
+}
+
+std::vector<std::vector<float>> RunHookGradsTcp(const std::string& hook,
+                                                int world) {
+  comm::Store store;
+  Latch done(world);
+  std::vector<std::vector<float>> grads(static_cast<size_t>(world));
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < world; ++rank) {
+    threads.emplace_back([&, rank] {
+      sim::VirtualClock clock;
+      comm::ProcessGroupTcp::Options options;
+      auto group = comm::ProcessGroupTcp::Create(&store, "hooks", rank, world,
+                                                 options, &clock);
+      if (!group.ok()) {
+        ADD_FAILURE() << "rank " << rank
+                      << " bootstrap: " << group.status().ToString();
+        done.CountDown();
+        return;
+      }
+      grads[static_cast<size_t>(rank)] =
+          TrainThreeStepsCollectGrads(hook, group.value(), rank);
+      done.CountDown();
+      done.Wait();  // keep the mesh alive until every rank is through
+    });
+  }
+  for (auto& t : threads) t.join();
+  return grads;
+}
+
+TEST(HookBackendParityTest, AllHooksBitIdenticalAcrossBackendsAndOddWorlds) {
+  for (const std::string& hook : CommHookNames()) {
+    for (int world : {3, 5}) {
+      SCOPED_TRACE(hook + " world " + std::to_string(world));
+      const auto sim = RunHookGradsSim(hook, world);
+      const auto tcp = RunHookGradsTcp(hook, world);
+      ASSERT_FALSE(sim[0].empty());
+      for (int r = 0; r < world; ++r) {
+        // Ranks agree among themselves (the hook's local fp32 accumulation
+        // is rank-order deterministic) and the wire matches the sim exactly.
+        EXPECT_EQ(sim[0], sim[static_cast<size_t>(r)]) << "sim rank " << r;
+        EXPECT_EQ(sim[0], tcp[static_cast<size_t>(r)]) << "tcp rank " << r;
+      }
+    }
+  }
+}
+
+TEST(HookBackendParityTest, GradientsBitExactAcrossPoolSizes) {
+  struct PoolSizeGuard {
+    int previous = ThreadPool::Global().num_threads();
+    ~PoolSizeGuard() { ThreadPool::SetNumThreads(previous); }
+  } guard;
+  constexpr int kWorld = 3;
+  for (const std::string& hook : CommHookNames()) {
+    SCOPED_TRACE(hook);
+    std::vector<std::vector<std::vector<float>>> per_pool;
+    for (int threads : {1, 2, 8}) {
+      ThreadPool::SetNumThreads(threads);
+      per_pool.push_back(RunHookGradsSim(hook, kWorld));
+    }
+    EXPECT_EQ(per_pool[0], per_pool[1]) << "1 vs 2 pool threads";
+    EXPECT_EQ(per_pool[0], per_pool[2]) << "1 vs 8 pool threads";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error feedback: like the 1-bit hook, PowerSGD and top-k re-inject their
+// compression error, so the running mean of compressed gradients tracks the
+// true gradient even though any single step is heavily lossy.
+// ---------------------------------------------------------------------------
+
+TEST(PowerSgdHookTest, ErrorFeedbackRecoversMeanOverIterations) {
+  SimWorld::Run(1, [&](SimWorld::RankContext& ctx) {
+    constexpr int64_t kN = 16;  // reshaped to a 4x4 matrix
+    Tensor p = Tensor::Full({kN}, 0.0);
+    p.set_requires_grad(true);
+    ReducerOptions options;
+    // Rank 1 of a generic 4x4 gradient: lossy every step, so only the
+    // feedback loop can keep the running mean honest.
+    options.comm_hook = std::make_shared<PowerSGDCompressionHook>(
+        PowerSGDCompressionHook::Options{.rank = 1});
+    Reducer reducer({p}, ctx.process_group, options);
+
+    std::vector<float> truth(kN);
+    for (int64_t i = 0; i < kN; ++i) {
+      truth[static_cast<size_t>(i)] = 0.25f * static_cast<float>(i - 8);
+    }
+    std::vector<double> sums(kN, 0.0);
+    const int kIters = 80;
+    for (int it = 0; it < kIters; ++it) {
+      p.ZeroGrad();
+      Tensor x = Tensor::FromVector(truth, {kN});
+      Tensor loss = ops::SumAll(ops::Mul(p, x));
+      reducer.PrepareForBackward({loss}, true);
+      autograd::Backward(loss);
+      for (int64_t i = 0; i < kN; ++i) {
+        sums[static_cast<size_t>(i)] += p.grad().FlatAt(i);
+      }
+    }
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_NEAR(sums[static_cast<size_t>(i)] / kIters,
+                  truth[static_cast<size_t>(i)], 0.25)
+          << "element " << i;
+    }
+  });
+}
+
+TEST(TopKHookTest, ErrorFeedbackRecoversMeanOverIterations) {
+  SimWorld::Run(1, [&](SimWorld::RankContext& ctx) {
+    constexpr int64_t kN = 8;  // k = ceil(8/16) = 1: one entry per step
+    Tensor p = Tensor::Full({kN}, 0.0);
+    p.set_requires_grad(true);
+    ReducerOptions options;
+    options.comm_hook = std::make_shared<TopKCompressionHook>();
+    Reducer reducer({p}, ctx.process_group, options);
+
+    std::vector<float> truth = {2.0f, -1.5f, 1.0f, -0.75f,
+                                0.5f, 0.25f, -0.125f, 1.25f};
+    std::vector<double> sums(kN, 0.0);
+    const int kIters = 100;
+    for (int it = 0; it < kIters; ++it) {
+      p.ZeroGrad();
+      Tensor x = Tensor::FromVector(truth, {kN});
+      Tensor loss = ops::SumAll(ops::Mul(p, x));
+      reducer.PrepareForBackward({loss}, true);
+      autograd::Backward(loss);
+      for (int64_t i = 0; i < kN; ++i) {
+        sums[static_cast<size_t>(i)] += p.grad().FlatAt(i);
+      }
+    }
+    // Residuals cycle with magnitude <= ~kN * |g_i|, so the running-mean
+    // error shrinks like kN * |g_i| / kIters.
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_NEAR(sums[static_cast<size_t>(i)] / kIters,
+                  truth[static_cast<size_t>(i)], 0.3)
+          << "element " << i;
+    }
+  });
+}
+
+TEST(CompressionTest, ResetStateMakesStatefulHooksMatchFreshRun) {
+  for (const char* name : {"onebit", "powersgd", "topk"}) {
+    SCOPED_TRACE(name);
+    SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+      // Non-uniform gradient: lossy for every stateful hook, so the
+      // residual after one step is nonzero.
+      auto run_once = [&](const std::shared_ptr<CommHook>& hook) {
+        Tensor p = Tensor::Full({12}, 1.0);
+        p.set_requires_grad(true);
+        ReducerOptions options;
+        options.comm_hook = hook;
+        Reducer reducer({p}, ctx.process_group, options);
+        std::vector<float> values(12);
+        for (int i = 0; i < 12; ++i) {
+          values[static_cast<size_t>(i)] =
+              (0.3f + 0.7f * static_cast<float>(i)) *
+              static_cast<float>(ctx.rank + 1) * (i % 2 == 0 ? 1.0f : -1.0f);
+        }
+        Tensor x = Tensor::FromVector(values, {12});
+        Tensor loss = ops::SumAll(ops::Mul(p, x));
+        reducer.PrepareForBackward({loss}, true);
+        autograd::Backward(loss);
+        std::vector<float> grads;
+        for (int64_t i = 0; i < 12; ++i) {
+          grads.push_back(static_cast<float>(p.grad().FlatAt(i)));
+        }
+        return grads;
+      };
+      const auto fresh = run_once(MakeCommHookByName(name));
+      auto hook = MakeCommHookByName(name);
+      const auto first = run_once(hook);   // seeds residual / warm-start
+      const auto dirty = run_once(hook);   // second step uses that state
+      EXPECT_EQ(fresh, first);
+      EXPECT_NE(fresh, dirty) << "hook state had no effect; test is vacuous";
+      hook->ResetState();
+      const auto reset = run_once(hook);
+      EXPECT_EQ(fresh, reset);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection inside hook collectives. A raw Reducer issues no
+// construction broadcasts, so the 1-bit hook's scales all-gather is
+// sequence 0 and its signs all-gather is sequence 1.
+// ---------------------------------------------------------------------------
+
+TEST(HookFaultTest, CrashInFirstHookCollectiveSurfacesTypedErrorNamingHook) {
+  auto plan = std::make_shared<comm::FaultPlan>();
+  plan->CrashRank(1, 0);  // dies inside the scales all-gather
+  comm::SimWorldOptions world_options;
+  world_options.fault_plan = plan;
+  world_options.collective_timeout_seconds = 1.0;
+  SimWorld::Run(2, world_options, [&](SimWorld::RankContext& ctx) {
+    Tensor p = Tensor::Full({8}, 1.0);
+    p.set_requires_grad(true);
+    ReducerOptions options;
+    options.comm_hook = std::make_shared<OneBitCompressionHook>();
+    options.collective_timeout_seconds = 1.0;
+    Reducer reducer({p}, ctx.process_group, options);
+    Tensor x = Tensor::Full({8}, 2.0);
+    Tensor loss = ops::SumAll(ops::Mul(p, x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    const Status status = reducer.sync_status();
+    EXPECT_FALSE(status.ok()) << "rank " << ctx.rank;
+    EXPECT_NE(status.ToString().find("comm hook onebit"), std::string::npos)
+        << "rank " << ctx.rank << ": " << status.ToString();
+  });
+}
+
+TEST(HookFaultTest, DropBetweenHookCollectivesSurfacesTypedError) {
+  auto plan = std::make_shared<comm::FaultPlan>();
+  // Rank 1 joins the scales all-gather (seq 0) but vanishes before the
+  // signs all-gather (seq 1): a mid-hook desync.
+  plan->DropRank(1, 1);
+  comm::SimWorldOptions world_options;
+  world_options.fault_plan = plan;
+  world_options.collective_timeout_seconds = 1.0;
+  SimWorld::Run(2, world_options, [&](SimWorld::RankContext& ctx) {
+    Tensor p = Tensor::Full({8}, 1.0);
+    p.set_requires_grad(true);
+    ReducerOptions options;
+    options.comm_hook = std::make_shared<OneBitCompressionHook>();
+    options.collective_timeout_seconds = 1.0;
+    Reducer reducer({p}, ctx.process_group, options);
+    Tensor x = Tensor::Full({8}, 2.0);
+    Tensor loss = ops::SumAll(ops::Mul(p, x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    if (ctx.rank == 0) {
+      const Status status = reducer.sync_status();
+      EXPECT_FALSE(status.ok());
+      EXPECT_NE(status.ToString().find("comm hook onebit"), std::string::npos)
+          << status.ToString();
+    }
+  });
+}
+
+TEST(HookFaultTest, StallBeyondTimeoutSurfacesTypedError) {
+  auto plan = std::make_shared<comm::FaultPlan>();
+  plan->StallRank(1, 0, 30.0);  // far past the 1s watchdog
+  comm::SimWorldOptions world_options;
+  world_options.fault_plan = plan;
+  world_options.collective_timeout_seconds = 1.0;
+  SimWorld::Run(2, world_options, [&](SimWorld::RankContext& ctx) {
+    Tensor p = Tensor::Full({8}, 1.0);
+    p.set_requires_grad(true);
+    ReducerOptions options;
+    options.comm_hook = std::make_shared<OneBitCompressionHook>();
+    options.collective_timeout_seconds = 1.0;
+    Reducer reducer({p}, ctx.process_group, options);
+    Tensor x = Tensor::Full({8}, 2.0);
+    Tensor loss = ops::SumAll(ops::Mul(p, x));
+    reducer.PrepareForBackward({loss}, true);
+    autograd::Backward(loss);
+    if (ctx.rank == 0) {
+      const Status status = reducer.sync_status();
+      EXPECT_FALSE(status.ok());
+      EXPECT_NE(status.ToString().find("comm hook onebit"), std::string::npos)
+          << status.ToString();
+    }
+  });
+}
+
+TEST(HookFaultTest, GenerationAbortDuringHookCollectiveRecovers) {
+  auto plan = std::make_shared<comm::FaultPlan>();
+  // DDP construction broadcasts the Mlp{4,6,2}'s 4 parameters (seqs 0-3);
+  // each 1-bit step issues two all-gathers, so step 1's signs all-gather is
+  // sequence 7. Rank 2 dies there — mid-hook, after step 1's scales moved.
+  plan->CrashRank(2, 7);
+  comm::SimWorldOptions world_options;
+  world_options.fault_plan = plan;
+  world_options.collective_timeout_seconds = 2.0;
+  ddpkit::testing::ScenarioOptions scenario;
+  scenario.comm_hook = "onebit";
+  scenario.total_steps = 4;
+  scenario.kill_rank = 2;
+  scenario.kill_step = 1;
+  scenario.crash_before_sync = false;
+  scenario.collective_timeout_seconds = 2.0;
+  scenario.rendezvous_timeout_seconds = 3.0;
+  std::vector<ddpkit::testing::ScenarioResult> results(3);
+  SimWorld::Run(3, world_options, [&](SimWorld::RankContext& ctx) {
+    results[static_cast<size_t>(ctx.rank)] =
+        ddpkit::testing::RunScenario(ctx, scenario, [] {});
+  });
+  EXPECT_FALSE(results[2].ok);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  ASSERT_TRUE(results[1].ok) << results[1].error;
+  // Survivors re-formed at generation 1 with fresh hook state and finished
+  // in lockstep.
+  EXPECT_EQ(results[0].digest, results[1].digest);
+  EXPECT_EQ(results[0].final_world, 2);
+  EXPECT_EQ(results[0].recoveries, 1);
+  EXPECT_GT(results[0].final_generation, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-byte accounting: the reducer's ddp.comm.bytes_{raw,compressed}
+// counters must agree with the hook's own measured compression_ratio().
+// ---------------------------------------------------------------------------
+
+TEST(CompressionTest, WireByteMetricsMatchCompressionRatio) {
+  for (const std::string& name : CommHookNames()) {
+    SCOPED_TRACE(name);
+    auto metrics = std::make_shared<MetricsRegistry>();
+    std::shared_ptr<CommHook> rank0_hook;
+    SimWorld::Run(2, [&](SimWorld::RankContext& ctx) {
+      Rng rng(5);
+      // One ~4k-element bucket: big enough that per-launch fixed overheads
+      // (scales, factor matrices) sit inside the 5% band.
+      auto model =
+          std::make_shared<nn::Mlp>(std::vector<int64_t>{64, 64}, &rng);
+      DdpOptions options;
+      options.comm_hook = MakeCommHookByName(name);
+      if (ctx.rank == 0) {
+        options.metrics = metrics;
+        rank0_hook = options.comm_hook;
+      }
+      DistributedDataParallel ddp(model, ctx.process_group, options);
+      Tensor x = Tensor::Full({2, 64}, 0.5);
+      for (int it = 0; it < 2; ++it) {
+        model->ZeroGrad();
+        autograd::Backward(ops::MeanAll(ddp.Forward(x)));
+      }
+    });
+    const auto raw = metrics->counter("ddp.comm.bytes_raw").value();
+    const auto compressed = metrics->counter("ddp.comm.bytes_compressed").value();
+    ASSERT_GT(raw, 0u);
+    ASSERT_GT(compressed, 0u);
+    const double measured =
+        static_cast<double>(compressed) / static_cast<double>(raw);
+    ASSERT_NE(rank0_hook, nullptr);
+    const double declared = rank0_hook->compression_ratio();
+    EXPECT_NEAR(measured, declared, 0.05 * declared)
+        << "measured " << measured << " declared " << declared;
+  }
 }
 
 }  // namespace

@@ -170,10 +170,22 @@ TEST(DdpTelemetryTest, FlowArrowsLinkReadyLaunchCompletion) {
     EXPECT_NE(points[2].name.find("complete"), std::string::npos);
   }
 
-  // Frame markers: one instant per iteration.
+  // Frame markers: one instant per iteration. Wire-byte accounting adds
+  // one "comm" instant per bucket launch alongside them.
   const auto instants = run.trace->instants();
-  EXPECT_EQ(instants.size(), static_cast<size_t>(run.kIterations));
-  for (const auto& inst : instants) EXPECT_EQ(inst.category, "frame");
+  size_t frame_instants = 0;
+  size_t wire_instants = 0;
+  for (const auto& inst : instants) {
+    if (inst.category == "frame") {
+      ++frame_instants;
+    } else {
+      ASSERT_EQ(inst.category, "comm");
+      EXPECT_NE(inst.name.find(" wire "), std::string::npos);
+      ++wire_instants;
+    }
+  }
+  EXPECT_EQ(frame_instants, static_cast<size_t>(run.kIterations));
+  EXPECT_EQ(wire_instants, expected);
 
   // The Chrome export renders every flow phase with a shared id.
   const std::string json = run.trace->ToChromeTraceJson();

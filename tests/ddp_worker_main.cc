@@ -35,6 +35,8 @@ struct WorkerArgs {
   int kill_step = -1;
   /// Prefix: rank r writes its result line to `<digest_out>.<r>`.
   std::string digest_out;
+  /// Compression hook name ("" = stock all-reduce).
+  std::string comm_hook;
 };
 
 int ParseInt(const char* text) {
@@ -56,6 +58,8 @@ WorkerArgs ParseArgs(int argc, char** argv) {
       args.kill_step = ParseInt(value_of("--kill-step=").c_str());
     } else if (arg.rfind("--digest-out=", 0) == 0) {
       args.digest_out = value_of("--digest-out=");
+    } else if (arg.rfind("--comm-hook=", 0) == 0) {
+      args.comm_hook = value_of("--comm-hook=");
     } else {
       std::fprintf(stderr, "ddp_worker: unknown argument %s\n", arg.c_str());
       std::exit(2);
@@ -126,6 +130,7 @@ int main(int argc, char** argv) {
   scenario.total_steps = args.steps;
   scenario.kill_rank = args.kill_rank;
   scenario.kill_step = args.kill_step;
+  scenario.comm_hook = args.comm_hook;
   scenario.crash_before_sync = true;  // SIGKILL: peers learn through the wire
   scenario.collective_timeout_seconds =
       config.tcp.collective_timeout_seconds;

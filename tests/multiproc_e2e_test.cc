@@ -73,7 +73,7 @@ std::string ReadFileOrEmpty(const std::string& path) {
 /// Launches `world` ddp_worker processes through ddp_launch and collects
 /// each surviving rank's result line.
 WireOutcome RunWire(const std::string& tag, int world, int kill_rank,
-                    int kill_step) {
+                    int kill_step, const std::string& comm_hook = "") {
   const std::string root = TempRoot(tag);
   const std::string digest_prefix = root + "/digest";
   std::stringstream cmd;
@@ -85,6 +85,7 @@ WireOutcome RunWire(const std::string& tag, int world, int kill_rank,
   if (kill_rank >= 0) {
     cmd << " --kill-rank=" << kill_rank << " --kill-step=" << kill_step;
   }
+  if (!comm_hook.empty()) cmd << " --comm-hook=" << comm_hook;
   cmd << " > " << root << "/launch.out 2>&1";
 
   WireOutcome outcome;
@@ -117,12 +118,14 @@ WireOutcome RunWire(const std::string& tag, int world, int kill_rank,
 /// ranks, simulated process group). With a kill, a FaultPlan fails the
 /// collective at the kill step and the doomed rank leaves its body.
 std::vector<testing::ScenarioResult> RunSim(int world, int kill_rank,
-                                            int kill_step) {
+                                            int kill_step,
+                                            const std::string& comm_hook = "") {
   comm::SimWorldOptions options;
   options.algorithm = comm::Algorithm::kRing;  // ddp_worker's wire default
   options.collective_timeout_seconds = 5.0;
   testing::ScenarioOptions scenario;
   scenario.total_steps = kSteps;
+  scenario.comm_hook = comm_hook;
   scenario.kill_rank = kill_rank;
   scenario.kill_step = kill_step;
   scenario.crash_before_sync = false;  // the FaultPlan is the murder weapon
@@ -162,6 +165,35 @@ TEST(MultiprocE2eTest, WireMatchesSimBitExact) {
       EXPECT_EQ(world, line.world);
       EXPECT_EQ(0u, line.generation);
       EXPECT_EQ(0, line.recoveries);
+    }
+  }
+}
+
+// The compression acceptance gate: every hook in the zoo must produce
+// parameters bit-identical between the simulated backend and four real
+// processes over TCP. Hooks transport exclusively via AllGather (pure byte
+// movement on both backends) and decompress in fp32 locally, so this holds
+// exactly, not approximately.
+TEST(MultiprocE2eTest, CompressionHooksWireMatchesSimBitExact) {
+  constexpr int kWorld = 4;
+  for (const std::string hook : {"fp16", "bf16", "onebit", "powersgd",
+                                 "topk"}) {
+    SCOPED_TRACE("comm hook " + hook);
+    const auto sim = RunSim(kWorld, -1, -1, hook);
+    ASSERT_TRUE(sim[0].ok) << sim[0].error;
+    for (int rank = 1; rank < kWorld; ++rank) {
+      ASSERT_EQ(sim[0].digest, sim[static_cast<size_t>(rank)].digest)
+          << "sim ranks disagree before the wire even ran";
+    }
+
+    const WireOutcome wire = RunWire("hook_" + hook, kWorld, -1, -1, hook);
+    ASSERT_EQ(0, wire.launch_exit) << wire.launch_output;
+    ASSERT_EQ(static_cast<size_t>(kWorld), wire.ranks.size())
+        << wire.launch_output;
+    for (const auto& [rank, line] : wire.ranks) {
+      EXPECT_EQ(sim[static_cast<size_t>(rank)].digest, line.digest)
+          << "rank " << rank << " diverged from the sim reference under "
+          << hook;
     }
   }
 }

@@ -25,6 +25,7 @@
 #include "comm/sim_world.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/compression.h"
 #include "core/distributed_data_parallel.h"
 #include "nn/losses.h"
 #include "nn/zoo.h"
@@ -49,6 +50,11 @@ struct ScenarioOptions {
   int min_world = 2;
   double collective_timeout_seconds = 10.0;
   double rendezvous_timeout_seconds = 10.0;
+  /// Gradient-compression comm hook installed on every rank ("" / "none"
+  /// = stock all-reduce). Hooks transport via AllGather and accumulate in
+  /// fp32 locally, so the digest gate applies to them unchanged: sim and
+  /// wire runs must agree bit for bit per hook.
+  std::string comm_hook;
 };
 
 struct ScenarioResult {
@@ -107,6 +113,7 @@ ScenarioResult RunScenario(comm::SimWorld::RankContext& ctx,
 
   core::DdpOptions ddp_options;
   ddp_options.collective_timeout_seconds = options.collective_timeout_seconds;
+  ddp_options.comm_hook = core::MakeCommHookByName(options.comm_hook);
   core::DistributedDataParallel ddp(model, ctx.process_group, ddp_options);
   nn::MSELoss mse;
 

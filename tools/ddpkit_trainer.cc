@@ -8,7 +8,8 @@
 //   ddpkit_trainer [--model=mlp|convnet|resnet|transformer] [--world=N]
 //                  [--backend=nccl|gloo|mpi|tcp] [--bucket-mb=N] [--steps=N]
 //                  [--batch=N] [--lr=F] [--momentum=F] [--optimizer=sgd|adam]
-//                  [--sync-every=N] [--find-unused] [--compress=none|fp16|1bit]
+//                  [--sync-every=N] [--find-unused]
+//                  [--comm-hook=none|fp16|bf16|onebit|powersgd|topk]
 //                  [--round-robin=N] [--clip-norm=F] [--warmup=N]
 //                  [--checkpoint=PATH] [--trace=PATH] [--seed=N]
 //
@@ -96,6 +97,7 @@ Args ParseArgs(int argc, char** argv) {
     else if (ParseFlag(a, "sync-every", &value)) args.sync_every = std::atoi(value.c_str());
     else if (std::strcmp(a, "--find-unused") == 0) args.find_unused = true;
     else if (ParseFlag(a, "compress", &value)) args.compress = value;
+    else if (ParseFlag(a, "comm-hook", &value)) args.compress = value;
     else if (ParseFlag(a, "round-robin", &value)) args.round_robin = std::atoi(value.c_str());
     else if (ParseFlag(a, "clip-norm", &value)) args.clip_norm = std::atof(value.c_str());
     else if (ParseFlag(a, "warmup", &value)) args.warmup = std::atoi(value.c_str());
@@ -162,6 +164,14 @@ int main(int argc, char** argv) {
               args.bucket_mb, args.steps, args.batch, args.lr,
               args.sync_every, args.round_robin, args.compress.c_str());
 
+  if (!core::IsValidCommHookName(args.compress)) {
+    std::fprintf(stderr,
+                 "ddpkit_trainer: unknown comm hook '%s' (expected one of "
+                 "none fp16 bf16 onebit powersgd topk)\n",
+                 args.compress.c_str());
+    return 2;
+  }
+
   const bool transformer = args.model == "transformer";
   const bool image_2d = args.model == "convnet" || args.model == "resnet";
   data::SyntheticMnist images(2048, args.seed, 0.6);
@@ -185,11 +195,7 @@ int main(int argc, char** argv) {
     core::DdpOptions ddp_options;
     ddp_options.bucket_cap_bytes = static_cast<size_t>(args.bucket_mb) << 20;
     ddp_options.find_unused_parameters = args.find_unused;
-    if (args.compress == "fp16") {
-      ddp_options.comm_hook = std::make_shared<core::Fp16CompressionHook>();
-    } else if (args.compress == "1bit") {
-      ddp_options.comm_hook = std::make_shared<core::OneBitCompressionHook>();
-    }
+    ddp_options.comm_hook = core::MakeCommHookByName(args.compress);
     ddp_options.compute_model = std::make_shared<sim::ComputeCostModel>(
         sim::ComputeCostModel::V100Profile());
     ddp_options.trace = trace_recorder;

@@ -21,6 +21,12 @@
 //                          a silently dropped Status on a recovery or
 //                          collective path turns a typed failure back into
 //                          the hang/corruption it was typed to prevent.
+//   nodiscard-workhandle   WorkHandle-returning function declarations in
+//                          src/comm/ headers must be [[nodiscard]]: a
+//                          dropped handle is a dropped collective verdict —
+//                          the timeout/rank-failure the handle would have
+//                          carried is silently lost (the 1-bit hook bug
+//                          this PR fixes).
 //   raw-elementwise-loop   hand-rolled elementwise loops (a store to a bare
 //                          subscript `dst[i]` computed from another bare
 //                          subscript) in src/tensor/ and src/comm/ are
@@ -329,6 +335,56 @@ bool LineDeclaresStatusFunction(const std::string& code) {
   return j != std::string::npos && code[j] == '(';
 }
 
+/// True when one stripped code line declares a function returning a
+/// WorkHandle by value: optional qualifiers, the (possibly namespace-
+/// qualified) WorkHandle return type, an identifier, then '('. References,
+/// pointers, and data members are not matched, mirroring
+/// LineDeclaresStatusFunction.
+bool LineDeclaresWorkHandleFunction(const std::string& code) {
+  size_t i = code.find_first_not_of(" \t");
+  if (i == std::string::npos) return false;
+
+  const auto word_at = [&](size_t pos, const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    return code.compare(pos, n, word) == 0 &&
+           (pos + n >= code.size() || !IsIdentChar(code[pos + n]));
+  };
+  static const char* kQualifiers[] = {"static",    "virtual", "inline",
+                                      "constexpr", "explicit", "friend"};
+  bool stripped = true;
+  while (stripped) {
+    stripped = false;
+    for (const char* q : kQualifiers) {
+      if (!word_at(i, q)) continue;
+      i = code.find_first_not_of(" \t",
+                                 i + std::char_traits<char>::length(q));
+      if (i == std::string::npos) return false;
+      stripped = true;
+    }
+  }
+
+  size_t after_type = std::string::npos;
+  for (const char* handle :
+       {"ddpkit::comm::WorkHandle", "comm::WorkHandle", "WorkHandle"}) {
+    if (word_at(i, handle)) {
+      after_type = i + std::char_traits<char>::length(handle);
+      break;
+    }
+  }
+  if (after_type == std::string::npos) return false;
+
+  size_t j = code.find_first_not_of(" \t", after_type);
+  if (j == std::string::npos || j == after_type) return false;
+  if (code[j] == '&' || code[j] == '*') return false;
+  if (!IsIdentChar(code[j]) ||
+      std::isdigit(static_cast<unsigned char>(code[j])) != 0) {
+    return false;
+  }
+  while (j < code.size() && IsIdentChar(code[j])) ++j;
+  j = code.find_first_not_of(" \t", j);
+  return j != std::string::npos && code[j] == '(';
+}
+
 // ---------------------------------------------------------------------------
 // raw-elementwise-loop: structural pass over the kernel directories.
 // ---------------------------------------------------------------------------
@@ -516,6 +572,17 @@ const std::vector<Rule>& Rules() {
        "mark the declaration [[nodiscard]] (same line or the line above); "
        "waive intentionally discardable calls with "
        "// ddplint: allow(nodiscard-status) <reason>"},
+      {"nodiscard-workhandle",
+       {},  // structural rule: matched by LintNodiscardDecls, not tokens
+       [](const std::string& path) {
+         return InDir(path, "comm/") && IsHeaderPath(path);
+       },
+       "a dropped WorkHandle is a dropped collective verdict: the typed "
+       "timeout or rank failure the handle carries never reaches the "
+       "reducer, so the error surfaces later as a hang or a stale gradient",
+       "mark the declaration [[nodiscard]] (same line or the line above); "
+       "waive fire-and-forget collectives with "
+       "// ddplint: allow(nodiscard-workhandle) <reason>"},
       {"raw-elementwise-loop",
        {},  // structural rule: matched by LintRawElementwiseLoop, not tokens
        [](const std::string& path) {
@@ -551,17 +618,19 @@ struct Violation {
   std::string token;
 };
 
-/// The structural nodiscard-status pass: every Status/Result-by-value
-/// function declaration in an applicable header must carry [[nodiscard]]
-/// on its own line or on the previous non-blank code line.
-void LintNodiscardStatus(const std::string& path,
-                         const std::vector<std::string>& code,
-                         const Waivers& waivers,
-                         std::vector<Violation>* out) {
-  const std::string rule = "nodiscard-status";
+/// The structural nodiscard passes: every by-value declaration the
+/// `declares` predicate matches in an applicable header must carry
+/// [[nodiscard]] on its own line or on the previous non-blank code line.
+/// Shared by nodiscard-status (Status/Result) and nodiscard-workhandle.
+void LintNodiscardDecls(const std::string& rule,
+                        bool (*declares)(const std::string&),
+                        const char* token, const std::string& path,
+                        const std::vector<std::string>& code,
+                        const Waivers& waivers,
+                        std::vector<Violation>* out) {
   if (waivers.file_rules.count(rule) > 0) return;
   for (size_t i = 0; i < code.size(); ++i) {
-    if (!LineDeclaresStatusFunction(code[i])) continue;
+    if (!declares(code[i])) continue;
     if (code[i].find("[[nodiscard]]") != std::string::npos) continue;
     bool annotated_above = false;
     for (size_t j = i; j > 0;) {
@@ -572,7 +641,7 @@ void LintNodiscardStatus(const std::string& path,
     }
     if (annotated_above) continue;
     if (waivers.Covers(rule, i)) continue;
-    out->push_back(Violation{path, i + 1, rule, "Status"});
+    out->push_back(Violation{path, i + 1, rule, token});
   }
 }
 
@@ -612,7 +681,13 @@ void LintContent(const std::string& path, const std::string& content,
     if (!rule.applies(norm)) continue;
     if (waivers.file_rules.count(rule.name) > 0) continue;
     if (rule.name == "nodiscard-status") {
-      LintNodiscardStatus(path, code, waivers, out);
+      LintNodiscardDecls(rule.name, LineDeclaresStatusFunction, "Status",
+                         path, code, waivers, out);
+      continue;
+    }
+    if (rule.name == "nodiscard-workhandle") {
+      LintNodiscardDecls(rule.name, LineDeclaresWorkHandleFunction,
+                         "WorkHandle", path, code, waivers, out);
       continue;
     }
     if (rule.name == "raw-elementwise-loop") {
@@ -780,6 +855,33 @@ int SelfTest(const ddpkit::tools::ToolArgs&) {
       {"nodiscard-status waiver honored", "src/comm/x.h",
        "Status Legacy();  // ddplint: allow(nodiscard-status) migration\n", 0,
        ""},
+      {"bare WorkHandle declaration in comm header flagged", "src/comm/x.h",
+       "WorkHandle AllReduce(Tensor tensor, ReduceOp op);\n", 1,
+       "nodiscard-workhandle"},
+      {"virtual comm::WorkHandle declaration flagged", "src/comm/x.h",
+       "virtual comm::WorkHandle Broadcast(Tensor t, int root) = 0;\n", 1,
+       "nodiscard-workhandle"},
+      {"[[nodiscard]] WorkHandle on the same line is clean", "src/comm/x.h",
+       "[[nodiscard]] WorkHandle AllReduce(Tensor t, ReduceOp op) override;\n",
+       0, ""},
+      {"[[nodiscard]] WorkHandle on the previous line is clean",
+       "src/comm/x.h",
+       "[[nodiscard]] virtual\nWorkHandle Gather(Tensor t, int root) = 0;\n",
+       0, ""},
+      {"WorkHandle members and references are not declarations",
+       "src/comm/x.h",
+       "WorkHandle work_;\nstd::vector<WorkHandle> works_;\n"
+       "const WorkHandle& current() const;\n",
+       0, ""},
+      {"nodiscard-workhandle skips .cc definitions", "src/comm/x.cc",
+       "WorkHandle AllReduce(Tensor t, ReduceOp op) { return Track(t); }\n",
+       0, ""},
+      {"nodiscard-workhandle skips headers outside comm",
+       "src/core/reducer.h", "WorkHandle Launch(Tensor bucket);\n", 0, ""},
+      {"nodiscard-workhandle waiver honored", "src/comm/x.h",
+       "WorkHandle Probe();  "
+       "// ddplint: allow(nodiscard-workhandle) fire-and-forget probe\n",
+       0, ""},
       {"raw elementwise loop in tensor flagged", "src/tensor/ops.cc",
        "for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];\n", 1,
        "raw-elementwise-loop"},
