@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "comm/store_keys.h"
 #include "common/check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -158,7 +159,7 @@ std::shared_ptr<ProcessGroupSim> ProcessGroupSim::Create(
   DDPKIT_CHECK(rank >= 0 && rank < world);
 
   // Membership rendezvous through the store (the TCPStore role).
-  store->Add("pg/" + name + "/joined", 1);
+  store->Add(store_keys::PgJoinedCounter(name), 1);
 
   auto state = internal::GroupRegistry::Instance().GetOrCreate(name, world);
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "comm/net_socket.h"
+#include "comm/store_keys.h"
 #include "common/logging.h"
 #include "common/vec.h"
 #include "sim/collective_algo.h"
@@ -503,9 +504,9 @@ Status ProcessGroupTcp::Bootstrap() {
   }
 
   const std::string prefix =
-      "pgtcp/" + name_ + "/g" + std::to_string(options_.generation) + "/";
+      store_keys::PgTcpPrefix(name_, options_.generation);
   const Status published = store_->SetWithRetry(
-      prefix + "rank" + std::to_string(rank()),
+      store_keys::PgTcpRankKey(prefix, rank()),
       options_.host + ":" + std::to_string(port.value()));
   if (!published.ok()) {
     CloseFd(listen_fd.value());
@@ -523,7 +524,7 @@ Status ProcessGroupTcp::Bootstrap() {
   // the kernel backlog holds our SYN until they reach accept)...
   for (int peer = 0; peer < rank(); ++peer) {
     Result<std::string> addr = store_->GetWithRetry(
-        prefix + "rank" + std::to_string(peer),
+        store_keys::PgTcpRankKey(prefix, peer),
         options_.connect_timeout_seconds);
     if (!addr.ok()) {
       return fail(Status(addr.status().code(),

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "comm/store_keys.h"
+
 namespace ddpkit::comm {
 
 namespace {
@@ -28,7 +30,7 @@ bool ParseField(const std::string& field, int64_t* out) {
 }
 
 std::string JoinKey(const std::string& prefix, int rank) {
-  return prefix + "join/rank" + std::to_string(rank);
+  return store_keys::RendezvousJoinKey(prefix, rank);
 }
 
 }  // namespace
@@ -66,7 +68,7 @@ bool ParseMembers(const std::string& payload, int old_world,
 }
 
 std::string RendezvousPrefix(const std::string& ns, uint64_t generation) {
-  return "rendezvous/" + ns + "/g" + std::to_string(generation) + "/";
+  return store_keys::RendezvousPrefix(ns, generation);
 }
 
 Result<RendezvousResult> AbortAndRendezvous(Store* store,
@@ -141,7 +143,8 @@ Result<RendezvousResult> AbortAndRendezvous(Store* store,
   if (!joined.empty() && joined.front() == old_rank) {
     int64_t seal_count = 0;
     Status st =
-        store->AddWithRetry(prefix + "seal", 1, &seal_count, options.retry);
+        store->AddWithRetry(store_keys::RendezvousSealKey(prefix), 1,
+                            &seal_count, options.retry);
     if (!st.ok()) {
       return Status(st.code(), "rendezvous for generation " +
                                    std::to_string(generation) +
@@ -149,8 +152,8 @@ Result<RendezvousResult> AbortAndRendezvous(Store* store,
                                    st.message());
     }
     if (seal_count == 1) {
-      st = store->SetWithRetry(prefix + "members", SerializeMembers(joined),
-                               options.retry);
+      st = store->SetWithRetry(store_keys::RendezvousMembersKey(prefix),
+                               SerializeMembers(joined), options.retry);
       if (!st.ok()) {
         return Status(st.code(), "rendezvous for generation " +
                                      std::to_string(generation) +
@@ -163,8 +166,8 @@ Result<RendezvousResult> AbortAndRendezvous(Store* store,
   // 4. Everyone reads the sealed membership. A fresh full-timeout wait: the
   // sealer may have entered the rendezvous almost `timeout_seconds` after
   // this rank and spends its own barrier wait before publishing.
-  auto got = store->GetWithRetry(prefix + "members", options.timeout_seconds,
-                                 options.retry);
+  auto got = store->GetWithRetry(store_keys::RendezvousMembersKey(prefix),
+                                 options.timeout_seconds, options.retry);
   if (!got.ok()) {
     return Status(got.status().code(),
                   "rendezvous for generation " + std::to_string(generation) +

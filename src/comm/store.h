@@ -155,8 +155,11 @@ class Store {
   /// True when this attempt should fail transiently (consumes budget/RNG).
   bool MaybeInjectFault() EXCLUDES(fault_mutex_);
 
-  /// Protects the key-value map; cv_ signals key arrivals.
-  mutable Mutex mutex_;
+  /// Protects the key-value map; cv_ signals key arrivals. Ordered before
+  /// fault_mutex_ in the DESIGN.md §8 hierarchy (store.mutex ≺ store.fault
+  /// in tools/ddplint/lock_order.txt), though the two never nest today:
+  /// MaybeInjectFault runs outside mutex_ by the EXCLUDES contract above.
+  mutable Mutex mutex_ ACQUIRED_BEFORE(fault_mutex_);
   CondVar cv_;
   std::map<std::string, std::string> data_ GUARDED_BY(mutex_);
 

@@ -336,6 +336,11 @@ Result<std::vector<uint8_t>> StoreClientTcp::Rpc(
     const std::vector<uint8_t>& request, double deadline_seconds) {
   MutexLock lock(&rpc_mutex_);
   if (fd_ < 0) {
+    // ddplint: allow(blocking-under-lock) rpc_mutex_ exists to serialize
+    // whole RPCs on the single connection; holders block only on the store
+    // SERVER (a separate process that never takes client locks), every
+    // wait below is deadline-bounded, and rpc_mutex_ is a §8 level below
+    // everything that calls into the store client.
     Result<int> fd = ConnectWithDeadline(
         host_, port_, Deadline::After(options_.connect_timeout_seconds));
     if (!fd.ok()) {
@@ -346,8 +351,13 @@ Result<std::vector<uint8_t>> StoreClientTcp::Rpc(
     fd_ = fd.value();
   }
   const Deadline deadline = Deadline::After(deadline_seconds);
+  // ddplint: allow(blocking-under-lock) serialized RPC frame exchange with
+  // the store server; deadline-bounded, no lock-holder on the peer side
+  // (see the ConnectWithDeadline waiver above).
   Status sent = SendFrame(fd_, request.data(), request.size(), deadline);
   if (sent.ok()) {
+    // ddplint: allow(blocking-under-lock) same serialized-RPC argument as
+    // the SendFrame half of this exchange.
     Result<std::vector<uint8_t>> response = RecvFrame(fd_, deadline);
     if (response.ok()) return response;
     sent = response.status();

@@ -60,6 +60,16 @@
 /// (deadlock prevention; catches self-deadlock on non-reentrant locks).
 #define EXCLUDES(...) DDPKIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
 
+/// Declares lock-ordering on a mutex member: this mutex is acquired before
+/// (resp. after) the listed mutexes of the same class. Clang verifies the
+/// same-class pairs; the cross-class hierarchy of DESIGN.md §8 is checked
+/// textually by ddplint's lock-order pass (tools/ddplint/lock_order.txt),
+/// which also parses these annotations' intent from MutexLock scopes.
+#define ACQUIRED_BEFORE(...) \
+  DDPKIT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DDPKIT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
 /// Declares that a function returns a reference to the given mutex.
 #define RETURN_CAPABILITY(x) DDPKIT_THREAD_ANNOTATION(lock_returned(x))
 

@@ -13,6 +13,7 @@
 #include "autograd/grad_accumulator.h"
 #include "autograd/graph_utils.h"
 #include "comm/store.h"
+#include "comm/store_keys.h"
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -172,8 +173,11 @@ Reducer::Reducer(std::vector<Tensor> params,
   if (comm::Store* store = pg_->store();
       store != nullptr && pg_->world() > 1) {
     int64_t count = 0;
+    // ddplint: allow(blocking-under-lock) constructor-held mu_ is
+    // uncontended (no other thread can see this reducer yet) and the
+    // retry loop is deadline-bounded, so nothing can wait on the lock.
     Status st = store->AddWithRetry(
-        "reducer/instances/rank" + std::to_string(pg_->rank()), 1, &count);
+        comm::store_keys::ReducerInstanceCounter(pg_->rank()), 1, &count);
     if (st.ok()) {
       store_instance_ = count - 1;
     } else if (options_.validate_bucket_layout) {
@@ -751,9 +755,7 @@ void Reducer::ValidateCrossRankLayout() {
   // bucket rebuild, and ranks in lockstep consume matching epochs. (The
   // instance id pairing the Nth reducer across ranks was allocated at
   // construction.)
-  const std::string prefix = "reducer/layout/" +
-                             std::to_string(store_instance_) + "/v" +
-                             std::to_string(layout_epoch_++) + "/rank";
+  const int64_t epoch = layout_epoch_++;
 
   std::vector<int64_t> bucket_numels;
   bucket_numels.reserve(buckets_.size());
@@ -761,7 +763,9 @@ void Reducer::ValidateCrossRankLayout() {
     bucket_numels.push_back(bucket.buffer.numel());
   }
   const std::string own_sig = LayoutSignature(bucket_numels);
-  Status st = store->SetWithRetry(prefix + std::to_string(rank), own_sig);
+  Status st = store->SetWithRetry(
+      comm::store_keys::ReducerLayoutRankKey(store_instance_, epoch, rank),
+      own_sig);
   if (!st.ok()) {
     AbortSync(Status(st.code(),
                      "bucket-layout validation could not publish rank " +
@@ -775,8 +779,9 @@ void Reducer::ValidateCrossRankLayout() {
   // instead of a rendezvous hang.
   std::vector<std::string> sigs(static_cast<size_t>(world));
   for (int r = 0; r < world; ++r) {
-    auto got = store->GetWithRetry(prefix + std::to_string(r),
-                                   options_.validation_timeout_seconds);
+    auto got = store->GetWithRetry(
+        comm::store_keys::ReducerLayoutRankKey(store_instance_, epoch, r),
+        options_.validation_timeout_seconds);
     if (!got.ok()) {
       AbortSync(Status(got.status().code(),
                        "bucket-layout validation: rank " + std::to_string(r) +
@@ -793,10 +798,9 @@ void Reducer::ValidateCrossRankLayout() {
   // and a rank publishes e only after finishing its reads of e-1 — so no
   // rank can still need any epoch below e. Without this sweep a
   // rebuild-heavy job leaks world keys per epoch into the Store.
-  const std::string epoch_base =
-      "reducer/layout/" + std::to_string(store_instance_) + "/v";
   for (; layout_swept_ + 1 < layout_epoch_; ++layout_swept_) {
-    store->DeletePrefix(epoch_base + std::to_string(layout_swept_) + "/");
+    store->DeletePrefix(comm::store_keys::ReducerLayoutEpochPrefix(
+        store_instance_, layout_swept_));
   }
 
   for (int r = 1; r < world; ++r) {
@@ -857,14 +861,17 @@ bool Reducer::RebuildBucketsFromTrace() {
     if (last_ready_order_.size() != params_.size()) return false;
     order = last_ready_order_;
   } else {
-    const std::string key = "reducer/rebuild/" +
-                            std::to_string(store_instance_) + "/v" +
-                            std::to_string(rebuild_epoch_++) + "/order";
+    const std::string key = comm::store_keys::ReducerRebuildOrderKey(
+        store_instance_, rebuild_epoch_++);
     if (pg_->rank() == 0) {
       // "skip" keeps the epoch consumed on every rank even when rank 0 has
       // no complete trace yet (e.g. rebuild requested before any synced
       // backward); SerializeOrder output always starts with a digit.
       const bool has_trace = last_ready_order_.size() == params_.size();
+      // ddplint: allow(blocking-under-lock) mu_ is the OUTERMOST level in
+      // the DESIGN.md §8 hierarchy — no other thread blocks on mu_ while
+      // holding anything the Store RPC needs — and the retry is
+      // deadline-bounded.
       Status st = store->SetWithRetry(
           key, has_trace ? SerializeOrder(last_ready_order_) : "skip");
       if (!st.ok()) {
@@ -879,6 +886,9 @@ bool Reducer::RebuildBucketsFromTrace() {
       // Bounded wait: a rank rebuilding alone (mismatched call counts
       // across ranks) surfaces here as a typed timeout instead of a hang
       // or a corrupted reduction.
+      // ddplint: allow(blocking-under-lock) mu_ is the outermost §8 level
+      // (see the SetWithRetry waiver above) and the wait is bounded by
+      // validation_timeout_seconds.
       auto got = store->GetWithRetry(key, options_.validation_timeout_seconds);
       if (!got.ok()) {
         AbortSync(Status(got.status().code(),
@@ -921,11 +931,9 @@ bool Reducer::RebuildBucketsFromTrace() {
       // handshake, and this rank completing that handshake proves every
       // peer got past its read. ("skip" epochs that returned early above
       // are swept by the next rebuild that reaches this point.)
-      const std::string rebuild_base =
-          "reducer/rebuild/" + std::to_string(store_instance_) + "/v";
       for (; rebuild_swept_ < rebuild_epoch_; ++rebuild_swept_) {
-        store->DeletePrefix(rebuild_base + std::to_string(rebuild_swept_) +
-                            "/");
+        store->DeletePrefix(comm::store_keys::ReducerRebuildEpochPrefix(
+            store_instance_, rebuild_swept_));
       }
     }
   }
@@ -980,8 +988,11 @@ Status Reducer::ResetAfterRecovery(
   if (comm::Store* store = pg_->store();
       store != nullptr && pg_->world() > 1) {
     int64_t count = 0;
+    // ddplint: allow(blocking-under-lock) recovery runs with the backward
+    // quiesced: nothing else can contend mu_ (DESIGN.md §8 outermost
+    // level), and the retry loop is deadline-bounded.
     Status st = store->AddWithRetry(
-        "reducer/instances/rank" + std::to_string(pg_->rank()), 1, &count);
+        comm::store_keys::ReducerInstanceCounter(pg_->rank()), 1, &count);
     if (st.ok()) {
       store_instance_ = count - 1;
     } else if (options_.validate_bucket_layout) {

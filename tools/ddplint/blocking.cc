@@ -1,0 +1,87 @@
+// blocking-under-lock: flags calls that can block for a deadline (or
+// forever) made while a MutexLock is textually live in the same scope.
+// The watched set is DefaultBlockingNames()/Suffixes() plus any `blocking`
+// / `blocking-suffix` directives from lock_order.txt.
+//
+// Exemptions:
+//   - CondVar waits: Wait/WaitFor/WaitUntil whose FIRST argument names a
+//     held lock release that lock while waiting — that is the whole point
+//     of a condition variable, not a bug.
+//   - Poll: only watched when spun in a loop header on the same line; a
+//     single poll with a timeout is how the deadline helpers are built.
+//   - Locks inherited via REQUIRES on the function being *defined* still
+//     count — the caller holds them for real.
+
+#include <string>
+#include <vector>
+
+#include "ddplint/passes.h"
+#include "ddplint/scopes.h"
+
+namespace ddplint {
+namespace {
+
+const char kRule[] = "blocking-under-lock";
+
+const std::set<std::string>& CondVarWaitNames() {
+  static const std::set<std::string>* names =
+      new std::set<std::string>{"Wait", "WaitFor", "WaitUntil"};
+  return *names;
+}
+
+std::string HeldList(const WatchedCall& call, const PassContext& ctx) {
+  std::string held;
+  for (const LockSite& lock : call.held) {
+    if (!held.empty()) held += ", ";
+    held += lock.expr + " (" + ctx.file.path + ":" +
+            std::to_string(lock.line + 1) +
+            (lock.from_requires ? ", via REQUIRES" : "") + ")";
+  }
+  return held;
+}
+
+}  // namespace
+
+void RunBlockingUnderLock(const PassContext& ctx, std::vector<Violation>* out) {
+  if (ctx.waivers.file_rules.count(kRule) > 0) return;
+
+  WatchSet watched;
+  watched.names = DefaultBlockingNames();
+  watched.suffixes = DefaultBlockingSuffixes();
+  if (ctx.lock_order != nullptr) {
+    watched.names.insert(ctx.lock_order->blocking_names.begin(),
+                         ctx.lock_order->blocking_names.end());
+    watched.suffixes.insert(ctx.lock_order->blocking_suffixes.begin(),
+                            ctx.lock_order->blocking_suffixes.end());
+  }
+  watched.names.insert("Poll");  // loop-header-only; filtered below
+
+  const ScopeScan scan = ScanScopes(ctx.file, watched);
+  for (const WatchedCall& call : scan.calls) {
+    if (call.callee == "Poll" && !call.in_loop_header) continue;
+    if (CondVarWaitNames().count(call.callee) > 0 && !call.first_arg.empty()) {
+      bool releases_held = false;
+      for (const LockSite& lock : call.held) {
+        if (lock.expr == call.first_arg) {
+          releases_held = true;
+          break;
+        }
+      }
+      if (releases_held) continue;  // CondVar wait: drops the lock by design
+    }
+    if (ctx.waivers.Covers(kRule, call.line)) continue;
+
+    out->push_back(Violation{
+        ctx.file.path, call.line + 1, kRule,
+        "'" + call.callee + "' can block while holding " +
+            HeldList(call, ctx) +
+            " — every other thread that needs the lock stalls for the "
+            "full blocking deadline",
+        "hoist the call out of the locked region (snapshot the guarded "
+        "state, unlock, then block), or waive a provably deadlock-free "
+        "site with // ddplint: allow(blocking-under-lock) <reason> citing "
+        "why no lock-holder can be on the other side of the wait"});
+  }
+}
+
+}  // namespace ddplint

@@ -1,0 +1,228 @@
+#include "ddplint/config.h"
+
+#include <deque>
+#include <sstream>
+
+#include "ddplint/lexer.h"
+
+namespace ddplint {
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+/// Kahn's algorithm: true when the edge set over `nodes` is acyclic.
+bool IsDag(const std::set<std::string>& nodes,
+           const std::map<std::string, std::set<std::string>>& edges) {
+  std::map<std::string, int> indegree;
+  for (const std::string& n : nodes) indegree[n] = 0;
+  for (const auto& [from, tos] : edges) {
+    (void)from;
+    for (const std::string& to : tos) ++indegree[to];
+  }
+  std::deque<std::string> ready;
+  for (const auto& [n, d] : indegree) {
+    if (d == 0) ready.push_back(n);
+  }
+  size_t seen = 0;
+  while (!ready.empty()) {
+    const std::string n = ready.front();
+    ready.pop_front();
+    ++seen;
+    const auto it = edges.find(n);
+    if (it == edges.end()) continue;
+    for (const std::string& to : it->second) {
+      if (--indegree[to] == 0) ready.push_back(to);
+    }
+  }
+  return seen == nodes.size();
+}
+
+}  // namespace
+
+bool LockOrderConfig::Before(const std::string& a, const std::string& b) const {
+  // BFS over the declared edges; hierarchies are tiny, no memoization
+  // needed.
+  std::deque<std::string> frontier{a};
+  std::set<std::string> visited{a};
+  while (!frontier.empty()) {
+    const std::string n = frontier.front();
+    frontier.pop_front();
+    const auto it = after.find(n);
+    if (it == after.end()) continue;
+    for (const std::string& next : it->second) {
+      if (next == b) return true;
+      if (visited.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> LockOrderConfig::Resolve(
+    const std::string& path, const std::string& expr) const {
+  // The last identifier of the expression: "state_->mutex" -> "mutex",
+  // "LogMutex()" -> "LogMutex", "mu_" -> "mu_".
+  std::string last_ident;
+  for (size_t i = expr.size(); i > 0;) {
+    --i;
+    if (IsIdentChar(expr[i])) {
+      size_t begin = i;
+      while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+      last_ident = expr.substr(begin, i - begin + 1);
+      break;
+    }
+  }
+  for (const MutexMap& m : this->mutexes) {
+    if (m.path_substr != "*" && path.find(m.path_substr) == std::string::npos) {
+      continue;
+    }
+    if (m.is_expr ? expr == m.pattern : last_ident == m.pattern) {
+      return m.level;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ParseLockOrder(const std::string& text, LockOrderConfig* out,
+                    std::string* error) {
+  *out = LockOrderConfig();
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  std::vector<std::pair<size_t, std::vector<std::string>>> directives;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> words = SplitWords(line);
+    if (!words.empty()) directives.emplace_back(lineno, words);
+  }
+
+  auto fail = [&](size_t ln, const std::string& what) {
+    *error = "lock_order line " + std::to_string(ln) + ": " + what;
+    return false;
+  };
+
+  // First pass: declarations, so `before`/`mutex` may reference forward.
+  for (const auto& [ln, words] : directives) {
+    if (words[0] == "level" || words[0] == "leaf") {
+      if (words.size() != 2) return fail(ln, "expected: " + words[0] + " <name>");
+      out->levels.insert(words[1]);
+      if (words[0] == "leaf") out->leaves.insert(words[1]);
+    }
+  }
+  for (const auto& [ln, words] : directives) {
+    if (words[0] == "level" || words[0] == "leaf") continue;
+    if (words[0] == "before") {
+      if (words.size() != 3) return fail(ln, "expected: before <a> <b>");
+      for (const std::string& level : {words[1], words[2]}) {
+        if (out->levels.count(level) == 0) {
+          return fail(ln, "undeclared level '" + level + "'");
+        }
+      }
+      out->after[words[1]].insert(words[2]);
+    } else if (words[0] == "mutex") {
+      if (words.size() != 4) {
+        return fail(ln, "expected: mutex <level> <path|*> <pattern>");
+      }
+      if (out->levels.count(words[1]) == 0) {
+        return fail(ln, "undeclared level '" + words[1] + "'");
+      }
+      LockOrderConfig::MutexMap m;
+      m.level = words[1];
+      m.path_substr = words[2];
+      m.pattern = words[3];
+      m.is_expr = m.pattern.find_first_of("->.(") != std::string::npos;
+      out->mutexes.push_back(std::move(m));
+    } else if (words[0] == "blocking") {
+      if (words.size() != 2) return fail(ln, "expected: blocking <name>");
+      out->blocking_names.insert(words[1]);
+    } else if (words[0] == "blocking-suffix") {
+      if (words.size() != 2) {
+        return fail(ln, "expected: blocking-suffix <suffix>");
+      }
+      out->blocking_suffixes.insert(words[1]);
+    } else {
+      return fail(ln, "unknown directive '" + words[0] + "'");
+    }
+  }
+  if (!IsDag(out->levels, out->after)) {
+    *error = "lock_order: the declared 'before' edges contain a cycle";
+    return false;
+  }
+  return true;
+}
+
+bool ParseIncludeDag(const std::string& text, IncludeDagConfig* out,
+                     std::string* error) {
+  *out = IncludeDagConfig();
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  std::vector<std::pair<size_t, std::vector<std::string>>> directives;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> words = SplitWords(line);
+    if (!words.empty()) directives.emplace_back(lineno, words);
+  }
+
+  auto fail = [&](size_t ln, const std::string& what) {
+    *error = "include_dag line " + std::to_string(ln) + ": " + what;
+    return false;
+  };
+
+  for (const auto& [ln, words] : directives) {
+    if (words[0] != "module" || words.size() < 2) {
+      return fail(ln, "expected: module <name> : <deps...>");
+    }
+    if (out->allowed.count(words[1]) > 0) {
+      return fail(ln, "duplicate module '" + words[1] + "'");
+    }
+    std::set<std::string>& deps = out->allowed[words[1]];
+    for (size_t i = 2; i < words.size(); ++i) {
+      if (words[i] == ":") continue;
+      deps.insert(words[i]);
+    }
+  }
+  std::set<std::string> modules;
+  for (const auto& [m, deps] : out->allowed) {
+    modules.insert(m);
+    for (const std::string& d : deps) {
+      if (out->allowed.count(d) == 0) {
+        *error = "include_dag: module '" + m + "' depends on undeclared '" +
+                 d + "'";
+        return false;
+      }
+    }
+  }
+  if (!IsDag(modules, out->allowed)) {
+    *error = "include_dag: the declared module edges contain a cycle";
+    return false;
+  }
+  return true;
+}
+
+const std::set<std::string>& DefaultBlockingNames() {
+  static const std::set<std::string>* names = new std::set<std::string>{
+      "Wait",        "WaitFor",     "WaitUntil", "WaitAndRethrow",
+      "SendAll",     "RecvAll",     "SendRecvAll",
+      "SendFrame",   "RecvFrame",   "ParallelFor", "ParallelReduce",
+      "sleep_for",   "sleep_until", "Barrier",
+  };
+  return *names;
+}
+
+const std::set<std::string>& DefaultBlockingSuffixes() {
+  static const std::set<std::string>* suffixes =
+      new std::set<std::string>{"WithRetry"};
+  return *suffixes;
+}
+
+}  // namespace ddplint

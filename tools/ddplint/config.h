@@ -1,0 +1,94 @@
+// Declarative configuration for the scope-aware passes.
+//
+// tools/ddplint/lock_order.txt declares the lock hierarchy (DESIGN.md §8)
+// and extends the blocking-call set:
+//
+//   level <name>                  declare a hierarchy level
+//   leaf <name>                   declare a level that must never be held
+//                                 across any other mapped acquisition
+//   before <a> <b>                a may be held while acquiring b (the
+//                                 transitive closure is enforced; cycles
+//                                 are a configuration error)
+//   mutex <level> <path|*> <pat>  map a mutex to a level. <pat> is either a
+//                                 bare identifier (matched against the last
+//                                 identifier of an acquisition expression,
+//                                 in files whose path contains <path>) or a
+//                                 full expression pattern like state->mutex
+//                                 (matched against the whole normalized
+//                                 expression; use * for any path)
+//   blocking <name>               add a call name to the blocking set
+//   blocking-suffix <sfx>         add a blocking name suffix (WithRetry)
+//
+// tools/ddplint/include_dag.txt declares the module layering for src/:
+//
+//   module <name> : <deps...>     files under src/<name>/ may #include
+//                                 "X/..." only for X == <name> or X listed
+//                                 in <deps> (transitivity is NOT implied:
+//                                 every edge must be declared). The declared
+//                                 edges must form a DAG.
+
+#ifndef DDPKIT_TOOLS_DDPLINT_CONFIG_H_
+#define DDPKIT_TOOLS_DDPLINT_CONFIG_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ddplint {
+
+struct LockOrderConfig {
+  std::set<std::string> levels;
+  std::set<std::string> leaves;  // subset of levels
+  /// after[a] = every level that a is declared (directly) before.
+  std::map<std::string, std::set<std::string>> after;
+
+  struct MutexMap {
+    std::string level;
+    std::string path_substr;  // "*" = any file
+    std::string pattern;      // identifier or full expression pattern
+    bool is_expr = false;     // pattern contains -> . ( — match whole expr
+  };
+  std::vector<MutexMap> mutexes;
+
+  std::set<std::string> blocking_names;
+  std::set<std::string> blocking_suffixes;
+
+  /// True when the declared partial order (transitively) places a before b.
+  bool Before(const std::string& a, const std::string& b) const;
+
+  /// Maps an acquisition expression (normalized: no '&', no spaces) in the
+  /// given file to a declared level; nullopt when unmapped.
+  std::optional<std::string> Resolve(const std::string& path,
+                                     const std::string& expr) const;
+};
+
+struct IncludeDagConfig {
+  /// allowed[m] = modules that files under src/<m>/ may include (m itself
+  /// is always allowed).
+  std::map<std::string, std::set<std::string>> allowed;
+
+  bool Declared(const std::string& module) const {
+    return allowed.count(module) > 0;
+  }
+};
+
+/// Parsers return false and set *error on malformed directives, references
+/// to undeclared levels/modules, or cyclic declarations.
+bool ParseLockOrder(const std::string& text, LockOrderConfig* out,
+                    std::string* error);
+bool ParseIncludeDag(const std::string& text, IncludeDagConfig* out,
+                     std::string* error);
+
+/// Built-in blocking-call set (the config file only ever extends it):
+/// Wait/WaitFor/WaitUntil/WaitAndRethrow, SendAll/RecvAll/SendRecvAll,
+/// SendFrame/RecvFrame, ParallelFor/ParallelReduce, sleep_for/sleep_until,
+/// Barrier, plus the *WithRetry suffix family. Poll is special-cased by the
+/// blocking pass: it only blocks when spun in a loop.
+const std::set<std::string>& DefaultBlockingNames();
+const std::set<std::string>& DefaultBlockingSuffixes();
+
+}  // namespace ddplint
+
+#endif  // DDPKIT_TOOLS_DDPLINT_CONFIG_H_

@@ -1,0 +1,78 @@
+// include-dag: enforces the module layering declared in
+// tools/ddplint/include_dag.txt over src/. A file under src/<m>/ may
+// #include "X/..." only for X == m or X listed among m's declared deps —
+// transitivity is not implied, and back edges (comm/ including core/)
+// can never be declared because the table must parse as a DAG.
+//
+// Only quoted includes whose path names a *declared* module are checked:
+// system headers, same-directory includes, and third-party paths are not
+// the layering table's business.
+
+#include <string>
+#include <vector>
+
+#include "ddplint/lexer.h"
+#include "ddplint/passes.h"
+
+namespace ddplint {
+namespace {
+
+const char kRule[] = "include-dag";
+
+/// The module of a file under src/: "src/comm/store.cc" -> "comm".
+/// Empty when the file is not under a src/<module>/ path.
+std::string ModuleOf(const std::string& path) {
+  static const char kSrc[] = "src/";
+  size_t pos = 0;
+  if (path.compare(0, 4, kSrc) != 0) {
+    const size_t embedded = path.find("/src/");
+    if (embedded == std::string::npos) return "";
+    pos = embedded + 5;
+  } else {
+    pos = 4;
+  }
+  const size_t slash = path.find('/', pos);
+  if (slash == std::string::npos) return "";
+  return path.substr(pos, slash - pos);
+}
+
+bool LineIsInclude(const std::string& code) {
+  size_t i = code.find_first_not_of(" \t");
+  if (i == std::string::npos || code[i] != '#') return false;
+  i = code.find_first_not_of(" \t", i + 1);
+  return i != std::string::npos && code.compare(i, 7, "include") == 0;
+}
+
+}  // namespace
+
+void RunIncludeDag(const PassContext& ctx, std::vector<Violation>* out) {
+  if (ctx.include_dag == nullptr) return;
+  const IncludeDagConfig& dag = *ctx.include_dag;
+  if (ctx.waivers.file_rules.count(kRule) > 0) return;
+
+  const std::string module = ModuleOf(ctx.file.path);
+  if (module.empty() || !dag.Declared(module)) return;
+  const std::set<std::string>& deps = dag.allowed.at(module);
+
+  for (const StringLiteral& lit : ctx.file.strings) {
+    if (lit.line >= ctx.file.code.size()) continue;
+    if (!LineIsInclude(ctx.file.code[lit.line])) continue;
+    const size_t slash = lit.text.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string target = lit.text.substr(0, slash);
+    if (!dag.Declared(target)) continue;  // not a layered module path
+    if (target == module || deps.count(target) > 0) continue;
+    if (ctx.waivers.Covers(kRule, lit.line)) continue;
+
+    out->push_back(Violation{
+        ctx.file.path, lit.line + 1, kRule,
+        "layering violation: module '" + module + "' includes \"" + lit.text +
+            "\" but tools/ddplint/include_dag.txt declares no '" + module +
+            " -> " + target + "' edge",
+        "depend on a lower layer (or move the shared declaration down), or "
+        "declare the edge in tools/ddplint/include_dag.txt — the table must "
+        "stay a DAG, so a back edge cannot be declared at all"});
+  }
+}
+
+}  // namespace ddplint

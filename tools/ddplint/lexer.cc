@@ -1,0 +1,237 @@
+#include "ddplint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ddplint {
+namespace {
+
+/// Lexer state that survives a newline. Everything else (plain // comments,
+/// char literals without a trailing backslash) terminates at end of line.
+enum class State {
+  kCode,
+  kBlockComment,
+  kLineComment,  // only carried across lines by a backslash continuation
+  kString,       // only carried across lines by a backslash continuation
+  kChar,         // same
+  kRawString,    // carried until the closing )delim" sequence
+};
+
+/// True when the characters ending at `end` (exclusive) spell a raw-string
+/// prefix — R, u8R, uR, UR or LR — starting at an identifier boundary.
+/// `line[end]` is the opening double quote.
+bool RawPrefixEndsAt(const std::string& line, size_t end) {
+  if (end == 0 || line[end - 1] != 'R') return false;
+  size_t start = end - 1;  // position of 'R'
+  if (start >= 2 && line.compare(start - 2, 2, "u8") == 0) {
+    start -= 2;
+  } else if (start >= 1 &&
+             (line[start - 1] == 'u' || line[start - 1] == 'U' ||
+              line[start - 1] == 'L')) {
+    start -= 1;
+  }
+  return start == 0 || !IsIdentChar(line[start - 1]);
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsBlankLine(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+bool LineHasToken(const std::string& code, const Token& token) {
+  size_t pos = 0;
+  while ((pos = code.find(token.text, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + token.text.size();
+    const bool right_ok =
+        token.prefix_match || end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+std::string NormalizePath(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool InDir(const std::string& path, const std::string& dir) {
+  const size_t at = path.find(dir);
+  if (at == std::string::npos) return false;
+  return at == 0 || path[at - 1] == '/';
+}
+
+bool MentionsFile(const std::string& path, const std::string& stem) {
+  return path.find(stem) != std::string::npos;
+}
+
+bool IsHeaderPath(const std::string& path) {
+  auto ends_with = [&](const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  return ends_with(".h") || ends_with(".hpp");
+}
+
+SourceFile Lex(const std::string& path, const std::string& content) {
+  SourceFile file;
+  file.path = NormalizePath(path);
+
+  // Split into physical lines (the views stay line-addressable so every
+  // diagnostic can cite file:line).
+  {
+    std::string line;
+    for (const char c : content) {
+      if (c == '\n') {
+        file.raw.push_back(std::move(line));
+        line.clear();
+      } else {
+        line.push_back(c);
+      }
+    }
+    if (!line.empty() || file.raw.empty()) file.raw.push_back(std::move(line));
+  }
+
+  State state = State::kCode;
+  char quote = '"';
+  std::string raw_delim;        // the )delim" terminator of a raw string
+  StringLiteral* open_literal = nullptr;  // literal spanning into this line
+
+  file.code.reserve(file.raw.size());
+  for (size_t ln = 0; ln < file.raw.size(); ++ln) {
+    const std::string& line = file.raw[ln];
+    std::string code(line.size(), ' ');
+    size_t i = 0;
+
+    while (i < line.size()) {
+      switch (state) {
+        case State::kBlockComment:
+          if (line.compare(i, 2, "*/") == 0) {
+            state = State::kCode;
+            i += 2;
+          } else {
+            ++i;
+          }
+          continue;
+
+        case State::kLineComment:
+          // Consumed to end of line below (after the switch we only get
+          // here when a continuation carried the comment over).
+          i = line.size();
+          continue;
+
+        case State::kRawString:
+          if (line.compare(i, raw_delim.size(), raw_delim) == 0) {
+            state = State::kCode;
+            i += raw_delim.size();
+            open_literal = nullptr;
+          } else {
+            if (open_literal != nullptr) open_literal->text.push_back(line[i]);
+            ++i;
+          }
+          continue;
+
+        case State::kString:
+        case State::kChar:
+          if (line[i] == '\\') {
+            if (state == State::kString && open_literal != nullptr &&
+                i + 1 < line.size()) {
+              open_literal->text.push_back(line[i]);
+              open_literal->text.push_back(line[i + 1]);
+            }
+            i += 2;  // may step past EOL: that is the line-continuation case
+          } else if (line[i] == quote) {
+            state = State::kCode;
+            open_literal = nullptr;
+            ++i;
+          } else {
+            if (state == State::kString && open_literal != nullptr) {
+              open_literal->text.push_back(line[i]);
+            }
+            ++i;
+          }
+          continue;
+
+        case State::kCode:
+          break;  // handled below
+      }
+
+      // state == kCode
+      if (line.compare(i, 2, "//") == 0) {
+        state = State::kLineComment;
+        i = line.size();
+        continue;
+      }
+      if (line.compare(i, 2, "/*") == 0) {
+        state = State::kBlockComment;
+        i += 2;
+        continue;
+      }
+      const char c = line[i];
+      if (c == '"' && RawPrefixEndsAt(line, i)) {
+        // R"delim( ... )delim" — find the delimiter up to the '('.
+        const size_t open_paren = line.find('(', i + 1);
+        if (open_paren != std::string::npos && open_paren - i - 1 <= 16) {
+          raw_delim =
+              ")" + line.substr(i + 1, open_paren - i - 1) + "\"";
+          state = State::kRawString;
+          file.strings.push_back(StringLiteral{ln, ""});
+          open_literal = &file.strings.back();
+          i = open_paren + 1;
+          continue;
+        }
+        // Malformed raw string: fall through and treat as a plain literal
+        // (over-blanks at worst).
+      }
+      if (c == '"' || c == '\'') {
+        state = c == '"' ? State::kString : State::kChar;
+        quote = c;
+        if (c == '"') {
+          file.strings.push_back(StringLiteral{ln, ""});
+          open_literal = &file.strings.back();
+        }
+        ++i;
+        continue;
+      }
+      code[i] = c;
+      ++i;
+    }
+
+    // End of physical line: decide what survives the newline.
+    const bool continued = !line.empty() && line.back() == '\\';
+    switch (state) {
+      case State::kLineComment:
+        if (!continued) state = State::kCode;
+        break;
+      case State::kString:
+      case State::kChar:
+        // Only a backslash continuation legally extends a literal; anything
+        // else is a syntax error — stop blanking so we fail loudly on the
+        // next real token rather than silently eating the file.
+        if (!continued) {
+          state = State::kCode;
+          open_literal = nullptr;
+        }
+        break;
+      case State::kBlockComment:
+      case State::kRawString:
+        break;  // genuinely multi-line constructs
+      case State::kCode:
+        break;
+    }
+
+    file.code.push_back(std::move(code));
+  }
+  return file;
+}
+
+}  // namespace ddplint

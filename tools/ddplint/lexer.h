@@ -1,0 +1,75 @@
+// ddplint's shared lexer: one tokenization of a C++ source file that every
+// pass consumes. Produces three synchronized views:
+//
+//   raw      the file's lines verbatim (waivers live in comments, so waiver
+//            extraction reads this view)
+//   code     comments and string/character literals blanked to spaces, with
+//            line lengths and counts preserved so columns and line numbers
+//            agree with `raw`. Raw string literals (R"delim(...)delim",
+//            including u8R/uR/UR/LR prefixes) and backslash line
+//            continuations (a // comment or a literal continued onto the
+//            next physical line) are honored — a rule token inside either
+//            never fires.
+//   strings  the contents of every string literal outside comments, with
+//            the line it starts on (the store-key-schema pass matches key
+//            namespaces inside literals, which the code view blanks).
+//
+// Also home to the small path/identifier helpers shared by the passes.
+
+#ifndef DDPKIT_TOOLS_DDPLINT_LEXER_H_
+#define DDPKIT_TOOLS_DDPLINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ddplint {
+
+struct StringLiteral {
+  size_t line = 0;  // 0-based line the literal starts on
+  std::string text;  // literal contents, escapes kept verbatim
+};
+
+struct SourceFile {
+  std::string path;  // normalized: forward slashes
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<StringLiteral> strings;
+};
+
+/// Lexes `content` into the three views. Never fails: malformed input
+/// (unterminated literals, stray quotes) degrades to over-blanking, the
+/// safe direction for a linter that bans tokens.
+SourceFile Lex(const std::string& path, const std::string& content);
+
+// --- identifier / token helpers -------------------------------------------
+
+bool IsIdentChar(char c);
+bool IsBlankLine(const std::string& s);
+
+struct Token {
+  std::string text;
+  /// When true the token may be a prefix of a longer identifier
+  /// (DDPKIT_CHECK also matches DDPKIT_CHECK_EQ).
+  bool prefix_match = false;
+};
+
+/// Identifier-boundary token search: 'rand' must not match 'grand' or
+/// 'operand'.
+bool LineHasToken(const std::string& code, const Token& token);
+
+// --- path helpers ----------------------------------------------------------
+
+std::string NormalizePath(const std::string& path);
+
+/// True when `dir` ("comm/") appears as a directory component. "comm/"
+/// never matches "common/": the component must end at the slash.
+bool InDir(const std::string& path, const std::string& dir);
+
+bool MentionsFile(const std::string& path, const std::string& stem);
+
+bool IsHeaderPath(const std::string& path);
+
+}  // namespace ddplint
+
+#endif  // DDPKIT_TOOLS_DDPLINT_LEXER_H_

@@ -1,0 +1,161 @@
+// lock-order: verifies every nested MutexLock acquisition against the
+// declared hierarchy (tools/ddplint/lock_order.txt, mirroring DESIGN.md
+// §8). Three findings:
+//
+//   - inversion: the inner lock's level is declared before the outer's —
+//     the report cites BOTH acquisition sites.
+//   - undeclared nesting: both levels are mapped but no before-path
+//     connects outer to inner; the hierarchy file must declare every edge.
+//   - leaf held across an acquisition: leaf levels (metrics, trace,
+//     telemetry, pool, log) are terminal by contract.
+//   - a contradicting ACQUIRED_BEFORE/ACQUIRED_AFTER annotation: the
+//     same-class pairs Clang can verify must agree with the cross-class
+//     hierarchy this file declares, or the two checkers fight each other.
+//
+// Pairs with an unmapped side stay silent: the per-file scan sees helpers
+// and locals the hierarchy does not speak about, and guessing would drown
+// real inversions in noise.
+
+#include <string>
+#include <vector>
+
+#include "ddplint/lexer.h"
+#include "ddplint/passes.h"
+#include "ddplint/scopes.h"
+
+namespace ddplint {
+namespace {
+
+const char kRule[] = "lock-order";
+
+std::string Site(const LockSite& lock, const PassContext& ctx) {
+  return lock.expr + " (" + ctx.file.path + ":" +
+         std::to_string(lock.line + 1) +
+         (lock.from_requires ? ", via REQUIRES" : "") + ")";
+}
+
+/// Checks `Mutex <member> ACQUIRED_BEFORE(args...)` / ACQUIRED_AFTER
+/// declarations against the declared hierarchy: an annotation Clang
+/// enforces must not contradict what lock_order.txt declares.
+void CheckOrderAnnotations(const PassContext& ctx, const LockOrderConfig& order,
+                           std::vector<Violation>* out) {
+  for (size_t ln = 0; ln < ctx.file.code.size(); ++ln) {
+    const std::string& line = ctx.file.code[ln];
+    for (const char* macro : {"ACQUIRED_BEFORE", "ACQUIRED_AFTER"}) {
+      const size_t at = line.find(macro);
+      if (at == std::string::npos) continue;
+      if (at > 0 && IsIdentChar(line[at - 1])) continue;
+      const bool before = macro[9] == 'B';
+
+      // The member being declared: the identifier right before the macro.
+      size_t end = at;
+      while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\t')) {
+        --end;
+      }
+      size_t begin = end;
+      while (begin > 0 && IsIdentChar(line[begin - 1])) --begin;
+      if (begin == end) continue;
+      const std::string member = line.substr(begin, end - begin);
+      const auto member_level = order.Resolve(ctx.file.path, member);
+      if (!member_level.has_value()) continue;
+
+      // The annotation's arguments (same line; multi-line forms are rare
+      // enough to stay out of scope for a textual pass).
+      const size_t open = line.find('(', at);
+      const size_t close =
+          open == std::string::npos ? std::string::npos : line.find(')', open);
+      if (close == std::string::npos) continue;
+      std::string arg;
+      std::vector<std::string> args;
+      for (size_t i = open + 1; i <= close; ++i) {
+        if (i == close || line[i] == ',') {
+          if (!arg.empty()) args.push_back(arg);
+          arg.clear();
+        } else if (line[i] != ' ' && line[i] != '\t' && line[i] != '&') {
+          arg.push_back(line[i]);
+        }
+      }
+      for (const std::string& other : args) {
+        const auto other_level = order.Resolve(ctx.file.path, other);
+        if (!other_level.has_value() || *other_level == *member_level) {
+          continue;
+        }
+        const std::string& first = before ? *member_level : *other_level;
+        const std::string& second = before ? *other_level : *member_level;
+        if (order.Before(first, second)) continue;
+        if (ctx.waivers.Covers(kRule, ln)) continue;
+        out->push_back(Violation{
+            ctx.file.path, ln + 1, kRule,
+            std::string(macro) + "(" + other + ") on " + member +
+                " contradicts the declared hierarchy: no 'before " + first +
+                " " + second + "' path exists in tools/ddplint/lock_order.txt",
+            "make the annotation and the hierarchy file agree — they are "
+            "checked by different tools (Clang vs ddplint) and must tell "
+            "the same story"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunLockOrder(const PassContext& ctx, std::vector<Violation>* out) {
+  if (ctx.lock_order == nullptr) return;
+  const LockOrderConfig& order = *ctx.lock_order;
+  if (ctx.waivers.file_rules.count(kRule) > 0) return;
+
+  CheckOrderAnnotations(ctx, order, out);
+
+  const ScopeScan scan = ScanScopes(ctx.file, WatchSet{});
+  for (const NestedAcquisition& nest : scan.nested) {
+    const auto inner = order.Resolve(ctx.file.path, nest.inner.expr);
+    if (!inner.has_value()) continue;
+    if (ctx.waivers.Covers(kRule, nest.inner.line)) continue;
+
+    for (const LockSite& held : nest.held) {
+      const auto outer = order.Resolve(ctx.file.path, held.expr);
+      if (!outer.has_value()) continue;
+
+      if (order.leaves.count(*outer) > 0) {
+        out->push_back(Violation{
+            ctx.file.path, nest.inner.line + 1, kRule,
+            "leaf lock " + Site(held, ctx) + " [" + *outer +
+                "] is held while acquiring " + Site(nest.inner, ctx) + " [" +
+                *inner +
+                "] — leaf levels are terminal: nothing may be acquired "
+                "under them",
+            "release the leaf lock (copy what you need out of the guarded "
+            "state) before acquiring the next lock, or demote the level in "
+            "tools/ddplint/lock_order.txt if the hierarchy truly changed"});
+        continue;
+      }
+      if (*outer == *inner) continue;  // re-entry is the deadlock pass's job
+      if (order.Before(*outer, *inner)) continue;
+
+      if (order.Before(*inner, *outer)) {
+        out->push_back(Violation{
+            ctx.file.path, nest.inner.line + 1, kRule,
+            "lock-order inversion: " + Site(nest.inner, ctx) + " [" + *inner +
+                "] acquired while holding " + Site(held, ctx) + " [" + *outer +
+                "], but the hierarchy declares " + *inner + " before " +
+                *outer,
+            "acquire " + *inner + " first (or drop " + *outer +
+                " across the call) per DESIGN.md §8; if the hierarchy "
+                "itself is wrong, fix tools/ddplint/lock_order.txt in the "
+                "same change"});
+      } else {
+        out->push_back(Violation{
+            ctx.file.path, nest.inner.line + 1, kRule,
+            "undeclared lock nesting: " + Site(nest.inner, ctx) + " [" +
+                *inner + "] acquired while holding " + Site(held, ctx) +
+                " [" + *outer + "], but no 'before " + *outer + " " + *inner +
+                "' path is declared",
+            "declare the edge in tools/ddplint/lock_order.txt (and "
+            "DESIGN.md §8) if this nesting is intended, or restructure so "
+            "the locks do not nest"});
+      }
+    }
+  }
+}
+
+}  // namespace ddplint

@@ -1,0 +1,223 @@
+// ddplint v2 driver — lexes each file once, runs the pass registry, and
+// reports:
+//
+//   ddplint [flags] <path>...        lint files or directory trees
+//   ddplint --changed-files          lint the paths listed on stdin (CI
+//                                    feeds `git diff --name-only` here)
+//   ddplint --selftest[=group]       run the embedded invariant snippets
+//   --format=github                  emit ::error workflow annotations
+//   --lock-order=<file>              lock hierarchy declaration
+//   --include-dag=<file>             module layering declaration
+//                                    (both default to tools/ddplint/*.txt
+//                                    relative to the working directory; a
+//                                    missing file skips the passes that
+//                                    need it, with a warning)
+//
+// Directory walks skip `testdata` components: those trees hold fixtures
+// whose violations are the point (the include-DAG regression test).
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ddplint/config.h"
+#include "ddplint/lexer.h"
+#include "ddplint/passes.h"
+#include "ddplint/waivers.h"
+#include "tool_util.h"
+
+namespace ddplint {
+
+const std::vector<Pass>& Passes() {
+  static const std::vector<Pass>* passes = new std::vector<Pass>{
+      {"token-rules", RunTokenRules},
+      {"lock-order", RunLockOrder},
+      {"blocking-under-lock", RunBlockingUnderLock},
+      {"include-dag", RunIncludeDag},
+      {"store-key-schema", RunStoreKeySchema},
+  };
+  return *passes;
+}
+
+namespace {
+
+struct Options {
+  bool github_format = false;
+  const LockOrderConfig* lock_order = nullptr;
+  const IncludeDagConfig* include_dag = nullptr;
+};
+
+bool LintFile(const std::string& path, const Options& opt,
+              std::vector<Violation>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "ddplint: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const SourceFile file = Lex(path, buffer.str());
+  const Waivers waivers = ExtractWaivers(file);
+  const PassContext ctx{file, waivers, opt.lock_order, opt.include_dag};
+  for (const Pass& pass : Passes()) pass.run(ctx, out);
+  return true;
+}
+
+bool LintableExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp";
+}
+
+/// Fixture trees are allowed to violate rules — that is what they are for.
+bool InTestdata(const std::filesystem::path& p) {
+  for (const auto& part : p) {
+    if (part == "testdata") return true;
+  }
+  return false;
+}
+
+int LintPaths(const std::vector<std::string>& paths, const Options& opt) {
+  std::vector<Violation> violations;
+  bool io_error = false;
+  for (const std::string& arg : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && LintableExtension(entry.path()) &&
+            !InTestdata(entry.path())) {
+          io_error |= !LintFile(entry.path().string(), opt, &violations);
+        }
+      }
+    } else {
+      io_error |= !LintFile(arg, opt, &violations);
+    }
+  }
+  // Directory iteration order is filesystem-dependent; sort for stable
+  // CI logs.
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  for (const Violation& v : violations) {
+    if (opt.github_format) {
+      // Workflow-command annotations; GitHub reads them from stdout.
+      std::printf("::error file=%s,line=%zu,title=ddplint %s::%s (fix: %s)\n",
+                  v.path.c_str(), v.line, v.rule.c_str(), v.message.c_str(),
+                  v.fixit.c_str());
+    } else {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n  fix: %s\n", v.path.c_str(),
+                   v.line, v.rule.c_str(), v.message.c_str(),
+                   v.fixit.c_str());
+    }
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "ddplint: %zu violation(s)\n", violations.size());
+  }
+  return violations.empty() && !io_error ? 0 : 1;
+}
+
+/// Loads a pass config: an explicit --flag path must exist (hard error); the
+/// default path may be absent, which skips the passes that need it.
+template <typename Config>
+bool LoadConfig(const std::string& explicit_path,
+                const std::string& default_path, const char* what,
+                bool (*parse)(const std::string&, Config*, std::string*),
+                std::optional<Config>* out) {
+  const std::string path =
+      explicit_path.empty() ? default_path : explicit_path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (!explicit_path.empty()) {
+      std::fprintf(stderr, "ddplint: cannot open %s file %s\n", what,
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(stderr,
+                 "ddplint: warning: %s not found at %s; the passes that "
+                 "need it are skipped\n",
+                 what, path.c_str());
+    return true;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Config cfg;
+  std::string error;
+  if (!parse(buffer.str(), &cfg, &error)) {
+    std::fprintf(stderr, "ddplint: %s\n", error.c_str());
+    return false;
+  }
+  *out = std::move(cfg);
+  return true;
+}
+
+int Run(const ddpkit::tools::ToolArgs& args) {
+  std::vector<std::string> paths = args.positional;
+  if (args.HasFlag("changed-files")) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      std::error_code ec;
+      const std::filesystem::path p(line);
+      // Deleted files still appear in a diff; non-C++ paths are not ours.
+      if (!std::filesystem::is_regular_file(p, ec)) continue;
+      if (!LintableExtension(p) || InTestdata(p)) continue;
+      paths.push_back(line);
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr, "ddplint: no lintable files among the changes\n");
+      return 0;
+    }
+  } else if (paths.empty()) {
+    std::fprintf(stderr, "ddplint: no paths given (or use --changed-files)\n");
+    return 1;
+  }
+
+  std::optional<LockOrderConfig> lock_order;
+  std::optional<IncludeDagConfig> include_dag;
+  if (!LoadConfig(args.FlagValue("lock-order"), "tools/ddplint/lock_order.txt",
+                  "lock-order config", ParseLockOrder, &lock_order) ||
+      !LoadConfig(args.FlagValue("include-dag"),
+                  "tools/ddplint/include_dag.txt", "include-dag config",
+                  ParseIncludeDag, &include_dag)) {
+    return 1;
+  }
+
+  Options opt;
+  opt.github_format = args.FlagValue("format") == "github";
+  opt.lock_order = lock_order ? &*lock_order : nullptr;
+  opt.include_dag = include_dag ? &*include_dag : nullptr;
+  return LintPaths(paths, opt);
+}
+
+}  // namespace
+
+}  // namespace ddplint
+
+int main(int argc, char** argv) {
+  ddpkit::tools::ToolSpec spec;
+  spec.usage = {
+      "[flags] <path>...      # lint .h/.cc files or directory trees",
+      "--changed-files        # lint the paths read from stdin",
+      "--selftest[=group]     # embedded snippets (token-rules, lexer,",
+      "                       # lock-order, blocking-under-lock,",
+      "                       # include-dag, store-key-schema, config)",
+      "--format=github        # ::error annotations for CI",
+      "--lock-order=<file> --include-dag=<file>  # pass configs",
+  };
+  spec.min_positional = 0;
+  spec.max_positional = 4096;
+  spec.run = ddplint::Run;
+  spec.selftest = [](const ddpkit::tools::ToolArgs& args) {
+    return ddplint::RunSelfTest(args.FlagValue("selftest"));
+  };
+  return ddpkit::tools::RunTool(argc, argv, spec);
+}

@@ -1,0 +1,201 @@
+#include "ddplint/scopes.h"
+
+namespace ddplint {
+namespace {
+
+std::string NormalizeExpr(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '&' || c == ' ' || c == '\t') continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Captures a parenthesized argument list starting at `open` (which must
+/// index a '(' in `line`). Returns the text between the parens and sets
+/// *end one past the closing ')'; empty-and-*end==npos when the list does
+/// not close on this line.
+std::string CaptureParens(const std::string& line, size_t open, size_t* end) {
+  int depth = 0;
+  for (size_t i = open; i < line.size(); ++i) {
+    if (line[i] == '(') ++depth;
+    if (line[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        *end = i + 1;
+        return line.substr(open + 1, i - open - 1);
+      }
+    }
+  }
+  *end = std::string::npos;
+  return "";
+}
+
+/// Splits an argument list on top-level commas.
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string cur;
+  for (const char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+size_t SkipSpaces(const std::string& line, size_t i) {
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return i;
+}
+
+}  // namespace
+
+bool WatchSet::Matches(const std::string& ident) const {
+  if (names.count(ident) > 0) return true;
+  for (const std::string& suffix : suffixes) {
+    if (ident.size() > suffix.size() &&
+        ident.compare(ident.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ScopeScan ScanScopes(const SourceFile& file, const WatchSet& watched) {
+  ScopeScan scan;
+  int depth = 0;
+  std::vector<LockSite> held;
+  std::vector<std::string> pending_requires;
+
+  for (size_t ln = 0; ln < file.code.size(); ++ln) {
+    const std::string& line = file.code[ln];
+    const bool loop_header = LineHasToken(line, {"while", false}) ||
+                             LineHasToken(line, {"for", false});
+    size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (IsIdentChar(c)) {
+        if (i > 0 && IsIdentChar(line[i - 1])) {
+          ++i;
+          continue;
+        }
+        size_t j = i;
+        while (j < line.size() && IsIdentChar(line[j])) ++j;
+        const std::string ident = line.substr(i, j - i);
+
+        if (ident == "MutexLock") {
+          // `MutexLock <var>(<expr>);` — a temporary (`MutexLock(&mu);`)
+          // guards nothing and is skipped.
+          size_t k = SkipSpaces(line, j);
+          size_t var_end = k;
+          while (var_end < line.size() && IsIdentChar(line[var_end])) {
+            ++var_end;
+          }
+          if (var_end > k) {
+            k = SkipSpaces(line, var_end);
+            if (k < line.size() && line[k] == '(') {
+              size_t end = 0;
+              const std::string args = CaptureParens(line, k, &end);
+              if (end != std::string::npos && !args.empty()) {
+                LockSite site;
+                site.expr = NormalizeExpr(args);
+                site.line = ln;
+                site.depth = depth;
+                if (!held.empty()) {
+                  scan.nested.push_back(NestedAcquisition{site, held});
+                }
+                held.push_back(site);
+                i = end;
+                continue;
+              }
+            }
+          }
+          i = j;
+          continue;
+        }
+
+        if (ident == "REQUIRES" || ident == "REQUIRES_SHARED") {
+          const size_t k = SkipSpaces(line, j);
+          if (k < line.size() && line[k] == '(') {
+            size_t end = 0;
+            const std::string args = CaptureParens(line, k, &end);
+            if (end != std::string::npos) {
+              for (const std::string& arg : SplitArgs(args)) {
+                const std::string expr = NormalizeExpr(arg);
+                // REQUIRES(!mu) asserts the lock is NOT held.
+                if (!expr.empty() && expr[0] != '!') {
+                  pending_requires.push_back(expr);
+                }
+              }
+              i = end;
+              continue;
+            }
+          }
+          i = j;
+          continue;
+        }
+
+        if (watched.Matches(ident)) {
+          const size_t k = SkipSpaces(line, j);
+          if (k < line.size() && line[k] == '(' && !held.empty()) {
+            size_t end = 0;
+            const std::string args = CaptureParens(line, k, &end);
+            WatchedCall call;
+            call.callee = ident;
+            call.line = ln;
+            call.in_loop_header = loop_header;
+            call.held = held;
+            const std::vector<std::string> split = SplitArgs(args);
+            if (!split.empty()) call.first_arg = NormalizeExpr(split[0]);
+            scan.calls.push_back(std::move(call));
+          }
+          i = j;
+          continue;
+        }
+
+        i = j;
+        continue;
+      }
+
+      if (c == '{') {
+        ++depth;
+        for (const std::string& expr : pending_requires) {
+          LockSite site;
+          site.expr = expr;
+          site.line = ln;
+          site.depth = depth;
+          site.from_requires = true;
+          held.push_back(site);
+        }
+        pending_requires.clear();
+        ++i;
+        continue;
+      }
+      if (c == '}') {
+        if (depth > 0) --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        ++i;
+        continue;
+      }
+      if (c == ';') {
+        // A REQUIRES on a pure declaration binds nothing.
+        pending_requires.clear();
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+  return scan;
+}
+
+}  // namespace ddplint

@@ -1,0 +1,70 @@
+// The brace/paren scope tracker: walks one file's stripped code view and
+// reconstructs which locks are textually live at every point.
+//
+// A lock becomes live through either
+//   - a MutexLock declaration (`MutexLock lock(&mu_);`,
+//     `ddpkit::MutexLock l(&state->mutex);`) — live until the enclosing
+//     brace scope closes, or
+//   - a REQUIRES(mu, ...) annotation on a function definition — the listed
+//     capabilities are live throughout the body that follows (a REQUIRES
+//     on a pure declaration, terminated by ';' before any '{', binds
+//     nothing).
+//
+// The scan is per-file and per-scope: a helper that is called under a lock
+// but neither takes it nor declares REQUIRES is invisible, which is the
+// usual under-approximation trade a textual linter makes.
+
+#ifndef DDPKIT_TOOLS_DDPLINT_SCOPES_H_
+#define DDPKIT_TOOLS_DDPLINT_SCOPES_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ddplint/lexer.h"
+
+namespace ddplint {
+
+struct LockSite {
+  std::string expr;  // normalized acquisition expression: no '&', no spaces
+  size_t line = 0;   // 0-based
+  int depth = 0;     // brace depth the lock lives at
+  bool from_requires = false;
+};
+
+/// An acquisition made while other locks were live (lock-order pass input).
+struct NestedAcquisition {
+  LockSite inner;
+  std::vector<LockSite> held;  // outer locks, outermost first
+};
+
+/// A call to a watched name made while locks were live (blocking pass
+/// input).
+struct WatchedCall {
+  std::string callee;
+  size_t line = 0;  // 0-based
+  std::string first_arg;  // normalized like LockSite::expr; empty if none
+  bool in_loop_header = false;  // `while`/`for` appears on the same line
+  std::vector<LockSite> held;
+};
+
+struct ScopeScan {
+  std::vector<NestedAcquisition> nested;
+  std::vector<WatchedCall> calls;
+};
+
+/// `watched` decides which call names are recorded (exact names plus
+/// suffix matches); acquisition tracking is unconditional.
+struct WatchSet {
+  std::set<std::string> names;
+  std::set<std::string> suffixes;
+
+  bool Matches(const std::string& ident) const;
+};
+
+ScopeScan ScanScopes(const SourceFile& file, const WatchSet& watched);
+
+}  // namespace ddplint
+
+#endif  // DDPKIT_TOOLS_DDPLINT_SCOPES_H_

@@ -1,0 +1,11 @@
+// Regression fixture: a comm -> core back edge the include-DAG pass must
+// flag. Lives under testdata/ so directory walks (the tree gate) never see
+// it; the ctest entry lints it explicitly and expects failure (WILL_FAIL).
+
+#include "core/reducer.h"
+
+namespace ddpkit::comm {
+
+void NeverBuilt() {}
+
+}  // namespace ddpkit::comm

@@ -1,0 +1,41 @@
+#include "ddplint/waivers.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ddplint {
+
+Waivers ExtractWaivers(const SourceFile& file) {
+  Waivers waivers;
+  const std::string line_marker = "ddplint: allow(";
+  const std::string file_marker = "ddplint: allow-file(";
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    for (const bool file_scope : {true, false}) {
+      const std::string& marker = file_scope ? file_marker : line_marker;
+      const size_t at = file.raw[i].find(marker);
+      if (at == std::string::npos) continue;
+      const size_t open = at + marker.size();
+      const size_t close = file.raw[i].find(')', open);
+      if (close == std::string::npos) continue;
+      const std::string tail = file.raw[i].substr(close + 1);
+      const bool has_reason =
+          std::any_of(tail.begin(), tail.end(), [](unsigned char c) {
+            return std::isalnum(c) != 0;
+          });
+      if (!has_reason) continue;  // reason-mandatory: bare waivers don't count
+      const std::string rule = file.raw[i].substr(open, close - open);
+      if (file_scope) {
+        waivers.file_rules.insert(rule);
+        continue;
+      }
+      waivers.line_rules.insert({rule, i});
+      if (!IsBlankLine(file.code[i])) continue;  // trailing: own line only
+      size_t j = i + 1;
+      while (j < file.code.size() && IsBlankLine(file.code[j])) ++j;
+      if (j < file.code.size()) waivers.line_rules.insert({rule, j});
+    }
+  }
+  return waivers;
+}
+
+}  // namespace ddplint

@@ -1,0 +1,37 @@
+// Waiver grammar (a reason is MANDATORY — a waiver without one is ignored
+// and the violation still fires; reviewed like any code):
+//
+//   // ddplint: allow(<rule>) <reason>        — this line, or the first
+//                                               code line after a comment-
+//                                               only waiver block
+//   // ddplint: allow-file(<rule>) <reason>   — the whole file
+
+#ifndef DDPKIT_TOOLS_DDPLINT_WAIVERS_H_
+#define DDPKIT_TOOLS_DDPLINT_WAIVERS_H_
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "ddplint/lexer.h"
+
+namespace ddplint {
+
+struct Waivers {
+  std::set<std::string> file_rules;                     // allow-file(rule)
+  std::set<std::pair<std::string, size_t>> line_rules;  // (rule, 0-based line)
+
+  bool Covers(const std::string& rule, size_t line) const {
+    return file_rules.count(rule) > 0 || line_rules.count({rule, line}) > 0;
+  }
+};
+
+/// A comment-only waiver covers the first code line after its comment
+/// block (the NOLINTNEXTLINE idiom, tolerant of multi-line reasons); a
+/// trailing waiver covers its own line. A waiver with no reason after the
+/// closing paren is ignored entirely — the reason is part of the contract.
+Waivers ExtractWaivers(const SourceFile& file);
+
+}  // namespace ddplint
+
+#endif  // DDPKIT_TOOLS_DDPLINT_WAIVERS_H_

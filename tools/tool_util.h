@@ -56,7 +56,10 @@ inline ToolArgs ParseToolArgs(int argc, char** argv) {
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (name == "selftest") {
+      // Also recorded as a flag so tools can read --selftest=<group>
+      // via FlagValue("selftest") to run one selftest group.
       args.selftest = true;
+      args.flags.emplace_back(name, value);
     } else if (name == "help") {
       args.help = true;
     } else {
