@@ -1,7 +1,11 @@
 #include "comm/backend_factory.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
+
+#include "comm/chaos_spec.h"
+#include "comm/net_fault.h"
 
 namespace ddpkit::comm {
 
@@ -13,8 +17,39 @@ Result<std::shared_ptr<ProcessGroup>> CreateProcessGroupBackend(
         ProcessGroupSim::Create(store, name, rank, world, config.sim, clock));
   }
   if (config.backend == "tcp") {
+    ProcessGroupTcp::Options options = config.tcp;
+    // Any --backend=tcp process honours the launcher's --chaos contract:
+    // when the caller did not wire its own injector, pick up the
+    // process-lifetime one from DDPKIT_CHAOS_WIRE (nullptr when unset).
+    // Regroup paths call ProcessGroupTcp::Create directly and stay clean.
+    if (options.fault_injector == nullptr) {
+      Result<WireFaultInjector*> injector =
+          ProcessWireChaosInjector(rank, world);
+      if (!injector.ok()) return injector.status();
+      if (injector.value() != nullptr) {
+        options.fault_injector = injector.value();
+        // Chaos implies a supervisor: give the group a reconnect budget
+        // and a heartbeat prober when the caller left them at the
+        // (disabled) defaults.
+        if (options.max_reconnect_attempts == 0) {
+          options.max_reconnect_attempts = 4;
+        }
+        if (options.heartbeat_interval_seconds <= 0.0) {
+          options.heartbeat_interval_seconds = 0.25;
+        }
+        if (!options.event_sink) {
+          // Same observability contract ddp_worker wires for itself: the
+          // wire-chaos CI assertions grep for these lines per rank.
+          options.event_sink = [rank](const std::string& event,
+                                      const std::string& detail) {
+            std::fprintf(stderr, "[wire-chaos] rank %d %s %s\n", rank,
+                         event.c_str(), detail.c_str());
+          };
+        }
+      }
+    }
     Result<std::shared_ptr<ProcessGroupTcp>> group =
-        ProcessGroupTcp::Create(store, name, rank, world, config.tcp, clock);
+        ProcessGroupTcp::Create(store, name, rank, world, options, clock);
     if (!group.ok()) return group.status();
     return std::shared_ptr<ProcessGroup>(std::move(group).value());
   }

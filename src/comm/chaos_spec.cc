@@ -1,0 +1,295 @@
+#include "comm/chaos_spec.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "comm/net_fault.h"
+
+namespace ddpkit::comm {
+namespace {
+
+/// One parsed fault, held symbolically until the whole spec is read: a
+/// trailing `heal@stepM` clause mutates the partition before it.
+struct Segment {
+  enum class Kind { kPartition, kReset, kTruncate, kSlow, kFlakyAccept };
+  Kind kind = Kind::kPartition;
+  bool random = false;    // partition:rand
+  bool one_way = false;   // A>B instead of AxB
+  int a = -1;
+  int b = -1;
+  uint64_t step = 0;      // @stepN (partition/reset/truncate)
+  uint32_t heal_hits = 0; // 0 = persistent
+  uint64_t bytes = 0;     // truncate: delivered bytes
+  double latency_ms = 0;  // slow
+  double bps = 0;         // slow (0 = unpaced)
+  int count = 0;          // flaky-accept
+};
+
+Status Malformed(const std::string& segment, const std::string& why) {
+  return Status::InvalidArgument("bad chaos segment \"" + segment + "\": " +
+                                 why);
+}
+
+/// Parses "AxB" / "A>B" / "rand" into the segment's link fields.
+bool ParseLink(const std::string& text, Segment* seg) {
+  if (text == "rand") {
+    seg->random = true;
+    return true;
+  }
+  size_t sep = text.find('x');
+  seg->one_way = false;
+  if (sep == std::string::npos) {
+    sep = text.find('>');
+    seg->one_way = true;
+  }
+  if (sep == std::string::npos || sep == 0 || sep + 1 >= text.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  seg->a = static_cast<int>(std::strtol(text.c_str(), &end, 10));
+  if (end != text.c_str() + sep) return false;
+  seg->b = static_cast<int>(std::strtol(text.c_str() + sep + 1, &end, 10));
+  return *end == '\0';
+}
+
+bool ParseStep(const std::string& text, uint64_t* step) {
+  if (text.rfind("step", 0) != 0) return false;
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(text.c_str() + 4, &end, 10);
+  if (end == text.c_str() + 4 || *end != '\0') return false;
+  *step = value;
+  return true;
+}
+
+std::vector<std::string> SplitOn(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (;;) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+Result<WireFaultPlan> ParseWireChaosSpec(const std::string& spec,
+                                         uint64_t seed, int world,
+                                         uint64_t op_base) {
+  if (world <= 0) {
+    return Status::InvalidArgument("chaos spec needs a positive world size");
+  }
+  std::vector<Segment> segments;
+  for (const std::string& raw : SplitOn(spec, ',')) {
+    if (raw.empty()) return Malformed(raw, "empty segment");
+
+    // heal@stepM binds to the most recent partition.
+    if (raw.rfind("heal@", 0) == 0) {
+      if (segments.empty() ||
+          segments.back().kind != Segment::Kind::kPartition) {
+        return Malformed(raw, "heal@ must follow a partition segment");
+      }
+      uint64_t heal_step = 0;
+      if (!ParseStep(raw.substr(5), &heal_step)) {
+        return Malformed(raw, "expected heal@stepM");
+      }
+      Segment& partition = segments.back();
+      if (heal_step <= partition.step) {
+        return Malformed(raw, "heal step must come after the partition step");
+      }
+      partition.heal_hits =
+          static_cast<uint32_t>(heal_step - partition.step);
+      continue;
+    }
+
+    const size_t colon = raw.find(':');
+    if (colon == std::string::npos) {
+      return Malformed(raw, "expected kind:operands");
+    }
+    const std::string kind = raw.substr(0, colon);
+    const std::vector<std::string> operands =
+        SplitOn(raw.substr(colon + 1), ':');
+    Segment seg;
+
+    if (kind == "partition" || kind == "reset") {
+      seg.kind = kind == "partition" ? Segment::Kind::kPartition
+                                     : Segment::Kind::kReset;
+      if (operands.size() != 1) return Malformed(raw, "expected link@stepN");
+      const size_t at = operands[0].find('@');
+      if (at == std::string::npos ||
+          !ParseLink(operands[0].substr(0, at), &seg) ||
+          !ParseStep(operands[0].substr(at + 1), &seg.step)) {
+        return Malformed(raw, "expected AxB@stepN, A>B@stepN or rand@stepN");
+      }
+      if (seg.random && seg.kind != Segment::Kind::kPartition) {
+        return Malformed(raw, "rand links are partition-only");
+      }
+    } else if (kind == "truncate") {
+      seg.kind = Segment::Kind::kTruncate;
+      if (operands.size() != 2) {
+        return Malformed(raw, "expected link@stepN:BYTES");
+      }
+      const size_t at = operands[0].find('@');
+      char* end = nullptr;
+      seg.bytes = std::strtoull(operands[1].c_str(), &end, 10);
+      if (at == std::string::npos ||
+          !ParseLink(operands[0].substr(0, at), &seg) || seg.random ||
+          !ParseStep(operands[0].substr(at + 1), &seg.step) ||
+          end == operands[1].c_str() || *end != '\0') {
+        return Malformed(raw, "expected AxB@stepN:BYTES");
+      }
+    } else if (kind == "slow") {
+      seg.kind = Segment::Kind::kSlow;
+      if (operands.size() != 2 && operands.size() != 3) {
+        return Malformed(raw, "expected link:LATENCY_MS[:BYTES_PER_SEC]");
+      }
+      if (!ParseLink(operands[0], &seg) || seg.random) {
+        return Malformed(raw, "expected AxB or A>B link");
+      }
+      seg.latency_ms = std::atof(operands[1].c_str());
+      seg.bps = operands.size() == 3 ? std::atof(operands[2].c_str()) : 0.0;
+      if (seg.latency_ms < 0 || seg.bps < 0) {
+        return Malformed(raw, "negative latency or rate");
+      }
+    } else if (kind == "flaky-accept") {
+      seg.kind = Segment::Kind::kFlakyAccept;
+      if (operands.size() != 2) return Malformed(raw, "expected RANK:COUNT");
+      char* end = nullptr;
+      seg.a = static_cast<int>(std::strtol(operands[0].c_str(), &end, 10));
+      if (end == operands[0].c_str() || *end != '\0') {
+        return Malformed(raw, "bad rank");
+      }
+      seg.count = static_cast<int>(std::strtol(operands[1].c_str(), &end, 10));
+      if (end == operands[1].c_str() || *end != '\0' || seg.count <= 0) {
+        return Malformed(raw, "bad fail count");
+      }
+    } else {
+      return Malformed(raw, "unknown fault kind \"" + kind + "\"");
+    }
+
+    // Rank-range validation (rand resolves inside [0, world) by design).
+    if (!seg.random) {
+      const bool pair_fault = seg.kind != Segment::Kind::kFlakyAccept;
+      if (seg.a < 0 || seg.a >= world ||
+          (pair_fault && (seg.b < 0 || seg.b >= world || seg.a == seg.b))) {
+        return Malformed(raw, "rank out of range for world " +
+                                  std::to_string(world));
+      }
+    }
+    segments.push_back(seg);
+  }
+  if (segments.empty()) {
+    return Status::InvalidArgument("empty chaos spec");
+  }
+
+  WireFaultPlan plan;
+  for (const Segment& seg : segments) {
+    const uint64_t op = op_base + seg.step;
+    switch (seg.kind) {
+      case Segment::Kind::kPartition:
+        if (seg.random) {
+          plan.AddRandomPartition(seed, world, op, seg.heal_hits);
+        } else if (seg.one_way) {
+          plan.PartitionOneWay(seg.a, seg.b, op, seg.heal_hits);
+        } else {
+          plan.PartitionTwoWay(seg.a, seg.b, op, seg.heal_hits);
+        }
+        break;
+      case Segment::Kind::kReset:
+        plan.ResetConnection(seg.a, seg.b, op);
+        if (!seg.one_way) plan.ResetConnection(seg.b, seg.a, op);
+        break;
+      case Segment::Kind::kTruncate:
+        plan.TruncateSend(seg.a, seg.b, op, seg.bytes);
+        break;
+      case Segment::Kind::kSlow:
+        plan.SlowLink(seg.a, seg.b, seg.latency_ms / 1000.0, seg.bps);
+        if (!seg.one_way) {
+          plan.SlowLink(seg.b, seg.a, seg.latency_ms / 1000.0, seg.bps);
+        }
+        break;
+      case Segment::Kind::kFlakyAccept:
+        plan.FlakyAccept(seg.a, seg.count);
+        break;
+    }
+  }
+  return plan;
+}
+
+WireChaosEnv ReadWireChaosEnv() {
+  WireChaosEnv env;
+  // The seed is read unconditionally: the launcher consults it before it
+  // has exported the spec to anyone.
+  // ddplint: allow(banned-nondeterminism) reason: launcher env contract is
+  // process-external and fixed for the process lifetime.
+  const char* seed = std::getenv("DDPKIT_CHAOS_SEED");
+  if (seed != nullptr && *seed != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(seed, &end, 10);
+    if (end != seed && *end == '\0' && value > 0) env.seed = value;
+  }
+  // ddplint: allow(banned-nondeterminism) reason: launcher env contract.
+  const char* spec = std::getenv("DDPKIT_CHAOS_WIRE");
+  if (spec == nullptr || *spec == '\0') return env;
+  env.enabled = true;
+  env.spec = spec;
+  return env;
+}
+
+namespace {
+
+/// Plan + injector pinned for the process lifetime: the injector is handed
+/// to ProcessGroupTcp, whose I/O threads may still consult it during
+/// teardown, so the state is deliberately never destroyed.
+struct ProcessChaos {
+  int rank = -1;
+  int world = -1;
+  Status status;
+  WireFaultPlan plan;
+  std::unique_ptr<WireFaultInjector> injector;
+};
+
+}  // namespace
+
+Result<WireFaultInjector*> ProcessWireChaosInjector(int rank, int world) {
+  // Magic static: the first caller's (rank, world) builds the state exactly
+  // once, thread-safely; everyone after that only reads it.
+  static ProcessChaos* chaos = [rank, world]() -> ProcessChaos* {
+    auto* state = new ProcessChaos;
+    state->rank = rank;
+    state->world = world;
+    const WireChaosEnv env = ReadWireChaosEnv();
+    if (!env.enabled) return state;
+    Result<WireFaultPlan> parsed =
+        ParseWireChaosSpec(env.spec, env.seed, world);
+    if (!parsed.ok()) {
+      state->status = parsed.status();
+      return state;
+    }
+    state->plan = std::move(parsed).value();
+    // Short blackholes keep a chaos run's worst case well under the
+    // launcher timeout (same budget ddp_worker picks for itself).
+    state->plan.blackhole_cap_seconds = 0.1;
+    state->injector =
+        std::make_unique<WireFaultInjector>(&state->plan, rank);
+    return state;
+  }();
+  if (!chaos->status.ok()) return chaos->status;
+  if (chaos->injector == nullptr) {
+    return static_cast<WireFaultInjector*>(nullptr);  // env disabled
+  }
+  if (rank != chaos->rank || world != chaos->world) {
+    // A regrouped generation re-rendezvousing with new ids runs clean.
+    return static_cast<WireFaultInjector*>(nullptr);
+  }
+  return chaos->injector.get();
+}
+
+}  // namespace ddpkit::comm

@@ -1,0 +1,69 @@
+#ifndef DDPKIT_COMM_CHAOS_SPEC_H_
+#define DDPKIT_COMM_CHAOS_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "comm/fault_plan.h"
+#include "common/status.h"
+
+namespace ddpkit::comm {
+
+/// Parses a `--chaos=<spec>` wire-fault spec into a WireFaultPlan. The spec
+/// is a comma-separated fault list; every rank of a run parses the same
+/// string with the same seed and derives the identical plan, which is what
+/// makes a chaos run replayable from its command line.
+///
+/// Grammar (N, M are training-step numbers; ranks are launch-time ids):
+///   partition:AxB@stepN        two-way partition of link A-B from step N
+///   partition:A>B@stepN        one-way: A's bytes to B vanish
+///   partition:rand@stepN       seeded random pair, two-way
+///   ,heal@stepM                attaches to the preceding partition: heals
+///                              after M-N blackholed operations
+///   reset:AxB@stepN            hard connection reset (both directions;
+///                              A>B for one) at step N, one-shot
+///   truncate:A>B@stepN:BYTES   deliver BYTES bytes of one send, then reset
+///   slow:AxB:LAT_MS[:BPS]      per-op latency (ms) and byte/s pacing
+///   flaky-accept:R:COUNT       rank R's next COUNT accepts fail transient
+///
+/// Example: partition:2x3@step5,heal@step8
+///
+/// Step -> op-index mapping: `op_base` is the number of collectives the
+/// training harness issues before step 0 (DDP construction broadcasts);
+/// training step i is op index op_base + i. The shared multiproc scenario's
+/// Mlp{4,6,2} issues 4.
+[[nodiscard]] Result<WireFaultPlan> ParseWireChaosSpec(
+    const std::string& spec, uint64_t seed, int world,
+    uint64_t op_base = 4);
+
+/// The environment half of the `--chaos` contract: ddp_launch exports
+/// DDPKIT_CHAOS_WIRE (the spec string) to every worker, and the pre-existing
+/// DDPKIT_CHAOS_SEED (default 1) seeds `rand` faults. `enabled` is false
+/// when DDPKIT_CHAOS_WIRE is unset/empty — the common case.
+struct WireChaosEnv {
+  bool enabled = false;
+  std::string spec;
+  uint64_t seed = 1;
+};
+[[nodiscard]] WireChaosEnv ReadWireChaosEnv();
+
+class WireFaultInjector;
+
+/// Process-lifetime chaos injector built from the DDPKIT_CHAOS_WIRE /
+/// DDPKIT_CHAOS_SEED env contract, for processes that reach the TCP backend
+/// through CreateProcessGroupBackend rather than constructing their own
+/// injector (ddpkit_trainer and any future --backend=tcp binary).
+///
+/// Returns nullptr when the env is disabled — the common case — and a typed
+/// error when the exported spec does not parse, so a bad --chaos string
+/// fails rendezvous loudly instead of silently running fault-free. The
+/// first call fixes (rank, world) for the process; later calls with a
+/// different pair get nullptr, which keeps regrouped generations (new rank
+/// ids, smaller world) injector-free by policy — the fault already did its
+/// job in generation 0.
+[[nodiscard]] Result<WireFaultInjector*> ProcessWireChaosInjector(int rank,
+                                                                  int world);
+
+}  // namespace ddpkit::comm
+
+#endif  // DDPKIT_COMM_CHAOS_SPEC_H_

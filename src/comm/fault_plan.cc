@@ -128,4 +128,147 @@ std::string FaultPlan::AbsenceReason(int rank, uint64_t seq) const {
   return "present";
 }
 
+// ---------------------------------------------------------------------------
+// WireFaultPlan.
+// ---------------------------------------------------------------------------
+
+const char* WireFaultKindName(WireFaultKind kind) {
+  switch (kind) {
+    case WireFaultKind::kPartition:
+      return "partition";
+    case WireFaultKind::kReset:
+      return "reset";
+    case WireFaultKind::kTruncation:
+      return "truncation";
+    case WireFaultKind::kSlowLink:
+      return "slow_link";
+    case WireFaultKind::kFlakyAccept:
+      return "flaky_accept";
+  }
+  return "unknown";
+}
+
+void WireFaultPlan::PartitionOneWay(int src, int dst, uint64_t from_op,
+                                    uint32_t heal_after_hits) {
+  DDPKIT_CHECK_GE(src, 0);
+  DDPKIT_CHECK_GE(dst, 0);
+  DDPKIT_CHECK(src != dst);
+  partitions_[{src, dst}] = Partition{from_op, heal_after_hits};
+}
+
+void WireFaultPlan::PartitionTwoWay(int a, int b, uint64_t from_op,
+                                    uint32_t heal_after_hits) {
+  PartitionOneWay(a, b, from_op, heal_after_hits);
+  PartitionOneWay(b, a, from_op, heal_after_hits);
+}
+
+void WireFaultPlan::ResetConnection(int src, int dst, uint64_t at_op) {
+  DDPKIT_CHECK_GE(src, 0);
+  DDPKIT_CHECK_GE(dst, 0);
+  DDPKIT_CHECK(src != dst);
+  resets_[{src, dst}] = Reset{at_op};
+}
+
+void WireFaultPlan::TruncateSend(int src, int dst, uint64_t at_op,
+                                 uint64_t after_bytes) {
+  DDPKIT_CHECK_GE(src, 0);
+  DDPKIT_CHECK_GE(dst, 0);
+  DDPKIT_CHECK(src != dst);
+  truncations_[{src, dst}] = Truncation{at_op, after_bytes};
+}
+
+void WireFaultPlan::SlowLink(int src, int dst, double latency_seconds,
+                             double bytes_per_second) {
+  DDPKIT_CHECK_GE(src, 0);
+  DDPKIT_CHECK_GE(dst, 0);
+  DDPKIT_CHECK(src != dst);
+  DDPKIT_CHECK_GE(latency_seconds, 0.0);
+  DDPKIT_CHECK_GE(bytes_per_second, 0.0);
+  throttles_[{src, dst}] = Throttle{latency_seconds, bytes_per_second};
+}
+
+void WireFaultPlan::FlakyAccept(int rank, int fail_count) {
+  DDPKIT_CHECK_GE(rank, 0);
+  DDPKIT_CHECK_GE(fail_count, 0);
+  flaky_accepts_[rank] = fail_count;
+}
+
+std::pair<int, int> WireFaultPlan::RandomPair(uint64_t seed, int world) {
+  DDPKIT_CHECK_GE(world, 2);
+  // Ring-adjacent on purpose: the default wire schedule is the ring, whose
+  // data path only uses (r, r+1 mod world) links. A partition on a chord
+  // of the full mesh would sit there unexercised and the chaos run would
+  // silently degenerate into a fault-free one.
+  Rng rng(seed);
+  const int a = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(world)));
+  const int b = (a + 1) % world;
+  return {std::min(a, b), std::max(a, b)};
+}
+
+void WireFaultPlan::AddRandomPartition(uint64_t seed, int world,
+                                       uint64_t from_op,
+                                       uint32_t heal_after_hits) {
+  const auto [a, b] = RandomPair(seed, world);
+  PartitionTwoWay(a, b, from_op, heal_after_hits);
+}
+
+const WireFaultPlan::Partition* WireFaultPlan::FindPartition(int src,
+                                                             int dst) const {
+  auto it = partitions_.find({src, dst});
+  return it == partitions_.end() ? nullptr : &it->second;
+}
+
+const WireFaultPlan::Reset* WireFaultPlan::FindReset(int src, int dst) const {
+  auto it = resets_.find({src, dst});
+  return it == resets_.end() ? nullptr : &it->second;
+}
+
+const WireFaultPlan::Truncation* WireFaultPlan::FindTruncation(
+    int src, int dst) const {
+  auto it = truncations_.find({src, dst});
+  return it == truncations_.end() ? nullptr : &it->second;
+}
+
+const WireFaultPlan::Throttle* WireFaultPlan::FindThrottle(int src,
+                                                           int dst) const {
+  auto it = throttles_.find({src, dst});
+  return it == throttles_.end() ? nullptr : &it->second;
+}
+
+int WireFaultPlan::AcceptFailures(int rank) const {
+  auto it = flaky_accepts_.find(rank);
+  return it == flaky_accepts_.end() ? 0 : it->second;
+}
+
+std::string WireFaultPlan::DebugString() const {
+  std::string out;
+  auto link = [](const std::pair<int, int>& l) {
+    return std::to_string(l.first) + "->" + std::to_string(l.second);
+  };
+  for (const auto& [l, p] : partitions_) {
+    out += "partition " + link(l) + " from_op=" + std::to_string(p.from_op) +
+           (p.heal_after_hits == 0
+                ? std::string(" persistent")
+                : " heal_after_hits=" + std::to_string(p.heal_after_hits)) +
+           "\n";
+  }
+  for (const auto& [l, r] : resets_) {
+    out += "reset " + link(l) + " at_op=" + std::to_string(r.at_op) + "\n";
+  }
+  for (const auto& [l, t] : truncations_) {
+    out += "truncation " + link(l) + " at_op=" + std::to_string(t.at_op) +
+           " after_bytes=" + std::to_string(t.after_bytes) + "\n";
+  }
+  for (const auto& [l, t] : throttles_) {
+    out += "slow_link " + link(l) +
+           " latency_s=" + std::to_string(t.latency_seconds) +
+           " bytes_per_s=" + std::to_string(t.bytes_per_second) + "\n";
+  }
+  for (const auto& [rank, n] : flaky_accepts_) {
+    out += "flaky_accept rank=" + std::to_string(rank) +
+           " fail_count=" + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
 }  // namespace ddpkit::comm

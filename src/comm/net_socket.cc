@@ -240,8 +240,16 @@ Status SendAll(int fd, const void* data, size_t len, const Deadline& deadline,
       sent += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n == 0) {
+      // send() returning 0 for a nonzero request has no errno to blame;
+      // report it as the peer-closed condition it behaves like instead of
+      // decoding whatever stale errno the last call left behind.
+      return Status::Internal("send wrote 0 bytes (" + std::to_string(sent) +
+                              "/" + std::to_string(len) +
+                              " sent, peer closed?)");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       DDPKIT_RETURN_IF_ERROR(PollReady(fd, POLLOUT, deadline, abort_fd));
       continue;
     }
@@ -290,8 +298,12 @@ Status SendRecvAll(int send_fd, const void* send_buf, size_t send_len,
       if (n > 0) {
         sent += static_cast<size_t>(n);
         progressed = true;
-      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                 errno != EINTR) {
+      } else if (n == 0) {
+        return Status::Internal("send wrote 0 bytes mid-exchange (" +
+                                std::to_string(sent) + "/" +
+                                std::to_string(send_len) +
+                                " sent, peer closed?)");
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
         return Status::Internal(Errno("send (peer closed?)"));
       }
     }
@@ -373,9 +385,10 @@ Result<std::vector<uint8_t>> RecvFrame(int fd, const Deadline& deadline,
 
 void CloseFd(int fd) {
   if (fd < 0) return;
-  for (;;) {
-    if (close(fd) == 0 || errno != EINTR) return;
-  }
+  // Never retry close on EINTR: on Linux the descriptor is released even
+  // when close fails with EINTR, so a retry races any thread that just
+  // received the recycled fd number and closes *its* descriptor.
+  (void)!close(fd);
 }
 
 }  // namespace ddpkit::comm

@@ -1,11 +1,14 @@
 #include "comm/process_group_tcp.h"
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "comm/net_socket.h"
@@ -20,8 +23,9 @@
 // by definition: peers are other processes that make progress only in real
 // time (DESIGN.md §11). The virtual clock still tracks completions so
 // telemetry and Work timeout semantics stay uniform across backends.
-// ddplint: allow-file(raw-wire-io) owns the abort wake pipe; all socket
-// traffic goes through comm/net_socket.h helpers.
+// ddplint: allow-file(raw-wire-io) owns the abort wake pipe and the
+// heartbeat drain; all data-plane traffic goes through comm/net_socket.h
+// helpers or the comm/net_fault.h shim.
 
 namespace ddpkit::comm {
 
@@ -31,6 +35,12 @@ using SteadyClock = std::chrono::steady_clock;
 
 constexpr uint32_t kHelloMagic = 0xDD9C0001;
 constexpr uint32_t kHeaderMagic = 0xDD9C0002;
+
+/// Connection channels: the data mesh carries collectives, the heartbeat
+/// mesh carries supervisor probes (sharing a stream would interleave probe
+/// bytes into payloads).
+constexpr uint32_t kChannelData = 0;
+constexpr uint32_t kChannelHeartbeat = 1;
 
 /// Collective kinds for the wire header.
 enum OpKind : uint8_t {
@@ -100,11 +110,33 @@ void CombineSpan(ReduceOp op, T* dst, const T* src, int64_t len) {
   for (int64_t i = 0; i < len; ++i) dst[i] = Combine(op, dst[i], src[i]);
 }
 
+/// Exchanged both ways on every fresh connection (connector first). The
+/// resume_seq field is the self-healing handshake: a supervisor re-mesh
+/// may only proceed when both ends agree on which collective is being
+/// replayed — otherwise byte-transparent replay is impossible and the
+/// group falls back to the step-level DDP::Recover path.
 struct Hello {
   uint32_t magic;
   int32_t rank;
   uint64_t generation;
+  uint32_t channel;
+  uint32_t pad;
+  uint64_t resume_seq;
 };
+
+/// Transient wire verdicts: peer reset / closed stream (kInternal) and
+/// elapsed deadlines (kTimedOut) are conditions a re-mesh can heal.
+/// Everything else — shape disagreement, generation divergence, the abort
+/// pipe — is fatal by classification.
+bool IsTransientWire(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kTimedOut;
+}
+
+double RemainingSeconds(const Deadline& deadline) {
+  const int ms = deadline.PollMillis();
+  return ms < 0 ? 0.0 : static_cast<double>(ms) / 1000.0;
+}
 
 }  // namespace
 
@@ -125,13 +157,14 @@ struct ProcessGroupTcp::OpHeader {
 };
 
 /// I/O context one collective runs under: the cached mesh, the wall
-/// deadline, and the abort pipe.
+/// deadline, the abort pipe, and (under chaos) the fault shim.
 struct ProcessGroupTcp::OpContext {
   const std::vector<int>* fds;
   int rank;
   int world;
   Deadline deadline;
   int abort_fd;
+  WireFaultInjector* shim = nullptr;
 
   int fd(int peer) const { return (*fds)[static_cast<size_t>(peer)]; }
 };
@@ -143,24 +176,38 @@ using OpContext = ProcessGroupTcp::OpContext;
 // ---------------------------------------------------------------------------
 // Wire schedules. Each replicates the combine order documented in
 // comm/algorithms.cc for its algorithm, with "own value" always on the
-// exact operand side the shared-memory loop uses.
+// exact operand side the shared-memory loop uses. All I/O funnels through
+// SendTo/RecvFrom/Exchange so the fault shim sees every byte.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 [[nodiscard]] Status SendTo(const OpContext& ctx, int peer, const void* buf,
                             size_t len) {
+  if (ctx.shim != nullptr) {
+    return ctx.shim->SendAll(peer, ctx.fd(peer), buf, len, ctx.deadline,
+                             ctx.abort_fd);
+  }
   return SendAll(ctx.fd(peer), buf, len, ctx.deadline, ctx.abort_fd);
 }
 
 [[nodiscard]] Status RecvFrom(const OpContext& ctx, int peer, void* buf,
                               size_t len) {
+  if (ctx.shim != nullptr) {
+    return ctx.shim->RecvAll(peer, ctx.fd(peer), buf, len, ctx.deadline,
+                             ctx.abort_fd);
+  }
   return RecvAll(ctx.fd(peer), buf, len, ctx.deadline, ctx.abort_fd);
 }
 
 [[nodiscard]] Status Exchange(const OpContext& ctx, int send_peer,
                               const void* sbuf, size_t slen, int recv_peer,
                               void* rbuf, size_t rlen) {
+  if (ctx.shim != nullptr) {
+    return ctx.shim->SendRecvAll(send_peer, ctx.fd(send_peer), sbuf, slen,
+                                 recv_peer, ctx.fd(recv_peer), rbuf, rlen,
+                                 ctx.deadline, ctx.abort_fd);
+  }
   return SendRecvAll(ctx.fd(send_peer), sbuf, slen, ctx.fd(recv_peer), rbuf,
                      rlen, ctx.deadline, ctx.abort_fd);
 }
@@ -480,22 +527,30 @@ Result<std::shared_ptr<ProcessGroupTcp>> ProcessGroupTcp::Create(
         "kHierarchical needs a multi-host topology; the TCP backend is a "
         "single-host mesh (use kRing/kRingChunked/kHalvingDoubling)");
   }
+  if (options.fault_injector != nullptr &&
+      options.fault_injector->self_rank() != rank) {
+    return Status::InvalidArgument(
+        "fault injector is bound to rank " +
+        std::to_string(options.fault_injector->self_rank()) +
+        " but this group is rank " + std::to_string(rank));
+  }
   std::shared_ptr<ProcessGroupTcp> group(
       new ProcessGroupTcp(store, name, rank, world, options, clock));
   DDPKIT_RETURN_IF_ERROR(group->Bootstrap());
   return group;
 }
 
-Status ProcessGroupTcp::Bootstrap() {
-  const Deadline deadline = Deadline::After(options_.connect_timeout_seconds);
-  int pipe_fds[2];
-  if (pipe(pipe_fds) != 0) {
-    return Status::Internal("pipe() failed for abort pipe");
-  }
-  wake_rfd_ = pipe_fds[0];
-  wake_wfd_ = pipe_fds[1];
+Status ProcessGroupTcp::BuildMesh(uint64_t resume_seq,
+                                  const Deadline& deadline,
+                                  std::vector<int>* data_fds,
+                                  std::vector<int>* hb_fds) {
+  WireFaultInjector* shim = options_.fault_injector;
+  const bool want_hb =
+      options_.heartbeat_interval_seconds > 0.0 && world() > 1;
+  const int channels = want_hb ? 2 : 1;
 
-  Result<int> listen_fd = ListenTcp(options_.host, 0, /*backlog=*/world());
+  Result<int> listen_fd =
+      ListenTcp(options_.host, 0, /*backlog=*/world() * channels);
   if (!listen_fd.ok()) return listen_fd.status();
   Result<int> port = ListenPort(listen_fd.value());
   if (!port.ok()) {
@@ -505,6 +560,9 @@ Status ProcessGroupTcp::Bootstrap() {
 
   const std::string prefix =
       store_keys::PgTcpPrefix(name_, options_.generation);
+  // Overwrite semantics: every (re-)mesh round republishes this rank's
+  // current listener under the same key; peers re-read per connect try, so
+  // stale addresses from an earlier round converge without new key mints.
   const Status published = store_->SetWithRetry(
       store_keys::PgTcpRankKey(prefix, rank()),
       options_.host + ":" + std::to_string(port.value()));
@@ -513,97 +571,338 @@ Status ProcessGroupTcp::Bootstrap() {
     return published;
   }
 
-  std::vector<int> fds(static_cast<size_t>(world()), -1);
+  data_fds->assign(static_cast<size_t>(world()), -1);
+  hb_fds->assign(want_hb ? static_cast<size_t>(world()) : 0, -1);
+  auto slot = [&](int peer, uint32_t channel) -> int& {
+    return channel == kChannelData ? (*data_fds)[static_cast<size_t>(peer)]
+                                   : (*hb_fds)[static_cast<size_t>(peer)];
+  };
   auto fail = [&](Status status) {
-    for (int fd : fds) CloseFd(fd);
+    for (int fd : *data_fds) CloseFd(fd);
+    for (int fd : *hb_fds) CloseFd(fd);
+    data_fds->assign(static_cast<size_t>(world()), -1);
+    hb_fds->assign(want_hb ? static_cast<size_t>(world()) : 0, -1);
     CloseFd(listen_fd.value());
     return status;
   };
 
-  // Connect to every lower rank (their listener is up before they publish;
-  // the kernel backlog holds our SYN until they reach accept)...
+  // Connect to every lower rank, one connection per channel. A try window
+  // far below the round deadline lets a supervisor round chase the peer's
+  // re-publication instead of camping on a dead port.
   for (int peer = 0; peer < rank(); ++peer) {
-    Result<std::string> addr = store_->GetWithRetry(
-        store_keys::PgTcpRankKey(prefix, peer),
-        options_.connect_timeout_seconds);
-    if (!addr.ok()) {
-      return fail(Status(addr.status().code(),
-                         "rank " + std::to_string(peer) +
-                             " never published its address: " +
-                             addr.status().message()));
+    for (int channel = 0; channel < channels; ++channel) {
+      int ready_fd = -1;
+      while (ready_fd < 0) {
+        if (deadline.Expired()) {
+          return fail(Status::TimedOut(
+              "connect to rank " + std::to_string(peer) +
+              " failed: mesh deadline elapsed (channel " +
+              std::to_string(channel) + ")"));
+        }
+        Result<std::string> addr = store_->GetWithRetry(
+            store_keys::PgTcpRankKey(prefix, peer),
+            std::max(0.01, RemainingSeconds(deadline)));
+        if (!addr.ok()) {
+          return fail(Status(addr.status().code(),
+                             "rank " + std::to_string(peer) +
+                                 " never published its address: " +
+                                 addr.status().message()));
+        }
+        const size_t colon = addr.value().rfind(':');
+        if (colon == std::string::npos) {
+          return fail(
+              Status::Internal("malformed peer address: " + addr.value()));
+        }
+        const std::string host = addr.value().substr(0, colon);
+        const int peer_port = std::atoi(addr.value().c_str() + colon + 1);
+        const Deadline try_deadline = Deadline::After(
+            std::min(0.3, std::max(0.01, RemainingSeconds(deadline))));
+        Result<int> fd =
+            shim != nullptr
+                ? shim->ConnectWithDeadline(peer, host, peer_port,
+                                            try_deadline, wake_rfd_)
+                : ConnectWithDeadline(host, peer_port, try_deadline,
+                                      wake_rfd_);
+        if (!fd.ok()) {
+          if (fd.status().code() == StatusCode::kFailedPrecondition) {
+            return fail(fd.status());  // abort pipe fired
+          }
+          continue;  // refused / blackholed / stale address: re-read, retry
+        }
+        Hello mine{kHelloMagic,
+                   rank(),
+                   options_.generation,
+                   static_cast<uint32_t>(channel),
+                   0,
+                   resume_seq};
+        const Status sent =
+            shim != nullptr
+                ? shim->SendAll(peer, fd.value(), &mine, sizeof(mine),
+                                deadline, wake_rfd_)
+                : SendAll(fd.value(), &mine, sizeof(mine), deadline,
+                          wake_rfd_);
+        if (!sent.ok()) {
+          CloseFd(fd.value());
+          if (sent.code() == StatusCode::kFailedPrecondition) {
+            return fail(sent);
+          }
+          continue;
+        }
+        Hello theirs{};
+        const Status got = RecvAll(fd.value(), &theirs, sizeof(theirs),
+                                   deadline, wake_rfd_);
+        if (!got.ok()) {
+          CloseFd(fd.value());
+          if (got.code() == StatusCode::kFailedPrecondition) {
+            return fail(got);
+          }
+          continue;
+        }
+        if (theirs.magic != kHelloMagic || theirs.rank != peer ||
+            theirs.channel != static_cast<uint32_t>(channel)) {
+          CloseFd(fd.value());
+          continue;  // garbled / stale reply; reconnect
+        }
+        if (theirs.generation != options_.generation) {
+          CloseFd(fd.value());
+          return fail(Status::InvalidGeneration(
+              "peer rank " + std::to_string(peer) + " is at generation " +
+              std::to_string(theirs.generation) + ", this group is g" +
+              std::to_string(options_.generation)));
+        }
+        if (theirs.resume_seq != resume_seq) {
+          // The peer is replaying a different collective: byte-transparent
+          // resume is impossible on this pairing. Treated as transient at
+          // the handshake (a stale connection from the peer's previous
+          // round looks identical); genuine divergence persists every
+          // round until the reconnect budget runs out and the caller
+          // poisons the group, handing recovery to the step-level path.
+          EmitEvent("pg.resume_mismatch",
+                    "peer=" + std::to_string(peer) + " theirs=" +
+                        std::to_string(theirs.resume_seq) +
+                        " ours=" + std::to_string(resume_seq));
+          CloseFd(fd.value());
+          // The peer needs wall-clock time to drain its replay and reach
+          // our sequence; an immediate retry busy-spins the handshake
+          // thousands of times on localhost. The pause is bounded and the
+          // mesh is down anyway — stalling this round is the point; abort
+          // still cuts in at the next poll via the wake pipe.
+          // ddplint: allow(blocking-under-lock) reason: bounded 5ms pacing
+          // of a dead-mesh handshake retry; see above.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        ready_fd = fd.value();
+      }
+      slot(peer, static_cast<uint32_t>(channel)) = ready_fd;
     }
-    const size_t colon = addr.value().rfind(':');
-    if (colon == std::string::npos) {
-      return fail(Status::Internal("malformed peer address: " + addr.value()));
-    }
-    const std::string host = addr.value().substr(0, colon);
-    const int peer_port = std::atoi(addr.value().c_str() + colon + 1);
-    Result<int> fd = ConnectWithDeadline(host, peer_port, deadline, wake_rfd_);
-    if (!fd.ok()) {
-      return fail(Status(fd.status().code(),
-                         "connect to rank " + std::to_string(peer) +
-                             " failed: " + fd.status().message()));
-    }
-    fds[static_cast<size_t>(peer)] = fd.value();
-    const Hello hello{kHelloMagic, rank(), options_.generation};
-    const Status sent =
-        SendAll(fd.value(), &hello, sizeof(hello), deadline, wake_rfd_);
-    if (!sent.ok()) return fail(sent);
   }
 
-  // ...then accept one connection from every higher rank, identified by
-  // its HELLO (accept order is arbitrary under contention).
-  for (int expected = rank() + 1; expected < world(); ++expected) {
-    Result<int> fd = AcceptWithDeadline(listen_fd.value(), deadline,
-                                        wake_rfd_);
+  // Accept one connection per channel from every higher rank, identified
+  // by its HELLO (accept order is arbitrary under contention). Connections
+  // that fail the handshake are dropped and the accept retried: a flaky
+  // accept, a garbled HELLO or a stale connection from a peer's failed
+  // round must not burn the whole mesh.
+  const int expected = (world() - rank() - 1) * channels;
+  int accepted = 0;
+  while (accepted < expected) {
+    if (deadline.Expired()) {
+      return fail(Status::TimedOut(
+          "waiting for " + std::to_string(expected - accepted) +
+          " higher-rank connection(s): mesh deadline elapsed"));
+    }
+    Result<int> fd =
+        shim != nullptr
+            ? shim->AcceptWithDeadline(listen_fd.value(), deadline,
+                                       wake_rfd_)
+            : AcceptWithDeadline(listen_fd.value(), deadline, wake_rfd_);
     if (!fd.ok()) {
+      if (fd.status().code() == StatusCode::kInternal &&
+          !deadline.Expired()) {
+        continue;  // injected flaky accept / transient kernel error
+      }
       return fail(Status(fd.status().code(),
                          "waiting for " +
-                             std::to_string(world() - expected) +
-                             " higher rank(s): " + fd.status().message()));
+                             std::to_string(expected - accepted) +
+                             " higher-rank connection(s): " +
+                             fd.status().message()));
     }
-    Hello hello{};
+    Hello theirs{};
     const Status got =
-        RecvAll(fd.value(), &hello, sizeof(hello), deadline, wake_rfd_);
+        RecvAll(fd.value(), &theirs, sizeof(theirs), deadline, wake_rfd_);
     if (!got.ok()) {
       CloseFd(fd.value());
-      return fail(got);
+      if (got.code() == StatusCode::kFailedPrecondition) return fail(got);
+      continue;
     }
-    if (hello.magic != kHelloMagic || hello.rank <= rank() ||
-        hello.rank >= world() ||
-        fds[static_cast<size_t>(hello.rank)] != -1) {
+    if (theirs.magic != kHelloMagic || theirs.rank <= rank() ||
+        theirs.rank >= world() ||
+        theirs.channel >= static_cast<uint32_t>(channels)) {
       CloseFd(fd.value());
-      return fail(Status::Internal("bad HELLO from peer (rank " +
-                                   std::to_string(hello.rank) + ")"));
+      continue;
     }
-    if (hello.generation != options_.generation) {
+    if (theirs.generation != options_.generation) {
       CloseFd(fd.value());
       return fail(Status::InvalidGeneration(
-          "peer rank " + std::to_string(hello.rank) + " is at generation " +
-          std::to_string(hello.generation) + ", this group is g" +
+          "peer rank " + std::to_string(theirs.rank) + " is at generation " +
+          std::to_string(theirs.generation) + ", this group is g" +
           std::to_string(options_.generation)));
     }
-    fds[static_cast<size_t>(hello.rank)] = fd.value();
+    if (theirs.resume_seq != resume_seq) {
+      EmitEvent("pg.resume_mismatch",
+                "peer=" + std::to_string(theirs.rank) + " theirs=" +
+                    std::to_string(theirs.resume_seq) +
+                    " ours=" + std::to_string(resume_seq));
+      // Pause before closing: the connector retries the instant its recv
+      // fails, so the accept side is the only place this rank can pace a
+      // divergent peer's handshake spin (the connect-side pause does not
+      // help rank 0, which never dials out). Bounded, and the mesh is
+      // down anyway.
+      // ddplint: allow(blocking-under-lock) reason: bounded 5ms pacing of
+      // a dead-mesh handshake retry; see above.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      CloseFd(fd.value());
+      continue;
+    }
+    int& s = slot(theirs.rank, theirs.channel);
+    if (s != -1) {
+      // The peer retried this pairing; the newer connection supersedes the
+      // stale one.
+      CloseFd(s);
+      s = -1;
+      --accepted;
+    }
+    Hello mine{kHelloMagic, rank(),     options_.generation,
+               theirs.channel, 0,       resume_seq};
+    const Status sent =
+        shim != nullptr
+            ? shim->SendAll(theirs.rank, fd.value(), &mine, sizeof(mine),
+                            deadline, wake_rfd_)
+            : SendAll(fd.value(), &mine, sizeof(mine), deadline, wake_rfd_);
+    if (!sent.ok()) {
+      CloseFd(fd.value());
+      if (sent.code() == StatusCode::kFailedPrecondition) return fail(sent);
+      continue;
+    }
+    s = fd.value();
+    ++accepted;
   }
   CloseFd(listen_fd.value());
+  return Status::OK();
+}
 
-  MutexLock lock(&mu_);
-  peer_fds_ = std::move(fds);
+Status ProcessGroupTcp::Bootstrap() {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::Internal("pipe() failed for abort pipe");
+  }
+  wake_rfd_ = pipe_fds[0];
+  wake_wfd_ = pipe_fds[1];
+  int stop_fds[2];
+  if (pipe(stop_fds) != 0) {
+    return Status::Internal("pipe() failed for supervisor stop pipe");
+  }
+  sup_stop_rfd_ = stop_fds[0];
+  sup_stop_wfd_ = stop_fds[1];
+
+  const Deadline deadline = Deadline::After(options_.connect_timeout_seconds);
+  std::vector<int> data_fds;
+  std::vector<int> hb_fds;
+  Status status;
+  double backoff = options_.reconnect_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    // Unsupervised groups get one round with the whole budget (the legacy
+    // contract); supervised ones slice it into retryable rounds so a
+    // bootstrap-time partition or flaky peer doesn't consume everything.
+    const double round =
+        supervised() ? std::min(options_.reconnect_timeout_seconds,
+                                std::max(0.01, RemainingSeconds(deadline)))
+                     : std::max(0.01, RemainingSeconds(deadline));
+    status = BuildMesh(/*resume_seq=*/0, Deadline::After(round), &data_fds,
+                       &hb_fds);
+    if (status.ok()) {
+      if (attempt > 0) {
+        reconnects_.fetch_add(1);
+        if (options_.metrics) {
+          options_.metrics->counter("pg.reconnects").Increment();
+        }
+      }
+      break;
+    }
+    if (!supervised() || !IsTransientWire(status) ||
+        attempt >= options_.max_reconnect_attempts || deadline.Expired()) {
+      return status;
+    }
+    EmitEvent("pg.reconnect", "bootstrap retry attempt=" +
+                                  std::to_string(attempt + 1) +
+                                  " cause=" + status.message());
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff *= 2.0;
+  }
+
+  {
+    MutexLock lock(&mu_);
+    peer_fds_ = std::move(data_fds);
+    hb_fds_ = std::move(hb_fds);
+    const auto now = SteadyClock::now();
+    hb_last_recv_.assign(static_cast<size_t>(world()), now);
+    hb_missing_.assign(static_cast<size_t>(world()), false);
+  }
+  if (options_.heartbeat_interval_seconds > 0.0 && world() > 1) {
+    hb_thread_ = std::thread([this] { SupervisorLoop(); });
+  }
+  return Status::OK();
+}
+
+Status ProcessGroupTcp::RemeshLocked(uint64_t resume_seq) {
+  // Closing the old mesh first doubles as the failure signal to peers
+  // still blocked inside the broken collective: their reads observe EOF,
+  // classify transient, and join the re-mesh.
+  for (int fd : peer_fds_) CloseFd(fd);
+  for (int fd : hb_fds_) CloseFd(fd);
+  std::fill(peer_fds_.begin(), peer_fds_.end(), -1);
+  std::fill(hb_fds_.begin(), hb_fds_.end(), -1);
+
+  std::vector<int> data_fds;
+  std::vector<int> hb_fds;
+  const Deadline deadline =
+      Deadline::After(options_.reconnect_timeout_seconds);
+  DDPKIT_RETURN_IF_ERROR(
+      BuildMesh(resume_seq, deadline, &data_fds, &hb_fds));
+  peer_fds_ = std::move(data_fds);
+  hb_fds_ = std::move(hb_fds);
+  const auto now = SteadyClock::now();
+  hb_last_recv_.assign(static_cast<size_t>(world()), now);
+  hb_missing_.assign(static_cast<size_t>(world()), false);
   return Status::OK();
 }
 
 ProcessGroupTcp::~ProcessGroupTcp() {
+  if (hb_thread_.joinable()) {
+    const char stop = 's';
+    (void)!write(sup_stop_wfd_, &stop, 1);
+    hb_thread_.join();
+  }
   {
     MutexLock lock(&mu_);
     for (int fd : peer_fds_) CloseFd(fd);
     peer_fds_.clear();
+    for (int fd : hb_fds_) CloseFd(fd);
+    hb_fds_.clear();
   }
   CloseFd(wake_rfd_);
   CloseFd(wake_wfd_);
+  CloseFd(sup_stop_rfd_);
+  CloseFd(sup_stop_wfd_);
 }
 
 std::string ProcessGroupTcp::backend_name() const {
   return std::string("tcp[") + AlgorithmName(options_.algorithm) + "]";
+}
+
+void ProcessGroupTcp::EmitEvent(const char* event,
+                                const std::string& detail) {
+  if (options_.event_sink) options_.event_sink(event, detail);
 }
 
 void ProcessGroupTcp::AbortGroup(uint64_t new_generation,
@@ -625,6 +924,75 @@ void ProcessGroupTcp::AbortGroup(uint64_t new_generation,
   MutexLock lock(&mu_);
   for (int fd : peer_fds_) CloseFd(fd);
   std::fill(peer_fds_.begin(), peer_fds_.end(), -1);
+  for (int fd : hb_fds_) CloseFd(fd);
+  std::fill(hb_fds_.begin(), hb_fds_.end(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat failure detector.
+// ---------------------------------------------------------------------------
+
+void ProcessGroupTcp::SupervisorLoop() {
+  const int interval_ms = std::max(
+      1, static_cast<int>(options_.heartbeat_interval_seconds * 1000.0));
+  const double miss_after =
+      options_.heartbeat_interval_seconds *
+      static_cast<double>(std::max(1, options_.heartbeat_miss_intervals));
+  while (true) {
+    pollfd stop{sup_stop_rfd_, POLLIN, 0};
+    const int n = poll(&stop, 1, interval_ms);
+    if (n > 0 && (stop.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      return;
+    }
+    // A collective in flight holds mu_ for its whole duration and is its
+    // own liveness signal; skip the tick rather than queue behind it.
+    if (!mu_.TryLock()) continue;
+    const auto now = SteadyClock::now();
+    for (int peer = 0; peer < world(); ++peer) {
+      if (peer == rank() || hb_fds_.empty()) continue;
+      const int fd = hb_fds_[static_cast<size_t>(peer)];
+      if (fd < 0) continue;
+      const char ping = 'h';
+      const Deadline send_deadline =
+          Deadline::After(options_.heartbeat_interval_seconds);
+      if (options_.fault_injector != nullptr) {
+        (void)!options_.fault_injector
+                   ->Heartbeat(peer, fd, &ping, 1, send_deadline)
+                   .ok();
+      } else {
+        (void)!comm::SendAll(fd, &ping, 1, send_deadline).ok();
+      }
+      // Drain whatever the peer's probes delivered; any byte proves the
+      // link alive. Nonblocking read keeps the tick bounded.
+      char buf[64];
+      bool alive = false;
+      while (recv(fd, buf, sizeof(buf), MSG_DONTWAIT) > 0) alive = true;
+      if (alive) {
+        hb_last_recv_[static_cast<size_t>(peer)] = now;
+        if (hb_missing_[static_cast<size_t>(peer)]) {
+          hb_missing_[static_cast<size_t>(peer)] = false;
+          EmitEvent("pg.heartbeat_recovered",
+                    "peer=" + std::to_string(peer));
+        }
+      } else if (!hb_missing_[static_cast<size_t>(peer)]) {
+        const double silent =
+            std::chrono::duration<double>(
+                now - hb_last_recv_[static_cast<size_t>(peer)])
+                .count();
+        if (silent > miss_after) {
+          hb_missing_[static_cast<size_t>(peer)] = true;
+          heartbeat_misses_.fetch_add(1);
+          if (options_.metrics) {
+            options_.metrics->counter("pg.heartbeat_misses").Increment();
+          }
+          EmitEvent("pg.heartbeat_miss",
+                    "peer=" + std::to_string(peer) + " silent_ms=" +
+                        std::to_string(static_cast<int>(silent * 1000.0)));
+        }
+      }
+    }
+    mu_.Unlock();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -680,7 +1048,9 @@ Status ProcessGroupTcp::ExchangeHeaders(const OpHeader& mine,
 template <typename Body>
 WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
                                           int64_t numel, int root,
-                                          ReduceOp op, Body body) {
+                                          ReduceOp op,
+                                          std::vector<ByteSpan> payload,
+                                          Body body) {
   auto work = std::make_shared<Work>();
   const uint64_t seq = next_seq_.fetch_add(1);
   const double issue_clock = clock_->Now();
@@ -689,6 +1059,9 @@ WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
     return std::chrono::duration<double>(SteadyClock::now() - wall_start)
         .count();
   };
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->set_op_index(seq);
+  }
 
   if (options_.metrics) {
     options_.metrics->counter(std::string("pg.ops.") + OpKindName(kind))
@@ -719,9 +1092,17 @@ WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
     return work;
   }
 
-  OpContext ctx{&peer_fds_, rank(), world(),
-                Deadline::After(options_.collective_timeout_seconds),
-                wake_rfd_};
+  // Snapshot the bytes this collective mutates so a supervisor replay is
+  // byte-transparent: every retry starts from the exact pre-op payload.
+  std::vector<std::vector<uint8_t>> snapshot;
+  if (supervised()) {
+    snapshot.reserve(payload.size());
+    for (const ByteSpan& span : payload) {
+      const uint8_t* p = static_cast<const uint8_t*>(span.first);
+      snapshot.emplace_back(p, p + span.second);
+    }
+  }
+
   OpHeader header{kHeaderMagic,
                   kind,
                   dtype_code,
@@ -731,8 +1112,62 @@ WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
                   numel,
                   seq,
                   options_.generation};
-  Status status = ExchangeHeaders(header, ctx);
-  if (status.ok()) status = body(ctx);
+  Status status;
+  double backoff = options_.reconnect_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      // Transient wire failure: restore the payload, back off, rebuild the
+      // mesh at the same generation, and replay this same seq.
+      for (size_t i = 0; i < payload.size(); ++i) {
+        if (payload[i].second > 0) {
+          std::memcpy(payload[i].first, snapshot[i].data(),
+                      payload[i].second);
+        }
+      }
+      // ddplint: allow(blocking-under-lock) reason: the backoff is bounded
+      // (reconnect_backoff doubled at most max_reconnect_attempts times)
+      // and intentionally holds the collective lock — the mesh is down, so
+      // stalling other issuers and the heartbeat prober until the remesh
+      // verdict is the correct behaviour, and AbortGroup still cuts in via
+      // the wake pipe at the next poll.
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+      const Status remesh = RemeshLocked(seq);
+      if (!remesh.ok()) {
+        status = remesh;
+        if (!IsTransientWire(remesh) ||
+            attempt >= options_.max_reconnect_attempts ||
+            superseded_by_.load() != 0) {
+          break;
+        }
+        continue;  // burn another attempt on re-meshing
+      }
+      reconnects_.fetch_add(1);
+      if (options_.metrics) {
+        options_.metrics->counter("pg.reconnects").Increment();
+      }
+      EmitEvent("pg.reconnect",
+                "seq=" + std::to_string(seq) + " attempt=" +
+                    std::to_string(attempt) + " op=" + OpKindName(kind));
+    }
+    OpContext ctx{&peer_fds_,
+                  rank(),
+                  world(),
+                  Deadline::After(options_.collective_timeout_seconds),
+                  wake_rfd_,
+                  options_.fault_injector};
+    status = ExchangeHeaders(header, ctx);
+    if (status.ok()) status = body(ctx);
+    if (status.ok()) break;
+    if (!supervised() || !IsTransientWire(status) ||
+        attempt >= options_.max_reconnect_attempts ||
+        superseded_by_.load() != 0) {
+      break;
+    }
+    EmitEvent("pg.wire_failure",
+              "seq=" + std::to_string(seq) + " transient: " +
+                  status.message());
+  }
 
   if (status.ok()) {
     // Track wall time on the virtual clock so Work/telemetry semantics
@@ -752,7 +1187,7 @@ WorkHandle ProcessGroupTcp::RunCollective(uint8_t kind, uint8_t dtype_code,
     case StatusCode::kFailedPrecondition:  // abort pipe fired
       error = WorkError::kInvalidGeneration;
       break;
-    default:
+    default:  // incl. kInvalidGeneration from a re-mesh HELLO: rank failure
       error = WorkError::kRankFailure;
       break;
   }
@@ -804,8 +1239,13 @@ WorkHandle ProcessGroupTcp::AllReduce(Tensor tensor, ReduceOp op) {
       algorithm = Algorithm::kRingChunked;
     }
   }
+  std::vector<ByteSpan> payload;
+  if (tensor.is_contiguous() && n > 0) {
+    payload.push_back({tensor.data<uint8_t>(),
+                       static_cast<size_t>(tensor.nbytes())});
+  }
   return RunCollective(
-      kKindAllReduce, dtype_code, n, /*root=*/-1, op,
+      kKindAllReduce, dtype_code, n, /*root=*/-1, op, std::move(payload),
       [&, algorithm](const OpContext& ctx) -> Status {
         if (!tensor.is_contiguous()) {
           return Status::InvalidArgument("AllReduce needs contiguous tensor");
@@ -832,9 +1272,15 @@ WorkHandle ProcessGroupTcp::AllReduce(Tensor tensor, ReduceOp op) {
 WorkHandle ProcessGroupTcp::Broadcast(Tensor tensor, int root) {
   const int64_t n = tensor.numel();
   const size_t bytes = static_cast<size_t>(n) * ItemSize(tensor.dtype());
+  std::vector<ByteSpan> payload;
+  if (tensor.is_contiguous() && n > 0) {
+    payload.push_back({tensor.data<uint8_t>(),
+                       static_cast<size_t>(tensor.nbytes())});
+  }
   return RunCollective(
       kKindBroadcast, static_cast<uint8_t>(tensor.dtype()), n, root,
-      ReduceOp::kSum, [&](const OpContext& ctx) -> Status {
+      ReduceOp::kSum, std::move(payload),
+      [&](const OpContext& ctx) -> Status {
         if (root < 0 || root >= ctx.world) {
           return Status::InvalidArgument("bad broadcast root");
         }
@@ -857,9 +1303,15 @@ WorkHandle ProcessGroupTcp::Broadcast(Tensor tensor, int root) {
 WorkHandle ProcessGroupTcp::AllGather(const Tensor& input, Tensor output) {
   const int64_t n = input.numel();
   const size_t block = static_cast<size_t>(n) * ItemSize(input.dtype());
+  std::vector<ByteSpan> payload;
+  if (output.is_contiguous() && output.numel() > 0) {
+    payload.push_back({output.data<uint8_t>(),
+                       static_cast<size_t>(output.nbytes())});
+  }
   return RunCollective(
       kKindAllGather, static_cast<uint8_t>(input.dtype()), n, /*root=*/-1,
-      ReduceOp::kSum, [&](const OpContext& ctx) -> Status {
+      ReduceOp::kSum, std::move(payload),
+      [&](const OpContext& ctx) -> Status {
         if (output.numel() != n * ctx.world) {
           return Status::InvalidArgument("AllGather output size mismatch");
         }
@@ -887,9 +1339,14 @@ WorkHandle ProcessGroupTcp::AllGather(const Tensor& input, Tensor output) {
 
 WorkHandle ProcessGroupTcp::Reduce(Tensor tensor, int root, ReduceOp op) {
   const int64_t n = tensor.numel();
+  std::vector<ByteSpan> payload;
+  if (tensor.is_contiguous() && n > 0) {
+    payload.push_back({tensor.data<uint8_t>(),
+                       static_cast<size_t>(tensor.nbytes())});
+  }
   return RunCollective(
       kKindReduce, static_cast<uint8_t>(tensor.dtype()), n, root, op,
-      [&](const OpContext& ctx) -> Status {
+      std::move(payload), [&](const OpContext& ctx) -> Status {
         if (root < 0 || root >= ctx.world) {
           return Status::InvalidArgument("bad reduce root");
         }
@@ -929,9 +1386,15 @@ WorkHandle ProcessGroupTcp::Reduce(Tensor tensor, int root, ReduceOp op) {
 WorkHandle ProcessGroupTcp::ReduceScatter(const Tensor& input, Tensor output,
                                           ReduceOp op) {
   const int64_t chunk = output.numel();
+  std::vector<ByteSpan> payload;
+  if (output.is_contiguous() && chunk > 0) {
+    payload.push_back({output.data<uint8_t>(),
+                       static_cast<size_t>(output.nbytes())});
+  }
   return RunCollective(
       kKindReduceScatter, static_cast<uint8_t>(input.dtype()), chunk,
-      /*root=*/-1, op, [&](const OpContext& ctx) -> Status {
+      /*root=*/-1, op, std::move(payload),
+      [&](const OpContext& ctx) -> Status {
         if (input.dtype() != DType::kFloat32 ||
             output.dtype() != DType::kFloat32) {
           return Status::InvalidArgument("ReduceScatter supports float32");
@@ -982,9 +1445,15 @@ WorkHandle ProcessGroupTcp::Gather(const Tensor& input, Tensor output,
                                    int root) {
   const int64_t n = input.numel();
   const size_t block = static_cast<size_t>(n) * ItemSize(input.dtype());
+  std::vector<ByteSpan> payload;
+  if (output.is_contiguous() && output.numel() > 0) {
+    payload.push_back({output.data<uint8_t>(),
+                       static_cast<size_t>(output.nbytes())});
+  }
   return RunCollective(
       kKindGather, static_cast<uint8_t>(input.dtype()), n, root,
-      ReduceOp::kSum, [&](const OpContext& ctx) -> Status {
+      ReduceOp::kSum, std::move(payload),
+      [&](const OpContext& ctx) -> Status {
         if (root < 0 || root >= ctx.world) {
           return Status::InvalidArgument("bad gather root");
         }
@@ -1015,7 +1484,7 @@ WorkHandle ProcessGroupTcp::Gather(const Tensor& input, Tensor output,
 
 void ProcessGroupTcp::Barrier() {
   WorkHandle work = RunCollective(
-      kKindBarrier, 0, 0, /*root=*/-1, ReduceOp::kSum,
+      kKindBarrier, 0, 0, /*root=*/-1, ReduceOp::kSum, {},
       [&](const OpContext& ctx) -> Status {
         if (ctx.world == 1) return Status::OK();
         char token = 'b';

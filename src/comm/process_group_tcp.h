@@ -2,13 +2,18 @@
 #define DDPKIT_COMM_PROCESS_GROUP_TCP_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "comm/algorithms.h"
+#include "comm/net_fault.h"
 #include "comm/process_group.h"
 #include "comm/store.h"
 #include "common/metrics.h"
@@ -43,8 +48,21 @@ namespace ddpkit::comm {
 ///   peer closed / reset   → WorkError::kRankFailure
 ///   header mismatch       → WorkError::kShapeMismatch
 ///   abort pipe fired      → WorkError::kInvalidGeneration
-/// After any wire failure the group is poisoned (streams may be
-/// desynchronized): later collectives fail fast with kRankFailure.
+///
+/// Self-healing (DESIGN.md §14): with `max_reconnect_attempts` > 0 a
+/// connection supervisor classifies wire failures. Transient ones (peer
+/// reset, deadline elapsed) trigger close + backoff + a full re-mesh at
+/// the *same* generation — addresses republished, HELLO re-handshake
+/// carrying the in-flight sequence number — and a byte-transparent replay
+/// of the interrupted collective from its snapshotted input. Fatal ones
+/// (generation/resume mismatch, abort) and exhausted budgets poison the
+/// group and surface the existing typed errors, feeding the elastic
+/// DDP::Recover path. An optional heartbeat thread probes every mesh link
+/// on a second socket channel, feeding `pg.heartbeat_misses`; reconnect
+/// rounds feed `pg.reconnects`.
+///
+/// After an unrecovered wire failure the group is poisoned (streams may
+/// be desynchronized): later collectives fail fast with kRankFailure.
 /// AbortGroup(new_gen) wakes any in-flight poll via the abort pipe and
 /// closes all peer sockets, which unblocks stranded remote peers with
 /// kRankFailure on their side.
@@ -68,6 +86,32 @@ class ProcessGroupTcp : public ProcessGroup {
     /// Elastic-recovery generation (namespaces the rendezvous keys, so a
     /// regrouped world bootstraps a fresh mesh).
     uint64_t generation = 0;
+
+    /// Optional wire-fault shim. Owned by the caller and shared across
+    /// group incarnations (one per *process*, so sticky fault state —
+    /// activated partitions, heal hit counts — survives regeneration).
+    /// Null = raw sockets.
+    WireFaultInjector* fault_injector = nullptr;
+    /// Connection supervisor: > 0 enables transient-failure self-healing
+    /// (close + backoff + same-generation re-mesh + in-flight collective
+    /// replay), up to this many re-mesh rounds per collective. 0 keeps the
+    /// legacy poison-on-first-failure behaviour.
+    int max_reconnect_attempts = 0;
+    /// Wall budget for one re-mesh round (republish + full mesh + HELLO).
+    double reconnect_timeout_seconds = 2.0;
+    /// Backoff before the first re-mesh round; doubles per round
+    /// (RetryPolicy-shaped, wall clock — peers live in other processes).
+    double reconnect_backoff_seconds = 0.05;
+    /// > 0 starts a heartbeat thread probing every mesh link at this
+    /// period over a dedicated socket channel. 0 disables probing.
+    double heartbeat_interval_seconds = 0.0;
+    /// Silent intervals on a link before it counts one heartbeat miss.
+    int heartbeat_miss_intervals = 3;
+    /// Optional supervisor event sink ("pg.reconnect", "pg.heartbeat_miss"
+    /// instants; the caller can forward them to a trace recorder). Called
+    /// with the group lock held — must not call back into the group.
+    std::function<void(const std::string& event, const std::string& detail)>
+        event_sink;
   };
 
   /// Rendezvous constructor: blocks until the full mesh is up, within the
@@ -109,6 +153,12 @@ class ProcessGroupTcp : public ProcessGroup {
   /// Total number of collectives this rank has issued.
   uint64_t ops_issued() const { return next_seq_.load(); }
 
+  /// Successful supervisor re-mesh rounds (mirrors the pg.reconnects
+  /// counter, readable without a metrics registry).
+  uint64_t reconnects() const { return reconnects_.load(); }
+  /// Heartbeat misses observed on this rank's links.
+  uint64_t heartbeat_misses() const { return heartbeat_misses_.load(); }
+
   /// Per-collective wire header, exchanged with the ring neighbours before
   /// payload bytes move; disagreement is the typed kShapeMismatch arm.
   /// Public only so the schedule implementations (free functions in the
@@ -121,15 +171,44 @@ class ProcessGroupTcp : public ProcessGroup {
   ProcessGroupTcp(Store* store, std::string name, int rank, int world,
                   const Options& options, sim::VirtualClock* clock);
 
-  /// Builds the full mesh (listen, publish, connect/accept + HELLO).
+  /// Mutated-byte span a collective must snapshot for replay.
+  using ByteSpan = std::pair<void*, size_t>;
+
+  /// Builds the full mesh (listen, publish, connect/accept + HELLO) into
+  /// `*data_fds` (+ `*hb_fds` when heartbeats are enabled), re-usable for
+  /// both bootstrap (resume_seq 0) and supervisor re-mesh rounds.
+  [[nodiscard]] Status BuildMesh(uint64_t resume_seq, const Deadline& deadline,
+                                 std::vector<int>* data_fds,
+                                 std::vector<int>* hb_fds);
+
+  /// Initial bootstrap: abort pipe + mesh (with supervisor retries when
+  /// enabled) + heartbeat thread.
   [[nodiscard]] Status Bootstrap();
 
+  /// One supervisor re-mesh round at the current generation: closes the
+  /// old mesh, republishes this rank's address, rebuilds both channels and
+  /// re-handshakes with `resume_seq` consensus.
+  [[nodiscard]] Status RemeshLocked(uint64_t resume_seq) REQUIRES(mu_);
+
+  /// Heartbeat thread body: probe every link each interval, drain pongs,
+  /// count misses.
+  void SupervisorLoop();
+
+  bool supervised() const {
+    return options_.max_reconnect_attempts > 0 && world() > 1;
+  }
+
+  void EmitEvent(const char* event, const std::string& detail);
+
   /// Runs `body` as collective `kind`, wrapping it with the sequence-number
-  /// bump, the neighbour header exchange, wall-deadline setup, error
-  /// mapping, and Work termination.
+  /// bump, the neighbour header exchange, wall-deadline setup, supervisor
+  /// retry (snapshotting `payload` so a replay starts from the original
+  /// bytes), error mapping, and Work termination.
   template <typename Body>
-  [[nodiscard]] WorkHandle RunCollective(uint8_t kind, uint8_t dtype_code, int64_t numel,
-                           int root, ReduceOp op, Body body);
+  [[nodiscard]] WorkHandle RunCollective(uint8_t kind, uint8_t dtype_code,
+                                         int64_t numel, int root, ReduceOp op,
+                                         std::vector<ByteSpan> payload,
+                                         Body body);
 
   [[nodiscard]] Status ExchangeHeaders(const OpHeader& mine,
                                        const OpContext& ctx);
@@ -144,6 +223,14 @@ class ProcessGroupTcp : public ProcessGroup {
   /// wakes, fails typed, and releases it.
   Mutex mu_;
   std::vector<int> peer_fds_ GUARDED_BY(mu_);  // rank -> fd, own rank = -1
+  /// Heartbeat channel mesh (empty when probing is disabled).
+  std::vector<int> hb_fds_ GUARDED_BY(mu_);
+  // ddplint: allow(banned-nondeterminism) reason: peer liveness is a
+  // wall-clock property of the real TCP mesh; the sim backend (where
+  // reproducibility lives) never starts the prober.
+  std::vector<std::chrono::steady_clock::time_point> hb_last_recv_
+      GUARDED_BY(mu_);
+  std::vector<bool> hb_missing_ GUARDED_BY(mu_);
   bool wire_failed_ GUARDED_BY(mu_) = false;
   std::string wire_failure_reason_ GUARDED_BY(mu_);
 
@@ -152,8 +239,16 @@ class ProcessGroupTcp : public ProcessGroup {
   int wake_rfd_ = -1;
   int wake_wfd_ = -1;
 
+  /// Supervisor stop pipe (destructor -> heartbeat thread), distinct from
+  /// the abort pipe so a clean teardown is not an abort.
+  int sup_stop_rfd_ = -1;
+  int sup_stop_wfd_ = -1;
+  std::thread hb_thread_;
+
   std::atomic<uint64_t> superseded_by_{0};
   std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> heartbeat_misses_{0};
 };
 
 }  // namespace ddpkit::comm

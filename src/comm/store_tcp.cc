@@ -161,12 +161,13 @@ void StoreServerTcp::Stop() {
   const char wake = 'x';
   (void)!write(wake_wfd_, &wake, 1);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> conns;
+  std::map<uint64_t, std::thread> conns;
   {
     MutexLock lock(&conn_mutex_);
     conns.swap(conn_threads_);
+    finished_conns_.clear();
   }
-  for (std::thread& t : conns) {
+  for (auto& [id, t] : conns) {
     if (t.joinable()) t.join();
   }
   CloseFd(listen_fd_);
@@ -175,22 +176,52 @@ void StoreServerTcp::Stop() {
   listen_fd_ = wake_rfd_ = wake_wfd_ = -1;
 }
 
+void StoreServerTcp::ReapFinishedConnections() {
+  // Finished threads have only their epilogue left, so these joins do not
+  // block the accept path. Joining outside conn_mutex_ keeps the lock off
+  // the (tiny) join wait.
+  std::vector<std::thread> done;
+  {
+    MutexLock lock(&conn_mutex_);
+    for (uint64_t id : finished_conns_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_conns_.clear();
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t StoreServerTcp::tracked_connections() {
+  MutexLock lock(&conn_mutex_);
+  return conn_threads_.size();
+}
+
 void StoreServerTcp::AcceptLoop() {
   for (;;) {
     Result<int> fd = AcceptWithDeadline(listen_fd_, Deadline::Never(),
                                         wake_rfd_);
     if (!fd.ok()) return;  // aborted by Stop() or listener torn down
+    // Reap before admitting: a churning client (connect, one RPC, reset —
+    // the self-healing backend's re-mesh pattern) must not accumulate one
+    // dead thread per cycle until Stop().
+    ReapFinishedConnections();
     MutexLock lock(&conn_mutex_);
     if (shutdown_.load()) {
       CloseFd(fd.value());
       return;
     }
-    conn_threads_.emplace_back(&StoreServerTcp::ServeConnection, this,
-                               fd.value());
+    const uint64_t id = next_conn_id_++;
+    conn_threads_.emplace(id, std::thread(&StoreServerTcp::ServeConnection,
+                                          this, id, fd.value()));
   }
 }
 
-void StoreServerTcp::ServeConnection(int fd) {
+void StoreServerTcp::ServeConnection(uint64_t conn_id, int fd) {
   for (;;) {
     Result<std::vector<uint8_t>> frame =
         RecvFrame(fd, Deadline::Never(), wake_rfd_);
@@ -203,6 +234,10 @@ void StoreServerTcp::ServeConnection(int fd) {
     if (!sent.ok()) break;
   }
   CloseFd(fd);
+  // Announce completion so the accept loop can reap this thread; must be
+  // the last touch of server state.
+  MutexLock lock(&conn_mutex_);
+  finished_conns_.push_back(conn_id);
 }
 
 bool StoreServerTcp::HandleRequest(const std::vector<uint8_t>& request,

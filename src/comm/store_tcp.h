@@ -2,6 +2,8 @@
 #define DDPKIT_COMM_STORE_TCP_H_
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -49,12 +51,21 @@ class StoreServerTcp {
   /// in tests and for the launcher's own bookkeeping).
   Store& backing();
 
+  /// Connection threads currently tracked (live + finished-but-unreaped).
+  /// The accept loop reaps finished threads before admitting each new
+  /// connection, so this stays bounded by the number of concurrently open
+  /// clients — the regression surface for the reaping fix.
+  size_t tracked_connections();
+
  private:
   StoreServerTcp(std::string host, int port, int listen_fd, int wake_rfd,
                  int wake_wfd);
 
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t conn_id, int fd);
+  /// Joins every connection thread that has announced completion. The join
+  /// is near-instant: a finished thread only has its epilogue left.
+  void ReapFinishedConnections();
   /// Handles one decoded request, appending the response payload.
   /// Returns false on a malformed request (connection is dropped).
   bool HandleRequest(const std::vector<uint8_t>& request,
@@ -76,7 +87,15 @@ class StoreServerTcp {
   std::thread accept_thread_;
 
   Mutex conn_mutex_;
-  std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mutex_);
+  /// Live connection threads keyed by connection id. A thread announces
+  /// completion by moving its id to finished_conns_ as its last act; the
+  /// accept loop (and Stop) joins and erases announced threads. Without
+  /// this, a client that churns connect/reset cycles — exactly what the
+  /// self-healing TCP backend's re-mesh does — would grow the vector of
+  /// dead threads without bound for the server's lifetime.
+  std::map<uint64_t, std::thread> conn_threads_ GUARDED_BY(conn_mutex_);
+  std::vector<uint64_t> finished_conns_ GUARDED_BY(conn_mutex_);
+  uint64_t next_conn_id_ GUARDED_BY(conn_mutex_) = 0;
 };
 
 /// Client half: a comm::Store whose primitive layer is framed RPCs to a

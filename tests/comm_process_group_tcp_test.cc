@@ -13,19 +13,20 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "comm/algorithms.h"
+#include "comm/fault_plan.h"
+#include "comm/net_fault.h"
 #include "comm/process_group_tcp.h"
 #include "comm/store.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/virtual_clock.h"
@@ -38,18 +39,18 @@ class Latch {
  public:
   explicit Latch(int count) : count_(count) {}
   void CountDown() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--count_ == 0) cv_.notify_all();
+    MutexLock lock(&mu_);
+    if (--count_ == 0) cv_.NotifyAll();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return count_ <= 0; });
+    MutexLock lock(&mu_);
+    while (count_ > 0) cv_.Wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ GUARDED_BY(mu_);
 };
 
 using Group = std::shared_ptr<ProcessGroupTcp>;
@@ -413,6 +414,221 @@ TEST(ProcessGroupTcpTest, AbortUnblocksInflightCollectiveTyped) {
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   groups[0]->AbortGroup(1, "superseded by test generation 1");
   for (auto& t : ranks) t.join();
+}
+
+// --- connection supervisor: reconnect, replay, heartbeat -------------------
+
+/// RunTcpWorld with one shared WireFaultPlan and a per-rank injector (one
+/// per process in production; one per rank thread here), supervisor options
+/// included. `tweak` edits the options every rank shares.
+void RunChaosWorld(
+    int world, const WireFaultPlan& plan, ProcessGroupTcp::Options options,
+    const std::function<void(int, const Group&, WireFaultInjector&)>& body) {
+  Store store;
+  Latch done(world);
+  std::vector<std::unique_ptr<WireFaultInjector>> injectors;
+  for (int rank = 0; rank < world; ++rank) {
+    injectors.push_back(std::make_unique<WireFaultInjector>(&plan, rank));
+  }
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < world; ++rank) {
+    threads.emplace_back([&, rank] {
+      sim::VirtualClock clock;
+      ProcessGroupTcp::Options mine = options;
+      mine.fault_injector = injectors[static_cast<size_t>(rank)].get();
+      Result<Group> group =
+          ProcessGroupTcp::Create(&store, "chaos", rank, world, mine, &clock);
+      if (!group.ok()) {
+        ADD_FAILURE() << "rank " << rank
+                      << " bootstrap: " << group.status().ToString();
+        done.CountDown();
+        return;
+      }
+      body(rank, group.value(), *injectors[static_cast<size_t>(rank)]);
+      done.CountDown();
+      done.Wait();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+ProcessGroupTcp::Options SupervisedOptions() {
+  ProcessGroupTcp::Options options;
+  options.algorithm = Algorithm::kRing;
+  options.collective_timeout_seconds = 20.0;
+  options.max_reconnect_attempts = 5;
+  options.reconnect_timeout_seconds = 2.0;
+  options.reconnect_backoff_seconds = 0.01;
+  return options;
+}
+
+// An injected connection reset mid-collective: both ranks classify the
+// failure transient, rebuild the mesh at the same generation, replay the
+// same sequence number from the payload snapshot — and the results of every
+// round are bit-identical to the fault-free sim reference.
+TEST(ProcessGroupTcpSupervisorTest, ResetMidCollectiveReconnectsAndReplays) {
+  const int world = 2;
+  const int64_t n = 96;
+  WireFaultPlan plan;
+  plan.ResetConnection(0, 1, /*at_op=*/1);  // bootstrap (op 0 stamp) clean
+
+  std::vector<std::vector<std::vector<float>>> rounds;
+  for (uint64_t r = 0; r < 3; ++r) {
+    rounds.push_back(MakeInputs(world, n, 0x5e7 + r));
+  }
+  std::vector<std::vector<std::vector<float>>> reference = rounds;
+  for (auto& round : reference) {
+    std::vector<float*> pointers;
+    for (auto& b : round) pointers.push_back(b.data());
+    RunAllReduceRaw<float>(Algorithm::kRing, ReduceOp::kSum, pointers, n);
+  }
+
+  std::vector<uint64_t> reconnects(static_cast<size_t>(world), 0);
+  std::vector<std::vector<std::vector<float>>> wire(
+      rounds.size(),
+      std::vector<std::vector<float>>(static_cast<size_t>(world)));
+  RunChaosWorld(
+      world, plan, SupervisedOptions(),
+      [&](int rank, const Group& group, WireFaultInjector&) {
+        for (size_t r = 0; r < rounds.size(); ++r) {
+          Tensor tensor = FromVec(rounds[r][static_cast<size_t>(rank)]);
+          WorkHandle work = group->AllReduce(tensor, ReduceOp::kSum);
+          ASSERT_TRUE(work->status().ok())
+              << "rank " << rank << " round " << r << ": "
+              << work->status().ToString();
+          wire[r][static_cast<size_t>(rank)].assign(
+              tensor.data<float>(), tensor.data<float>() + tensor.numel());
+        }
+        reconnects[static_cast<size_t>(rank)] = group->reconnects();
+      });
+
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    for (int rank = 0; rank < world; ++rank) {
+      EXPECT_EQ(0, std::memcmp(reference[r][static_cast<size_t>(rank)].data(),
+                               wire[r][static_cast<size_t>(rank)].data(),
+                               static_cast<size_t>(n) * sizeof(float)))
+          << "round " << r << " rank " << rank;
+    }
+  }
+  // The rank whose send was reset re-meshed at least once; its peer saw the
+  // EOF and joined the re-mesh (so it may or may not count its own).
+  EXPECT_GE(reconnects[0] + reconnects[1], 1u);
+}
+
+// A two-way partition that heals after a bounded number of blackholed
+// operations: the supervisor's reconnect attempts burn the heal budget
+// deterministically, the mesh comes back, the interrupted collective
+// replays, and the results stay bit-exact.
+TEST(ProcessGroupTcpSupervisorTest, PartitionHealsViaReconnectBitExact) {
+  const int world = 2;
+  const int64_t n = 64;
+  WireFaultPlan plan;
+  plan.PartitionTwoWay(0, 1, /*from_op=*/1, /*heal_after_hits=*/2);
+  plan.blackhole_cap_seconds = 0.02;
+
+  std::vector<std::vector<std::vector<float>>> rounds;
+  for (uint64_t r = 0; r < 2; ++r) {
+    rounds.push_back(MakeInputs(world, n, 0x8ea1 + r));
+  }
+  std::vector<std::vector<std::vector<float>>> reference = rounds;
+  for (auto& round : reference) {
+    std::vector<float*> pointers;
+    for (auto& b : round) pointers.push_back(b.data());
+    RunAllReduceRaw<float>(Algorithm::kRing, ReduceOp::kSum, pointers, n);
+  }
+
+  std::vector<uint64_t> reconnects(static_cast<size_t>(world), 0);
+  std::vector<std::vector<std::vector<float>>> wire(
+      rounds.size(),
+      std::vector<std::vector<float>>(static_cast<size_t>(world)));
+  RunChaosWorld(
+      world, plan, SupervisedOptions(),
+      [&](int rank, const Group& group, WireFaultInjector&) {
+        for (size_t r = 0; r < rounds.size(); ++r) {
+          Tensor tensor = FromVec(rounds[r][static_cast<size_t>(rank)]);
+          WorkHandle work = group->AllReduce(tensor, ReduceOp::kSum);
+          ASSERT_TRUE(work->status().ok())
+              << "rank " << rank << " round " << r << ": "
+              << work->status().ToString();
+          wire[r][static_cast<size_t>(rank)].assign(
+              tensor.data<float>(), tensor.data<float>() + tensor.numel());
+        }
+        reconnects[static_cast<size_t>(rank)] = group->reconnects();
+      });
+
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    for (int rank = 0; rank < world; ++rank) {
+      EXPECT_EQ(0, std::memcmp(reference[r][static_cast<size_t>(rank)].data(),
+                               wire[r][static_cast<size_t>(rank)].data(),
+                               static_cast<size_t>(n) * sizeof(float)))
+          << "round " << r << " rank " << rank;
+    }
+  }
+  EXPECT_GE(reconnects[0] + reconnects[1], 1u);
+}
+
+// A partition that never heals: the reconnect budget exhausts, the failure
+// surfaces typed (timeout or rank-failure, never a hang), and the group is
+// poisoned — exactly the signal DDP::Recover regroups on.
+TEST(ProcessGroupTcpSupervisorTest, PersistentPartitionExhaustsThenPoisons) {
+  const int world = 2;
+  WireFaultPlan plan;
+  plan.PartitionTwoWay(0, 1, /*from_op=*/1);  // heal_after_hits 0: forever
+  plan.blackhole_cap_seconds = 0.01;
+
+  ProcessGroupTcp::Options options = SupervisedOptions();
+  options.collective_timeout_seconds = 2.0;
+  options.max_reconnect_attempts = 2;
+  options.reconnect_timeout_seconds = 0.2;
+
+  RunChaosWorld(
+      world, plan, options,
+      [&](int rank, const Group& group, WireFaultInjector&) {
+        Tensor warm = Tensor::Ones({8});
+        WorkHandle ok = group->AllReduce(warm, ReduceOp::kSum);
+        ASSERT_TRUE(ok->status().ok())
+            << "rank " << rank << ": " << ok->status().ToString();
+
+        Tensor tensor = Tensor::Ones({8});
+        WorkHandle work = group->AllReduce(tensor, ReduceOp::kSum);
+        EXPECT_FALSE(work->status().ok()) << "rank " << rank;
+        EXPECT_TRUE(work->error() == WorkError::kTimeout ||
+                    work->error() == WorkError::kRankFailure)
+            << "rank " << rank << ": " << work->error_message();
+
+        WorkHandle after = group->AllReduce(tensor, ReduceOp::kSum);
+        EXPECT_EQ(WorkError::kRankFailure, after->error())
+            << "poisoned group must fail fast on rank " << rank << ", got: "
+            << after->error_message();
+        EXPECT_GE(group->reconnects(), 0u);  // attempts were made, all vain
+      });
+}
+
+// One-way partition under heartbeat probing: the starved side (and only
+// the starved side) records misses — the detector's view is asymmetric,
+// exactly like an asymmetric route failure.
+TEST(ProcessGroupTcpSupervisorTest, HeartbeatMissesAreAsymmetric) {
+  const int world = 2;
+  WireFaultPlan plan;
+  plan.PartitionOneWay(0, 1, /*from_op=*/1);  // rank 0's pings vanish
+  plan.blackhole_cap_seconds = 0.01;
+
+  ProcessGroupTcp::Options options;  // unsupervised: detector only
+  options.heartbeat_interval_seconds = 0.04;
+  options.heartbeat_miss_intervals = 3;
+
+  std::vector<uint64_t> misses(static_cast<size_t>(world), 0);
+  RunChaosWorld(
+      world, plan, options,
+      [&](int rank, const Group& group, WireFaultInjector& injector) {
+        // Activate the partition after bootstrap (the stamp a collective
+        // at seq 1 would apply).
+        injector.set_op_index(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        misses[static_cast<size_t>(rank)] = group->heartbeat_misses();
+      });
+  EXPECT_EQ(misses[0], 0u) << "rank 0 still hears rank 1's pings";
+  EXPECT_GE(misses[1], 1u) << "rank 1 must notice rank 0 went silent";
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -26,11 +27,10 @@ StoreServerHandle MustStart(int port = 0) {
 }
 
 double WallSeconds() {
-  // ddplint: allow(banned-nondeterminism) reason: this test measures real
-  // wall-clock behaviour of the wire store on purpose.
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  // This test measures real wall-clock behaviour of the wire store.
+  const auto now =
+      std::chrono::steady_clock::now();  // ddplint: allow(banned-nondeterminism) reason: real-time store test
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
 }
 
 TEST(StoreTcpTest, PingReachesServer) {
@@ -264,6 +264,35 @@ TEST(StoreTcpTest, ServerStopUnblocksHeldGets) {
   server->Stop();
   blocked.join();
   EXPECT_LT(WallSeconds() - start, 10.0);
+}
+
+// Regression: per-connection thread lifecycle under churn. A client that
+// connects, does one RPC, and drops the socket — the self-healing TCP
+// backend's re-mesh does exactly this against the rendezvous store — must
+// not grow the server's thread table without bound: the accept loop reaps
+// finished threads before admitting each newcomer.
+TEST(StoreTcpTest, ConnectionChurnKeepsThreadCountBounded) {
+  StoreServerHandle server = MustStart();
+  constexpr int kCycles = 100;
+  size_t max_tracked = 0;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    StoreClientTcp client("127.0.0.1", server->port());
+    ASSERT_TRUE(client.Ping().ok()) << "cycle " << cycle;
+    // Client destructor closes the socket: a hard reset from the server
+    // thread's point of view.
+    max_tracked = std::max(max_tracked, server->tracked_connections());
+  }
+  // Sequential churn leaves at most a handful of threads between the
+  // moment a client hangs up and the next accept's reap. Without reaping
+  // this reaches kCycles.
+  EXPECT_LE(max_tracked, 16u) << "dead connection threads accumulate";
+
+  // After the dust settles, one more connection's reap leaves only itself
+  // (and any stragglers still in their epilogue).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  StoreClientTcp last("127.0.0.1", server->port());
+  ASSERT_TRUE(last.Ping().ok());
+  EXPECT_LE(server->tracked_connections(), 4u);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include <string>
 
 #include "comm/backend_factory.h"
+#include "comm/chaos_spec.h"
+#include "comm/net_fault.h"
 #include "comm/process_group_tcp.h"
 #include "comm/sim_world.h"
 #include "comm/store_tcp.h"
@@ -37,6 +39,9 @@ struct WorkerArgs {
   std::string digest_out;
   /// Compression hook name ("" = stock all-reduce).
   std::string comm_hook;
+  /// Survivors below this give up instead of re-forming (world-2 chaos
+  /// shrinks to a single-rank run).
+  int min_world = 2;
 };
 
 int ParseInt(const char* text) {
@@ -60,6 +65,8 @@ WorkerArgs ParseArgs(int argc, char** argv) {
       args.digest_out = value_of("--digest-out=");
     } else if (arg.rfind("--comm-hook=", 0) == 0) {
       args.comm_hook = value_of("--comm-hook=");
+    } else if (arg.rfind("--min-world=", 0) == 0) {
+      args.min_world = ParseInt(value_of("--min-world=").c_str());
     } else {
       std::fprintf(stderr, "ddp_worker: unknown argument %s\n", arg.c_str());
       std::exit(2);
@@ -93,6 +100,44 @@ int main(int argc, char** argv) {
   // Short collective timeout: the chaos case relies on survivors timing out
   // against the killed rank promptly instead of waiting the default 30s.
   config.tcp.collective_timeout_seconds = 5.0;
+
+  // Wire chaos: one plan per run (same spec + seed on every rank), one
+  // injector per PROCESS — its sticky activation/heal state must survive
+  // group regeneration, so a persistent partition keeps biting while the
+  // faulted membership stands.
+  const comm::WireChaosEnv chaos = comm::ReadWireChaosEnv();
+  comm::WireFaultPlan chaos_plan;
+  std::unique_ptr<comm::WireFaultInjector> chaos_injector;
+  if (chaos.enabled) {
+    Result<comm::WireFaultPlan> parsed = comm::ParseWireChaosSpec(
+        chaos.spec, chaos.seed, launch_env.world);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "ddp_worker: rank %d bad --chaos spec: %s\n",
+                   launch_env.rank, parsed.status().message().c_str());
+      return 2;
+    }
+    chaos_plan = std::move(parsed).value();
+    // Short blackholes and a bounded reconnect budget keep a chaos run's
+    // worst case well under the launcher timeout.
+    chaos_plan.blackhole_cap_seconds = 0.1;
+    chaos_injector = std::make_unique<comm::WireFaultInjector>(
+        &chaos_plan, launch_env.rank);
+    config.tcp.fault_injector = chaos_injector.get();
+    config.tcp.max_reconnect_attempts = 4;
+    config.tcp.reconnect_timeout_seconds = 1.0;
+    config.tcp.reconnect_backoff_seconds = 0.05;
+    config.tcp.heartbeat_interval_seconds = 0.25;
+    config.tcp.event_sink = [&](const std::string& name,
+                                const std::string& detail) {
+      std::fprintf(stderr, "[wire-chaos] rank %d %s %s\n", launch_env.rank,
+                   name.c_str(), detail.c_str());
+    };
+    std::fprintf(stderr, "[wire-chaos] rank %d seed=%llu plan:\n%s",
+                 launch_env.rank,
+                 static_cast<unsigned long long>(chaos.seed),
+                 chaos_plan.DebugString().c_str());
+  }
+
   Result<std::shared_ptr<comm::ProcessGroup>> group =
       comm::CreateProcessGroupBackend(config, &store, "worker",
                                       launch_env.rank, launch_env.world,
@@ -114,6 +159,12 @@ int main(int argc, char** argv) {
                        int new_world) -> std::shared_ptr<comm::ProcessGroup> {
     comm::ProcessGroupTcp::Options regroup_options = config.tcp;
     regroup_options.generation = generation;
+    // A shrunken generation renumbers ranks, so the launch-rank-keyed wire
+    // faults no longer map onto its links: regrouped meshes run clean (the
+    // partitioned host was evicted, as in production it would be replaced).
+    regroup_options.fault_injector = nullptr;
+    regroup_options.max_reconnect_attempts = 0;
+    regroup_options.heartbeat_interval_seconds = 0.0;
     Result<std::shared_ptr<comm::ProcessGroupTcp>> regrouped =
         comm::ProcessGroupTcp::Create(&store, "worker", new_rank, new_world,
                                       regroup_options, &clock);
@@ -131,6 +182,7 @@ int main(int argc, char** argv) {
   scenario.kill_rank = args.kill_rank;
   scenario.kill_step = args.kill_step;
   scenario.comm_hook = args.comm_hook;
+  scenario.min_world = args.min_world;
   scenario.crash_before_sync = true;  // SIGKILL: peers learn through the wire
   scenario.collective_timeout_seconds =
       config.tcp.collective_timeout_seconds;
@@ -138,6 +190,26 @@ int main(int argc, char** argv) {
   // timeout (neighbours of the corpse see EOF instantly, the rest time
   // out); the window must absorb that spread.
   scenario.rendezvous_timeout_seconds = 20.0;
+  if (chaos.enabled) {
+    // Eviction policy for unhealable partitions: when a sync fails, the
+    // HIGHER rank of a persistently partitioned pair steps aside so the
+    // survivors can re-form without it. Both endpoints derive the same
+    // verdict from the shared plan; the tie-break (higher leaves) makes
+    // the survivor set deterministic.
+    scenario.should_self_evict = [&] {
+      for (int peer = 0; peer < launch_env.rank; ++peer) {
+        const auto* out = chaos_plan.FindPartition(launch_env.rank, peer);
+        const auto* in = chaos_plan.FindPartition(peer, launch_env.rank);
+        const uint64_t op = chaos_injector->op_index();
+        const bool dead_out = out != nullptr && out->heal_after_hits == 0 &&
+                              op >= out->from_op;
+        const bool dead_in = in != nullptr && in->heal_after_hits == 0 &&
+                             op >= in->from_op;
+        if (dead_out || dead_in) return true;
+      }
+      return false;
+    };
+  }
   const testing::ScenarioResult result =
       testing::RunScenario(ctx, scenario, [] {
         // A real unclean death: no destructors, no socket shutdown — peers
@@ -145,6 +217,13 @@ int main(int argc, char** argv) {
         raise(SIGKILL);
       });
 
+  if (result.evicted) {
+    // A planned departure, not a failure: exit clean with no digest line —
+    // the host test counts survivors by who reported.
+    std::printf("evicted rank=%d reason=%s\n", launch_env.rank,
+                result.error.c_str());
+    return 0;
+  }
   if (!result.ok) {
     std::fprintf(stderr, "ddp_worker: rank %d scenario failed: %s\n",
                  launch_env.rank, result.error.c_str());

@@ -71,17 +71,21 @@ std::string ReadFileOrEmpty(const std::string& path) {
 }
 
 /// Launches `world` ddp_worker processes through ddp_launch and collects
-/// each surviving rank's result line.
+/// each surviving rank's result line. `chaos` is a --chaos wire-fault spec
+/// (empty = fault-free wire); `min_world` is forwarded to the workers so
+/// shrink scenarios can bottom out below the default of 2.
 WireOutcome RunWire(const std::string& tag, int world, int kill_rank,
-                    int kill_step, const std::string& comm_hook = "") {
+                    int kill_step, const std::string& comm_hook = "",
+                    const std::string& chaos = "", int min_world = 2) {
   const std::string root = TempRoot(tag);
   const std::string digest_prefix = root + "/digest";
   std::stringstream cmd;
   cmd << DDPKIT_LAUNCH_BIN << " --nproc=" << world << " --timeout-sec=120"
       << " --log-dir=" << root;
   if (kill_rank >= 0) cmd << " --allow-kill=" << kill_rank;
+  if (!chaos.empty()) cmd << " --chaos=" << chaos;
   cmd << " -- " << DDPKIT_WORKER_BIN << " --steps=" << kSteps
-      << " --digest-out=" << digest_prefix;
+      << " --digest-out=" << digest_prefix << " --min-world=" << min_world;
   if (kill_rank >= 0) {
     cmd << " --kill-rank=" << kill_rank << " --kill-step=" << kill_step;
   }
@@ -119,7 +123,8 @@ WireOutcome RunWire(const std::string& tag, int world, int kill_rank,
 /// collective at the kill step and the doomed rank leaves its body.
 std::vector<testing::ScenarioResult> RunSim(int world, int kill_rank,
                                             int kill_step,
-                                            const std::string& comm_hook = "") {
+                                            const std::string& comm_hook = "",
+                                            int min_world = 2) {
   comm::SimWorldOptions options;
   options.algorithm = comm::Algorithm::kRing;  // ddp_worker's wire default
   options.collective_timeout_seconds = 5.0;
@@ -128,6 +133,7 @@ std::vector<testing::ScenarioResult> RunSim(int world, int kill_rank,
   scenario.comm_hook = comm_hook;
   scenario.kill_rank = kill_rank;
   scenario.kill_step = kill_step;
+  scenario.min_world = min_world;
   scenario.crash_before_sync = false;  // the FaultPlan is the murder weapon
   scenario.collective_timeout_seconds = 5.0;
   if (kill_rank >= 0) {
@@ -225,6 +231,82 @@ TEST(MultiprocE2eTest, KillMinusNineRankRecoversToNMinusOne) {
     EXPECT_EQ(kWorld - 1, line.world);
     EXPECT_EQ(1u, line.generation);
     EXPECT_EQ(1, line.recoveries);
+  }
+}
+
+// Wire chaos, heal case: a two-way partition opens at step 1 and heals
+// two link-hits later. The connection supervisor must absorb the fault
+// invisibly — reconnect, replay the interrupted collective, and finish
+// bit-identical to a fault-free run: same digests, generation 0, zero
+// DDP-level recoveries, every rank present.
+TEST(MultiprocE2eTest, WirePartitionHealsBitExact) {
+  for (int world : {2, 4, 8}) {
+    SCOPED_TRACE("world " + std::to_string(world));
+    const int a = world / 2 - 1;
+    const int b = world / 2;
+    const std::string spec = "partition:" + std::to_string(a) + "x" +
+                             std::to_string(b) + "@step1,heal@step3";
+
+    const auto sim = RunSim(world, -1, -1);  // fault-free reference
+    ASSERT_TRUE(sim[0].ok) << sim[0].error;
+
+    const WireOutcome wire = RunWire("heal" + std::to_string(world), world,
+                                     -1, -1, "", spec);
+    ASSERT_EQ(0, wire.launch_exit) << wire.launch_output;
+    ASSERT_EQ(static_cast<size_t>(world), wire.ranks.size())
+        << wire.launch_output;
+    // The fault must actually have fired: the supervisor logged a
+    // reconnect (otherwise this test is a fault-free run in disguise).
+    EXPECT_NE(std::string::npos, wire.launch_output.find("pg.reconnect"))
+        << wire.launch_output;
+    for (const auto& [rank, line] : wire.ranks) {
+      EXPECT_EQ(sim[static_cast<size_t>(rank)].digest, line.digest)
+          << "rank " << rank << " diverged from the fault-free reference";
+      EXPECT_EQ(world, line.world);
+      EXPECT_EQ(0u, line.generation);
+      EXPECT_EQ(0, line.recoveries);
+    }
+  }
+}
+
+// Wire chaos, persist case: the partition never heals, so the run must
+// shrink. The higher rank of the pair self-evicts (both endpoints derive
+// the verdict from the shared plan), survivors re-form at world-1 and
+// finish bit-identical to the sim harness's elastic run of a crash of the
+// same rank at the same step — the evicted rank contributes nothing to
+// the failed step either way.
+TEST(MultiprocE2eTest, WirePartitionPersistsShrinksToSurvivors) {
+  for (int world : {2, 4, 8}) {
+    SCOPED_TRACE("world " + std::to_string(world));
+    const int a = world / 2 - 1;
+    const int evicted = world / 2;
+    const std::string spec = "partition:" + std::to_string(a) + "x" +
+                             std::to_string(evicted) + "@step1";
+    const int min_world = world - 1;  // world 2 bottoms out at a solo rank
+
+    const auto sim = RunSim(world, evicted, 1, "", min_world);
+    const WireOutcome wire =
+        RunWire("persist" + std::to_string(world), world, -1, -1, "", spec,
+                min_world);
+    ASSERT_EQ(0, wire.launch_exit) << wire.launch_output;
+    ASSERT_EQ(static_cast<size_t>(world - 1), wire.ranks.size())
+        << wire.launch_output;
+    EXPECT_EQ(0u, wire.ranks.count(evicted)) << wire.launch_output;
+    EXPECT_NE(std::string::npos,
+              wire.launch_output.find(
+                  "evicted rank=" + std::to_string(evicted)))
+        << wire.launch_output;
+    for (const auto& [rank, line] : wire.ranks) {
+      SCOPED_TRACE("old rank " + std::to_string(rank));
+      const testing::ScenarioResult& reference =
+          sim[static_cast<size_t>(rank)];
+      ASSERT_TRUE(reference.ok) << reference.error;
+      EXPECT_EQ(reference.digest, line.digest)
+          << "survivor diverged from the sim elastic run";
+      EXPECT_EQ(world - 1, line.world);
+      EXPECT_EQ(1u, line.generation);
+      EXPECT_EQ(1, line.recoveries);
+    }
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,12 @@ struct ScenarioOptions {
   /// fp32 locally, so the digest gate applies to them unchanged: sim and
   /// wire runs must agree bit for bit per hook.
   std::string comm_hook;
+  /// Consulted when a step's sync fails, before attempting recovery. True
+  /// = this rank leaves the run instead of rejoining the rendezvous — the
+  /// wire-chaos eviction policy: the higher rank of a persistently
+  /// partitioned pair must step aside, or every regroup re-forms the same
+  /// broken mesh and the run never converges. Null = never evict.
+  std::function<bool()> should_self_evict;
 };
 
 struct ScenarioResult {
@@ -67,6 +74,9 @@ struct ScenarioResult {
   /// Process-group generation the run finished at.
   uint64_t final_generation = 0;
   int recoveries = 0;
+  /// True when this rank left via should_self_evict (ok stays false, but
+  /// the departure is planned — the worker exits cleanly without a digest).
+  bool evicted = false;
 };
 
 inline Tensor ScenarioInput(int step, int data_rank) {
@@ -137,6 +147,12 @@ ScenarioResult RunScenario(comm::SimWorld::RankContext& ctx,
         // everyone; the doomed rank leaves instead of recovering.
         on_crash();
         result.error = "crashed at step " + std::to_string(step) + " sync";
+        return result;
+      }
+      if (options.should_self_evict && options.should_self_evict()) {
+        result.evicted = true;
+        result.error = "self-evicted at step " + std::to_string(step) +
+                       ": persistently partitioned from a lower rank";
         return result;
       }
       // Incomplete gradients: drop them, re-form over the survivors, retry

@@ -34,6 +34,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/chaos_spec.h"
 #include "comm/store_tcp.h"
 
 namespace {
@@ -50,13 +52,17 @@ struct LaunchOptions {
   double timeout_sec = 300.0;
   std::string log_dir;
   int allow_kill = -1;  // rank allowed to die by signal, -1 = none
+  /// Wire-fault spec (chaos_spec.h grammar), exported to every worker as
+  /// DDPKIT_CHAOS_WIRE; DDPKIT_CHAOS_SEED (inherited) seeds `rand` faults.
+  std::string chaos;
   std::vector<std::string> worker_argv;
 };
 
 void PrintUsage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --nproc=N [--timeout-sec=T] [--log-dir=DIR] "
-               "[--allow-kill=R] -- worker [worker args...]\n",
+               "[--allow-kill=R] [--chaos=SPEC] -- worker [worker args...]\n"
+               "  SPEC example: partition:2x3@step5,heal@step8\n",
                prog);
 }
 
@@ -78,6 +84,8 @@ bool ParseArgs(int argc, char** argv, LaunchOptions* options) {
       options->log_dir = arg.substr(10);
     } else if (arg.rfind("--allow-kill=", 0) == 0) {
       options->allow_kill = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      options->chaos = arg.substr(8);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -139,6 +147,24 @@ int RunLauncher(const LaunchOptions& options) {
   }
   std::fprintf(stdout, "ddp_launch: store on 127.0.0.1:%d, world %d\n",
                server.value()->port(), options.nproc);
+
+  if (!options.chaos.empty()) {
+    // Validate the spec up front (a typo must die here, not as N cryptic
+    // worker failures) and log the canonical plan so any chaos run can be
+    // replayed from its launcher output alone.
+    const uint64_t seed = ddpkit::comm::ReadWireChaosEnv().seed;
+    auto plan = ddpkit::comm::ParseWireChaosSpec(options.chaos, seed,
+                                                 options.nproc);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "ddp_launch: bad --chaos spec: %s\n",
+                   plan.status().message().c_str());
+      return 1;
+    }
+    std::fprintf(stdout, "ddp_launch: wire chaos (seed %llu):\n%s",
+                 static_cast<unsigned long long>(seed),
+                 plan.value().DebugString().c_str());
+    setenv("DDPKIT_CHAOS_WIRE", options.chaos.c_str(), 1);
+  }
 
   std::vector<Child> children(static_cast<size_t>(options.nproc));
   std::vector<std::thread> log_threads;

@@ -8,7 +8,7 @@
 //   ddpkit_trainer [--model=mlp|convnet|resnet|transformer] [--world=N]
 //                  [--backend=nccl|gloo|mpi|tcp] [--bucket-mb=N] [--steps=N]
 //                  [--batch=N] [--lr=F] [--momentum=F] [--optimizer=sgd|adam]
-//                  [--sync-every=N] [--find-unused]
+//                  [--sync-every=N] [--find-unused] [--min-world=N]
 //                  [--comm-hook=none|fp16|bf16|onebit|powersgd|topk]
 //                  [--round-robin=N] [--clip-norm=F] [--warmup=N]
 //                  [--checkpoint=PATH] [--trace=PATH] [--seed=N]
@@ -23,6 +23,7 @@
 // DDPKIT_WORLD, DDPKIT_STORE_HOST, DDPKIT_STORE_PORT). Quickstart:
 //   ddp_launch --nproc=4 -- ddpkit_trainer --backend=tcp --steps=20
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +62,10 @@ struct Args {
   double momentum = 0.9;
   std::string optimizer = "sgd";
   int sync_every = 1;
+  /// Smallest membership a wire-failure recovery may shrink to before the
+  /// trainer gives up (--backend=tcp only; see the sync_status check in the
+  /// step loop).
+  int min_world = 2;
   bool find_unused = false;
   std::string compress = "none";
   int round_robin = 1;
@@ -95,6 +100,7 @@ Args ParseArgs(int argc, char** argv) {
     else if (ParseFlag(a, "momentum", &value)) args.momentum = std::atof(value.c_str());
     else if (ParseFlag(a, "optimizer", &value)) args.optimizer = value;
     else if (ParseFlag(a, "sync-every", &value)) args.sync_every = std::atoi(value.c_str());
+    else if (ParseFlag(a, "min-world", &value)) args.min_world = std::atoi(value.c_str());
     else if (std::strcmp(a, "--find-unused") == 0) args.find_unused = true;
     else if (ParseFlag(a, "compress", &value)) args.compress = value;
     else if (ParseFlag(a, "comm-hook", &value)) args.compress = value;
@@ -188,6 +194,7 @@ int main(int argc, char** argv) {
   // backend-agnostic: the simulated harness calls it once per rank thread,
   // the wire path (--backend=tcp) builds one context for this process's
   // single rank and calls it directly.
+  std::atomic<bool> train_failed{false};
   auto rank_body = [&](comm::SimWorld::RankContext& ctx) {
     Rng rng(args.seed + 100);
     auto model = MakeModel(args.model, &rng);
@@ -224,6 +231,7 @@ int main(int argc, char** argv) {
     size_t cursor = 0;
     double last_clock = ctx.clock->Now();
     for (int step = 0; step < args.steps; ++step) {
+      const size_t step_cursor = cursor;  // rewound if this step is retried
       std::vector<int64_t> ids;
       for (int b = 0; b < args.batch; ++b) {
         ids.push_back(indices[cursor++ % indices.size()]);
@@ -245,6 +253,40 @@ int main(int argc, char** argv) {
         Tensor loss = criterion(ddp.Forward(inputs), batch.targets);
         loss_value = loss.Item();
         autograd::Backward(loss);
+        if (!ddp.sync_status().ok()) {
+          // Wire failure the backend could not heal transparently (e.g. a
+          // partition that left peers at divergent sequence numbers, so
+          // byte-level replay was impossible). The gradients of this step
+          // are incomplete: drop them, re-form the group over whoever is
+          // reachable, and retry the same step under the new membership —
+          // never train on an unsynchronized step silently.
+          std::fprintf(stderr,
+                       "[rank %d] step %d gradient sync failed (%s); "
+                       "attempting recovery\n",
+                       ctx.rank, step, ddp.sync_status().ToString().c_str());
+          core::RecoveryOptions recovery;
+          recovery.rendezvous_namespace = ctx.group_name;
+          recovery.min_world = args.min_world;
+          recovery.group_factory = ctx.make_group;
+          recovery.extra_state = opt->named_state();
+          core::RecoveryReport rep;
+          const Status recovered = ddp.Recover(recovery, &rep);
+          if (!recovered.ok()) {
+            std::fprintf(stderr, "[rank %d] recovery failed: %s\n", ctx.rank,
+                         recovered.ToString().c_str());
+            train_failed.store(true);
+            return;
+          }
+          std::fprintf(stderr,
+                       "[rank %d] recovered: rank %d of %d at generation "
+                       "%llu\n",
+                       ctx.rank, rep.new_rank, rep.new_world,
+                       static_cast<unsigned long long>(rep.generation));
+          opt->ZeroGrad();
+          cursor = step_cursor;  // the retry must see the same batch
+          --step;  // retry this step's forward/backward under the new group
+          continue;
+        }
         if (args.clip_norm > 0.0) {
           optim::ClipGradNorm(model->parameters(), args.clip_norm);
         }
@@ -325,6 +367,11 @@ int main(int argc, char** argv) {
     comm::SimWorld::Run(args.world, world_options, rank_body);
   }
 
+  if (train_failed.load()) {
+    std::fprintf(stderr, "ddpkit_trainer: training aborted on an "
+                         "unrecoverable gradient-sync failure\n");
+    return 1;
+  }
   if (!report) return 0;
 
   std::printf("\n%-8s %-10s %-14s\n", "step", "loss", "virt_latency_s");

@@ -225,6 +225,23 @@ std::vector<SelfCase> Cases() {
   tok("waiver without a reason is ignored", "tools/launcher.cc",
       "read(pipe_fd, buf, n);  // ddplint: allow(raw-wire-io)\n", 1,
       "raw-wire-io");
+  tok("bare connect outside the wire layer flagged", "src/core/x.cc",
+      "connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));\n", 1,
+      "raw-wire-io");
+  tok("global-qualified ::accept is the POSIX call", "src/cluster/y.cc",
+      "int cfd = ::accept(listen_fd, nullptr, nullptr);\n", 1,
+      "raw-wire-io");
+  tok("bare close on an fd flagged outside the wire layer", "src/core/x.cc",
+      "close(sock_fd);\n", 1, "raw-wire-io");
+  tok("shutdown smuggled past the shim flagged", "src/core/x.cc",
+      "shutdown(fd, SHUT_RDWR);\n", 1, "raw-wire-io");
+  tok("member close is a different function", "src/core/x.cc",
+      "file.close();\nserver->shutdown();\n", 0, "");
+  tok("scoped Server::accept is not the POSIX call", "src/core/x.cc",
+      "Server::accept(opts);\n", 0, "");
+  tok("net_fault shim is wire layer for lifecycle calls",
+      "src/comm/net_fault.cc", "shutdown(fd, SHUT_RDWR);\nclose(fd);\n", 0,
+      "");
 
   // --- lexer: raw strings and line continuations (satellite a) -----------
   add("lexer", "token inside raw string ignored", "src/comm/pg.cc",

@@ -175,14 +175,20 @@ bool LineHasRawElementwiseLoop(const std::string& code) {
 // raw-wire-io: POSIX byte-I/O *calls* outside the socket layer.
 // ---------------------------------------------------------------------------
 
-/// The POSIX byte-I/O family. Matched as free-function calls only: an
-/// identifier boundary on the left (so `fread`/`pthread_` never match), not
-/// a member access (`file.read`, `stream->write`) nor a scoped function
-/// (`Foo::read(...)`) — but a global-namespace qualification (bare
-/// `::read(`) does match, it is exactly the POSIX call being smuggled.
+/// The POSIX byte-I/O family plus the socket lifecycle calls: a bare
+/// `connect`/`accept`/`shutdown`/`close` outside the wire layer sidesteps
+/// the deadline plumbing and the fault-injection shim exactly like a bare
+/// `send` does — a connection opened behind the shim's back is a
+/// connection chaos runs can never partition. Matched as free-function
+/// calls only: an identifier boundary on the left (so `fread`/`pthread_`
+/// never match), not a member access (`file.read`, `stream->write`) nor a
+/// scoped function (`Foo::read(...)`) — but a global-namespace
+/// qualification (bare `::read(`) does match, it is exactly the POSIX call
+/// being smuggled.
 const char* const kWireIoCalls[] = {
-    "send", "sendto", "sendmsg", "recv",  "recvfrom", "recvmsg",
-    "read", "pread",  "readv",   "write", "pwrite",   "writev",
+    "send",  "sendto", "sendmsg", "recv",    "recvfrom", "recvmsg",
+    "read",  "pread",  "readv",   "write",   "pwrite",   "writev",
+    "connect", "accept", "accept4", "shutdown", "close",
 };
 
 bool LineHasRawWireIoCall(const std::string& code, std::string* which) {
@@ -225,11 +231,14 @@ bool LineHasRawWireIoCall(const std::string& code, std::string* which) {
   return false;
 }
 
-/// The socket layer itself — the only place raw wire I/O belongs.
+/// The socket layer itself — the only place raw wire I/O belongs. The
+/// fault shim (net_fault) sits directly on the socket surface by design:
+/// it must reach the real calls to corrupt them.
 bool IsWireIoLayer(const std::string& path) {
   return MentionsFile(path, "comm/net_socket") ||
          MentionsFile(path, "comm/store_tcp") ||
-         MentionsFile(path, "comm/process_group_tcp");
+         MentionsFile(path, "comm/process_group_tcp") ||
+         MentionsFile(path, "comm/net_fault");
 }
 
 const std::vector<Rule>& Rules() {
@@ -380,12 +389,13 @@ void RunTokenRules(const PassContext& ctx, std::vector<Violation>* out) {
       out->push_back(Violation{
           path, i + 1, "raw-wire-io",
           "'" + which +
-              "' — a raw send/recv/read/write bypasses the deadline-aware "
-              "socket helpers, so it can block forever and never sees the "
-              "abort pipe",
+              "' — a raw send/recv/read/write (or socket lifecycle call) "
+              "bypasses the deadline-aware socket helpers, so it can block "
+              "forever, never sees the abort pipe, and is invisible to the "
+              "wire-fault shim",
           "go through comm/net_socket.h (SendAll/RecvAll/SendFrame/"
-          "RecvFrame/...) or the Store/ProcessGroup layers above it; waive "
-          "non-wire fds (pipes, files) with "
+          "RecvFrame/Connect/Accept/CloseFd/...) or the Store/ProcessGroup "
+          "layers above it; waive non-wire fds (pipes, files) with "
           "// ddplint: allow(raw-wire-io) <reason> — the reason is "
           "mandatory"});
     }
